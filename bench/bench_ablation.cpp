@@ -1,0 +1,152 @@
+// Ablation study for the design choices DESIGN.md calls out (beyond the
+// paper's own experiments):
+//
+//  A1: access minimization — none vs minA vs minADAG: estimated access
+//      (Sum N) and measured fetch volume.
+//  A2: the A-equivalence rewriter — how many otherwise-uncovered queries
+//      become answerable boundedly (Fig. 6's covered/bounded gap).
+//  A3: static bound tightness — plan's worst-case access estimate vs the
+//      tuples actually fetched.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rewrite.h"
+
+using namespace bqe;
+using namespace bqe::bench;
+
+int main() {
+  // ------------------------------------------------------------------ A1 --
+  PrintHeader("Ablation A1: minimization algorithm (estimated vs real access)");
+  std::printf("%-7s %-9s | %9s %9s | %12s\n", "dataset", "algo", "kept",
+              "Sum N", "fetched");
+  for (const char* name : {"airca", "tfacc"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.1, 246);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    Result<IndexSet> indices = IndexSet::Build(ds.db, ds.schema);
+    if (!indices.ok()) return 1;
+
+    QueryGenConfig cfg;
+    cfg.num_sel = 5;
+    cfg.num_join = 2;
+    cfg.seed = 9;
+    std::vector<RaExprPtr> queries = CoveredQueries(ds, cfg, 5);
+
+    struct Variant {
+      const char* label;
+      bool minimize;
+      MinimizeAlgo algo;
+    };
+    for (const Variant& v :
+         {Variant{"none", false, MinimizeAlgo::kGreedy},
+          Variant{"minA", true, MinimizeAlgo::kGreedy},
+          Variant{"minADAG", true, MinimizeAlgo::kAcyclic}}) {
+      size_t kept = 0;
+      int64_t sum_n = 0;
+      uint64_t fetched = 0;
+      int measured = 0;
+      for (const RaExprPtr& q : queries) {
+        Result<NormalizedQuery> nq = Normalize(q, ds.db.catalog());
+        if (!nq.ok()) continue;
+        const AccessSchema* schema = &ds.schema;
+        AccessSchema minimized;
+        if (v.minimize) {
+          Result<MinimizeResult> m = MinimizeAccess(*nq, ds.schema, v.algo);
+          if (!m.ok()) continue;
+          minimized = std::move(m->minimized);
+          schema = &minimized;
+        }
+        BoundedRun run = RunBounded(*nq, *schema, *indices, /*runs=*/1);
+        if (!run.ok) continue;
+        ++measured;
+        kept += schema->size();
+        sum_n += schema->TotalN();
+        fetched += run.fetched;
+      }
+      if (measured == 0) continue;
+      std::printf("%-7s %-9s | %9.1f %9lld | %12.1f\n", name, v.label,
+                  static_cast<double>(kept) / measured,
+                  static_cast<long long>(sum_n / measured),
+                  static_cast<double>(fetched) / measured);
+    }
+  }
+
+  // ------------------------------------------------------------------ A2 --
+  PrintHeader("Ablation A2: rewriter contribution (difference-heavy workload)");
+  std::printf("%-7s | %9s %9s %14s\n", "dataset", "covered", "+rewrite",
+              "gap closed");
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.05, 135);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    const int kQueries = 60;
+    int covered = 0, with_rewrite = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      QueryGenConfig cfg;
+      cfg.seed = static_cast<uint64_t>(i);
+      cfg.num_sel = 5;
+      cfg.num_join = 1 + i % 2;
+      cfg.num_unidiff = 1 + i % 3;
+      cfg.strip_right_anchor = 0.8;  // Force Example-1-like differences.
+      Result<RaExprPtr> q = GenerateQuery(ds, cfg);
+      if (!q.ok()) continue;
+      Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+      if (!nq.ok()) continue;
+      Result<CoverageReport> report = CheckCoverage(*nq, ds.schema);
+      if (!report.ok()) continue;
+      if (report->covered) {
+        ++covered;
+        ++with_rewrite;
+        continue;
+      }
+      Result<RewriteResult> rw = RewriteForCoverage(*nq, ds.schema);
+      if (rw.ok() && rw->covered) ++with_rewrite;
+    }
+    std::printf("%-7s | %8.1f%% %8.1f%% %13.1f%%\n", name,
+                100.0 * covered / kQueries, 100.0 * with_rewrite / kQueries,
+                100.0 * (with_rewrite - covered) / kQueries);
+  }
+
+  // ------------------------------------------------------------------ A3 --
+  PrintHeader("Ablation A3: static access bound vs actual fetch volume");
+  std::printf("%-7s | %14s %14s | %9s\n", "dataset", "bound (avg)",
+              "fetched (avg)", "ratio");
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.1, 86);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    Result<IndexSet> indices = IndexSet::Build(ds.db, ds.schema);
+    if (!indices.ok()) return 1;
+    QueryGenConfig cfg;
+    cfg.num_sel = 5;
+    cfg.num_join = 1;
+    cfg.seed = 3;
+    double bound = 0, fetched = 0;
+    int measured = 0;
+    for (const RaExprPtr& q : CoveredQueries(ds, cfg, 5)) {
+      Result<NormalizedQuery> nq = Normalize(q, ds.db.catalog());
+      if (!nq.ok()) continue;
+      Result<CoverageReport> report = CheckCoverage(*nq, ds.schema);
+      if (!report.ok() || !report->covered) continue;
+      Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+      if (!plan.ok()) continue;
+      ExecStats stats;
+      Result<Table> t = ExecutePlan(*plan, *indices, &stats);
+      if (!t.ok()) continue;
+      ++measured;
+      bound += plan->StaticAccessBound();
+      fetched += static_cast<double>(stats.tuples_fetched);
+    }
+    if (measured == 0) continue;
+    std::printf("%-7s | %14.1f %14.1f | %8.1fx\n", name, bound / measured,
+                fetched / measured,
+                fetched > 0 ? bound / fetched : 0.0);
+  }
+  std::printf(
+      "\nThe static bound is the guarantee (|D_Q| depends on Q and A only);\n"
+      "real fetch volume is far below it because cardinality bounds N are\n"
+      "worst-case group sizes.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 5 (d), (h), (l): impact of the number of available access
+// constraints (||A|| fraction 0.2 .. 1.0) on bounded plans.
+//
+// Paper shape: more constraints -> better plans (lower time, smaller D_Q),
+// because QPlan can choose cheaper hyperpaths and tighter indexes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bqe;
+using namespace bqe::bench;
+
+int main() {
+  PrintHeader("Figure 5(d,h,l): varying ||A|| (fraction 0.2 .. 1.0)");
+  std::printf("%-7s %-6s %7s | %11s | %12s | %9s\n", "dataset", "fracA",
+              "||A||", "evalQP", "P(DQ)", "#covered");
+
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.25, 4321);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    AccessSchema full = ds.schema;
+
+    for (double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      std::vector<int> ids;
+      size_t keep =
+          static_cast<size_t>(frac * static_cast<double>(full.size()));
+      for (size_t i = 0; i < keep; ++i) ids.push_back(static_cast<int>(i));
+      AccessSchema sub = full.Subset(ids);
+      Result<IndexSet> indices = IndexSet::Build(ds.db, sub);
+      if (!indices.ok()) return 1;
+
+      // The paper "tested the queries that are covered" per setting:
+      // generate 5 queries covered under THIS fraction's schema.
+      QueryGenConfig cfg;
+      cfg.num_sel = 5;
+      cfg.num_join = 1;
+      cfg.seed = 17;
+      ds.schema = sub;
+      std::vector<RaExprPtr> queries = CoveredQueries(ds, cfg, 5);
+      ds.schema = full;
+
+      double qp_ms = 0;
+      uint64_t fetched = 0;
+      int measured = 0;
+      for (const RaExprPtr& q : queries) {
+        Result<NormalizedQuery> nq = Normalize(q, ds.db.catalog());
+        if (!nq.ok()) continue;
+        // evalQP with minimization against the available subset.
+        Result<MinimizeResult> m =
+            MinimizeAccess(*nq, sub, MinimizeAlgo::kGreedy);
+        BoundedRun run = m.ok() ? RunBounded(*nq, m->minimized, *indices)
+                                : RunBounded(*nq, sub, *indices);
+        if (!run.ok) continue;
+        ++measured;
+        qp_ms += run.ms;
+        fetched += run.fetched;
+      }
+      if (measured == 0) {
+        std::printf("%-7s %-6.1f %7zu | %11s | %12s | %9d\n", name, frac,
+                    sub.size(), "-", "-", 0);
+        continue;
+      }
+      std::printf("%-7s %-6.1f %7zu | %9.3fms | %12.3e | %9d\n", name, frac,
+                  sub.size(), qp_ms / measured,
+                  static_cast<double>(fetched) /
+                      (static_cast<double>(ds.db.TotalTuples()) * measured),
+                  measured);
+    }
+  }
+  std::printf(
+      "\nPaper shape: with more constraints QPlan finds better plans: time\n"
+      "and P(DQ) drop as the fraction grows (e.g. 10.2s -> 5.8s on AIRCA).\n");
+  return 0;
+}

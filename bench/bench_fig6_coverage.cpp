@@ -1,0 +1,87 @@
+// Figure 6 + Exp-1(I): percentage of covered and boundedly evaluable
+// queries as the fraction of available access constraints grows.
+//
+// Paper reference points (100 random RA queries per dataset, full A):
+//   bounded:  >= 70% (AIRCA), 65% (TFACC), 48% (MCBM)
+//   covered:     61%,          52%,          42%
+// and among bounded queries 80-87.5% are covered. "Bounded" is estimated
+// here exactly as the paper's manual analysis argues: a query counts as
+// boundedly evaluable if it, or its A-equivalent rewriting (Example 1's
+// transformation, automated in core/rewrite), is covered.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/rewrite.h"
+#include "ra/normalize.h"
+
+using namespace bqe;
+using namespace bqe::bench;
+
+int main() {
+  PrintHeader("Figure 6: % covered / bounded queries vs fraction of A used");
+  std::printf("%-7s %-6s %9s %9s %9s %12s\n", "dataset", "fracA", "#queries",
+              "covered%", "bounded%", "cov/bounded");
+
+  const int kQueries = 100;
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.05, 20260611);
+    if (!ds_r.ok()) {
+      std::fprintf(stderr, "%s\n", ds_r.status().ToString().c_str());
+      return 1;
+    }
+    GeneratedDataset ds = std::move(*ds_r);
+
+    // A fixed random permutation of constraint ids; fraction f keeps the
+    // first f * ||A|| of it, so subsets grow monotonically and spread over
+    // all relations (prefixes of the declared order would starve whole
+    // relations at small fractions).
+    std::vector<int> perm;
+    for (size_t i = 0; i < ds.schema.size(); ++i) perm.push_back(static_cast<int>(i));
+    Rng shuffle_rng(4242);
+    shuffle_rng.Shuffle(&perm);
+
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+      std::vector<int> ids(perm.begin(),
+                           perm.begin() + static_cast<long>(frac * static_cast<double>(perm.size())));
+      std::sort(ids.begin(), ids.end());
+      AccessSchema sub = ds.schema.Subset(ids);
+
+      int covered = 0, bounded = 0;
+      for (int i = 0; i < kQueries; ++i) {
+        QueryGenConfig cfg;
+        cfg.seed = static_cast<uint64_t>(i);
+        cfg.num_sel = 4 + i % 6;        // #-sel in [4, 9].
+        cfg.num_join = i % 6;           // #-join in [0, 5].
+        cfg.num_unidiff = i % 6;        // #-unidiff in [0, 5].
+        cfg.uncovered_bias = 0.42;
+        Result<RaExprPtr> q = GenerateQuery(ds, cfg);
+        if (!q.ok()) continue;
+        Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+        if (!nq.ok()) continue;
+        Result<CoverageReport> report = CheckCoverage(*nq, sub);
+        if (!report.ok()) continue;
+        if (report->covered) {
+          ++covered;
+          ++bounded;
+          continue;
+        }
+        Result<RewriteResult> rw = RewriteForCoverage(*nq, sub);
+        if (rw.ok() && rw->covered) ++bounded;
+      }
+      std::printf("%-7s %-6.2f %9d %8.1f%% %8.1f%% %11.1f%%\n", name, frac,
+                  kQueries, 100.0 * covered / kQueries,
+                  100.0 * bounded / kQueries,
+                  bounded > 0 ? 100.0 * covered / bounded : 0.0);
+    }
+  }
+  std::printf(
+      "\nPaper (full A): covered 61/52/42%%, bounded >=70/65/48%% on\n"
+      "AIRCA/TFACC/MCBM; coverage grows with the constraint fraction and\n"
+      "most bounded queries are covered. Compare shapes, not absolutes:\n"
+      "the synthetic generator is calibrated, not identical.\n");
+  return 0;
+}

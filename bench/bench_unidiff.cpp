@@ -1,0 +1,57 @@
+// Exp-1(2), text result: bounded query plans are indifferent to #-unidiff
+// (the number of union / set-difference operators), because data is fetched
+// per max SPC sub-query; set operations run over already-bounded
+// intermediate results.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bqe;
+using namespace bqe::bench;
+
+int main() {
+  PrintHeader("Exp-1: varying #-unidiff in [0..5] (evalQP indifference)");
+  std::printf("%-7s %-9s | %11s | %12s\n", "dataset", "#-unidiff", "evalQP",
+              "P(DQ)");
+
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.25, 555);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    Result<IndexSet> indices = IndexSet::Build(ds.db, ds.schema);
+    if (!indices.ok()) return 1;
+
+    for (int k = 0; k <= 5; ++k) {
+      QueryGenConfig cfg;
+      cfg.num_sel = 5;
+      cfg.num_join = 1;
+      cfg.num_unidiff = k;
+      cfg.seed = 42;  // Same base block across k: isolates the set-op cost.
+      std::vector<RaExprPtr> queries = CoveredQueries(ds, cfg, 5);
+
+      double qp_ms = 0;
+      uint64_t fetched = 0;
+      int measured = 0;
+      for (const RaExprPtr& q : queries) {
+        Result<NormalizedQuery> nq = Normalize(q, ds.db.catalog());
+        if (!nq.ok()) continue;
+        BoundedRun run = RunBounded(*nq, ds.schema, *indices);
+        if (!run.ok) continue;
+        ++measured;
+        qp_ms += run.ms;
+        fetched += run.fetched;
+      }
+      if (measured == 0) continue;
+      std::printf("%-7s %-9d | %9.3fms | %12.3e\n", name, k, qp_ms / measured,
+                  static_cast<double>(fetched) /
+                      (static_cast<double>(ds.db.TotalTuples()) * measured));
+    }
+  }
+  std::printf(
+      "\nPaper: \"our query plans are indifferent to #-unidiff ... plans\n"
+      "fetch data via max SPC sub-queries\" — time grows only linearly with\n"
+      "the number of SPC blocks, never with |D|. (evalDBMS did not finish\n"
+      "within 3000s on these workloads in the paper.)\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#ifndef BQE_BENCH_BENCH_UTIL_H_
+#define BQE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/eval.h"
+#include "constraints/index.h"
+#include "core/cov.h"
+#include "core/minimize.h"
+#include "core/plan_exec.h"
+#include "core/qplan.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace bench {
+
+/// Milliseconds spent in `fn`, averaged over `runs` runs (the paper averages
+/// over 3 runs).
+inline double TimeMs(const std::function<void()>& fn, int runs = 3) {
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    total += std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  return total / runs;
+}
+
+/// The workload of one Fig. 5 measurement point: `count` covered queries
+/// (the paper uses "5 covered queries randomly chosen").
+inline std::vector<RaExprPtr> CoveredQueries(const GeneratedDataset& ds,
+                                             QueryGenConfig cfg, int count) {
+  std::vector<RaExprPtr> out;
+  for (int i = 0; i < count; ++i) {
+    cfg.seed = cfg.seed * 31 + 1000 + static_cast<uint64_t>(i) * 17;
+    Result<RaExprPtr> q = GenerateCoveredQuery(ds, cfg);
+    if (q.ok()) out.push_back(*q);
+  }
+  return out;
+}
+
+/// One measured query evaluation through the bounded path.
+struct BoundedRun {
+  double ms = 0;
+  uint64_t fetched = 0;
+  bool ok = false;
+};
+
+/// Plans (against `schema`, which may be a minimized subset) and executes a
+/// covered query through the given indices.
+inline BoundedRun RunBounded(const NormalizedQuery& nq,
+                             const AccessSchema& schema,
+                             const IndexSet& indices, int runs = 3) {
+  BoundedRun out;
+  Result<CoverageReport> report = CheckCoverage(nq, schema);
+  if (!report.ok() || !report->covered) return out;
+  Result<BoundedPlan> plan = GeneratePlan(nq, *report);
+  if (!plan.ok()) return out;
+  ExecStats stats;
+  out.ms = TimeMs(
+      [&] {
+        stats = ExecStats{};
+        Result<Table> t = ExecutePlan(*plan, indices, &stats);
+        (void)t;
+      },
+      runs);
+  out.fetched = stats.tuples_fetched;
+  out.ok = true;
+  return out;
+}
+
+struct BaselineRun {
+  double ms = 0;
+  uint64_t scanned = 0;
+  bool ok = false;
+};
+
+inline BaselineRun RunBaseline(const NormalizedQuery& nq, const Database& db,
+                               int runs = 3) {
+  BaselineRun out;
+  BaselineStats stats;
+  out.ms = TimeMs(
+      [&] {
+        stats = BaselineStats{};
+        Result<Table> t = EvaluateBaseline(nq, db, &stats);
+        if (!t.ok()) return;
+        out.ok = true;
+      },
+      runs);
+  out.scanned = stats.tuples_scanned;
+  return out;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (size_t i = 0; i < title.size(); ++i) std::printf("=");
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace bqe
+
+#endif  // BQE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// TFACC scenario: road-safety reporting with live updates.
+//
+// A police analyst asks for the vehicles involved in the accidents a given
+// force handled on a given day — then new accident reports stream in and the
+// engine's indices are maintained incrementally (Proposition 12) without
+// rebuilding anything. Also demonstrates access-schema minimization:
+// the prepared plan relies on a handful of the declared constraints.
+//
+// Build & run:  ./build/examples/traffic_hotspots
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "ra/parser.h"
+#include "workload/datasets.h"
+
+using namespace bqe;
+
+int main() {
+  Result<GeneratedDataset> ds_r = MakeTfacc(0.1, /*seed=*/7);
+  if (!ds_r.ok()) {
+    std::cerr << ds_r.status().ToString() << "\n";
+    return 1;
+  }
+  GeneratedDataset ds = std::move(*ds_r);
+  std::printf("TFACC: %zu tables, |D| = %zu tuples, ||A|| = %zu constraints\n",
+              ds.db.catalog().size(), ds.db.TotalTuples(), ds.schema.size());
+
+  BoundedEngine engine(&ds.db, ds.schema);
+  if (Status st = engine.BuildIndices(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::printf("index footprint: %zu entries (%.1f%% of |D|)\n\n",
+              engine.IndexFootprint(),
+              100.0 * static_cast<double>(engine.IndexFootprint()) /
+                  static_cast<double>(ds.db.TotalTuples() * ds.schema.size()));
+
+  // The paper's own TFACC constraint anchors this query:
+  // accident((date, police_force) -> accident_id, 304).
+  Result<RaExprPtr> q = ParseQuery(
+      "SELECT vehicle.vehicle_id, vehicle_type.descr, accident.severity "
+      "FROM accident, vehicle, vehicle_type "
+      "WHERE accident.date = 42 AND accident.police_force = 3 "
+      "AND vehicle.accident_id = accident.accident_id "
+      "AND vehicle.vtype_id = vehicle_type.vtype_id",
+      ds.db.catalog());
+  if (!q.ok()) {
+    std::cerr << q.status().ToString() << "\n";
+    return 1;
+  }
+
+  Result<PrepareInfo> info = engine.Prepare(*q);
+  if (!info.ok()) {
+    std::cerr << info.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("covered: %s — minimized to %zu of %zu constraints\n",
+              info->covered ? "yes" : "no", info->constraints_used,
+              ds.schema.size());
+
+  Result<ExecuteResult> before = engine.Execute(*q);
+  if (!before.ok()) {
+    std::cerr << before.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("answer before updates: %zu vehicles (fetched %llu tuples)\n",
+              before->table.NumRows(),
+              static_cast<unsigned long long>(
+                  before->bounded_stats.tuples_fetched));
+
+  // A new accident report for the same force and day arrives, with two
+  // vehicles.
+  int64_t new_acc = static_cast<int64_t>(ds.db.Get("accident")->NumRows()) + 7;
+  std::vector<Delta> deltas = {
+      Delta::Insert("accident",
+                    {Value::Int(new_acc), Value::Int(42), Value::Int(3),
+                     Value::Int(2), Value::Int(17), Value::Int(1),
+                     Value::Int(0), Value::Int(2), Value::Double(51.5),
+                     Value::Double(-0.1)}),
+      Delta::Insert("vehicle",
+                    {Value::Int(900001), Value::Int(new_acc), Value::Int(4),
+                     Value::Int(12), Value::Int(5), Value::Int(1600)}),
+      Delta::Insert("vehicle",
+                    {Value::Int(900002), Value::Int(new_acc), Value::Int(9),
+                     Value::Int(3), Value::Int(7), Value::Int(2000)}),
+  };
+  Result<MaintenanceStats> maint = engine.Apply(deltas);
+  if (!maint.ok()) {
+    std::cerr << maint.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf(
+      "\napplied %zu inserts; %zu index updates; %zu bounds auto-grown\n",
+      maint->inserts, maint->index_updates, maint->constraints_grown);
+
+  Result<ExecuteResult> after = engine.Execute(*q);
+  if (!after.ok()) {
+    std::cerr << after.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("answer after updates:  %zu vehicles (was %zu)\n",
+              after->table.NumRows(), before->table.NumRows());
+  if (after->table.NumRows() != before->table.NumRows() + 2) {
+    std::cerr << "unexpected answer delta!\n";
+    return 1;
+  }
+  std::cout << "\nThe two new vehicles are visible through the maintained "
+               "indices —\nno index rebuild, no full scan.\n";
+  return 0;
+}

@@ -1,0 +1,341 @@
+#include "baseline/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace bqe {
+
+namespace {
+
+/// An intermediate relation: named columns plus rows.
+struct RelData {
+  std::vector<AttrRef> cols;
+  std::vector<Tuple> rows;
+
+  int ColIdx(const AttrRef& ref) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == ref) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+void Dedupe(RelData* r) {
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  out.reserve(r->rows.size());
+  for (Tuple& row : r->rows) {
+    if (seen.insert(row).second) out.push_back(std::move(row));
+  }
+  r->rows = std::move(out);
+}
+
+bool RowSatisfies(const RelData& r, const Tuple& row, const Predicate& p) {
+  int li = r.ColIdx(p.lhs);
+  if (p.kind == Predicate::Kind::kAttrConst) {
+    return EvalCmp(p.op, row[static_cast<size_t>(li)], p.constant);
+  }
+  int ri = r.ColIdx(p.rhs);
+  return EvalCmp(p.op, row[static_cast<size_t>(li)], row[static_cast<size_t>(ri)]);
+}
+
+/// Evaluator with conventional (constraint-oblivious) physical operators.
+class BaselineEvaluator {
+ public:
+  BaselineEvaluator(const NormalizedQuery& query, const Database& db,
+                    BaselineStats* stats)
+      : query_(query), db_(db), stats_(stats) {}
+
+  Result<RelData> Eval(const RaExpr* node) {
+    switch (node->op()) {
+      case RaOp::kRel:
+        return EvalRel(node);
+      case RaOp::kSelect:
+      case RaOp::kProduct:
+        return EvalSelectProduct(node);
+      case RaOp::kProject:
+        return EvalProject(node);
+      case RaOp::kUnion:
+        return EvalUnion(node);
+      case RaOp::kDiff:
+        return EvalDiff(node);
+    }
+    return Status::Internal("unknown RA op");
+  }
+
+ private:
+  Result<RelData> EvalRel(const RaExpr* node) {
+    BQE_ASSIGN_OR_RETURN(const Table* table, db_.Require(node->base()));
+    RelData out;
+    out.cols = query_.OutputOf(node);
+    out.rows = table->rows();  // Full scan: whole tuples, whole table.
+    if (stats_ != nullptr) stats_->tuples_scanned += out.rows.size();
+    return out;
+  }
+
+  Result<RelData> EvalProject(const RaExpr* node) {
+    BQE_ASSIGN_OR_RETURN(RelData in, Eval(node->left().get()));
+    RelData out;
+    out.cols = node->cols();
+    std::vector<int> idx;
+    idx.reserve(out.cols.size());
+    for (const AttrRef& c : out.cols) idx.push_back(in.ColIdx(c));
+    out.rows.reserve(in.rows.size());
+    for (const Tuple& row : in.rows) {
+      Tuple t;
+      t.reserve(idx.size());
+      for (int i : idx) t.push_back(row[static_cast<size_t>(i)]);
+      out.rows.push_back(std::move(t));
+    }
+    Dedupe(&out);
+    Count(out);
+    return out;
+  }
+
+  Result<RelData> EvalUnion(const RaExpr* node) {
+    BQE_ASSIGN_OR_RETURN(RelData l, Eval(node->left().get()));
+    BQE_ASSIGN_OR_RETURN(RelData r, Eval(node->right().get()));
+    // Positional alignment: right rows are appended under left's columns.
+    for (Tuple& row : r.rows) l.rows.push_back(std::move(row));
+    Dedupe(&l);
+    Count(l);
+    return l;
+  }
+
+  Result<RelData> EvalDiff(const RaExpr* node) {
+    BQE_ASSIGN_OR_RETURN(RelData l, Eval(node->left().get()));
+    BQE_ASSIGN_OR_RETURN(RelData r, Eval(node->right().get()));
+    std::unordered_set<Tuple, TupleHash> right(r.rows.begin(), r.rows.end());
+    std::vector<Tuple> kept;
+    kept.reserve(l.rows.size());
+    for (Tuple& row : l.rows) {
+      if (right.count(row) == 0) kept.push_back(std::move(row));
+    }
+    l.rows = std::move(kept);
+    Dedupe(&l);
+    Count(l);
+    return l;
+  }
+
+  /// Select/product block: collect the conjuncts through the select chain,
+  /// collect product leaves, evaluate leaves, push single-leaf filters down,
+  /// then greedy hash joins on cross-leaf equalities, then residual filters.
+  Result<RelData> EvalSelectProduct(const RaExpr* node) {
+    std::vector<Predicate> conjuncts;
+    const RaExpr* cur = node;
+    while (cur->op() == RaOp::kSelect) {
+      for (const Predicate& p : cur->preds()) conjuncts.push_back(p);
+      cur = cur->left().get();
+    }
+    std::vector<const RaExpr*> leaf_nodes;
+    CollectProductLeaves(cur, &leaf_nodes);
+
+    std::vector<RelData> leaves;
+    leaves.reserve(leaf_nodes.size());
+    for (const RaExpr* leaf : leaf_nodes) {
+      BQE_ASSIGN_OR_RETURN(RelData data, Eval(leaf));
+      leaves.push_back(std::move(data));
+    }
+
+    // Partition conjuncts.
+    auto leaf_of = [&](const AttrRef& ref) -> int {
+      for (size_t i = 0; i < leaves.size(); ++i) {
+        if (leaves[i].ColIdx(ref) >= 0) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    std::vector<Predicate> cross_eq, residual;
+    for (const Predicate& p : conjuncts) {
+      if (p.kind == Predicate::Kind::kAttrConst) {
+        int li = leaf_of(p.lhs);
+        ApplyFilter(&leaves[static_cast<size_t>(li)], p);
+        continue;
+      }
+      int li = leaf_of(p.lhs), ri = leaf_of(p.rhs);
+      if (li == ri) {
+        ApplyFilter(&leaves[static_cast<size_t>(li)], p);
+      } else if (p.op == CmpOp::kEq) {
+        cross_eq.push_back(p);
+      } else {
+        residual.push_back(p);
+      }
+    }
+
+    // Greedy join order: start from the smallest leaf, repeatedly join a
+    // leaf connected by an equality, else cross-product the smallest left.
+    std::vector<bool> used(leaves.size(), false);
+    size_t start = 0;
+    for (size_t i = 1; i < leaves.size(); ++i) {
+      if (leaves[i].rows.size() < leaves[start].rows.size()) start = i;
+    }
+    RelData acc = std::move(leaves[start]);
+    used[start] = true;
+    size_t remaining = leaves.size() - 1;
+    std::vector<bool> eq_used(cross_eq.size(), false);
+    while (remaining > 0) {
+      // Find a pending equality connecting acc to an unused leaf.
+      int pick_leaf = -1;
+      std::vector<std::pair<int, int>> join_cols;  // (acc col, leaf col)
+      for (size_t pi = 0; pi < cross_eq.size() && pick_leaf < 0; ++pi) {
+        if (eq_used[pi]) continue;
+        const Predicate& p = cross_eq[pi];
+        for (size_t li = 0; li < leaves.size(); ++li) {
+          if (used[li]) continue;
+          int a_in_acc = acc.ColIdx(p.lhs), b_in_leaf = leaves[li].ColIdx(p.rhs);
+          if (a_in_acc >= 0 && b_in_leaf >= 0) {
+            pick_leaf = static_cast<int>(li);
+            break;
+          }
+          int b_in_acc = acc.ColIdx(p.rhs), a_in_leaf = leaves[li].ColIdx(p.lhs);
+          if (b_in_acc >= 0 && a_in_leaf >= 0) {
+            pick_leaf = static_cast<int>(li);
+            break;
+          }
+        }
+      }
+      if (pick_leaf < 0) {
+        // No equality available: cross product with the smallest remaining.
+        size_t smallest = 0;
+        bool found = false;
+        for (size_t li = 0; li < leaves.size(); ++li) {
+          if (used[li]) continue;
+          if (!found || leaves[li].rows.size() < leaves[smallest].rows.size()) {
+            smallest = li;
+            found = true;
+          }
+        }
+        acc = CrossProduct(acc, leaves[smallest]);
+        used[smallest] = true;
+        --remaining;
+      } else {
+        // Gather *all* pending equalities between acc and this leaf.
+        const RelData& leaf = leaves[static_cast<size_t>(pick_leaf)];
+        for (size_t pi = 0; pi < cross_eq.size(); ++pi) {
+          if (eq_used[pi]) continue;
+          const Predicate& p = cross_eq[pi];
+          int a_in_acc = acc.ColIdx(p.lhs), b_in_leaf = leaf.ColIdx(p.rhs);
+          if (a_in_acc >= 0 && b_in_leaf >= 0) {
+            join_cols.emplace_back(a_in_acc, b_in_leaf);
+            eq_used[pi] = true;
+            continue;
+          }
+          int b_in_acc = acc.ColIdx(p.rhs), a_in_leaf = leaf.ColIdx(p.lhs);
+          if (b_in_acc >= 0 && a_in_leaf >= 0) {
+            join_cols.emplace_back(b_in_acc, a_in_leaf);
+            eq_used[pi] = true;
+          }
+        }
+        acc = HashJoin(acc, leaf, join_cols);
+        used[static_cast<size_t>(pick_leaf)] = true;
+        --remaining;
+      }
+      Count(acc);
+    }
+
+    // Residual conjuncts: anything whose columns only now coexist, plus
+    // equalities that were not usable as joins (both sides in acc already at
+    // pick time they were consumed; any left-over eq applies here).
+    std::vector<Predicate> post;
+    for (size_t pi = 0; pi < cross_eq.size(); ++pi) {
+      if (!eq_used[pi]) post.push_back(cross_eq[pi]);
+    }
+    for (const Predicate& p : residual) post.push_back(p);
+    for (const Predicate& p : post) ApplyFilter(&acc, p);
+    Count(acc);
+    return acc;
+  }
+
+  static void CollectProductLeaves(const RaExpr* node,
+                                   std::vector<const RaExpr*>* out) {
+    if (node->op() == RaOp::kProduct) {
+      CollectProductLeaves(node->left().get(), out);
+      CollectProductLeaves(node->right().get(), out);
+      return;
+    }
+    out->push_back(node);
+  }
+
+  void ApplyFilter(RelData* r, const Predicate& p) {
+    std::vector<Tuple> kept;
+    kept.reserve(r->rows.size());
+    for (Tuple& row : r->rows) {
+      if (RowSatisfies(*r, row, p)) kept.push_back(std::move(row));
+    }
+    r->rows = std::move(kept);
+  }
+
+  RelData CrossProduct(const RelData& a, const RelData& b) {
+    RelData out;
+    out.cols = a.cols;
+    out.cols.insert(out.cols.end(), b.cols.begin(), b.cols.end());
+    out.rows.reserve(a.rows.size() * b.rows.size());
+    for (const Tuple& ra : a.rows) {
+      for (const Tuple& rb : b.rows) {
+        Tuple t = ra;
+        t.insert(t.end(), rb.begin(), rb.end());
+        out.rows.push_back(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  RelData HashJoin(const RelData& a, const RelData& b,
+                   const std::vector<std::pair<int, int>>& join_cols) {
+    RelData out;
+    out.cols = a.cols;
+    out.cols.insert(out.cols.end(), b.cols.begin(), b.cols.end());
+    std::vector<int> a_keys, b_keys;
+    for (auto [ak, bk] : join_cols) {
+      a_keys.push_back(ak);
+      b_keys.push_back(bk);
+    }
+    std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> ht;
+    ht.reserve(b.rows.size());
+    for (const Tuple& rb : b.rows) {
+      ht[ProjectTuple(rb, b_keys)].push_back(&rb);
+    }
+    for (const Tuple& ra : a.rows) {
+      auto it = ht.find(ProjectTuple(ra, a_keys));
+      if (it == ht.end()) continue;
+      for (const Tuple* rb : it->second) {
+        Tuple t = ra;
+        t.insert(t.end(), rb->begin(), rb->end());
+        out.rows.push_back(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  void Count(const RelData& r) {
+    if (stats_ != nullptr) stats_->intermediate_rows += r.rows.size();
+  }
+
+  const NormalizedQuery& query_;
+  const Database& db_;
+  BaselineStats* stats_;
+};
+
+}  // namespace
+
+Result<Table> EvaluateBaseline(const NormalizedQuery& query, const Database& db,
+                               BaselineStats* stats) {
+  BaselineEvaluator ev(query, db, stats);
+  BQE_ASSIGN_OR_RETURN(RelData data, ev.Eval(query.root().get()));
+  // Package as a Table whose schema mirrors the output columns.
+  std::vector<Attribute> attrs;
+  attrs.reserve(data.cols.size());
+  for (const AttrRef& c : data.cols) {
+    BQE_ASSIGN_OR_RETURN(ValueType t, query.TypeOf(c));
+    attrs.push_back(Attribute{c.ToString(), t});
+  }
+  Table out(RelationSchema("result", std::move(attrs)));
+  for (Tuple& row : data.rows) out.InsertUnchecked(std::move(row));
+  if (stats != nullptr) stats->output_rows = out.NumRows();
+  return out;
+}
+
+}  // namespace bqe

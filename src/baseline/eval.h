@@ -1,0 +1,35 @@
+#ifndef BQE_BASELINE_EVAL_H_
+#define BQE_BASELINE_EVAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ra/normalize.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// Cost accounting for the conventional evaluator: `tuples_scanned` counts
+/// every base-table tuple read (the paper's observation is that conventional
+/// engines "fetch entire tuples" and "consistently access entire tables when
+/// there are non-key attributes"); `intermediate_rows` tracks operator
+/// output volume.
+struct BaselineStats {
+  uint64_t tuples_scanned = 0;
+  uint64_t intermediate_rows = 0;
+  uint64_t output_rows = 0;
+};
+
+/// The `evalDBMS` analogue: evaluates a normalized RA query bottom-up over
+/// full base tables, with hash joins for equality predicates so multi-join
+/// queries terminate at benchmark scale, and set semantics throughout.
+///
+/// This evaluator is deliberately *not* access-constraint-aware: its data
+/// access grows with |D|, providing both the experimental baseline and the
+/// correctness oracle for bounded plans.
+Result<Table> EvaluateBaseline(const NormalizedQuery& query, const Database& db,
+                               BaselineStats* stats = nullptr);
+
+}  // namespace bqe
+
+#endif  // BQE_BASELINE_EVAL_H_

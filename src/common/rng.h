@@ -1,0 +1,72 @@
+#ifndef BQE_COMMON_RNG_H_
+#define BQE_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bqe {
+
+/// Deterministic random number helper used by workload generators and
+/// property tests. All randomness in the library flows through explicit
+/// seeds so that every experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Uniformly chosen index into a container of the given size.
+  size_t PickIndex(size_t size) {
+    assert(size > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), gen_);
+  }
+
+  /// Zipf-like skewed integer in [0, n): rank r with probability ~ 1/(r+1).
+  /// Used by data generators to produce realistic value skew.
+  int64_t Skewed(int64_t n) {
+    assert(n > 0);
+    double u = UniformDouble(0.0, 1.0);
+    // Inverse CDF of the (unnormalized) harmonic distribution, approximated.
+    double x = std::pow(static_cast<double>(n) + 1.0, u) - 1.0;
+    int64_t r = static_cast<int64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+  std::mt19937_64& gen() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_COMMON_RNG_H_

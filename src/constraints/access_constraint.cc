@@ -1,0 +1,68 @@
+#include "constraints/access_constraint.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+std::string AccessConstraint::ToString() const {
+  return StrCat(rel, "((", StrJoin(x, ","), ") -> (", StrJoin(y, ","), "), ", n,
+                ")");
+}
+
+Result<AccessConstraint> AccessConstraint::Parse(const std::string& text) {
+  // Shape: REL ( LHS -> RHS , N )
+  std::string t = StrTrim(text);
+  size_t open = t.find('(');
+  size_t close = t.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    return Status::ParseError("access constraint must look like R(X -> Y, N)");
+  }
+  AccessConstraint out;
+  out.rel = StrTrim(t.substr(0, open));
+  if (out.rel.empty()) return Status::ParseError("missing relation name");
+
+  std::string body = t.substr(open + 1, close - open - 1);
+  size_t arrow = body.find("->");
+  if (arrow == std::string::npos) {
+    return Status::ParseError("access constraint must contain '->'");
+  }
+  size_t last_comma = body.rfind(',');
+  if (last_comma == std::string::npos || last_comma < arrow) {
+    return Status::ParseError("access constraint must end with ', N'");
+  }
+
+  auto parse_attrs = [](std::string_view s) {
+    std::vector<std::string> attrs;
+    std::string trimmed = StrTrim(s);
+    // Strip one optional layer of parentheses.
+    if (!trimmed.empty() && trimmed.front() == '(' && trimmed.back() == ')') {
+      trimmed = StrTrim(std::string_view(trimmed).substr(1, trimmed.size() - 2));
+    }
+    if (trimmed.empty()) return attrs;
+    for (const std::string& part : StrSplit(trimmed, ',')) {
+      std::string a = StrTrim(part);
+      if (!a.empty()) attrs.push_back(a);
+    }
+    return attrs;
+  };
+
+  out.x = parse_attrs(std::string_view(body).substr(0, arrow));
+  out.y = parse_attrs(
+      std::string_view(body).substr(arrow + 2, last_comma - arrow - 2));
+  if (out.y.empty()) {
+    return Status::ParseError("access constraint Y side must be non-empty");
+  }
+
+  std::string nstr = StrTrim(std::string_view(body).substr(last_comma + 1));
+  int64_t n = 0;
+  auto [p, ec] = std::from_chars(nstr.data(), nstr.data() + nstr.size(), n);
+  if (ec != std::errc() || p != nstr.data() + nstr.size() || n < 1) {
+    return Status::ParseError(StrCat("invalid cardinality bound '", nstr, "'"));
+  }
+  out.n = n;
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,46 @@
+#ifndef BQE_CONSTRAINTS_ACCESS_CONSTRAINT_H_
+#define BQE_CONSTRAINTS_ACCESS_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bqe {
+
+/// An access constraint psi = R(X -> Y, N) (Section 2): a cardinality
+/// constraint — every X-value has at most N distinct Y-values in any
+/// instance satisfying it — paired with an index that retrieves those
+/// Y-values by accessing at most N tuples.
+///
+/// `rel` names a relation schema, or a relation *occurrence* after
+/// actualization onto a query (Lemma 1); `source_id` then links the
+/// actualized copy back to the original constraint.
+struct AccessConstraint {
+  std::string rel;
+  std::vector<std::string> x;  ///< May be empty: R(∅ -> Y, N).
+  std::vector<std::string> y;  ///< Non-empty.
+  int64_t n = 1;
+
+  int id = -1;         ///< Position within its AccessSchema.
+  int source_id = -1;  ///< For actualized constraints: id in the original A.
+
+  /// True when X = Y and N = 1 (the paper's "indexing constraint").
+  bool IsIndexingConstraint() const { return x == y && n == 1; }
+  /// True when |X| = |Y| = 1 (the paper's "unit constraint").
+  bool IsUnitConstraint() const { return x.size() == 1 && y.size() == 1; }
+
+  /// Total length |psi| (the paper's |A| sums these).
+  size_t Length() const { return x.size() + y.size() + 1; }
+
+  /// "R((a,b) -> (c), 42)".
+  std::string ToString() const;
+
+  /// Parses "R(a,b -> c,d, N)" or "R(() -> c, N)"; whitespace-insensitive.
+  static Result<AccessConstraint> Parse(const std::string& text);
+};
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_ACCESS_CONSTRAINT_H_

@@ -1,0 +1,87 @@
+#include "constraints/access_schema.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Status AccessSchema::Add(AccessConstraint c, const Catalog& catalog) {
+  BQE_ASSIGN_OR_RETURN(const RelationSchema* schema, catalog.Require(c.rel));
+  for (const std::string& a : c.x) {
+    if (!schema->HasAttr(a)) {
+      return Status::InvalidArgument(
+          StrCat("constraint ", c.ToString(), ": relation '", c.rel,
+                 "' has no attribute '", a, "'"));
+    }
+  }
+  for (const std::string& a : c.y) {
+    if (!schema->HasAttr(a)) {
+      return Status::InvalidArgument(
+          StrCat("constraint ", c.ToString(), ": relation '", c.rel,
+                 "' has no attribute '", a, "'"));
+    }
+  }
+  if (c.y.empty()) {
+    return Status::InvalidArgument("constraint Y side must be non-empty");
+  }
+  if (c.n < 1) {
+    return Status::InvalidArgument("cardinality bound must be >= 1");
+  }
+  AddUnchecked(std::move(c));
+  return Status::Ok();
+}
+
+int AccessSchema::AddUnchecked(AccessConstraint c) {
+  int id = static_cast<int>(constraints_.size());
+  c.id = id;
+  by_relation_[c.rel].push_back(id);
+  constraints_.push_back(std::move(c));
+  return id;
+}
+
+Status AccessSchema::SetBound(int id, int64_t n) {
+  if (id < 0 || id >= static_cast<int>(constraints_.size())) {
+    return Status::OutOfRange(StrCat("no constraint with id ", id));
+  }
+  if (n < 1) return Status::InvalidArgument("cardinality bound must be >= 1");
+  constraints_[static_cast<size_t>(id)].n = n;
+  return Status::Ok();
+}
+
+std::vector<int> AccessSchema::ForRelation(const std::string& rel) const {
+  auto it = by_relation_.find(rel);
+  return it == by_relation_.end() ? std::vector<int>{} : it->second;
+}
+
+size_t AccessSchema::TotalLength() const {
+  size_t len = 0;
+  for (const AccessConstraint& c : constraints_) len += c.Length();
+  return len;
+}
+
+int64_t AccessSchema::TotalN() const {
+  int64_t n = 0;
+  for (const AccessConstraint& c : constraints_) n += c.n;
+  return n;
+}
+
+AccessSchema AccessSchema::Subset(const std::vector<int>& ids) const {
+  AccessSchema out;
+  for (int id : ids) {
+    AccessConstraint c = at(id);
+    // Remember provenance so minimization results can be reported in terms
+    // of the original schema.
+    if (c.source_id < 0) c.source_id = id;
+    out.AddUnchecked(std::move(c));
+  }
+  return out;
+}
+
+std::string AccessSchema::ToString() const {
+  std::string out;
+  for (const AccessConstraint& c : constraints_) {
+    out += StrCat("psi", c.id, ": ", c.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,59 @@
+#ifndef BQE_CONSTRAINTS_ACCESS_SCHEMA_H_
+#define BQE_CONSTRAINTS_ACCESS_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_constraint.h"
+#include "storage/catalog.h"
+
+namespace bqe {
+
+/// A set A of access constraints over a relational schema (Section 2).
+/// Constraints get dense ids on insertion; `ForRelation` gives the ids of
+/// all constraints on one relation (occurrence).
+class AccessSchema {
+ public:
+  AccessSchema() = default;
+
+  /// Validates attribute names against `catalog` and appends; assigns id.
+  Status Add(AccessConstraint c, const Catalog& catalog);
+
+  /// Appends without catalog validation (used for actualized schemas whose
+  /// relation names are occurrence names).
+  int AddUnchecked(AccessConstraint c);
+
+  const std::vector<AccessConstraint>& constraints() const { return constraints_; }
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  const AccessConstraint& at(int id) const {
+    return constraints_[static_cast<size_t>(id)];
+  }
+
+  /// Updates the cardinality bound of constraint `id` (used by incremental
+  /// maintenance under OverflowPolicy::kGrow).
+  Status SetBound(int id, int64_t n);
+
+  /// Ids of constraints whose relation is `rel`.
+  std::vector<int> ForRelation(const std::string& rel) const;
+
+  /// The paper's ||A|| is size(); |A| is TotalLength(); Sigma N is TotalN().
+  size_t TotalLength() const;
+  int64_t TotalN() const;
+
+  /// Subset restricted to the given original ids (ids are re-assigned).
+  AccessSchema Subset(const std::vector<int>& ids) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AccessConstraint> constraints_;
+  std::map<std::string, std::vector<int>> by_relation_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_ACCESS_SCHEMA_H_

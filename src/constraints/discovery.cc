@@ -1,0 +1,156 @@
+#include "constraints/discovery.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace bqe {
+
+namespace {
+
+/// Maximum number of distinct Y-projections per X-group.
+int64_t MaxGroupCount(const Table& table, const std::vector<int>& x_idx,
+                      const std::vector<int>& y_idx) {
+  std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHash>, TupleHash>
+      groups;
+  for (const Tuple& row : table.rows()) {
+    groups[ProjectTuple(row, x_idx)].insert(ProjectTuple(row, y_idx));
+  }
+  size_t max_size = 0;
+  for (const auto& [key, ys] : groups) {
+    if (ys.size() > max_size) max_size = ys.size();
+  }
+  return static_cast<int64_t>(max_size);
+}
+
+/// All sorted index subsets of {0..arity-1} with size in [1, max_size].
+void EnumerateSubsets(int arity, int max_size, std::vector<std::vector<int>>* out) {
+  std::vector<int> cur;
+  // Iterative DFS over combinations.
+  std::function<void(int)> rec = [&](int start) {
+    if (!cur.empty()) out->push_back(cur);
+    if (static_cast<int>(cur.size()) == max_size) return;
+    for (int i = start; i < arity; ++i) {
+      cur.push_back(i);
+      rec(i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::vector<AccessConstraint> DiscoverConstraints(const Table& table,
+                                                  const DiscoveryOptions& opts) {
+  std::vector<AccessConstraint> out;
+  const RelationSchema& schema = table.schema();
+  const int arity = static_cast<int>(schema.arity());
+  const int64_t sample = static_cast<int64_t>(table.NumRows());
+  const int64_t n_cap = std::min<int64_t>(
+      opts.max_n_absolute,
+      std::max<int64_t>(
+          1, static_cast<int64_t>(opts.max_n_fraction *
+                                  static_cast<double>(sample))));
+
+  // (1) Finite domains: R(() -> A, N) when A has few distinct values.
+  if (opts.find_constant_domains) {
+    std::map<int64_t, std::vector<std::string>> by_count;
+    for (int a = 0; a < arity; ++a) {
+      std::unordered_set<Value, ValueHash> distinct;
+      for (const Tuple& row : table.rows()) {
+        distinct.insert(row[static_cast<size_t>(a)]);
+        if (static_cast<int64_t>(distinct.size()) > opts.max_domain) break;
+      }
+      int64_t count = static_cast<int64_t>(distinct.size());
+      if (count >= 1 && count <= opts.max_domain) {
+        by_count[count].push_back(schema.attrs()[static_cast<size_t>(a)].name);
+      }
+    }
+    for (auto& [count, attrs] : by_count) {
+      AccessConstraint c;
+      c.rel = schema.name();
+      c.y = std::move(attrs);
+      // Equal per-attribute domain sizes do not bound the combined tuple
+      // count; recompute it for the merged Y set.
+      std::vector<int> y_idx;
+      for (const std::string& a : c.y) y_idx.push_back(schema.AttrIndex(a));
+      c.n = MaxGroupCount(table, {}, y_idx);
+      if (c.n < 1 || c.n > opts.max_domain) continue;
+      out.push_back(std::move(c));
+    }
+  }
+
+  // (2) Candidate X sets by increasing size; prune supersets of X sets that
+  //     already determine an attribute within the cap (minimality).
+  std::vector<std::vector<int>> candidates;
+  EnumerateSubsets(arity, opts.max_lhs, &candidates);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     return a.size() < b.size();
+                   });
+
+  // covered_by_smaller[y] holds the X sets already emitting constraints
+  // X -> y; a superset of any of them is skipped when minimal_only.
+  std::vector<std::vector<std::vector<int>>> covered_by_smaller(
+      static_cast<size_t>(arity));
+  auto is_superset_of_covered = [&](const std::vector<int>& x, int y) {
+    for (const std::vector<int>& smaller : covered_by_smaller[static_cast<size_t>(y)]) {
+      if (std::includes(x.begin(), x.end(), smaller.begin(), smaller.end())) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const std::vector<int>& x_idx : candidates) {
+    // Group the Y candidates of this X by their observed bound N so that
+    // attributes with equal N merge into one constraint.
+    std::map<int64_t, std::vector<std::string>> merged;
+    for (int y = 0; y < arity; ++y) {
+      if (std::find(x_idx.begin(), x_idx.end(), y) != x_idx.end()) continue;
+      if (opts.minimal_only && is_superset_of_covered(x_idx, y)) continue;
+      int64_t n = MaxGroupCount(table, x_idx, {y});
+      if (n < 1 || n > n_cap) continue;
+      merged[n].push_back(schema.attrs()[static_cast<size_t>(y)].name);
+      covered_by_smaller[static_cast<size_t>(y)].push_back(x_idx);
+    }
+    for (auto& [n, ys] : merged) {
+      AccessConstraint c;
+      c.rel = schema.name();
+      for (int i : x_idx) {
+        c.x.push_back(schema.attrs()[static_cast<size_t>(i)].name);
+      }
+      c.y = std::move(ys);
+      if (c.y.size() == 1) {
+        c.n = n;
+      } else {
+        // Recompute for the merged Y set (see the finite-domain case).
+        std::vector<int> y_idx;
+        for (const std::string& a : c.y) y_idx.push_back(schema.AttrIndex(a));
+        c.n = MaxGroupCount(table, x_idx, y_idx);
+        if (c.n > n_cap) {
+          // Fall back to one constraint per attribute.
+          for (const std::string& a : c.y) {
+            AccessConstraint single;
+            single.rel = schema.name();
+            single.x = c.x;
+            single.y = {a};
+            single.n = n;
+            out.push_back(std::move(single));
+          }
+          continue;
+        }
+      }
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace bqe

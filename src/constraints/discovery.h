@@ -1,0 +1,46 @@
+#ifndef BQE_CONSTRAINTS_DISCOVERY_H_
+#define BQE_CONSTRAINTS_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_constraint.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// Knobs for access-constraint discovery (Section 7(1a)).
+struct DiscoveryOptions {
+  /// Maximum number of attributes on the X side.
+  int max_lhs = 2;
+  /// A candidate R(X -> Y, N) is kept only when N <= max_n_absolute and
+  /// N <= max_n_fraction * |sample|; both bound the usefulness of the
+  /// constraint for bounded plans.
+  int64_t max_n_absolute = 1000;
+  double max_n_fraction = 0.2;
+  /// Emit R(() -> X, N) constraints for small finite domains
+  /// (e.g. 12 months per year).
+  bool find_constant_domains = true;
+  int64_t max_domain = 64;
+  /// Keep only LHS-minimal constraints: drop R(XZ -> Y, N') when some
+  /// discovered R(X -> Y, N) exists.
+  bool minimal_only = true;
+};
+
+/// Mines access constraints from (a sample of) one relation instance, in the
+/// style of TANE-like dependency discovery adapted to cardinality
+/// constraints: candidate X sets (|X| <= max_lhs) are evaluated by hash
+/// partitioning; for every X the per-attribute maximum group count
+/// max_a |D_A(X = a)| yields a candidate R(X -> A, N).
+///
+/// Y sides with identical X and N are merged into one constraint
+/// (R(X -> Y, N) with Y the union), matching how the paper writes e.g.
+/// dine((pid,cid) -> (pid,cid), 1). Functional dependencies surface as the
+/// N = 1 special case. The discovered N values hold on the given sample;
+/// maintenance (Proposition 12) adjusts them under updates.
+std::vector<AccessConstraint> DiscoverConstraints(const Table& table,
+                                                  const DiscoveryOptions& opts);
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_DISCOVERY_H_

@@ -1,0 +1,140 @@
+#include "constraints/index.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Tuple AccessIndex::KeyOf(const Tuple& row) const {
+  return ProjectTuple(row, x_idx_);
+}
+
+Tuple AccessIndex::EntryOf(const Tuple& row) const {
+  Tuple e = ProjectTuple(row, x_idx_);
+  Tuple y = ProjectTuple(row, y_idx_);
+  e.insert(e.end(), y.begin(), y.end());
+  return e;
+}
+
+Result<AccessIndex> AccessIndex::Build(const Table& table,
+                                       const AccessConstraint& constraint) {
+  AccessIndex idx;
+  idx.constraint_ = constraint;
+  const RelationSchema& schema = table.schema();
+  for (const std::string& a : constraint.x) {
+    BQE_ASSIGN_OR_RETURN(int i, schema.RequireAttr(a));
+    idx.x_idx_.push_back(i);
+  }
+  for (const std::string& a : constraint.y) {
+    BQE_ASSIGN_OR_RETURN(int i, schema.RequireAttr(a));
+    idx.y_idx_.push_back(i);
+  }
+  for (const Tuple& row : table.rows()) {
+    BQE_RETURN_IF_ERROR(idx.ApplyInsert(row));
+  }
+  return idx;
+}
+
+std::vector<Tuple> AccessIndex::Fetch(const Tuple& xkey,
+                                      uint64_t* accessed) const {
+  std::vector<Tuple> out;
+  auto it = buckets_.find(xkey);
+  if (it == buckets_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [entry, refcount] : it->second) out.push_back(entry);
+  if (accessed != nullptr) *accessed += out.size();
+  return out;
+}
+
+int64_t AccessIndex::MaxGroupSize() const {
+  size_t max_size = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.size() > max_size) max_size = bucket.size();
+  }
+  return static_cast<int64_t>(max_size);
+}
+
+Status AccessIndex::ApplyInsert(const Tuple& row) {
+  auto& bucket = buckets_[KeyOf(row)];
+  auto [it, inserted] = bucket.emplace(EntryOf(row), 0);
+  ++it->second;
+  if (inserted) {
+    ++num_entries_;
+    if (static_cast<int64_t>(bucket.size()) == constraint_.n + 1) {
+      ++violating_keys_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AccessIndex::ApplyDelete(const Tuple& row) {
+  Tuple key = KeyOf(row);
+  auto bit = buckets_.find(key);
+  if (bit == buckets_.end()) {
+    return Status::NotFound(
+        StrCat("delete of row not present in index for ", constraint_.ToString()));
+  }
+  auto& bucket = bit->second;
+  auto it = bucket.find(EntryOf(row));
+  if (it == bucket.end()) {
+    return Status::NotFound(
+        StrCat("delete of row not present in index for ", constraint_.ToString()));
+  }
+  if (--it->second == 0) {
+    if (static_cast<int64_t>(bucket.size()) == constraint_.n + 1) {
+      --violating_keys_;
+    }
+    bucket.erase(it);
+    --num_entries_;
+    if (bucket.empty()) buckets_.erase(bit);
+  }
+  return Status::Ok();
+}
+
+void AccessIndex::SetBound(int64_t n) {
+  constraint_.n = n;
+  violating_keys_ = 0;
+  for (const auto& [key, bucket] : buckets_) {
+    if (static_cast<int64_t>(bucket.size()) > n) ++violating_keys_;
+  }
+}
+
+Result<IndexSet> IndexSet::Build(const Database& db, const AccessSchema& schema) {
+  IndexSet set;
+  for (const AccessConstraint& c : schema.constraints()) {
+    BQE_ASSIGN_OR_RETURN(const Table* table, db.Require(c.rel));
+    BQE_ASSIGN_OR_RETURN(AccessIndex idx, AccessIndex::Build(*table, c));
+    set.indices_.push_back(std::make_unique<AccessIndex>(std::move(idx)));
+  }
+  return set;
+}
+
+const AccessIndex* IndexSet::Get(int constraint_id) const {
+  if (constraint_id < 0 ||
+      constraint_id >= static_cast<int>(indices_.size())) {
+    return nullptr;
+  }
+  return indices_[static_cast<size_t>(constraint_id)].get();
+}
+
+AccessIndex* IndexSet::GetMutable(int constraint_id) {
+  if (constraint_id < 0 ||
+      constraint_id >= static_cast<int>(indices_.size())) {
+    return nullptr;
+  }
+  return indices_[static_cast<size_t>(constraint_id)].get();
+}
+
+size_t IndexSet::TotalEntries() const {
+  size_t n = 0;
+  for (const auto& idx : indices_) n += idx->NumEntries();
+  return n;
+}
+
+bool IndexSet::HasViolation() const {
+  for (const auto& idx : indices_) {
+    if (idx->HasViolation()) return true;
+  }
+  return false;
+}
+
+}  // namespace bqe

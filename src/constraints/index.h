@@ -1,0 +1,92 @@
+#ifndef BQE_CONSTRAINTS_INDEX_H_
+#define BQE_CONSTRAINTS_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_constraint.h"
+#include "constraints/access_schema.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// The index embedded in one access constraint R(X -> Y, N) (Section 7):
+/// a hash map from X-values to the distinct XY-projections that occur in the
+/// instance, i.e. the partial table T_XY with a hash index on X. Entries are
+/// reference-counted so tuple deletions maintain distinctness exactly
+/// (Proposition 12).
+class AccessIndex {
+ public:
+  /// Builds the index for `constraint` over `table` in O(|table|) time.
+  static Result<AccessIndex> Build(const Table& table,
+                                   const AccessConstraint& constraint);
+
+  const AccessConstraint& constraint() const { return constraint_; }
+
+  /// The distinct XY-rows for one X-value; at most `violation_` many more
+  /// than N when the instance violates the constraint. The returned rows
+  /// are X columns followed by Y columns (constraint attribute order).
+  /// `accessed` (optional) is incremented by the number of rows returned.
+  std::vector<Tuple> Fetch(const Tuple& xkey, uint64_t* accessed = nullptr) const;
+
+  /// True if some X-value currently exceeds N distinct Y-values.
+  bool HasViolation() const { return violating_keys_ > 0; }
+
+  /// Maximum group size currently present (the tight N for this instance).
+  int64_t MaxGroupSize() const;
+
+  /// Number of (X, XY-row) entries — the index footprint in tuples.
+  size_t NumEntries() const { return num_entries_; }
+  size_t NumKeys() const { return buckets_.size(); }
+
+  /// Incremental maintenance on a base-table insert/delete of `row`
+  /// (full-width row of the indexed relation). O(1) expected per call.
+  Status ApplyInsert(const Tuple& row);
+  Status ApplyDelete(const Tuple& row);
+
+  /// Raises/lowers the cardinality bound and recomputes the violation count
+  /// (O(number of keys); used only on rare maintenance events).
+  void SetBound(int64_t n);
+
+ private:
+  AccessIndex() = default;
+
+  Tuple KeyOf(const Tuple& row) const;
+  Tuple EntryOf(const Tuple& row) const;
+
+  AccessConstraint constraint_;
+  std::vector<int> x_idx_;   // Column indices of X in the base schema.
+  std::vector<int> y_idx_;   // Column indices of Y.
+  // X-value -> (XY-row -> refcount).
+  std::unordered_map<Tuple, std::map<Tuple, int64_t, TupleLess>, TupleHash> buckets_;
+  size_t num_entries_ = 0;
+  size_t violating_keys_ = 0;
+};
+
+/// All indices I_A for an access schema over a database.
+class IndexSet {
+ public:
+  /// Builds one AccessIndex per constraint; O(||A|| * |D|) total, matching
+  /// Section 7. Fails if a constraint references unknown relations/attrs.
+  static Result<IndexSet> Build(const Database& db, const AccessSchema& schema);
+
+  const AccessIndex* Get(int constraint_id) const;
+  AccessIndex* GetMutable(int constraint_id);
+
+  size_t TotalEntries() const;
+  size_t size() const { return indices_.size(); }
+
+  /// True when any index currently sees a cardinality violation.
+  bool HasViolation() const;
+
+ private:
+  std::vector<std::unique_ptr<AccessIndex>> indices_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_INDEX_H_

@@ -1,0 +1,57 @@
+#include "constraints/maintain.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
+                                     IndexSet* indices,
+                                     const std::vector<Delta>& deltas,
+                                     OverflowPolicy policy) {
+  MaintenanceStats stats;
+  // Precompute constraint ids per relation once; deltas then touch only the
+  // indices of their own relation.
+  for (const Delta& d : deltas) {
+    Table* table = db->GetMutable(d.rel);
+    if (table == nullptr) {
+      return Status::NotFound(StrCat("delta references unknown table '", d.rel,
+                                     "'"));
+    }
+    std::vector<int> cids = schema->ForRelation(d.rel);
+    if (d.kind == Delta::Kind::kInsert) {
+      BQE_RETURN_IF_ERROR(table->Insert(d.row));
+      ++stats.inserts;
+      for (int cid : cids) {
+        AccessIndex* idx = indices->GetMutable(cid);
+        if (idx == nullptr) continue;
+        BQE_RETURN_IF_ERROR(idx->ApplyInsert(d.row));
+        ++stats.index_updates;
+        if (idx->HasViolation()) {
+          if (policy == OverflowPolicy::kStrict) {
+            return Status::ConstraintViolation(
+                StrCat("insert into '", d.rel, "' violates ",
+                       schema->at(cid).ToString()));
+          }
+          // kGrow: raise N to the observed maximum. The stored entries are
+          // unchanged (the index keeps all distinct Y per X anyway).
+          int64_t new_n = idx->MaxGroupSize();
+          BQE_RETURN_IF_ERROR(schema->SetBound(cid, new_n));
+          idx->SetBound(new_n);
+          ++stats.constraints_grown;
+        }
+      }
+    } else {
+      BQE_RETURN_IF_ERROR(table->Erase(d.row));
+      ++stats.deletes;
+      for (int cid : cids) {
+        AccessIndex* idx = indices->GetMutable(cid);
+        if (idx == nullptr) continue;
+        BQE_RETURN_IF_ERROR(idx->ApplyDelete(d.row));
+        ++stats.index_updates;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace bqe

@@ -1,0 +1,58 @@
+#ifndef BQE_CONSTRAINTS_MAINTAIN_H_
+#define BQE_CONSTRAINTS_MAINTAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "constraints/index.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// One update of Delta-D: a tuple insertion or deletion.
+struct Delta {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  std::string rel;
+  Tuple row;
+
+  static Delta Insert(std::string rel, Tuple row) {
+    return Delta{Kind::kInsert, std::move(rel), std::move(row)};
+  }
+  static Delta Delete(std::string rel, Tuple row) {
+    return Delta{Kind::kDelete, std::move(rel), std::move(row)};
+  }
+};
+
+/// What to do when an insertion pushes a group past its bound N
+/// (Section 7(1c): discovered constraints "may change ... and are thus
+/// maintained").
+enum class OverflowPolicy {
+  kStrict,  ///< Reject the batch with ConstraintViolation.
+  kGrow,    ///< Raise N to the new group size (maintaining A itself).
+};
+
+struct MaintenanceStats {
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t index_updates = 0;       ///< Per-constraint index touches.
+  size_t constraints_grown = 0;   ///< Constraints whose N was raised (kGrow).
+};
+
+/// Applies Delta-D to the database, the indices I_A and (under kGrow) the
+/// schema A itself. Per Proposition 12 the work is O(N_A * |Delta-D|):
+/// each delta touches each index of its relation once, in O(1) expected.
+///
+/// Under kStrict, the function stops at the first violating insert and
+/// returns ConstraintViolation; previously applied deltas stay applied
+/// (callers that need atomicity batch-validate first).
+Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
+                                     IndexSet* indices,
+                                     const std::vector<Delta>& deltas,
+                                     OverflowPolicy policy);
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_MAINTAIN_H_

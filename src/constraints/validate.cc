@@ -1,0 +1,58 @@
+#include "constraints/validate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace bqe {
+
+std::string ValidationReport::ToString() const {
+  std::string out = satisfied ? "D |= A\n" : "D does NOT satisfy A\n";
+  for (const ConstraintCheck& c : checks) {
+    out += StrCat("  psi", c.constraint_id, ": ",
+                  c.satisfied ? "ok" : "VIOLATED", " (max group ", c.max_group,
+                  c.example_key.empty() ? "" : ", e.g. key " + c.example_key,
+                  ")\n");
+  }
+  return out;
+}
+
+Result<ValidationReport> Validate(const Database& db,
+                                  const AccessSchema& schema) {
+  ValidationReport report;
+  for (const AccessConstraint& c : schema.constraints()) {
+    BQE_ASSIGN_OR_RETURN(const Table* table, db.Require(c.rel));
+    const RelationSchema& rs = table->schema();
+    std::vector<int> x_idx, y_idx;
+    for (const std::string& a : c.x) {
+      BQE_ASSIGN_OR_RETURN(int i, rs.RequireAttr(a));
+      x_idx.push_back(i);
+    }
+    for (const std::string& a : c.y) {
+      BQE_ASSIGN_OR_RETURN(int i, rs.RequireAttr(a));
+      y_idx.push_back(i);
+    }
+    std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHash>, TupleHash>
+        groups;
+    for (const Tuple& row : table->rows()) {
+      groups[ProjectTuple(row, x_idx)].insert(ProjectTuple(row, y_idx));
+    }
+    ConstraintCheck check;
+    check.constraint_id = c.id;
+    for (const auto& [key, ys] : groups) {
+      int64_t size = static_cast<int64_t>(ys.size());
+      if (size > check.max_group) check.max_group = size;
+      if (size > c.n && check.example_key.empty()) {
+        check.satisfied = false;
+        check.example_key = TupleToString(key);
+      }
+    }
+    if (!check.satisfied) report.satisfied = false;
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+}  // namespace bqe

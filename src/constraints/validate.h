@@ -1,0 +1,36 @@
+#ifndef BQE_CONSTRAINTS_VALIDATE_H_
+#define BQE_CONSTRAINTS_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// Outcome of checking one constraint against the instance.
+struct ConstraintCheck {
+  int constraint_id = -1;
+  bool satisfied = true;
+  int64_t max_group = 0;       ///< Largest |D_Y(X = a)| observed.
+  std::string example_key;     ///< A violating X-value, when unsatisfied.
+};
+
+/// Result of checking D |= A.
+struct ValidationReport {
+  bool satisfied = true;
+  std::vector<ConstraintCheck> checks;
+
+  std::string ToString() const;
+};
+
+/// Checks whether the database satisfies every constraint of the schema
+/// (the "D |= A" relation of Section 2), by group-by-X counting of distinct
+/// Y projections. O(|A| * |D|).
+Result<ValidationReport> Validate(const Database& db, const AccessSchema& schema);
+
+}  // namespace bqe
+
+#endif  // BQE_CONSTRAINTS_VALIDATE_H_

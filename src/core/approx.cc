@@ -1,0 +1,255 @@
+#include "core/approx.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "baseline/eval.h"
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace bqe {
+
+namespace {
+
+/// Set of tuples with positional semantics.
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+TupleSet ToSet(const Table& t) {
+  return TupleSet(t.rows().begin(), t.rows().end());
+}
+
+/// True if the subtree contains a set-difference operator.
+bool HasDiff(const RaExpr* node) {
+  if (node->op() == RaOp::kDiff) return true;
+  if (node->left() && HasDiff(node->left().get())) return true;
+  if (node->right() && HasDiff(node->right().get())) return true;
+  return false;
+}
+
+/// Base relation names referenced under a node.
+void CollectBases(const RaExpr* node, std::set<std::string>* out) {
+  if (node->op() == RaOp::kRel) {
+    out->insert(node->base());
+    return;
+  }
+  if (node->left()) CollectBases(node->left().get(), out);
+  if (node->right()) CollectBases(node->right().get(), out);
+}
+
+struct Envelope {
+  std::vector<Tuple> certain;
+  std::vector<Tuple> possible;
+  bool complete = true;
+};
+
+void Dedup(std::vector<Tuple>* rows) {
+  TupleSet seen;
+  std::vector<Tuple> out;
+  for (Tuple& r : *rows) {
+    if (seen.insert(r).second) out.push_back(std::move(r));
+  }
+  *rows = std::move(out);
+}
+
+class ApproxEvaluator {
+ public:
+  ApproxEvaluator(const NormalizedQuery& query, const Database& frag,
+                  const std::set<std::string>& truncated)
+      : query_(query), frag_(frag), truncated_(truncated) {}
+
+  Result<Envelope> Go(const RaExprPtr& node) {
+    // Monotone subtrees evaluate directly over the fragments: the result
+    // is a certain subset of the true answer.
+    if (!HasDiff(node.get())) {
+      BQE_ASSIGN_OR_RETURN(NormalizedQuery sub,
+                           Normalize(node, query_.catalog()));
+      BQE_ASSIGN_OR_RETURN(Table t, EvaluateBaseline(sub, frag_, nullptr));
+      Envelope env;
+      env.certain = t.rows();
+      std::set<std::string> bases;
+      CollectBases(node.get(), &bases);
+      for (const std::string& b : bases) {
+        if (truncated_.count(b) > 0) env.complete = false;
+      }
+      return env;
+    }
+    switch (node->op()) {
+      case RaOp::kUnion: {
+        BQE_ASSIGN_OR_RETURN(Envelope l, Go(node->left()));
+        BQE_ASSIGN_OR_RETURN(Envelope r, Go(node->right()));
+        Envelope env;
+        env.certain = std::move(l.certain);
+        env.certain.insert(env.certain.end(), r.certain.begin(),
+                           r.certain.end());
+        Dedup(&env.certain);
+        TupleSet certain = ToSet(TableOf(env.certain));
+        for (const Tuple& t : l.possible) {
+          if (certain.count(t) == 0) env.possible.push_back(t);
+        }
+        for (const Tuple& t : r.possible) {
+          if (certain.count(t) == 0) env.possible.push_back(t);
+        }
+        Dedup(&env.possible);
+        env.complete = l.complete && r.complete;
+        return env;
+      }
+      case RaOp::kDiff: {
+        BQE_ASSIGN_OR_RETURN(Envelope l, Go(node->left()));
+        BQE_ASSIGN_OR_RETURN(Envelope r, Go(node->right()));
+        Envelope env;
+        TupleSet r_certain(r.certain.begin(), r.certain.end());
+        TupleSet r_any = r_certain;
+        r_any.insert(r.possible.begin(), r.possible.end());
+        if (r.complete) {
+          // R's fragment answer is exact: exclusion decisions are final.
+          for (const Tuple& t : l.certain) {
+            if (r_certain.count(t) == 0) env.certain.push_back(t);
+          }
+          for (const Tuple& t : l.possible) {
+            if (r_certain.count(t) == 0) env.possible.push_back(t);
+          }
+        } else {
+          // R may contain unseen rows: only rows already seen in R are
+          // certainly excluded; everything else is merely possible.
+          for (const Tuple& t : l.certain) {
+            if (r_certain.count(t) == 0) env.possible.push_back(t);
+          }
+          for (const Tuple& t : l.possible) {
+            if (r_certain.count(t) == 0) env.possible.push_back(t);
+          }
+          Dedup(&env.possible);
+        }
+        env.complete = l.complete && r.complete;
+        return env;
+      }
+      case RaOp::kSelect: {
+        BQE_ASSIGN_OR_RETURN(Envelope in, Go(node->left()));
+        const std::vector<AttrRef>& scope = query_.OutputOf(node->left().get());
+        Envelope env;
+        env.complete = in.complete;
+        BQE_RETURN_IF_ERROR(Filter(node->preds(), scope, in.certain,
+                                   &env.certain));
+        BQE_RETURN_IF_ERROR(Filter(node->preds(), scope, in.possible,
+                                   &env.possible));
+        return env;
+      }
+      case RaOp::kProject: {
+        BQE_ASSIGN_OR_RETURN(Envelope in, Go(node->left()));
+        const std::vector<AttrRef>& scope = query_.OutputOf(node->left().get());
+        std::vector<int> idx;
+        for (const AttrRef& c : node->cols()) {
+          BQE_ASSIGN_OR_RETURN(int i, IndexIn(scope, c));
+          idx.push_back(i);
+        }
+        Envelope env;
+        env.complete = in.complete;
+        for (const Tuple& t : in.certain) {
+          env.certain.push_back(ProjectTuple(t, idx));
+        }
+        Dedup(&env.certain);
+        TupleSet certain(env.certain.begin(), env.certain.end());
+        for (const Tuple& t : in.possible) {
+          Tuple p = ProjectTuple(t, idx);
+          if (certain.count(p) == 0) env.possible.push_back(std::move(p));
+        }
+        Dedup(&env.possible);
+        return env;
+      }
+      default:
+        // kRel / kProduct containing a diff cannot occur: products of
+        // diffs are not constructible in this algebra (diff operands are
+        // whole queries), and kRel has no children.
+        return Status::Internal("unexpected operator above set difference");
+    }
+  }
+
+ private:
+  static Table TableOf(const std::vector<Tuple>& rows) {
+    Table t;
+    for (const Tuple& r : rows) t.InsertUnchecked(r);
+    return t;
+  }
+
+  static Result<int> IndexIn(const std::vector<AttrRef>& scope,
+                             const AttrRef& a) {
+    for (size_t i = 0; i < scope.size(); ++i) {
+      if (scope[i] == a) return static_cast<int>(i);
+    }
+    return Status::Internal(StrCat("attribute ", a.ToString(), " not in scope"));
+  }
+
+  Status Filter(const std::vector<Predicate>& preds,
+                const std::vector<AttrRef>& scope,
+                const std::vector<Tuple>& in, std::vector<Tuple>* out) {
+    for (const Tuple& row : in) {
+      bool keep = true;
+      for (const Predicate& p : preds) {
+        BQE_ASSIGN_OR_RETURN(int li, IndexIn(scope, p.lhs));
+        const Value& l = row[static_cast<size_t>(li)];
+        bool ok;
+        if (p.kind == Predicate::Kind::kAttrConst) {
+          ok = EvalCmp(p.op, l, p.constant);
+        } else {
+          BQE_ASSIGN_OR_RETURN(int ri, IndexIn(scope, p.rhs));
+          ok = EvalCmp(p.op, l, row[static_cast<size_t>(ri)]);
+        }
+        if (!ok) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out->push_back(row);
+    }
+    return Status::Ok();
+  }
+
+  const NormalizedQuery& query_;
+  const Database& frag_;
+  const std::set<std::string>& truncated_;
+};
+
+}  // namespace
+
+Result<ApproxResult> EvaluateApproximate(const NormalizedQuery& query,
+                                         const Database& db,
+                                         const ApproxOptions& opts) {
+  // Build the fragment database: per referenced base table, at most
+  // budget_per_relation tuples (prefix sample; deterministic).
+  std::set<std::string> bases;
+  CollectBases(query.root().get(), &bases);
+
+  Database frag;
+  ApproxResult out;
+  for (const std::string& base : bases) {
+    BQE_ASSIGN_OR_RETURN(const Table* table, db.Require(base));
+    BQE_RETURN_IF_ERROR(frag.CreateTable(table->schema()));
+    size_t take = table->NumRows();
+    if (take > opts.budget_per_relation) {
+      take = opts.budget_per_relation;
+      out.truncated_tables.push_back(base);
+    }
+    Table* ft = frag.GetMutable(base);
+    for (size_t i = 0; i < take; ++i) ft->InsertUnchecked(table->rows()[i]);
+    out.tuples_accessed += take;
+  }
+  std::set<std::string> truncated(out.truncated_tables.begin(),
+                                  out.truncated_tables.end());
+
+  ApproxEvaluator ev(query, frag, truncated);
+  BQE_ASSIGN_OR_RETURN(Envelope env, ev.Go(query.root()));
+
+  // Package with the query's output schema.
+  std::vector<Attribute> attrs;
+  for (const AttrRef& c : query.OutputOf(query.root().get())) {
+    BQE_ASSIGN_OR_RETURN(ValueType t, query.TypeOf(c));
+    attrs.push_back(Attribute{c.ToString(), t});
+  }
+  out.certain = Table(RelationSchema("certain", attrs));
+  out.possible = Table(RelationSchema("possible", attrs));
+  for (Tuple& t : env.certain) out.certain.InsertUnchecked(std::move(t));
+  for (Tuple& t : env.possible) out.possible.InsertUnchecked(std::move(t));
+  out.exact = truncated.empty();
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,60 @@
+#ifndef BQE_CORE_APPROX_H_
+#define BQE_CORE_APPROX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ra/normalize.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// Budgeted approximate evaluation of non-covered queries — the paper's
+/// stated future work (Section 9): "when a query is not boundedly
+/// evaluable, compute its approximate answers with provable accuracy
+/// bound, by accessing only a small fraction of data".
+///
+/// Scheme: every base table is replaced by a *fragment* of at most
+/// `budget_per_relation` tuples (tables within budget stay complete).
+/// Under set semantics this yields one-sided guarantees:
+///
+///  - SPC and union are monotone, so evaluating them over fragments
+///    returns a **subset** of the true answer: everything reported in
+///    `certain` is in Q(D).
+///  - Set difference L - R is anti-monotone in R: rows of L whose
+///    exclusion depends on a truncated R cannot be decided and are
+///    reported in `possible` instead.
+///
+/// Invariants (tested):   certain ⊆ Q(D) ⊆ certain ∪ possible ∪ U,
+/// where U is empty whenever the *left* inputs were complete; and when no
+/// table was truncated, `exact` is true and certain == Q(D).
+struct ApproxOptions {
+  /// Maximum tuples read per base table.
+  size_t budget_per_relation = 1000;
+};
+
+struct ApproxResult {
+  /// Rows guaranteed to be in Q(D).
+  Table certain;
+  /// Rows found within the budget whose membership in Q(D) could not be
+  /// decided (their exclusion depends on truncated data).
+  Table possible;
+  /// True when no table was truncated — then certain == Q(D) exactly.
+  bool exact = false;
+  /// Total tuples read across fragments.
+  uint64_t tuples_accessed = 0;
+  /// Base tables that hit the budget (culprits of inexactness).
+  std::vector<std::string> truncated_tables;
+};
+
+/// Evaluates `query` with access bounded by `opts.budget_per_relation`
+/// per base table, even when the query is not covered by any schema.
+Result<ApproxResult> EvaluateApproximate(const NormalizedQuery& query,
+                                         const Database& db,
+                                         const ApproxOptions& opts = {});
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_APPROX_H_

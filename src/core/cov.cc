@@ -1,0 +1,252 @@
+#include "core/cov.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "constraints/actualize.h"
+#include "fd/union_find.h"
+
+namespace bqe {
+
+int Unification::ClassOf(const AttrRef& ref) const {
+  auto it = attr_id.find(ref);
+  if (it == attr_id.end()) return -1;
+  return class_of_attr[static_cast<size_t>(it->second)];
+}
+
+Result<Unification> UnifySpc(const SpcQuery& spc, const NormalizedQuery& query) {
+  Unification uni;
+  // Register every attribute of every occurrence's *full* base schema:
+  // access constraints may mention attributes outside X_Q.
+  for (const std::string& occ : spc.relations) {
+    BQE_ASSIGN_OR_RETURN(std::vector<AttrRef> attrs, query.SchemaAttrsOf(occ));
+    for (AttrRef& a : attrs) {
+      int id = static_cast<int>(uni.attrs.size());
+      uni.attr_id.emplace(a, id);
+      uni.attrs.push_back(std::move(a));
+    }
+  }
+
+  UnionFind uf(static_cast<int>(uni.attrs.size()));
+  for (const Predicate& p : spc.conjuncts) {
+    if (!p.is_equality() || p.kind != Predicate::Kind::kAttrAttr) continue;
+    auto li = uni.attr_id.find(p.lhs);
+    auto ri = uni.attr_id.find(p.rhs);
+    if (li == uni.attr_id.end() || ri == uni.attr_id.end()) {
+      return Status::Internal(
+          StrCat("predicate ", p.ToString(), " references unknown attribute"));
+    }
+    uf.Union(li->second, ri->second);
+  }
+
+  uni.class_of_attr = uf.DenseClassIds();
+  uni.num_classes = uf.NumClasses();
+  uni.class_has_const.assign(static_cast<size_t>(uni.num_classes), false);
+  uni.class_const.assign(static_cast<size_t>(uni.num_classes), Value());
+  uni.class_name.assign(static_cast<size_t>(uni.num_classes), "");
+
+  for (size_t i = 0; i < uni.attrs.size(); ++i) {
+    int c = uni.class_of_attr[i];
+    if (uni.class_name[static_cast<size_t>(c)].empty()) {
+      uni.class_name[static_cast<size_t>(c)] = uni.attrs[i].ToString();
+    }
+  }
+
+  for (const Predicate& p : spc.conjuncts) {
+    if (!p.is_equality() || p.kind != Predicate::Kind::kAttrConst) continue;
+    int c = uni.ClassOf(p.lhs);
+    if (c < 0) {
+      return Status::Internal(
+          StrCat("predicate ", p.ToString(), " references unknown attribute"));
+    }
+    if (uni.class_has_const[static_cast<size_t>(c)]) {
+      if (uni.class_const[static_cast<size_t>(c)] != p.constant) {
+        uni.unsatisfiable = true;  // A = c1 and A = c2 with c1 != c2.
+      }
+    } else {
+      uni.class_has_const[static_cast<size_t>(c)] = true;
+      uni.class_const[static_cast<size_t>(c)] = p.constant;
+    }
+  }
+  return uni;
+}
+
+namespace {
+
+/// Builds Sigma_{Qs,A}: one induced FD rho_U(S[X]) -> rho_U(S[Y]) per
+/// actualized constraint on an occurrence of the sub-query.
+std::vector<Fd> BuildInducedFds(const SpcQuery& spc, const Unification& uni,
+                                const AccessSchema& actualized) {
+  std::vector<Fd> fds;
+  std::set<std::string> rels(spc.relations.begin(), spc.relations.end());
+  for (const AccessConstraint& c : actualized.constraints()) {
+    if (rels.count(c.rel) == 0) continue;
+    Fd fd;
+    fd.constraint_id = c.id;
+    bool valid = true;
+    for (const std::string& a : c.x) {
+      int cls = uni.ClassOf(AttrRef{c.rel, a});
+      if (cls < 0) {
+        valid = false;
+        break;
+      }
+      fd.lhs.push_back(cls);
+    }
+    for (const std::string& a : c.y) {
+      int cls = uni.ClassOf(AttrRef{c.rel, a});
+      if (cls < 0) {
+        valid = false;
+        break;
+      }
+      fd.rhs.push_back(cls);
+    }
+    if (!valid) continue;
+    // Deduplicate class ids (several attributes may share one class).
+    std::sort(fd.lhs.begin(), fd.lhs.end());
+    fd.lhs.erase(std::unique(fd.lhs.begin(), fd.lhs.end()), fd.lhs.end());
+    std::sort(fd.rhs.begin(), fd.rhs.end());
+    fd.rhs.erase(std::unique(fd.rhs.begin(), fd.rhs.end()), fd.rhs.end());
+    fds.push_back(std::move(fd));
+  }
+  return fds;
+}
+
+/// Checks the "indexed by A" condition for one occurrence and picks the
+/// min-N eligible constraint.
+int PickIndexConstraint(const std::string& occ, const SpcQuery& spc,
+                        const Unification& uni, const std::vector<bool>& cov,
+                        const AccessSchema& actualized) {
+  // N_S: attribute names of `occ` appearing in X_Q of the sub-query.
+  std::set<std::string> needed;
+  for (const AttrRef& a : spc.xq) {
+    if (a.rel == occ) needed.insert(a.attr);
+  }
+  int best = -1;
+  int64_t best_n = 0;
+  for (int cid : actualized.ForRelation(occ)) {
+    const AccessConstraint& c = actualized.at(cid);
+    // Condition 1: S[X] subset of cov(Q,A).
+    bool x_covered = true;
+    for (const std::string& a : c.x) {
+      int cls = uni.ClassOf(AttrRef{occ, a});
+      if (cls < 0 || !cov[static_cast<size_t>(cls)]) {
+        x_covered = false;
+        break;
+      }
+    }
+    if (!x_covered) continue;
+    // Condition 2: S[XY] contains all needed attributes of S.
+    std::set<std::string> xy(c.x.begin(), c.x.end());
+    xy.insert(c.y.begin(), c.y.end());
+    bool spans = true;
+    for (const std::string& a : needed) {
+      if (xy.count(a) == 0) {
+        spans = false;
+        break;
+      }
+    }
+    if (!spans) continue;
+    if (best < 0 || c.n < best_n) {
+      best = cid;
+      best_n = c.n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string CoverageReport::Explain() const {
+  std::string out = covered ? "query IS covered\n" : "query is NOT covered\n";
+  for (size_t i = 0; i < spcs.size(); ++i) {
+    const SpcCoverage& sc = spcs[i];
+    out += StrCat("  max SPC sub-query #", i, ": ");
+    if (sc.uni.unsatisfiable) {
+      out += "unsatisfiable constant bindings (trivially covered)\n";
+      continue;
+    }
+    out += StrCat(sc.fetchable ? "fetchable" : "NOT fetchable", ", ",
+                  sc.indexed ? "indexed" : "NOT indexed", "\n");
+    if (!sc.fetchable) {
+      for (int cls : sc.xq_classes) {
+        if (!sc.cov[static_cast<size_t>(cls)]) {
+          out += StrCat("    class ", sc.uni.class_name[static_cast<size_t>(cls)],
+                        " is not in cov(Q,A)\n");
+        }
+      }
+    }
+    if (!sc.indexed) {
+      for (const auto& [occ, cid] : sc.index_constraint) {
+        if (cid < 0) {
+          out += StrCat("    no constraint indexes occurrence '", occ, "'\n");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<CoverageReport> CheckCoverageActualized(const NormalizedQuery& query,
+                                               const AccessSchema& actualized) {
+  CoverageReport report;
+  report.actualized = actualized;
+  report.covered = true;
+  report.fetchable = true;
+  report.indexed = true;
+
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(query);
+
+  for (SpcQuery& spc : spcs) {
+    SpcCoverage sc;
+    sc.spc = std::move(spc);
+    BQE_ASSIGN_OR_RETURN(sc.uni, UnifySpc(sc.spc, query));
+    if (sc.uni.unsatisfiable) {
+      report.spcs.push_back(std::move(sc));
+      continue;
+    }
+    sc.induced_fds = BuildInducedFds(sc.spc, sc.uni, actualized);
+
+    // rho_U(X_Q) and rho_U(X_Q^C).
+    std::set<int> xq_set, xc_set;
+    for (const AttrRef& a : sc.spc.xq) xq_set.insert(sc.uni.ClassOf(a));
+    for (int c = 0; c < sc.uni.num_classes; ++c) {
+      if (sc.uni.class_has_const[static_cast<size_t>(c)]) xc_set.insert(c);
+    }
+    sc.xq_classes.assign(xq_set.begin(), xq_set.end());
+    sc.xc_classes.assign(xc_set.begin(), xc_set.end());
+
+    // Lemma 4: fetchable iff Sigma_{Qs,A} |= X_C -> X_Q; cov is the closure.
+    sc.cov = FdClosure(sc.uni.num_classes, sc.induced_fds, sc.xc_classes);
+    sc.fetchable = true;
+    for (int cls : sc.xq_classes) {
+      if (!sc.cov[static_cast<size_t>(cls)]) {
+        sc.fetchable = false;
+        break;
+      }
+    }
+
+    // Indexed: every occurrence needs an eligible constraint.
+    sc.indexed = true;
+    std::set<std::string> rels(sc.spc.relations.begin(), sc.spc.relations.end());
+    for (const std::string& occ : rels) {
+      int cid = PickIndexConstraint(occ, sc.spc, sc.uni, sc.cov, actualized);
+      sc.index_constraint[occ] = cid;
+      if (cid < 0) sc.indexed = false;
+    }
+
+    if (!sc.fetchable) report.fetchable = false;
+    if (!sc.indexed) report.indexed = false;
+    if (!sc.covered()) report.covered = false;
+    report.spcs.push_back(std::move(sc));
+  }
+  return report;
+}
+
+Result<CoverageReport> CheckCoverage(const NormalizedQuery& query,
+                                     const AccessSchema& schema) {
+  AccessSchema actualized = Actualize(schema, query);
+  return CheckCoverageActualized(query, actualized);
+}
+
+}  // namespace bqe

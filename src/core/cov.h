@@ -1,0 +1,93 @@
+#ifndef BQE_CORE_COV_H_
+#define BQE_CORE_COV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "fd/fd.h"
+#include "ra/spc.h"
+#include "storage/value.h"
+
+namespace bqe {
+
+/// The unification function rho_U of one SPC sub-query (Section 4):
+/// every attribute of every relation occurrence in the sub-query is mapped
+/// to a dense *class id*; two attributes share a class iff Sigma_Q derives
+/// their equality. Classes equated to a constant record it.
+struct Unification {
+  std::vector<AttrRef> attrs;            ///< Node id -> attribute.
+  std::map<AttrRef, int> attr_id;        ///< Attribute -> node id.
+  std::vector<int> class_of_attr;        ///< Node id -> class id.
+  int num_classes = 0;
+  std::vector<bool> class_has_const;     ///< Class id -> bound to a constant?
+  std::vector<Value> class_const;        ///< The constant, when bound.
+  std::vector<std::string> class_name;   ///< Representative label, for debug.
+  /// True when Sigma_Q derives A = c1 and A = c2 with c1 != c2; the
+  /// sub-query then returns the empty set on every instance.
+  bool unsatisfiable = false;
+
+  /// Class of an attribute reference; -1 when unknown.
+  int ClassOf(const AttrRef& ref) const;
+};
+
+/// Coverage analysis of one max SPC sub-query (Sections 3-4).
+struct SpcCoverage {
+  /// The analyzed sub-query (owned; its `root` pointer references the query
+  /// tree, which callers keep alive via the NormalizedQuery).
+  SpcQuery spc;
+  Unification uni;
+  /// Induced FDs Sigma_{Qs,A} over class ids; Fd::constraint_id is the
+  /// *actualized* constraint id.
+  std::vector<Fd> induced_fds;
+  std::vector<int> xq_classes;  ///< rho_U(X_Q), deduplicated.
+  std::vector<int> xc_classes;  ///< rho_U(X_Q^C): constant-bound classes.
+  std::vector<bool> cov;        ///< cov(Q,A) per class (= FD closure, Lemma 4).
+  bool fetchable = false;
+  bool indexed = false;
+  /// Occurrence -> actualized constraint id chosen to index it (min-N among
+  /// eligible constraints); only meaningful when `indexed`.
+  std::map<std::string, int> index_constraint;
+
+  /// A sub-query with conflicting constant bindings is trivially covered:
+  /// it is equivalent to the empty query, independent of A.
+  bool covered() const {
+    return uni.unsatisfiable || (fetchable && indexed);
+  }
+};
+
+/// Result of algorithm CovChk (Section 4, Figure 1).
+struct CoverageReport {
+  bool covered = false;
+  bool fetchable = false;
+  bool indexed = false;
+  std::vector<SpcCoverage> spcs;
+  /// The actualized access schema used by the analysis (Lemma 1); the
+  /// planner resolves fetch steps against it.
+  AccessSchema actualized;
+
+  /// Human-readable explanation, including per-sub-query failures.
+  std::string Explain() const;
+};
+
+/// Algorithm CovChk: decides whether `query` is covered by `schema`
+/// (Theorem 2(3) / Proposition 3) in O(|Q|^2 + |A|) time. Also usable as a
+/// pure analysis: the report carries unification, induced FDs and coverage
+/// sets for the planner and the access minimizers.
+Result<CoverageReport> CheckCoverage(const NormalizedQuery& query,
+                                     const AccessSchema& schema);
+
+/// Variant taking an already-actualized schema (whose relation names are
+/// occurrence names of `query`).
+Result<CoverageReport> CheckCoverageActualized(const NormalizedQuery& query,
+                                               const AccessSchema& actualized);
+
+/// Builds the unification rho_U of one SPC sub-query. Exposed for tests and
+/// the hypergraph builder.
+Result<Unification> UnifySpc(const SpcQuery& spc, const NormalizedQuery& query);
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_COV_H_

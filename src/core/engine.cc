@@ -1,0 +1,96 @@
+#include "core/engine.h"
+
+#include "common/strings.h"
+#include "constraints/validate.h"
+#include "core/plan2sql.h"
+#include "core/qplan.h"
+#include "core/rewrite.h"
+
+namespace bqe {
+
+BoundedEngine::BoundedEngine(Database* db, AccessSchema schema,
+                             EngineOptions options)
+    : db_(db), schema_(std::move(schema)), options_(options) {}
+
+Status BoundedEngine::BuildIndices() {
+  BQE_ASSIGN_OR_RETURN(ValidationReport report, Validate(*db_, schema_));
+  if (!report.satisfied) {
+    return Status::ConstraintViolation(
+        StrCat("database does not satisfy the access schema:\n",
+               report.ToString()));
+  }
+  BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_));
+  indices_built_ = true;
+  return Status::Ok();
+}
+
+Result<PrepareInfo> BoundedEngine::Prepare(const RaExprPtr& query) const {
+  PrepareInfo info;
+  BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(query, db_->catalog()));
+  BQE_ASSIGN_OR_RETURN(info.report, CheckCoverage(nq, schema_));
+
+  RaExprPtr effective = query;
+  if (!info.report.covered && options_.rewrite) {
+    BQE_ASSIGN_OR_RETURN(RewriteResult rw, RewriteForCoverage(nq, schema_));
+    if (rw.covered) {
+      effective = rw.expr;
+      info.used_rewrite = true;
+      BQE_ASSIGN_OR_RETURN(nq, Normalize(effective, db_->catalog()));
+      BQE_ASSIGN_OR_RETURN(info.report, CheckCoverage(nq, schema_));
+    }
+  }
+  info.covered = info.report.covered;
+  info.explanation = info.report.Explain();
+  if (!info.covered) return info;
+
+  // C3: access minimization; planning proceeds on the minimized subset.
+  const AccessSchema* plan_schema = &schema_;
+  AccessSchema minimized;
+  if (options_.minimize) {
+    Result<MinimizeResult> m =
+        MinimizeAccess(nq, schema_, options_.minimize_algo);
+    if (m.ok()) {
+      minimized = std::move(m->minimized);
+      plan_schema = &minimized;
+    }
+  }
+  info.constraints_used = plan_schema->size();
+
+  BQE_ASSIGN_OR_RETURN(CoverageReport plan_report,
+                       CheckCoverage(nq, *plan_schema));
+  BQE_ASSIGN_OR_RETURN(info.plan, GeneratePlan(nq, plan_report));
+  BQE_ASSIGN_OR_RETURN(info.sql, PlanToSql(info.plan));
+  return info;
+}
+
+Result<ExecuteResult> BoundedEngine::Execute(const RaExprPtr& query) const {
+  if (!indices_built_) {
+    return Status::FailedPrecondition("call BuildIndices() first");
+  }
+  BQE_ASSIGN_OR_RETURN(PrepareInfo info, Prepare(query));
+  ExecuteResult out;
+  if (info.covered) {
+    BQE_ASSIGN_OR_RETURN(out.table,
+                         ExecutePlan(info.plan, indices_, &out.bounded_stats));
+    out.used_bounded_plan = true;
+    return out;
+  }
+  if (!options_.baseline_fallback) {
+    return Status::NotCovered(info.explanation);
+  }
+  BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(query, db_->catalog()));
+  BQE_ASSIGN_OR_RETURN(out.table,
+                       EvaluateBaseline(nq, *db_, &out.baseline_stats));
+  out.used_bounded_plan = false;
+  return out;
+}
+
+Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
+                                              OverflowPolicy policy) {
+  if (!indices_built_) {
+    return Status::FailedPrecondition("call BuildIndices() first");
+  }
+  return ApplyDeltas(db_, &schema_, &indices_, deltas, policy);
+}
+
+}  // namespace bqe

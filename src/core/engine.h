@@ -1,0 +1,93 @@
+#ifndef BQE_CORE_ENGINE_H_
+#define BQE_CORE_ENGINE_H_
+
+#include <string>
+
+#include "baseline/eval.h"
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "constraints/index.h"
+#include "constraints/maintain.h"
+#include "core/cov.h"
+#include "core/minimize.h"
+#include "core/plan.h"
+#include "core/plan_exec.h"
+#include "ra/normalize.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// Configuration of the bounded-evaluation framework (Section 7, Figure 4).
+struct EngineOptions {
+  /// C3: minimize the access schema before planning.
+  bool minimize = true;
+  MinimizeAlgo minimize_algo = MinimizeAlgo::kGreedy;
+  /// Try the A-equivalence rewriter when a query is not covered.
+  bool rewrite = true;
+  /// Fall back to the conventional evaluator for non-covered queries
+  /// (when false, Execute returns NotCovered instead).
+  bool baseline_fallback = true;
+};
+
+/// Everything Prepare() learns about a query.
+struct PrepareInfo {
+  bool covered = false;
+  bool used_rewrite = false;
+  /// Number of constraints the (possibly minimized) plan relies on.
+  size_t constraints_used = 0;
+  CoverageReport report;
+  BoundedPlan plan;          ///< Valid when covered.
+  std::string sql;           ///< Plan2SQL output, when covered.
+  std::string explanation;   ///< Human-readable coverage explanation.
+};
+
+/// Result of Execute().
+struct ExecuteResult {
+  Table table;
+  bool used_bounded_plan = false;
+  ExecStats bounded_stats;     ///< Valid when used_bounded_plan.
+  BaselineStats baseline_stats;  ///< Valid otherwise.
+};
+
+/// The bounded-evaluation framework of Section 7: owns the access schema A
+/// and its indices I_A over one database, checks coverage (C2), minimizes
+/// access (C3), generates plans (C4), translates them to SQL (C5), and
+/// evaluates queries through the indices (C6), falling back to conventional
+/// evaluation for non-covered queries.
+class BoundedEngine {
+ public:
+  BoundedEngine(Database* db, AccessSchema schema, EngineOptions options = {});
+
+  /// C1: builds all indices. Must be called before Prepare/Execute.
+  /// Fails with ConstraintViolation if the data does not satisfy A.
+  Status BuildIndices();
+
+  /// C2-C5 for one query.
+  Result<PrepareInfo> Prepare(const RaExprPtr& query) const;
+
+  /// Full pipeline: bounded plan when covered (after optional rewriting),
+  /// baseline otherwise.
+  Result<ExecuteResult> Execute(const RaExprPtr& query) const;
+
+  /// Incremental maintenance of D, A and I_A (Proposition 12).
+  Result<MaintenanceStats> Apply(const std::vector<Delta>& deltas,
+                                 OverflowPolicy policy = OverflowPolicy::kGrow);
+
+  const AccessSchema& schema() const { return schema_; }
+  const IndexSet& indices() const { return indices_; }
+  const Database& db() const { return *db_; }
+
+  /// Index footprint in tuples (compared against |D| in Exp-1(IV)).
+  size_t IndexFootprint() const { return indices_.TotalEntries(); }
+
+ private:
+  Database* db_;
+  AccessSchema schema_;
+  EngineOptions options_;
+  IndexSet indices_;
+  bool indices_built_ = false;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_ENGINE_H_

@@ -1,0 +1,284 @@
+#include "core/minimize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/strings.h"
+#include "core/qplan.h"
+#include "hypergraph/steiner.h"
+
+namespace bqe {
+
+namespace {
+
+/// Total number of covered classes across all sub-queries — the |cov(Q,A)|
+/// proxy used by minA's weight.
+size_t CoveredClassCount(const CoverageReport& report) {
+  size_t n = 0;
+  for (const SpcCoverage& sc : report.spcs) {
+    for (bool b : sc.cov) {
+      if (b) ++n;
+    }
+  }
+  return n;
+}
+
+Result<MinimizeResult> PackResult(const NormalizedQuery& query,
+                                  const AccessSchema& schema,
+                                  std::set<int> kept) {
+  MinimizeResult out;
+  out.kept_ids.assign(kept.begin(), kept.end());
+  out.minimized = schema.Subset(out.kept_ids);
+  for (int id : out.kept_ids) out.total_n += schema.at(id).n;
+  // Safety: the result must still cover the query.
+  BQE_ASSIGN_OR_RETURN(CoverageReport check,
+                       CheckCoverage(query, out.minimized));
+  if (!check.covered) {
+    return Status::Internal("minimization produced a non-covering subset");
+  }
+  return out;
+}
+
+/// Algorithm minA (Theorem 10(1)): greedy removal of the highest-weight
+/// redundant constraint until the subset is minimal.
+Result<MinimizeResult> MinimizeGreedy(const NormalizedQuery& query,
+                                      const AccessSchema& schema,
+                                      const MinimizeOptions& opts) {
+  std::set<int> kept;
+  for (const AccessConstraint& c : schema.constraints()) kept.insert(c.id);
+
+  // Drop constraints on relations the query never mentions first — they are
+  // trivially redundant and would dominate the weight ranking anyway.
+  {
+    std::set<std::string> bases;
+    for (const auto& [occ, base] : query.occurrences()) bases.insert(base);
+    for (auto it = kept.begin(); it != kept.end();) {
+      if (bases.count(schema.at(*it).rel) == 0) {
+        it = kept.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  auto coverage_of = [&](const std::set<int>& ids)
+      -> Result<CoverageReport> {
+    std::vector<int> v(ids.begin(), ids.end());
+    return CheckCoverage(query, schema.Subset(v));
+  };
+
+  BQE_ASSIGN_OR_RETURN(CoverageReport current, coverage_of(kept));
+  if (!current.covered) {
+    return Status::FailedPrecondition(
+        "MinimizeAccess requires the query to be covered by A");
+  }
+  size_t cov_now = CoveredClassCount(current);
+
+  while (true) {
+    int best = -1;
+    double best_w = -1.0;
+    size_t best_cov = 0;
+    for (int cand : kept) {
+      std::set<int> without = kept;
+      without.erase(cand);
+      BQE_ASSIGN_OR_RETURN(CoverageReport r, coverage_of(without));
+      if (!r.covered) continue;
+      size_t cov_without = CoveredClassCount(r);
+      double denom =
+          opts.c2 * static_cast<double>(cov_now - cov_without + 1);
+      double w = opts.c1 * static_cast<double>(schema.at(cand).n) / denom;
+      if (w > best_w) {
+        best_w = w;
+        best = cand;
+        best_cov = cov_without;
+      }
+    }
+    if (best < 0) break;  // Minimal: removing anything breaks coverage.
+    kept.erase(best);
+    cov_now = best_cov;
+  }
+  return PackResult(query, schema, std::move(kept));
+}
+
+/// Maps an actualized-constraint id back to its original id.
+int SourceId(const AccessSchema& actualized, int actual_id) {
+  const AccessConstraint& c = actualized.at(actual_id);
+  return c.source_id >= 0 ? c.source_id : c.id;
+}
+
+/// Algorithm minADAG (Theorem 10(2)): shortest weighted hyperpaths from r to
+/// every needed class; keep the constraints on those paths plus a cheap
+/// indexing constraint per occurrence (with paths for its X classes).
+Result<MinimizeResult> MinimizeAcyclic(const NormalizedQuery& query,
+                                       const AccessSchema& schema,
+                                       const MinimizeOptions& opts) {
+  BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(query, schema));
+  if (!report.covered) {
+    return Status::FailedPrecondition(
+        "MinimizeAccess requires the query to be covered by A");
+  }
+  std::set<int> kept;
+  for (const SpcCoverage& sc : report.spcs) {
+    if (sc.uni.unsatisfiable) continue;
+    QaHypergraph hg = BuildQaHypergraph(sc, report.actualized);
+    Hypergraph::ShortestResult sr = hg.graph.ShortestHyperpaths({hg.root});
+
+    auto add_path_to = [&](int cls) -> Status {
+      BQE_ASSIGN_OR_RETURN(
+          std::vector<int> edges,
+          hg.graph.ExtractPath(sr, hg.class_node[static_cast<size_t>(cls)]));
+      for (int ei : edges) {
+        int fd_idx = hg.graph.edges()[static_cast<size_t>(ei)].payload;
+        if (fd_idx < 0) continue;  // Root edge to a constant class.
+        int actual = sc.induced_fds[static_cast<size_t>(fd_idx)].constraint_id;
+        kept.insert(SourceId(report.actualized, actual));
+      }
+      return Status::Ok();
+    };
+
+    for (int cls : sc.xq_classes) {
+      if (sc.uni.class_has_const[static_cast<size_t>(cls)]) continue;
+      BQE_RETURN_IF_ERROR(add_path_to(cls));
+    }
+    // One indexing constraint per occurrence: choose minimum N + path cost
+    // for its X classes.
+    for (const auto& [occ, chosen] : sc.index_constraint) {
+      int best = -1;
+      double best_cost = 0.0;
+      for (int cid : report.actualized.ForRelation(occ)) {
+        const AccessConstraint& c = report.actualized.at(cid);
+        // Must span the needed attributes (same condition CovChk used).
+        std::set<std::string> xy(c.x.begin(), c.x.end());
+        xy.insert(c.y.begin(), c.y.end());
+        bool spans = true;
+        for (const AttrRef& a : sc.spc.xq) {
+          if (a.rel == occ && xy.count(a.attr) == 0) {
+            spans = false;
+            break;
+          }
+        }
+        if (!spans) continue;
+        double cost = static_cast<double>(c.n);
+        bool reachable = true;
+        for (const std::string& xa : c.x) {
+          int cls = sc.uni.ClassOf(AttrRef{occ, xa});
+          double d = sr.dist[static_cast<size_t>(
+              hg.class_node[static_cast<size_t>(cls)])];
+          if (d >= Hypergraph::ShortestResult::kUnreachable) {
+            reachable = false;
+            break;
+          }
+          cost += d;
+        }
+        if (!reachable) continue;
+        if (best < 0 || cost < best_cost) {
+          best = cid;
+          best_cost = cost;
+        }
+      }
+      if (best < 0) best = chosen;  // Fall back to CovChk's pick.
+      kept.insert(SourceId(report.actualized, best));
+      for (const std::string& xa : report.actualized.at(best).x) {
+        int cls = sc.uni.ClassOf(AttrRef{occ, xa});
+        BQE_RETURN_IF_ERROR(add_path_to(cls));
+      }
+    }
+  }
+  Result<MinimizeResult> packed = PackResult(query, schema, std::move(kept));
+  if (!packed.ok()) {
+    // Robust fallback: the greedy algorithm always returns a covering set.
+    return MinimizeGreedy(query, schema, opts);
+  }
+  return packed;
+}
+
+/// Algorithm minAE (Theorem 10(3)): for elementary (Q,A), the hypergraph on
+/// unit constraints is an ordinary digraph; approximate the minimum Steiner
+/// arborescence rooted at r spanning the needed classes.
+Result<MinimizeResult> MinimizeElementary(const NormalizedQuery& query,
+                                          const AccessSchema& schema,
+                                          const MinimizeOptions& opts) {
+  BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(query, schema));
+  if (!report.covered) {
+    return Status::FailedPrecondition(
+        "MinimizeAccess requires the query to be covered by A");
+  }
+  std::set<int> kept;
+  for (const SpcCoverage& sc : report.spcs) {
+    if (sc.uni.unsatisfiable) continue;
+    // Build the digraph G_{Q,Ani}: node r = 0, class c -> node c + 1.
+    const int num_nodes = sc.uni.num_classes + 1;
+    std::vector<DiEdge> edges;
+    for (const Fd& fd : sc.induced_fds) {
+      const AccessConstraint& c = report.actualized.at(fd.constraint_id);
+      if (!c.IsUnitConstraint()) continue;
+      if (fd.lhs.size() != 1 || fd.rhs.empty()) continue;
+      for (int y : fd.rhs) {
+        if (y == fd.lhs[0]) continue;
+        edges.push_back(DiEdge{fd.lhs[0] + 1, y + 1,
+                               static_cast<double>(c.n), fd.constraint_id});
+      }
+    }
+    for (int cls : sc.xc_classes) {
+      edges.push_back(DiEdge{0, cls + 1, 0.0, -1});
+    }
+    std::vector<int> terminals;
+    for (int cls : sc.xq_classes) {
+      if (!sc.uni.class_has_const[static_cast<size_t>(cls)]) {
+        terminals.push_back(cls + 1);
+      }
+    }
+    Result<SteinerSolution> sol = SolveSteinerArborescence(
+        num_nodes, edges, /*root=*/0, terminals, opts.steiner_level);
+    if (!sol.ok()) return MinimizeGreedy(query, schema, opts);
+    for (int ei : sol->edge_ids) {
+      int actual = edges[static_cast<size_t>(ei)].payload;
+      if (actual >= 0) kept.insert(SourceId(report.actualized, actual));
+    }
+    // Indexing constraints (step (c)(ii) of minAE).
+    for (const auto& [occ, chosen] : sc.index_constraint) {
+      if (chosen >= 0) kept.insert(SourceId(report.actualized, chosen));
+    }
+  }
+  Result<MinimizeResult> packed = PackResult(query, schema, std::move(kept));
+  if (!packed.ok()) return MinimizeGreedy(query, schema, opts);
+  return packed;
+}
+
+}  // namespace
+
+Result<MinimizeResult> MinimizeAccess(const NormalizedQuery& query,
+                                      const AccessSchema& schema,
+                                      MinimizeAlgo algo,
+                                      const MinimizeOptions& opts) {
+  switch (algo) {
+    case MinimizeAlgo::kGreedy:
+      return MinimizeGreedy(query, schema, opts);
+    case MinimizeAlgo::kAcyclic:
+      return MinimizeAcyclic(query, schema, opts);
+    case MinimizeAlgo::kElementary:
+      return MinimizeElementary(query, schema, opts);
+  }
+  return Status::InvalidArgument("unknown minimization algorithm");
+}
+
+Result<bool> IsAcyclicCase(const NormalizedQuery& query,
+                           const AccessSchema& schema) {
+  BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(query, schema));
+  for (const SpcCoverage& sc : report.spcs) {
+    if (sc.uni.unsatisfiable) continue;
+    QaHypergraph hg = BuildQaHypergraph(sc, report.actualized);
+    if (!hg.graph.UnderlyingAcyclic()) return false;
+  }
+  return true;
+}
+
+bool IsElementaryCase(const AccessSchema& schema) {
+  for (const AccessConstraint& c : schema.constraints()) {
+    if (!c.IsIndexingConstraint() && !c.IsUnitConstraint()) return false;
+  }
+  return true;
+}
+
+}  // namespace bqe

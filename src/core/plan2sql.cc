@@ -1,0 +1,149 @@
+#include "core/plan2sql.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+std::string StepName(size_t i) { return StrCat("t", i); }
+
+/// Column alias "c<j>" for step outputs; stable positional naming keeps the
+/// generated SQL independent of internal label strings.
+std::string Col(size_t j) { return StrCat("c", j); }
+
+std::string ColList(size_t n, const std::string& qual = "") {
+  std::vector<std::string> cols;
+  for (size_t j = 0; j < n; ++j) {
+    cols.push_back(qual.empty() ? Col(j) : StrCat(qual, ".", Col(j)));
+  }
+  return StrJoin(cols, ", ");
+}
+
+}  // namespace
+
+Result<std::string> PlanToSql(const BoundedPlan& plan) {
+  // Width (column count) per step, needed for aliasing.
+  std::vector<size_t> width(plan.steps.size(), 0);
+  std::vector<std::string> ctes;
+
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    std::string body;
+    switch (s.kind) {
+      case PlanStep::Kind::kConst: {
+        width[i] = s.row.size();
+        if (s.row.empty()) {
+          body = "SELECT 1 AS dummy";  // One row, no real columns.
+        } else {
+          std::vector<std::string> parts;
+          for (size_t j = 0; j < s.row.size(); ++j) {
+            parts.push_back(StrCat(s.row[j].ToString(), " AS ", Col(j)));
+          }
+          body = StrCat("SELECT ", StrJoin(parts, ", "));
+        }
+        break;
+      }
+      case PlanStep::Kind::kEmpty: {
+        width[i] = s.col_names.size();
+        std::vector<std::string> parts;
+        for (size_t j = 0; j < width[i]; ++j) {
+          parts.push_back(StrCat("NULL AS ", Col(j)));
+        }
+        if (parts.empty()) parts.push_back("1 AS dummy");
+        body = StrCat("SELECT ", StrJoin(parts, ", "), " WHERE 1 = 0");
+        break;
+      }
+      case PlanStep::Kind::kFetch: {
+        const AccessConstraint& c = plan.actualized.at(s.constraint_id);
+        int source = c.source_id >= 0 ? c.source_id : c.id;
+        size_t nx = c.x.size(), ny = c.y.size();
+        width[i] = nx + ny;
+        // Index relation ind_<source> has columns x..., y... named after the
+        // constraint's attributes.
+        std::vector<std::string> sel;
+        size_t j = 0;
+        for (const std::string& a : c.x) sel.push_back(StrCat(a, " AS ", Col(j++)));
+        for (const std::string& a : c.y) sel.push_back(StrCat(a, " AS ", Col(j++)));
+        body = StrCat("SELECT DISTINCT ", StrJoin(sel, ", "), " FROM ind_",
+                      source);
+        if (nx > 0) {
+          std::vector<std::string> xs(c.x.begin(), c.x.end());
+          body += StrCat(" WHERE (", StrJoin(xs, ", "), ") IN (SELECT ",
+                         ColList(nx), " FROM ",
+                         StepName(static_cast<size_t>(s.input)), ")");
+        }
+        break;
+      }
+      case PlanStep::Kind::kProject: {
+        width[i] = s.cols.size();
+        std::vector<std::string> sel;
+        for (size_t j = 0; j < s.cols.size(); ++j) {
+          sel.push_back(StrCat(Col(static_cast<size_t>(s.cols[j])), " AS ", Col(j)));
+        }
+        if (sel.empty()) sel.push_back("1 AS dummy");
+        body = StrCat("SELECT ", s.dedupe ? "DISTINCT " : "", StrJoin(sel, ", "),
+                      " FROM ", StepName(static_cast<size_t>(s.input)));
+        break;
+      }
+      case PlanStep::Kind::kFilter: {
+        width[i] = width[static_cast<size_t>(s.input)];
+        std::vector<std::string> conds;
+        for (const PlanPredicate& p : s.preds) {
+          if (p.kind == PlanPredicate::Kind::kColConst) {
+            conds.push_back(StrCat(Col(static_cast<size_t>(p.lhs)), " ",
+                                   CmpOpName(p.op), " ", p.constant.ToString()));
+          } else {
+            conds.push_back(StrCat(Col(static_cast<size_t>(p.lhs)), " ",
+                                   CmpOpName(p.op), " ",
+                                   Col(static_cast<size_t>(p.rhs))));
+          }
+        }
+        body = StrCat("SELECT * FROM ", StepName(static_cast<size_t>(s.input)),
+                      " WHERE ", StrJoin(conds, " AND "));
+        break;
+      }
+      case PlanStep::Kind::kProduct:
+      case PlanStep::Kind::kJoin: {
+        size_t lw = width[static_cast<size_t>(s.left)];
+        size_t rw = width[static_cast<size_t>(s.right)];
+        width[i] = lw + rw;
+        std::vector<std::string> sel;
+        for (size_t j = 0; j < lw; ++j) {
+          sel.push_back(StrCat("a.", Col(j), " AS ", Col(j)));
+        }
+        for (size_t j = 0; j < rw; ++j) {
+          sel.push_back(StrCat("b.", Col(j), " AS ", Col(lw + j)));
+        }
+        body = StrCat("SELECT ", StrJoin(sel, ", "), " FROM ",
+                      StepName(static_cast<size_t>(s.left)), " AS a, ",
+                      StepName(static_cast<size_t>(s.right)), " AS b");
+        if (s.kind == PlanStep::Kind::kJoin && !s.join_cols.empty()) {
+          std::vector<std::string> conds;
+          for (auto [l, r] : s.join_cols) {
+            conds.push_back(StrCat("a.", Col(static_cast<size_t>(l)), " = b.",
+                                   Col(static_cast<size_t>(r))));
+          }
+          body += StrCat(" WHERE ", StrJoin(conds, " AND "));
+        }
+        break;
+      }
+      case PlanStep::Kind::kUnion:
+      case PlanStep::Kind::kDiff: {
+        width[i] = width[static_cast<size_t>(s.left)];
+        const char* op = s.kind == PlanStep::Kind::kUnion ? "UNION" : "EXCEPT";
+        body = StrCat("SELECT * FROM ", StepName(static_cast<size_t>(s.left)),
+                      " ", op, " SELECT * FROM ",
+                      StepName(static_cast<size_t>(s.right)));
+        break;
+      }
+    }
+    ctes.push_back(StrCat(StepName(i), " AS (", body, ")"));
+  }
+
+  if (plan.output < 0) return Status::Internal("plan has no output step");
+  return StrCat("WITH ", StrJoin(ctes, ",\n     "), "\nSELECT DISTINCT * FROM ",
+                StepName(static_cast<size_t>(plan.output)), ";");
+}
+
+}  // namespace bqe

@@ -1,0 +1,28 @@
+#ifndef BQE_CORE_PLAN2SQL_H_
+#define BQE_CORE_PLAN2SQL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/plan.h"
+
+namespace bqe {
+
+/// Algorithm Plan2SQL (Section 7(5)): translates a bounded query plan into
+/// an SQL query over the *index relations* ind_<k> (the partial tables
+/// T_XY built for each access constraint), so that an off-the-shelf DBMS
+/// can execute the bounded plan directly — it accesses the same amount of
+/// data in I_A as the plan does in D.
+///
+/// The translation emits one CTE per plan step:
+///
+///   WITH t0 AS (SELECT ... ), t1 AS (SELECT DISTINCT c0 FROM ind_3 WHERE
+///     (x0) IN (SELECT * FROM t0)), ...
+///   SELECT * FROM tN;
+///
+/// Index relation naming: ind_<source constraint id>.
+Result<std::string> PlanToSql(const BoundedPlan& plan);
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_PLAN2SQL_H_

@@ -1,0 +1,167 @@
+#include "core/plan_exec.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+struct StepData {
+  std::vector<Tuple> rows;
+};
+
+void Dedupe(std::vector<Tuple>* rows) {
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  out.reserve(rows->size());
+  for (Tuple& row : *rows) {
+    if (seen.insert(row).second) out.push_back(std::move(row));
+  }
+  *rows = std::move(out);
+}
+
+bool EvalPlanPredicate(const Tuple& row, const PlanPredicate& p) {
+  const Value& l = row[static_cast<size_t>(p.lhs)];
+  if (p.kind == PlanPredicate::Kind::kColConst) {
+    return EvalCmp(p.op, l, p.constant);
+  }
+  return EvalCmp(p.op, l, row[static_cast<size_t>(p.rhs)]);
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
+                          ExecStats* stats) {
+  std::vector<StepData> results(plan.steps.size());
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    StepData& out = results[i];
+    switch (s.kind) {
+      case PlanStep::Kind::kConst:
+        out.rows.push_back(s.row);
+        break;
+      case PlanStep::Kind::kEmpty:
+        break;
+      case PlanStep::Kind::kFetch: {
+        const AccessConstraint& c = plan.actualized.at(s.constraint_id);
+        int source = c.source_id >= 0 ? c.source_id : c.id;
+        const AccessIndex* idx = indices.Get(source);
+        if (idx == nullptr) {
+          return Status::Internal(
+              StrCat("no index for constraint ", c.ToString(), " (source id ",
+                     source, ")"));
+        }
+        // Probe with the distinct keys of the input.
+        std::vector<Tuple> keys = results[static_cast<size_t>(s.input)].rows;
+        Dedupe(&keys);
+        for (const Tuple& key : keys) {
+          ++st->fetch_probes;
+          std::vector<Tuple> fetched = idx->Fetch(key, &st->tuples_fetched);
+          for (Tuple& row : fetched) out.rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case PlanStep::Kind::kProject: {
+        const StepData& in = results[static_cast<size_t>(s.input)];
+        out.rows.reserve(in.rows.size());
+        for (const Tuple& row : in.rows) {
+          out.rows.push_back(ProjectTuple(row, s.cols));
+        }
+        if (s.dedupe) Dedupe(&out.rows);
+        break;
+      }
+      case PlanStep::Kind::kFilter: {
+        const StepData& in = results[static_cast<size_t>(s.input)];
+        out.rows.reserve(in.rows.size());
+        for (const Tuple& row : in.rows) {
+          bool keep = true;
+          for (const PlanPredicate& p : s.preds) {
+            if (!EvalPlanPredicate(row, p)) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) out.rows.push_back(row);
+        }
+        break;
+      }
+      case PlanStep::Kind::kProduct: {
+        const StepData& l = results[static_cast<size_t>(s.left)];
+        const StepData& r = results[static_cast<size_t>(s.right)];
+        out.rows.reserve(l.rows.size() * r.rows.size());
+        for (const Tuple& a : l.rows) {
+          for (const Tuple& b : r.rows) {
+            Tuple t = a;
+            t.insert(t.end(), b.begin(), b.end());
+            out.rows.push_back(std::move(t));
+          }
+        }
+        break;
+      }
+      case PlanStep::Kind::kJoin: {
+        const StepData& l = results[static_cast<size_t>(s.left)];
+        const StepData& r = results[static_cast<size_t>(s.right)];
+        std::vector<int> lk, rk;
+        for (auto [a, b] : s.join_cols) {
+          lk.push_back(a);
+          rk.push_back(b);
+        }
+        std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> ht;
+        ht.reserve(r.rows.size());
+        for (const Tuple& b : r.rows) ht[ProjectTuple(b, rk)].push_back(&b);
+        for (const Tuple& a : l.rows) {
+          auto it = ht.find(ProjectTuple(a, lk));
+          if (it == ht.end()) continue;
+          for (const Tuple* b : it->second) {
+            Tuple t = a;
+            t.insert(t.end(), b->begin(), b->end());
+            out.rows.push_back(std::move(t));
+          }
+        }
+        break;
+      }
+      case PlanStep::Kind::kUnion: {
+        out.rows = results[static_cast<size_t>(s.left)].rows;
+        const StepData& r = results[static_cast<size_t>(s.right)];
+        out.rows.insert(out.rows.end(), r.rows.begin(), r.rows.end());
+        Dedupe(&out.rows);
+        break;
+      }
+      case PlanStep::Kind::kDiff: {
+        const StepData& l = results[static_cast<size_t>(s.left)];
+        const StepData& r = results[static_cast<size_t>(s.right)];
+        std::unordered_set<Tuple, TupleHash> right(r.rows.begin(), r.rows.end());
+        for (const Tuple& row : l.rows) {
+          if (right.count(row) == 0) out.rows.push_back(row);
+        }
+        Dedupe(&out.rows);
+        break;
+      }
+    }
+    st->intermediate_rows += out.rows.size();
+  }
+
+  if (plan.output < 0 ||
+      plan.output >= static_cast<int>(plan.steps.size())) {
+    return Status::Internal("plan has no output step");
+  }
+  std::vector<Attribute> attrs;
+  const StepData& last = results[static_cast<size_t>(plan.output)];
+  for (size_t c = 0; c < plan.output_names.size(); ++c) {
+    ValueType t = ValueType::kNull;
+    if (!last.rows.empty()) t = last.rows[0][c].type();
+    attrs.push_back(Attribute{plan.output_names[c], t});
+  }
+  Table out(RelationSchema("result", std::move(attrs)));
+  for (const Tuple& row : last.rows) out.InsertUnchecked(row);
+  st->output_rows = out.NumRows();
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,35 @@
+#ifndef BQE_CORE_PLAN_EXEC_H_
+#define BQE_CORE_PLAN_EXEC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "constraints/index.h"
+#include "core/plan.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// Access accounting for bounded plans. `tuples_fetched` counts every tuple
+/// returned by a fetch step — the size of the accessed fraction D_Q; the
+/// paper's ratio P(D_Q) is tuples_fetched / |D|.
+struct ExecStats {
+  uint64_t tuples_fetched = 0;
+  uint64_t fetch_probes = 0;
+  uint64_t intermediate_rows = 0;
+  uint64_t output_rows = 0;
+};
+
+/// Executes a canonical bounded plan against the indices I_A built for the
+/// *original* access schema. Fetch steps reference actualized constraints;
+/// each resolves to its source constraint's index via `source_id`.
+///
+/// Data access happens exclusively through `indices` — the executor never
+/// touches base tables, which is precisely the bounded-evaluability
+/// guarantee (Section 2).
+Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
+                          ExecStats* stats = nullptr);
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_PLAN_EXEC_H_

@@ -1,0 +1,39 @@
+#ifndef BQE_CORE_QPLAN_H_
+#define BQE_CORE_QPLAN_H_
+
+#include "common/status.h"
+#include "core/cov.h"
+#include "core/plan.h"
+#include "hypergraph/hypergraph.h"
+
+namespace bqe {
+
+/// The <Q,A>-hypergraph of one SPC sub-query (Section 5.2 / Appendix A):
+/// a dummy root `r`, one node per attribute class, one set-node per induced
+/// FD with a non-trivial RHS, and hyperedges encoding the induced RHS-FDs.
+/// Edge payloads are induced-FD indices (into SpcCoverage::induced_fds);
+/// weights follow the weighted-hypergraph definition of Section 6.2
+/// (N on the X -> Y~ edge, 0 elsewhere).
+struct QaHypergraph {
+  Hypergraph graph;
+  int root = -1;
+  std::vector<int> class_node;  ///< Class id -> node id.
+};
+
+/// Builds the <Q,A>-hypergraph from a per-sub-query coverage analysis.
+QaHypergraph BuildQaHypergraph(const SpcCoverage& sc,
+                               const AccessSchema& actualized);
+
+/// Algorithm QPlan (Section 5.2, Figure 3): generates a canonical bounded
+/// query plan for a covered query in O(|Q|(|Q|+|A|)) time; the plan has
+/// length O(|Q||A|) (Lemma 8) and consists of unit fetching plans (one per
+/// needed attribute class), indexing plans (one per relation occurrence) and
+/// an evaluation plan mirroring the RA expression.
+///
+/// Pre-condition: report.covered; otherwise returns NotCovered.
+Result<BoundedPlan> GeneratePlan(const NormalizedQuery& query,
+                                 const CoverageReport& report);
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_QPLAN_H_

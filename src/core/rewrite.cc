@@ -1,0 +1,265 @@
+#include "core/rewrite.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "core/cov.h"
+#include "ra/spc.h"
+
+namespace bqe {
+
+namespace {
+
+/// Collects the RaExpr pointers of nodes in a subtree.
+void CollectNodes(const RaExpr* node, std::set<const RaExpr*>* out) {
+  out->insert(node);
+  if (node->left()) CollectNodes(node->left().get(), out);
+  if (node->right()) CollectNodes(node->right().get(), out);
+}
+
+/// Rebinds attribute references positionally: ref equal to `from[i]`
+/// becomes `to[i]`.
+AttrRef Rebind(const AttrRef& ref, const std::vector<AttrRef>& from,
+               const std::vector<AttrRef>& to) {
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i] == ref) return to[i];
+  }
+  return ref;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Catalog& catalog, const AccessSchema& schema)
+      : catalog_(catalog), schema_(schema) {}
+
+  Result<RewriteResult> Run(RaExprPtr root) {
+    RewriteResult out;
+    out.expr = std::move(root);
+    // Fix-point loop: apply one rule per pass; bail out once covered or no
+    // rule applies. The pass budget is a small constant: each application
+    // of the semijoin rule grows the tree by a clone of the left side, so
+    // an unbounded budget would make unrepairable queries quadratically
+    // expensive (every pass re-checks coverage of a larger tree). Example-1
+    // repairs need one pass per Diff node; deeper chains are exotic.
+    const int max_passes = 6;
+    for (int pass = 0; pass < max_passes; ++pass) {
+      BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(out.expr, catalog_));
+      BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(nq, schema_));
+      if (report.covered) {
+        out.covered = true;
+        return out;
+      }
+      // SPC roots that are not covered.
+      uncovered_.clear();
+      for (const SpcCoverage& sc : report.spcs) {
+        if (!sc.covered()) uncovered_.insert(sc.spc.root);
+      }
+      nq_ = &nq;
+      applied_ = false;
+      BQE_ASSIGN_OR_RETURN(RaExprPtr next, Transform(out.expr));
+      if (!applied_) break;  // No rule fired; rewriting cannot help.
+      out.expr = std::move(next);
+      out.changed = true;
+      ++out.applications;
+    }
+    BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(out.expr, catalog_));
+    BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(nq, schema_));
+    out.covered = report.covered;
+    return out;
+  }
+
+ private:
+  bool SubtreeUncovered(const RaExpr* node) const {
+    std::set<const RaExpr*> nodes;
+    CollectNodes(node, &nodes);
+    for (const RaExpr* u : uncovered_) {
+      if (nodes.count(u) > 0) return true;
+    }
+    return false;
+  }
+
+  /// Applies at most one rule (top-down); sets applied_.
+  Result<RaExprPtr> Transform(const RaExprPtr& node) {
+    if (applied_) return node;
+    if (node->op() == RaOp::kDiff) {
+      const RaExprPtr& l = node->left();
+      const RaExprPtr& r = node->right();
+      bool left_bad = SubtreeUncovered(l.get());
+      bool right_bad = SubtreeUncovered(r.get());
+      if (!left_bad && right_bad) {
+        // Rule 1: distribute over a union on the right:
+        // L - (R1 U R2) == (L - R1) - R2.
+        if (r->op() == RaOp::kUnion) {
+          applied_ = true;
+          return RaExpr::Diff(RaExpr::Diff(l, r->left()), r->right());
+        }
+        // Rule 2 (Example 1): L - R == L - pi(L' join R).
+        Result<RaExprPtr> semi = BuildValidatedRight(l, r);
+        if (semi.ok()) {
+          applied_ = true;
+          return RaExpr::Diff(l, semi.value());
+        }
+      }
+    }
+    if (node->left()) {
+      BQE_ASSIGN_OR_RETURN(RaExprPtr nl, Transform(node->left()));
+      if (applied_) {
+        if (node->right() == nullptr) {
+          return Rebuild(node, nl, nullptr);
+        }
+        return Rebuild(node, nl, node->right());
+      }
+    }
+    if (node->right()) {
+      BQE_ASSIGN_OR_RETURN(RaExprPtr nr, Transform(node->right()));
+      if (applied_) return Rebuild(node, node->left(), nr);
+    }
+    return node;
+  }
+
+  static RaExprPtr Rebuild(const RaExprPtr& node, RaExprPtr l, RaExprPtr r) {
+    switch (node->op()) {
+      case RaOp::kSelect:
+        return RaExpr::Select(std::move(l), node->preds());
+      case RaOp::kProject:
+        return RaExpr::Project(std::move(l), node->cols());
+      case RaOp::kProduct:
+        return RaExpr::Product(std::move(l), std::move(r));
+      case RaOp::kUnion:
+        return RaExpr::Union(std::move(l), std::move(r));
+      case RaOp::kDiff:
+        return RaExpr::Diff(std::move(l), std::move(r));
+      case RaOp::kRel:
+        return node;
+    }
+    return node;
+  }
+
+  /// One element of a superset decomposition: an SPC-rooted expression and
+  /// its output attribute list (new wrapper nodes are not known to the
+  /// normalized query, so outputs are threaded explicitly).
+  struct SupersetElem {
+    RaExprPtr expr;
+    std::vector<AttrRef> out;
+  };
+
+  /// A list of SPC expressions whose union is a superset of `node` and whose
+  /// outputs align positionally with node's output.
+  Result<std::vector<SupersetElem>> SupersetUnionList(const RaExprPtr& node) {
+    if (IsSpcSubtree(node.get())) {
+      return std::vector<SupersetElem>{{node, nq_->OutputOf(node.get())}};
+    }
+    switch (node->op()) {
+      case RaOp::kUnion: {
+        BQE_ASSIGN_OR_RETURN(std::vector<SupersetElem> l,
+                             SupersetUnionList(node->left()));
+        BQE_ASSIGN_OR_RETURN(std::vector<SupersetElem> r,
+                             SupersetUnionList(node->right()));
+        for (SupersetElem& e : r) l.push_back(std::move(e));
+        return l;
+      }
+      case RaOp::kDiff:
+        // L - R is a subset of L.
+        return SupersetUnionList(node->left());
+      case RaOp::kSelect: {
+        BQE_ASSIGN_OR_RETURN(std::vector<SupersetElem> kids,
+                             SupersetUnionList(node->left()));
+        const std::vector<AttrRef>& child_out =
+            nq_->OutputOf(node->left().get());
+        std::vector<SupersetElem> out;
+        for (SupersetElem& e : kids) {
+          if (e.out.size() != child_out.size()) {
+            return Status::Internal("superset element arity mismatch");
+          }
+          std::vector<Predicate> preds = node->preds();
+          for (Predicate& p : preds) {
+            p.lhs = Rebind(p.lhs, child_out, e.out);
+            if (p.kind == Predicate::Kind::kAttrAttr) {
+              p.rhs = Rebind(p.rhs, child_out, e.out);
+            }
+          }
+          out.push_back(
+              SupersetElem{RaExpr::Select(e.expr, std::move(preds)), e.out});
+        }
+        return out;
+      }
+      case RaOp::kProject: {
+        BQE_ASSIGN_OR_RETURN(std::vector<SupersetElem> kids,
+                             SupersetUnionList(node->left()));
+        const std::vector<AttrRef>& child_out =
+            nq_->OutputOf(node->left().get());
+        std::vector<SupersetElem> out;
+        for (SupersetElem& e : kids) {
+          std::vector<AttrRef> cols = node->cols();
+          for (AttrRef& c : cols) c = Rebind(c, child_out, e.out);
+          out.push_back(
+              SupersetElem{RaExpr::Project(e.expr, cols), std::move(cols)});
+        }
+        return out;
+      }
+      default:
+        return Status::Unimplemented("cannot build superset form");
+    }
+  }
+
+  /// pi_{R cols}(L' join R): the validated right side of the
+  /// difference-semijoin rewrite. One join per superset element of L, with
+  /// R cloned for every element beyond the first.
+  Result<RaExprPtr> BuildValidatedRight(const RaExprPtr& l, const RaExprPtr& r) {
+    BQE_ASSIGN_OR_RETURN(std::vector<SupersetElem> elements,
+                         SupersetUnionList(l));
+    if (elements.empty()) {
+      return Status::Internal("empty superset decomposition");
+    }
+    RaExprPtr result;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      // Clone both sides with fresh occurrence names; the original L keeps
+      // its names (it remains the left operand of the difference).
+      std::string suffix = StrCat("#rw", ++counter_);
+      const std::vector<AttrRef>& e_out_orig = elements[i].out;
+      const std::vector<AttrRef> r_out_orig = nq_->OutputOf(r.get());
+      if (e_out_orig.empty() || r_out_orig.empty() ||
+          e_out_orig.size() != r_out_orig.size()) {
+        return Status::Unimplemented("difference operands not aligned");
+      }
+      RaExprPtr e_clone = CloneWithSuffix(elements[i].expr, suffix);
+      std::string r_suffix = StrCat("#rw", ++counter_);
+      RaExprPtr r_clone = i == 0 ? r : CloneWithSuffix(r, r_suffix);
+
+      auto resuffix = [](const AttrRef& a, const std::string& sfx) {
+        return AttrRef{a.rel + sfx, a.attr};
+      };
+      std::vector<Predicate> join_preds;
+      std::vector<AttrRef> out_cols;
+      for (size_t j = 0; j < e_out_orig.size(); ++j) {
+        AttrRef le = resuffix(e_out_orig[j], suffix);
+        AttrRef re = i == 0 ? r_out_orig[j] : resuffix(r_out_orig[j], r_suffix);
+        join_preds.push_back(Predicate::EqAttr(le, re));
+        out_cols.push_back(re);
+      }
+      RaExprPtr joined = RaExpr::Project(
+          RaExpr::Select(RaExpr::Product(e_clone, r_clone), std::move(join_preds)),
+          std::move(out_cols));
+      result = result == nullptr ? joined : RaExpr::Union(result, joined);
+    }
+    return result;
+  }
+
+  const Catalog& catalog_;
+  const AccessSchema& schema_;
+  const NormalizedQuery* nq_ = nullptr;
+  std::set<const RaExpr*> uncovered_;
+  bool applied_ = false;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<RewriteResult> RewriteForCoverage(const NormalizedQuery& query,
+                                         const AccessSchema& schema) {
+  Rewriter rw(query.catalog(), schema);
+  return rw.Run(query.root());
+}
+
+}  // namespace bqe

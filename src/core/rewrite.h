@@ -1,0 +1,41 @@
+#ifndef BQE_CORE_REWRITE_H_
+#define BQE_CORE_REWRITE_H_
+
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "ra/normalize.h"
+
+namespace bqe {
+
+/// Outcome of the A-equivalence rewriter.
+struct RewriteResult {
+  RaExprPtr expr;          ///< Rewritten query (== input when unchanged).
+  bool changed = false;
+  int applications = 0;    ///< Number of rule applications.
+  bool covered = false;    ///< Whether the result is covered by A.
+};
+
+/// Attempts to rewrite `query` into an A-equivalent query covered by
+/// `schema`, using the difference-semijoin family of rules from Example 1:
+///
+///   E1 - E2  ==  E1 - pi_cols(E1' join_{cols pairwise =} E2)
+///
+/// applied when E2's max SPC sub-queries are not covered but E1's are; the
+/// join merges E1's (covered) bindings into E2's sub-queries, exactly the
+/// Q0 -> Q0' transformation. E1' is a fresh-occurrence clone; when E1 is a
+/// union, the join distributes over its branches.
+///
+/// The rewriter iterates to a fix point (bounded by the number of Diff
+/// nodes) and re-checks coverage after each pass. It never changes query
+/// semantics: L - R == L - (L semijoin-validated R) holds unconditionally
+/// for set difference.
+///
+/// Returns the original query with covered=false when no rewriting helps.
+/// Used by the engine (Section 7) and by the Fig. 6 experiment to count
+/// boundedly evaluable (vs. merely covered) queries.
+Result<RewriteResult> RewriteForCoverage(const NormalizedQuery& query,
+                                         const AccessSchema& schema);
+
+}  // namespace bqe
+
+#endif  // BQE_CORE_REWRITE_H_

@@ -1,0 +1,78 @@
+#include "fd/fd.h"
+
+#include <cassert>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+std::string Fd::ToString() const {
+  std::vector<std::string> l, r;
+  for (int a : lhs) l.push_back(std::to_string(a));
+  for (int a : rhs) r.push_back(std::to_string(a));
+  std::string out = "{" + StrJoin(l, ",") + "} -> {" + StrJoin(r, ",") + "}";
+  if (constraint_id >= 0) out += StrCat(" [phi", constraint_id, "]");
+  return out;
+}
+
+std::vector<bool> FdClosure(int num_attrs, const std::vector<Fd>& fds,
+                            const std::vector<int>& seed) {
+  std::vector<bool> in_closure(static_cast<size_t>(num_attrs), false);
+  // counter[i]: number of lhs attributes of fds[i] not yet in the closure.
+  std::vector<int> counter(fds.size(), 0);
+  // For each attribute, the fds whose lhs contains it.
+  std::vector<std::vector<int>> fds_of_attr(static_cast<size_t>(num_attrs));
+  std::deque<int> queue;
+
+  for (size_t i = 0; i < fds.size(); ++i) {
+    counter[i] = static_cast<int>(fds[i].lhs.size());
+    for (int a : fds[i].lhs) {
+      assert(a >= 0 && a < num_attrs);
+      fds_of_attr[static_cast<size_t>(a)].push_back(static_cast<int>(i));
+    }
+    if (counter[i] == 0) {
+      // FD with empty lhs fires unconditionally.
+      for (int b : fds[i].rhs) {
+        if (!in_closure[static_cast<size_t>(b)]) {
+          in_closure[static_cast<size_t>(b)] = true;
+          queue.push_back(b);
+        }
+      }
+    }
+  }
+  for (int a : seed) {
+    assert(a >= 0 && a < num_attrs);
+    if (!in_closure[static_cast<size_t>(a)]) {
+      in_closure[static_cast<size_t>(a)] = true;
+      queue.push_back(a);
+    }
+  }
+
+  while (!queue.empty()) {
+    int a = queue.front();
+    queue.pop_front();
+    for (int fi : fds_of_attr[static_cast<size_t>(a)]) {
+      if (--counter[fi] == 0) {
+        for (int b : fds[static_cast<size_t>(fi)].rhs) {
+          if (!in_closure[static_cast<size_t>(b)]) {
+            in_closure[static_cast<size_t>(b)] = true;
+            queue.push_back(b);
+          }
+        }
+      }
+    }
+  }
+  return in_closure;
+}
+
+bool FdImplies(int num_attrs, const std::vector<Fd>& fds,
+               const std::vector<int>& lhs, const std::vector<int>& rhs) {
+  std::vector<bool> closure = FdClosure(num_attrs, fds, lhs);
+  for (int a : rhs) {
+    if (!closure[static_cast<size_t>(a)]) return false;
+  }
+  return true;
+}
+
+}  // namespace bqe

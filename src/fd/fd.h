@@ -1,0 +1,34 @@
+#ifndef BQE_FD_FD_H_
+#define BQE_FD_FD_H_
+
+#include <string>
+#include <vector>
+
+namespace bqe {
+
+/// A functional dependency over dense attribute-class ids. Induced FDs
+/// (Section 4) remember the access constraint they were derived from via
+/// `constraint_id` so access-minimization can map FDs back to constraints.
+struct Fd {
+  std::vector<int> lhs;   ///< May be empty (the paper's `∅ -> Y` constraints).
+  std::vector<int> rhs;
+  int constraint_id = -1;
+
+  std::string ToString() const;
+};
+
+/// Computes the closure of `seed` under `fds` over a universe of
+/// `num_attrs` attribute classes, with the linear-time counting algorithm of
+/// Beeri & Bernstein (as cited in the paper for Lemma 4).
+///
+/// Returns a bitmap: result[a] == true iff class `a` is in the closure.
+std::vector<bool> FdClosure(int num_attrs, const std::vector<Fd>& fds,
+                            const std::vector<int>& seed);
+
+/// True iff `fds` implies lhs -> rhs (standard FD implication, Lemma 4).
+bool FdImplies(int num_attrs, const std::vector<Fd>& fds,
+               const std::vector<int>& lhs, const std::vector<int>& rhs);
+
+}  // namespace bqe
+
+#endif  // BQE_FD_FD_H_

@@ -1,0 +1,58 @@
+#include "fd/union_find.h"
+
+namespace bqe {
+
+UnionFind::UnionFind(int n) : parent_(n), size_(n, 1) {
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+}
+
+int UnionFind::Add() {
+  int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  size_.push_back(1);
+  return id;
+}
+
+int UnionFind::Find(int x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) {
+    int t = a;
+    a = b;
+    b = t;
+  }
+  parent_[b] = a;
+  size_[a] += size_[b];
+  return true;
+}
+
+int UnionFind::NumClasses() {
+  int n = 0;
+  for (int i = 0; i < size(); ++i) {
+    if (Find(i) == i) ++n;
+  }
+  return n;
+}
+
+std::vector<int> UnionFind::DenseClassIds() {
+  std::vector<int> dense(parent_.size(), -1);
+  std::vector<int> rep_to_dense(parent_.size(), -1);
+  int next = 0;
+  for (int i = 0; i < size(); ++i) {
+    int r = Find(i);
+    if (rep_to_dense[r] < 0) rep_to_dense[r] = next++;
+    dense[i] = rep_to_dense[r];
+  }
+  return dense;
+}
+
+}  // namespace bqe

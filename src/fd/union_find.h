@@ -1,0 +1,43 @@
+#ifndef BQE_FD_UNION_FIND_H_
+#define BQE_FD_UNION_FIND_H_
+
+#include <vector>
+
+namespace bqe {
+
+/// Disjoint-set union with path halving and union by size. Used to compute
+/// the unification function rho_U of Section 4: attributes equated by the
+/// equality atoms Sigma_Q of an SPC query collapse into one class.
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  /// Adds one more singleton element; returns its id.
+  int Add();
+
+  /// Representative of x's class.
+  int Find(int x);
+
+  /// Merges the classes of a and b; returns true if they were distinct.
+  bool Union(int a, int b);
+
+  /// True if a and b are in the same class.
+  bool Same(int a, int b) { return Find(a) == Find(b); }
+
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  /// Number of distinct classes.
+  int NumClasses();
+
+  /// Maps every element to a dense class id in [0, NumClasses()), stable
+  /// under element order (class id = order of first member).
+  std::vector<int> DenseClassIds();
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_FD_UNION_FIND_H_

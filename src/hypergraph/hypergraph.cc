@@ -1,0 +1,257 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+int Hypergraph::AddNode(std::string label) {
+  labels_.push_back(std::move(label));
+  edges_of_head_.emplace_back();
+  return static_cast<int>(labels_.size()) - 1;
+}
+
+Result<int> Hypergraph::AddEdge(std::vector<int> head, int tail, double weight,
+                                int payload) {
+  if (head.empty()) {
+    return Status::InvalidArgument("hyperedge head must be non-empty");
+  }
+  if (tail < 0 || tail >= num_nodes()) {
+    return Status::InvalidArgument("hyperedge tail out of range");
+  }
+  for (int h : head) {
+    if (h < 0 || h >= num_nodes()) {
+      return Status::InvalidArgument("hyperedge head node out of range");
+    }
+    if (h == tail) {
+      return Status::InvalidArgument("hyperedge tail must not be in its head");
+    }
+  }
+  // Deduplicate head nodes; firing counters assume multiplicity-consistent
+  // registration, and unique heads keep |H| minimal.
+  std::sort(head.begin(), head.end());
+  head.erase(std::unique(head.begin(), head.end()), head.end());
+
+  int id = static_cast<int>(edges_.size());
+  for (int h : head) edges_of_head_[static_cast<size_t>(h)].push_back(id);
+  edges_.push_back(Hyperedge{std::move(head), tail, weight, payload});
+  return id;
+}
+
+void Hypergraph::Chain(const std::vector<int>& sources,
+                       std::vector<bool>* reached,
+                       std::vector<int>* first_edge) const {
+  reached->assign(static_cast<size_t>(num_nodes()), false);
+  first_edge->assign(static_cast<size_t>(num_nodes()), -1);
+  std::vector<int> pending(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    pending[i] = static_cast<int>(edges_[i].head.size());
+  }
+  std::deque<int> queue;
+  for (int s : sources) {
+    if (!(*reached)[static_cast<size_t>(s)]) {
+      (*reached)[static_cast<size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int ei : edges_of_head_[static_cast<size_t>(v)]) {
+      if (--pending[static_cast<size_t>(ei)] == 0) {
+        int t = edges_[static_cast<size_t>(ei)].tail;
+        if (!(*reached)[static_cast<size_t>(t)]) {
+          (*reached)[static_cast<size_t>(t)] = true;
+          (*first_edge)[static_cast<size_t>(t)] = ei;
+          queue.push_back(t);
+        }
+      }
+    }
+  }
+}
+
+std::vector<bool> Hypergraph::Reachable(const std::vector<int>& sources) const {
+  std::vector<bool> reached;
+  std::vector<int> first_edge;
+  Chain(sources, &reached, &first_edge);
+  return reached;
+}
+
+Hypergraph::ChainResult Hypergraph::ChainFrom(
+    const std::vector<int>& sources) const {
+  ChainResult cr;
+  Chain(sources, &cr.reached, &cr.first_edge);
+  return cr;
+}
+
+Hypergraph::ShortestResult Hypergraph::ShortestHyperpaths(
+    const std::vector<int>& sources) const {
+  ShortestResult sr;
+  sr.dist.assign(static_cast<size_t>(num_nodes()), ShortestResult::kUnreachable);
+  sr.pred_edge.assign(static_cast<size_t>(num_nodes()), -1);
+
+  // SBT procedure: process nodes in non-decreasing final distance; an edge
+  // relaxes its tail once all head nodes are finalized, with cost
+  // weight(e) + sum over head distances.
+  std::vector<int> pending(edges_.size());
+  std::vector<bool> done(static_cast<size_t>(num_nodes()), false);
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    pending[i] = static_cast<int>(edges_[i].head.size());
+  }
+  using Entry = std::pair<double, int>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  for (int s : sources) {
+    if (sr.dist[static_cast<size_t>(s)] > 0.0) {
+      sr.dist[static_cast<size_t>(s)] = 0.0;
+      pq.emplace(0.0, s);
+    }
+  }
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (done[static_cast<size_t>(v)]) continue;
+    if (d > sr.dist[static_cast<size_t>(v)]) continue;
+    done[static_cast<size_t>(v)] = true;
+    for (int ei : edges_of_head_[static_cast<size_t>(v)]) {
+      const Hyperedge& e = edges_[static_cast<size_t>(ei)];
+      if (--pending[static_cast<size_t>(ei)] > 0) continue;
+      double cost = e.weight;
+      for (int h : e.head) cost += sr.dist[static_cast<size_t>(h)];
+      if (cost < sr.dist[static_cast<size_t>(e.tail)]) {
+        sr.dist[static_cast<size_t>(e.tail)] = cost;
+        sr.pred_edge[static_cast<size_t>(e.tail)] = ei;
+        pq.emplace(cost, e.tail);
+      }
+    }
+  }
+  return sr;
+}
+
+Result<std::vector<int>> Hypergraph::CollectEdges(
+    const std::vector<int>& pred_edge, const std::vector<bool>& is_source,
+    int target) const {
+  // Depth-first collection of the edges proving `target`, emitting each edge
+  // after all edges proving its head (dependency order). pred_edge encodes a
+  // DAG (each edge was recorded when its full head was already proven), so
+  // iterative DFS with a done-set terminates.
+  std::vector<int> order;
+  std::vector<bool> emitted(edges_.size(), false);
+  std::vector<bool> visiting(static_cast<size_t>(num_nodes()), false);
+  // Explicit stack of (node, phase).
+  struct Frame {
+    int node;
+    size_t next_head = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{target});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (is_source[static_cast<size_t>(f.node)]) {
+      stack.pop_back();
+      continue;
+    }
+    int ei = pred_edge[static_cast<size_t>(f.node)];
+    if (ei < 0) {
+      return Status::NotFound(
+          StrCat("no hyperpath to node ", f.node, " ('", label(f.node), "')"));
+    }
+    const Hyperedge& e = edges_[static_cast<size_t>(ei)];
+    if (f.next_head < e.head.size()) {
+      int h = e.head[f.next_head++];
+      if (!is_source[static_cast<size_t>(h)] &&
+          !visiting[static_cast<size_t>(h)]) {
+        int hei = pred_edge[static_cast<size_t>(h)];
+        if (hei >= 0 && !emitted[static_cast<size_t>(hei)]) {
+          visiting[static_cast<size_t>(h)] = true;
+          stack.push_back(Frame{h});
+        } else if (hei < 0) {
+          return Status::NotFound(
+              StrCat("no hyperpath to node ", h, " ('", label(h), "')"));
+        }
+      }
+      continue;
+    }
+    if (!emitted[static_cast<size_t>(ei)]) {
+      emitted[static_cast<size_t>(ei)] = true;
+      order.push_back(ei);
+    }
+    stack.pop_back();
+  }
+  return order;
+}
+
+Result<std::vector<int>> Hypergraph::FindHyperpath(
+    const std::vector<int>& sources, int target) const {
+  std::vector<bool> reached;
+  std::vector<int> first_edge;
+  Chain(sources, &reached, &first_edge);
+  if (!reached[static_cast<size_t>(target)]) {
+    return Status::NotFound(
+        StrCat("node ", target, " ('", label(target), "') unreachable"));
+  }
+  std::vector<bool> is_source(static_cast<size_t>(num_nodes()), false);
+  for (int s : sources) is_source[static_cast<size_t>(s)] = true;
+  return CollectEdges(first_edge, is_source, target);
+}
+
+Result<std::vector<int>> Hypergraph::ExtractPath(const ShortestResult& sr,
+                                                 int target) const {
+  if (sr.dist[static_cast<size_t>(target)] >= ShortestResult::kUnreachable) {
+    return Status::NotFound(
+        StrCat("node ", target, " ('", label(target), "') unreachable"));
+  }
+  std::vector<bool> is_source(static_cast<size_t>(num_nodes()), false);
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (sr.dist[static_cast<size_t>(v)] == 0.0 &&
+        sr.pred_edge[static_cast<size_t>(v)] < 0) {
+      is_source[static_cast<size_t>(v)] = true;
+    }
+  }
+  return CollectEdges(sr.pred_edge, is_source, target);
+}
+
+bool Hypergraph::UnderlyingAcyclic() const {
+  // Kahn's algorithm on the underlying digraph.
+  std::vector<int> indeg(static_cast<size_t>(num_nodes()), 0);
+  std::vector<std::vector<int>> out(static_cast<size_t>(num_nodes()));
+  for (const Hyperedge& e : edges_) {
+    for (int h : e.head) {
+      out[static_cast<size_t>(h)].push_back(e.tail);
+      ++indeg[static_cast<size_t>(e.tail)];
+    }
+  }
+  std::deque<int> queue;
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (indeg[static_cast<size_t>(v)] == 0) queue.push_back(v);
+  }
+  int seen = 0;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    ++seen;
+    for (int t : out[static_cast<size_t>(v)]) {
+      if (--indeg[static_cast<size_t>(t)] == 0) queue.push_back(t);
+    }
+  }
+  return seen == num_nodes();
+}
+
+std::string Hypergraph::ToString() const {
+  std::string s = StrCat("Hypergraph: ", num_nodes(), " nodes, ", edges_.size(),
+                         " edges\n");
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Hyperedge& e = edges_[i];
+    std::vector<std::string> hs;
+    for (int h : e.head) hs.push_back(label(h).empty() ? std::to_string(h) : label(h));
+    s += StrCat("  e", i, ": {", StrJoin(hs, ","), "} -> ",
+                label(e.tail).empty() ? std::to_string(e.tail) : label(e.tail),
+                " w=", e.weight, "\n");
+  }
+  return s;
+}
+
+}  // namespace bqe

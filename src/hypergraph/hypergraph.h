@@ -1,0 +1,106 @@
+#ifndef BQE_HYPERGRAPH_HYPERGRAPH_H_
+#define BQE_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bqe {
+
+/// One directed hyperedge e = (head(e), tail(e)) following the paper's
+/// convention (Section 5.2): `head` is the source *set*, `tail` the single
+/// target node. `payload` carries caller data (BQE stores induced-FD /
+/// access-constraint ids); `weight` is used by weighted shortest hyperpaths
+/// (Section 6.2).
+struct Hyperedge {
+  std::vector<int> head;
+  int tail = -1;
+  double weight = 0.0;
+  int payload = -1;
+};
+
+/// A directed hypergraph (V, E) as in Ausiello et al., used to encode the
+/// induced RHS-FDs of a query under an access schema (the <Q,A>-hypergraph).
+class Hypergraph {
+ public:
+  /// Adds a node, returns its dense id.
+  int AddNode(std::string label = "");
+
+  /// Adds a hyperedge; head must be non-empty, all ids valid, tail not in
+  /// head (the paper requires t ∈ V \ H).
+  Result<int> AddEdge(std::vector<int> head, int tail, double weight = 0.0,
+                      int payload = -1);
+
+  int num_nodes() const { return static_cast<int>(labels_.size()); }
+  const std::vector<Hyperedge>& edges() const { return edges_; }
+  const std::string& label(int node) const {
+    return labels_[static_cast<size_t>(node)];
+  }
+
+  /// B-reachability: nodes reachable from `sources` by forward chaining
+  /// (a hyperedge fires once its entire head is reached).
+  std::vector<bool> Reachable(const std::vector<int>& sources) const;
+
+  /// Forward-chaining result: reachability plus, per node, the hyperedge
+  /// that first reached it (-1 for sources / unreached). The planner
+  /// translates these assignments into unit fetching plans (transQP).
+  struct ChainResult {
+    std::vector<bool> reached;
+    std::vector<int> first_edge;
+  };
+  ChainResult ChainFrom(const std::vector<int>& sources) const;
+
+  /// Result of a shortest-hyperpath computation (SBT procedure with additive
+  /// costs, cf. Gallo et al.): per-node distance and the edge that last
+  /// improved it (-1 for sources / unreachable).
+  struct ShortestResult {
+    std::vector<double> dist;
+    std::vector<int> pred_edge;
+    static constexpr double kUnreachable = 1e300;
+  };
+
+  /// Dijkstra-like shortest hyperpaths from the source set, where the cost of
+  /// reaching a node via edge e is weight(e) plus the sum of the costs of
+  /// e's head nodes. Requires non-negative weights.
+  ShortestResult ShortestHyperpaths(const std::vector<int>& sources) const;
+
+  /// Extracts the hyperedges of a hyperpath from `sources` to `target`:
+  /// unweighted variant (minimal edge set discovered by forward chaining).
+  /// Edges are returned in firing order, satisfying the hyperpath ordering
+  /// property of Section 5.2. Fails when target is unreachable.
+  Result<std::vector<int>> FindHyperpath(const std::vector<int>& sources,
+                                         int target) const;
+
+  /// Extracts the hyperpath encoded by a ShortestResult; edges in dependency
+  /// order. Fails when target is unreachable.
+  Result<std::vector<int>> ExtractPath(const ShortestResult& sr,
+                                       int target) const;
+
+  /// True if the *underlying directed graph* (each hyperedge (H, t) replaced
+  /// by edges h -> t for h in H) is acyclic — the paper's acyclic case of
+  /// Section 6.1.
+  bool UnderlyingAcyclic() const;
+
+  std::string ToString() const;
+
+ private:
+  /// Shared machinery: forward chaining that records, for every newly
+  /// reached node, the edge that first reached it.
+  void Chain(const std::vector<int>& sources, std::vector<bool>* reached,
+             std::vector<int>* first_edge) const;
+
+  Result<std::vector<int>> CollectEdges(const std::vector<int>& pred_edge,
+                                        const std::vector<bool>& is_source,
+                                        int target) const;
+
+  std::vector<std::string> labels_;
+  std::vector<Hyperedge> edges_;
+  // edges_of_head_[v]: ids of edges whose head contains v.
+  std::vector<std::vector<int>> edges_of_head_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_HYPERGRAPH_HYPERGRAPH_H_

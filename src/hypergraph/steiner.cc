@@ -1,0 +1,185 @@
+#include "hypergraph/steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// All-pairs shortest paths with per-source predecessor edges, computed by
+/// repeated Dijkstra (graphs here are small: one node per attribute class).
+struct Apsp {
+  int n = 0;
+  std::vector<std::vector<double>> dist;       // [src][dst]
+  std::vector<std::vector<int>> pred_edge;     // [src][dst] -> edge id or -1
+
+  Apsp(int num_nodes, const std::vector<DiEdge>& edges) : n(num_nodes) {
+    std::vector<std::vector<int>> out(static_cast<size_t>(n));
+    for (size_t i = 0; i < edges.size(); ++i) {
+      out[static_cast<size_t>(edges[i].from)].push_back(static_cast<int>(i));
+    }
+    dist.assign(static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), kInf));
+    pred_edge.assign(static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(n), -1));
+    using Entry = std::pair<double, int>;
+    for (int s = 0; s < n; ++s) {
+      auto& d = dist[static_cast<size_t>(s)];
+      auto& p = pred_edge[static_cast<size_t>(s)];
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+      d[static_cast<size_t>(s)] = 0.0;
+      pq.emplace(0.0, s);
+      while (!pq.empty()) {
+        auto [du, u] = pq.top();
+        pq.pop();
+        if (du > d[static_cast<size_t>(u)]) continue;
+        for (int ei : out[static_cast<size_t>(u)]) {
+          const DiEdge& e = edges[static_cast<size_t>(ei)];
+          double nd = du + e.weight;
+          if (nd < d[static_cast<size_t>(e.to)]) {
+            d[static_cast<size_t>(e.to)] = nd;
+            p[static_cast<size_t>(e.to)] = ei;
+            pq.emplace(nd, e.to);
+          }
+        }
+      }
+    }
+  }
+
+  /// Edge ids of the shortest path src -> dst (empty when src == dst).
+  std::vector<int> PathEdges(const std::vector<DiEdge>& edges, int src,
+                             int dst) const {
+    std::vector<int> path;
+    int cur = dst;
+    while (cur != src) {
+      int ei = pred_edge[static_cast<size_t>(src)][static_cast<size_t>(cur)];
+      if (ei < 0) return {};  // Unreachable; callers check dist first.
+      path.push_back(ei);
+      cur = edges[static_cast<size_t>(ei)].from;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+};
+
+/// Cost of a set of edge ids (each distinct edge counted once).
+double EdgeSetCost(const std::vector<DiEdge>& edges, const std::set<int>& ids) {
+  double c = 0.0;
+  for (int ei : ids) c += edges[static_cast<size_t>(ei)].weight;
+  return c;
+}
+
+struct Partial {
+  std::set<int> edge_ids;
+  std::set<int> covered;  // terminal node ids covered
+  double cost = 0.0;
+};
+
+/// Level-1 greedy: from `root`, take the k nearest (by shortest path)
+/// uncovered terminals; tree = union of the shortest paths.
+Partial GreedyLevel1(const Apsp& apsp, const std::vector<DiEdge>& edges,
+                     int root, const std::vector<int>& terminals, int k) {
+  std::vector<std::pair<double, int>> by_dist;
+  for (int t : terminals) {
+    double d = apsp.dist[static_cast<size_t>(root)][static_cast<size_t>(t)];
+    if (d < kInf) by_dist.emplace_back(d, t);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  Partial out;
+  for (int i = 0; i < k && i < static_cast<int>(by_dist.size()); ++i) {
+    int t = by_dist[static_cast<size_t>(i)].second;
+    for (int ei : apsp.PathEdges(edges, root, t)) out.edge_ids.insert(ei);
+    out.covered.insert(t);
+  }
+  out.cost = EdgeSetCost(edges, out.edge_ids);
+  return out;
+}
+
+/// Charikar recursive-greedy A_i(k, root, terminals): repeatedly attach the
+/// lowest-density partial tree (path root->v followed by a level-(i-1) tree
+/// at v) until k terminals are covered or progress stops.
+Partial RecursiveGreedy(const Apsp& apsp, const std::vector<DiEdge>& edges,
+                        int root, std::vector<int> terminals, int k,
+                        int level) {
+  if (level <= 1) return GreedyLevel1(apsp, edges, root, terminals, k);
+  Partial total;
+  while (k > 0 && !terminals.empty()) {
+    Partial best;
+    double best_density = kInf;
+    for (int v = 0; v < apsp.n; ++v) {
+      double d_rv = apsp.dist[static_cast<size_t>(root)][static_cast<size_t>(v)];
+      if (d_rv >= kInf) continue;
+      for (int kp = 1; kp <= k; ++kp) {
+        Partial sub = RecursiveGreedy(apsp, edges, v, terminals, kp, level - 1);
+        if (sub.covered.empty()) break;  // Larger kp cannot cover more.
+        Partial cand = sub;
+        for (int ei : apsp.PathEdges(edges, root, v)) cand.edge_ids.insert(ei);
+        cand.cost = EdgeSetCost(edges, cand.edge_ids);
+        double density = cand.cost / static_cast<double>(cand.covered.size());
+        if (density < best_density) {
+          best_density = density;
+          best = std::move(cand);
+        }
+        if (static_cast<int>(sub.covered.size()) < kp) break;  // Saturated.
+      }
+    }
+    if (best.covered.empty()) break;  // No further terminal reachable.
+    for (int ei : best.edge_ids) total.edge_ids.insert(ei);
+    for (int t : best.covered) total.covered.insert(t);
+    k -= static_cast<int>(best.covered.size());
+    std::vector<int> remaining;
+    for (int t : terminals) {
+      if (best.covered.count(t) == 0) remaining.push_back(t);
+    }
+    terminals = std::move(remaining);
+  }
+  total.cost = EdgeSetCost(edges, total.edge_ids);
+  return total;
+}
+
+}  // namespace
+
+Result<SteinerSolution> SolveSteinerArborescence(
+    int num_nodes, const std::vector<DiEdge>& edges, int root,
+    const std::vector<int>& terminals, int level) {
+  for (const DiEdge& e : edges) {
+    if (e.from < 0 || e.from >= num_nodes || e.to < 0 || e.to >= num_nodes) {
+      return Status::InvalidArgument("Steiner edge endpoint out of range");
+    }
+    if (e.weight < 0) {
+      return Status::InvalidArgument("Steiner edge weights must be >= 0");
+    }
+  }
+  if (root < 0 || root >= num_nodes) {
+    return Status::InvalidArgument("Steiner root out of range");
+  }
+  Apsp apsp(num_nodes, edges);
+  // De-duplicate terminals; the root itself is trivially covered.
+  std::set<int> term_set(terminals.begin(), terminals.end());
+  term_set.erase(root);
+  std::vector<int> terms(term_set.begin(), term_set.end());
+  for (int t : terms) {
+    if (apsp.dist[static_cast<size_t>(root)][static_cast<size_t>(t)] >= kInf) {
+      return Status::NotFound(
+          StrCat("terminal ", t, " unreachable from Steiner root"));
+    }
+  }
+  Partial sol = RecursiveGreedy(apsp, edges, root, terms,
+                                static_cast<int>(terms.size()),
+                                level < 1 ? 1 : level);
+  SteinerSolution out;
+  out.edge_ids.assign(sol.edge_ids.begin(), sol.edge_ids.end());
+  out.cost = sol.cost;
+  out.covered_terminals = static_cast<int>(sol.covered.size());
+  if (out.covered_terminals != static_cast<int>(terms.size())) {
+    return Status::Internal("recursive greedy failed to span all terminals");
+  }
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,43 @@
+#ifndef BQE_HYPERGRAPH_STEINER_H_
+#define BQE_HYPERGRAPH_STEINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace bqe {
+
+/// A weighted directed edge of an ordinary digraph (the <Q,A>-hypergraph of
+/// an *elementary* instance degenerates to this, Section 6.2).
+struct DiEdge {
+  int from = -1;
+  int to = -1;
+  double weight = 0.0;
+  int payload = -1;  ///< BQE stores the access-constraint id here.
+};
+
+/// Solution of a directed Steiner arborescence instance.
+struct SteinerSolution {
+  std::vector<int> edge_ids;  ///< Indices into the input edge list.
+  double cost = 0.0;          ///< Sum of distinct selected edge weights.
+  int covered_terminals = 0;
+};
+
+/// Approximates the Directed Minimum Steiner Arborescence problem
+/// dminSAP(G, root, terminals) (cf. Charikar et al., SODA 1998): find a
+/// low-weight out-arborescence rooted at `root` spanning all `terminals`.
+///
+/// `level` is the recursion depth i of the Charikar A_i recursive-greedy
+/// scheme; level 1 is the shortest-paths greedy, level 2 (default) gives the
+/// O(|terminals|^eps)-flavoured bound used by minAE (Theorem 10(3)).
+///
+/// Fails with NotFound if some terminal is unreachable from the root.
+Result<SteinerSolution> SolveSteinerArborescence(int num_nodes,
+                                                 const std::vector<DiEdge>& edges,
+                                                 int root,
+                                                 const std::vector<int>& terminals,
+                                                 int level = 2);
+
+}  // namespace bqe
+
+#endif  // BQE_HYPERGRAPH_STEINER_H_

@@ -1,0 +1,3 @@
+#include "ra/builder.h"
+
+// Builder helpers are header-only; this TU anchors the library target.

@@ -1,0 +1,63 @@
+#ifndef BQE_RA_BUILDER_H_
+#define BQE_RA_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ra/expr.h"
+
+namespace bqe {
+
+/// Terse construction helpers for RA expressions, used heavily by tests and
+/// examples:
+///
+///   auto q = Project(
+///       Select(Product(Rel("friend"), RelAs("dine", "d")),
+///              {EqA(A("friend", "fid"), A("d", "pid")),
+///               EqC(A("friend", "pid"), Value::Str("p0"))}),
+///       {A("d", "cid")});
+
+inline AttrRef A(std::string rel, std::string attr) {
+  return AttrRef{std::move(rel), std::move(attr)};
+}
+
+inline Predicate EqA(AttrRef a, AttrRef b) {
+  return Predicate::EqAttr(std::move(a), std::move(b));
+}
+inline Predicate EqC(AttrRef a, Value c) {
+  return Predicate::EqConst(std::move(a), std::move(c));
+}
+
+inline RaExprPtr Rel(std::string base) { return RaExpr::Rel(std::move(base)); }
+inline RaExprPtr RelAs(std::string base, std::string occ) {
+  return RaExpr::Rel(std::move(base), std::move(occ));
+}
+inline RaExprPtr Select(RaExprPtr child, std::vector<Predicate> preds) {
+  return RaExpr::Select(std::move(child), std::move(preds));
+}
+inline RaExprPtr Project(RaExprPtr child, std::vector<AttrRef> cols) {
+  return RaExpr::Project(std::move(child), std::move(cols));
+}
+inline RaExprPtr Product(RaExprPtr l, RaExprPtr r) {
+  return RaExpr::Product(std::move(l), std::move(r));
+}
+inline RaExprPtr Union(RaExprPtr l, RaExprPtr r) {
+  return RaExpr::Union(std::move(l), std::move(r));
+}
+inline RaExprPtr Diff(RaExprPtr l, RaExprPtr r) {
+  return RaExpr::Diff(std::move(l), std::move(r));
+}
+
+/// Equi-join sugar: sigma_{pairs}(l x r).
+inline RaExprPtr Join(RaExprPtr l, RaExprPtr r,
+                      std::vector<std::pair<AttrRef, AttrRef>> on) {
+  std::vector<Predicate> preds;
+  preds.reserve(on.size());
+  for (auto& [a, b] : on) preds.push_back(EqA(std::move(a), std::move(b)));
+  return Select(Product(std::move(l), std::move(r)), std::move(preds));
+}
+
+}  // namespace bqe
+
+#endif  // BQE_RA_BUILDER_H_

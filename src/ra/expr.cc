@@ -1,0 +1,144 @@
+#include "ra/expr.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, const Value& a, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  if (kind == Kind::kAttrAttr) {
+    return StrCat(lhs.ToString(), " ", CmpOpName(op), " ", rhs.ToString());
+  }
+  return StrCat(lhs.ToString(), " ", CmpOpName(op), " ", constant.ToString());
+}
+
+RaExprPtr RaExpr::Rel(std::string base, std::string occurrence) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kRel;
+  e->occurrence_ = occurrence.empty() ? base : std::move(occurrence);
+  e->base_ = std::move(base);
+  return e;
+}
+
+RaExprPtr RaExpr::Select(RaExprPtr child, std::vector<Predicate> preds) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kSelect;
+  e->left_ = std::move(child);
+  e->preds_ = std::move(preds);
+  return e;
+}
+
+RaExprPtr RaExpr::Project(RaExprPtr child, std::vector<AttrRef> cols) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kProject;
+  e->left_ = std::move(child);
+  e->cols_ = std::move(cols);
+  return e;
+}
+
+RaExprPtr RaExpr::Product(RaExprPtr left, RaExprPtr right) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kProduct;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr left, RaExprPtr right) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kUnion;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+RaExprPtr RaExpr::Diff(RaExprPtr left, RaExprPtr right) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->op_ = RaOp::kDiff;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+size_t RaExpr::TreeSize() const {
+  size_t n = 1 + preds_.size() + cols_.size();
+  if (left_) n += left_->TreeSize();
+  if (right_) n += right_->TreeSize();
+  return n;
+}
+
+namespace {
+
+AttrRef Resuffix(const AttrRef& ref, const std::string& suffix) {
+  return AttrRef{ref.rel + suffix, ref.attr};
+}
+
+}  // namespace
+
+RaExprPtr CloneWithSuffix(const RaExprPtr& expr, const std::string& suffix) {
+  switch (expr->op()) {
+    case RaOp::kRel:
+      return RaExpr::Rel(expr->base(), expr->occurrence() + suffix);
+    case RaOp::kSelect: {
+      std::vector<Predicate> preds = expr->preds();
+      for (Predicate& p : preds) {
+        p.lhs = Resuffix(p.lhs, suffix);
+        if (p.kind == Predicate::Kind::kAttrAttr) p.rhs = Resuffix(p.rhs, suffix);
+      }
+      return RaExpr::Select(CloneWithSuffix(expr->left(), suffix), std::move(preds));
+    }
+    case RaOp::kProject: {
+      std::vector<AttrRef> cols = expr->cols();
+      for (AttrRef& c : cols) c = Resuffix(c, suffix);
+      return RaExpr::Project(CloneWithSuffix(expr->left(), suffix), std::move(cols));
+    }
+    case RaOp::kProduct:
+      return RaExpr::Product(CloneWithSuffix(expr->left(), suffix),
+                             CloneWithSuffix(expr->right(), suffix));
+    case RaOp::kUnion:
+      return RaExpr::Union(CloneWithSuffix(expr->left(), suffix),
+                           CloneWithSuffix(expr->right(), suffix));
+    case RaOp::kDiff:
+      return RaExpr::Diff(CloneWithSuffix(expr->left(), suffix),
+                          CloneWithSuffix(expr->right(), suffix));
+  }
+  return nullptr;
+}
+
+}  // namespace bqe

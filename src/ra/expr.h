@@ -1,0 +1,121 @@
+#ifndef BQE_RA_EXPR_H_
+#define BQE_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace bqe {
+
+/// Relational-algebra operators of the paper (Section 2): selection,
+/// projection, Cartesian product, union, set difference. Renaming (rho) is
+/// folded into kRel occurrence names (the paper's normal form, Lemma 1).
+enum class RaOp { kRel, kSelect, kProject, kProduct, kUnion, kDiff };
+
+/// A reference to one attribute of one relation *occurrence*. After
+/// normalization every occurrence name is unique across the query, so an
+/// AttrRef identifies an attribute unambiguously.
+struct AttrRef {
+  std::string rel;   ///< Occurrence name (e.g. "dine" or "dine#2").
+  std::string attr;  ///< Attribute name within the base schema.
+
+  bool operator==(const AttrRef& other) const {
+    return rel == other.rel && attr == other.attr;
+  }
+  bool operator<(const AttrRef& other) const {
+    return rel != other.rel ? rel < other.rel : attr < other.attr;
+  }
+
+  /// "rel.attr".
+  std::string ToString() const { return rel + "." + attr; }
+};
+
+/// Comparison operator of a selection atom.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `a op b` on concrete values.
+bool EvalCmp(CmpOp op, const Value& a, const Value& b);
+
+/// One selection atom: attr-op-attr or attr-op-constant. Only equality atoms
+/// feed Sigma_Q (the equality derivation of Section 3); other comparators are
+/// legal in queries and simply mark their attributes as needed (in X_Q).
+struct Predicate {
+  enum class Kind { kAttrAttr, kAttrConst };
+
+  Kind kind = Kind::kAttrConst;
+  CmpOp op = CmpOp::kEq;
+  AttrRef lhs;
+  AttrRef rhs;       ///< Valid when kind == kAttrAttr.
+  Value constant;    ///< Valid when kind == kAttrConst.
+
+  static Predicate EqAttr(AttrRef a, AttrRef b) {
+    return Predicate{Kind::kAttrAttr, CmpOp::kEq, std::move(a), std::move(b), Value()};
+  }
+  static Predicate EqConst(AttrRef a, Value c) {
+    return Predicate{Kind::kAttrConst, CmpOp::kEq, std::move(a), AttrRef{}, std::move(c)};
+  }
+  static Predicate CmpAttr(CmpOp op, AttrRef a, AttrRef b) {
+    return Predicate{Kind::kAttrAttr, op, std::move(a), std::move(b), Value()};
+  }
+  static Predicate CmpConst(CmpOp op, AttrRef a, Value c) {
+    return Predicate{Kind::kAttrConst, op, std::move(a), AttrRef{}, std::move(c)};
+  }
+
+  bool is_equality() const { return op == CmpOp::kEq; }
+
+  std::string ToString() const;
+};
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// An immutable relational-algebra expression node. Trees are shared via
+/// shared_ptr; all transformations build new nodes.
+class RaExpr {
+ public:
+  /// Base relation occurrence. `occurrence` defaults to the base name.
+  static RaExprPtr Rel(std::string base, std::string occurrence = "");
+  /// sigma_{preds}(child), conjunctive condition.
+  static RaExprPtr Select(RaExprPtr child, std::vector<Predicate> preds);
+  /// pi_{cols}(child); set semantics (distinct).
+  static RaExprPtr Project(RaExprPtr child, std::vector<AttrRef> cols);
+  static RaExprPtr Product(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Diff(RaExprPtr left, RaExprPtr right);
+
+  RaOp op() const { return op_; }
+  const std::string& base() const { return base_; }
+  const std::string& occurrence() const { return occurrence_; }
+  const std::vector<Predicate>& preds() const { return preds_; }
+  const std::vector<AttrRef>& cols() const { return cols_; }
+  const RaExprPtr& left() const { return left_; }
+  const RaExprPtr& right() const { return right_; }
+
+  /// Number of nodes in the tree (the paper's |Q| up to a constant).
+  size_t TreeSize() const;
+
+ private:
+  RaExpr() = default;
+
+  RaOp op_ = RaOp::kRel;
+  std::string base_;
+  std::string occurrence_;
+  std::vector<Predicate> preds_;
+  std::vector<AttrRef> cols_;
+  RaExprPtr left_;
+  RaExprPtr right_;
+};
+
+/// Deep-copies `expr`, appending `suffix` to every relation occurrence name
+/// and rewriting all attribute references accordingly. Used to keep
+/// occurrence names unique when an expression is duplicated (INTERSECT
+/// desugaring, the difference-semijoin rewrite of Example 1).
+RaExprPtr CloneWithSuffix(const RaExprPtr& expr, const std::string& suffix);
+
+}  // namespace bqe
+
+#endif  // BQE_RA_EXPR_H_

@@ -1,0 +1,199 @@
+#include "ra/normalize.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+/// Recursive validation; fills occ_to_base_ and output_attrs_.
+class Normalizer {
+ public:
+  Normalizer(const Catalog& catalog, NormalizedQuery* out,
+             std::map<std::string, std::string>* occ_to_base,
+             std::vector<std::pair<std::string, std::string>>* occurrences,
+             std::map<const RaExpr*, std::vector<AttrRef>>* output_attrs)
+      : catalog_(catalog),
+        out_(out),
+        occ_to_base_(occ_to_base),
+        occurrences_(occurrences),
+        output_attrs_(output_attrs) {}
+
+  Status Visit(const RaExprPtr& node) {
+    switch (node->op()) {
+      case RaOp::kRel:
+        return VisitRel(node);
+      case RaOp::kSelect:
+        return VisitSelect(node);
+      case RaOp::kProject:
+        return VisitProject(node);
+      case RaOp::kProduct:
+        return VisitProduct(node);
+      case RaOp::kUnion:
+      case RaOp::kDiff:
+        return VisitSetOp(node);
+    }
+    return Status::Internal("unknown RA op");
+  }
+
+ private:
+  Status VisitRel(const RaExprPtr& node) {
+    BQE_ASSIGN_OR_RETURN(const RelationSchema* schema,
+                         catalog_.Require(node->base()));
+    const std::string& occ = node->occurrence();
+    if (occ_to_base_->count(occ) > 0) {
+      return Status::InvalidArgument(
+          StrCat("duplicate relation occurrence '", occ,
+                 "'; rename one occurrence (normal form of Lemma 1)"));
+    }
+    occ_to_base_->emplace(occ, node->base());
+    occurrences_->emplace_back(occ, node->base());
+    std::vector<AttrRef> attrs;
+    attrs.reserve(schema->arity());
+    for (const Attribute& a : schema->attrs()) {
+      attrs.push_back(AttrRef{occ, a.name});
+    }
+    output_attrs_->emplace(node.get(), std::move(attrs));
+    return Status::Ok();
+  }
+
+  Status VisitSelect(const RaExprPtr& node) {
+    BQE_RETURN_IF_ERROR(Visit(node->left()));
+    const std::vector<AttrRef>& scope = out_->OutputOf(node->left().get());
+    for (const Predicate& p : node->preds()) {
+      BQE_ASSIGN_OR_RETURN(ValueType lt, CheckInScope(p.lhs, scope));
+      if (p.kind == Predicate::Kind::kAttrAttr) {
+        BQE_ASSIGN_OR_RETURN(ValueType rt, CheckInScope(p.rhs, scope));
+        if (lt != rt) {
+          return Status::InvalidArgument(
+              StrCat("type mismatch in predicate ", p.ToString(), ": ",
+                     ValueTypeName(lt), " vs ", ValueTypeName(rt)));
+        }
+      } else {
+        if (!p.constant.is_null() && TypeOfValue(p.constant) != lt) {
+          return Status::InvalidArgument(
+              StrCat("type mismatch in predicate ", p.ToString(), ": column is ",
+                     ValueTypeName(lt), ", literal is ",
+                     ValueTypeName(TypeOfValue(p.constant))));
+        }
+      }
+    }
+    output_attrs_->emplace(node.get(), scope);
+    return Status::Ok();
+  }
+
+  Status VisitProject(const RaExprPtr& node) {
+    BQE_RETURN_IF_ERROR(Visit(node->left()));
+    const std::vector<AttrRef>& scope = out_->OutputOf(node->left().get());
+    if (node->cols().empty()) {
+      return Status::InvalidArgument("projection must keep at least one column");
+    }
+    for (const AttrRef& c : node->cols()) {
+      Result<ValueType> checked = CheckInScope(c, scope);
+      if (!checked.ok()) return checked.status();
+    }
+    output_attrs_->emplace(node.get(), node->cols());
+    return Status::Ok();
+  }
+
+  Status VisitProduct(const RaExprPtr& node) {
+    BQE_RETURN_IF_ERROR(Visit(node->left()));
+    BQE_RETURN_IF_ERROR(Visit(node->right()));
+    std::vector<AttrRef> attrs = out_->OutputOf(node->left().get());
+    const std::vector<AttrRef>& right = out_->OutputOf(node->right().get());
+    attrs.insert(attrs.end(), right.begin(), right.end());
+    output_attrs_->emplace(node.get(), std::move(attrs));
+    return Status::Ok();
+  }
+
+  Status VisitSetOp(const RaExprPtr& node) {
+    BQE_RETURN_IF_ERROR(Visit(node->left()));
+    BQE_RETURN_IF_ERROR(Visit(node->right()));
+    const std::vector<AttrRef>& l = out_->OutputOf(node->left().get());
+    const std::vector<AttrRef>& r = out_->OutputOf(node->right().get());
+    const char* opname = node->op() == RaOp::kUnion ? "union" : "difference";
+    if (l.size() != r.size()) {
+      return Status::InvalidArgument(
+          StrCat(opname, " operands have different arity: ", l.size(), " vs ",
+                 r.size()));
+    }
+    for (size_t i = 0; i < l.size(); ++i) {
+      BQE_ASSIGN_OR_RETURN(ValueType lt, out_->TypeOf(l[i]));
+      BQE_ASSIGN_OR_RETURN(ValueType rt, out_->TypeOf(r[i]));
+      if (lt != rt) {
+        return Status::InvalidArgument(
+            StrCat(opname, " column ", i, " type mismatch: ", ValueTypeName(lt),
+                   " vs ", ValueTypeName(rt)));
+      }
+    }
+    output_attrs_->emplace(node.get(), l);
+    return Status::Ok();
+  }
+
+  static ValueType TypeOfValue(const Value& v) { return v.type(); }
+
+  Result<ValueType> CheckInScope(const AttrRef& ref,
+                                 const std::vector<AttrRef>& scope) {
+    if (std::find(scope.begin(), scope.end(), ref) == scope.end()) {
+      return Status::InvalidArgument(
+          StrCat("attribute ", ref.ToString(), " is not in scope"));
+    }
+    return out_->TypeOf(ref);
+  }
+
+  const Catalog& catalog_;
+  NormalizedQuery* out_;
+  std::map<std::string, std::string>* occ_to_base_;
+  std::vector<std::pair<std::string, std::string>>* occurrences_;
+  std::map<const RaExpr*, std::vector<AttrRef>>* output_attrs_;
+};
+
+}  // namespace
+
+Result<std::string> NormalizedQuery::BaseOf(const std::string& occ) const {
+  auto it = occ_to_base_.find(occ);
+  if (it == occ_to_base_.end()) {
+    return Status::NotFound(StrCat("unknown occurrence '", occ, "'"));
+  }
+  return it->second;
+}
+
+const std::vector<AttrRef>& NormalizedQuery::OutputOf(const RaExpr* node) const {
+  static const std::vector<AttrRef> kEmpty;
+  auto it = output_attrs_.find(node);
+  return it == output_attrs_.end() ? kEmpty : it->second;
+}
+
+Result<ValueType> NormalizedQuery::TypeOf(const AttrRef& ref) const {
+  BQE_ASSIGN_OR_RETURN(std::string base, BaseOf(ref.rel));
+  BQE_ASSIGN_OR_RETURN(const RelationSchema* schema, catalog_->Require(base));
+  BQE_ASSIGN_OR_RETURN(int idx, schema->RequireAttr(ref.attr));
+  return schema->attrs()[static_cast<size_t>(idx)].type;
+}
+
+Result<std::vector<AttrRef>> NormalizedQuery::SchemaAttrsOf(
+    const std::string& occ) const {
+  BQE_ASSIGN_OR_RETURN(std::string base, BaseOf(occ));
+  BQE_ASSIGN_OR_RETURN(const RelationSchema* schema, catalog_->Require(base));
+  std::vector<AttrRef> attrs;
+  attrs.reserve(schema->arity());
+  for (const Attribute& a : schema->attrs()) attrs.push_back(AttrRef{occ, a.name});
+  return attrs;
+}
+
+Result<NormalizedQuery> Normalize(RaExprPtr root, const Catalog& catalog) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("query must be non-null");
+  }
+  NormalizedQuery out;
+  out.root_ = std::move(root);
+  out.catalog_ = &catalog;
+  Normalizer n(catalog, &out, &out.occ_to_base_, &out.occurrences_,
+               &out.output_attrs_);
+  BQE_RETURN_IF_ERROR(n.Visit(out.root_));
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,65 @@
+#ifndef BQE_RA_NORMALIZE_H_
+#define BQE_RA_NORMALIZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ra/expr.h"
+#include "storage/catalog.h"
+
+namespace bqe {
+
+/// A validated RA query in the paper's normal form (Section 2 / Lemma 1):
+/// every relation occurrence has a unique name, every attribute reference
+/// resolves, predicates type-check, and union/difference operands are
+/// compatible. Output schemas are cached per node.
+class NormalizedQuery {
+ public:
+  const RaExprPtr& root() const { return root_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Base relation of occurrence `occ`.
+  Result<std::string> BaseOf(const std::string& occ) const;
+
+  /// Occurrence -> base map (insertion order follows a left-to-right walk).
+  const std::vector<std::pair<std::string, std::string>>& occurrences() const {
+    return occurrences_;
+  }
+
+  /// Output attribute list of a node in this query's tree.
+  const std::vector<AttrRef>& OutputOf(const RaExpr* node) const;
+
+  /// Declared type of an attribute reference.
+  Result<ValueType> TypeOf(const AttrRef& ref) const;
+
+  /// Full attribute list of the occurrence's base schema, qualified with the
+  /// occurrence name.
+  Result<std::vector<AttrRef>> SchemaAttrsOf(const std::string& occ) const;
+
+ private:
+  friend Result<NormalizedQuery> Normalize(RaExprPtr root, const Catalog& catalog);
+
+  RaExprPtr root_;
+  const Catalog* catalog_ = nullptr;
+  std::map<std::string, std::string> occ_to_base_;
+  std::vector<std::pair<std::string, std::string>> occurrences_;
+  std::map<const RaExpr*, std::vector<AttrRef>> output_attrs_;
+};
+
+/// Validates and annotates `root` against `catalog`. Errors:
+///  - unknown relation / attribute,
+///  - duplicate occurrence names (violates the normal form),
+///  - predicate or projection referencing an out-of-scope attribute,
+///  - type mismatches in comparisons,
+///  - union/difference operands with different arity or column types.
+///
+/// Lifetime: the returned NormalizedQuery keeps a pointer to `catalog`;
+/// the catalog (and any Database embedding it) must stay at a stable
+/// address for as long as the NormalizedQuery is used.
+Result<NormalizedQuery> Normalize(RaExprPtr root, const Catalog& catalog);
+
+}  // namespace bqe
+
+#endif  // BQE_RA_NORMALIZE_H_

@@ -1,0 +1,404 @@
+#include "ra/parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // Identifier (original case), punct, or literal body.
+  size_t pos = 0;     // Byte offset, for error messages.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = src_.size();
+    while (i < n) {
+      char c = src_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t b = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(src_[i])) ||
+                         src_[i] == '_' || src_[i] == '#')) {
+          ++i;
+        }
+        out.push_back({TokKind::kIdent, src_.substr(b, i - b), b});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(src_[i + 1])))) {
+        size_t b = i;
+        ++i;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(src_[i])) ||
+                         src_[i] == '.' || src_[i] == 'e' || src_[i] == 'E' ||
+                         ((src_[i] == '+' || src_[i] == '-') &&
+                          (src_[i - 1] == 'e' || src_[i - 1] == 'E')))) {
+          ++i;
+        }
+        out.push_back({TokKind::kNumber, src_.substr(b, i - b), b});
+        continue;
+      }
+      if (c == '\'') {
+        size_t b = ++i;
+        while (i < n && src_[i] != '\'') ++i;
+        if (i >= n) {
+          return Status::ParseError(StrCat("unterminated string at offset ", b));
+        }
+        out.push_back({TokKind::kString, src_.substr(b, i - b), b - 1});
+        ++i;
+        continue;
+      }
+      // Multi-char operators first.
+      if ((c == '<' && i + 1 < n && (src_[i + 1] == '=' || src_[i + 1] == '>')) ||
+          (c == '>' && i + 1 < n && src_[i + 1] == '=') ||
+          (c == '!' && i + 1 < n && src_[i + 1] == '=')) {
+        out.push_back({TokKind::kPunct, src_.substr(i, 2), i});
+        i += 2;
+        continue;
+      }
+      if (std::string("(),.*=<>").find(c) != std::string::npos) {
+        out.push_back({TokKind::kPunct, std::string(1, c), i});
+        ++i;
+        continue;
+      }
+      return Status::ParseError(
+          StrCat("unexpected character '", std::string(1, c), "' at offset ", i));
+    }
+    out.push_back({TokKind::kEnd, "", n});
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+};
+
+/// One entry of a FROM list.
+struct FromEntry {
+  std::string base;
+  std::string occurrence;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, const Catalog& catalog)
+      : toks_(std::move(toks)), catalog_(catalog) {}
+
+  Result<RaExprPtr> Parse() {
+    BQE_ASSIGN_OR_RETURN(RaExprPtr q, ParseSetExpr());
+    if (!AtEnd()) {
+      return Status::ParseError(
+          StrCat("trailing input at offset ", Peek().pos, ": '", Peek().text, "'"));
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && StrLower(Peek().text) == kw;
+  }
+  bool EatKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool EatPunct(const char* p) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* what, bool ok) {
+    if (ok) return Status::Ok();
+    return Status::ParseError(StrCat("expected ", what, " at offset ", Peek().pos,
+                                     " (got '", Peek().text, "')"));
+  }
+
+  Result<RaExprPtr> ParseSetExpr() {
+    BQE_ASSIGN_OR_RETURN(RaExprPtr left, ParseTerm());
+    while (true) {
+      if (EatKeyword("union")) {
+        BQE_ASSIGN_OR_RETURN(RaExprPtr right, ParseTerm());
+        left = RaExpr::Union(left, right);
+      } else if (EatKeyword("except")) {
+        BQE_ASSIGN_OR_RETURN(RaExprPtr right, ParseTerm());
+        left = RaExpr::Diff(left, right);
+      } else if (EatKeyword("intersect")) {
+        BQE_ASSIGN_OR_RETURN(RaExprPtr right, ParseTerm());
+        // A INTERSECT B  ==  A - (A' - B), with A' a fresh-named copy of A.
+        RaExprPtr copy = CloneWithSuffix(left, StrCat("#i", ++intersect_count_));
+        left = RaExpr::Diff(left, RaExpr::Diff(copy, right));
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  Result<RaExprPtr> ParseTerm() {
+    if (EatPunct("(")) {
+      BQE_ASSIGN_OR_RETURN(RaExprPtr q, ParseSetExpr());
+      BQE_RETURN_IF_ERROR(Expect("')'", EatPunct(")")));
+      return q;
+    }
+    return ParseSelect();
+  }
+
+  Result<RaExprPtr> ParseSelect() {
+    BQE_RETURN_IF_ERROR(Expect("SELECT", EatKeyword("select")));
+    EatKeyword("distinct");  // Set semantics anyway.
+
+    // Column list is resolved after FROM; remember raw (rel, attr) pairs.
+    struct RawCol {
+      std::string qualifier;  // May be empty.
+      std::string attr;       // "*" for star.
+    };
+    std::vector<RawCol> raw_cols;
+    if (EatPunct("*")) {
+      raw_cols.push_back({"", "*"});
+    } else {
+      while (true) {
+        BQE_RETURN_IF_ERROR(
+            Expect("column name", Peek().kind == TokKind::kIdent));
+        std::string first = Next().text;
+        if (EatPunct(".")) {
+          BQE_RETURN_IF_ERROR(
+              Expect("attribute name", Peek().kind == TokKind::kIdent));
+          raw_cols.push_back({first, Next().text});
+        } else {
+          raw_cols.push_back({"", first});
+        }
+        if (!EatPunct(",")) break;
+      }
+    }
+
+    BQE_RETURN_IF_ERROR(Expect("FROM", EatKeyword("from")));
+    std::vector<FromEntry> from;
+    std::set<std::string> used_occurrences;
+    while (true) {
+      BQE_RETURN_IF_ERROR(Expect("table name", Peek().kind == TokKind::kIdent));
+      FromEntry e;
+      e.base = Next().text;
+      if (!catalog_.Has(e.base)) {
+        return Status::ParseError(StrCat("unknown relation '", e.base, "'"));
+      }
+      if (EatKeyword("as")) {
+        BQE_RETURN_IF_ERROR(Expect("alias", Peek().kind == TokKind::kIdent));
+        e.occurrence = Next().text;
+      } else if (Peek().kind == TokKind::kIdent && !PeekReserved()) {
+        e.occurrence = Next().text;
+      } else {
+        e.occurrence = e.base;
+        int n = 2;
+        while (used_occurrences.count(e.occurrence) > 0) {
+          e.occurrence = StrCat(e.base, "#", n++);
+        }
+      }
+      if (!used_occurrences.insert(e.occurrence).second) {
+        return Status::ParseError(
+            StrCat("duplicate table alias '", e.occurrence, "'"));
+      }
+      from.push_back(e);
+      if (!EatPunct(",")) break;
+    }
+
+    std::vector<Predicate> preds;
+    if (EatKeyword("where")) {
+      while (true) {
+        BQE_ASSIGN_OR_RETURN(Predicate p, ParseAtom(from));
+        preds.push_back(std::move(p));
+        if (!EatKeyword("and")) break;
+      }
+    }
+
+    // Build: product of FROM entries, then select, then project.
+    RaExprPtr expr = RaExpr::Rel(from[0].base, from[0].occurrence);
+    for (size_t i = 1; i < from.size(); ++i) {
+      expr = RaExpr::Product(expr, RaExpr::Rel(from[i].base, from[i].occurrence));
+    }
+    if (!preds.empty()) expr = RaExpr::Select(expr, std::move(preds));
+
+    std::vector<AttrRef> cols;
+    for (const RawCol& rc : raw_cols) {
+      if (rc.attr == "*") {
+        for (const FromEntry& e : from) {
+          const RelationSchema* s = catalog_.Get(e.base);
+          for (const Attribute& a : s->attrs()) {
+            cols.push_back(AttrRef{e.occurrence, a.name});
+          }
+        }
+        continue;
+      }
+      BQE_ASSIGN_OR_RETURN(AttrRef ref, ResolveColumn(rc.qualifier, rc.attr, from));
+      cols.push_back(std::move(ref));
+    }
+    return RaExpr::Project(expr, std::move(cols));
+  }
+
+  bool PeekReserved() const {
+    static const std::set<std::string> kReserved = {
+        "select", "from",  "where", "and",       "union",
+        "except", "inner", "join",  "intersect", "as", "on", "distinct"};
+    return Peek().kind == TokKind::kIdent &&
+           kReserved.count(StrLower(Peek().text)) > 0;
+  }
+
+  Result<AttrRef> ResolveColumn(const std::string& qualifier,
+                                const std::string& attr,
+                                const std::vector<FromEntry>& from) {
+    if (!qualifier.empty()) {
+      for (const FromEntry& e : from) {
+        if (e.occurrence == qualifier) {
+          const RelationSchema* s = catalog_.Get(e.base);
+          if (!s->HasAttr(attr)) {
+            return Status::ParseError(
+                StrCat("relation '", e.base, "' (alias '", qualifier,
+                       "') has no attribute '", attr, "'"));
+          }
+          return AttrRef{qualifier, attr};
+        }
+      }
+      return Status::ParseError(StrCat("unknown table alias '", qualifier, "'"));
+    }
+    // Unqualified: must be unique across the FROM list.
+    const FromEntry* owner = nullptr;
+    for (const FromEntry& e : from) {
+      const RelationSchema* s = catalog_.Get(e.base);
+      if (s->HasAttr(attr)) {
+        if (owner != nullptr) {
+          return Status::ParseError(
+              StrCat("ambiguous column '", attr, "' (in '", owner->occurrence,
+                     "' and '", e.occurrence, "')"));
+        }
+        owner = &e;
+      }
+    }
+    if (owner == nullptr) {
+      return Status::ParseError(StrCat("unknown column '", attr, "'"));
+    }
+    return AttrRef{owner->occurrence, attr};
+  }
+
+  Result<Predicate> ParseAtom(const std::vector<FromEntry>& from) {
+    struct Operand {
+      bool is_col = false;
+      AttrRef col;
+      Value lit;
+    };
+    auto parse_operand = [&]() -> Result<Operand> {
+      Operand o;
+      if (Peek().kind == TokKind::kNumber) {
+        BQE_ASSIGN_OR_RETURN(o.lit, Value::Parse(Next().text));
+        return o;
+      }
+      if (Peek().kind == TokKind::kString) {
+        o.lit = Value::Str(Next().text);
+        return o;
+      }
+      if (Peek().kind == TokKind::kIdent) {
+        std::string first = Next().text;
+        std::string qualifier, attr;
+        if (EatPunct(".")) {
+          BQE_RETURN_IF_ERROR(
+              Expect("attribute name", Peek().kind == TokKind::kIdent));
+          qualifier = first;
+          attr = Next().text;
+        } else {
+          attr = first;
+        }
+        BQE_ASSIGN_OR_RETURN(o.col, ResolveColumn(qualifier, attr, from));
+        o.is_col = true;
+        return o;
+      }
+      return Status::ParseError(
+          StrCat("expected column or literal at offset ", Peek().pos));
+    };
+
+    BQE_ASSIGN_OR_RETURN(Operand lhs, parse_operand());
+    CmpOp op;
+    if (EatPunct("=")) {
+      op = CmpOp::kEq;
+    } else if (EatPunct("<>") || EatPunct("!=")) {
+      op = CmpOp::kNe;
+    } else if (EatPunct("<=")) {
+      op = CmpOp::kLe;
+    } else if (EatPunct(">=")) {
+      op = CmpOp::kGe;
+    } else if (EatPunct("<")) {
+      op = CmpOp::kLt;
+    } else if (EatPunct(">")) {
+      op = CmpOp::kGt;
+    } else {
+      return Status::ParseError(
+          StrCat("expected comparison operator at offset ", Peek().pos));
+    }
+    BQE_ASSIGN_OR_RETURN(Operand rhs, parse_operand());
+
+    if (lhs.is_col && rhs.is_col) {
+      return Predicate::CmpAttr(op, lhs.col, rhs.col);
+    }
+    if (lhs.is_col) {
+      return Predicate::CmpConst(op, lhs.col, rhs.lit);
+    }
+    if (rhs.is_col) {
+      // Flip "5 < a" into "a > 5".
+      CmpOp flipped = op;
+      switch (op) {
+        case CmpOp::kLt:
+          flipped = CmpOp::kGt;
+          break;
+        case CmpOp::kLe:
+          flipped = CmpOp::kGe;
+          break;
+        case CmpOp::kGt:
+          flipped = CmpOp::kLt;
+          break;
+        case CmpOp::kGe:
+          flipped = CmpOp::kLe;
+          break;
+        default:
+          break;
+      }
+      return Predicate::CmpConst(flipped, rhs.col, lhs.lit);
+    }
+    return Status::ParseError("predicate must reference at least one column");
+  }
+
+  std::vector<Token> toks_;
+  const Catalog& catalog_;
+  size_t pos_ = 0;
+  int intersect_count_ = 0;
+};
+
+}  // namespace
+
+Result<RaExprPtr> ParseQuery(const std::string& sql, const Catalog& catalog) {
+  Lexer lexer(sql);
+  BQE_ASSIGN_OR_RETURN(std::vector<Token> toks, lexer.Lex());
+  Parser parser(std::move(toks), catalog);
+  return parser.Parse();
+}
+
+}  // namespace bqe

@@ -1,0 +1,35 @@
+#ifndef BQE_RA_PARSER_H_
+#define BQE_RA_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ra/expr.h"
+#include "storage/catalog.h"
+
+namespace bqe {
+
+/// Parses a SQL subset into an RA expression. Grammar:
+///
+///   query    := term (("UNION" | "EXCEPT" | "INTERSECT") term)*
+///   term     := select | '(' query ')'
+///   select   := "SELECT" ["DISTINCT"] cols "FROM" tables ["WHERE" conj]
+///   cols     := '*' | col (',' col)*
+///   tables   := table (',' table)*
+///   table    := ident [["AS"] ident]
+///   conj     := atom ("AND" atom)*
+///   atom     := operand ('='|'<>'|'!='|'<'|'<='|'>'|'>=') operand
+///   operand  := col | literal
+///   col      := ident | ident '.' ident
+///   literal  := integer | float | 'string'
+///
+/// Set operators have equal precedence and associate left. DISTINCT is
+/// implied (the engine uses set semantics). INTERSECT is desugared as
+/// A - (A - B) with fresh occurrence names. Unqualified columns resolve
+/// against the FROM list and must be unambiguous. Aliases become occurrence
+/// names; unaliased repeated tables get "#2", "#3", ... suffixes.
+Result<RaExprPtr> ParseQuery(const std::string& sql, const Catalog& catalog);
+
+}  // namespace bqe
+
+#endif  // BQE_RA_PARSER_H_

@@ -1,0 +1,124 @@
+#include "ra/printer.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+std::string PredsToString(const std::vector<Predicate>& preds) {
+  std::vector<std::string> parts;
+  parts.reserve(preds.size());
+  for (const Predicate& p : preds) parts.push_back(p.ToString());
+  return StrJoin(parts, " AND ");
+}
+
+std::string ColsToString(const std::vector<AttrRef>& cols) {
+  std::vector<std::string> parts;
+  parts.reserve(cols.size());
+  for (const AttrRef& c : cols) parts.push_back(c.ToString());
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace
+
+std::string ToAlgebraString(const RaExprPtr& expr) {
+  switch (expr->op()) {
+    case RaOp::kRel:
+      if (expr->occurrence() == expr->base()) return expr->base();
+      return StrCat(expr->base(), ":", expr->occurrence());
+    case RaOp::kSelect:
+      return StrCat("sigma[", PredsToString(expr->preds()), "](",
+                    ToAlgebraString(expr->left()), ")");
+    case RaOp::kProject:
+      return StrCat("pi[", ColsToString(expr->cols()), "](",
+                    ToAlgebraString(expr->left()), ")");
+    case RaOp::kProduct:
+      return StrCat("(", ToAlgebraString(expr->left()), " x ",
+                    ToAlgebraString(expr->right()), ")");
+    case RaOp::kUnion:
+      return StrCat("(", ToAlgebraString(expr->left()), " U ",
+                    ToAlgebraString(expr->right()), ")");
+    case RaOp::kDiff:
+      return StrCat("(", ToAlgebraString(expr->left()), " - ",
+                    ToAlgebraString(expr->right()), ")");
+  }
+  return "?";
+}
+
+namespace {
+
+/// Renders a pi(sigma(product-of-rels)) block as one SELECT when possible,
+/// else falls back to nested rendering with synthetic projection.
+struct SqlPrinter {
+  std::string Render(const RaExprPtr& e) {
+    switch (e->op()) {
+      case RaOp::kUnion:
+        return StrCat("(", Render(e->left()), ") UNION (", Render(e->right()), ")");
+      case RaOp::kDiff:
+        return StrCat("(", Render(e->left()), ") EXCEPT (", Render(e->right()), ")");
+      default:
+        return RenderSelectBlock(e);
+    }
+  }
+
+  /// Collects relations from a pure product subtree; returns false when the
+  /// subtree is not a product of base relations.
+  bool CollectRels(const RaExprPtr& e, std::vector<std::string>* out) {
+    if (e->op() == RaOp::kRel) {
+      if (e->occurrence() == e->base()) {
+        out->push_back(e->base());
+      } else {
+        out->push_back(StrCat(e->base(), " AS ", e->occurrence()));
+      }
+      return true;
+    }
+    if (e->op() == RaOp::kProduct) {
+      return CollectRels(e->left(), out) && CollectRels(e->right(), out);
+    }
+    return false;
+  }
+
+  std::string RenderSelectBlock(const RaExprPtr& e) {
+    // Peel optional project, then optional selects, then require a product
+    // of relations; non-conforming shapes render as nested SELECTs.
+    std::vector<AttrRef> cols;
+    RaExprPtr cur = e;
+    bool have_cols = false;
+    if (cur->op() == RaOp::kProject) {
+      cols = cur->cols();
+      have_cols = true;
+      cur = cur->left();
+    }
+    std::vector<Predicate> preds;
+    while (cur->op() == RaOp::kSelect) {
+      for (const Predicate& p : cur->preds()) preds.push_back(p);
+      cur = cur->left();
+    }
+    std::vector<std::string> rels;
+    if (!CollectRels(cur, &rels)) {
+      // Nested set-expression under project/select: render with a derived
+      // table placeholder. (Rare; used only for display.)
+      std::string inner = Render(cur);
+      std::string out = "SELECT DISTINCT ";
+      out += have_cols ? ColsToString(cols) : std::string("*");
+      out += StrCat(" FROM (", inner, ") AS sub");
+      if (!preds.empty()) out += StrCat(" WHERE ", PredsToString(preds));
+      return out;
+    }
+    std::string out = "SELECT DISTINCT ";
+    out += have_cols ? ColsToString(cols) : std::string("*");
+    out += StrCat(" FROM ", StrJoin(rels, ", "));
+    if (!preds.empty()) out += StrCat(" WHERE ", PredsToString(preds));
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string ToSqlString(const RaExprPtr& expr) {
+  SqlPrinter p;
+  return p.Render(expr);
+}
+
+}  // namespace bqe

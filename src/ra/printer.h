@@ -1,0 +1,20 @@
+#ifndef BQE_RA_PRINTER_H_
+#define BQE_RA_PRINTER_H_
+
+#include <string>
+
+#include "ra/expr.h"
+
+namespace bqe {
+
+/// Compact algebra notation, e.g.
+/// "pi[d.cid](sigma[friend.pid='p0' AND friend.fid=d.pid](friend x dine:d))".
+std::string ToAlgebraString(const RaExprPtr& expr);
+
+/// SQL rendering (SELECT/FROM/WHERE with UNION/EXCEPT), parseable by
+/// ParseQuery for round-trip tests when the tree has SELECT-shaped blocks.
+std::string ToSqlString(const RaExprPtr& expr);
+
+}  // namespace bqe
+
+#endif  // BQE_RA_PRINTER_H_

@@ -1,0 +1,87 @@
+#include "ra/spc.h"
+
+#include <set>
+
+namespace bqe {
+
+bool IsSpcNode(const RaExpr* node) {
+  switch (node->op()) {
+    case RaOp::kRel:
+    case RaOp::kSelect:
+    case RaOp::kProject:
+    case RaOp::kProduct:
+      return true;
+    case RaOp::kUnion:
+    case RaOp::kDiff:
+      return false;
+  }
+  return false;
+}
+
+bool IsSpcSubtree(const RaExpr* node) {
+  if (!IsSpcNode(node)) return false;
+  if (node->left() && !IsSpcSubtree(node->left().get())) return false;
+  if (node->right() && !IsSpcSubtree(node->right().get())) return false;
+  return true;
+}
+
+namespace {
+
+/// Collects relations and conjuncts of an SPC subtree.
+void Flatten(const RaExpr* node, SpcQuery* out) {
+  switch (node->op()) {
+    case RaOp::kRel:
+      out->relations.push_back(node->occurrence());
+      return;
+    case RaOp::kSelect:
+      for (const Predicate& p : node->preds()) out->conjuncts.push_back(p);
+      Flatten(node->left().get(), out);
+      return;
+    case RaOp::kProject:
+      Flatten(node->left().get(), out);
+      return;
+    case RaOp::kProduct:
+      Flatten(node->left().get(), out);
+      Flatten(node->right().get(), out);
+      return;
+    default:
+      return;  // Unreachable for SPC subtrees.
+  }
+}
+
+void ComputeXq(SpcQuery* spc) {
+  std::set<AttrRef> seen;
+  auto add = [&](const AttrRef& a) {
+    if (seen.insert(a).second) spc->xq.push_back(a);
+  };
+  for (const Predicate& p : spc->conjuncts) {
+    add(p.lhs);
+    if (p.kind == Predicate::Kind::kAttrAttr) add(p.rhs);
+  }
+  for (const AttrRef& a : spc->output) add(a);
+}
+
+void Walk(const NormalizedQuery& query, const RaExpr* node,
+          std::vector<SpcQuery>* out) {
+  if (IsSpcSubtree(node)) {
+    SpcQuery spc;
+    spc.root = node;
+    Flatten(node, &spc);
+    spc.output = query.OutputOf(node);
+    ComputeXq(&spc);
+    out->push_back(std::move(spc));
+    return;
+  }
+  if (node->left()) Walk(query, node->left().get(), out);
+  if (node->right()) Walk(query, node->right().get(), out);
+}
+
+}  // namespace
+
+std::vector<SpcQuery> FindMaxSpcSubqueries(const NormalizedQuery& query) {
+  std::vector<SpcQuery> out;
+  Walk(query, query.root().get(), &out);
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,41 @@
+#ifndef BQE_RA_SPC_H_
+#define BQE_RA_SPC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ra/normalize.h"
+
+namespace bqe {
+
+/// One max SPC sub-query of an RA query (Section 3), flattened into the
+/// canonical form pi_Z sigma_C (S1 x ... x Sn):
+///  - `relations`: the occurrence names S1..Sn,
+///  - `conjuncts`: all selection atoms collected from the subtree,
+///  - `output`: the projection attributes Z (the subtree root's output),
+///  - `xq`: X_Q — attributes occurring in C or Z, deduplicated.
+///
+/// Flattening is sound under set semantics: intermediate projections only
+/// drop columns no enclosing operator references (enforced by Normalize).
+struct SpcQuery {
+  const RaExpr* root = nullptr;
+  std::vector<std::string> relations;
+  std::vector<Predicate> conjuncts;
+  std::vector<AttrRef> output;
+  std::vector<AttrRef> xq;
+};
+
+/// True if the node is an SPC operator (sigma, pi, x, or a base relation).
+bool IsSpcNode(const RaExpr* node);
+
+/// True if the whole subtree consists of SPC operators.
+bool IsSpcSubtree(const RaExpr* node);
+
+/// Finds all max SPC sub-queries by a bottom-up scan of the query tree
+/// (algorithm CovChk line 1). Every relation occurrence belongs to exactly
+/// one max SPC sub-query.
+std::vector<SpcQuery> FindMaxSpcSubqueries(const NormalizedQuery& query);
+
+}  // namespace bqe
+
+#endif  // BQE_RA_SPC_H_

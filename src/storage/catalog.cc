@@ -1,0 +1,40 @@
+#include "storage/catalog.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Status Catalog::AddRelation(RelationSchema schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (schemas_.count(schema.name()) > 0) {
+    return Status::AlreadyExists(
+        StrCat("relation '", schema.name(), "' already in catalog"));
+  }
+  std::string name = schema.name();
+  schemas_.emplace(std::move(name), std::move(schema));
+  return Status::Ok();
+}
+
+const RelationSchema* Catalog::Get(const std::string& name) const {
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+Result<const RelationSchema*> Catalog::Require(const std::string& name) const {
+  const RelationSchema* s = Get(name);
+  if (s == nullptr) {
+    return Status::NotFound(StrCat("relation '", name, "' not in catalog"));
+  }
+  return s;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) names.push_back(name);
+  return names;
+}
+
+}  // namespace bqe

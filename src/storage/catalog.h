@@ -1,0 +1,39 @@
+#ifndef BQE_STORAGE_CATALOG_H_
+#define BQE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace bqe {
+
+/// The set of relation schemas a database / query is defined over
+/// (the paper's relational schema R).
+class Catalog {
+ public:
+  /// Registers a schema; rejects duplicates.
+  Status AddRelation(RelationSchema schema);
+
+  /// Looks up a schema by name; nullptr when absent.
+  const RelationSchema* Get(const std::string& name) const;
+
+  /// Result-returning lookup with a descriptive error.
+  Result<const RelationSchema*> Require(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return Get(name) != nullptr; }
+
+  /// Names in deterministic (sorted) order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::map<std::string, RelationSchema> schemas_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_CATALOG_H_

@@ -1,0 +1,229 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+namespace {
+
+/// Splits one CSV record honoring quotes; `pos` advances past the record
+/// (including its terminating newline). Returns false at end of input.
+bool NextRecord(const std::string& text, size_t* pos, char delim,
+                std::vector<std::string>* fields, std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool this_quoted = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      this_quoted = true;
+      continue;
+    }
+    if (c == delim) {
+      fields->push_back(std::move(field));
+      quoted->push_back(this_quoted);
+      field.clear();
+      this_quoted = false;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      break;
+    }
+    if (c == '\r') continue;
+    field.push_back(c);
+  }
+  fields->push_back(std::move(field));
+  quoted->push_back(this_quoted);
+  *pos = i;
+  return true;
+}
+
+Result<Value> ParseField(const std::string& field, bool was_quoted,
+                         ValueType type) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case ValueType::kString:
+      return Value::Str(field);
+    case ValueType::kInt: {
+      Result<Value> v = Value::Parse(field);
+      if (!v.ok() || v->type() != ValueType::kInt) {
+        return Status::ParseError(StrCat("expected integer, got '", field, "'"));
+      }
+      return v;
+    }
+    case ValueType::kDouble: {
+      Result<Value> v = Value::Parse(field);
+      if (!v.ok()) {
+        return Status::ParseError(StrCat("expected number, got '", field, "'"));
+      }
+      if (v->type() == ValueType::kInt) {
+        return Value::Double(static_cast<double>(v->AsInt()));
+      }
+      if (v->type() != ValueType::kDouble) {
+        return Status::ParseError(StrCat("expected number, got '", field, "'"));
+      }
+      return v;
+    }
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unknown column type");
+}
+
+/// Quotes a field when needed.
+std::string EscapeField(const std::string& s, char delim) {
+  bool needs_quotes = s.find(delim) != std::string::npos ||
+                      s.find('"') != std::string::npos ||
+                      s.find('\n') != std::string::npos || s.empty();
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string FieldOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return v.AsString();
+  }
+  return "";
+}
+
+}  // namespace
+
+Status ReadCsvInto(Table* table, const std::string& text,
+                   const CsvOptions& opts) {
+  const RelationSchema& schema = table->schema();
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  size_t line = 0;
+
+  if (opts.expect_header) {
+    if (!NextRecord(text, &pos, opts.delimiter, &fields, &quoted)) {
+      return Status::ParseError("missing CSV header");
+    }
+    ++line;
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError(
+          StrCat("header has ", fields.size(), " columns, schema '",
+                 schema.name(), "' has ", schema.arity()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (StrTrim(fields[i]) != schema.attrs()[i].name) {
+        return Status::ParseError(
+            StrCat("header column ", i, " is '", fields[i], "', expected '",
+                   schema.attrs()[i].name, "'"));
+      }
+    }
+  }
+
+  while (NextRecord(text, &pos, opts.delimiter, &fields, &quoted)) {
+    ++line;
+    // Skip completely blank trailing lines.
+    if (fields.size() == 1 && fields[0].empty() && !quoted[0]) continue;
+    if (fields.size() != schema.arity()) {
+      return Status::ParseError(StrCat("line ", line, ": got ", fields.size(),
+                                       " fields, want ", schema.arity()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      Result<Value> v =
+          ParseField(fields[i], quoted[i], schema.attrs()[i].type);
+      if (!v.ok()) {
+        return Status::ParseError(
+            StrCat("line ", line, ", column '", schema.attrs()[i].name,
+                   "': ", v.status().message()));
+      }
+      row.push_back(std::move(*v));
+    }
+    BQE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Status LoadCsvFile(Database* db, const std::string& rel,
+                   const std::string& path, const CsvOptions& opts) {
+  Table* table = db->GetMutable(rel);
+  if (table == nullptr) {
+    return Status::NotFound(StrCat("table '", rel, "' does not exist"));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvInto(table, buf.str(), opts);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& opts) {
+  std::string out;
+  const RelationSchema& schema = table.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out.push_back(opts.delimiter);
+    out += EscapeField(schema.attrs()[i].name, opts.delimiter);
+  }
+  out.push_back('\n');
+  for (const Tuple& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(opts.delimiter);
+      // NULL is a truly empty (unquoted) field; an empty *string* is
+      // written quoted ("") so the two round-trip distinctly.
+      if (!row[i].is_null()) {
+        out += EscapeField(FieldOf(row[i]), opts.delimiter);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status SaveCsvFile(const Table& table, const std::string& path,
+                   const CsvOptions& opts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument(StrCat("cannot write '", path, "'"));
+  }
+  out << WriteCsv(table, opts);
+  return out.good() ? Status::Ok()
+                    : Status::Internal(StrCat("write to '", path, "' failed"));
+}
+
+}  // namespace bqe

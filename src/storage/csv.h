@@ -1,0 +1,44 @@
+#ifndef BQE_STORAGE_CSV_H_
+#define BQE_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// CSV interchange for tables, so users can load real datasets into a
+/// Database and export query answers. Format:
+///  - first line: header, attribute names in schema order,
+///  - fields separated by commas; quoted with '"' when they contain
+///    commas, quotes or newlines; embedded quotes doubled ("").
+///  - values parsed according to the declared column types; empty
+///    unquoted fields become NULL.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true (default) the first row must repeat the schema's attribute
+  /// names (sanity check against column drift).
+  bool expect_header = true;
+};
+
+/// Appends the rows of `text` to `table`; stops at the first bad row.
+Status ReadCsvInto(Table* table, const std::string& text,
+                   const CsvOptions& opts = {});
+
+/// Reads a CSV file from disk into the named relation of `db`.
+Status LoadCsvFile(Database* db, const std::string& rel,
+                   const std::string& path, const CsvOptions& opts = {});
+
+/// Renders a table as CSV (header + rows).
+std::string WriteCsv(const Table& table, const CsvOptions& opts = {});
+
+/// Writes a table to a file on disk.
+Status SaveCsvFile(const Table& table, const std::string& path,
+                   const CsvOptions& opts = {});
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_CSV_H_

@@ -1,0 +1,52 @@
+#include "storage/database.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Status Database::CreateTable(RelationSchema schema) {
+  std::string name = schema.name();
+  BQE_RETURN_IF_ERROR(catalog_.AddRelation(schema));
+  tables_.emplace(name, Table(std::move(schema)));
+  return Status::Ok();
+}
+
+const Table* Database::Get(const std::string& rel) const {
+  auto it = tables_.find(rel);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::GetMutable(const std::string& rel) {
+  auto it = tables_.find(rel);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const Table*> Database::Require(const std::string& rel) const {
+  const Table* t = Get(rel);
+  if (t == nullptr) {
+    return Status::NotFound(StrCat("table '", rel, "' does not exist"));
+  }
+  return t;
+}
+
+Status Database::Insert(const std::string& rel, Tuple row) {
+  Table* t = GetMutable(rel);
+  if (t == nullptr) {
+    return Status::NotFound(StrCat("table '", rel, "' does not exist"));
+  }
+  return t->Insert(std::move(row));
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table.NumRows();
+  return n;
+}
+
+std::map<std::string, size_t> Database::TableSizes() const {
+  std::map<std::string, size_t> sizes;
+  for (const auto& [name, table] : tables_) sizes[name] = table.NumRows();
+  return sizes;
+}
+
+}  // namespace bqe

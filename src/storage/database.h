@@ -1,0 +1,43 @@
+#ifndef BQE_STORAGE_DATABASE_H_
+#define BQE_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// A database instance: a catalog plus one table per relation schema.
+class Database {
+ public:
+  /// Registers a relation in the catalog and creates its (empty) table.
+  Status CreateTable(RelationSchema schema);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Table lookup; nullptr when the relation does not exist.
+  const Table* Get(const std::string& rel) const;
+  Table* GetMutable(const std::string& rel);
+
+  Result<const Table*> Require(const std::string& rel) const;
+
+  /// Inserts a validated row into `rel`.
+  Status Insert(const std::string& rel, Tuple row);
+
+  /// Total number of tuples across all tables (the paper's |D|).
+  size_t TotalTuples() const;
+
+  /// Per-table sizes, for reports.
+  std::map<std::string, size_t> TableSizes() const;
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_DATABASE_H_

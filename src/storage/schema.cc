@@ -1,0 +1,44 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace bqe {
+
+RelationSchema::RelationSchema(std::string name, std::vector<Attribute> attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    index_.emplace(attrs_[i].name, static_cast<int>(i));
+  }
+}
+
+int RelationSchema::AttrIndex(const std::string& attr) const {
+  auto it = index_.find(attr);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> RelationSchema::RequireAttr(const std::string& attr) const {
+  int i = AttrIndex(attr);
+  if (i < 0) {
+    return Status::NotFound(
+        StrCat("attribute '", attr, "' not in relation '", name_, "'"));
+  }
+  return i;
+}
+
+std::vector<std::string> RelationSchema::AttrNames() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const Attribute& a : attrs_) names.push_back(a.name);
+  return names;
+}
+
+std::string RelationSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attrs_.size());
+  for (const Attribute& a : attrs_) {
+    parts.push_back(StrCat(a.name, ":", ValueTypeName(a.type)));
+  }
+  return StrCat(name_, "(", StrJoin(parts, ", "), ")");
+}
+
+}  // namespace bqe

@@ -1,0 +1,54 @@
+#ifndef BQE_STORAGE_SCHEMA_H_
+#define BQE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace bqe {
+
+/// A named, typed column of a relation schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Schema of one relation: a name plus an ordered attribute list.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<Attribute> attrs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  size_t arity() const { return attrs_.size(); }
+
+  /// Index of the attribute named `attr`, or -1 if absent.
+  int AttrIndex(const std::string& attr) const;
+  bool HasAttr(const std::string& attr) const { return AttrIndex(attr) >= 0; }
+
+  /// Result-returning lookup with a descriptive error.
+  Result<int> RequireAttr(const std::string& attr) const;
+
+  /// All attribute names in declaration order.
+  std::vector<std::string> AttrNames() const;
+
+  /// "R(a:int, b:string)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_SCHEMA_H_

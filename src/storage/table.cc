@@ -1,0 +1,82 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace bqe {
+
+Status Table::Insert(Tuple row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch inserting into ", schema_.name(), ": got ",
+               row.size(), ", want ", schema_.arity()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.attrs()[i].type) {
+      return Status::InvalidArgument(
+          StrCat("type mismatch for ", schema_.name(), ".",
+                 schema_.attrs()[i].name, ": got ", ValueTypeName(row[i].type()),
+                 ", want ", ValueTypeName(schema_.attrs()[i].type)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::Erase(const Tuple& row) {
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    if (CompareTuples(*it, row) == 0) {
+      rows_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound(StrCat("row ", TupleToString(row), " not in ",
+                                 schema_.name()));
+}
+
+void Table::Canonicalize() {
+  std::sort(rows_.begin(), rows_.end(), TupleLess{});
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool Table::SameSet(const Table& a, const Table& b) {
+  Table ca = a, cb = b;
+  ca.Canonicalize();
+  cb.Canonicalize();
+  if (ca.rows_.size() != cb.rows_.size()) return false;
+  for (size_t i = 0; i < ca.rows_.size(); ++i) {
+    if (CompareTuples(ca.rows_[i], cb.rows_[i]) != 0) return false;
+  }
+  return true;
+}
+
+Table Table::DistinctProject(const std::vector<int>& col_idx) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(col_idx.size());
+  for (int i : col_idx) attrs.push_back(schema_.attrs()[static_cast<size_t>(i)]);
+  Table out(RelationSchema(schema_.name(), std::move(attrs)));
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& row : rows_) {
+    Tuple proj = ProjectTuple(row, col_idx);
+    if (seen.insert(proj).second) out.InsertUnchecked(std::move(proj));
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + " [" + std::to_string(rows_.size()) +
+                    " rows]\n";
+  size_t shown = 0;
+  for (const Tuple& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  " + TupleToString(row) + "\n";
+  }
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,55 @@
+#ifndef BQE_STORAGE_TABLE_H_
+#define BQE_STORAGE_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace bqe {
+
+/// An in-memory row-store relation instance. BQE keeps instances simple:
+/// a schema plus a bag of rows; set semantics are enforced by the relational
+/// operators, not by the store.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row after checking arity and (non-null) types.
+  Status Insert(Tuple row);
+
+  /// Appends without validation; used by generators on hot paths.
+  void InsertUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  /// Removes one occurrence of `row`; NotFound when absent.
+  Status Erase(const Tuple& row);
+
+  /// Sorts rows lexicographically and removes duplicates, producing the
+  /// canonical set representation (used by tests and result comparison).
+  void Canonicalize();
+
+  /// True if the two tables hold the same *set* of rows (ignoring order and
+  /// duplicates). Schemas are not compared.
+  static bool SameSet(const Table& a, const Table& b);
+
+  /// Distinct projection onto attribute indices; result schema uses the
+  /// projected attribute metadata.
+  Table DistinctProject(const std::vector<int>& col_idx) const;
+
+  /// Multi-line rendering with a header; `max_rows` limits output.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_TABLE_H_

@@ -1,0 +1,61 @@
+#ifndef BQE_STORAGE_TUPLE_H_
+#define BQE_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "storage/value.h"
+
+namespace bqe {
+
+/// A row of values. Tuples carry no schema; tables and plan steps pair them
+/// with column metadata.
+using Tuple = std::vector<Value>;
+
+/// Hash functor for tuple-keyed hash maps (access-constraint indices).
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) HashCombine(&seed, v.Hash());
+    return seed;
+  }
+};
+
+/// Lexicographic three-way comparison.
+inline int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+/// Ordering functor for sorted containers / canonicalization.
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+
+/// "(v1, v2, ...)" rendering.
+inline std::string TupleToString(const Tuple& t) {
+  std::vector<std::string> parts;
+  parts.reserve(t.size());
+  for (const Value& v : t) parts.push_back(v.ToString());
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+/// Returns the projection of `t` onto the given column indices.
+inline Tuple ProjectTuple(const Tuple& t, const std::vector<int>& idx) {
+  Tuple out;
+  out.reserve(idx.size());
+  for (int i : idx) out.push_back(t[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace bqe
+
+#endif  // BQE_STORAGE_TUPLE_H_

@@ -1,0 +1,205 @@
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "workload/dataset_internal.h"
+#include "workload/datasets.h"
+
+namespace bqe {
+
+using internal::IntAttr;
+using internal::Scaled;
+using internal::StrAttr;
+
+/// AIRCA stand-in: 7 tables mirroring the paper's US air-carrier data
+/// (Flight On-Time Performance + Carrier Statistics). The headline
+/// constraint is the paper's own example:
+/// OnTimePerformance(Origin -> AirlineID, 28) — each airport hosts carriers
+/// of at most 28 airlines.
+Result<GeneratedDataset> MakeAirca(double scale, uint64_t seed,
+                                   const DatasetOptions& opts) {
+  GeneratedDataset ds;
+  ds.name = "airca";
+  Rng rng(seed ^ 0xa17ca);
+
+  const int kAirlines = 30;
+  const int kAirports = 220;
+  const int kDates = 366;
+  const int kYears = 5;
+  const int kMarkets = 4;
+  const size_t kFlights = Scaled(scale, 120000, 64);
+  const size_t kPlanes = Scaled(scale, 4000, 16);
+  const size_t kRoutes = Scaled(scale, 15000, 16);
+
+  // --- Schemas -------------------------------------------------------------
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "airline", {IntAttr("airline_id"), StrAttr("name"), StrAttr("country")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "airport", {IntAttr("airport_id"), StrAttr("city"), StrAttr("state")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "ontime",
+      {IntAttr("flight_id"), IntAttr("airline_id"), IntAttr("origin"),
+       IntAttr("dest"), IntAttr("fl_date"), IntAttr("dep_delay"),
+       IntAttr("arr_delay"), IntAttr("cancelled")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "carrier_stats", {IntAttr("airline_id"), IntAttr("year"), IntAttr("month"),
+                        StrAttr("market"), IntAttr("passengers")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "plane", {IntAttr("tail_num"), IntAttr("airline_id"), StrAttr("model"),
+                IntAttr("built_year")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "route", {IntAttr("route_id"), IntAttr("origin"), IntAttr("dest"),
+                IntAttr("airline_id")})));
+  BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(
+      "cancellation", {IntAttr("code"), StrAttr("descr")})));
+
+  // --- Data ----------------------------------------------------------------
+  const std::vector<std::string> kCountries = {"US", "CA", "MX", "UK"};
+  for (int a = 0; a < kAirlines; ++a) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "airline", {Value::Int(a), Value::Str(StrCat("carrier_", a)),
+                    Value::Str(kCountries[static_cast<size_t>(a) %
+                                          kCountries.size()])}));
+  }
+  for (int p = 0; p < kAirports; ++p) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "airport", {Value::Int(p), Value::Str(StrCat("city_", p % 150)),
+                    Value::Str(StrCat("st_", p % 51))}));
+  }
+  // Each airport hosts a fixed set of <= 28 airlines (the paper's psi).
+  std::vector<std::vector<int64_t>> airport_airlines(
+      static_cast<size_t>(kAirports));
+  for (int p = 0; p < kAirports; ++p) {
+    int hosts = static_cast<int>(rng.UniformInt(3, 28));
+    std::vector<int64_t> pool;
+    for (int a = 0; a < kAirlines; ++a) pool.push_back(a);
+    rng.Shuffle(&pool);
+    pool.resize(static_cast<size_t>(std::min(hosts, kAirlines)));
+    airport_airlines[static_cast<size_t>(p)] = std::move(pool);
+  }
+  for (size_t f = 0; f < kFlights; ++f) {
+    int64_t origin = rng.UniformInt(0, kAirports - 1);
+    const auto& hosts = airport_airlines[static_cast<size_t>(origin)];
+    int64_t airline = hosts[rng.PickIndex(hosts.size())];
+    int64_t dest = rng.UniformInt(0, kAirports - 1);
+    int64_t date = rng.UniformInt(0, kDates - 1);
+    int64_t dep_delay = rng.UniformInt(-10, 180);
+    int64_t arr_delay = dep_delay + rng.UniformInt(-15, 30);
+    int64_t cancelled = rng.Bernoulli(0.02) ? 1 : 0;
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "ontime",
+        {Value::Int(static_cast<int64_t>(f)), Value::Int(airline),
+         Value::Int(origin), Value::Int(dest), Value::Int(date),
+         Value::Int(dep_delay), Value::Int(arr_delay), Value::Int(cancelled)}));
+  }
+  const std::vector<std::string> kMarketNames = {"domestic", "atlantic",
+                                                 "latin", "pacific"};
+  for (int a = 0; a < kAirlines; ++a) {
+    for (int y = 0; y < kYears; ++y) {
+      for (int m = 1; m <= 12; ++m) {
+        int markets = static_cast<int>(rng.UniformInt(1, kMarkets));
+        for (int k = 0; k < markets; ++k) {
+          BQE_RETURN_IF_ERROR(ds.db.Insert(
+              "carrier_stats",
+              {Value::Int(a), Value::Int(2010 + y), Value::Int(m),
+               Value::Str(kMarketNames[static_cast<size_t>(k)]),
+               Value::Int(rng.UniformInt(1000, 900000))}));
+        }
+      }
+    }
+  }
+  for (size_t t = 0; t < kPlanes; ++t) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "plane", {Value::Int(static_cast<int64_t>(t)),
+                  Value::Int(rng.UniformInt(0, kAirlines - 1)),
+                  Value::Str(StrCat("model_", rng.UniformInt(0, 39))),
+                  Value::Int(rng.UniformInt(1990, 2015))}));
+  }
+  for (size_t r = 0; r < kRoutes; ++r) {
+    int64_t origin = rng.UniformInt(0, kAirports - 1);
+    const auto& hosts = airport_airlines[static_cast<size_t>(origin)];
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "route", {Value::Int(static_cast<int64_t>(r)), Value::Int(origin),
+                  Value::Int(rng.UniformInt(0, kAirports - 1)),
+                  Value::Int(hosts[rng.PickIndex(hosts.size())])}));
+  }
+  const std::vector<std::string> kCancelReasons = {"carrier", "weather", "nas",
+                                                   "security"};
+  for (size_t c = 0; c < kCancelReasons.size(); ++c) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "cancellation",
+        {Value::Int(static_cast<int64_t>(c)), Value::Str(kCancelReasons[c])}));
+  }
+
+  // --- Access schema -------------------------------------------------------
+  const std::vector<std::string> kConstraints = {
+      // The paper's running AIRCA example.
+      "ontime((origin) -> (airline_id), 28)",
+      // Keys (FDs are the N = 1 special case).
+      "ontime((flight_id) -> (airline_id, origin, dest, fl_date, dep_delay, "
+      "arr_delay, cancelled), 1)",
+      // Wide anchored constraints that make realistic analytics covered.
+      "ontime((origin, fl_date) -> (flight_id, airline_id, dest, dep_delay, "
+      "arr_delay, cancelled), 64)",
+      "ontime((airline_id, fl_date) -> (flight_id, origin, dest, dep_delay, "
+      "arr_delay, cancelled), 64)",
+      "ontime((airline_id, origin) -> (dest), 48)",
+      // psi3-style indexing constraints (X -> X, 1): validate membership of
+      // an attribute combination, enabling Example-1-style rewrites.
+      "ontime((origin, airline_id) -> (origin, airline_id), 1)",
+      "ontime((airline_id, dest) -> (airline_id, dest), 1)",
+      "ontime(() -> (cancelled), 2)",
+      "airline((airline_id) -> (name, country), 1)",
+      "airline(() -> (airline_id), 30)",
+      "airline(() -> (country), 4)",
+      "airport((airport_id) -> (city, state), 1)",
+      "airport(() -> (state), 51)",
+      "carrier_stats((airline_id, year, month) -> (market, passengers), 4)",
+      "carrier_stats((airline_id, year, month, market) -> (passengers), 1)",
+      "carrier_stats(() -> (month), 12)",
+      "carrier_stats(() -> (year), 5)",
+      "plane((tail_num) -> (airline_id, model, built_year), 1)",
+      "plane((airline_id) -> (tail_num, model, built_year), 256)",
+      "route((route_id) -> (origin, dest, airline_id), 1)",
+      "route((origin, dest) -> (route_id, airline_id), 28)",
+      "route((origin) -> (dest, airline_id, route_id), 160)",
+      "route((origin, airline_id) -> (origin, airline_id), 1)",
+      "cancellation((code) -> (descr), 1)",
+      "cancellation(() -> (code, descr), 4)",
+  };
+  for (const std::string& c : kConstraints) {
+    BQE_RETURN_IF_ERROR(AddConstraint(&ds, c));
+  }
+
+  // --- Query-generator metadata -------------------------------------------
+  ds.join_edges = {
+      {"ontime", "airline_id", "airline", "airline_id"},
+      {"ontime", "origin", "airport", "airport_id"},
+      {"ontime", "dest", "airport", "airport_id"},
+      {"ontime", "airline_id", "carrier_stats", "airline_id"},
+      {"ontime", "cancelled", "cancellation", "code"},
+      {"ontime", "airline_id", "plane", "airline_id"},
+      {"route", "origin", "airport", "airport_id"},
+      {"route", "airline_id", "airline", "airline_id"},
+      {"ontime", "origin", "route", "origin"},
+      {"plane", "airline_id", "airline", "airline_id"},
+      {"carrier_stats", "airline_id", "airline", "airline_id"},
+  };
+  ds.anchors = {
+      {"ontime", {"origin", "fl_date"}},
+      {"ontime", {"airline_id", "fl_date"}},
+      {"ontime", {"flight_id"}},
+      {"route", {"origin", "dest"}},
+      {"route", {"route_id"}},
+      {"carrier_stats", {"airline_id", "year", "month"}},
+      {"plane", {"airline_id"}},
+      {"airline", {"airline_id"}},
+      {"airport", {"airport_id"}},
+      {"cancellation", {"code"}},
+  };
+
+  BQE_RETURN_IF_ERROR(internal::FinalizeDataset(&ds, opts));
+  return ds;
+}
+
+}  // namespace bqe

@@ -1,0 +1,42 @@
+#ifndef BQE_WORKLOAD_DATASET_INTERNAL_H_
+#define BQE_WORKLOAD_DATASET_INTERNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/datasets.h"
+
+namespace bqe {
+namespace internal {
+
+/// Shared by the dataset generators: optional discovery, bound calibration,
+/// and a final D |= A sanity check.
+Status FinalizeDataset(GeneratedDataset* ds, const DatasetOptions& opts);
+
+/// Merges mined constraints into the declared schema (DatasetOptions::
+/// discover_extra).
+Status MergeDiscovered(GeneratedDataset* ds);
+
+/// Schema-building shorthand.
+inline Attribute IntAttr(std::string name) {
+  return Attribute{std::move(name), ValueType::kInt};
+}
+inline Attribute StrAttr(std::string name) {
+  return Attribute{std::move(name), ValueType::kString};
+}
+inline Attribute DblAttr(std::string name) {
+  return Attribute{std::move(name), ValueType::kDouble};
+}
+
+/// Number of rows for a scaled table, at least `min_rows`.
+inline size_t Scaled(double scale, size_t base, size_t min_rows = 1) {
+  double n = scale * static_cast<double>(base);
+  size_t rows = static_cast<size_t>(n);
+  return rows < min_rows ? min_rows : rows;
+}
+
+}  // namespace internal
+}  // namespace bqe
+
+#endif  // BQE_WORKLOAD_DATASET_INTERNAL_H_

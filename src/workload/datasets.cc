@@ -1,0 +1,87 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "constraints/discovery.h"
+#include "constraints/validate.h"
+#include "workload/dataset_internal.h"
+
+namespace bqe {
+
+Status AddConstraint(GeneratedDataset* ds, const std::string& text) {
+  BQE_ASSIGN_OR_RETURN(AccessConstraint c, AccessConstraint::Parse(text));
+  return ds->schema.Add(std::move(c), ds->db.catalog());
+}
+
+Status CalibrateBounds(const Database& db, AccessSchema* schema) {
+  BQE_ASSIGN_OR_RETURN(ValidationReport report, Validate(db, *schema));
+  for (const ConstraintCheck& check : report.checks) {
+    const AccessConstraint& c = schema->at(check.constraint_id);
+    if (check.max_group > c.n) {
+      BQE_RETURN_IF_ERROR(schema->SetBound(check.constraint_id, check.max_group));
+    }
+  }
+  return Status::Ok();
+}
+
+namespace internal {
+
+Status MergeDiscovered(GeneratedDataset* ds) {
+  DiscoveryOptions opts;
+  opts.max_lhs = 2;
+  for (const std::string& rel : ds->db.catalog().RelationNames()) {
+    const Table* table = ds->db.Get(rel);
+    // Discovery cost is quadratic in arity; sample big tables.
+    Table sample(table->schema());
+    const size_t cap = 20000;
+    size_t step = table->NumRows() > cap ? table->NumRows() / cap : 1;
+    for (size_t i = 0; i < table->NumRows(); i += step) {
+      sample.InsertUnchecked(table->rows()[i]);
+    }
+    std::vector<AccessConstraint> found = DiscoverConstraints(sample, opts);
+    for (AccessConstraint& c : found) {
+      bool dup = false;
+      for (int id : ds->schema.ForRelation(rel)) {
+        const AccessConstraint& have = ds->schema.at(id);
+        if (have.x == c.x && have.y == c.y) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        BQE_RETURN_IF_ERROR(ds->schema.Add(std::move(c), ds->db.catalog()));
+      }
+    }
+  }
+  // Discovered bounds hold on the sample only; calibrate against full data.
+  return CalibrateBounds(ds->db, &ds->schema);
+}
+
+Status FinalizeDataset(GeneratedDataset* ds, const DatasetOptions& opts) {
+  if (opts.discover_extra) {
+    BQE_RETURN_IF_ERROR(MergeDiscovered(ds));
+  }
+  BQE_RETURN_IF_ERROR(CalibrateBounds(ds->db, &ds->schema));
+  // Sanity: the generated instance must satisfy its schema.
+  BQE_ASSIGN_OR_RETURN(ValidationReport report, Validate(ds->db, ds->schema));
+  if (!report.satisfied) {
+    return Status::Internal(
+        StrCat("dataset '", ds->name, "' violates its own schema:\n",
+               report.ToString()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+Result<GeneratedDataset> MakeDataset(const std::string& name, double scale,
+                                     uint64_t seed, const DatasetOptions& opts) {
+  std::string lower = StrLower(name);
+  if (lower == "airca") return MakeAirca(scale, seed, opts);
+  if (lower == "tfacc") return MakeTfacc(scale, seed, opts);
+  if (lower == "mcbm") return MakeMcbm(scale, seed, opts);
+  return Status::InvalidArgument(StrCat("unknown dataset '", name, "'"));
+}
+
+}  // namespace bqe

@@ -1,0 +1,81 @@
+#ifndef BQE_WORKLOAD_DATASETS_H_
+#define BQE_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/access_schema.h"
+#include "storage/database.h"
+
+namespace bqe {
+
+/// A joinable attribute pair, used by the query generator to build
+/// meaningful equi-joins (foreign-key-like relationships).
+struct JoinEdge {
+  std::string rel_a;
+  std::string attr_a;
+  std::string rel_b;
+  std::string attr_b;
+};
+
+/// An "anchor": a set of attributes of one relation that, when equated to
+/// constants, lets bounded plans reach the relation's tuples through an
+/// access constraint (e.g. OnTimePerformance anchored by {Origin}).
+struct Anchor {
+  std::string rel;
+  std::vector<std::string> attrs;
+};
+
+/// A synthetic dataset standing in for one of the paper's evaluation
+/// datasets, together with its declared access schema and the metadata the
+/// random query generator needs.
+struct GeneratedDataset {
+  std::string name;
+  Database db;
+  AccessSchema schema;
+  std::vector<JoinEdge> join_edges;
+  std::vector<Anchor> anchors;
+};
+
+/// Per-generator knobs.
+struct DatasetOptions {
+  /// Additionally run access-constraint discovery (Section 7) over every
+  /// table and merge the mined constraints into the declared schema.
+  bool discover_extra = false;
+};
+
+/// AIRCA stand-in (Section 8): US air-carrier flight & statistics data.
+/// 7 tables; at scale 1 roughly 2.4e5 tuples. Mirrors the paper's example
+/// constraint OnTimePerformance(Origin -> AirlineID, 28).
+Result<GeneratedDataset> MakeAirca(double scale, uint64_t seed,
+                                   const DatasetOptions& opts = {});
+
+/// TFACC stand-in: UK road-safety accidents + NaPTAN transport nodes.
+/// 19 tables; mirrors Accident((Date, PoliceForce) -> AccidentID, 304).
+Result<GeneratedDataset> MakeTfacc(double scale, uint64_t seed,
+                                   const DatasetOptions& opts = {});
+
+/// MCBM stand-in: mobile-communication benchmark, 12 relations
+/// (subscribers, cells, calls, sessions, billing, ...).
+Result<GeneratedDataset> MakeMcbm(double scale, uint64_t seed,
+                                  const DatasetOptions& opts = {});
+
+/// Dispatch by name ("airca" | "tfacc" | "mcbm").
+Result<GeneratedDataset> MakeDataset(const std::string& name, double scale,
+                                     uint64_t seed,
+                                     const DatasetOptions& opts = {});
+
+/// Raises every declared cardinality bound to the maximum group size the
+/// generated instance actually exhibits, guaranteeing D |= A at any scale
+/// (generators enforce the bounds structurally where they can; calibration
+/// absorbs randomness). Never lowers a bound.
+Status CalibrateBounds(const Database& db, AccessSchema* schema);
+
+/// Internal helper shared by the generators: parses and adds a constraint,
+/// e.g. AddConstraint(&ds, "ontime((origin) -> (airline_id), 28)").
+Status AddConstraint(GeneratedDataset* ds, const std::string& text);
+
+}  // namespace bqe
+
+#endif  // BQE_WORKLOAD_DATASETS_H_

@@ -1,0 +1,244 @@
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "workload/dataset_internal.h"
+#include "workload/datasets.h"
+
+namespace bqe {
+
+using internal::DblAttr;
+using internal::IntAttr;
+using internal::Scaled;
+using internal::StrAttr;
+
+/// MCBM stand-in: a 12-relation mobile-communication benchmark in the shape
+/// of the commercial Huawei benchmark the paper uses (subscribers, cells,
+/// towers, call/SMS/data records, plans, devices, billing, complaints).
+Result<GeneratedDataset> MakeMcbm(double scale, uint64_t seed,
+                                  const DatasetOptions& opts) {
+  GeneratedDataset ds;
+  ds.name = "mcbm";
+  Rng rng(seed ^ 0x3c63);
+
+  const int kRegions = 12;
+  const int kPlans = 20;
+  const int kVendors = 30;
+  const int kDevices = 500;
+  const int kTowers = 800;
+  const int kCells = 4000;
+  const int kDates = 366;
+  const int kMonths = 6;
+  const size_t kSubs = Scaled(scale, 30000, 64);
+  const size_t kCalls = Scaled(scale, 90000, 64);
+  const size_t kSms = Scaled(scale, 50000, 64);
+  const size_t kSessions = Scaled(scale, 60000, 64);
+  const size_t kComplaints = Scaled(scale, 4000, 16);
+
+  // --- Schemas (12 relations) ------------------------------------------------
+  struct Def {
+    const char* name;
+    std::vector<Attribute> attrs;
+  };
+  const std::vector<Def> defs = {
+      {"subscriber",
+       {IntAttr("sub_id"), IntAttr("plan_id"), IntAttr("region_id"),
+        IntAttr("device_id"), IntAttr("join_year")}},
+      {"cell", {IntAttr("cell_id"), IntAttr("tower_id"), IntAttr("region_id"),
+                IntAttr("band")}},
+      {"tower", {IntAttr("tower_id"), IntAttr("region_id"), DblAttr("lat"),
+                 DblAttr("lon")}},
+      {"call_rec",
+       {IntAttr("call_id"), IntAttr("caller_id"), IntAttr("callee_id"),
+        IntAttr("cell_id"), IntAttr("date"), IntAttr("duration")}},
+      {"sms_rec", {IntAttr("sms_id"), IntAttr("sender_id"), IntAttr("recv_id"),
+                   IntAttr("cell_id"), IntAttr("date")}},
+      {"data_session", {IntAttr("sess_id"), IntAttr("sub_id"), IntAttr("cell_id"),
+                        IntAttr("date"), IntAttr("mb")}},
+      {"plan", {IntAttr("plan_id"), StrAttr("name"), IntAttr("tier"),
+                IntAttr("monthly_fee")}},
+      {"device", {IntAttr("device_id"), IntAttr("vendor_id"), StrAttr("model"),
+                  IntAttr("year")}},
+      {"vendor", {IntAttr("vendor_id"), StrAttr("name")}},
+      {"mregion", {IntAttr("region_id"), StrAttr("name")}},
+      {"bill", {IntAttr("bill_id"), IntAttr("sub_id"), IntAttr("month"),
+                IntAttr("amount")}},
+      {"complaint", {IntAttr("complaint_id"), IntAttr("sub_id"), IntAttr("date"),
+                     IntAttr("category")}},
+  };
+  for (const Def& d : defs) {
+    BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(d.name, d.attrs)));
+  }
+
+  // --- Data ----------------------------------------------------------------
+  for (int r = 0; r < kRegions; ++r) {
+    BQE_RETURN_IF_ERROR(
+        ds.db.Insert("mregion", {Value::Int(r), Value::Str(StrCat("region_", r))}));
+  }
+  for (int p = 0; p < kPlans; ++p) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "plan", {Value::Int(p), Value::Str(StrCat("plan_", p)),
+                 Value::Int(p % 4), Value::Int(10 + 5 * (p % 10))}));
+  }
+  for (int v = 0; v < kVendors; ++v) {
+    BQE_RETURN_IF_ERROR(
+        ds.db.Insert("vendor", {Value::Int(v), Value::Str(StrCat("vendor_", v))}));
+  }
+  for (int d = 0; d < kDevices; ++d) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "device", {Value::Int(d), Value::Int(d % kVendors),
+                   Value::Str(StrCat("model_", d % 90)),
+                   Value::Int(static_cast<int64_t>(2008 + d % 8))}));
+  }
+  for (int t = 0; t < kTowers; ++t) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "tower", {Value::Int(t), Value::Int(t % kRegions),
+                  Value::Double(20 + rng.UniformDouble(0, 30)),
+                  Value::Double(100 + rng.UniformDouble(0, 20))}));
+  }
+  for (int c = 0; c < kCells; ++c) {
+    int tower = c % kTowers;
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "cell", {Value::Int(c), Value::Int(tower), Value::Int(tower % kRegions),
+                 Value::Int(rng.UniformInt(0, 4))}));
+  }
+  for (size_t s = 0; s < kSubs; ++s) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "subscriber",
+        {Value::Int(static_cast<int64_t>(s)),
+         Value::Int(rng.UniformInt(0, kPlans - 1)),
+         Value::Int(rng.UniformInt(0, kRegions - 1)),
+         Value::Int(rng.UniformInt(0, kDevices - 1)),
+         Value::Int(rng.UniformInt(2008, 2015))}));
+  }
+  for (size_t c = 0; c < kCalls; ++c) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "call_rec",
+        {Value::Int(static_cast<int64_t>(c)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, kCells - 1)),
+         Value::Int(rng.UniformInt(0, kDates - 1)),
+         Value::Int(rng.UniformInt(1, 3600))}));
+  }
+  for (size_t m = 0; m < kSms; ++m) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "sms_rec",
+        {Value::Int(static_cast<int64_t>(m)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, kCells - 1)),
+         Value::Int(rng.UniformInt(0, kDates - 1))}));
+  }
+  for (size_t s = 0; s < kSessions; ++s) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "data_session",
+        {Value::Int(static_cast<int64_t>(s)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, kCells - 1)),
+         Value::Int(rng.UniformInt(0, kDates - 1)),
+         Value::Int(rng.UniformInt(1, 2048))}));
+  }
+  {
+    int64_t bill_id = 0;
+    for (size_t s = 0; s < kSubs; ++s) {
+      for (int m = 1; m <= kMonths; ++m) {
+        if (rng.Bernoulli(0.25)) continue;  // Some bills missing.
+        BQE_RETURN_IF_ERROR(ds.db.Insert(
+            "bill", {Value::Int(bill_id++), Value::Int(static_cast<int64_t>(s)),
+                     Value::Int(m), Value::Int(rng.UniformInt(5, 400))}));
+      }
+    }
+  }
+  for (size_t c = 0; c < kComplaints; ++c) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "complaint",
+        {Value::Int(static_cast<int64_t>(c)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kSubs) - 1)),
+         Value::Int(rng.UniformInt(0, kDates - 1)),
+         Value::Int(rng.UniformInt(0, 9))}));
+  }
+
+  // --- Access schema ---------------------------------------------------------
+  const std::vector<std::string> kConstraints = {
+      "subscriber((sub_id) -> (plan_id, region_id, device_id, join_year), 1)",
+      "subscriber(() -> (join_year), 8)",
+      "cell((cell_id) -> (tower_id, region_id, band), 1)",
+      "cell((tower_id) -> (cell_id, region_id, band), 8)",
+      "cell(() -> (band), 5)",
+      "tower((tower_id) -> (region_id, lat, lon), 1)",
+      "tower((region_id) -> (tower_id), 80)",
+      "call_rec((call_id) -> (caller_id, callee_id, cell_id, date, duration), 1)",
+      "call_rec((caller_id, date) -> (call_id, callee_id, cell_id, duration), 48)",
+      "call_rec((callee_id, date) -> (call_id, caller_id, cell_id, duration), 48)",
+      // psi3-style indexing constraints (X -> X, 1).
+      "call_rec((caller_id, cell_id) -> (caller_id, cell_id), 1)",
+      "sms_rec((sms_id) -> (sender_id, recv_id, cell_id, date), 1)",
+      "sms_rec((sender_id, date) -> (sms_id, recv_id, cell_id), 48)",
+      "data_session((sess_id) -> (sub_id, cell_id, date, mb), 1)",
+      "data_session((sub_id, date) -> (sess_id, cell_id, mb), 24)",
+      "data_session((sub_id, cell_id) -> (sub_id, cell_id), 1)",
+      "plan((plan_id) -> (name, tier, monthly_fee), 1)",
+      "plan(() -> (plan_id), 20)",
+      "plan(() -> (tier), 4)",
+      "device((device_id) -> (vendor_id, model, year), 1)",
+      "device((vendor_id) -> (device_id, model), 24)",
+      "vendor((vendor_id) -> (name), 1)",
+      "vendor(() -> (vendor_id), 30)",
+      "mregion((region_id) -> (name), 1)",
+      "mregion(() -> (region_id), 12)",
+      "bill((bill_id) -> (sub_id, month, amount), 1)",
+      "bill((sub_id) -> (bill_id, month, amount), 6)",
+      "bill((sub_id, month) -> (bill_id, amount), 1)",
+      "bill(() -> (month), 6)",
+      "complaint((complaint_id) -> (sub_id, date, category), 1)",
+      "complaint((sub_id) -> (complaint_id, date, category), 16)",
+      "complaint((sub_id, category) -> (sub_id, category), 1)",
+      "complaint(() -> (category), 10)",
+  };
+  for (const std::string& c : kConstraints) {
+    BQE_RETURN_IF_ERROR(AddConstraint(&ds, c));
+  }
+
+  // --- Query-generator metadata -----------------------------------------------
+  ds.join_edges = {
+      {"subscriber", "plan_id", "plan", "plan_id"},
+      {"subscriber", "region_id", "mregion", "region_id"},
+      {"subscriber", "device_id", "device", "device_id"},
+      {"device", "vendor_id", "vendor", "vendor_id"},
+      {"cell", "tower_id", "tower", "tower_id"},
+      {"cell", "region_id", "mregion", "region_id"},
+      {"tower", "region_id", "mregion", "region_id"},
+      {"call_rec", "caller_id", "subscriber", "sub_id"},
+      {"call_rec", "callee_id", "subscriber", "sub_id"},
+      {"call_rec", "cell_id", "cell", "cell_id"},
+      {"sms_rec", "sender_id", "subscriber", "sub_id"},
+      {"sms_rec", "cell_id", "cell", "cell_id"},
+      {"data_session", "sub_id", "subscriber", "sub_id"},
+      {"data_session", "cell_id", "cell", "cell_id"},
+      {"bill", "sub_id", "subscriber", "sub_id"},
+      {"complaint", "sub_id", "subscriber", "sub_id"},
+  };
+  ds.anchors = {
+      {"subscriber", {"sub_id"}},
+      {"call_rec", {"caller_id", "date"}},
+      {"call_rec", {"callee_id", "date"}},
+      {"call_rec", {"call_id"}},
+      {"sms_rec", {"sender_id", "date"}},
+      {"data_session", {"sub_id", "date"}},
+      {"bill", {"sub_id"}},
+      {"bill", {"sub_id", "month"}},
+      {"complaint", {"sub_id"}},
+      {"cell", {"cell_id"}},
+      {"cell", {"tower_id"}},
+      {"tower", {"tower_id"}},
+      {"device", {"device_id"}},
+      {"device", {"vendor_id"}},
+      {"plan", {"plan_id"}},
+  };
+
+  BQE_RETURN_IF_ERROR(internal::FinalizeDataset(&ds, opts));
+  return ds;
+}
+
+}  // namespace bqe

@@ -1,0 +1,330 @@
+#include "workload/querygen.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/cov.h"
+#include "ra/builder.h"
+#include "ra/normalize.h"
+
+namespace bqe {
+
+namespace {
+
+/// Structural description of one SPC block; instantiated (possibly several
+/// times, for #-unidiff variants) with fresh occurrence names and freshly
+/// sampled constants.
+struct BlockTemplate {
+  std::vector<std::string> bases;  // Occurrence index -> base relation.
+  struct JoinAtom {
+    int occ_a;
+    std::string attr_a;
+    int occ_b;
+    std::string attr_b;
+  };
+  std::vector<JoinAtom> joins;
+  std::vector<std::pair<int, std::string>> anchor_sels;  // (occ, attr).
+  std::vector<std::pair<int, std::string>> extra_sels;   // (occ, attr).
+  std::vector<std::pair<int, std::string>> outputs;      // (occ, attr).
+};
+
+Value SampleValue(const Database& db, const std::string& base,
+                  const std::string& attr, Rng* rng) {
+  const Table* table = db.Get(base);
+  if (table == nullptr || table->NumRows() == 0) return Value::Int(0);
+  int idx = table->schema().AttrIndex(attr);
+  if (idx < 0) return Value::Int(0);
+  const Tuple& row = table->rows()[rng->PickIndex(table->NumRows())];
+  return row[static_cast<size_t>(idx)];
+}
+
+/// Builds the structural template: start relation (possibly anchored),
+/// join walk, extra selections, output attributes.
+Result<BlockTemplate> BuildTemplate(const GeneratedDataset& ds,
+                                    const QueryGenConfig& cfg, Rng* rng,
+                                    bool anchored, bool outputs_on_start) {
+  BlockTemplate t;
+  // Start relation.
+  if (anchored && !ds.anchors.empty()) {
+    const Anchor& a = ds.anchors[rng->PickIndex(ds.anchors.size())];
+    t.bases.push_back(a.rel);
+    for (const std::string& attr : a.attrs) t.anchor_sels.emplace_back(0, attr);
+  } else {
+    // Unanchored blocks model ad-hoc queries over the big fact tables —
+    // the queries that are typically not boundedly evaluable. Prefer the
+    // largest relations (lookup tables are trivially covered by their
+    // finite-domain constraints, which would skew Fig. 6).
+    std::vector<std::pair<size_t, std::string>> by_size;
+    for (const std::string& rel : ds.db.catalog().RelationNames()) {
+      const Table* table = ds.db.Get(rel);
+      by_size.emplace_back(table != nullptr ? table->NumRows() : 0, rel);
+    }
+    std::sort(by_size.rbegin(), by_size.rend());
+    size_t top = by_size.size() < 4 ? by_size.size() : by_size.size() / 2;
+    t.bases.push_back(by_size[rng->PickIndex(top < 1 ? 1 : top)].second);
+  }
+
+  // Join walk over the dataset's join edges.
+  for (int j = 0; j < cfg.num_join; ++j) {
+    struct Option {
+      int src_occ;
+      std::string src_attr;
+      std::string dst_base;
+      std::string dst_attr;
+    };
+    std::vector<Option> options;
+    for (const JoinEdge& e : ds.join_edges) {
+      for (size_t occ = 0; occ < t.bases.size(); ++occ) {
+        if (t.bases[occ] == e.rel_a) {
+          options.push_back(
+              Option{static_cast<int>(occ), e.attr_a, e.rel_b, e.attr_b});
+        }
+        if (t.bases[occ] == e.rel_b) {
+          options.push_back(
+              Option{static_cast<int>(occ), e.attr_b, e.rel_a, e.attr_a});
+        }
+      }
+    }
+    if (options.empty()) break;
+    const Option& pick = options[rng->PickIndex(options.size())];
+    int new_occ = static_cast<int>(t.bases.size());
+    t.bases.push_back(pick.dst_base);
+    t.joins.push_back(
+        BlockTemplate::JoinAtom{pick.src_occ, pick.src_attr, new_occ,
+                                pick.dst_attr});
+  }
+
+  // Extra constant selections beyond the anchors, up to #-sel total. For
+  // unanchored blocks the constants deliberately avoid attributes on the X
+  // side of any constraint of the start relation — these model ad-hoc
+  // queries whose constants do not match the available access patterns
+  // (the boundedly-inevaluable queries of Section 8).
+  std::set<std::string> start_x_attrs;
+  if (!anchored) {
+    for (int cid : ds.schema.ForRelation(t.bases[0])) {
+      const AccessConstraint& c = ds.schema.at(cid);
+      start_x_attrs.insert(c.x.begin(), c.x.end());
+    }
+  }
+  // Each equality class of attributes receives at most one constant —
+  // otherwise random constants make the query trivially unsatisfiable
+  // (A = c1 AND A = c2, possibly through join atoms), which is vacuously
+  // covered and would skew the Fig. 6 percentages. Classes are the
+  // join-connected components of (occurrence, attribute) pairs.
+  using OccAttr = std::pair<int, std::string>;
+  std::map<OccAttr, OccAttr> parent;
+  std::function<OccAttr(OccAttr)> find = [&](OccAttr x) {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    OccAttr root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  for (const BlockTemplate::JoinAtom& j : t.joins) {
+    OccAttr a = find({j.occ_a, j.attr_a});
+    OccAttr b = find({j.occ_b, j.attr_b});
+    if (!(a == b)) parent[a] = b;
+  }
+  std::set<OccAttr> bound_classes;
+  for (const auto& sel : t.anchor_sels) bound_classes.insert(find(sel));
+
+  int remaining = cfg.num_sel - static_cast<int>(t.anchor_sels.size());
+  for (int k = 0; k < remaining; ++k) {
+    int occ = static_cast<int>(rng->PickIndex(t.bases.size()));
+    const RelationSchema* schema =
+        ds.db.catalog().Get(t.bases[static_cast<size_t>(occ)]);
+    std::vector<std::string> pool;
+    for (const Attribute& a : schema->attrs()) {
+      if (a.type == ValueType::kDouble) continue;  // Poor equality constants.
+      if (occ == 0 && !anchored && start_x_attrs.count(a.name) > 0) continue;
+      if (bound_classes.count(find({occ, a.name})) > 0) continue;
+      pool.push_back(a.name);
+    }
+    if (pool.empty()) continue;  // Occurrence fully constrained; skip.
+    std::string attr = pool[rng->PickIndex(pool.size())];
+    bound_classes.insert(find({occ, attr}));
+    t.extra_sels.emplace_back(occ, std::move(attr));
+  }
+
+  // Output attributes: prefer attributes covered by some constraint's XY of
+  // the base relation (the paper generates queries from attributes that
+  // occur in access constraints). When the query will carry set operators
+  // (#-unidiff > 0), outputs stay on the start occurrence so difference
+  // operands can be reduced to Example-1-style single-relation blocks; they
+  // then prefer the X attributes of indexing constraints (psi3 pattern).
+  std::vector<std::pair<int, std::string>> pool;
+  if (outputs_on_start) {
+    for (int cid : ds.schema.ForRelation(t.bases[0])) {
+      const AccessConstraint& c = ds.schema.at(cid);
+      if (!c.IsIndexingConstraint()) continue;
+      for (const std::string& a : c.x) pool.emplace_back(0, a);
+    }
+  }
+  size_t occ_limit = outputs_on_start ? 1 : t.bases.size();
+  if (pool.empty()) {
+    for (size_t occ = 0; occ < occ_limit; ++occ) {
+      std::set<std::string> attrs;
+      for (int cid : ds.schema.ForRelation(t.bases[occ])) {
+        const AccessConstraint& c = ds.schema.at(cid);
+        attrs.insert(c.x.begin(), c.x.end());
+        attrs.insert(c.y.begin(), c.y.end());
+      }
+      for (const std::string& a : attrs) {
+        pool.emplace_back(static_cast<int>(occ), a);
+      }
+    }
+  }
+  if (pool.empty()) {
+    const RelationSchema* schema = ds.db.catalog().Get(t.bases[0]);
+    pool.emplace_back(0, schema->attrs()[0].name);
+  }
+  int num_out = static_cast<int>(rng->UniformInt(1, 3));
+  std::set<std::pair<int, std::string>> chosen;
+  for (int k = 0; k < num_out; ++k) {
+    chosen.insert(pool[rng->PickIndex(pool.size())]);
+  }
+  t.outputs.assign(chosen.begin(), chosen.end());
+  return t;
+}
+
+/// Instantiates a template as an RA expression. `reduce_to_start` yields an
+/// Example-1 Q2-style block: the start occurrence alone, one constant on an
+/// attribute of an indexing constraint, projected to the template outputs
+/// (which are then guaranteed to live on the start occurrence).
+RaExprPtr Instantiate(const GeneratedDataset& ds, const BlockTemplate& t,
+                      const std::string& prefix, Rng* rng, bool strip_anchors,
+                      bool reduce_to_start = false) {
+  auto occ_name = [&](int i) {
+    return StrCat(prefix, "_", i, "_", t.bases[static_cast<size_t>(i)]);
+  };
+  if (reduce_to_start) {
+    const std::string& base = t.bases[0];
+    std::set<std::string> output_attrs;
+    for (const auto& [occ, attr] : t.outputs) {
+      if (occ == 0) output_attrs.insert(attr);
+    }
+    // One constant on a non-output attribute, preferring the X side of an
+    // indexing constraint (so the difference-semijoin rewrite can validate
+    // combinations through it, like psi3 in Example 1).
+    std::vector<std::string> const_pool;
+    for (int cid : ds.schema.ForRelation(base)) {
+      const AccessConstraint& c = ds.schema.at(cid);
+      if (!c.IsIndexingConstraint()) continue;
+      for (const std::string& a : c.x) {
+        if (output_attrs.count(a) == 0) const_pool.push_back(a);
+      }
+    }
+    if (const_pool.empty()) {
+      const RelationSchema* schema = ds.db.catalog().Get(base);
+      for (const Attribute& a : schema->attrs()) {
+        if (a.type != ValueType::kDouble && output_attrs.count(a.name) == 0) {
+          const_pool.push_back(a.name);
+        }
+      }
+    }
+    RaExprPtr expr = RelAs(base, occ_name(0));
+    if (!const_pool.empty()) {
+      const std::string& attr = const_pool[rng->PickIndex(const_pool.size())];
+      expr = Select(std::move(expr),
+                    {EqC(A(occ_name(0), attr), SampleValue(ds.db, base, attr, rng))});
+    }
+    std::vector<AttrRef> cols;
+    for (const auto& [occ, attr] : t.outputs) cols.push_back(A(occ_name(occ), attr));
+    return Project(std::move(expr), std::move(cols));
+  }
+  RaExprPtr expr = RelAs(t.bases[0], occ_name(0));
+  for (size_t i = 1; i < t.bases.size(); ++i) {
+    expr = Product(std::move(expr),
+                   RelAs(t.bases[i], occ_name(static_cast<int>(i))));
+  }
+  std::vector<Predicate> preds;
+  for (const BlockTemplate::JoinAtom& j : t.joins) {
+    preds.push_back(EqA(A(occ_name(j.occ_a), j.attr_a),
+                        A(occ_name(j.occ_b), j.attr_b)));
+  }
+  if (!strip_anchors) {
+    // All anchor constants of one occurrence come from a single data row so
+    // the combination actually occurs (a multi-attribute anchor sampled
+    // attribute-wise would almost never match any tuple).
+    std::map<int, const Tuple*> anchor_row;
+    for (const auto& [occ, attr] : t.anchor_sels) {
+      (void)attr;
+      if (anchor_row.count(occ) > 0) continue;
+      const Table* table = ds.db.Get(t.bases[static_cast<size_t>(occ)]);
+      if (table != nullptr && table->NumRows() > 0) {
+        anchor_row[occ] = &table->rows()[rng->PickIndex(table->NumRows())];
+      } else {
+        anchor_row[occ] = nullptr;
+      }
+    }
+    for (const auto& [occ, attr] : t.anchor_sels) {
+      const Table* table = ds.db.Get(t.bases[static_cast<size_t>(occ)]);
+      const Tuple* row = anchor_row[occ];
+      Value v = Value::Int(0);
+      if (row != nullptr && table != nullptr) {
+        int idx = table->schema().AttrIndex(attr);
+        if (idx >= 0) v = (*row)[static_cast<size_t>(idx)];
+      }
+      preds.push_back(EqC(A(occ_name(occ), attr), std::move(v)));
+    }
+  }
+  for (const auto& [occ, attr] : t.extra_sels) {
+    preds.push_back(
+        EqC(A(occ_name(occ), attr),
+            SampleValue(ds.db, t.bases[static_cast<size_t>(occ)], attr, rng)));
+  }
+  if (!preds.empty()) expr = Select(std::move(expr), std::move(preds));
+  std::vector<AttrRef> cols;
+  for (const auto& [occ, attr] : t.outputs) {
+    cols.push_back(A(occ_name(occ), attr));
+  }
+  return Project(std::move(expr), std::move(cols));
+}
+
+}  // namespace
+
+Result<RaExprPtr> GenerateQuery(const GeneratedDataset& ds,
+                                const QueryGenConfig& cfg) {
+  Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + 0x51);
+  bool anchored = !rng.Bernoulli(cfg.uncovered_bias);
+  BQE_ASSIGN_OR_RETURN(
+      BlockTemplate t,
+      BuildTemplate(ds, cfg, &rng, anchored,
+                    /*outputs_on_start=*/cfg.num_unidiff > 0));
+
+  RaExprPtr query = Instantiate(ds, t, "g0", &rng, /*strip_anchors=*/false);
+  for (int k = 1; k <= cfg.num_unidiff; ++k) {
+    bool is_diff = rng.Bernoulli(0.5);
+    bool strip = is_diff && rng.Bernoulli(cfg.strip_right_anchor);
+    RaExprPtr variant = Instantiate(ds, t, StrCat("g", k), &rng,
+                                    /*strip_anchors=*/strip,
+                                    /*reduce_to_start=*/strip);
+    query = is_diff ? Diff(std::move(query), std::move(variant))
+                    : Union(std::move(query), std::move(variant));
+  }
+
+  // The generator must always produce well-formed queries.
+  BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(query, ds.db.catalog()));
+  (void)nq;
+  return query;
+}
+
+Result<RaExprPtr> GenerateCoveredQuery(const GeneratedDataset& ds,
+                                       QueryGenConfig cfg, int max_tries) {
+  cfg.uncovered_bias = 0.0;
+  cfg.strip_right_anchor = 0.0;
+  for (int i = 0; i < max_tries; ++i) {
+    BQE_ASSIGN_OR_RETURN(RaExprPtr q, GenerateQuery(ds, cfg));
+    BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(q, ds.db.catalog()));
+    BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(nq, ds.schema));
+    if (report.covered) return q;
+    ++cfg.seed;
+  }
+  return Status::NotFound(
+      StrCat("no covered query found in ", max_tries, " tries"));
+}
+
+}  // namespace bqe

@@ -1,0 +1,43 @@
+#ifndef BQE_WORKLOAD_QUERYGEN_H_
+#define BQE_WORKLOAD_QUERYGEN_H_
+
+#include "common/status.h"
+#include "ra/expr.h"
+#include "workload/datasets.h"
+
+namespace bqe {
+
+/// Knobs of the random RA query generator (Section 8, "RA queries
+/// generator"): queries are built from attributes occurring in the access
+/// constraints with constants randomly extracted from the data, varying
+///   #-sel      — equality atoms with constants, in [4, 9] in the paper,
+///   #-join     — attr = attr join atoms, in [0, 5],
+///   #-unidiff  — union / set-difference operators, in [0, 5].
+struct QueryGenConfig {
+  int num_sel = 4;
+  int num_join = 2;
+  int num_unidiff = 0;
+  /// Probability that a generated SPC block is NOT anchored (no constant
+  /// bound on an access-constraint X set), typically making it uncovered.
+  double uncovered_bias = 0.30;
+  /// For the right operand of a set difference: probability of stripping
+  /// the anchors, producing Example-1-style bounded-but-not-covered queries
+  /// that the rewriter can repair.
+  double strip_right_anchor = 0.35;
+  uint64_t seed = 0;
+};
+
+/// Generates one random RA query over the dataset's catalog. Deterministic
+/// in (dataset, cfg.seed). The query always normalizes successfully.
+Result<RaExprPtr> GenerateQuery(const GeneratedDataset& ds,
+                                const QueryGenConfig& cfg);
+
+/// Rejection-samples queries until one is covered by ds.schema; increments
+/// the seed on each retry. Used by the Fig. 5 benchmarks, which evaluate
+/// covered queries only.
+Result<RaExprPtr> GenerateCoveredQuery(const GeneratedDataset& ds,
+                                       QueryGenConfig cfg, int max_tries = 300);
+
+}  // namespace bqe
+
+#endif  // BQE_WORKLOAD_QUERYGEN_H_

@@ -1,0 +1,266 @@
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "workload/dataset_internal.h"
+#include "workload/datasets.h"
+
+namespace bqe {
+
+using internal::DblAttr;
+using internal::IntAttr;
+using internal::Scaled;
+using internal::StrAttr;
+
+/// TFACC stand-in: 19 tables mirroring the UK Road Safety data joined with
+/// NaPTAN public-transport nodes. The headline constraint mirrors the
+/// paper's Accident((Date, PoliceForce) -> AccidentID, 304).
+Result<GeneratedDataset> MakeTfacc(double scale, uint64_t seed,
+                                   const DatasetOptions& opts) {
+  GeneratedDataset ds;
+  ds.name = "tfacc";
+  Rng rng(seed ^ 0x7facc);
+
+  const int kForces = 51;
+  const int kRegions = 11;
+  const int kDates = 500;
+  const int kRoads = 4000;
+  const size_t kAccidents = Scaled(scale, 60000, 64);
+  const size_t kVehicles = Scaled(scale, 80000, 64);
+  const size_t kCasualties = Scaled(scale, 70000, 64);
+  const size_t kStops = Scaled(scale, 30000, 32);
+  const int kLocalities = 900;
+  const int kDistricts = 350;
+  const size_t kStopLinks = Scaled(scale, 30000, 32);
+  const int kStopAreas = 1500;
+
+  // --- Schemas (19 tables) --------------------------------------------------
+  struct Def {
+    const char* name;
+    std::vector<Attribute> attrs;
+  };
+  const std::vector<Def> defs = {
+      {"accident",
+       {IntAttr("accident_id"), IntAttr("date"), IntAttr("police_force"),
+        IntAttr("severity"), IntAttr("road_id"), IntAttr("junction_id"),
+        IntAttr("weather_id"), IntAttr("light_id"), DblAttr("lat"),
+        DblAttr("lon")}},
+      {"vehicle",
+       {IntAttr("vehicle_id"), IntAttr("accident_id"), IntAttr("vtype_id"),
+        IntAttr("make_id"), IntAttr("age_band"), IntAttr("engine_cc")}},
+      {"casualty",
+       {IntAttr("casualty_id"), IntAttr("accident_id"), IntAttr("class_id"),
+        IntAttr("severity"), IntAttr("age_band")}},
+      {"police_force", {IntAttr("force_id"), StrAttr("name"), IntAttr("region_id")}},
+      {"region", {IntAttr("region_id"), StrAttr("name")}},
+      {"road", {IntAttr("road_id"), IntAttr("road_class"), StrAttr("number")}},
+      {"junction", {IntAttr("junction_id"), StrAttr("descr")}},
+      {"weather", {IntAttr("weather_id"), StrAttr("descr")}},
+      {"light", {IntAttr("light_id"), StrAttr("descr")}},
+      {"severity_lu", {IntAttr("severity"), StrAttr("descr")}},
+      {"vehicle_type", {IntAttr("vtype_id"), StrAttr("descr")}},
+      {"make", {IntAttr("make_id"), StrAttr("name")}},
+      {"casualty_class", {IntAttr("class_id"), StrAttr("descr")}},
+      {"age_band_lu", {IntAttr("band_id"), StrAttr("descr")}},
+      {"naptan_stop",
+       {IntAttr("stop_id"), IntAttr("locality_id"), IntAttr("stop_type"),
+        DblAttr("lat"), DblAttr("lon")}},
+      {"locality", {IntAttr("locality_id"), StrAttr("name"), IntAttr("district_id")}},
+      {"district", {IntAttr("district_id"), StrAttr("name"), IntAttr("region_id")}},
+      {"stop_area", {IntAttr("area_id"), StrAttr("name"), IntAttr("admin_id")}},
+      {"stop_in_area", {IntAttr("stop_id"), IntAttr("area_id")}},
+  };
+  for (const Def& d : defs) {
+    BQE_RETURN_IF_ERROR(ds.db.CreateTable(RelationSchema(d.name, d.attrs)));
+  }
+
+  // --- Lookup tables ---------------------------------------------------------
+  auto fill_lookup = [&](const char* rel, const char* prefix, int n,
+                         bool extra_int = false) -> Status {
+    for (int i = 0; i < n; ++i) {
+      Tuple row = {Value::Int(i), Value::Str(StrCat(prefix, "_", i))};
+      if (extra_int) row.push_back(Value::Int(i % kRegions));
+      BQE_RETURN_IF_ERROR(ds.db.Insert(rel, std::move(row)));
+    }
+    return Status::Ok();
+  };
+  BQE_RETURN_IF_ERROR(fill_lookup("region", "region", kRegions));
+  BQE_RETURN_IF_ERROR(fill_lookup("police_force", "force", kForces, true));
+  BQE_RETURN_IF_ERROR(fill_lookup("junction", "junction", 10));
+  BQE_RETURN_IF_ERROR(fill_lookup("weather", "weather", 9));
+  BQE_RETURN_IF_ERROR(fill_lookup("light", "light", 5));
+  BQE_RETURN_IF_ERROR(fill_lookup("severity_lu", "severity", 3));
+  BQE_RETURN_IF_ERROR(fill_lookup("vehicle_type", "vtype", 20));
+  BQE_RETURN_IF_ERROR(fill_lookup("make", "make", 50));
+  BQE_RETURN_IF_ERROR(fill_lookup("casualty_class", "class", 3));
+  BQE_RETURN_IF_ERROR(fill_lookup("age_band_lu", "band", 11));
+  for (int r = 0; r < kRoads; ++r) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "road", {Value::Int(r), Value::Int(rng.UniformInt(1, 6)),
+                 Value::Str(StrCat("A", r % 999))}));
+  }
+
+  // --- Accidents + vehicles + casualties -------------------------------------
+  for (size_t i = 0; i < kAccidents; ++i) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "accident",
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Int(rng.UniformInt(0, kDates - 1)),
+         Value::Int(rng.UniformInt(0, kForces - 1)),
+         Value::Int(rng.UniformInt(0, 2)), Value::Int(rng.UniformInt(0, kRoads - 1)),
+         Value::Int(rng.UniformInt(0, 9)), Value::Int(rng.UniformInt(0, 8)),
+         Value::Int(rng.UniformInt(0, 4)),
+         Value::Double(49.0 + rng.UniformDouble(0, 10)),
+         Value::Double(-6.0 + rng.UniformDouble(0, 8))}));
+  }
+  for (size_t v = 0; v < kVehicles; ++v) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "vehicle",
+        {Value::Int(static_cast<int64_t>(v)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kAccidents) - 1)),
+         Value::Int(rng.UniformInt(0, 19)), Value::Int(rng.UniformInt(0, 49)),
+         Value::Int(rng.UniformInt(0, 10)),
+         Value::Int(rng.UniformInt(50, 5000))}));
+  }
+  for (size_t c = 0; c < kCasualties; ++c) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "casualty",
+        {Value::Int(static_cast<int64_t>(c)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(kAccidents) - 1)),
+         Value::Int(rng.UniformInt(0, 2)), Value::Int(rng.UniformInt(0, 2)),
+         Value::Int(rng.UniformInt(0, 10))}));
+  }
+
+  // --- NaPTAN ----------------------------------------------------------------
+  for (int d = 0; d < kDistricts; ++d) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "district", {Value::Int(d), Value::Str(StrCat("district_", d)),
+                     Value::Int(d % kRegions)}));
+  }
+  for (int l = 0; l < kLocalities; ++l) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "locality", {Value::Int(l), Value::Str(StrCat("locality_", l)),
+                     Value::Int(l % kDistricts)}));
+  }
+  for (size_t s = 0; s < kStops; ++s) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "naptan_stop",
+        {Value::Int(static_cast<int64_t>(s)),
+         Value::Int(rng.UniformInt(0, kLocalities - 1)),
+         Value::Int(rng.UniformInt(0, 7)),
+         Value::Double(49.0 + rng.UniformDouble(0, 10)),
+         Value::Double(-6.0 + rng.UniformDouble(0, 8))}));
+  }
+  for (int a = 0; a < kStopAreas; ++a) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "stop_area", {Value::Int(a), Value::Str(StrCat("area_", a)),
+                      Value::Int(a % kDistricts)}));
+  }
+  for (size_t k = 0; k < kStopLinks; ++k) {
+    BQE_RETURN_IF_ERROR(ds.db.Insert(
+        "stop_in_area",
+        {Value::Int(rng.UniformInt(0, static_cast<int64_t>(kStops) - 1)),
+         Value::Int(rng.UniformInt(0, kStopAreas - 1))}));
+  }
+
+  // --- Access schema ----------------------------------------------------------
+  const std::vector<std::string> kConstraints = {
+      // The paper's TFACC example: each police force handles at most 304
+      // accidents per day.
+      "accident((date, police_force) -> (accident_id, severity, road_id, "
+      "junction_id, weather_id, light_id), 304)",
+      "accident((accident_id) -> (date, police_force, severity, road_id, "
+      "junction_id, weather_id, light_id, lat, lon), 1)",
+      "accident((road_id, severity) -> (road_id, severity), 1)",
+      "accident(() -> (severity), 3)",
+      "accident(() -> (police_force), 51)",
+      "accident(() -> (junction_id), 10)",
+      "accident(() -> (weather_id), 9)",
+      "accident(() -> (light_id), 5)",
+      "vehicle((vehicle_id) -> (accident_id, vtype_id, make_id, age_band, "
+      "engine_cc), 1)",
+      "vehicle((accident_id) -> (vehicle_id, vtype_id, make_id, age_band, "
+      "engine_cc), 16)",
+      // psi3-style indexing constraints (X -> X, 1).
+      "vehicle((accident_id, vtype_id) -> (accident_id, vtype_id), 1)",
+      "casualty((casualty_id) -> (accident_id, class_id, severity, age_band), 1)",
+      "casualty((accident_id) -> (casualty_id, class_id, severity, age_band), 20)",
+      "casualty((accident_id, class_id) -> (accident_id, class_id), 1)",
+      "police_force((force_id) -> (name, region_id), 1)",
+      "police_force((region_id) -> (force_id, name), 8)",
+      "police_force(() -> (force_id), 51)",
+      "region((region_id) -> (name), 1)",
+      "region(() -> (region_id), 11)",
+      "road((road_id) -> (road_class, number), 1)",
+      "road(() -> (road_class), 6)",
+      "junction((junction_id) -> (descr), 1)",
+      "weather((weather_id) -> (descr), 1)",
+      "light((light_id) -> (descr), 1)",
+      "severity_lu((severity) -> (descr), 1)",
+      "severity_lu(() -> (severity, descr), 3)",
+      "vehicle_type((vtype_id) -> (descr), 1)",
+      "make((make_id) -> (name), 1)",
+      "casualty_class((class_id) -> (descr), 1)",
+      "age_band_lu((band_id) -> (descr), 1)",
+      "naptan_stop((stop_id) -> (locality_id, stop_type, lat, lon), 1)",
+      "naptan_stop((locality_id) -> (stop_id, stop_type), 80)",
+      "naptan_stop(() -> (stop_type), 8)",
+      "locality((locality_id) -> (name, district_id), 1)",
+      "locality((district_id) -> (locality_id, name), 8)",
+      "district((district_id) -> (name, region_id), 1)",
+      "district((region_id) -> (district_id, name), 40)",
+      "stop_area((area_id) -> (name, admin_id), 1)",
+      "stop_area((admin_id) -> (area_id, name), 10)",
+      "stop_in_area((stop_id) -> (area_id), 8)",
+      "stop_in_area((area_id) -> (stop_id), 48)",
+  };
+  for (const std::string& c : kConstraints) {
+    BQE_RETURN_IF_ERROR(AddConstraint(&ds, c));
+  }
+
+  // --- Query-generator metadata -------------------------------------------
+  ds.join_edges = {
+      {"accident", "police_force", "police_force", "force_id"},
+      {"accident", "road_id", "road", "road_id"},
+      {"accident", "junction_id", "junction", "junction_id"},
+      {"accident", "weather_id", "weather", "weather_id"},
+      {"accident", "light_id", "light", "light_id"},
+      {"accident", "severity", "severity_lu", "severity"},
+      {"vehicle", "accident_id", "accident", "accident_id"},
+      {"vehicle", "vtype_id", "vehicle_type", "vtype_id"},
+      {"vehicle", "make_id", "make", "make_id"},
+      {"vehicle", "age_band", "age_band_lu", "band_id"},
+      {"casualty", "accident_id", "accident", "accident_id"},
+      {"casualty", "class_id", "casualty_class", "class_id"},
+      {"casualty", "age_band", "age_band_lu", "band_id"},
+      {"police_force", "region_id", "region", "region_id"},
+      {"naptan_stop", "locality_id", "locality", "locality_id"},
+      {"locality", "district_id", "district", "district_id"},
+      {"district", "region_id", "region", "region_id"},
+      {"stop_in_area", "stop_id", "naptan_stop", "stop_id"},
+      {"stop_in_area", "area_id", "stop_area", "area_id"},
+  };
+  ds.anchors = {
+      {"accident", {"date", "police_force"}},
+      {"accident", {"accident_id"}},
+      {"vehicle", {"accident_id"}},
+      {"vehicle", {"vehicle_id"}},
+      {"casualty", {"accident_id"}},
+      {"police_force", {"force_id"}},
+      {"police_force", {"region_id"}},
+      {"road", {"road_id"}},
+      {"naptan_stop", {"stop_id"}},
+      {"naptan_stop", {"locality_id"}},
+      {"locality", {"locality_id"}},
+      {"locality", {"district_id"}},
+      {"district", {"district_id"}},
+      {"stop_area", {"area_id"}},
+      {"stop_in_area", {"stop_id"}},
+      {"stop_in_area", {"area_id"}},
+  };
+
+  BQE_RETURN_IF_ERROR(internal::FinalizeDataset(&ds, opts));
+  return ds;
+}
+
+}  // namespace bqe

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "baseline/eval.h"
+#include "core/approx.h"
+#include "ra/builder.h"
+#include "testutil.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ1;
+using testutil::MakeQ2;
+
+class ApproxTest : public ::testing::Test {
+ protected:
+  ApproxTest() : fx_(MakeGraphSearch()) {}
+
+  ApproxResult Eval(const RaExprPtr& q, size_t budget) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    ApproxOptions opts;
+    opts.budget_per_relation = budget;
+    Result<ApproxResult> r = EvaluateApproximate(*nq, fx_.db, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : ApproxResult{};
+  }
+
+  Table Oracle(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok());
+    Result<Table> t = EvaluateBaseline(*nq, fx_.db, nullptr);
+    EXPECT_TRUE(t.ok());
+    return t.ok() ? std::move(*t) : Table();
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(ApproxTest, ExactWithinBudget) {
+  // Budget larger than every table: answer is exact.
+  ApproxResult r = Eval(MakeQ1(), 1000);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.truncated_tables.empty());
+  EXPECT_EQ(r.possible.NumRows(), 0u);
+  EXPECT_TRUE(Table::SameSet(r.certain, Oracle(MakeQ1())));
+}
+
+TEST_F(ApproxTest, MonotoneCertainIsSubsetOfAnswer) {
+  // Budget 2 truncates dine (6 rows); the certain answer must be a subset
+  // of the true answer.
+  ApproxResult r = Eval(MakeQ1(), 2);
+  EXPECT_FALSE(r.exact);
+  Table oracle = Oracle(MakeQ1());
+  std::set<std::string> truth;
+  for (const Tuple& row : oracle.rows()) truth.insert(row[0].AsString());
+  for (const Tuple& row : r.certain.rows()) {
+    EXPECT_TRUE(truth.count(row[0].AsString()) > 0)
+        << row[0].ToString() << " reported certain but not in Q(D)";
+  }
+}
+
+TEST_F(ApproxTest, DiffWithTruncatedRightDemotesToPossible) {
+  // Q0 = Q1 - Q2. Truncating dine makes Q2 incomplete: exclusions cannot
+  // be certain, so certain is empty and possible brackets the answer.
+  ApproxResult r = Eval(MakeQ0(), 2);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.certain.NumRows(), 0u);
+  // The true answer rows must appear among certain U possible.
+  Table oracle = Oracle(MakeQ0());
+  std::set<std::string> reported;
+  for (const Tuple& row : r.certain.rows()) reported.insert(row[0].AsString());
+  for (const Tuple& row : r.possible.rows()) reported.insert(row[0].AsString());
+  for (const Tuple& row : oracle.rows()) {
+    EXPECT_TRUE(reported.count(row[0].AsString()) > 0)
+        << row[0].ToString() << " lost by the envelope";
+  }
+}
+
+TEST_F(ApproxTest, DiffWithCompleteRightStaysCertain) {
+  // Keep cafe/friend truncations away: budget 100 covers everything, so
+  // the difference is decided exactly.
+  ApproxResult r = Eval(MakeQ0(), 100);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(Table::SameSet(r.certain, Oracle(MakeQ0())));
+}
+
+TEST_F(ApproxTest, AccessRespectsBudget) {
+  ApproxResult r = Eval(MakeQ1(), 3);
+  // Q1 references friend, dine, cafe: at most 3 tuples each.
+  EXPECT_LE(r.tuples_accessed, 9u);
+}
+
+TEST_F(ApproxTest, TruncatedTablesReported) {
+  ApproxResult r = Eval(MakeQ2(), 2);
+  ASSERT_EQ(r.truncated_tables.size(), 1u);
+  EXPECT_EQ(r.truncated_tables[0], "dine");
+}
+
+TEST_F(ApproxTest, UnionCombinesEnvelopes) {
+  RaExprPtr q = Union(MakeQ0(), CloneWithSuffix(MakeQ1(), "u9"));
+  ApproxResult exact = Eval(q, 1000);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_TRUE(Table::SameSet(exact.certain, Oracle(q)));
+  ApproxResult rough = Eval(q, 2);
+  EXPECT_FALSE(rough.exact);
+  // Envelope property: certain subset of truth subset of certain+possible
+  // (left inputs complete enough at this budget to keep the bracket).
+  Table oracle = Oracle(q);
+  std::set<std::string> truth, certain;
+  for (const Tuple& row : oracle.rows()) truth.insert(row[0].AsString());
+  for (const Tuple& row : rough.certain.rows()) {
+    certain.insert(row[0].AsString());
+    EXPECT_TRUE(truth.count(row[0].AsString()) > 0);
+  }
+}
+
+/// Property sweep on the synthetic datasets: for random (possibly
+/// non-covered) queries, the envelope invariants hold at every budget.
+class ApproxPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(ApproxPropertyTest, EnvelopeInvariants) {
+  const auto& [name, seed] = GetParam();
+  Result<GeneratedDataset> ds_r = MakeDataset(name, 0.01, 777);
+  ASSERT_TRUE(ds_r.ok());
+  GeneratedDataset ds = std::move(*ds_r);
+
+  QueryGenConfig cfg;
+  cfg.seed = static_cast<uint64_t>(seed);
+  cfg.num_sel = 4;
+  cfg.num_join = seed % 3;
+  cfg.num_unidiff = seed % 2;
+  cfg.uncovered_bias = 0.5;
+  Result<RaExprPtr> q = GenerateQuery(ds, cfg);
+  ASSERT_TRUE(q.ok());
+  Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+  ASSERT_TRUE(nq.ok());
+
+  Result<Table> oracle = EvaluateBaseline(*nq, ds.db, nullptr);
+  ASSERT_TRUE(oracle.ok());
+
+  for (size_t budget : {size_t{50}, size_t{100000}}) {
+    ApproxOptions opts;
+    opts.budget_per_relation = budget;
+    Result<ApproxResult> r = EvaluateApproximate(*nq, ds.db, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Invariant 1: certain subset of the true answer.
+    std::unordered_set<Tuple, TupleHash> truth(oracle->rows().begin(),
+                                               oracle->rows().end());
+    for (const Tuple& row : r->certain.rows()) {
+      EXPECT_TRUE(truth.count(row) > 0) << name << " seed " << seed;
+    }
+    // Invariant 2: exact when nothing was truncated.
+    if (r->truncated_tables.empty()) {
+      EXPECT_TRUE(r->exact);
+      EXPECT_TRUE(Table::SameSet(r->certain, *oracle));
+      EXPECT_EQ(r->possible.NumRows(), 0u);
+    }
+    // Invariant 3: budget respected.
+    EXPECT_LE(r->tuples_accessed,
+              budget * ds.db.catalog().RelationNames().size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxPropertyTest,
+    ::testing::Combine(::testing::Values("airca", "tfacc", "mcbm"),
+                       ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace bqe

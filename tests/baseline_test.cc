@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "baseline/eval.h"
+#include "ra/builder.h"
+#include "ra/parser.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ0Prime;
+using testutil::MakeQ1;
+using testutil::MakeQ2;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : fx_(MakeGraphSearch()) {}
+
+  Table Eval(const RaExprPtr& q, BaselineStats* stats = nullptr) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    Result<Table> t = EvaluateBaseline(*nq, fx_.db, stats);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? std::move(*t) : Table();
+  }
+
+  Table EvalSql(const std::string& sql) {
+    Result<RaExprPtr> q = ParseQuery(sql, fx_.db.catalog());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return Eval(*q);
+  }
+
+  static std::set<std::string> Strings(const Table& t, size_t col = 0) {
+    std::set<std::string> out;
+    for (const Tuple& row : t.rows()) out.insert(row[col].AsString());
+    return out;
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(BaselineTest, ScanWholeRelation) {
+  BaselineStats stats;
+  Table t = Eval(Rel("cafe"), &stats);
+  EXPECT_EQ(t.NumRows(), 4u);
+  EXPECT_EQ(stats.tuples_scanned, 4u);
+}
+
+TEST_F(BaselineTest, SelectionFilter) {
+  Table t = EvalSql("SELECT cid FROM cafe WHERE city = 'nyc'");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1", "c2", "c4"}));
+}
+
+TEST_F(BaselineTest, NonEqualityPredicates) {
+  Table t = EvalSql("SELECT cid FROM dine WHERE month < 3");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1", "c4"}));
+}
+
+TEST_F(BaselineTest, ProjectionDeduplicates) {
+  Table t = EvalSql("SELECT city FROM cafe");
+  EXPECT_EQ(t.NumRows(), 2u);  // nyc, sf.
+}
+
+TEST_F(BaselineTest, TwoWayJoin) {
+  Table t = EvalSql(
+      "SELECT cafe.city FROM dine, cafe "
+      "WHERE dine.cid = cafe.cid AND dine.pid = 'p0'");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"nyc"}));
+}
+
+TEST_F(BaselineTest, Q1FriendsOfP0NycMay2015) {
+  // The paper's Q1: restaurants in nyc where p0's friends dined may 2015.
+  Table t = Eval(MakeQ1());
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1", "c2"}));
+}
+
+TEST_F(BaselineTest, Q2RestaurantsOfP0) {
+  Table t = Eval(MakeQ2());
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1", "c4"}));
+}
+
+TEST_F(BaselineTest, Q0DiffSemantics) {
+  // Q0 = Q1 - Q2 = {c1, c2} - {c1, c4} = {c2}.
+  Table t = Eval(MakeQ0());
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c2"}));
+}
+
+TEST_F(BaselineTest, Q0PrimeEquivalentToQ0) {
+  Table q0 = Eval(MakeQ0());
+  Table q0p = Eval(MakeQ0Prime());
+  EXPECT_TRUE(Table::SameSet(q0, q0p));
+}
+
+TEST_F(BaselineTest, UnionDeduplicates) {
+  Table t = EvalSql(
+      "(SELECT cid FROM dine WHERE pid = 'p0') UNION "
+      "(SELECT d2.cid FROM dine AS d2 WHERE d2.pid = 'f1')");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1", "c2", "c4"}));
+}
+
+TEST_F(BaselineTest, IntersectViaParser) {
+  Table t = EvalSql(
+      "(SELECT cid FROM dine WHERE pid = 'p0') INTERSECT "
+      "(SELECT d2.cid FROM dine AS d2 WHERE d2.pid = 'f1')");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c1"}));
+}
+
+TEST_F(BaselineTest, CrossProductWithoutPredicates) {
+  BaselineStats stats;
+  Table t = Eval(Product(Rel("cafe"), RelAs("cafe", "c2")), &stats);
+  EXPECT_EQ(t.NumRows(), 16u);
+  EXPECT_EQ(t.schema().arity(), 4u);
+}
+
+TEST_F(BaselineTest, SelfJoin) {
+  // Friends of friends of p0: friend(p0, x) |x| friend(x, y).
+  Table t = EvalSql(
+      "SELECT f2.fid FROM friend f1, friend f2 "
+      "WHERE f1.pid = 'p0' AND f1.fid = f2.pid");
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"f2"}));
+}
+
+TEST_F(BaselineTest, EmptyResultOnUnsatisfiableSelection) {
+  Table t = EvalSql("SELECT cid FROM cafe WHERE city = 'atlantis'");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+TEST_F(BaselineTest, ScanCountGrowsWithJoins) {
+  BaselineStats one, two;
+  Eval(Rel("dine"), &one);
+  Result<RaExprPtr> q = ParseQuery(
+      "SELECT dine.cid FROM dine, cafe WHERE dine.cid = cafe.cid",
+      fx_.db.catalog());
+  ASSERT_TRUE(q.ok());
+  Eval(*q, &two);
+  EXPECT_EQ(two.tuples_scanned, one.tuples_scanned + 4u);
+}
+
+TEST_F(BaselineTest, SelectAboveUnionApplies) {
+  auto u = Union(Project(Rel("cafe"), {A("cafe", "cid"), A("cafe", "city")}),
+                 Project(RelAs("cafe", "k"), {A("k", "cid"), A("k", "city")}));
+  auto q = Project(Select(u, {EqC(A("cafe", "city"), Value::Str("sf"))}),
+                   {A("cafe", "cid")});
+  Table t = Eval(q);
+  EXPECT_EQ(Strings(t), (std::set<std::string>{"c3"}));
+}
+
+TEST_F(BaselineTest, DiffWithEmptyRight) {
+  Table t = EvalSql(
+      "(SELECT cid FROM cafe) EXCEPT "
+      "(SELECT d.cid FROM dine AS d WHERE d.pid = 'nobody')");
+  EXPECT_EQ(t.NumRows(), 4u);
+}
+
+TEST_F(BaselineTest, DuplicateConstantPredicatesConflict) {
+  Table t = EvalSql("SELECT cid FROM cafe WHERE city = 'nyc' AND city = 'sf'");
+  EXPECT_EQ(t.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bqe {
+namespace {
+
+// ---------------------------------------------------------------- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such thing");
+  EXPECT_EQ(s.ToString(), "NotFound: no such thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotCovered("").code(), StatusCode::kNotCovered);
+  EXPECT_EQ(Status::ConstraintViolation("").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotCovered), "NotCovered");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConstraintViolation),
+               "ConstraintViolation");
+}
+
+// ---------------------------------------------------------------- Result ---
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::NotFound("x");
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(err.value_or(0), 0);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r{Status::Ok()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+namespace macros {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return 2 * x;
+}
+
+Status UseReturnIfError(int x) {
+  BQE_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::Ok();
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  BQE_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  BQE_ASSIGN_OR_RETURN(int quadrupled, DoubleIfPositive(doubled));
+  return quadrupled;
+}
+
+}  // namespace macros
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(macros::UseReturnIfError(1).ok());
+  EXPECT_EQ(macros::UseReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> r = macros::UseAssignOrReturn(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 12);
+  EXPECT_EQ(macros::UseAssignOrReturn(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- Strings ---
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"a"}, ", "), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(StrSplit("a,,c", ',')[1], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_EQ(StrSplit("abc", ',')[0], "abc");
+}
+
+TEST(StringsTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x  "), "x");
+  EXPECT_EQ(StrTrim("\t a b \n"), "a b");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StringsTest, StrLowerAndStartsWith) {
+  EXPECT_EQ(StrLower("SeLeCt"), "select");
+  EXPECT_TRUE(StrStartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StrStartsWith("SE", "SELECT"));
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 32; ++i) {
+    int64_t va = a.UniformInt(0, 1000000);
+    EXPECT_EQ(va, b.UniformInt(0, 1000000));
+    (void)c.UniformInt(0, 1000000);
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng rng(9);
+  std::vector<int> v = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int got = rng.Pick(v);
+    EXPECT_TRUE(got == 10 || got == 20 || got == 30);
+  }
+}
+
+TEST(RngTest, SkewedStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.Skewed(10);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StringsTest, HashCombineChangesSeed) {
+  size_t s1 = 0, s2 = 0;
+  HashCombine(&s1, 42);
+  EXPECT_NE(s1, 0u);
+  HashCombine(&s2, 43);
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace bqe

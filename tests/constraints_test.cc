@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include "constraints/access_constraint.h"
+#include "constraints/access_schema.h"
+#include "constraints/actualize.h"
+#include "constraints/discovery.h"
+#include "constraints/index.h"
+#include "constraints/maintain.h"
+#include "constraints/validate.h"
+#include "ra/builder.h"
+#include "ra/normalize.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ1;
+
+// ------------------------------------------------------ AccessConstraint ---
+
+TEST(AccessConstraintTest, ParseBasic) {
+  Result<AccessConstraint> c =
+      AccessConstraint::Parse("friend((pid) -> (fid), 5000)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->rel, "friend");
+  EXPECT_EQ(c->x, std::vector<std::string>{"pid"});
+  EXPECT_EQ(c->y, std::vector<std::string>{"fid"});
+  EXPECT_EQ(c->n, 5000);
+}
+
+TEST(AccessConstraintTest, ParseMultiAttr) {
+  Result<AccessConstraint> c =
+      AccessConstraint::Parse("dine((pid, year, month) -> (cid), 31)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->x.size(), 3u);
+  EXPECT_EQ(c->n, 31);
+}
+
+TEST(AccessConstraintTest, ParseEmptyLhs) {
+  Result<AccessConstraint> c = AccessConstraint::Parse("r(() -> (month), 12)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->x.empty());
+  EXPECT_EQ(c->n, 12);
+}
+
+TEST(AccessConstraintTest, ParseWithoutInnerParens) {
+  Result<AccessConstraint> c = AccessConstraint::Parse("r(a, b -> c, 7)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->x.size(), 2u);
+  EXPECT_EQ(c->y.size(), 1u);
+}
+
+TEST(AccessConstraintTest, ToStringRoundTrips) {
+  AccessConstraint c = *AccessConstraint::Parse("dine((pid,cid)->(pid,cid),1)");
+  Result<AccessConstraint> again = AccessConstraint::Parse(c.ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->x, c.x);
+  EXPECT_EQ(again->y, c.y);
+  EXPECT_EQ(again->n, c.n);
+}
+
+TEST(AccessConstraintTest, ParseErrors) {
+  EXPECT_FALSE(AccessConstraint::Parse("junk").ok());
+  EXPECT_FALSE(AccessConstraint::Parse("r(a -> b)").ok());      // No N.
+  EXPECT_FALSE(AccessConstraint::Parse("r(a, b, 5)").ok());     // No arrow.
+  EXPECT_FALSE(AccessConstraint::Parse("r(a -> b, 0)").ok());   // N < 1.
+  EXPECT_FALSE(AccessConstraint::Parse("r(a -> , 5)").ok());    // Empty Y.
+}
+
+TEST(AccessConstraintTest, Classification) {
+  EXPECT_TRUE(AccessConstraint::Parse("r((a) -> (a), 1)")->IsIndexingConstraint());
+  EXPECT_FALSE(AccessConstraint::Parse("r((a) -> (a), 2)")->IsIndexingConstraint());
+  EXPECT_TRUE(AccessConstraint::Parse("r((a) -> (b), 9)")->IsUnitConstraint());
+  EXPECT_FALSE(AccessConstraint::Parse("r((a,b) -> (c), 9)")->IsUnitConstraint());
+}
+
+// ---------------------------------------------------------- AccessSchema ---
+
+TEST(AccessSchemaTest, AddValidatesAttributes) {
+  auto fx = MakeGraphSearch(false);
+  AccessSchema extra = fx.schema;
+  AccessConstraint bad = *AccessConstraint::Parse("friend((nope) -> (fid), 5)");
+  EXPECT_EQ(extra.Add(bad, fx.db.catalog()).code(),
+            StatusCode::kInvalidArgument);
+  AccessConstraint unknown_rel = *AccessConstraint::Parse("zzz((a) -> (b), 5)");
+  EXPECT_EQ(extra.Add(unknown_rel, fx.db.catalog()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AccessSchemaTest, ForRelationAndTotals) {
+  auto fx = MakeGraphSearch(false);
+  EXPECT_EQ(fx.schema.size(), 4u);
+  EXPECT_EQ(fx.schema.ForRelation("dine").size(), 2u);
+  EXPECT_EQ(fx.schema.ForRelation("nothing").size(), 0u);
+  EXPECT_EQ(fx.schema.TotalN(), 5000 + 31 + 1 + 1);
+  EXPECT_GT(fx.schema.TotalLength(), 8u);
+}
+
+TEST(AccessSchemaTest, SubsetPreservesProvenance) {
+  auto fx = MakeGraphSearch(false);
+  AccessSchema sub = fx.schema.Subset({fx.psi2, fx.psi4});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.at(0).source_id, fx.psi2);
+  EXPECT_EQ(sub.at(1).source_id, fx.psi4);
+  EXPECT_EQ(sub.at(0).id, 0);
+}
+
+TEST(AccessSchemaTest, SetBound) {
+  auto fx = MakeGraphSearch(false);
+  ASSERT_TRUE(fx.schema.SetBound(fx.psi1, 6000).ok());
+  EXPECT_EQ(fx.schema.at(fx.psi1).n, 6000);
+  EXPECT_FALSE(fx.schema.SetBound(99, 5).ok());
+  EXPECT_FALSE(fx.schema.SetBound(fx.psi1, 0).ok());
+}
+
+// -------------------------------------------------------------- Actualize ---
+
+TEST(ActualizeTest, OneCopyPerOccurrence) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ0(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  AccessSchema actual = Actualize(fx.schema, *nq);
+  // Q0 has occurrences friend, dine, cafe, dine2: dine constraints doubled.
+  EXPECT_EQ(actual.size(), 1u + 2u + 1u + 2u);
+  EXPECT_EQ(actual.ForRelation("dine2").size(), 2u);
+  // Actualized constraints remember their source.
+  for (const AccessConstraint& c : actual.constraints()) {
+    EXPECT_GE(c.source_id, 0);
+    EXPECT_LT(c.source_id, static_cast<int>(fx.schema.size()));
+  }
+}
+
+// --------------------------------------------------------------- Validate ---
+
+TEST(ValidateTest, FixtureSatisfiesA0) {
+  auto fx = MakeGraphSearch();
+  Result<ValidationReport> report = Validate(fx.db, fx.schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->ToString();
+}
+
+TEST(ValidateTest, DetectsViolation) {
+  auto fx = MakeGraphSearch();
+  // cafe(cid -> city, 1): a second city for c1 violates psi4.
+  ASSERT_TRUE(
+      fx.db.Insert("cafe", {Value::Str("c1"), Value::Str("boston")}).ok());
+  Result<ValidationReport> report = Validate(fx.db, fx.schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->satisfied);
+  bool found = false;
+  for (const ConstraintCheck& c : report->checks) {
+    if (!c.satisfied) {
+      EXPECT_EQ(c.constraint_id, fx.psi4);
+      EXPECT_EQ(c.max_group, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateTest, DuplicateRowsDoNotViolate) {
+  auto fx = MakeGraphSearch();
+  ASSERT_TRUE(fx.db.Insert("cafe", {Value::Str("c1"), Value::Str("nyc")}).ok());
+  Result<ValidationReport> report = Validate(fx.db, fx.schema);
+  EXPECT_TRUE(report->satisfied);  // Distinct Y count unchanged.
+}
+
+// ------------------------------------------------------------ AccessIndex ---
+
+TEST(AccessIndexTest, BuildAndFetch) {
+  auto fx = MakeGraphSearch();
+  Result<AccessIndex> idx =
+      AccessIndex::Build(*fx.db.Get("friend"), fx.schema.at(fx.psi1));
+  ASSERT_TRUE(idx.ok());
+  uint64_t accessed = 0;
+  std::vector<Tuple> rows = idx->Fetch({Value::Str("p0")}, &accessed);
+  EXPECT_EQ(rows.size(), 2u);  // f1, f2.
+  EXPECT_EQ(accessed, 2u);
+  // Row layout is X columns then Y columns.
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Str("p0"));
+}
+
+TEST(AccessIndexTest, FetchMissingKeyReturnsEmpty) {
+  auto fx = MakeGraphSearch();
+  Result<AccessIndex> idx =
+      AccessIndex::Build(*fx.db.Get("friend"), fx.schema.at(fx.psi1));
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(idx->Fetch({Value::Str("stranger")}).empty());
+}
+
+TEST(AccessIndexTest, EmptyXIndexesWholeProjection) {
+  auto fx = MakeGraphSearch();
+  AccessConstraint c = *AccessConstraint::Parse("cafe(() -> (city), 10)");
+  Result<AccessIndex> idx = AccessIndex::Build(*fx.db.Get("cafe"), c);
+  ASSERT_TRUE(idx.ok());
+  std::vector<Tuple> rows = idx->Fetch({});
+  EXPECT_EQ(rows.size(), 2u);  // nyc, sf (distinct).
+}
+
+TEST(AccessIndexTest, DistinctEntriesRefcounted) {
+  auto fx = MakeGraphSearch();
+  Result<AccessIndex> built =
+      AccessIndex::Build(*fx.db.Get("cafe"), fx.schema.at(fx.psi4));
+  ASSERT_TRUE(built.ok());
+  AccessIndex idx = std::move(*built);
+  size_t before = idx.NumEntries();
+  // Insert a duplicate row: entry count unchanged, delete once keeps it.
+  Tuple dup = {Value::Str("c1"), Value::Str("nyc")};
+  ASSERT_TRUE(idx.ApplyInsert(dup).ok());
+  EXPECT_EQ(idx.NumEntries(), before);
+  ASSERT_TRUE(idx.ApplyDelete(dup).ok());
+  EXPECT_EQ(idx.Fetch({Value::Str("c1")}).size(), 1u);
+  // Second delete removes the entry for real.
+  ASSERT_TRUE(idx.ApplyDelete(dup).ok());
+  EXPECT_TRUE(idx.Fetch({Value::Str("c1")}).empty());
+  // Deleting a non-existent row fails.
+  EXPECT_EQ(idx.ApplyDelete(dup).code(), StatusCode::kNotFound);
+}
+
+TEST(AccessIndexTest, ViolationTracking) {
+  auto fx = MakeGraphSearch();
+  Result<AccessIndex> built =
+      AccessIndex::Build(*fx.db.Get("cafe"), fx.schema.at(fx.psi4));
+  ASSERT_TRUE(built.ok());
+  AccessIndex idx = std::move(*built);
+  EXPECT_FALSE(idx.HasViolation());
+  ASSERT_TRUE(idx.ApplyInsert({Value::Str("c1"), Value::Str("boston")}).ok());
+  EXPECT_TRUE(idx.HasViolation());
+  EXPECT_EQ(idx.MaxGroupSize(), 2);
+  idx.SetBound(2);
+  EXPECT_FALSE(idx.HasViolation());
+}
+
+TEST(IndexSetTest, BuildAllAndFootprint) {
+  auto fx = MakeGraphSearch();
+  Result<IndexSet> set = IndexSet::Build(fx.db, fx.schema);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 4u);
+  EXPECT_GT(set->TotalEntries(), 0u);
+  EXPECT_NE(set->Get(fx.psi1), nullptr);
+  EXPECT_EQ(set->Get(99), nullptr);
+  EXPECT_FALSE(set->HasViolation());
+}
+
+// -------------------------------------------------------------- Maintain ---
+
+class MaintainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = MakeGraphSearch();
+    Result<IndexSet> set = IndexSet::Build(fx_.db, fx_.schema);
+    ASSERT_TRUE(set.ok());
+    indices_ = std::move(*set);
+  }
+
+  testutil::GraphSearchFixture fx_;
+  IndexSet indices_;
+};
+
+TEST_F(MaintainTest, InsertUpdatesTableAndIndices) {
+  std::vector<Delta> deltas = {
+      Delta::Insert("friend", {Value::Str("p0"), Value::Str("f3")})};
+  Result<MaintenanceStats> stats = ApplyDeltas(&fx_.db, &fx_.schema, &indices_,
+                                               deltas, OverflowPolicy::kGrow);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->inserts, 1u);
+  EXPECT_EQ(indices_.Get(fx_.psi1)->Fetch({Value::Str("p0")}).size(), 3u);
+}
+
+TEST_F(MaintainTest, DeleteUpdatesIndices) {
+  std::vector<Delta> deltas = {
+      Delta::Delete("friend", {Value::Str("p0"), Value::Str("f2")})};
+  ASSERT_TRUE(ApplyDeltas(&fx_.db, &fx_.schema, &indices_, deltas,
+                          OverflowPolicy::kGrow)
+                  .ok());
+  EXPECT_EQ(indices_.Get(fx_.psi1)->Fetch({Value::Str("p0")}).size(), 1u);
+  EXPECT_EQ(fx_.db.Get("friend")->NumRows(), 2u);
+}
+
+TEST_F(MaintainTest, StrictPolicyRejectsOverflow) {
+  // psi4: cafe(cid -> city, 1); a second city for c1 overflows.
+  std::vector<Delta> deltas = {
+      Delta::Insert("cafe", {Value::Str("c1"), Value::Str("boston")})};
+  Result<MaintenanceStats> stats = ApplyDeltas(
+      &fx_.db, &fx_.schema, &indices_, deltas, OverflowPolicy::kStrict);
+  EXPECT_EQ(stats.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(MaintainTest, GrowPolicyRaisesBound) {
+  std::vector<Delta> deltas = {
+      Delta::Insert("cafe", {Value::Str("c1"), Value::Str("boston")})};
+  Result<MaintenanceStats> stats = ApplyDeltas(
+      &fx_.db, &fx_.schema, &indices_, deltas, OverflowPolicy::kGrow);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->constraints_grown, 1u);
+  EXPECT_EQ(fx_.schema.at(fx_.psi4).n, 2);
+  EXPECT_FALSE(indices_.Get(fx_.psi4)->HasViolation());
+}
+
+TEST_F(MaintainTest, UnknownTableFails) {
+  std::vector<Delta> deltas = {Delta::Insert("zzz", {})};
+  EXPECT_EQ(ApplyDeltas(&fx_.db, &fx_.schema, &indices_, deltas,
+                        OverflowPolicy::kGrow)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MaintainTest, CostBoundedPerDelta) {
+  // index_updates per delta == number of constraints on that relation.
+  std::vector<Delta> deltas = {
+      Delta::Insert("dine",
+                    {Value::Str("p9"), Value::Str("c9"), Value::Int(3),
+                     Value::Int(2013)}),
+      Delta::Insert("friend", {Value::Str("p9"), Value::Str("f9")})};
+  Result<MaintenanceStats> stats = ApplyDeltas(&fx_.db, &fx_.schema, &indices_,
+                                               deltas, OverflowPolicy::kGrow);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_updates, 2u + 1u);  // dine has 2 constraints.
+}
+
+// -------------------------------------------------------------- Discovery ---
+
+TEST(DiscoveryTest, FindsFunctionalDependency) {
+  auto fx = MakeGraphSearch();
+  DiscoveryOptions opts;
+  std::vector<AccessConstraint> found =
+      DiscoverConstraints(*fx.db.Get("cafe"), opts);
+  // cid -> city with N = 1 must be discovered.
+  bool has_key = false;
+  for (const AccessConstraint& c : found) {
+    if (c.x == std::vector<std::string>{"cid"} && c.n == 1) has_key = true;
+  }
+  EXPECT_TRUE(has_key);
+}
+
+TEST(DiscoveryTest, FindsFiniteDomains) {
+  auto fx = MakeGraphSearch();
+  DiscoveryOptions opts;
+  std::vector<AccessConstraint> found =
+      DiscoverConstraints(*fx.db.Get("cafe"), opts);
+  bool has_domain = false;
+  for (const AccessConstraint& c : found) {
+    if (c.x.empty()) has_domain = true;
+  }
+  EXPECT_TRUE(has_domain);
+}
+
+TEST(DiscoveryTest, RespectsNCap) {
+  auto fx = MakeGraphSearch();
+  DiscoveryOptions opts;
+  opts.max_n_absolute = 1;
+  opts.find_constant_domains = false;
+  std::vector<AccessConstraint> found =
+      DiscoverConstraints(*fx.db.Get("dine"), opts);
+  for (const AccessConstraint& c : found) {
+    EXPECT_EQ(c.n, 1) << c.ToString();
+  }
+}
+
+TEST(DiscoveryTest, MinimalityPrunesSupersets) {
+  auto fx = MakeGraphSearch();
+  DiscoveryOptions opts;
+  opts.minimal_only = true;
+  opts.find_constant_domains = false;
+  std::vector<AccessConstraint> found =
+      DiscoverConstraints(*fx.db.Get("cafe"), opts);
+  // cid -> city discovered with |X| = 1; no (cid, city) -> ... for city.
+  for (const AccessConstraint& c : found) {
+    EXPECT_LE(c.x.size(), 1u) << c.ToString();
+  }
+}
+
+TEST(DiscoveryTest, DiscoveredConstraintsHoldOnData) {
+  auto fx = MakeGraphSearch();
+  DiscoveryOptions opts;
+  AccessSchema schema;
+  for (const std::string& rel : fx.db.catalog().RelationNames()) {
+    for (AccessConstraint& c : DiscoverConstraints(*fx.db.Get(rel), opts)) {
+      ASSERT_TRUE(schema.Add(std::move(c), fx.db.catalog()).ok());
+    }
+  }
+  Result<ValidationReport> report = Validate(fx.db, schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->ToString();
+}
+
+}  // namespace
+}  // namespace bqe

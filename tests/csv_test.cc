@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+
+namespace bqe {
+namespace {
+
+Table MakeTable() {
+  return Table(RelationSchema("t", {{"id", ValueType::kInt},
+                                    {"name", ValueType::kString},
+                                    {"score", ValueType::kDouble}}));
+}
+
+TEST(CsvTest, ReadSimple) {
+  Table t = MakeTable();
+  ASSERT_TRUE(ReadCsvInto(&t,
+                          "id,name,score\n"
+                          "1,ada,2.5\n"
+                          "2,bob,3\n")
+                  .ok());
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.rows()[0][0], Value::Int(1));
+  EXPECT_EQ(t.rows()[0][1], Value::Str("ada"));
+  EXPECT_EQ(t.rows()[0][2], Value::Double(2.5));
+  EXPECT_EQ(t.rows()[1][2], Value::Double(3.0));  // Int literal widens.
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  Table t = MakeTable();
+  ASSERT_TRUE(ReadCsvInto(&t,
+                          "id,name,score\n"
+                          "1,\"last, first\",1.0\n"
+                          "2,\"say \"\"hi\"\"\",2.0\n")
+                  .ok());
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.rows()[0][1], Value::Str("last, first"));
+  EXPECT_EQ(t.rows()[1][1], Value::Str("say \"hi\""));
+}
+
+TEST(CsvTest, EmptyFieldIsNullQuotedEmptyIsString) {
+  Table t = MakeTable();
+  ASSERT_TRUE(ReadCsvInto(&t,
+                          "id,name,score\n"
+                          "1,,2.0\n"
+                          "2,\"\",3.0\n")
+                  .ok());
+  EXPECT_TRUE(t.rows()[0][1].is_null());
+  EXPECT_EQ(t.rows()[1][1], Value::Str(""));
+}
+
+TEST(CsvTest, CrlfAndTrailingBlankLinesTolerated) {
+  Table t = MakeTable();
+  ASSERT_TRUE(ReadCsvInto(&t,
+                          "id,name,score\r\n"
+                          "1,x,1.5\r\n"
+                          "\n")
+                  .ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  Table t = MakeTable();
+  Status s = ReadCsvInto(&t, "id,wrong,score\n1,x,1.0\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  Status arity = ReadCsvInto(&t, "id,name\n");
+  EXPECT_EQ(arity.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  Table t = MakeTable();
+  CsvOptions opts;
+  opts.expect_header = false;
+  ASSERT_TRUE(ReadCsvInto(&t, "7,x,0.5\n", opts).ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(CsvTest, TypeErrorsAreDiagnosed) {
+  Table t = MakeTable();
+  Status s = ReadCsvInto(&t, "id,name,score\nnot_an_int,x,1.0\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_NE(s.message().find("id"), std::string::npos);
+}
+
+TEST(CsvTest, FieldCountMismatchRejected) {
+  Table t = MakeTable();
+  Status s = ReadCsvInto(&t, "id,name,score\n1,x\n");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::Str("a,b"), Value::Double(0.25)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value(), Value::Double(-1.5)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(3), Value::Str(""), Value::Double(9.0)}).ok());
+  std::string csv = WriteCsv(t);
+  Table back = MakeTable();
+  ASSERT_TRUE(ReadCsvInto(&back, csv).ok()) << csv;
+  ASSERT_EQ(back.NumRows(), 3u);
+  EXPECT_TRUE(Table::SameSet(t, back));
+  EXPECT_TRUE(back.rows()[1][1].is_null());
+  EXPECT_EQ(back.rows()[2][1], Value::Str(""));
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  Table t = MakeTable();
+  CsvOptions opts;
+  opts.delimiter = ';';
+  ASSERT_TRUE(ReadCsvInto(&t, "id;name;score\n4;x;1.0\n", opts).ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+  std::string csv = WriteCsv(t, opts);
+  EXPECT_NE(csv.find("id;name;score"), std::string::npos);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(5), Value::Str("file"), Value::Double(1.0)}).ok());
+  std::string path = ::testing::TempDir() + "/bqe_csv_test.csv";
+  ASSERT_TRUE(SaveCsvFile(t, path).ok());
+
+  Database db;
+  ASSERT_TRUE(db.CreateTable(t.schema()).ok());
+  ASSERT_TRUE(LoadCsvFile(&db, "t", path).ok());
+  EXPECT_EQ(db.Get("t")->NumRows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(MakeTable().schema()).ok());
+  EXPECT_EQ(LoadCsvFile(&db, "t", "/nonexistent/nope.csv").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadCsvFile(&db, "zzz", "/tmp/x.csv").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/plan2sql.h"
+#include "ra/builder.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ0Prime;
+using testutil::MakeQ1;
+using testutil::MakeQ2;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = MakeGraphSearch();
+    engine_ = std::make_unique<BoundedEngine>(&fx_.db, fx_.schema);
+    ASSERT_TRUE(engine_->BuildIndices().ok());
+  }
+
+  testutil::GraphSearchFixture fx_;
+  std::unique_ptr<BoundedEngine> engine_;
+};
+
+TEST_F(EngineTest, ExecuteBeforeBuildFails) {
+  auto fx = MakeGraphSearch();
+  BoundedEngine engine(&fx.db, fx.schema);
+  EXPECT_EQ(engine.Execute(MakeQ1()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, BuildIndicesRejectsViolatingData) {
+  auto fx = MakeGraphSearch();
+  ASSERT_TRUE(
+      fx.db.Insert("cafe", {Value::Str("c1"), Value::Str("boston")}).ok());
+  BoundedEngine engine(&fx.db, fx.schema);
+  EXPECT_EQ(engine.BuildIndices().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(EngineTest, PrepareCoveredQuery) {
+  Result<PrepareInfo> info = engine_->Prepare(MakeQ1());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  EXPECT_FALSE(info->used_rewrite);
+  EXPECT_GT(info->plan.Length(), 0u);
+  EXPECT_FALSE(info->sql.empty());
+  // Minimization dropped at least psi3 for Q1.
+  EXPECT_LT(info->constraints_used, fx_.schema.size());
+}
+
+TEST_F(EngineTest, PrepareRewritesQ0) {
+  Result<PrepareInfo> info = engine_->Prepare(MakeQ0());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  EXPECT_TRUE(info->used_rewrite);
+}
+
+TEST_F(EngineTest, PrepareWithoutRewriteLeavesQ0Uncovered) {
+  EngineOptions opts;
+  opts.rewrite = false;
+  BoundedEngine engine(&fx_.db, fx_.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  Result<PrepareInfo> info = engine.Prepare(MakeQ0());
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->covered);
+}
+
+TEST_F(EngineTest, ExecuteCoveredUsesBoundedPlan) {
+  Result<ExecuteResult> r = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->used_bounded_plan);
+  EXPECT_GT(r->bounded_stats.tuples_fetched, 0u);
+  EXPECT_EQ(r->table.NumRows(), 2u);  // {c1, c2}.
+}
+
+TEST_F(EngineTest, ExecuteQ0ViaRewriteGivesPaperAnswer) {
+  Result<ExecuteResult> r = engine_->Execute(MakeQ0());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->used_bounded_plan);
+  ASSERT_EQ(r->table.NumRows(), 1u);
+  EXPECT_EQ(r->table.rows()[0][0], Value::Str("c2"));
+}
+
+TEST_F(EngineTest, UncoveredFallsBackToBaseline) {
+  Result<ExecuteResult> r = engine_->Execute(MakeQ2());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->used_bounded_plan);
+  EXPECT_GT(r->baseline_stats.tuples_scanned, 0u);
+  EXPECT_EQ(r->table.NumRows(), 2u);  // {c1, c4}.
+}
+
+TEST_F(EngineTest, NoFallbackOptionReturnsNotCovered) {
+  EngineOptions opts;
+  opts.baseline_fallback = false;
+  opts.rewrite = false;
+  BoundedEngine engine(&fx_.db, fx_.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  EXPECT_EQ(engine.Execute(MakeQ2()).status().code(), StatusCode::kNotCovered);
+}
+
+TEST_F(EngineTest, BoundedAndBaselineAgree) {
+  for (const RaExprPtr& q : {MakeQ1(), MakeQ0Prime(), MakeQ0()}) {
+    Result<ExecuteResult> bounded = engine_->Execute(q);
+    ASSERT_TRUE(bounded.ok());
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    ASSERT_TRUE(nq.ok());
+    Result<Table> oracle = EvaluateBaseline(*nq, fx_.db, nullptr);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(Table::SameSet(bounded->table, *oracle));
+  }
+}
+
+TEST_F(EngineTest, MinimizationCanBeDisabled) {
+  EngineOptions opts;
+  opts.minimize = false;
+  BoundedEngine engine(&fx_.db, fx_.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  Result<PrepareInfo> info = engine.Prepare(MakeQ1());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->constraints_used, fx_.schema.size());
+}
+
+TEST_F(EngineTest, ApplyDeltasKeepsAnswersFresh) {
+  // New friend f3 dines at c3 (sf) and at c2 (nyc): Q1 unchanged answer set
+  // check after maintenance.
+  std::vector<Delta> deltas = {
+      Delta::Insert("friend", {Value::Str("p0"), Value::Str("f3")}),
+      Delta::Insert("dine", {Value::Str("f3"), Value::Str("c4"), Value::Int(5),
+                             Value::Int(2015)}),
+  };
+  ASSERT_TRUE(engine_->Apply(deltas).ok());
+  Result<ExecuteResult> r = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(r.ok());
+  // c4 is in nyc: the answer now includes it.
+  EXPECT_EQ(r->table.NumRows(), 3u);
+  // Baseline agrees after the update.
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<Table> oracle = EvaluateBaseline(*nq, fx_.db, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(Table::SameSet(r->table, *oracle));
+}
+
+TEST_F(EngineTest, IndexFootprintReported) {
+  EXPECT_GT(engine_->IndexFootprint(), 0u);
+  EXPECT_LE(engine_->IndexFootprint(),
+            fx_.db.TotalTuples() * fx_.schema.size());
+}
+
+TEST_F(EngineTest, SqlForPlanIsNonTrivial) {
+  Result<PrepareInfo> info = engine_->Prepare(MakeQ1());
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info->sql.find("WITH"), std::string::npos);
+  EXPECT_NE(info->sql.find("ind_"), std::string::npos);
+  EXPECT_NE(info->sql.find("SELECT DISTINCT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bqe

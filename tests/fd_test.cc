@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fd/fd.h"
+#include "fd/union_find.h"
+
+namespace bqe {
+namespace {
+
+// ------------------------------------------------------------- UnionFind ---
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.NumClasses(), 4);
+  EXPECT_FALSE(uf.Same(0, 1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));  // Already same.
+  EXPECT_EQ(uf.NumClasses(), 3);
+}
+
+TEST(UnionFindTest, Transitivity) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_FALSE(uf.Same(2, 3));
+  EXPECT_EQ(uf.NumClasses(), 2);
+}
+
+TEST(UnionFindTest, AddGrows) {
+  UnionFind uf(1);
+  int id = uf.Add();
+  EXPECT_EQ(id, 1);
+  EXPECT_EQ(uf.NumClasses(), 2);
+}
+
+TEST(UnionFindTest, DenseClassIdsStable) {
+  UnionFind uf(5);
+  uf.Union(0, 2);
+  uf.Union(1, 4);
+  std::vector<int> dense = uf.DenseClassIds();
+  ASSERT_EQ(dense.size(), 5u);
+  EXPECT_EQ(dense[0], dense[2]);
+  EXPECT_EQ(dense[1], dense[4]);
+  EXPECT_NE(dense[0], dense[1]);
+  EXPECT_NE(dense[3], dense[0]);
+  // Dense ids form a contiguous range starting at 0.
+  int max_id = *std::max_element(dense.begin(), dense.end());
+  EXPECT_EQ(max_id, 2);
+}
+
+TEST(UnionFindTest, LargeChain) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.NumClasses(), 1);
+  EXPECT_TRUE(uf.Same(0, n - 1));
+}
+
+// ------------------------------------------------------------- FdClosure ---
+
+TEST(FdClosureTest, SeedOnly) {
+  std::vector<bool> cl = FdClosure(3, {}, {1});
+  EXPECT_FALSE(cl[0]);
+  EXPECT_TRUE(cl[1]);
+  EXPECT_FALSE(cl[2]);
+}
+
+TEST(FdClosureTest, SingleStep) {
+  std::vector<Fd> fds = {{{0}, {1}, 0}};
+  std::vector<bool> cl = FdClosure(2, fds, {0});
+  EXPECT_TRUE(cl[0]);
+  EXPECT_TRUE(cl[1]);
+}
+
+TEST(FdClosureTest, ChainPropagates) {
+  std::vector<Fd> fds = {{{0}, {1}, 0}, {{1}, {2}, 1}, {{2}, {3}, 2}};
+  std::vector<bool> cl = FdClosure(4, fds, {0});
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(cl[static_cast<size_t>(i)]);
+}
+
+TEST(FdClosureTest, MultiAttributeLhsNeedsAll) {
+  std::vector<Fd> fds = {{{0, 1}, {2}, 0}};
+  std::vector<bool> only0 = FdClosure(3, fds, {0});
+  EXPECT_FALSE(only0[2]);
+  std::vector<bool> both = FdClosure(3, fds, {0, 1});
+  EXPECT_TRUE(both[2]);
+}
+
+TEST(FdClosureTest, EmptyLhsFiresUnconditionally) {
+  std::vector<Fd> fds = {{{}, {0}, 0}, {{0}, {1}, 1}};
+  std::vector<bool> cl = FdClosure(2, fds, {});
+  EXPECT_TRUE(cl[0]);
+  EXPECT_TRUE(cl[1]);
+}
+
+TEST(FdClosureTest, DuplicateLhsEntriesHandled) {
+  // lhs with a repeated attribute must still fire once 0 is reached.
+  std::vector<Fd> fds = {{{0, 0}, {1}, 0}};
+  std::vector<bool> cl = FdClosure(2, fds, {0});
+  EXPECT_TRUE(cl[1]);
+}
+
+TEST(FdClosureTest, NoSpuriousDerivation) {
+  std::vector<Fd> fds = {{{0}, {1}, 0}, {{2}, {3}, 1}};
+  std::vector<bool> cl = FdClosure(4, fds, {0});
+  EXPECT_TRUE(cl[1]);
+  EXPECT_FALSE(cl[2]);
+  EXPECT_FALSE(cl[3]);
+}
+
+TEST(FdImpliesTest, BasicImplication) {
+  std::vector<Fd> fds = {{{0}, {1}, 0}, {{1}, {2}, 1}};
+  EXPECT_TRUE(FdImplies(3, fds, {0}, {2}));
+  EXPECT_FALSE(FdImplies(3, fds, {1}, {0}));
+  EXPECT_TRUE(FdImplies(3, fds, {0}, {0, 1, 2}));
+}
+
+TEST(FdImpliesTest, ReflexivityAlwaysHolds) {
+  EXPECT_TRUE(FdImplies(2, {}, {0, 1}, {0}));
+  EXPECT_TRUE(FdImplies(2, {}, {}, {}));
+}
+
+/// Brute-force reference closure: repeatedly apply FDs until fix point.
+std::vector<bool> NaiveClosure(int n, const std::vector<Fd>& fds,
+                               const std::vector<int>& seed) {
+  std::vector<bool> cl(static_cast<size_t>(n), false);
+  for (int a : seed) cl[static_cast<size_t>(a)] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      bool all = true;
+      for (int a : fd.lhs) {
+        if (!cl[static_cast<size_t>(a)]) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      for (int b : fd.rhs) {
+        if (!cl[static_cast<size_t>(b)]) {
+          cl[static_cast<size_t>(b)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return cl;
+}
+
+/// Property test: the linear-time closure matches the naive fix point on
+/// random FD sets.
+class FdClosureRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdClosureRandomTest, MatchesNaiveClosure) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.UniformInt(2, 14));
+  std::vector<Fd> fds;
+  const int num_fds = static_cast<int>(rng.UniformInt(0, 20));
+  for (int i = 0; i < num_fds; ++i) {
+    Fd fd;
+    int lhs_size = static_cast<int>(rng.UniformInt(0, 3));
+    for (int k = 0; k < lhs_size; ++k) {
+      fd.lhs.push_back(static_cast<int>(rng.UniformInt(0, n - 1)));
+    }
+    int rhs_size = static_cast<int>(rng.UniformInt(1, 3));
+    for (int k = 0; k < rhs_size; ++k) {
+      fd.rhs.push_back(static_cast<int>(rng.UniformInt(0, n - 1)));
+    }
+    fds.push_back(std::move(fd));
+  }
+  std::vector<int> seed;
+  int seed_size = static_cast<int>(rng.UniformInt(0, 3));
+  for (int k = 0; k < seed_size; ++k) {
+    seed.push_back(static_cast<int>(rng.UniformInt(0, n - 1)));
+  }
+  EXPECT_EQ(FdClosure(n, fds, seed), NaiveClosure(n, fds, seed))
+      << "n=" << n << " #fds=" << fds.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFdSets, FdClosureRandomTest,
+                         ::testing::Range(0, 40));
+
+TEST(FdTest, ToStringMentionsConstraint) {
+  Fd fd{{0, 1}, {2}, 7};
+  EXPECT_EQ(fd.ToString(), "{0,1} -> {2} [phi7]");
+}
+
+}  // namespace
+}  // namespace bqe

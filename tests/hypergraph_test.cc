@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/steiner.h"
+
+namespace bqe {
+namespace {
+
+// ------------------------------------------------------------ Hypergraph ---
+
+TEST(HypergraphTest, AddNodesAndEdges) {
+  Hypergraph g;
+  int a = g.AddNode("a"), b = g.AddNode("b"), c = g.AddNode("c");
+  ASSERT_TRUE(g.AddEdge({a, b}, c).ok());
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.label(a), "a");
+}
+
+TEST(HypergraphTest, EdgeValidation) {
+  Hypergraph g;
+  int a = g.AddNode(), b = g.AddNode();
+  EXPECT_FALSE(g.AddEdge({}, b).ok());          // Empty head.
+  EXPECT_FALSE(g.AddEdge({a}, 99).ok());        // Tail out of range.
+  EXPECT_FALSE(g.AddEdge({99}, b).ok());        // Head out of range.
+  EXPECT_FALSE(g.AddEdge({a, b}, b).ok());      // Tail in head.
+}
+
+TEST(HypergraphTest, HeadDeduplicated) {
+  Hypergraph g;
+  int a = g.AddNode(), b = g.AddNode();
+  Result<int> e = g.AddEdge({a, a}, b);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.edges()[0].head.size(), 1u);
+}
+
+TEST(HypergraphTest, ReachabilityRequiresFullHead) {
+  Hypergraph g;
+  int a = g.AddNode(), b = g.AddNode(), c = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({a, b}, c).ok());
+  std::vector<bool> from_a = g.Reachable({a});
+  EXPECT_FALSE(from_a[static_cast<size_t>(c)]);
+  std::vector<bool> from_ab = g.Reachable({a, b});
+  EXPECT_TRUE(from_ab[static_cast<size_t>(c)]);
+}
+
+TEST(HypergraphTest, ChainedReachability) {
+  Hypergraph g;
+  int r = g.AddNode(), x = g.AddNode(), y = g.AddNode(), z = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({r}, x).ok());
+  ASSERT_TRUE(g.AddEdge({x}, y).ok());
+  ASSERT_TRUE(g.AddEdge({x, y}, z).ok());
+  std::vector<bool> reach = g.Reachable({r});
+  EXPECT_TRUE(reach[static_cast<size_t>(z)]);
+}
+
+TEST(HypergraphTest, FindHyperpathOrdersDependencies) {
+  Hypergraph g;
+  int r = g.AddNode("r"), x = g.AddNode("x"), y = g.AddNode("y"),
+      z = g.AddNode("z");
+  int e1 = *g.AddEdge({r}, x);
+  int e2 = *g.AddEdge({r}, y);
+  int e3 = *g.AddEdge({x, y}, z);
+  Result<std::vector<int>> path = g.FindHyperpath({r}, z);
+  ASSERT_TRUE(path.ok());
+  // e3 must come after e1 and e2.
+  std::vector<int> p = *path;
+  auto pos = [&](int e) {
+    return std::find(p.begin(), p.end(), e) - p.begin();
+  };
+  EXPECT_LT(pos(e1), pos(e3));
+  EXPECT_LT(pos(e2), pos(e3));
+}
+
+TEST(HypergraphTest, FindHyperpathUnreachable) {
+  Hypergraph g;
+  int r = g.AddNode(), x = g.AddNode(), y = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({x}, y).ok());
+  EXPECT_EQ(g.FindHyperpath({r}, y).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HypergraphTest, FindHyperpathToSourceIsEmpty) {
+  Hypergraph g;
+  int r = g.AddNode();
+  Result<std::vector<int>> path = g.FindHyperpath({r}, r);
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(HypergraphTest, HyperpathIsMinimalish) {
+  // Two ways to reach t; the extracted path should use only one.
+  Hypergraph g;
+  int r = g.AddNode(), a = g.AddNode(), b = g.AddNode(), t = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({r}, a).ok());
+  ASSERT_TRUE(g.AddEdge({r}, b).ok());
+  ASSERT_TRUE(g.AddEdge({a}, t).ok());
+  ASSERT_TRUE(g.AddEdge({b}, t).ok());
+  Result<std::vector<int>> path = g.FindHyperpath({r}, t);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 2u);  // r->a (or r->b) plus one edge into t.
+}
+
+// ----------------------------------------------------- Shortest hyperpath ---
+
+TEST(HypergraphShortestTest, PicksCheaperAlternative) {
+  Hypergraph g;
+  int r = g.AddNode(), a = g.AddNode(), b = g.AddNode(), t = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({r}, a, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge({r}, b, 10.0).ok());
+  ASSERT_TRUE(g.AddEdge({a}, t, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge({b}, t, 1.0).ok());
+  auto sr = g.ShortestHyperpaths({r});
+  EXPECT_DOUBLE_EQ(sr.dist[static_cast<size_t>(t)], 2.0);
+  Result<std::vector<int>> path = g.ExtractPath(sr, t);
+  ASSERT_TRUE(path.ok());
+  double cost = 0;
+  for (int ei : *path) cost += g.edges()[static_cast<size_t>(ei)].weight;
+  EXPECT_DOUBLE_EQ(cost, 2.0);
+}
+
+TEST(HypergraphShortestTest, SumCostOverHead) {
+  Hypergraph g;
+  int r = g.AddNode(), x = g.AddNode(), y = g.AddNode(), t = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({r}, x, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge({r}, y, 4.0).ok());
+  ASSERT_TRUE(g.AddEdge({x, y}, t, 5.0).ok());
+  auto sr = g.ShortestHyperpaths({r});
+  EXPECT_DOUBLE_EQ(sr.dist[static_cast<size_t>(t)], 12.0);  // 3 + 4 + 5.
+}
+
+TEST(HypergraphShortestTest, UnreachableIsMarked) {
+  Hypergraph g;
+  int r = g.AddNode(), t = g.AddNode();
+  auto sr = g.ShortestHyperpaths({r});
+  EXPECT_GE(sr.dist[static_cast<size_t>(t)],
+            Hypergraph::ShortestResult::kUnreachable);
+  EXPECT_FALSE(g.ExtractPath(sr, t).ok());
+}
+
+// --------------------------------------------------------------- Acyclic ---
+
+TEST(HypergraphTest, AcyclicDetection) {
+  Hypergraph g;
+  int a = g.AddNode(), b = g.AddNode(), c = g.AddNode();
+  ASSERT_TRUE(g.AddEdge({a}, b).ok());
+  ASSERT_TRUE(g.AddEdge({b}, c).ok());
+  EXPECT_TRUE(g.UnderlyingAcyclic());
+  ASSERT_TRUE(g.AddEdge({c}, a).ok());
+  EXPECT_FALSE(g.UnderlyingAcyclic());
+}
+
+TEST(HypergraphTest, EmptyGraphIsAcyclic) {
+  Hypergraph g;
+  EXPECT_TRUE(g.UnderlyingAcyclic());
+}
+
+// ---------------------------------------------------------------- Steiner ---
+
+TEST(SteinerTest, SinglePath) {
+  // 0 -> 1 -> 2; terminal {2}.
+  std::vector<DiEdge> edges = {{0, 1, 2.0, 10}, {1, 2, 3.0, 11}};
+  Result<SteinerSolution> s = SolveSteinerArborescence(3, edges, 0, {2});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->cost, 5.0);
+  EXPECT_EQ(s->edge_ids.size(), 2u);
+}
+
+TEST(SteinerTest, SharedPrefixCountedOnce) {
+  // 0 -> 1 (cost 10), then 1 -> 2 and 1 -> 3 (cost 1 each). Spanning both
+  // terminals should cost 12, not 22.
+  std::vector<DiEdge> edges = {{0, 1, 10.0, 0}, {1, 2, 1.0, 1}, {1, 3, 1.0, 2}};
+  Result<SteinerSolution> s = SolveSteinerArborescence(4, edges, 0, {2, 3});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->cost, 12.0);
+}
+
+TEST(SteinerTest, PrefersCheapSharedBranch) {
+  // Direct edges 0->2, 0->3 cost 6 each (total 12); the shared branch via 1
+  // costs 5 + 1 + 1 = 7.
+  std::vector<DiEdge> edges = {{0, 2, 6.0, 0},
+                               {0, 3, 6.0, 1},
+                               {0, 1, 5.0, 2},
+                               {1, 2, 1.0, 3},
+                               {1, 3, 1.0, 4}};
+  Result<SteinerSolution> s = SolveSteinerArborescence(4, edges, 0, {2, 3}, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(s->cost, 12.0);
+  EXPECT_DOUBLE_EQ(s->cost, 7.0);
+}
+
+TEST(SteinerTest, UnreachableTerminalFails) {
+  std::vector<DiEdge> edges = {{0, 1, 1.0, 0}};
+  EXPECT_EQ(SolveSteinerArborescence(3, edges, 0, {2}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SteinerTest, RootTerminalTrivial) {
+  Result<SteinerSolution> s = SolveSteinerArborescence(1, {}, 0, {0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->cost, 0.0);
+}
+
+TEST(SteinerTest, NegativeWeightRejected) {
+  std::vector<DiEdge> edges = {{0, 1, -1.0, 0}};
+  EXPECT_EQ(SolveSteinerArborescence(2, edges, 0, {1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SteinerTest, Level1StillSpans) {
+  std::vector<DiEdge> edges = {{0, 1, 1.0, 0}, {1, 2, 1.0, 1}, {0, 3, 1.0, 2}};
+  Result<SteinerSolution> s =
+      SolveSteinerArborescence(4, edges, 0, {2, 3}, /*level=*/1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->covered_terminals, 2);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraints/maintain.h"
+#include "constraints/validate.h"
+#include "core/engine.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace {
+
+/// Property: after any sequence of random inserts/deletes maintained
+/// incrementally (Proposition 12), the indices are indistinguishable from
+/// indices rebuilt from scratch, and engine answers match the baseline.
+class MaintainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaintainPropertyTest, IncrementalEqualsRebuild) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 5);
+  Result<GeneratedDataset> ds_r = MakeAirca(0.01, 300 + GetParam());
+  ASSERT_TRUE(ds_r.ok());
+  GeneratedDataset ds = std::move(*ds_r);
+
+  Result<IndexSet> built = IndexSet::Build(ds.db, ds.schema);
+  ASSERT_TRUE(built.ok());
+  IndexSet incremental = std::move(*built);
+
+  // Random deltas: inserts of fresh flight rows and deletes of existing
+  // ones (keeping the airline-per-airport discipline loose is fine: the
+  // kGrow policy absorbs overflows).
+  std::vector<Delta> deltas;
+  const Table* ontime = ds.db.Get("ontime");
+  for (int i = 0; i < 60; ++i) {
+    if (rng.Bernoulli(0.5) && ontime->NumRows() > 0) {
+      const Tuple& victim = ontime->rows()[rng.PickIndex(ontime->NumRows())];
+      deltas.push_back(Delta::Delete("ontime", victim));
+      // Apply immediately so later picks see current state.
+      Result<MaintenanceStats> st =
+          ApplyDeltas(&ds.db, &ds.schema, &incremental, {deltas.back()},
+                      OverflowPolicy::kGrow);
+      ASSERT_TRUE(st.ok()) << st.status().ToString();
+    } else {
+      Tuple row = {Value::Int(1000000 + i),
+                   Value::Int(rng.UniformInt(0, 29)),
+                   Value::Int(rng.UniformInt(0, 219)),
+                   Value::Int(rng.UniformInt(0, 219)),
+                   Value::Int(rng.UniformInt(0, 365)),
+                   Value::Int(rng.UniformInt(-10, 180)),
+                   Value::Int(rng.UniformInt(-10, 200)),
+                   Value::Int(rng.UniformInt(0, 1))};
+      deltas.push_back(Delta::Insert("ontime", std::move(row)));
+      Result<MaintenanceStats> st =
+          ApplyDeltas(&ds.db, &ds.schema, &incremental, {deltas.back()},
+                      OverflowPolicy::kGrow);
+      ASSERT_TRUE(st.ok()) << st.status().ToString();
+    }
+  }
+
+  // The grown schema must hold on the final database...
+  Result<ValidationReport> report = Validate(ds.db, ds.schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->ToString();
+
+  // ...and the incrementally maintained indices must match a rebuild.
+  Result<IndexSet> rebuilt = IndexSet::Build(ds.db, ds.schema);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(incremental.size(), rebuilt->size());
+  for (size_t cid = 0; cid < incremental.size(); ++cid) {
+    const AccessIndex* a = incremental.Get(static_cast<int>(cid));
+    const AccessIndex* b = rebuilt->Get(static_cast<int>(cid));
+    EXPECT_EQ(a->NumEntries(), b->NumEntries()) << "constraint " << cid;
+    EXPECT_EQ(a->NumKeys(), b->NumKeys()) << "constraint " << cid;
+    EXPECT_EQ(a->MaxGroupSize(), b->MaxGroupSize()) << "constraint " << cid;
+  }
+
+  // Spot-check fetch equality on sampled keys from the data.
+  const AccessConstraint& c0 = ds.schema.at(0);  // ontime(origin -> ...).
+  for (int i = 0; i < 10; ++i) {
+    Tuple key = {Value::Int(rng.UniformInt(0, 219))};
+    std::vector<Tuple> fa = incremental.Get(0)->Fetch(key);
+    std::vector<Tuple> fb = rebuilt->Get(0)->Fetch(key);
+    ASSERT_EQ(fa.size(), fb.size()) << c0.ToString();
+    for (size_t k = 0; k < fa.size(); ++k) {
+      EXPECT_EQ(CompareTuples(fa[k], fb[k]), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaintainPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/minimize.h"
+#include "ra/builder.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ1;
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  MinimizeTest() : fx_(MakeGraphSearch(false)) {}
+
+  NormalizedQuery Norm(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    return std::move(*nq);
+  }
+
+  static bool Contains(const std::vector<int>& ids, int id) {
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+// -------------------------------------------------- Example 9 (minA) -------
+
+TEST_F(MinimizeTest, ExampleNineGreedyDropsPsi5AndPsi3) {
+  // A1 = A0 + psi5: dine((pid, year) -> cid, 366). For Q1, minA must return
+  // {psi1, psi2, psi4}: psi5 loses to psi2 on weight (366 vs 31), psi3 is
+  // redundant for Q1.
+  AccessSchema a1 = fx_.schema;
+  ASSERT_TRUE(
+      a1.Add(*AccessConstraint::Parse("dine((pid, year) -> (cid), 366)"),
+             fx_.db.catalog())
+          .ok());
+  int psi5 = 4;
+  NormalizedQuery nq = Norm(MakeQ1());
+  Result<MinimizeResult> m = MinimizeAccess(nq, a1, MinimizeAlgo::kGreedy);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(Contains(m->kept_ids, fx_.psi1));
+  EXPECT_TRUE(Contains(m->kept_ids, fx_.psi2));
+  EXPECT_TRUE(Contains(m->kept_ids, fx_.psi4));
+  EXPECT_FALSE(Contains(m->kept_ids, psi5));
+  EXPECT_FALSE(Contains(m->kept_ids, fx_.psi3));
+  EXPECT_EQ(m->total_n, 5000 + 31 + 1);
+}
+
+TEST_F(MinimizeTest, GreedyResultIsMinimal) {
+  NormalizedQuery nq = Norm(MakeQ1());
+  Result<MinimizeResult> m =
+      MinimizeAccess(nq, fx_.schema, MinimizeAlgo::kGreedy);
+  ASSERT_TRUE(m.ok());
+  // Removing any kept constraint must break coverage.
+  for (size_t drop = 0; drop < m->kept_ids.size(); ++drop) {
+    std::vector<int> fewer;
+    for (size_t i = 0; i < m->kept_ids.size(); ++i) {
+      if (i != drop) fewer.push_back(m->kept_ids[i]);
+    }
+    Result<CoverageReport> r = CheckCoverage(nq, fx_.schema.Subset(fewer));
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->covered) << "dropping id " << m->kept_ids[drop]
+                             << " kept the query covered";
+  }
+}
+
+TEST_F(MinimizeTest, MinimizedSchemaStillCovers) {
+  NormalizedQuery nq = Norm(testutil::MakeQ0Prime());
+  for (MinimizeAlgo algo : {MinimizeAlgo::kGreedy, MinimizeAlgo::kAcyclic,
+                            MinimizeAlgo::kElementary}) {
+    Result<MinimizeResult> m = MinimizeAccess(nq, fx_.schema, algo);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    Result<CoverageReport> r = CheckCoverage(nq, m->minimized);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->covered);
+    EXPECT_LE(m->total_n, fx_.schema.TotalN());
+  }
+}
+
+TEST_F(MinimizeTest, FailsOnUncoveredQuery) {
+  NormalizedQuery nq = Norm(testutil::MakeQ2());
+  Result<MinimizeResult> m =
+      MinimizeAccess(nq, fx_.schema, MinimizeAlgo::kGreedy);
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MinimizeTest, DropsConstraintsOnUnrelatedRelations) {
+  // Constraints on cafe are irrelevant to a friend-only query.
+  RaExprPtr q = Project(
+      Select(Rel("friend"), {EqC(A("friend", "pid"), Value::Str("p0"))}),
+      {A("friend", "fid")});
+  NormalizedQuery nq = Norm(q);
+  Result<MinimizeResult> m =
+      MinimizeAccess(nq, fx_.schema, MinimizeAlgo::kGreedy);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(Contains(m->kept_ids, fx_.psi4));
+  EXPECT_TRUE(Contains(m->kept_ids, fx_.psi1));
+}
+
+// ------------------------------------------- Example 10 (minADAG, acyclic) --
+
+TEST_F(MinimizeTest, ExampleTenAcyclicShortestPaths) {
+  AccessSchema a1 = fx_.schema;
+  ASSERT_TRUE(
+      a1.Add(*AccessConstraint::Parse("dine((pid, year) -> (cid), 366)"),
+             fx_.db.catalog())
+          .ok());
+  int psi5 = 4;
+  NormalizedQuery nq = Norm(MakeQ1());
+  ASSERT_TRUE(*IsAcyclicCase(nq, a1));
+  Result<MinimizeResult> m = MinimizeAccess(nq, a1, MinimizeAlgo::kAcyclic);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Example 10: the shortest hyperpath to cid uses psi2 (31 < 366).
+  EXPECT_TRUE(Contains(m->kept_ids, fx_.psi2));
+  EXPECT_FALSE(Contains(m->kept_ids, psi5));
+  Result<CoverageReport> r = CheckCoverage(nq, m->minimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->covered);
+}
+
+TEST_F(MinimizeTest, AcyclicPredicateDetectsRecursion) {
+  // a -> b and b -> a on the same relation creates a cycle between classes.
+  AccessSchema cyc;
+  ASSERT_TRUE(cyc.Add(*AccessConstraint::Parse("friend((pid) -> (fid), 10)"),
+                      fx_.db.catalog())
+                  .ok());
+  ASSERT_TRUE(cyc.Add(*AccessConstraint::Parse("friend((fid) -> (pid), 10)"),
+                      fx_.db.catalog())
+                  .ok());
+  RaExprPtr q = Project(
+      Select(Rel("friend"), {EqC(A("friend", "pid"), Value::Str("p0"))}),
+      {A("friend", "fid")});
+  NormalizedQuery nq = Norm(q);
+  Result<bool> acyclic = IsAcyclicCase(nq, cyc);
+  ASSERT_TRUE(acyclic.ok());
+  EXPECT_FALSE(*acyclic);
+  // A0 on Q1 is acyclic (stated below Example 1's discussion in Sec. 6.1).
+  EXPECT_TRUE(*IsAcyclicCase(Norm(MakeQ1()), fx_.schema));
+}
+
+// ------------------------------------------------- minAE (elementary) ------
+
+TEST_F(MinimizeTest, ElementaryPredicate) {
+  // A0 \ {psi2} is elementary (the paper notes this after Theorem 9):
+  // psi1, psi4 are unit; psi3 is an indexing constraint.
+  AccessSchema no_psi2 = fx_.schema.Subset({fx_.psi1, fx_.psi3, fx_.psi4});
+  EXPECT_TRUE(IsElementaryCase(no_psi2));
+  EXPECT_FALSE(IsElementaryCase(fx_.schema));  // psi2 has |X| = 3.
+}
+
+TEST_F(MinimizeTest, ElementarySteinerPicksCheapChain) {
+  // Unit chain with two options: pid -> fid with N = 100 or via two hops
+  // costing 2 + 3. friend(pid -> fid): terminals {fid}.
+  AccessSchema schema;
+  ASSERT_TRUE(schema.Add(*AccessConstraint::Parse("friend((pid) -> (fid), 100)"),
+                         fx_.db.catalog())
+                  .ok());
+  ASSERT_TRUE(schema.Add(*AccessConstraint::Parse("cafe((cid) -> (city), 2)"),
+                         fx_.db.catalog())
+                  .ok());
+  RaExprPtr q = Project(
+      Select(Product(Rel("friend"), Rel("cafe")),
+             {EqC(A("friend", "pid"), Value::Str("p0")),
+              EqA(A("friend", "fid"), A("cafe", "cid"))}),
+      {A("cafe", "city")});
+  NormalizedQuery nq = Norm(q);
+  ASSERT_TRUE(IsElementaryCase(schema));
+  Result<MinimizeResult> m =
+      MinimizeAccess(nq, schema, MinimizeAlgo::kElementary);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  Result<CoverageReport> r = CheckCoverage(nq, m->minimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->covered);
+}
+
+TEST_F(MinimizeTest, TotalNNeverIncreases) {
+  NormalizedQuery nq = Norm(MakeQ1());
+  for (MinimizeAlgo algo : {MinimizeAlgo::kGreedy, MinimizeAlgo::kAcyclic,
+                            MinimizeAlgo::kElementary}) {
+    Result<MinimizeResult> m = MinimizeAccess(nq, fx_.schema, algo);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    EXPECT_LE(m->total_n, fx_.schema.TotalN());
+    EXPECT_LE(m->kept_ids.size(), fx_.schema.size());
+  }
+}
+
+TEST_F(MinimizeTest, WeightCoefficientsRespected) {
+  // With c1 >> small, behavior unchanged (weights scale uniformly).
+  AccessSchema a1 = fx_.schema;
+  ASSERT_TRUE(
+      a1.Add(*AccessConstraint::Parse("dine((pid, year) -> (cid), 366)"),
+             fx_.db.catalog())
+          .ok());
+  NormalizedQuery nq = Norm(MakeQ1());
+  MinimizeOptions opts;
+  opts.c1 = 10.0;
+  opts.c2 = 0.5;
+  Result<MinimizeResult> m =
+      MinimizeAccess(nq, a1, MinimizeAlgo::kGreedy, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(Contains(m->kept_ids, 4));  // psi5 still dropped.
+}
+
+}  // namespace
+}  // namespace bqe

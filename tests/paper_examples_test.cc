@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "baseline/eval.h"
+#include "constraints/actualize.h"
+#include "constraints/index.h"
+#include "constraints/maintain.h"
+#include "core/cov.h"
+#include "core/plan_exec.h"
+#include "core/qplan.h"
+#include "ra/builder.h"
+#include "ra/normalize.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+// ------------------------------------------------------ Example 3 schema ---
+//
+// A1 = { R(AB -> E, N), S(F -> GH, 2), S(GH -> GH, 1) } over R(A,B,E) and
+// S(F,G,H). The paper shows Q4 = Q4^1 - Q4^2 is boundedly evaluable but the
+// argument needs *instance-level* reasoning (S(F -> GH, 2) forces (x,y) to
+// coincide with one of two tuples), which the effective syntax deliberately
+// does not capture. We verify our machinery draws exactly the expected
+// line: Q4's sub-queries are not covered (x, y, w, u are not derivable from
+// constants), and the covered fragment behaves as stated.
+
+class ExampleThreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(RelationSchema("R",
+                                               {{"A", ValueType::kInt},
+                                                {"B", ValueType::kInt},
+                                                {"E", ValueType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(RelationSchema("S",
+                                               {{"F", ValueType::kInt},
+                                                {"G", ValueType::kInt},
+                                                {"H", ValueType::kInt}}))
+                    .ok());
+    for (const char* text :
+         {"R((A, B) -> (E), 10)", "S((F) -> (G, H), 2)",
+          "S((G, H) -> (G, H), 1)"}) {
+      ASSERT_TRUE(
+          schema_.Add(*AccessConstraint::Parse(text), db_.catalog()).ok());
+    }
+  }
+
+  Database db_;
+  AccessSchema schema_;
+};
+
+TEST_F(ExampleThreeTest, Q4SubqueriesNotCovered) {
+  // Q4^1 = pi_x(R(1, x, y) |x| S(w, x, y) |x| S(w, 1, x) |x| S(w, x, x)).
+  RaExprPtr q41 = Project(
+      Select(
+          Product(Product(Product(Rel("R"), RelAs("S", "S1")),
+                          RelAs("S", "S2")),
+                  RelAs("S", "S3")),
+          {EqC(A("R", "A"), Value::Int(1)),
+           // x: R.B = S1.G = S2.H = S3.G; y: R.E = S1.H.
+           EqA(A("R", "B"), A("S1", "G")), EqA(A("R", "E"), A("S1", "H")),
+           // w: S1.F = S2.F = S3.F.
+           EqA(A("S1", "F"), A("S2", "F")), EqA(A("S1", "F"), A("S3", "F")),
+           EqC(A("S2", "G"), Value::Int(1)), EqA(A("S2", "H"), A("R", "B")),
+           EqA(A("S3", "G"), A("R", "B")), EqA(A("S3", "H"), A("R", "B"))}),
+      {A("R", "B")});
+  Result<NormalizedQuery> nq = Normalize(q41, db_.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  Result<CoverageReport> r = CheckCoverage(*nq, schema_);
+  ASSERT_TRUE(r.ok());
+  // x and w are not derivable from the constant 1 under A1's syntax-level
+  // analysis — exactly the paper's "at a first glance" situation.
+  EXPECT_FALSE(r->covered);
+  EXPECT_FALSE(r->fetchable);
+}
+
+TEST_F(ExampleThreeTest, SpecializedVariantStillNotCovered) {
+  // Q4^1' = pi_x(R(1, 1, x) |x| S(w, 1, x) |x| S(w, x, x)): even after the
+  // paper's instance-level specialization, the shared join variable w keeps
+  // the query outside the *covered* class (w occurs in the selection
+  // condition but is not derivable from constants under A1). The paper
+  // only claims Q4^1' is boundedly evaluable — Example 3 is exactly the
+  // bounded-but-not-covered frontier that motivates Theorem 2(1)'s
+  // "A-equivalent to a covered query" phrasing.
+  RaExprPtr q = Project(
+      Select(Product(Product(Rel("R"), RelAs("S", "S1")), RelAs("S", "S2")),
+             {EqC(A("R", "A"), Value::Int(1)), EqC(A("R", "B"), Value::Int(1)),
+              EqA(A("S1", "F"), A("S2", "F")),
+              EqC(A("S1", "G"), Value::Int(1)), EqA(A("S1", "H"), A("R", "E")),
+              EqA(A("S2", "G"), A("R", "E")), EqA(A("S2", "H"), A("R", "E"))}),
+      {A("R", "E")});
+  Result<NormalizedQuery> nq = Normalize(q, db_.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  Result<CoverageReport> r = CheckCoverage(*nq, schema_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->fetchable);
+  EXPECT_FALSE(r->covered);
+}
+
+TEST_F(ExampleThreeTest, DroppingTheJoinVariableMakesItCovered) {
+  // Without the w-join (S1.F = S2.F), every attribute in X_Q is derivable:
+  // x via R(AB -> E) from the constants, and both S occurrences are
+  // indexed by S(GH -> GH, 1), whose X = {G, H} classes are covered. This
+  // pins down exactly which atom kept the previous query uncovered.
+  RaExprPtr q = Project(
+      Select(Product(Product(Rel("R"), RelAs("S", "S1")), RelAs("S", "S2")),
+             {EqC(A("R", "A"), Value::Int(1)), EqC(A("R", "B"), Value::Int(1)),
+              EqC(A("S1", "G"), Value::Int(1)), EqA(A("S1", "H"), A("R", "E")),
+              EqA(A("S2", "G"), A("R", "E")), EqA(A("S2", "H"), A("R", "E"))}),
+      {A("R", "E")});
+  Result<NormalizedQuery> nq = Normalize(q, db_.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  Result<CoverageReport> r = CheckCoverage(*nq, schema_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->fetchable) << r->Explain();
+  EXPECT_TRUE(r->covered) << r->Explain();
+}
+
+// --------------------------------------------------------------- Lemma 1 ---
+
+class Lemma1Test : public ::testing::Test {
+ protected:
+  Lemma1Test() : fx_(testutil::MakeGraphSearch()) {}
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(Lemma1Test, ActualizedSchemaPreservesSatisfaction) {
+  // D |= A iff D |= A' where A' renames constraints to occurrences that
+  // exist in D under the same base tables. Validate via a query whose
+  // occurrences keep base names.
+  Result<NormalizedQuery> nq =
+      Normalize(testutil::MakeQ1(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  AccessSchema actual = Actualize(fx_.schema, *nq);
+  // Each actualized constraint is satisfied by the base table of its
+  // occurrence (validated through source mapping).
+  for (const AccessConstraint& c : actual.constraints()) {
+    ASSERT_GE(c.source_id, 0);
+    const AccessConstraint& src = fx_.schema.at(c.source_id);
+    EXPECT_EQ(c.x, src.x);
+    EXPECT_EQ(c.y, src.y);
+    EXPECT_EQ(c.n, src.n);
+  }
+}
+
+TEST_F(Lemma1Test, ActualizationSizeIsProductBound) {
+  // |A'| <= occurrences * |A| (Lemma 1's O(|Q||A|) construction).
+  Result<NormalizedQuery> nq =
+      Normalize(testutil::MakeQ0Prime(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  AccessSchema actual = Actualize(fx_.schema, *nq);
+  EXPECT_LE(actual.size(), nq->occurrences().size() * fx_.schema.size());
+}
+
+// ------------------------------------------------- Plan length sweeps -----
+
+class PlanLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanLengthTest, LengthLinearInQueryTimesSchema) {
+  // Lemma 8: |plan| = O(|Q||A|). Chain k unions of the Example-1 Q1 block;
+  // plan length must grow linearly in k, not quadratically.
+  auto fx = testutil::MakeGraphSearch(false);
+  int k = GetParam();
+  RaExprPtr q = testutil::MakeQ1();
+  for (int i = 1; i <= k; ++i) {
+    q = Union(q, CloneWithSuffix(testutil::MakeQ1(), "#u" + std::to_string(i)));
+  }
+  Result<NormalizedQuery> nq = Normalize(q, fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx.schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered);
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok());
+  // One block's plan is ~26 steps; k + 1 blocks plus k union steps.
+  size_t one_block = 26;
+  EXPECT_LE(plan->Length(),
+            (static_cast<size_t>(k) + 1) * (one_block + 6) + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(UnionChains, PlanLengthTest,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+// -------------------------------------------------- Failure injection -----
+
+TEST(FailureInjectionTest, ExecutorRejectsMissingIndex) {
+  auto fx = testutil::MakeGraphSearch();
+  Result<NormalizedQuery> nq = Normalize(testutil::MakeQ1(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx.schema);
+  ASSERT_TRUE(report.ok());
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok());
+  // Indices built for a single unrelated constraint: fetches must fail
+  // loudly, not silently return empty.
+  AccessSchema tiny = fx.schema.Subset({fx.psi4});
+  // Clear provenance so the executor cannot resolve the original ids.
+  Result<IndexSet> indices = IndexSet::Build(fx.db, tiny);
+  ASSERT_TRUE(indices.ok());
+  Result<Table> got = ExecutePlan(*plan, *indices, nullptr);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, PlanWithoutOutputRejected) {
+  auto fx = testutil::MakeGraphSearch();
+  Result<IndexSet> indices = IndexSet::Build(fx.db, fx.schema);
+  ASSERT_TRUE(indices.ok());
+  BoundedPlan empty;
+  Result<Table> got = ExecutePlan(empty, *indices, nullptr);
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, CoverageOnEmptyDatabaseStillWorks) {
+  // Coverage and planning are meta-level: they must work with zero tuples.
+  auto fx = testutil::MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(testutil::MakeQ1(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx.schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->covered);
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok());
+  Result<IndexSet> indices = IndexSet::Build(fx.db, fx.schema);
+  ASSERT_TRUE(indices.ok());
+  Result<Table> got = ExecutePlan(*plan, *indices, nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->NumRows(), 0u);
+}
+
+TEST(FailureInjectionTest, MaintenanceDeleteOfAbsentRowFails) {
+  auto fx = testutil::MakeGraphSearch();
+  Result<IndexSet> built = IndexSet::Build(fx.db, fx.schema);
+  ASSERT_TRUE(built.ok());
+  IndexSet indices = std::move(*built);
+  std::vector<Delta> deltas = {
+      Delta::Delete("friend", {Value::Str("nobody"), Value::Str("nothing")})};
+  Result<MaintenanceStats> stats = ApplyDeltas(
+      &fx.db, &fx.schema, &indices, deltas, OverflowPolicy::kGrow);
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------- A-equivalence vs plain equivalence --
+
+TEST(AEquivalenceTest, RewriteOnlyEquivalentWhenDSatisfiesA) {
+  // Q0' == Q0 holds on D |= A0 (it is an A-equivalence, not a plain one).
+  // On a database *violating* psi4 (a cafe with two cities), both queries
+  // still agree here because the rewrite's correctness argument
+  // (L - R == L - (L n R)) is instance-independent — verify exactly that.
+  auto fx = testutil::MakeGraphSearch();
+  ASSERT_TRUE(
+      fx.db.Insert("cafe", {Value::Str("c1"), Value::Str("boston")}).ok());
+  Result<NormalizedQuery> q0 = Normalize(testutil::MakeQ0(), fx.db.catalog());
+  Result<NormalizedQuery> q0p =
+      Normalize(testutil::MakeQ0Prime(), fx.db.catalog());
+  ASSERT_TRUE(q0.ok());
+  ASSERT_TRUE(q0p.ok());
+  Result<Table> a = EvaluateBaseline(*q0, fx.db, nullptr);
+  Result<Table> b = EvaluateBaseline(*q0p, fx.db, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(Table::SameSet(*a, *b));
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "ra/builder.h"
+#include "ra/normalize.h"
+#include "ra/parser.h"
+#include "ra/printer.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : fx_(MakeGraphSearch(false)) {}
+
+  RaExprPtr Parse(const std::string& sql) {
+    Result<RaExprPtr> r = ParseQuery(sql, fx_.db.catalog());
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  Status ParseError(const std::string& sql) {
+    Result<RaExprPtr> r = ParseQuery(sql, fx_.db.catalog());
+    EXPECT_FALSE(r.ok()) << sql << " unexpectedly parsed";
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(ParserTest, SimpleSelect) {
+  RaExprPtr q = Parse("SELECT cid FROM cafe WHERE city = 'nyc'");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), RaOp::kProject);
+  ASSERT_EQ(q->cols().size(), 1u);
+  EXPECT_EQ(q->cols()[0].ToString(), "cafe.cid");
+  EXPECT_EQ(q->left()->op(), RaOp::kSelect);
+}
+
+TEST_F(ParserTest, SelectWithoutWhere) {
+  RaExprPtr q = Parse("SELECT cid FROM cafe");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->left()->op(), RaOp::kRel);
+}
+
+TEST_F(ParserTest, StarExpandsAllColumns) {
+  RaExprPtr q = Parse("SELECT * FROM dine");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cols().size(), 4u);
+}
+
+TEST_F(ParserTest, StarExpandsAcrossFromList) {
+  RaExprPtr q = Parse("SELECT * FROM friend, cafe");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cols().size(), 4u);  // 2 + 2.
+}
+
+TEST_F(ParserTest, ColumnOutsideFromListFails) {
+  // "city" lives in cafe, which is not in the FROM list.
+  Status s = ParseError(
+      "SELECT dine.cid FROM friend, dine "
+      "WHERE friend.fid = dine.pid AND city = 'x' AND month = 5");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, QualifiedAndUnqualifiedColumnsMix) {
+  RaExprPtr q = Parse(
+      "SELECT dine.cid FROM friend, dine "
+      "WHERE friend.fid = dine.pid AND month = 5");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->left()->preds()[1].lhs.ToString(), "dine.month");
+}
+
+TEST_F(ParserTest, UnqualifiedUniqueColumnResolves) {
+  RaExprPtr q = Parse("SELECT fid FROM friend WHERE pid = 'p0'");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cols()[0].ToString(), "friend.fid");
+}
+
+TEST_F(ParserTest, AmbiguousUnqualifiedColumnFails) {
+  Status s = ParseError("SELECT cid FROM dine, cafe");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, AliasWithAs) {
+  RaExprPtr q = Parse("SELECT d.cid FROM dine AS d WHERE d.pid = 'p0'");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cols()[0].rel, "d");
+}
+
+TEST_F(ParserTest, AliasWithoutAs) {
+  RaExprPtr q = Parse("SELECT d.cid FROM dine d");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->cols()[0].rel, "d");
+}
+
+TEST_F(ParserTest, SelfJoinAutoSuffix) {
+  RaExprPtr q = Parse(
+      "SELECT friend.fid FROM friend, friend AS f2 WHERE friend.fid = f2.pid");
+  ASSERT_NE(q, nullptr);
+  Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+  EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+}
+
+TEST_F(ParserTest, RepeatedTableGetsFreshName) {
+  RaExprPtr q = Parse("SELECT dine.cid FROM dine, dine");
+  ASSERT_NE(q, nullptr);
+  Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+  EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+}
+
+TEST_F(ParserTest, AllComparisonOperators) {
+  RaExprPtr q = Parse(
+      "SELECT cid FROM dine WHERE month < 6 AND month <= 5 AND year > 2000 "
+      "AND year >= 2015 AND month <> 2 AND pid != 'x'");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->left()->preds().size(), 6u);
+  EXPECT_EQ(q->left()->preds()[0].op, CmpOp::kLt);
+  EXPECT_EQ(q->left()->preds()[4].op, CmpOp::kNe);
+}
+
+TEST_F(ParserTest, LiteralOnLeftIsFlipped) {
+  RaExprPtr q = Parse("SELECT cid FROM dine WHERE 5 < month");
+  ASSERT_NE(q, nullptr);
+  const Predicate& p = q->left()->preds()[0];
+  EXPECT_EQ(p.kind, Predicate::Kind::kAttrConst);
+  EXPECT_EQ(p.op, CmpOp::kGt);
+  EXPECT_EQ(p.lhs.attr, "month");
+}
+
+TEST_F(ParserTest, UnionAndExcept) {
+  RaExprPtr q = Parse(
+      "(SELECT cid FROM cafe) UNION (SELECT d.cid FROM dine AS d) "
+      "EXCEPT (SELECT d2.cid FROM dine AS d2)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), RaOp::kDiff);
+  EXPECT_EQ(q->left()->op(), RaOp::kUnion);
+}
+
+TEST_F(ParserTest, IntersectDesugarsToDoubleDiff) {
+  RaExprPtr q = Parse(
+      "(SELECT cid FROM cafe) INTERSECT (SELECT d.cid FROM dine AS d)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->op(), RaOp::kDiff);
+  EXPECT_EQ(q->right()->op(), RaOp::kDiff);
+  // Must normalize: occurrence names of the cloned copy are fresh.
+  EXPECT_TRUE(Normalize(q, fx_.db.catalog()).ok());
+}
+
+TEST_F(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_NE(Parse("select cid from cafe where city = 'nyc'"), nullptr);
+  EXPECT_NE(Parse("SeLeCt cid FrOm cafe"), nullptr);
+}
+
+TEST_F(ParserTest, DistinctKeywordAccepted) {
+  EXPECT_NE(Parse("SELECT DISTINCT cid FROM cafe"), nullptr);
+}
+
+TEST_F(ParserTest, NumericLiterals) {
+  RaExprPtr q = Parse("SELECT cid FROM dine WHERE year = 2015 AND month = -2");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->left()->preds()[1].constant, Value::Int(-2));
+}
+
+TEST_F(ParserTest, ErrorUnknownTable) {
+  EXPECT_EQ(ParseError("SELECT x FROM nope").code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorUnknownColumn) {
+  EXPECT_EQ(ParseError("SELECT nope FROM cafe").code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorUnknownQualifier) {
+  EXPECT_EQ(ParseError("SELECT z.cid FROM cafe").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorMissingFrom) {
+  EXPECT_EQ(ParseError("SELECT cid").code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorTrailingGarbage) {
+  EXPECT_EQ(ParseError("SELECT cid FROM cafe garbage garbage").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorUnterminatedString) {
+  EXPECT_EQ(ParseError("SELECT cid FROM cafe WHERE city = 'oops").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorLiteralOnlyPredicate) {
+  EXPECT_EQ(ParseError("SELECT cid FROM cafe WHERE 1 = 1").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ErrorDuplicateAlias) {
+  EXPECT_EQ(ParseError("SELECT d.cid FROM dine d, cafe d").code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, RoundTripThroughPrinter) {
+  RaExprPtr q = Parse(
+      "SELECT cafe.cid FROM friend, dine, cafe "
+      "WHERE friend.pid = 'p0' AND friend.fid = dine.pid AND "
+      "dine.cid = cafe.cid AND cafe.city = 'nyc'");
+  ASSERT_NE(q, nullptr);
+  std::string sql = ToSqlString(q);
+  Result<RaExprPtr> again = ParseQuery(sql, fx_.db.catalog());
+  ASSERT_TRUE(again.ok()) << sql << "\n-> " << again.status().ToString();
+  // Both must normalize and have the same output schema.
+  Result<NormalizedQuery> n1 = Normalize(q, fx_.db.catalog());
+  Result<NormalizedQuery> n2 = Normalize(*again, fx_.db.catalog());
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n1->OutputOf(n1->root().get()).size(),
+            n2->OutputOf(n2->root().get()).size());
+}
+
+}  // namespace
+}  // namespace bqe

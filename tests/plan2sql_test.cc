@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "constraints/index.h"
+#include "core/cov.h"
+#include "core/plan2sql.h"
+#include "core/plan_exec.h"
+#include "core/qplan.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0Prime;
+using testutil::MakeQ1;
+
+class Plan2SqlTest : public ::testing::Test {
+ protected:
+  Plan2SqlTest() : fx_(MakeGraphSearch(false)) {}
+
+  BoundedPlan Plan(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok());
+    Result<CoverageReport> report = CheckCoverage(*nq, fx_.schema);
+    EXPECT_TRUE(report.ok());
+    Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? std::move(*plan) : BoundedPlan();
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(Plan2SqlTest, EmitsOneCtePerStep) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_NE(sql->find("t" + std::to_string(i) + " AS ("), std::string::npos)
+        << "missing CTE t" << i;
+  }
+}
+
+TEST_F(Plan2SqlTest, FetchReadsIndexRelations) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  // Q1 uses indices of psi1, psi2 and psi4 (source ids 0, 1, 3).
+  EXPECT_NE(sql->find("FROM ind_0"), std::string::npos);
+  EXPECT_NE(sql->find("FROM ind_1"), std::string::npos);
+  EXPECT_NE(sql->find("FROM ind_3"), std::string::npos);
+}
+
+TEST_F(Plan2SqlTest, FetchFiltersByInputKeys) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find(") IN (SELECT"), std::string::npos);
+}
+
+TEST_F(Plan2SqlTest, DiffBecomesExcept) {
+  BoundedPlan plan = Plan(MakeQ0Prime());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("EXCEPT"), std::string::npos);
+}
+
+TEST_F(Plan2SqlTest, FinalSelectReferencesOutputStep) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  std::string expected =
+      "SELECT DISTINCT * FROM t" + std::to_string(plan.output) + ";";
+  EXPECT_NE(sql->find(expected), std::string::npos) << *sql;
+}
+
+TEST_F(Plan2SqlTest, ConstantsRenderedAsLiterals) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("'p0'"), std::string::npos);
+  EXPECT_NE(sql->find("'nyc'"), std::string::npos);
+}
+
+TEST_F(Plan2SqlTest, EmptyPlanStepRendered) {
+  BoundedPlan plan;
+  PlanStep empty;
+  empty.kind = PlanStep::Kind::kEmpty;
+  empty.col_names = {"a"};
+  plan.steps.push_back(empty);
+  plan.output = 0;
+  plan.output_names = {"a"};
+  Result<std::string> sql = PlanToSql(plan);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("WHERE 1 = 0"), std::string::npos);
+}
+
+TEST_F(Plan2SqlTest, MissingOutputRejected) {
+  BoundedPlan plan;
+  EXPECT_EQ(PlanToSql(plan).status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace bqe

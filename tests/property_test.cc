@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "baseline/eval.h"
+#include "constraints/index.h"
+#include "core/cov.h"
+#include "core/engine.h"
+#include "core/minimize.h"
+#include "core/plan_exec.h"
+#include "core/qplan.h"
+#include "core/rewrite.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace {
+
+/// End-to-end properties checked on randomly generated queries over the
+/// three synthetic datasets. These are the Theorem-2/Theorem-5 guarantees
+/// made executable:
+///   P1 (soundness of plans):   covered  =>  plan result == baseline result,
+///   P2 (bounded access):       tuples fetched <= static plan bound,
+///   P3 (rewriter soundness):   rewritten query == original on D |= A,
+///   P4 (minimization):         plan under A_m == plan under A.
+
+struct PropertyCase {
+  const char* dataset;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return std::string(info.param.dataset) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class PropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  static const GeneratedDataset& Dataset(const std::string& name) {
+    static std::map<std::string, GeneratedDataset> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      Result<GeneratedDataset> ds = MakeDataset(name, 0.02, 1234);
+      EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+      it = cache.emplace(name, std::move(*ds)).first;
+    }
+    return it->second;
+  }
+
+  static const IndexSet& Indices(const std::string& name) {
+    static std::map<std::string, IndexSet> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      const GeneratedDataset& ds = Dataset(name);
+      Result<IndexSet> set = IndexSet::Build(ds.db, ds.schema);
+      EXPECT_TRUE(set.ok()) << set.status().ToString();
+      it = cache.emplace(name, std::move(*set)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(PropertyTest, CoveredPlansMatchBaseline) {
+  const PropertyCase& param = GetParam();
+  const GeneratedDataset& ds = Dataset(param.dataset);
+  const IndexSet& indices = Indices(param.dataset);
+
+  QueryGenConfig cfg;
+  cfg.seed = param.seed;
+  cfg.num_sel = 3 + static_cast<int>(param.seed % 4);
+  cfg.num_join = static_cast<int>(param.seed % 4);
+  cfg.num_unidiff = static_cast<int>(param.seed % 3);
+  Result<RaExprPtr> q = GenerateCoveredQuery(ds, cfg);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, ds.schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered);
+
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  ExecStats stats;
+  Result<Table> bounded = ExecutePlan(*plan, indices, &stats);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+
+  Result<Table> oracle = EvaluateBaseline(*nq, ds.db, nullptr);
+  ASSERT_TRUE(oracle.ok());
+
+  // P1: answers agree.
+  EXPECT_TRUE(Table::SameSet(*bounded, *oracle))
+      << "plan:\n"
+      << plan->ToString() << "\nbounded: " << bounded->NumRows()
+      << " rows, oracle: " << oracle->NumRows() << " rows";
+
+  // P2: access bounded by the static estimate.
+  EXPECT_LE(static_cast<double>(stats.tuples_fetched),
+            plan->StaticAccessBound() + 1.0);
+}
+
+TEST_P(PropertyTest, RewriterPreservesSemantics) {
+  const PropertyCase& param = GetParam();
+  const GeneratedDataset& ds = Dataset(param.dataset);
+
+  QueryGenConfig cfg;
+  cfg.seed = param.seed ^ 0xbeef;
+  cfg.num_sel = 4;
+  cfg.num_join = static_cast<int>(param.seed % 3);
+  cfg.num_unidiff = 1 + static_cast<int>(param.seed % 2);
+  cfg.strip_right_anchor = 0.9;  // Force Example-1-style differences.
+  Result<RaExprPtr> q = GenerateQuery(ds, cfg);
+  ASSERT_TRUE(q.ok());
+  Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<RewriteResult> rw = RewriteForCoverage(*nq, ds.schema);
+  ASSERT_TRUE(rw.ok()) << rw.status().ToString();
+  if (!rw->changed) return;  // Nothing to verify.
+
+  Result<Table> before = EvaluateBaseline(*nq, ds.db, nullptr);
+  ASSERT_TRUE(before.ok());
+  Result<NormalizedQuery> nq2 = Normalize(rw->expr, ds.db.catalog());
+  ASSERT_TRUE(nq2.ok()) << nq2.status().ToString();
+  Result<Table> after = EvaluateBaseline(*nq2, ds.db, nullptr);
+  ASSERT_TRUE(after.ok());
+  // P3: A-equivalence on this instance (which satisfies A).
+  EXPECT_TRUE(Table::SameSet(*before, *after));
+}
+
+TEST_P(PropertyTest, MinimizedPlansMatchFullPlans) {
+  const PropertyCase& param = GetParam();
+  const GeneratedDataset& ds = Dataset(param.dataset);
+  const IndexSet& indices = Indices(param.dataset);
+
+  QueryGenConfig cfg;
+  cfg.seed = param.seed ^ 0xc0ffee;
+  cfg.num_sel = 4;
+  cfg.num_join = static_cast<int>(param.seed % 3);
+  Result<RaExprPtr> q = GenerateCoveredQuery(ds, cfg);
+  ASSERT_TRUE(q.ok());
+  Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+  ASSERT_TRUE(nq.ok());
+
+  Result<MinimizeResult> m =
+      MinimizeAccess(*nq, ds.schema, MinimizeAlgo::kGreedy);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // P4a: the minimized subset still covers (PackResult re-verified, but
+  // assert through the public API).
+  Result<CoverageReport> r = CheckCoverage(*nq, m->minimized);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->covered);
+
+  // P4b: executing the plan built from A_m gives the same answer.
+  Result<BoundedPlan> plan_m = GeneratePlan(*nq, *r);
+  ASSERT_TRUE(plan_m.ok()) << plan_m.status().ToString();
+  Result<Table> got = ExecutePlan(*plan_m, indices, nullptr);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  Result<Table> oracle = EvaluateBaseline(*nq, ds.db, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(Table::SameSet(*got, *oracle));
+}
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  for (const char* ds : {"airca", "tfacc", "mcbm"}) {
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+      cases.push_back(PropertyCase{ds, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+/// The engine must agree with the baseline on arbitrary generated queries —
+/// covered (bounded path, possibly after rewriting) or not (fallback path).
+class EngineAgreementTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EngineAgreementTest, ExecuteAgreesWithBaseline) {
+  const PropertyCase& param = GetParam();
+  Result<GeneratedDataset> ds_r = MakeDataset(param.dataset, 0.01, 99);
+  ASSERT_TRUE(ds_r.ok());
+  GeneratedDataset ds = std::move(*ds_r);
+  BoundedEngine engine(&ds.db, ds.schema);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  for (uint64_t s = 0; s < 6; ++s) {
+    QueryGenConfig cfg;
+    cfg.seed = param.seed * 1000 + s;
+    cfg.num_sel = 4;
+    cfg.num_join = static_cast<int>(s % 4);
+    cfg.num_unidiff = static_cast<int>(s % 3);
+    cfg.uncovered_bias = 0.4;
+    Result<RaExprPtr> q = GenerateQuery(ds, cfg);
+    ASSERT_TRUE(q.ok());
+    Result<ExecuteResult> via_engine = engine.Execute(*q);
+    ASSERT_TRUE(via_engine.ok()) << via_engine.status().ToString();
+    Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+    ASSERT_TRUE(nq.ok());
+    Result<Table> oracle = EvaluateBaseline(*nq, ds.db, nullptr);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(Table::SameSet(via_engine->table, *oracle))
+        << param.dataset << " seed " << cfg.seed
+        << (via_engine->used_bounded_plan ? " (bounded)" : " (fallback)");
+  }
+}
+
+std::vector<PropertyCase> EngineCases() {
+  std::vector<PropertyCase> cases;
+  for (const char* ds : {"airca", "tfacc", "mcbm"}) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      cases.push_back(PropertyCase{ds, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engine, EngineAgreementTest,
+                         ::testing::ValuesIn(EngineCases()), CaseName);
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "baseline/eval.h"
+#include "constraints/index.h"
+#include "core/cov.h"
+#include "core/plan_exec.h"
+#include "core/qplan.h"
+#include "ra/builder.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0Prime;
+using testutil::MakeQ1;
+using testutil::MakeQ3;
+
+class QPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = MakeGraphSearch();
+    Result<IndexSet> set = IndexSet::Build(fx_.db, fx_.schema);
+    ASSERT_TRUE(set.ok());
+    indices_ = std::move(*set);
+  }
+
+  BoundedPlan Plan(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    Result<CoverageReport> report = CheckCoverage(*nq, fx_.schema);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report->covered) << report->Explain();
+    Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? std::move(*plan) : BoundedPlan();
+  }
+
+  Table Run(const BoundedPlan& plan, ExecStats* stats = nullptr) {
+    Result<Table> t = ExecutePlan(plan, indices_, stats);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? std::move(*t) : Table();
+  }
+
+  Table Oracle(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok());
+    Result<Table> t = EvaluateBaseline(*nq, fx_.db, nullptr);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? std::move(*t) : Table();
+  }
+
+  testutil::GraphSearchFixture fx_;
+  IndexSet indices_;
+};
+
+// ------------------------------------------------------- Hypergraph build ---
+
+TEST_F(QPlanTest, HypergraphShapeForQ1) {
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx_.schema);
+  ASSERT_TRUE(report.ok());
+  const SpcCoverage& sc = report->spcs[0];
+  QaHypergraph hg = BuildQaHypergraph(sc, report->actualized);
+  // r + one node per class + one set node per non-trivial FD.
+  // Q1 classes: pid, fid(=dine.pid), cid(=cafe.cid), month, year, city = 6.
+  EXPECT_EQ(sc.uni.num_classes, 6);
+  // psi3's induced FD is trivial ({pid,cid} -> {pid,cid}); 3 set nodes.
+  EXPECT_EQ(hg.graph.num_nodes(), 1 + 6 + 3);
+  // Root edges: 4 constant classes (p0, may, 2015, nyc).
+  int root_edges = 0;
+  for (const Hyperedge& e : hg.graph.edges()) {
+    if (e.head.size() == 1 && e.head[0] == hg.root) ++root_edges;
+  }
+  EXPECT_EQ(root_edges, 4);
+  // Every class node reachable from r (the query is fetchable).
+  std::vector<bool> reach = hg.graph.Reachable({hg.root});
+  for (int c = 0; c < sc.uni.num_classes; ++c) {
+    EXPECT_TRUE(reach[static_cast<size_t>(hg.class_node[static_cast<size_t>(c)])])
+        << "class " << sc.uni.class_name[static_cast<size_t>(c)];
+  }
+}
+
+TEST_F(QPlanTest, HypergraphWeightsFollowConstraints) {
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx_.schema);
+  ASSERT_TRUE(report.ok());
+  QaHypergraph hg = BuildQaHypergraph(report->spcs[0], report->actualized);
+  // The psi1 FD edge (pid -> fid~) must carry weight 5000.
+  bool found5000 = false;
+  for (const Hyperedge& e : hg.graph.edges()) {
+    if (e.weight == 5000.0) found5000 = true;
+  }
+  EXPECT_TRUE(found5000);
+}
+
+// ------------------------------------------------------------- Plan shape ---
+
+TEST_F(QPlanTest, PlanForQ1HasFetchSteps) {
+  BoundedPlan plan = Plan(MakeQ1());
+  EXPECT_GT(plan.Length(), 5u);
+  int fetches = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kind == PlanStep::Kind::kFetch) ++fetches;
+  }
+  // Unit fetching via psi1, psi2, psi4 (+ indexing fetches, memoized).
+  EXPECT_GE(fetches, 3);
+  EXPECT_EQ(plan.output_names.size(), 1u);
+}
+
+TEST_F(QPlanTest, PlanLengthBounded) {
+  // Lemma 8: plan length O(|Q||A|).
+  BoundedPlan plan = Plan(MakeQ0Prime());
+  Result<NormalizedQuery> nq = Normalize(MakeQ0Prime(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  size_t q_size = nq->root()->TreeSize();
+  size_t a_len = fx_.schema.TotalLength();
+  EXPECT_LE(plan.Length(), 4 * q_size * a_len);
+}
+
+TEST_F(QPlanTest, RejectsUncoveredQuery) {
+  Result<NormalizedQuery> nq =
+      Normalize(testutil::MakeQ0(), fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx_.schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->covered);
+  EXPECT_EQ(GeneratePlan(*nq, *report).status().code(),
+            StatusCode::kNotCovered);
+}
+
+TEST_F(QPlanTest, StaticAccessBoundMatchesPaperArithmetic) {
+  // The paper: Q1's plan accesses at most 5000 + 5000*31*2 tuples. Our
+  // canonical plan's static bound is of the same order (psi-products).
+  BoundedPlan plan = Plan(MakeQ1());
+  double bound = plan.StaticAccessBound();
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, 5000.0 + 5000.0 * 31.0 * 4.0);
+}
+
+TEST_F(QPlanTest, ToStringShowsFetchSyntax) {
+  BoundedPlan plan = Plan(MakeQ1());
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("fetch(X in T"), std::string::npos);
+  EXPECT_NE(s.find("output: T"), std::string::npos);
+}
+
+// --------------------------------------------------------------- Execution --
+
+TEST_F(QPlanTest, Q1PlanMatchesOracle) {
+  BoundedPlan plan = Plan(MakeQ1());
+  Table got = Run(plan);
+  EXPECT_TRUE(Table::SameSet(got, Oracle(MakeQ1())))
+      << got.ToString() << "\nvs\n"
+      << Oracle(MakeQ1()).ToString();
+}
+
+TEST_F(QPlanTest, Q3PlanMatchesOracle) {
+  BoundedPlan plan = Plan(MakeQ3());
+  EXPECT_TRUE(Table::SameSet(Run(plan), Oracle(MakeQ3())));
+}
+
+TEST_F(QPlanTest, Q0PrimePlanMatchesOracleAndQ0) {
+  BoundedPlan plan = Plan(MakeQ0Prime());
+  Table got = Run(plan);
+  EXPECT_TRUE(Table::SameSet(got, Oracle(MakeQ0Prime())));
+  // And Q0' is A0-equivalent to Q0 (the fixture satisfies A0).
+  EXPECT_TRUE(Table::SameSet(got, Oracle(testutil::MakeQ0())));
+  // The expected answer from Example 1's story: c2 (friends dined there,
+  // p0 did not).
+  ASSERT_EQ(got.NumRows(), 1u);
+  EXPECT_EQ(got.rows()[0][0], Value::Str("c2"));
+}
+
+TEST_F(QPlanTest, ExecStatsCountFetches) {
+  BoundedPlan plan = Plan(MakeQ1());
+  ExecStats stats;
+  Run(plan, &stats);
+  EXPECT_GT(stats.tuples_fetched, 0u);
+  EXPECT_GT(stats.fetch_probes, 0u);
+  // On the tiny fixture the plan touches far less than the whole database
+  // would be at scale; sanity: bounded by the static bound.
+  EXPECT_LE(static_cast<double>(stats.tuples_fetched),
+            plan.StaticAccessBound());
+}
+
+TEST_F(QPlanTest, AccessIndependentOfIrrelevantData) {
+  // Add many tuples NOT reachable from p0's neighborhood: fetch count for
+  // the Q1 plan must not change (bounded evaluability in action).
+  BoundedPlan plan = Plan(MakeQ1());
+  ExecStats before;
+  Run(plan, &before);
+
+  for (int i = 0; i < 500; ++i) {
+    std::string pid = "other_" + std::to_string(i);
+    ASSERT_TRUE(
+        fx_.db.Insert("friend", {Value::Str(pid), Value::Str("fx")}).ok());
+    ASSERT_TRUE(fx_.db
+                    .Insert("dine", {Value::Str(pid), Value::Str("cx"),
+                                     Value::Int(5), Value::Int(2015)})
+                    .ok());
+  }
+  Result<IndexSet> set = IndexSet::Build(fx_.db, fx_.schema);
+  ASSERT_TRUE(set.ok());
+  indices_ = std::move(*set);
+
+  ExecStats after;
+  Run(plan, &after);
+  EXPECT_EQ(before.tuples_fetched, after.tuples_fetched);
+}
+
+TEST_F(QPlanTest, UnsatisfiableSubqueryYieldsEmptyPlan) {
+  RaExprPtr q = Project(
+      Select(Rel("cafe"), {EqC(A("cafe", "cid"), Value::Str("c1")),
+                           EqC(A("cafe", "cid"), Value::Str("c2"))}),
+      {A("cafe", "cid")});
+  BoundedPlan plan = Plan(q);
+  Table got = Run(plan);
+  EXPECT_EQ(got.NumRows(), 0u);
+}
+
+TEST_F(QPlanTest, UnionPlanMatchesOracle) {
+  RaExprPtr left = MakeQ1();
+  RaExprPtr right = Project(
+      Select(RelAs("cafe", "cafe5"),
+             {EqC(A("cafe5", "city"), Value::Str("sf"))}),
+      {A("cafe5", "cid")});
+  // cafe5 needs an indexing constraint with covered X: city is constant,
+  // but psi4's X = {cid} is not covered... add () -> cid style? Instead use
+  // cid from the finite domain via a join-free anchored query: skip; use a
+  // covered right side: cafes of dine2 with pid+cid bound.
+  AccessSchema bigger = fx_.schema;
+  ASSERT_TRUE(bigger.Add(*AccessConstraint::Parse("cafe(() -> (cid), 100)"),
+                         fx_.db.catalog())
+                  .ok());
+  RaExprPtr q = Union(left, right);
+  Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, bigger);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered) << report->Explain();
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<IndexSet> bigger_set = IndexSet::Build(fx_.db, bigger);
+  ASSERT_TRUE(bigger_set.ok());
+  Result<Table> got = ExecutePlan(*plan, *bigger_set, nullptr);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(Table::SameSet(*got, Oracle(q)));
+}
+
+TEST_F(QPlanTest, EmptyLhsFetchPlan) {
+  AccessSchema schema;
+  ASSERT_TRUE(schema.Add(*AccessConstraint::Parse("cafe(() -> (cid), 50)"),
+                         fx_.db.catalog())
+                  .ok());
+  ASSERT_TRUE(schema.Add(*AccessConstraint::Parse("cafe((cid) -> (city), 1)"),
+                         fx_.db.catalog())
+                  .ok());
+  RaExprPtr q = Project(Rel("cafe"), {A("cafe", "city")});
+  Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered);
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<IndexSet> set = IndexSet::Build(fx_.db, schema);
+  ASSERT_TRUE(set.ok());
+  Result<Table> got = ExecutePlan(*plan, *set, nullptr);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(Table::SameSet(*got, Oracle(q)));
+}
+
+TEST_F(QPlanTest, SharedClassAttributesHandled) {
+  // sigma_{pid = cid}: both attrs share one class; X input duplication.
+  AccessSchema schema;
+  ASSERT_TRUE(schema.Add(
+                  *AccessConstraint::Parse("dine((pid, cid) -> (pid, cid), 1)"),
+                  fx_.db.catalog())
+                  .ok());
+  RaExprPtr q = Project(
+      Select(Rel("dine"), {EqA(A("dine", "pid"), A("dine", "cid")),
+                           EqC(A("dine", "pid"), Value::Str("c1"))}),
+      {A("dine", "cid")});
+  Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered) << report->Explain();
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<IndexSet> set = IndexSet::Build(fx_.db, schema);
+  ASSERT_TRUE(set.ok());
+  Result<Table> got = ExecutePlan(*plan, *set, nullptr);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(Table::SameSet(*got, Oracle(q)));
+}
+
+}  // namespace
+}  // namespace bqe

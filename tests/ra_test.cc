@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "ra/builder.h"
+#include "ra/normalize.h"
+#include "ra/printer.h"
+#include "ra/spc.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ0Prime;
+using testutil::MakeQ1;
+using testutil::MakeQ2;
+
+// ------------------------------------------------------------------ Expr ---
+
+TEST(RaExprTest, BuildersSetFields) {
+  RaExprPtr r = RelAs("dine", "d");
+  EXPECT_EQ(r->op(), RaOp::kRel);
+  EXPECT_EQ(r->base(), "dine");
+  EXPECT_EQ(r->occurrence(), "d");
+  RaExprPtr plain = Rel("cafe");
+  EXPECT_EQ(plain->occurrence(), "cafe");
+}
+
+TEST(RaExprTest, PredicateToString) {
+  EXPECT_EQ(EqC(A("r", "a"), Value::Int(5)).ToString(), "r.a = 5");
+  EXPECT_EQ(EqA(A("r", "a"), A("s", "b")).ToString(), "r.a = s.b");
+  EXPECT_EQ(Predicate::CmpConst(CmpOp::kLt, A("r", "a"), Value::Int(3)).ToString(),
+            "r.a < 3");
+}
+
+TEST(RaExprTest, EvalCmpAllOps) {
+  Value a = Value::Int(1), b = Value::Int(2);
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, a, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, b, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, b, b));
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, a, b));
+}
+
+TEST(RaExprTest, TreeSizeCountsNodes) {
+  RaExprPtr q = MakeQ1();
+  EXPECT_GT(q->TreeSize(), 5u);
+}
+
+TEST(RaExprTest, JoinSugarDesugars) {
+  RaExprPtr j = Join(Rel("friend"), Rel("dine"),
+                     {{A("friend", "fid"), A("dine", "pid")}});
+  EXPECT_EQ(j->op(), RaOp::kSelect);
+  EXPECT_EQ(j->left()->op(), RaOp::kProduct);
+  ASSERT_EQ(j->preds().size(), 1u);
+  EXPECT_EQ(j->preds()[0].op, CmpOp::kEq);
+}
+
+TEST(RaExprTest, CloneWithSuffixRenamesEverything) {
+  RaExprPtr q = MakeQ1();
+  RaExprPtr c = CloneWithSuffix(q, "#x");
+  // Collect occurrence names from the clone.
+  ASSERT_EQ(c->op(), RaOp::kProject);
+  EXPECT_EQ(c->cols()[0].rel, "cafe#x");
+  const RaExpr* sel = c->left().get();
+  ASSERT_EQ(sel->op(), RaOp::kSelect);
+  for (const Predicate& p : sel->preds()) {
+    EXPECT_NE(p.lhs.rel.find("#x"), std::string::npos) << p.ToString();
+  }
+}
+
+// ------------------------------------------------------------- Normalize ---
+
+TEST(NormalizeTest, AcceptsWellFormedQuery) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  EXPECT_EQ(nq->occurrences().size(), 3u);
+  EXPECT_EQ(*nq->BaseOf("friend"), "friend");
+}
+
+TEST(NormalizeTest, OutputAttrsOfRoot) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  const std::vector<AttrRef>& out = nq->OutputOf(nq->root().get());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "cafe.cid");
+}
+
+TEST(NormalizeTest, RejectsUnknownRelation) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(Rel("nope"), fx.db.catalog());
+  EXPECT_EQ(nq.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NormalizeTest, RejectsDuplicateOccurrences) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Product(Rel("dine"), Rel("dine"));
+  Result<NormalizedQuery> nq = Normalize(q, fx.db.catalog());
+  EXPECT_EQ(nq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, AcceptsRenamedDuplicates) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Product(Rel("dine"), RelAs("dine", "dine2"));
+  EXPECT_TRUE(Normalize(q, fx.db.catalog()).ok());
+}
+
+TEST(NormalizeTest, RejectsOutOfScopePredicate) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Select(Rel("friend"), {EqC(A("cafe", "cid"), Value::Str("x"))});
+  EXPECT_EQ(Normalize(q, fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, RejectsTypeMismatchAttrConst) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Select(Rel("dine"), {EqC(A("dine", "month"), Value::Str("may"))});
+  EXPECT_EQ(Normalize(q, fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, RejectsTypeMismatchAttrAttr) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q =
+      Select(Rel("dine"), {EqA(A("dine", "pid"), A("dine", "month"))});
+  EXPECT_EQ(Normalize(q, fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, RejectsEmptyProjection) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Project(Rel("dine"), {});
+  EXPECT_EQ(Normalize(q, fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, RejectsArityMismatchInUnion) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr one = Project(Rel("dine"), {A("dine", "cid")});
+  RaExprPtr two = Project(RelAs("dine", "d2"),
+                          {A("d2", "cid"), A("d2", "pid")});
+  EXPECT_EQ(Normalize(Union(one, two), fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, RejectsTypeMismatchInDiff) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr strs = Project(Rel("dine"), {A("dine", "cid")});
+  RaExprPtr ints = Project(RelAs("dine", "d2"), {A("d2", "month")});
+  EXPECT_EQ(Normalize(Diff(strs, ints), fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizeTest, TypeOfResolvesThroughOccurrence) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr q = Project(RelAs("dine", "d"), {A("d", "month")});
+  Result<NormalizedQuery> nq = Normalize(q, fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  EXPECT_EQ(*nq->TypeOf(A("d", "month")), ValueType::kInt);
+  EXPECT_EQ(*nq->TypeOf(A("d", "pid")), ValueType::kString);
+  EXPECT_FALSE(nq->TypeOf(A("zzz", "pid")).ok());
+}
+
+TEST(NormalizeTest, NullQueryRejected) {
+  auto fx = MakeGraphSearch(false);
+  EXPECT_EQ(Normalize(nullptr, fx.db.catalog()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------- SPC ---
+
+TEST(SpcTest, WholeSpcQueryIsOneMaxSubquery) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ1(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(*nq);
+  ASSERT_EQ(spcs.size(), 1u);
+  EXPECT_EQ(spcs[0].relations.size(), 3u);
+  EXPECT_EQ(spcs[0].conjuncts.size(), 6u);
+  ASSERT_EQ(spcs[0].output.size(), 1u);
+}
+
+TEST(SpcTest, DiffSplitsIntoTwoMaxSubqueries) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ0(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(*nq);
+  ASSERT_EQ(spcs.size(), 2u);
+  EXPECT_EQ(spcs[0].relations.size(), 3u);  // Q1's three relations.
+  EXPECT_EQ(spcs[1].relations.size(), 1u);  // Q2's dine2.
+}
+
+TEST(SpcTest, XqIncludesConditionAndOutputAttrs) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ2(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(*nq);
+  ASSERT_EQ(spcs.size(), 1u);
+  // X_Q2 = {pid, cid} per Example 4.
+  EXPECT_EQ(spcs[0].xq.size(), 2u);
+}
+
+TEST(SpcTest, EveryRelationInExactlyOneMaxSubquery) {
+  auto fx = MakeGraphSearch(false);
+  Result<NormalizedQuery> nq = Normalize(MakeQ0Prime(), fx.db.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(*nq);
+  std::set<std::string> seen;
+  size_t total = 0;
+  for (const SpcQuery& s : spcs) {
+    for (const std::string& r : s.relations) {
+      EXPECT_TRUE(seen.insert(r).second) << r << " appears twice";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, nq->occurrences().size());
+}
+
+TEST(SpcTest, SelectAboveUnionIsNotSpc) {
+  auto fx = MakeGraphSearch(false);
+  RaExprPtr u = Union(Project(Rel("dine"), {A("dine", "cid")}),
+                      Project(RelAs("dine", "d2"), {A("d2", "cid")}));
+  RaExprPtr q = Select(u, {EqC(A("dine", "cid"), Value::Str("c1"))});
+  Result<NormalizedQuery> nq = Normalize(q, fx.db.catalog());
+  ASSERT_TRUE(nq.ok()) << nq.status().ToString();
+  std::vector<SpcQuery> spcs = FindMaxSpcSubqueries(*nq);
+  EXPECT_EQ(spcs.size(), 2u);  // The two union branches.
+  EXPECT_FALSE(IsSpcSubtree(q.get()));
+  EXPECT_TRUE(IsSpcNode(q.get()));  // Select alone is an SPC operator.
+}
+
+// --------------------------------------------------------------- Printer ---
+
+TEST(PrinterTest, AlgebraStringMentionsOperators) {
+  std::string s = ToAlgebraString(MakeQ1());
+  EXPECT_NE(s.find("pi["), std::string::npos);
+  EXPECT_NE(s.find("sigma["), std::string::npos);
+  EXPECT_NE(s.find(" x "), std::string::npos);
+}
+
+TEST(PrinterTest, SqlStringForSpcBlock) {
+  std::string s = ToSqlString(MakeQ1());
+  EXPECT_NE(s.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(s.find("FROM friend, dine, cafe"), std::string::npos);
+  EXPECT_NE(s.find("WHERE"), std::string::npos);
+}
+
+TEST(PrinterTest, SqlStringForDiff) {
+  std::string s = ToSqlString(MakeQ0());
+  EXPECT_NE(s.find("EXCEPT"), std::string::npos);
+}
+
+TEST(PrinterTest, AliasedRelationRendered) {
+  std::string s = ToSqlString(Project(RelAs("dine", "d"), {A("d", "cid")}));
+  EXPECT_NE(s.find("dine AS d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "baseline/eval.h"
+#include "core/cov.h"
+#include "core/rewrite.h"
+#include "ra/builder.h"
+#include "ra/printer.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+using testutil::MakeGraphSearch;
+using testutil::MakeQ0;
+using testutil::MakeQ1;
+using testutil::MakeQ2;
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  RewriteTest() : fx_(MakeGraphSearch()) {}
+
+  RewriteResult Rewrite(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    if (!nq.ok()) return RewriteResult{};
+    Result<RewriteResult> r = RewriteForCoverage(*nq, fx_.schema);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : RewriteResult{};
+  }
+
+  Table Eval(const RaExprPtr& q) {
+    Result<NormalizedQuery> nq = Normalize(q, fx_.db.catalog());
+    EXPECT_TRUE(nq.ok()) << nq.status().ToString();
+    Result<Table> t = EvaluateBaseline(*nq, fx_.db, nullptr);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? std::move(*t) : Table();
+  }
+
+  testutil::GraphSearchFixture fx_;
+};
+
+TEST_F(RewriteTest, CoveredQueryUnchanged) {
+  RewriteResult r = Rewrite(MakeQ1());
+  EXPECT_TRUE(r.covered);
+  EXPECT_FALSE(r.changed);
+  EXPECT_EQ(r.expr.get(), MakeQ1().get() == nullptr ? nullptr : r.expr.get());
+}
+
+TEST_F(RewriteTest, Q0BecomesCovered) {
+  // The paper's headline transformation: Q0 = Q1 - Q2 -> Q0' = Q1 - Q3.
+  RewriteResult r = Rewrite(MakeQ0());
+  EXPECT_TRUE(r.changed);
+  EXPECT_TRUE(r.covered) << ToAlgebraString(r.expr);
+  EXPECT_GE(r.applications, 1);
+}
+
+TEST_F(RewriteTest, Q0RewritePreservesSemantics) {
+  RewriteResult r = Rewrite(MakeQ0());
+  ASSERT_TRUE(r.covered);
+  Table original = Eval(MakeQ0());
+  Table rewritten = Eval(r.expr);
+  EXPECT_TRUE(Table::SameSet(original, rewritten))
+      << original.ToString() << "\nvs\n"
+      << rewritten.ToString();
+  // The known answer: {c2}.
+  ASSERT_EQ(rewritten.NumRows(), 1u);
+  EXPECT_EQ(rewritten.rows()[0][0], Value::Str("c2"));
+}
+
+TEST_F(RewriteTest, HopelessQueryStaysUncovered) {
+  // Q2 alone (no difference structure): nothing to rewrite.
+  RewriteResult r = Rewrite(MakeQ2());
+  EXPECT_FALSE(r.covered);
+  EXPECT_FALSE(r.changed);
+}
+
+TEST_F(RewriteTest, UncoveredLeftSideNotRepairable) {
+  // (Q2 - Q1): the uncovered side is on the left; the semijoin rule does
+  // not apply (it would not make Q2's cid reachable).
+  RaExprPtr q = Diff(MakeQ2("dineX"), MakeQ1());
+  RewriteResult r = Rewrite(q);
+  EXPECT_FALSE(r.covered);
+}
+
+TEST_F(RewriteTest, UnionOnRightDistributes) {
+  // L - (R1 U R2) with R2 uncovered -> (L - R1) - R2, then semijoin on R2.
+  RaExprPtr q = Diff(MakeQ1(), Union(testutil::MakeQ3(), MakeQ2("dineu")));
+  RewriteResult r = Rewrite(q);
+  EXPECT_TRUE(r.covered) << ToAlgebraString(r.expr);
+  EXPECT_TRUE(Table::SameSet(Eval(q), Eval(r.expr)));
+}
+
+TEST_F(RewriteTest, UnionOnLeftHandled) {
+  // (Q1 U Q1') - Q2: superset decomposition must distribute over the union.
+  RaExprPtr left = Union(MakeQ1(), CloneWithSuffix(MakeQ1(), "u2"));
+  RaExprPtr q = Diff(left, MakeQ2("dineL"));
+  RewriteResult r = Rewrite(q);
+  EXPECT_TRUE(r.covered) << ToAlgebraString(r.expr);
+  EXPECT_TRUE(Table::SameSet(Eval(q), Eval(r.expr)));
+}
+
+TEST_F(RewriteTest, NestedDiffOnLeftUsesPositivePart) {
+  // (Q1 - Q3) - Q2: L's superset is Q1; rewrite must still be correct.
+  RaExprPtr q = Diff(Diff(MakeQ1(), testutil::MakeQ3()), MakeQ2("dineZ"));
+  RewriteResult r = Rewrite(q);
+  EXPECT_TRUE(r.covered) << ToAlgebraString(r.expr);
+  EXPECT_TRUE(Table::SameSet(Eval(q), Eval(r.expr)));
+}
+
+TEST_F(RewriteTest, RewrittenQueryNormalizes) {
+  RewriteResult r = Rewrite(MakeQ0());
+  ASSERT_TRUE(r.covered);
+  EXPECT_TRUE(Normalize(r.expr, fx_.db.catalog()).ok());
+}
+
+TEST_F(RewriteTest, IdempotentOnRewrittenResult) {
+  RewriteResult first = Rewrite(MakeQ0());
+  ASSERT_TRUE(first.covered);
+  RewriteResult second = Rewrite(first.expr);
+  EXPECT_TRUE(second.covered);
+  EXPECT_FALSE(second.changed);
+}
+
+TEST_F(RewriteTest, SemanticsPreservedOnExtendedData) {
+  // Grow the dataset and re-check A-equivalence of the rewritten Q0.
+  for (int i = 0; i < 40; ++i) {
+    std::string f = "fextra_" + std::to_string(i);
+    ASSERT_TRUE(fx_.db.Insert("friend", {Value::Str("p0"), Value::Str(f)}).ok());
+    ASSERT_TRUE(fx_.db
+                    .Insert("dine", {Value::Str(f), Value::Str("c3"),
+                                     Value::Int(5), Value::Int(2015)})
+                    .ok());
+    ASSERT_TRUE(fx_.db
+                    .Insert("dine", {Value::Str(f), Value::Str("c4"),
+                                     Value::Int(5), Value::Int(2015)})
+                    .ok());
+  }
+  RewriteResult r = Rewrite(MakeQ0());
+  ASSERT_TRUE(r.covered);
+  EXPECT_TRUE(Table::SameSet(Eval(MakeQ0()), Eval(r.expr)));
+}
+
+}  // namespace
+}  // namespace bqe

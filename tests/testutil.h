@@ -1,0 +1,133 @@
+#ifndef BQE_TESTS_TESTUTIL_H_
+#define BQE_TESTS_TESTUTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/access_schema.h"
+#include "ra/builder.h"
+#include "storage/database.h"
+
+namespace bqe {
+namespace testutil {
+
+/// The paper's running example (Example 1): Graph Search on
+/// friend(pid, fid), dine(pid, cid, month, year), cafe(cid, city),
+/// with access schema A0:
+///   psi1: friend(pid -> fid, 5000)
+///   psi2: dine((pid, year, month) -> cid, 31)
+///   psi3: dine((pid, cid) -> (pid, cid), 1)
+///   psi4: cafe(cid -> city, 1)
+struct GraphSearchFixture {
+  Database db;
+  AccessSchema schema;
+
+  /// Constraint ids in A0, in the paper's psi order.
+  int psi1 = -1, psi2 = -1, psi3 = -1, psi4 = -1;
+};
+
+/// Builds the Example-1 schema and (optionally) a small instance:
+/// person "p0" with friends f1, f2; dinings in may/2015 and some other
+/// months; cafes in nyc and elsewhere.
+inline GraphSearchFixture MakeGraphSearch(bool with_data = true) {
+  GraphSearchFixture fx;
+  auto str = [](const char* s) { return Attribute{s, ValueType::kString}; };
+  auto intp = [](const char* s) { return Attribute{s, ValueType::kInt}; };
+
+  Status st = fx.db.CreateTable(
+      RelationSchema("friend", {str("pid"), str("fid")}));
+  st = fx.db.CreateTable(RelationSchema(
+      "dine", {str("pid"), str("cid"), intp("month"), intp("year")}));
+  st = fx.db.CreateTable(RelationSchema("cafe", {str("cid"), str("city")}));
+
+  auto add = [&](const char* text) {
+    AccessConstraint c = AccessConstraint::Parse(text).value();
+    Status s = fx.schema.Add(c, fx.db.catalog());
+    (void)s;
+    return static_cast<int>(fx.schema.size()) - 1;
+  };
+  fx.psi1 = add("friend((pid) -> (fid), 5000)");
+  fx.psi2 = add("dine((pid, year, month) -> (cid), 31)");
+  fx.psi3 = add("dine((pid, cid) -> (pid, cid), 1)");
+  fx.psi4 = add("cafe((cid) -> (city), 1)");
+
+  if (with_data) {
+    auto S = [](const char* s) { return Value::Str(s); };
+    auto I = [](int64_t i) { return Value::Int(i); };
+    // p0's friends.
+    st = fx.db.Insert("friend", {S("p0"), S("f1")});
+    st = fx.db.Insert("friend", {S("p0"), S("f2")});
+    st = fx.db.Insert("friend", {S("f1"), S("f2")});
+    // Dinings: f1 and f2 dined in may 2015 at c1 (nyc) and c2 (nyc);
+    // p0 has dined at c1 but never at c2; f2 also dined at c3 (sf).
+    st = fx.db.Insert("dine", {S("f1"), S("c1"), I(5), I(2015)});
+    st = fx.db.Insert("dine", {S("f1"), S("c2"), I(5), I(2015)});
+    st = fx.db.Insert("dine", {S("f2"), S("c2"), I(5), I(2015)});
+    st = fx.db.Insert("dine", {S("f2"), S("c3"), I(5), I(2015)});
+    st = fx.db.Insert("dine", {S("p0"), S("c1"), I(1), I(2014)});
+    st = fx.db.Insert("dine", {S("p0"), S("c4"), I(2), I(2015)});
+    // Cafes.
+    st = fx.db.Insert("cafe", {S("c1"), S("nyc")});
+    st = fx.db.Insert("cafe", {S("c2"), S("nyc")});
+    st = fx.db.Insert("cafe", {S("c3"), S("sf")});
+    st = fx.db.Insert("cafe", {S("c4"), S("nyc")});
+  }
+  return fx;
+}
+
+/// Q1 of Example 1: friends' may-2015 nyc restaurants.
+///   Q1(cid) = pi_cid(friend(p0, fid) |x| dine |x| cafe(city = nyc))
+inline RaExprPtr MakeQ1() {
+  return Project(
+      Select(Product(Product(Rel("friend"), Rel("dine")), Rel("cafe")),
+             {EqC(A("friend", "pid"), Value::Str("p0")),
+              EqA(A("friend", "fid"), A("dine", "pid")),
+              EqC(A("dine", "month"), Value::Int(5)),
+              EqC(A("dine", "year"), Value::Int(2015)),
+              EqA(A("dine", "cid"), A("cafe", "cid")),
+              EqC(A("cafe", "city"), Value::Str("nyc"))}),
+      {A("cafe", "cid")});
+}
+
+/// Q2 of Example 1: restaurants p0 has dined in (not bounded under A0).
+inline RaExprPtr MakeQ2(const std::string& occ = "dine") {
+  return Project(Select(RelAs("dine", occ),
+                        {EqC(A(occ, "pid"), Value::Str("p0"))}),
+                 {A(occ, "cid")});
+}
+
+/// Q0 = Q1 - Q2 (the paper's headline query; bounded but not covered).
+inline RaExprPtr MakeQ0() {
+  return Diff(MakeQ1(), MakeQ2("dine2"));
+}
+
+/// Q3 of Example 1: Q1 |x|_{cid = cid2} Q2, projected to Q2's cid — the
+/// covered replacement for Q2 (occurrences disjoint from Q1/Q2).
+inline RaExprPtr MakeQ3() {
+  RaExprPtr q1 = Project(
+      Select(Product(Product(RelAs("friend", "friend3"), RelAs("dine", "dine3")),
+                     RelAs("cafe", "cafe3")),
+             {EqC(A("friend3", "pid"), Value::Str("p0")),
+              EqA(A("friend3", "fid"), A("dine3", "pid")),
+              EqC(A("dine3", "month"), Value::Int(5)),
+              EqC(A("dine3", "year"), Value::Int(2015)),
+              EqA(A("dine3", "cid"), A("cafe3", "cid")),
+              EqC(A("cafe3", "city"), Value::Str("nyc"))}),
+      {A("cafe3", "cid")});
+  // Join with dine2 on cid, keeping dine2's cid.
+  return Project(
+      Select(Product(q1, RelAs("dine", "dine2")),
+             {EqA(A("cafe3", "cid"), A("dine2", "cid")),
+              EqC(A("dine2", "pid"), Value::Str("p0"))}),
+      {A("dine2", "cid")});
+}
+
+/// Q0' = Q1 - Q3: the covered A0-equivalent of Q0 (Example 1).
+inline RaExprPtr MakeQ0Prime() {
+  return Diff(MakeQ1(), MakeQ3());
+}
+
+}  // namespace testutil
+}  // namespace bqe
+
+#endif  // BQE_TESTS_TESTUTIL_H_

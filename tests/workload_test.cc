@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "constraints/validate.h"
+#include "core/cov.h"
+#include "ra/normalize.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace {
+
+// Shared tiny-scale datasets (built once; generation at scale 0.02 is fast).
+const GeneratedDataset& Airca() {
+  static const GeneratedDataset ds = [] {
+    Result<GeneratedDataset> r = MakeAirca(0.02, 42);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(*r);
+  }();
+  return ds;
+}
+
+const GeneratedDataset& Tfacc() {
+  static const GeneratedDataset ds = [] {
+    Result<GeneratedDataset> r = MakeTfacc(0.02, 42);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(*r);
+  }();
+  return ds;
+}
+
+const GeneratedDataset& Mcbm() {
+  static const GeneratedDataset ds = [] {
+    Result<GeneratedDataset> r = MakeMcbm(0.02, 42);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(*r);
+  }();
+  return ds;
+}
+
+// ---------------------------------------------------------------- Shapes ---
+
+TEST(DatasetTest, AircaHasSevenTables) {
+  EXPECT_EQ(Airca().db.catalog().size(), 7u);
+  EXPECT_GT(Airca().schema.size(), 15u);
+  EXPECT_GT(Airca().db.TotalTuples(), 1000u);
+}
+
+TEST(DatasetTest, TfaccHasNineteenTables) {
+  EXPECT_EQ(Tfacc().db.catalog().size(), 19u);
+  EXPECT_GT(Tfacc().schema.size(), 25u);
+}
+
+TEST(DatasetTest, McbmHasTwelveTables) {
+  EXPECT_EQ(Mcbm().db.catalog().size(), 12u);
+  EXPECT_GT(Mcbm().schema.size(), 20u);
+}
+
+TEST(DatasetTest, AllDatasetsSatisfyTheirSchemas) {
+  for (const GeneratedDataset* ds : {&Airca(), &Tfacc(), &Mcbm()}) {
+    Result<ValidationReport> report = Validate(ds->db, ds->schema);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->satisfied) << ds->name << "\n" << report->ToString();
+  }
+}
+
+TEST(DatasetTest, JoinEdgesReferenceRealAttributes) {
+  for (const GeneratedDataset* ds : {&Airca(), &Tfacc(), &Mcbm()}) {
+    for (const JoinEdge& e : ds->join_edges) {
+      const RelationSchema* a = ds->db.catalog().Get(e.rel_a);
+      const RelationSchema* b = ds->db.catalog().Get(e.rel_b);
+      ASSERT_NE(a, nullptr) << ds->name << ": " << e.rel_a;
+      ASSERT_NE(b, nullptr) << ds->name << ": " << e.rel_b;
+      EXPECT_TRUE(a->HasAttr(e.attr_a)) << e.rel_a << "." << e.attr_a;
+      EXPECT_TRUE(b->HasAttr(e.attr_b)) << e.rel_b << "." << e.attr_b;
+    }
+  }
+}
+
+TEST(DatasetTest, AnchorsReferenceRealAttributes) {
+  for (const GeneratedDataset* ds : {&Airca(), &Tfacc(), &Mcbm()}) {
+    for (const Anchor& a : ds->anchors) {
+      const RelationSchema* schema = ds->db.catalog().Get(a.rel);
+      ASSERT_NE(schema, nullptr) << ds->name << ": " << a.rel;
+      for (const std::string& attr : a.attrs) {
+        EXPECT_TRUE(schema->HasAttr(attr)) << a.rel << "." << attr;
+      }
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  Result<GeneratedDataset> a = MakeAirca(0.01, 7);
+  Result<GeneratedDataset> b = MakeAirca(0.01, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->db.TotalTuples(), b->db.TotalTuples());
+  const Table* ta = a->db.Get("ontime");
+  const Table* tb = b->db.Get("ontime");
+  ASSERT_EQ(ta->NumRows(), tb->NumRows());
+  for (size_t i = 0; i < std::min<size_t>(50, ta->NumRows()); ++i) {
+    EXPECT_EQ(CompareTuples(ta->rows()[i], tb->rows()[i]), 0);
+  }
+}
+
+TEST(DatasetTest, ScaleGrowsData) {
+  Result<GeneratedDataset> small = MakeAirca(0.01, 7);
+  Result<GeneratedDataset> large = MakeAirca(0.05, 7);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->db.TotalTuples(), small->db.TotalTuples());
+}
+
+TEST(DatasetTest, DispatchByName) {
+  EXPECT_TRUE(MakeDataset("airca", 0.01, 1).ok());
+  EXPECT_TRUE(MakeDataset("TFACC", 0.01, 1).ok());
+  EXPECT_FALSE(MakeDataset("unknown", 0.01, 1).ok());
+}
+
+TEST(DatasetTest, CalibrateBoundsNeverLowers) {
+  Result<GeneratedDataset> r = MakeAirca(0.01, 3);
+  ASSERT_TRUE(r.ok());
+  std::vector<int64_t> before;
+  for (const AccessConstraint& c : r->schema.constraints()) before.push_back(c.n);
+  ASSERT_TRUE(CalibrateBounds(r->db, &r->schema).ok());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_GE(r->schema.at(static_cast<int>(i)).n, 1);
+  }
+}
+
+TEST(DatasetTest, DiscoveryExtraAddsConstraints) {
+  Result<GeneratedDataset> plain = MakeAirca(0.005, 5);
+  DatasetOptions opts;
+  opts.discover_extra = true;
+  Result<GeneratedDataset> mined = MakeAirca(0.005, 5, opts);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  EXPECT_GT(mined->schema.size(), plain->schema.size());
+  Result<ValidationReport> report = Validate(mined->db, mined->schema);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->satisfied) << report->ToString();
+}
+
+// -------------------------------------------------------------- Querygen ---
+
+TEST(QueryGenTest, GeneratesNormalizableQueries) {
+  for (const GeneratedDataset* ds : {&Airca(), &Tfacc(), &Mcbm()}) {
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+      QueryGenConfig cfg;
+      cfg.seed = seed;
+      cfg.num_join = static_cast<int>(seed % 4);
+      cfg.num_unidiff = static_cast<int>(seed % 3);
+      Result<RaExprPtr> q = GenerateQuery(*ds, cfg);
+      ASSERT_TRUE(q.ok()) << ds->name << " seed " << seed << ": "
+                          << q.status().ToString();
+      EXPECT_TRUE(Normalize(*q, ds->db.catalog()).ok());
+    }
+  }
+}
+
+TEST(QueryGenTest, DeterministicPerSeed) {
+  QueryGenConfig cfg;
+  cfg.seed = 11;
+  Result<RaExprPtr> a = GenerateQuery(Airca(), cfg);
+  Result<RaExprPtr> b = GenerateQuery(Airca(), cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->TreeSize(), (*b)->TreeSize());
+}
+
+TEST(QueryGenTest, UnidiffAddsSetOperators) {
+  QueryGenConfig cfg;
+  cfg.seed = 3;
+  cfg.num_unidiff = 3;
+  Result<RaExprPtr> q = GenerateQuery(Airca(), cfg);
+  ASSERT_TRUE(q.ok());
+  // Root must be a set operator.
+  EXPECT_TRUE((*q)->op() == RaOp::kUnion || (*q)->op() == RaOp::kDiff);
+}
+
+TEST(QueryGenTest, CoveredGeneratorProducesCoveredQueries) {
+  for (const GeneratedDataset* ds : {&Airca(), &Tfacc(), &Mcbm()}) {
+    QueryGenConfig cfg;
+    cfg.num_sel = 4;
+    cfg.num_join = 2;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      cfg.seed = seed * 31;
+      Result<RaExprPtr> q = GenerateCoveredQuery(*ds, cfg);
+      ASSERT_TRUE(q.ok()) << ds->name << ": " << q.status().ToString();
+      Result<NormalizedQuery> nq = Normalize(*q, ds->db.catalog());
+      ASSERT_TRUE(nq.ok());
+      Result<CoverageReport> report = CheckCoverage(*nq, ds->schema);
+      ASSERT_TRUE(report.ok());
+      EXPECT_TRUE(report->covered);
+    }
+  }
+}
+
+TEST(QueryGenTest, AnchoredBiasAffectsCoverage) {
+  // With uncovered_bias = 1.0 nearly all queries should be uncovered;
+  // with 0.0 a solid fraction should be covered.
+  int covered_low = 0, covered_high = 0;
+  const int trials = 30;
+  for (uint64_t seed = 0; seed < trials; ++seed) {
+    for (double bias : {0.0, 1.0}) {
+      QueryGenConfig cfg;
+      cfg.seed = seed;
+      cfg.uncovered_bias = bias;
+      Result<RaExprPtr> q = GenerateQuery(Airca(), cfg);
+      ASSERT_TRUE(q.ok());
+      Result<NormalizedQuery> nq = Normalize(*q, Airca().db.catalog());
+      ASSERT_TRUE(nq.ok());
+      Result<CoverageReport> report = CheckCoverage(*nq, Airca().schema);
+      ASSERT_TRUE(report.ok());
+      if (report->covered) {
+        if (bias == 0.0) {
+          ++covered_high;
+        } else {
+          ++covered_low;
+        }
+      }
+    }
+  }
+  EXPECT_GT(covered_high, covered_low);
+  EXPECT_GT(covered_high, trials / 3);
+}
+
+}  // namespace
+}  // namespace bqe
