@@ -4,6 +4,10 @@
 // Paper shape: more joins -> slower plans and larger D_Q (each hop through
 // a constraint multiplies the candidate values); evalDBMS degrades sharply
 // with joins (it cannot finish with >= 2 joins within the paper's timeout).
+//
+// evalQP runs through the vectorized columnar executor (src/exec/); the
+// evalQP-row column is the legacy row-at-a-time Tuple interpreter on the
+// same plans, so the final column is the speedup of the columnar refactor.
 
 #include <cstdio>
 
@@ -14,9 +18,10 @@ using namespace bqe::bench;
 
 int main() {
   PrintHeader("Figure 5(c,g,k): varying #-join in [0..5]");
-  std::printf("%-7s %-6s | %11s %11s | %12s\n", "dataset", "#-join",
-              "evalDBMS", "evalQP", "P(DQ)");
+  std::printf("%-7s %-6s | %11s %11s %11s | %12s | %8s\n", "dataset", "#-join",
+              "evalDBMS", "evalQP", "evalQP-row", "P(DQ)", "vec-spdup");
 
+  double total_vec_ms = 0, total_row_ms = 0;
   for (const char* name : {"airca", "tfacc", "mcbm"}) {
     Result<GeneratedDataset> ds_r = MakeDataset(name, 0.25, 1234);
     if (!ds_r.ok()) return 1;
@@ -31,7 +36,7 @@ int main() {
       cfg.seed = static_cast<uint64_t>(njoin) * 13 + 3;
       std::vector<RaExprPtr> queries = CoveredQueries(ds, cfg, 12);
 
-      double dbms_ms = 0, qp_ms = 0;
+      double dbms_ms = 0, qp_ms = 0, row_ms = 0;
       uint64_t fetched = 0;
       int measured = 0;
       for (const RaExprPtr& q : queries) {
@@ -39,19 +44,28 @@ int main() {
         if (!nq.ok()) continue;
         BoundedRun run = RunBounded(*nq, ds.schema, *indices);
         if (!run.ok) continue;
+        BoundedRun row_run = RunBoundedLegacy(*nq, ds.schema, *indices);
         BaselineRun base = RunBaseline(*nq, ds.db);
         ++measured;
         qp_ms += run.ms;
+        row_ms += row_run.ms;
         dbms_ms += base.ms;
         fetched += run.fetched;
       }
       if (measured == 0) continue;
-      std::printf("%-7s %-6d | %9.2fms %9.3fms | %12.3e\n", name, njoin,
-                  dbms_ms / measured, qp_ms / measured,
+      total_vec_ms += qp_ms;
+      total_row_ms += row_ms;
+      std::printf("%-7s %-6d | %9.2fms %9.3fms %9.3fms | %12.3e | %7.2fx\n",
+                  name, njoin, dbms_ms / measured, qp_ms / measured,
+                  row_ms / measured,
                   static_cast<double>(fetched) /
-                      (static_cast<double>(ds.db.TotalTuples()) * measured));
+                      (static_cast<double>(ds.db.TotalTuples()) * measured),
+                  qp_ms > 0 ? row_ms / qp_ms : 0.0);
     }
   }
+  std::printf(
+      "\nOverall vectorized speedup over row-at-a-time: %.2fx\n",
+      total_vec_ms > 0 ? total_row_ms / total_vec_ms : 0.0);
   std::printf(
       "\nPaper shape: evalQP time and P(DQ) grow with #-join; evalDBMS is\n"
       "very sensitive to joins (with >= 2 joins it exceeded the paper's\n"

@@ -53,10 +53,13 @@ struct BoundedRun {
 };
 
 /// Plans (against `schema`, which may be a minimized subset) and executes a
-/// covered query through the given indices.
+/// covered query through the given indices — by default through the
+/// vectorized columnar executor; set `row_at_a_time` to measure the legacy
+/// Tuple interpreter instead.
 inline BoundedRun RunBounded(const NormalizedQuery& nq,
                              const AccessSchema& schema,
-                             const IndexSet& indices, int runs = 3) {
+                             const IndexSet& indices, int runs = 3,
+                             bool row_at_a_time = false) {
   BoundedRun out;
   Result<CoverageReport> report = CheckCoverage(nq, schema);
   if (!report.ok() || !report->covered) return out;
@@ -66,13 +69,23 @@ inline BoundedRun RunBounded(const NormalizedQuery& nq,
   out.ms = TimeMs(
       [&] {
         stats = ExecStats{};
-        Result<Table> t = ExecutePlan(*plan, indices, &stats);
+        Result<Table> t =
+            row_at_a_time ? ExecutePlanRowAtATime(*plan, indices, &stats)
+                          : ExecutePlan(*plan, indices, &stats);
         (void)t;
       },
       runs);
   out.fetched = stats.tuples_fetched;
   out.ok = true;
   return out;
+}
+
+/// The legacy row-at-a-time executor on the same plan (the pre-vectorization
+/// baseline benchmarks compare against).
+inline BoundedRun RunBoundedLegacy(const NormalizedQuery& nq,
+                                   const AccessSchema& schema,
+                                   const IndexSet& indices, int runs = 3) {
+  return RunBounded(nq, schema, indices, runs, /*row_at_a_time=*/true);
 }
 
 struct BaselineRun {

@@ -1,0 +1,66 @@
+// Per-operator profile of the vectorized executor vs the legacy
+// row-at-a-time interpreter on the join-heavy Fig. 5 workload. Uses the
+// ExecStats per-operator timing introduced with the columnar layer — run
+// this after touching src/exec/ to see where the time goes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bqe;
+using namespace bqe::bench;
+
+int main(int argc, char** argv) {
+  int reps = argc > 1 ? std::atoi(argv[1]) : 50;
+  if (reps < 1) reps = 1;  // atoi garbage / zero would NaN the averages.
+  PrintHeader("Vectorized executor per-op profile (join workload)");
+
+  for (const char* name : {"airca", "tfacc", "mcbm"}) {
+    Result<GeneratedDataset> ds_r = MakeDataset(name, 0.25, 1234);
+    if (!ds_r.ok()) return 1;
+    GeneratedDataset ds = std::move(*ds_r);
+    Result<IndexSet> indices = IndexSet::Build(ds.db, ds.schema);
+    if (!indices.ok()) return 1;
+
+    QueryGenConfig cfg;
+    cfg.num_sel = 5;
+    cfg.num_join = 4;
+    cfg.seed = 55;
+    std::vector<RaExprPtr> queries = CoveredQueries(ds, cfg, 12);
+
+    ExecStats vec_stats;
+    double vec_ms = 0, row_ms = 0;
+    int measured = 0;
+    for (const RaExprPtr& q : queries) {
+      Result<NormalizedQuery> nq = Normalize(q, ds.db.catalog());
+      if (!nq.ok()) continue;
+      Result<CoverageReport> report = CheckCoverage(*nq, ds.schema);
+      if (!report.ok() || !report->covered) continue;
+      Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+      if (!plan.ok()) continue;
+      ++measured;
+      ExecOptions opts;
+      opts.per_op_timing = true;
+      vec_ms += TimeMs(
+          [&] {
+            Result<Table> t = ExecutePlan(*plan, *indices, &vec_stats, opts);
+            (void)t;
+          },
+          reps);
+      row_ms += TimeMs(
+          [&] {
+            Result<Table> t = ExecutePlanRowAtATime(*plan, *indices, nullptr);
+            (void)t;
+          },
+          reps);
+    }
+    if (measured == 0) continue;
+    std::printf("%s: %d queries, vectorized %.3fms row-at-a-time %.3fms "
+                "(%.2fx)\n",
+                name, measured, vec_ms / measured, row_ms / measured,
+                vec_ms > 0 ? row_ms / vec_ms : 0.0);
+    std::printf("cumulative vectorized per-op stats (over all reps):\n%s\n",
+                vec_stats.ToString().c_str());
+  }
+  return 0;
+}

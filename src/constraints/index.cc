@@ -28,9 +28,18 @@ Result<AccessIndex> AccessIndex::Build(const Table& table,
     BQE_ASSIGN_OR_RETURN(int i, schema.RequireAttr(a));
     idx.y_idx_.push_back(i);
   }
+  for (int i : idx.x_idx_) {
+    idx.output_types_.push_back(schema.attrs()[static_cast<size_t>(i)].type);
+  }
+  for (int i : idx.y_idx_) {
+    idx.output_types_.push_back(schema.attrs()[static_cast<size_t>(i)].type);
+  }
   for (const Tuple& row : table.rows()) {
     BQE_RETURN_IF_ERROR(idx.ApplyInsert(row));
   }
+  // Freeze eagerly: index build is already O(|table|), and fetches hit the
+  // columnar mirror from the first query.
+  idx.BuildFrozen();
   return idx;
 }
 
@@ -45,6 +54,53 @@ std::vector<Tuple> AccessIndex::Fetch(const Tuple& xkey,
   return out;
 }
 
+size_t AccessIndex::FetchInto(const Tuple& xkey, ColumnBatch* out,
+                              uint64_t* accessed) const {
+  auto it = buckets_.find(xkey);
+  if (it == buckets_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [entry, refcount] : it->second) {
+    out->AppendTuple(entry);
+    ++n;
+  }
+  if (accessed != nullptr) *accessed += n;
+  return n;
+}
+
+void AccessIndex::BuildFrozen() const {
+  frozen_.keys = KeyTable(buckets_.size());
+  frozen_.start.clear();
+  frozen_.end.clear();
+  frozen_.entries = ColumnBatch(output_types_);
+  frozen_.entries.ReserveRows(num_entries_);
+  std::string key;
+  for (const auto& [xkey, bucket] : buckets_) {
+    key.clear();
+    AppendEncodedTuple(xkey, &key);
+    frozen_.keys.InsertOrFind(key, nullptr);
+    frozen_.start.push_back(static_cast<uint32_t>(frozen_.entries.num_rows()));
+    for (const auto& [entry, refcount] : bucket) {
+      frozen_.entries.AppendTuple(entry);
+    }
+    frozen_.end.push_back(static_cast<uint32_t>(frozen_.entries.num_rows()));
+  }
+  frozen_.valid = true;
+}
+
+const ColumnBatch& AccessIndex::FrozenEntries() const {
+  if (!frozen_.valid) BuildFrozen();
+  return frozen_.entries;
+}
+
+bool AccessIndex::FrozenLookup(std::string_view encoded_xkey, uint32_t* begin,
+                               uint32_t* end) const {
+  uint32_t g = frozen_.keys.Find(encoded_xkey);
+  if (g == KeyTable::kNoGroup) return false;
+  *begin = frozen_.start[g];
+  *end = frozen_.end[g];
+  return true;
+}
+
 int64_t AccessIndex::MaxGroupSize() const {
   size_t max_size = 0;
   for (const auto& [key, bucket] : buckets_) {
@@ -54,6 +110,7 @@ int64_t AccessIndex::MaxGroupSize() const {
 }
 
 Status AccessIndex::ApplyInsert(const Tuple& row) {
+  frozen_.valid = false;
   auto& bucket = buckets_[KeyOf(row)];
   auto [it, inserted] = bucket.emplace(EntryOf(row), 0);
   ++it->second;
@@ -67,6 +124,7 @@ Status AccessIndex::ApplyInsert(const Tuple& row) {
 }
 
 Status AccessIndex::ApplyDelete(const Tuple& row) {
+  frozen_.valid = false;
   Tuple key = KeyOf(row);
   auto bit = buckets_.find(key);
   if (bit == buckets_.end()) {

@@ -10,6 +10,8 @@
 #include "common/status.h"
 #include "constraints/access_constraint.h"
 #include "constraints/access_schema.h"
+#include "exec/column_batch.h"
+#include "exec/key_codec.h"
 #include "storage/database.h"
 
 namespace bqe {
@@ -32,6 +34,32 @@ class AccessIndex {
   /// are X columns followed by Y columns (constraint attribute order).
   /// `accessed` (optional) is incremented by the number of rows returned.
   std::vector<Tuple> Fetch(const Tuple& xkey, uint64_t* accessed = nullptr) const;
+
+  /// Batch-native fetch: appends the same rows directly into `out` (whose
+  /// columns must match output_types()), skipping the intermediate
+  /// std::vector<Tuple>. Returns the number of rows appended.
+  size_t FetchInto(const Tuple& xkey, ColumnBatch* out,
+                   uint64_t* accessed = nullptr) const;
+
+  /// The key-encoded columnar mirror of this index: every distinct XY-row in
+  /// one ColumnBatch, bucketed by a KeyTable over key_codec-encoded X-keys.
+  /// Built lazily on first use (O(entries)), invalidated by
+  /// ApplyInsert/ApplyDelete, and the surface the vectorized fetch operator
+  /// probes — no Tuple boxing, no TupleHash. Not thread-safe with concurrent
+  /// maintenance.
+  const ColumnBatch& FrozenEntries() const;
+
+  /// Looks up an encoded X-key (AppendEncodedTuple/AppendEncodedKey layout)
+  /// in the frozen mirror. On hit, [*begin, *end) is the row range in
+  /// FrozenEntries(). Callers must have called FrozenEntries() first (it
+  /// builds the mirror).
+  bool FrozenLookup(std::string_view encoded_xkey, uint32_t* begin,
+                    uint32_t* end) const;
+
+  /// Static column types of fetched rows: X attribute types then Y attribute
+  /// types, from the indexed relation's schema. The vectorized executor uses
+  /// this to type fetch-step batches without sniffing data.
+  const std::vector<ValueType>& output_types() const { return output_types_; }
 
   /// True if some X-value currently exceeds N distinct Y-values.
   bool HasViolation() const { return violating_keys_ > 0; }
@@ -58,13 +86,25 @@ class AccessIndex {
   Tuple KeyOf(const Tuple& row) const;
   Tuple EntryOf(const Tuple& row) const;
 
+  /// Columnar mirror for batch fetches; see FrozenEntries().
+  struct Frozen {
+    bool valid = false;
+    KeyTable keys;                      // Encoded X-key -> group id.
+    std::vector<uint32_t> start, end;   // Group id -> entry row range.
+    ColumnBatch entries;                // All distinct XY-rows, columnar.
+  };
+
+  void BuildFrozen() const;
+
   AccessConstraint constraint_;
   std::vector<int> x_idx_;   // Column indices of X in the base schema.
   std::vector<int> y_idx_;   // Column indices of Y.
+  std::vector<ValueType> output_types_;  // Types of X then Y columns.
   // X-value -> (XY-row -> refcount).
   std::unordered_map<Tuple, std::map<Tuple, int64_t, TupleLess>, TupleHash> buckets_;
   size_t num_entries_ = 0;
   size_t violating_keys_ = 0;
+  mutable Frozen frozen_;
 };
 
 /// All indices I_A for an access schema over a database.

@@ -1,17 +1,64 @@
 #include "core/plan_exec.h"
 
+#include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "exec/operators.h"
 
 namespace bqe {
 
 namespace {
 
-struct StepData {
-  std::vector<Tuple> rows;
-};
+const char* StepKindName(PlanStep::Kind k) {
+  switch (k) {
+    case PlanStep::Kind::kConst:
+      return "const";
+    case PlanStep::Kind::kEmpty:
+      return "empty";
+    case PlanStep::Kind::kFetch:
+      return "fetch";
+    case PlanStep::Kind::kProject:
+      return "project";
+    case PlanStep::Kind::kFilter:
+      return "filter";
+    case PlanStep::Kind::kProduct:
+      return "product";
+    case PlanStep::Kind::kJoin:
+      return "join";
+    case PlanStep::Kind::kUnion:
+      return "union";
+    case PlanStep::Kind::kDiff:
+      return "diff";
+  }
+  return "?";
+}
+
+/// Resolves a fetch step to the index of its (source) constraint.
+Result<const AccessIndex*> ResolveFetchIndex(const BoundedPlan& plan,
+                                             const PlanStep& s,
+                                             const IndexSet& indices) {
+  const AccessConstraint& c = plan.actualized.at(s.constraint_id);
+  int source = c.source_id >= 0 ? c.source_id : c.id;
+  const AccessIndex* idx = indices.Get(source);
+  if (idx == nullptr) {
+    return Status::Internal(StrCat("no index for constraint ", c.ToString(),
+                                   " (source id ", source, ")"));
+  }
+  return idx;
+}
+
+Result<int> CheckStepRef(int ref, size_t current) {
+  if (ref < 0 || static_cast<size_t>(ref) >= current) {
+    return Status::Internal(
+        StrCat("plan step references invalid step ", ref));
+  }
+  return ref;
+}
+
+// --------------------------------------------- legacy row-at-a-time path ---
 
 void Dedupe(std::vector<Tuple>* rows) {
   std::unordered_set<Tuple, TupleHash> seen;
@@ -33,11 +80,222 @@ bool EvalPlanPredicate(const Tuple& row, const PlanPredicate& p) {
 
 }  // namespace
 
+std::string ExecStats::ToString() const {
+  std::string out = StrCat("fetched=", tuples_fetched, " probes=", fetch_probes,
+                           " intermediate=", intermediate_rows,
+                           " output=", output_rows,
+                           " batches=", batches_produced, "\n");
+  for (size_t k = 0; k < kNumPlanStepKinds; ++k) {
+    if (op[k].calls == 0) continue;
+    out += StrCat("  ", StepKindName(static_cast<PlanStep::Kind>(k)),
+                  ": calls=", op[k].calls, " rows=", op[k].rows_out,
+                  " batches=", op[k].batches_out, " ms=", op[k].ms, "\n");
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
+    const BoundedPlan& plan, const IndexSet& indices) {
+  std::vector<std::vector<ValueType>> types(plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    std::vector<ValueType>& t = types[i];
+    switch (s.kind) {
+      case PlanStep::Kind::kConst:
+        t.reserve(s.row.size());
+        for (const Value& v : s.row) t.push_back(v.type());
+        break;
+      case PlanStep::Kind::kEmpty:
+        t.assign(s.col_names.size(), ValueType::kNull);
+        break;
+      case PlanStep::Kind::kFetch: {
+        BQE_ASSIGN_OR_RETURN(const AccessIndex* idx,
+                             ResolveFetchIndex(plan, s, indices));
+        t = idx->output_types();
+        break;
+      }
+      case PlanStep::Kind::kProject: {
+        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
+        const std::vector<ValueType>& src = types[static_cast<size_t>(in)];
+        t.reserve(s.cols.size());
+        for (int c : s.cols) {
+          t.push_back(c >= 0 && static_cast<size_t>(c) < src.size()
+                          ? src[static_cast<size_t>(c)]
+                          : ValueType::kNull);
+        }
+        break;
+      }
+      case PlanStep::Kind::kFilter: {
+        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
+        t = types[static_cast<size_t>(in)];
+        break;
+      }
+      case PlanStep::Kind::kProduct:
+      case PlanStep::Kind::kJoin: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        t = types[static_cast<size_t>(l)];
+        const std::vector<ValueType>& rt = types[static_cast<size_t>(r)];
+        t.insert(t.end(), rt.begin(), rt.end());
+        break;
+      }
+      case PlanStep::Kind::kUnion: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        const std::vector<ValueType>& lt = types[static_cast<size_t>(l)];
+        const std::vector<ValueType>& rt = types[static_cast<size_t>(r)];
+        t.assign(std::max(lt.size(), rt.size()), ValueType::kNull);
+        for (size_t c = 0; c < t.size(); ++c) {
+          ValueType a = c < lt.size() ? lt[c] : ValueType::kNull;
+          ValueType b = c < rt.size() ? rt[c] : ValueType::kNull;
+          // An empty branch (kEmpty) contributes kNull; take the typed side.
+          t[c] = a != ValueType::kNull ? a : b;
+        }
+        break;
+      }
+      case PlanStep::Kind::kDiff: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_RETURN_IF_ERROR(CheckStepRef(s.right, i).status());
+        t = types[static_cast<size_t>(l)];
+        break;
+      }
+    }
+  }
+  return types;
+}
+
+namespace {
+
+/// Output schema from plan metadata: names from the plan, types from the
+/// statically derived output-step types (empty results keep real types).
+RelationSchema OutputSchema(const BoundedPlan& plan,
+                            const std::vector<ValueType>& out_types) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(plan.output_names.size());
+  for (size_t c = 0; c < plan.output_names.size(); ++c) {
+    ValueType t = c < out_types.size() ? out_types[c] : ValueType::kNull;
+    attrs.push_back(Attribute{plan.output_names[c], t});
+  }
+  return RelationSchema("result", std::move(attrs));
+}
+
+}  // namespace
+
 Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
-                          ExecStats* stats) {
+                          ExecStats* stats, ExecOptions opts) {
+  using Clock = std::chrono::steady_clock;
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+  if (plan.output < 0 || plan.output >= static_cast<int>(plan.steps.size())) {
+    return Status::Internal("plan has no output step");
+  }
+  BQE_ASSIGN_OR_RETURN(std::vector<std::vector<ValueType>> types,
+                       DerivePlanStepTypes(plan, indices));
+
+  std::vector<BatchVec> results(plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    Clock::time_point t0;
+    if (opts.per_op_timing) t0 = Clock::now();
+    BatchVec out;
+    switch (s.kind) {
+      case PlanStep::Kind::kConst:
+        out = ConstOp(s.row, types[i]);
+        break;
+      case PlanStep::Kind::kEmpty:
+        break;
+      case PlanStep::Kind::kFetch: {
+        BQE_ASSIGN_OR_RETURN(const AccessIndex* idx,
+                             ResolveFetchIndex(plan, s, indices));
+        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
+        FetchCounters fc;
+        out = FetchOp(*idx, results[static_cast<size_t>(in)], opts.batch_size,
+                      &fc);
+        st->fetch_probes += fc.probes;
+        st->tuples_fetched += fc.tuples_fetched;
+        break;
+      }
+      case PlanStep::Kind::kProject: {
+        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
+        out = ProjectOp(results[static_cast<size_t>(in)], s.cols, s.dedupe,
+                        types[i], opts.batch_size);
+        break;
+      }
+      case PlanStep::Kind::kFilter: {
+        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
+        out = FilterOp(results[static_cast<size_t>(in)], s.preds,
+                       opts.batch_size);
+        break;
+      }
+      case PlanStep::Kind::kProduct: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        out = ProductOp(results[static_cast<size_t>(l)],
+                        results[static_cast<size_t>(r)], types[i],
+                        opts.batch_size);
+        break;
+      }
+      case PlanStep::Kind::kJoin: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        out = HashJoinOp(results[static_cast<size_t>(l)],
+                         results[static_cast<size_t>(r)], s.join_cols,
+                         types[i], opts.batch_size);
+        break;
+      }
+      case PlanStep::Kind::kUnion: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        out = UnionOp(results[static_cast<size_t>(l)],
+                      results[static_cast<size_t>(r)], types[i],
+                      opts.batch_size);
+        break;
+      }
+      case PlanStep::Kind::kDiff: {
+        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
+        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
+        out = DiffOp(results[static_cast<size_t>(l)],
+                     results[static_cast<size_t>(r)], types[i],
+                     opts.batch_size);
+        break;
+      }
+    }
+    size_t rows = TotalRows(out);
+    OpStats& os = st->ForKind(s.kind);
+    ++os.calls;
+    os.rows_out += rows;
+    os.batches_out += out.size();
+    if (opts.per_op_timing) {
+      os.ms +=
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    }
+    st->intermediate_rows += rows;
+    st->batches_produced += out.size();
+    results[i] = std::move(out);
+  }
+
+  const BatchVec& last = results[static_cast<size_t>(plan.output)];
+  Table out(OutputSchema(plan, types[static_cast<size_t>(plan.output)]));
+  for (const ColumnBatch& b : last) {
+    BQE_RETURN_IF_ERROR(out.AppendBatch(b));
+  }
+  st->output_rows = out.NumRows();
+  return out;
+}
+
+Result<Table> ExecutePlanRowAtATime(const BoundedPlan& plan,
+                                    const IndexSet& indices, ExecStats* stats) {
+  struct StepData {
+    std::vector<Tuple> rows;
+  };
   std::vector<StepData> results(plan.steps.size());
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
+  if (plan.output < 0 || plan.output >= static_cast<int>(plan.steps.size())) {
+    return Status::Internal("plan has no output step");
+  }
+  BQE_ASSIGN_OR_RETURN(std::vector<std::vector<ValueType>> types,
+                       DerivePlanStepTypes(plan, indices));
 
   for (size_t i = 0; i < plan.steps.size(); ++i) {
     const PlanStep& s = plan.steps[i];
@@ -49,14 +307,8 @@ Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
       case PlanStep::Kind::kEmpty:
         break;
       case PlanStep::Kind::kFetch: {
-        const AccessConstraint& c = plan.actualized.at(s.constraint_id);
-        int source = c.source_id >= 0 ? c.source_id : c.id;
-        const AccessIndex* idx = indices.Get(source);
-        if (idx == nullptr) {
-          return Status::Internal(
-              StrCat("no index for constraint ", c.ToString(), " (source id ",
-                     source, ")"));
-        }
+        BQE_ASSIGN_OR_RETURN(const AccessIndex* idx,
+                             ResolveFetchIndex(plan, s, indices));
         // Probe with the distinct keys of the input.
         std::vector<Tuple> keys = results[static_cast<size_t>(s.input)].rows;
         Dedupe(&keys);
@@ -94,7 +346,12 @@ Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
       case PlanStep::Kind::kProduct: {
         const StepData& l = results[static_cast<size_t>(s.left)];
         const StepData& r = results[static_cast<size_t>(s.right)];
-        out.rows.reserve(l.rows.size() * r.rows.size());
+        // Cap the reservation: l*r can overflow size_t or exhaust memory on
+        // large inputs; the vector grows on demand past the cap.
+        constexpr size_t kMaxReserve = 1u << 20;
+        size_t ln = l.rows.size(), rn = r.rows.size();
+        out.rows.reserve(rn != 0 && ln > kMaxReserve / rn ? kMaxReserve
+                                                          : ln * rn);
         for (const Tuple& a : l.rows) {
           for (const Tuple& b : r.rows) {
             Tuple t = a;
@@ -136,7 +393,8 @@ Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
       case PlanStep::Kind::kDiff: {
         const StepData& l = results[static_cast<size_t>(s.left)];
         const StepData& r = results[static_cast<size_t>(s.right)];
-        std::unordered_set<Tuple, TupleHash> right(r.rows.begin(), r.rows.end());
+        std::unordered_set<Tuple, TupleHash> right(r.rows.begin(),
+                                                   r.rows.end());
         for (const Tuple& row : l.rows) {
           if (right.count(row) == 0) out.rows.push_back(row);
         }
@@ -145,20 +403,13 @@ Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
       }
     }
     st->intermediate_rows += out.rows.size();
+    OpStats& os = st->ForKind(s.kind);
+    ++os.calls;
+    os.rows_out += out.rows.size();
   }
 
-  if (plan.output < 0 ||
-      plan.output >= static_cast<int>(plan.steps.size())) {
-    return Status::Internal("plan has no output step");
-  }
-  std::vector<Attribute> attrs;
   const StepData& last = results[static_cast<size_t>(plan.output)];
-  for (size_t c = 0; c < plan.output_names.size(); ++c) {
-    ValueType t = ValueType::kNull;
-    if (!last.rows.empty()) t = last.rows[0][c].type();
-    attrs.push_back(Attribute{plan.output_names[c], t});
-  }
-  Table out(RelationSchema("result", std::move(attrs)));
+  Table out(OutputSchema(plan, types[static_cast<size_t>(plan.output)]));
   for (const Tuple& row : last.rows) out.InsertUnchecked(row);
   st->output_rows = out.NumRows();
   return out;

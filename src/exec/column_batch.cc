@@ -1,0 +1,412 @@
+#include "exec/column_batch.h"
+
+namespace bqe {
+
+int32_t StringDict::Intern(std::string_view s) {
+  if ((spans_.size() + 1) * 2 > slots_.size()) Grow();
+  uint64_t h = HashBytes(s);
+  size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.id < 0) {
+      int32_t id = static_cast<int32_t>(spans_.size());
+      spans_.push_back(Span{static_cast<uint32_t>(arena_.size()),
+                            static_cast<uint32_t>(s.size())});
+      arena_.append(s);
+      slot.hash = h;
+      slot.id = id;
+      return id;
+    }
+    if (slot.hash == h && At(slot.id) == s) return slot.id;
+    i = (i + 1) & mask;
+  }
+}
+
+void StringDict::Grow() {
+  size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(cap, Slot{});
+  size_t mask = cap - 1;
+  for (size_t id = 0; id < spans_.size(); ++id) {
+    uint64_t h = HashBytes(At(static_cast<int32_t>(id)));
+    size_t i = h & mask;
+    while (slots_[i].id >= 0) i = (i + 1) & mask;
+    slots_[i] = Slot{h, static_cast<int32_t>(id)};
+  }
+}
+
+void Column::AppendWord(uint64_t word, bool valid, ValueType tag) {
+  size_t row = words_.size();
+  words_.push_back(word);
+  if ((row & 63) == 0) validity_.push_back(0);
+  if (valid) {
+    validity_[row >> 6] |= uint64_t{1} << (row & 63);
+  } else {
+    ++null_count_;
+  }
+  if (tags_on_) tags_.push_back(static_cast<uint8_t>(tag));
+}
+
+void Column::MaterializeTags() {
+  tags_on_ = true;
+  tags_.reserve(words_.size() + 1);
+  tags_.resize(words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    tags_[i] = static_cast<uint8_t>(IsValid(i) ? type_ : ValueType::kNull);
+  }
+}
+
+void Column::AppendCellGeneric(const Column& src, const StringDict& src_dict,
+                               StringDict* dst_dict, bool same_dict,
+                               size_t r) {
+  ValueType t = src.TagAt(r);
+  if (t == ValueType::kNull) {
+    AppendNull();
+    return;
+  }
+  if (type_ == ValueType::kNull) {
+    type_ = t;  // Adopt the first runtime type, like AppendValue.
+  } else if (t != type_ && !tags_on_) {
+    MaterializeTags();
+  }
+  switch (t) {
+    case ValueType::kInt:
+      AppendInt(src.IntAt(r));
+      break;
+    case ValueType::kDouble:
+      AppendDouble(src.DoubleAt(r));
+      break;
+    case ValueType::kString:
+      AppendStrId(same_dict ? src.StrIdAt(r)
+                            : dst_dict->Intern(src_dict.At(src.StrIdAt(r))));
+      break;
+    case ValueType::kNull:
+      break;  // Handled above.
+  }
+}
+
+size_t Column::GrowRows(size_t n) {
+  size_t base = words_.size();
+  words_.resize(base + n);
+  validity_.resize((base + n + 63) / 64, 0);
+  return base;
+}
+
+void Column::SetValidRange(size_t begin, size_t n) {
+  if (n == 0) return;
+  size_t end = begin + n;
+  size_t w0 = begin >> 6, w1 = (end - 1) >> 6;
+  uint64_t first = ~uint64_t{0} << (begin & 63);
+  uint64_t last = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (w0 == w1) {
+    validity_[w0] |= first & last;
+    return;
+  }
+  validity_[w0] |= first;
+  for (size_t w = w0 + 1; w < w1; ++w) validity_[w] = ~uint64_t{0};
+  validity_[w1] |= last;
+}
+
+void Column::AppendNull() { AppendWord(0, false, ValueType::kNull); }
+
+void Column::AppendInt(int64_t v) {
+  uint64_t w;
+  std::memcpy(&w, &v, 8);
+  AppendWord(w, true, ValueType::kInt);
+}
+
+void Column::AppendDouble(double v) {
+  uint64_t w;
+  std::memcpy(&w, &v, 8);
+  AppendWord(w, true, ValueType::kDouble);
+}
+
+void Column::AppendStrId(int32_t id) {
+  AppendWord(static_cast<uint64_t>(static_cast<uint32_t>(id)), true,
+             ValueType::kString);
+}
+
+void Column::AppendValue(const Value& v, StringDict* dict) {
+  ValueType t = v.type();
+  if (t == ValueType::kNull) {
+    AppendNull();
+    return;
+  }
+  if (type_ == ValueType::kNull) {
+    // Column had no declared type yet (e.g. all-null static derivation);
+    // adopt the first runtime type seen.
+    type_ = t;
+  } else if (t != type_ && !tags_on_) {
+    MaterializeTags();
+  }
+  switch (t) {
+    case ValueType::kInt:
+      AppendInt(v.AsInt());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      AppendStrId(dict->Intern(v.AsString()));
+      break;
+    case ValueType::kNull:
+      break;  // Handled above.
+  }
+}
+
+Value Column::GetValue(size_t row, const StringDict& dict) const {
+  switch (TagAt(row)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt:
+      return Value::Int(IntAt(row));
+    case ValueType::kDouble:
+      return Value::Double(DoubleAt(row));
+    case ValueType::kString:
+      return Value::Str(std::string(dict.At(StrIdAt(row))));
+  }
+  return Value::Null();
+}
+
+void Column::Reserve(size_t rows) {
+  words_.reserve(rows);
+  validity_.reserve((rows + 63) / 64);
+}
+
+ColumnBatch::ColumnBatch(const std::vector<ValueType>& types) {
+  cols_.reserve(types.size());
+  for (ValueType t : types) cols_.emplace_back(t);
+}
+
+std::vector<ValueType> ColumnBatch::ColumnTypes() const {
+  std::vector<ValueType> out;
+  out.reserve(cols_.size());
+  for (const Column& c : cols_) out.push_back(c.type());
+  return out;
+}
+
+void ColumnBatch::ReserveRows(size_t rows) {
+  for (Column& c : cols_) c.Reserve(rows);
+}
+
+void ColumnBatch::AppendTuple(const Tuple& row) {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    cols_[i].AppendValue(row[i], &dict_);
+  }
+  ++num_rows_;
+}
+
+Tuple ColumnBatch::RowToTuple(size_t row) const {
+  Tuple out;
+  RowToTupleInto(row, &out);
+  return out;
+}
+
+void ColumnBatch::RowToTupleInto(size_t row, Tuple* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  for (const Column& c : cols_) out->push_back(c.GetValue(row, dict_));
+}
+
+void ColumnBatch::CopyCell(const Column& src_col, const StringDict& src_dict,
+                           size_t src_row, size_t dst_col) {
+  Column& dst = cols_[dst_col];
+  switch (src_col.TagAt(src_row)) {
+    case ValueType::kNull:
+      dst.AppendNull();
+      break;
+    case ValueType::kString: {
+      // Ids are batch-local; re-intern unless copying within this batch.
+      if (&src_dict == &dict_) {
+        dst.AppendStrId(src_col.StrIdAt(src_row));
+      } else {
+        dst.AppendStrId(dict_.Intern(src_dict.At(src_col.StrIdAt(src_row))));
+      }
+      break;
+    }
+    case ValueType::kInt:
+      dst.AppendInt(src_col.IntAt(src_row));
+      break;
+    case ValueType::kDouble:
+      dst.AppendDouble(src_col.DoubleAt(src_row));
+      break;
+  }
+}
+
+void Column::Gather(const Column& src, const StringDict& src_dict,
+                    StringDict* dst_dict, bool same_dict, const uint32_t* rows,
+                    size_t n) {
+  if (type_ == ValueType::kNull && src.type_ != ValueType::kNull) {
+    // Adopt the source type the same way AppendValue would.
+    type_ = src.type_;
+  }
+  // Generic per-cell path: off-type cells present on either side, or a
+  // declared-type mismatch. Rare by construction. Mirrors AppendValue's
+  // contract: a cell whose runtime type differs from the declared type
+  // materializes the tag array so it never silently coerces.
+  if (src.tags_on_ || tags_on_ ||
+      (src.type_ != type_ && src.type_ != ValueType::kNull)) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = rows[i];
+      AppendCellGeneric(src, src_dict, dst_dict, same_dict, r);
+    }
+    return;
+  }
+  if (type_ == ValueType::kString && !same_dict) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = rows[i];
+      if (src.IsValid(r)) {
+        AppendStrId(dst_dict->Intern(src_dict.At(src.StrIdAt(r))));
+      } else {
+        AppendNull();
+      }
+    }
+    return;
+  }
+  // Raw word copy: ints, doubles, and same-dictionary string ids. Bulk
+  // resize + tight gather loop; validity is set as one bit-range blit when
+  // the source has no nulls (the common case).
+  size_t base = GrowRows(n);
+  uint64_t* dst = words_.data() + base;
+  const uint64_t* sw = src.words_.data();
+  for (size_t i = 0; i < n; ++i) dst[i] = sw[rows[i]];
+  if (src.NoNulls()) {
+    SetValidRange(base, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = base + i;
+      bool valid = src.IsValid(rows[i]);
+      validity_[r >> 6] |= uint64_t{valid} << (r & 63);
+      null_count_ += !valid;
+    }
+  }
+}
+
+void Column::GatherRange(const Column& src, const StringDict& src_dict,
+                         StringDict* dst_dict, bool same_dict, size_t begin,
+                         size_t n) {
+  if (type_ == ValueType::kNull && src.type_ != ValueType::kNull) {
+    type_ = src.type_;
+  }
+  if (src.tags_on_ || tags_on_ ||
+      (src.type_ != type_ && src.type_ != ValueType::kNull)) {
+    for (size_t i = 0; i < n; ++i) {
+      AppendCellGeneric(src, src_dict, dst_dict, same_dict, begin + i);
+    }
+    return;
+  }
+  if (type_ == ValueType::kString && !same_dict) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = begin + i;
+      if (src.IsValid(r)) {
+        AppendStrId(dst_dict->Intern(src_dict.At(src.StrIdAt(r))));
+      } else {
+        AppendNull();
+      }
+    }
+    return;
+  }
+  // Contiguous raw word copy: one memcpy plus a validity bit-range blit.
+  size_t base = GrowRows(n);
+  std::memcpy(words_.data() + base, src.words_.data() + begin, n * 8);
+  if (src.NoNulls()) {
+    SetValidRange(base, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      size_t r = base + i;
+      bool valid = src.IsValid(begin + i);
+      validity_[r >> 6] |= uint64_t{valid} << (r & 63);
+      null_count_ += !valid;
+    }
+  }
+}
+
+void ColumnBatch::AppendRowFrom(const ColumnBatch& src, size_t src_row,
+                                const std::vector<int>& cols) {
+  if (cols.empty()) {
+    for (size_t c = 0; c < src.num_cols(); ++c) {
+      CopyCell(src.col(c), src.dict(), src_row, c);
+    }
+  } else {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      CopyCell(src.col(static_cast<size_t>(cols[c])), src.dict(), src_row, c);
+    }
+  }
+  ++num_rows_;
+}
+
+void ColumnBatch::GatherRowsFrom(const ColumnBatch& src, const uint32_t* rows,
+                                 size_t n, const std::vector<int>& cols) {
+  bool same_dict = &src == this;
+  if (cols.empty()) {
+    for (size_t c = 0; c < src.num_cols(); ++c) {
+      cols_[c].Gather(src.col(c), src.dict(), &dict_, same_dict, rows, n);
+    }
+  } else {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      cols_[c].Gather(src.col(static_cast<size_t>(cols[c])), src.dict(),
+                      &dict_, same_dict, rows, n);
+    }
+  }
+  num_rows_ += n;
+}
+
+void ColumnBatch::GatherRowsInto(size_t dst_col_offset, const ColumnBatch& src,
+                                 const uint32_t* rows, size_t n) {
+  for (size_t c = 0; c < src.num_cols(); ++c) {
+    cols_[dst_col_offset + c].Gather(src.col(c), src.dict(), &dict_,
+                                     /*same_dict=*/false, rows, n);
+  }
+}
+
+void ColumnBatch::GatherRangeFrom(const ColumnBatch& src, size_t begin,
+                                  size_t n) {
+  bool same_dict = &src == this;
+  for (size_t c = 0; c < src.num_cols(); ++c) {
+    cols_[c].GatherRange(src.col(c), src.dict(), &dict_, same_dict, begin, n);
+  }
+  num_rows_ += n;
+}
+
+void ColumnBatch::AppendRowConcat(const ColumnBatch& l, size_t l_row,
+                                  const ColumnBatch& r, size_t r_row) {
+  for (size_t c = 0; c < l.num_cols(); ++c) {
+    CopyCell(l.col(c), l.dict(), l_row, c);
+  }
+  for (size_t c = 0; c < r.num_cols(); ++c) {
+    CopyCell(r.col(c), r.dict(), r_row, l.num_cols() + c);
+  }
+  ++num_rows_;
+}
+
+size_t TotalRows(const BatchVec& batches) {
+  size_t n = 0;
+  for (const ColumnBatch& b : batches) n += b.num_rows();
+  return n;
+}
+
+std::vector<Tuple> BatchesToTuples(const BatchVec& batches) {
+  std::vector<Tuple> out;
+  out.reserve(TotalRows(batches));
+  for (const ColumnBatch& b : batches) {
+    for (size_t i = 0; i < b.num_rows(); ++i) out.push_back(b.RowToTuple(i));
+  }
+  return out;
+}
+
+BatchVec TuplesToBatches(const std::vector<Tuple>& rows,
+                         const std::vector<ValueType>& types,
+                         size_t batch_size) {
+  BatchVec out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (out.empty() || out.back().num_rows() >= batch_size) {
+      out.emplace_back(types);
+      out.back().ReserveRows(batch_size < rows.size() - i ? batch_size
+                                                          : rows.size() - i);
+    }
+    out.back().AppendTuple(rows[i]);
+  }
+  return out;
+}
+
+}  // namespace bqe

@@ -1,0 +1,273 @@
+#ifndef BQE_EXEC_COLUMN_BATCH_H_
+#define BQE_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace bqe {
+
+/// Default number of rows per ColumnBatch throughout the vectorized
+/// executor.
+inline constexpr size_t kDefaultBatchSize = 1024;
+
+/// Word-at-a-time multiply-xor hash over raw bytes; the hash used by the
+/// string dictionary and every key-encoded hash table in the execution
+/// layer. Not seeded/cryptographic — in-process hash tables only.
+inline uint64_t HashBytes(std::string_view bytes) {
+  constexpr uint64_t kMul = 0x9e3779b97f4a7c15ULL;
+  uint64_t h = 0xcbf29ce484222325ULL ^ (bytes.size() * kMul);
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * kMul;
+    h ^= h >> 32;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t last = 0;
+  if (n > 0) {
+    std::memcpy(&last, p, n);
+    h = (h ^ last) * kMul;
+    h ^= h >> 32;
+  }
+  return h;
+}
+
+/// Per-batch string dictionary: interns each distinct string once and hands
+/// out dense int32 ids. String columns store ids; the dictionary owns the
+/// bytes (all strings back-to-back in one arena, located by an
+/// open-addressing hash table — interning never allocates per string and
+/// lookups never construct temporaries). Ids are only meaningful within the
+/// owning batch — copying a string cell across batches re-interns through
+/// the destination dictionary.
+class StringDict {
+ public:
+  /// Returns the id for `s`, interning it on first sight. O(1) expected,
+  /// allocation-free when the string is already present.
+  int32_t Intern(std::string_view s);
+
+  /// The bytes for an id handed out by Intern(). The view points into the
+  /// arena, which may reallocate — don't hold it across an Intern call on
+  /// this same dictionary.
+  std::string_view At(int32_t id) const {
+    const Span& sp = spans_[static_cast<size_t>(id)];
+    return std::string_view(arena_).substr(sp.off, sp.len);
+  }
+
+  size_t size() const { return spans_.size(); }
+
+ private:
+  struct Span {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+  struct Slot {
+    uint64_t hash = 0;
+    int32_t id = -1;  // -1 marks an empty slot.
+  };
+
+  void Grow();
+
+  std::string arena_;
+  std::vector<Span> spans_;  // id -> arena span.
+  std::vector<Slot> slots_;  // Power-of-two open addressing; lazily sized.
+};
+
+/// One typed column of a batch: a flat vector of 64-bit words (int64 bits,
+/// double bits, or string-dictionary id depending on the column type) plus a
+/// validity bitmap (bit set = non-null).
+///
+/// The declared type is static metadata derived from the plan/schema. The
+/// engine's Value model is dynamically typed, so a column *can* receive a
+/// value whose runtime type differs from the declared one (e.g. a query
+/// constant); that rare case materializes a lazy per-row tag array so that
+/// equality, ordering, and key encoding stay exactly Value-compatible. On
+/// the hot path the tag array stays empty and every valid row has the
+/// declared type.
+class Column {
+ public:
+  explicit Column(ValueType type = ValueType::kNull) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  size_t size() const { return words_.size(); }
+
+  bool IsValid(size_t row) const {
+    return (validity_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  /// True when the lazy tag array has been materialized because some cell's
+  /// runtime type differed from the declared type. A separate flag, not
+  /// tags_.empty(): materializing an *empty* column must still stick so the
+  /// first appended off-type cell keeps its tag.
+  bool has_off_type() const { return tags_on_; }
+
+  /// True when every row is valid (no nulls). O(1); used to pick
+  /// branch-free bulk paths in gathers and key encoding.
+  bool NoNulls() const { return null_count_ == 0; }
+
+  /// Runtime type of one cell (kNull for null cells).
+  ValueType TagAt(size_t row) const {
+    if (tags_on_) return static_cast<ValueType>(tags_[row]);
+    return IsValid(row) ? type_ : ValueType::kNull;
+  }
+
+  int64_t IntAt(size_t row) const {
+    int64_t v;
+    std::memcpy(&v, &words_[row], 8);
+    return v;
+  }
+  double DoubleAt(size_t row) const {
+    double v;
+    std::memcpy(&v, &words_[row], 8);
+    return v;
+  }
+  int32_t StrIdAt(size_t row) const {
+    return static_cast<int32_t>(words_[row]);
+  }
+  uint64_t WordAt(size_t row) const { return words_[row]; }
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendStrId(int32_t id);
+
+  /// Column-wise gather: appends src[rows[0..n)] to this column. The type
+  /// switch happens once per call, not once per cell; word columns copy raw
+  /// 64-bit payloads, string columns re-intern through `dst_dict` (pass
+  /// `same_dict` when src and dst share a dictionary to copy ids directly).
+  void Gather(const Column& src, const StringDict& src_dict,
+              StringDict* dst_dict, bool same_dict, const uint32_t* rows,
+              size_t n);
+
+  /// Gather of the contiguous source range [begin, begin + n).
+  void GatherRange(const Column& src, const StringDict& src_dict,
+                   StringDict* dst_dict, bool same_dict, size_t begin,
+                   size_t n);
+
+  /// Appends any Value, interning strings through `dict` and falling back to
+  /// the tag array when the runtime type differs from the declared type.
+  void AppendValue(const Value& v, StringDict* dict);
+
+  /// Boxes one cell back into a Value (Tuple shim).
+  Value GetValue(size_t row, const StringDict& dict) const;
+
+  void Reserve(size_t rows);
+
+ private:
+  void AppendWord(uint64_t word, bool valid, ValueType tag);
+  void MaterializeTags();
+  /// One cell of the generic gather path: adopts/materializes types exactly
+  /// like AppendValue so off-type cells are never silently coerced.
+  void AppendCellGeneric(const Column& src, const StringDict& src_dict,
+                         StringDict* dst_dict, bool same_dict, size_t r);
+  /// Grows words_/validity_ by n rows (validity all-clear) and returns the
+  /// index of the first new row. Bulk-path counterpart of AppendWord.
+  size_t GrowRows(size_t n);
+  void SetValidRange(size_t begin, size_t n);
+
+  ValueType type_;
+  bool tags_on_ = false;  // True once MaterializeTags has run.
+  size_t null_count_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> validity_;  // Bitmap, 64 rows per word.
+  std::vector<uint8_t> tags_;       // Per-row runtime tags; used iff tags_on_.
+};
+
+/// A batch of up to ~kDefaultBatchSize rows in columnar layout: one Column
+/// per output attribute plus one shared StringDict. Batches are the unit of
+/// work between vectorized operators; a step's full result is a
+/// std::vector<ColumnBatch>.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(const std::vector<ValueType>& types);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return cols_.size(); }
+
+  const Column& col(size_t i) const { return cols_[i]; }
+  Column& col(size_t i) { return cols_[i]; }
+
+  const StringDict& dict() const { return dict_; }
+  StringDict& dict() { return dict_; }
+
+  std::vector<ValueType> ColumnTypes() const;
+
+  void ReserveRows(size_t rows);
+
+  /// Appends one boxed row (Tuple shim in). The tuple arity must match
+  /// num_cols().
+  void AppendTuple(const Tuple& row);
+
+  /// Boxes one row (Tuple shim out).
+  Tuple RowToTuple(size_t row) const;
+
+  /// Boxes one row into a caller-reused Tuple (avoids an allocation per row
+  /// on probe-heavy paths like fetch).
+  void RowToTupleInto(size_t row, Tuple* out) const;
+
+  /// Appends src[src_row] projected onto `cols` (empty `cols` = all columns
+  /// in order). Strings re-intern through this batch's dictionary.
+  void AppendRowFrom(const ColumnBatch& src, size_t src_row,
+                     const std::vector<int>& cols);
+
+  /// Column-wise gather of `n` source rows (positions rows[0..n)) projected
+  /// onto `cols` (empty = all). The vectorized bulk-copy path behind filter,
+  /// project, dedupe and the join/product output assembly.
+  void GatherRowsFrom(const ColumnBatch& src, const uint32_t* rows, size_t n,
+                      const std::vector<int>& cols);
+
+  /// Like GatherRowsFrom over all columns of `src`, but writes into this
+  /// batch's columns starting at `dst_col_offset` (for concatenated
+  /// join/product outputs). Callers must gather every column and then call
+  /// FinishRows(n).
+  void GatherRowsInto(size_t dst_col_offset, const ColumnBatch& src,
+                      const uint32_t* rows, size_t n);
+
+  /// Column-wise gather of the contiguous source row range [begin,
+  /// begin + n) over all columns (index-fetch result assembly).
+  void GatherRangeFrom(const ColumnBatch& src, size_t begin, size_t n);
+
+  /// Bumps the row count by `n` after direct column writes.
+  void FinishRows(size_t n) { num_rows_ += n; }
+
+  /// Appends the concatenation of l[l_row] and r[r_row] (join/product shape).
+  void AppendRowConcat(const ColumnBatch& l, size_t l_row, const ColumnBatch& r,
+                       size_t r_row);
+
+  /// Bumps the row count after appending to every column directly.
+  void FinishRow() { ++num_rows_; }
+
+ private:
+  void CopyCell(const Column& src_col, const StringDict& src_dict,
+                size_t src_row, size_t dst_col);
+
+  size_t num_rows_ = 0;
+  std::vector<Column> cols_;
+  StringDict dict_;
+};
+
+/// A fully materialized operator result: an ordered list of batches.
+using BatchVec = std::vector<ColumnBatch>;
+
+/// Total rows across all batches.
+size_t TotalRows(const BatchVec& batches);
+
+/// Tuple shims over whole results (tests, output table construction).
+std::vector<Tuple> BatchesToTuples(const BatchVec& batches);
+BatchVec TuplesToBatches(const std::vector<Tuple>& rows,
+                         const std::vector<ValueType>& types,
+                         size_t batch_size = kDefaultBatchSize);
+
+}  // namespace bqe
+
+#endif  // BQE_EXEC_COLUMN_BATCH_H_

@@ -1,0 +1,451 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace bqe {
+
+namespace {
+
+/// Accumulates output rows and flushes full batches into a BatchVec.
+class BatchWriter {
+ public:
+  BatchWriter(std::vector<ValueType> types, size_t batch_size, BatchVec* out)
+      : types_(std::move(types)), batch_size_(batch_size), out_(out) {
+    cur_ = ColumnBatch(types_);
+  }
+
+  ColumnBatch& cur() { return cur_; }
+
+  /// Call after appending one or more rows; flushes at the batch boundary.
+  void MaybeFlush() {
+    if (cur_.num_rows() >= batch_size_) {
+      out_->push_back(std::move(cur_));
+      cur_ = ColumnBatch(types_);
+    }
+  }
+
+  /// Column-wise gather of `n` selected src rows, split on batch boundaries.
+  void WriteGather(const ColumnBatch& src, const uint32_t* rows, size_t n,
+                   const std::vector<int>& cols) {
+    size_t off = 0;
+    while (off < n) {
+      size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
+      cur_.GatherRowsFrom(src, rows + off, k, cols);
+      off += k;
+      MaybeFlush();
+    }
+  }
+
+  /// Column-wise gather of the contiguous src range [begin, begin + n).
+  void WriteGatherRange(const ColumnBatch& src, size_t begin, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+      size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
+      cur_.GatherRangeFrom(src, begin + off, k);
+      off += k;
+      MaybeFlush();
+    }
+  }
+
+  void Finish() {
+    if (cur_.num_rows() > 0) out_->push_back(std::move(cur_));
+  }
+
+ private:
+  std::vector<ValueType> types_;
+  size_t batch_size_;
+  BatchVec* out_;
+  ColumnBatch cur_;
+};
+
+/// Returns `input` as one contiguous batch: the batch itself for
+/// single-batch inputs, otherwise a merged copy in `*scratch`. Join-style
+/// operators merge their build side once so per-output-row indirection
+/// through (batch, row) pairs disappears.
+const ColumnBatch* SingleChunk(const BatchVec& input,
+                               const std::vector<ValueType>& types,
+                               ColumnBatch* scratch) {
+  if (input.size() == 1) return &input.front();
+  *scratch = ColumnBatch(types);
+  if (input.empty()) return scratch;
+  scratch->ReserveRows(TotalRows(input));
+  std::vector<uint32_t> iota;
+  for (const ColumnBatch& b : input) {
+    if (b.num_rows() > iota.size()) {
+      size_t old = iota.size();
+      iota.resize(b.num_rows());
+      for (size_t i = old; i < iota.size(); ++i) {
+        iota[i] = static_cast<uint32_t>(i);
+      }
+    }
+    scratch->GatherRowsFrom(b, iota.data(), b.num_rows(), {});
+  }
+  return scratch;
+}
+
+/// Mirrors Value::Compare over two batch cells: type tag first (the
+/// ValueType enum order matches the variant index order), then payload.
+int CompareCells(const Column& a, const StringDict& da, size_t ra,
+                 const Column& b, const StringDict& db, size_t rb) {
+  ValueType ta = a.TagAt(ra), tb = b.TagAt(rb);
+  if (ta != tb) return ta < tb ? -1 : 1;
+  switch (ta) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt: {
+      int64_t x = a.IntAt(ra), y = b.IntAt(rb);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double x = a.DoubleAt(ra), y = b.DoubleAt(rb);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString:
+      return da.At(a.StrIdAt(ra)).compare(db.At(b.StrIdAt(rb)));
+  }
+  return 0;
+}
+
+int CompareCellToValue(const Column& col, const StringDict& dict, size_t row,
+                       const Value& v) {
+  ValueType t = col.TagAt(row), tv = v.type();
+  if (t != tv) return t < tv ? -1 : 1;
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt: {
+      int64_t x = col.IntAt(row), y = v.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double x = col.DoubleAt(row), y = v.AsDouble();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString:
+      return dict.At(col.StrIdAt(row)).compare(v.AsString());
+  }
+  return 0;
+}
+
+bool ApplyCmp(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+bool RowPasses(const ColumnBatch& b, size_t row,
+               const std::vector<PlanPredicate>& preds) {
+  for (const PlanPredicate& p : preds) {
+    const Column& lhs = b.col(static_cast<size_t>(p.lhs));
+    int c;
+    if (p.kind == PlanPredicate::Kind::kColConst) {
+      c = CompareCellToValue(lhs, b.dict(), row, p.constant);
+    } else {
+      c = CompareCells(lhs, b.dict(), row, b.col(static_cast<size_t>(p.rhs)),
+                       b.dict(), row);
+    }
+    if (!ApplyCmp(p.op, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BatchVec ConstOp(const Tuple& row, const std::vector<ValueType>& types) {
+  BatchVec out;
+  ColumnBatch b(types);
+  b.AppendTuple(row);
+  out.push_back(std::move(b));
+  return out;
+}
+
+BatchVec FetchOp(const AccessIndex& idx, const BatchVec& input,
+                 size_t batch_size, FetchCounters* counters) {
+  BatchVec out;
+  BatchWriter w(idx.output_types(), batch_size, &out);
+  // The encoded input row *is* the encoded X-key, so the dedupe key doubles
+  // as the probe into the index's key-encoded columnar mirror.
+  const ColumnBatch& store = idx.FrozenEntries();
+  KeyTable seen(TotalRows(input));
+  KeyEncoder enc;
+  for (const ColumnBatch& b : input) {
+    enc.Encode(b, {});
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      std::string_view key = enc.Key(i);
+      bool inserted = false;
+      seen.InsertOrFind(key, &inserted);
+      if (!inserted) continue;  // Probe each distinct key once.
+      if (counters != nullptr) ++counters->probes;
+      uint32_t begin = 0, end = 0;
+      if (!idx.FrozenLookup(key, &begin, &end)) continue;
+      if (counters != nullptr) counters->tuples_fetched += end - begin;
+      w.WriteGatherRange(store, begin, end - begin);
+    }
+  }
+  w.Finish();
+  return out;
+}
+
+BatchVec FilterOp(const BatchVec& input, const std::vector<PlanPredicate>& preds,
+                  size_t batch_size) {
+  BatchVec out;
+  if (input.empty()) return out;
+  BatchWriter w(input.front().ColumnTypes(), batch_size, &out);
+  std::vector<uint32_t> sel;
+  for (const ColumnBatch& b : input) {
+    sel.clear();
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      if (RowPasses(b, i, preds)) sel.push_back(static_cast<uint32_t>(i));
+    }
+    w.WriteGather(b, sel.data(), sel.size(), {});
+  }
+  w.Finish();
+  return out;
+}
+
+BatchVec ProjectOp(const BatchVec& input, const std::vector<int>& cols,
+                   bool dedupe, const std::vector<ValueType>& out_types,
+                   size_t batch_size) {
+  BatchVec out;
+  // Zero-column projection: one empty row per input row (deduped to at most
+  // one). Must not reach the gather path, where empty `cols` means "all".
+  if (cols.empty()) {
+    size_t n = TotalRows(input);
+    if (dedupe && n > 1) n = 1;
+    while (n > 0) {
+      size_t k = std::min(batch_size, n);
+      ColumnBatch b((std::vector<ValueType>()));
+      b.FinishRows(k);
+      out.push_back(std::move(b));
+      n -= k;
+    }
+    return out;
+  }
+  BatchWriter w(out_types, batch_size, &out);
+  KeyTable seen(dedupe ? TotalRows(input) : 0);
+  KeyEncoder enc;
+  std::vector<uint32_t> sel;
+  for (const ColumnBatch& b : input) {
+    sel.clear();
+    if (dedupe) enc.Encode(b, cols);
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      if (dedupe) {
+        bool inserted = false;
+        seen.InsertOrFind(enc.Key(i), &inserted);
+        if (!inserted) continue;
+      }
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+    w.WriteGather(b, sel.data(), sel.size(), cols);
+  }
+  w.Finish();
+  return out;
+}
+
+namespace {
+
+/// Shared output assembly for product and hash join: flushes accumulated
+/// (left row, right row) match pairs as one column-wise gathered batch.
+class PairWriter {
+ public:
+  PairWriter(const std::vector<ValueType>& types, size_t batch_size,
+             BatchVec* out)
+      : types_(types), batch_size_(batch_size), out_(out) {
+    l_rows_.reserve(batch_size);
+    r_rows_.reserve(batch_size);
+  }
+
+  void Add(const ColumnBatch& l, uint32_t l_row, const ColumnBatch& r,
+           uint32_t r_row) {
+    l_rows_.push_back(l_row);
+    r_rows_.push_back(r_row);
+    if (l_rows_.size() >= batch_size_) Flush(l, r);
+  }
+
+  /// Must be called before the left batch changes and at the end.
+  void Flush(const ColumnBatch& l, const ColumnBatch& r) {
+    if (l_rows_.empty()) return;
+    ColumnBatch b(types_);
+    b.ReserveRows(l_rows_.size());
+    b.GatherRowsInto(0, l, l_rows_.data(), l_rows_.size());
+    b.GatherRowsInto(l.num_cols(), r, r_rows_.data(), r_rows_.size());
+    b.FinishRows(l_rows_.size());
+    out_->push_back(std::move(b));
+    l_rows_.clear();
+    r_rows_.clear();
+  }
+
+ private:
+  const std::vector<ValueType>& types_;
+  size_t batch_size_;
+  BatchVec* out_;
+  std::vector<uint32_t> l_rows_, r_rows_;
+};
+
+}  // namespace
+
+BatchVec ProductOp(const BatchVec& left, const BatchVec& right,
+                   const std::vector<ValueType>& out_types, size_t batch_size) {
+  BatchVec out;
+  if (left.empty() || right.empty() || TotalRows(right) == 0) return out;
+  std::vector<ValueType> r_types = right.front().ColumnTypes();
+  ColumnBatch scratch;
+  const ColumnBatch& r = *SingleChunk(right, r_types, &scratch);
+  size_t rn = r.num_rows();
+  // The pair stream is fully known up front — (i, 0..rn) per left row — so
+  // the index arrays are bulk-filled (constant fill + iota slices) instead
+  // of pushed pair-at-a-time.
+  std::vector<uint32_t> iota(rn);
+  for (size_t j = 0; j < rn; ++j) iota[j] = static_cast<uint32_t>(j);
+  std::vector<uint32_t> l_idx, r_idx;
+  l_idx.reserve(batch_size);
+  r_idx.reserve(batch_size);
+  auto flush = [&](const ColumnBatch& lb) {
+    if (l_idx.empty()) return;
+    ColumnBatch b(out_types);
+    b.ReserveRows(l_idx.size());
+    b.GatherRowsInto(0, lb, l_idx.data(), l_idx.size());
+    b.GatherRowsInto(lb.num_cols(), r, r_idx.data(), r_idx.size());
+    b.FinishRows(l_idx.size());
+    out.push_back(std::move(b));
+    l_idx.clear();
+    r_idx.clear();
+  };
+  for (const ColumnBatch& lb : left) {
+    for (size_t i = 0; i < lb.num_rows(); ++i) {
+      size_t off = 0;
+      while (off < rn) {
+        size_t k = std::min(batch_size - l_idx.size(), rn - off);
+        l_idx.insert(l_idx.end(), k, static_cast<uint32_t>(i));
+        r_idx.insert(r_idx.end(), iota.begin() + static_cast<ptrdiff_t>(off),
+                     iota.begin() + static_cast<ptrdiff_t>(off + k));
+        off += k;
+        if (l_idx.size() >= batch_size) flush(lb);
+      }
+    }
+    flush(lb);  // Before lb changes: pending pairs reference its rows.
+  }
+  return out;
+}
+
+BatchVec HashJoinOp(const BatchVec& left, const BatchVec& right,
+                    const std::vector<std::pair<int, int>>& on,
+                    const std::vector<ValueType>& out_types, size_t batch_size) {
+  // An empty key list means "no equality constraint" — a cross join. It must
+  // NOT fall through to the encoder, whose empty-cols convention is "all
+  // columns" (that would join on full-row equality).
+  if (on.empty()) return ProductOp(left, right, out_types, batch_size);
+  BatchVec out;
+  if (left.empty() || right.empty() || TotalRows(right) == 0) return out;
+  std::vector<int> lk, rk;
+  for (auto [a, b] : on) {
+    lk.push_back(a);
+    rk.push_back(b);
+  }
+
+  // Build side: merge right into one chunk, then group rows by encoded key;
+  // chains keep insertion order.
+  std::vector<ValueType> r_types = right.front().ColumnTypes();
+  ColumnBatch scratch;
+  const ColumnBatch& r = *SingleChunk(right, r_types, &scratch);
+  constexpr uint32_t kNone = 0xffffffffu;
+  KeyTable groups(r.num_rows());
+  std::vector<uint32_t> heads, tails;
+  std::vector<uint32_t> next(r.num_rows(), kNone);
+  KeyEncoder enc;
+  enc.Encode(r, rk);
+  for (size_t j = 0; j < r.num_rows(); ++j) {
+    bool inserted = false;
+    uint32_t g = groups.InsertOrFind(enc.Key(j), &inserted);
+    if (inserted) {
+      heads.push_back(static_cast<uint32_t>(j));
+      tails.push_back(static_cast<uint32_t>(j));
+    } else {
+      next[tails[g]] = static_cast<uint32_t>(j);
+      tails[g] = static_cast<uint32_t>(j);
+    }
+  }
+
+  // Probe side.
+  PairWriter w(out_types, batch_size, &out);
+  for (const ColumnBatch& lb : left) {
+    enc.Encode(lb, lk);
+    for (size_t i = 0; i < lb.num_rows(); ++i) {
+      uint32_t g = groups.Find(enc.Key(i));
+      if (g == KeyTable::kNoGroup) continue;
+      for (uint32_t j = heads[g]; j != kNone; j = next[j]) {
+        w.Add(lb, static_cast<uint32_t>(i), r, j);
+      }
+    }
+    w.Flush(lb, r);
+  }
+  return out;
+}
+
+BatchVec UnionOp(const BatchVec& left, const BatchVec& right,
+                 const std::vector<ValueType>& out_types, size_t batch_size) {
+  BatchVec out;
+  BatchWriter w(out_types, batch_size, &out);
+  KeyTable seen(TotalRows(left) + TotalRows(right));
+  KeyEncoder enc;
+  std::vector<uint32_t> sel;
+  for (const BatchVec* side : {&left, &right}) {
+    for (const ColumnBatch& b : *side) {
+      sel.clear();
+      enc.Encode(b, {});
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        bool inserted = false;
+        seen.InsertOrFind(enc.Key(i), &inserted);
+        if (inserted) sel.push_back(static_cast<uint32_t>(i));
+      }
+      w.WriteGather(b, sel.data(), sel.size(), {});
+    }
+  }
+  w.Finish();
+  return out;
+}
+
+BatchVec DiffOp(const BatchVec& left, const BatchVec& right,
+                const std::vector<ValueType>& out_types, size_t batch_size) {
+  KeyTable right_set(TotalRows(right));
+  KeyEncoder enc;
+  for (const ColumnBatch& b : right) {
+    enc.Encode(b, {});
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      right_set.InsertOrFind(enc.Key(i), nullptr);
+    }
+  }
+
+  BatchVec out;
+  BatchWriter w(out_types, batch_size, &out);
+  KeyTable seen(TotalRows(left));
+  std::vector<uint32_t> sel;
+  for (const ColumnBatch& b : left) {
+    sel.clear();
+    enc.Encode(b, {});
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      std::string_view key = enc.Key(i);
+      if (right_set.Find(key) != KeyTable::kNoGroup) continue;
+      bool inserted = false;
+      seen.InsertOrFind(key, &inserted);
+      if (inserted) sel.push_back(static_cast<uint32_t>(i));
+    }
+    w.WriteGather(b, sel.data(), sel.size(), {});
+  }
+  w.Finish();
+  return out;
+}
+
+}  // namespace bqe

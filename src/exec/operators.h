@@ -1,0 +1,68 @@
+#ifndef BQE_EXEC_OPERATORS_H_
+#define BQE_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "constraints/index.h"
+#include "core/plan.h"
+#include "exec/column_batch.h"
+#include "exec/key_codec.h"
+
+namespace bqe {
+
+/// Vectorized relational operators over ColumnBatch streams. Every operator
+/// fully materializes its result as a BatchVec whose batches hold at most
+/// `batch_size` rows; an index bucket larger than the remaining batch
+/// capacity is split across consecutive batches (the concatenated row
+/// stream is what is specified, not batch boundaries).
+///
+/// Contracts (matching the row-at-a-time executor exactly):
+///   - FetchOp probes with the *distinct* input rows, in first-occurrence
+///     order; output is the concatenation of index bucket contents (bag).
+///   - FilterOp keeps rows satisfying every predicate (bag).
+///   - ProjectOp projects; when `dedupe`, keeps the first occurrence of each
+///     distinct projected row (set).
+///   - ProductOp / HashJoinOp emit left-outer-loop order concatenated rows
+///     (bag); the join is an equi-join on `on` (left col, right col) pairs.
+///   - UnionOp emits distinct rows of left-then-right (set).
+///   - DiffOp emits distinct left rows absent from the right (set).
+///
+/// Dedupe/join keys are byte-encoded (key_codec.h) — no Value boxing and no
+/// TupleHash on the hot path.
+
+/// Single-row batch holding a kConst step's row (types from plan metadata).
+BatchVec ConstOp(const Tuple& row, const std::vector<ValueType>& types);
+
+struct FetchCounters {
+  uint64_t probes = 0;
+  uint64_t tuples_fetched = 0;
+};
+
+BatchVec FetchOp(const AccessIndex& idx, const BatchVec& input,
+                 size_t batch_size, FetchCounters* counters);
+
+BatchVec FilterOp(const BatchVec& input, const std::vector<PlanPredicate>& preds,
+                  size_t batch_size);
+
+BatchVec ProjectOp(const BatchVec& input, const std::vector<int>& cols,
+                   bool dedupe, const std::vector<ValueType>& out_types,
+                   size_t batch_size);
+
+BatchVec ProductOp(const BatchVec& left, const BatchVec& right,
+                   const std::vector<ValueType>& out_types, size_t batch_size);
+
+BatchVec HashJoinOp(const BatchVec& left, const BatchVec& right,
+                    const std::vector<std::pair<int, int>>& on,
+                    const std::vector<ValueType>& out_types, size_t batch_size);
+
+BatchVec UnionOp(const BatchVec& left, const BatchVec& right,
+                 const std::vector<ValueType>& out_types, size_t batch_size);
+
+BatchVec DiffOp(const BatchVec& left, const BatchVec& right,
+                const std::vector<ValueType>& out_types, size_t batch_size);
+
+}  // namespace bqe
+
+#endif  // BQE_EXEC_OPERATORS_H_

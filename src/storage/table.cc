@@ -25,6 +25,30 @@ Status Table::Insert(Tuple row) {
   return Status::Ok();
 }
 
+std::vector<ValueType> Table::ColumnTypes() const {
+  std::vector<ValueType> out;
+  out.reserve(schema_.arity());
+  for (const Attribute& a : schema_.attrs()) out.push_back(a.type);
+  return out;
+}
+
+BatchVec Table::ScanBatches(size_t batch_size) const {
+  return TuplesToBatches(rows_, ColumnTypes(), batch_size);
+}
+
+Status Table::AppendBatch(const ColumnBatch& batch) {
+  if (batch.num_cols() != schema_.arity()) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch appending batch to ", schema_.name(), ": got ",
+               batch.num_cols(), ", want ", schema_.arity()));
+  }
+  rows_.reserve(rows_.size() + batch.num_rows());
+  for (size_t i = 0; i < batch.num_rows(); ++i) {
+    rows_.push_back(batch.RowToTuple(i));
+  }
+  return Status::Ok();
+}
+
 Status Table::Erase(const Tuple& row) {
   for (auto it = rows_.begin(); it != rows_.end(); ++it) {
     if (CompareTuples(*it, row) == 0) {

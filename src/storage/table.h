@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/column_batch.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 
@@ -26,6 +27,17 @@ class Table {
 
   /// Appends without validation; used by generators on hot paths.
   void InsertUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  /// Declared column types, in attribute order.
+  std::vector<ValueType> ColumnTypes() const;
+
+  /// Emits the table contents as columnar batches of at most `batch_size`
+  /// rows, typed by the schema. The vectorized executor's scan surface.
+  BatchVec ScanBatches(size_t batch_size = kDefaultBatchSize) const;
+
+  /// Appends every row of `batch` after checking arity against the schema
+  /// (per-value types are not re-checked; batches carry their own types).
+  Status AppendBatch(const ColumnBatch& batch);
 
   /// Removes one occurrence of `row`; NotFound when absent.
   Status Erase(const Tuple& row);
