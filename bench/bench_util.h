@@ -2,9 +2,13 @@
 #define BQE_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/eval.h"
@@ -13,11 +17,125 @@
 #include "core/minimize.h"
 #include "core/plan_exec.h"
 #include "core/qplan.h"
+#include "exec/physical_plan.h"
 #include "workload/datasets.h"
 #include "workload/querygen.h"
 
 namespace bqe {
 namespace bench {
+
+/// Common benchmark command line: `--reps N` overrides the measurement
+/// repetition count, `--json PATH` additionally writes machine-readable
+/// per-cell results (BenchReport) for trajectory tracking.
+struct BenchOptions {
+  int reps = 3;
+  std::string json_path;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) != 0) return "";
+      if (arg.size() > n && arg[n] == '=') return arg.substr(n + 1);
+      if (arg.size() == n && i + 1 < argc) return argv[++i];
+      return "";
+    };
+    std::string v;
+    if (!(v = value("--reps")).empty()) {
+      opts.reps = std::max(1, std::atoi(v.c_str()));
+    } else if (!(v = value("--json")).empty()) {
+      opts.json_path = v;
+    }
+  }
+  return opts;
+}
+
+/// Machine-readable benchmark results: one cell per measurement point
+/// (dataset x parameter combination), each holding string labels and double
+/// metrics, serialized as JSON for BENCH_*.json trajectory tracking.
+class BenchReport {
+ public:
+  struct Cell {
+    std::string dataset;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::vector<std::pair<std::string, double>> metrics;
+
+    Cell& Label(const std::string& k, const std::string& v) {
+      labels.emplace_back(k, v);
+      return *this;
+    }
+    Cell& Label(const std::string& k, int64_t v) {
+      return Label(k, std::to_string(v));
+    }
+    Cell& Metric(const std::string& k, double v) {
+      metrics.emplace_back(k, std::isfinite(v) ? v : 0.0);
+      return *this;
+    }
+  };
+
+  explicit BenchReport(std::string name, int reps)
+      : name_(std::move(name)), reps_(reps) {}
+
+  Cell& AddCell(const std::string& dataset) {
+    cells_.emplace_back();
+    cells_.back().dataset = dataset;
+    return cells_.back();
+  }
+
+  /// Writes the report as JSON; no-op (returning true) when `path` empty.
+  bool WriteJson(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"reps\":%d,\"cells\":[",
+                 Escaped(name_).c_str(), reps_);
+    for (size_t c = 0; c < cells_.size(); ++c) {
+      const Cell& cell = cells_[c];
+      std::fprintf(f, "%s{\"dataset\":\"%s\",\"labels\":{",
+                   c == 0 ? "" : ",", Escaped(cell.dataset).c_str());
+      for (size_t i = 0; i < cell.labels.size(); ++i) {
+        std::fprintf(f, "%s\"%s\":\"%s\"", i == 0 ? "" : ",",
+                     Escaped(cell.labels[i].first).c_str(),
+                     Escaped(cell.labels[i].second).c_str());
+      }
+      std::fprintf(f, "},\"metrics\":{");
+      for (size_t i = 0; i < cell.metrics.size(); ++i) {
+        std::fprintf(f, "%s\"%s\":%.6g", i == 0 ? "" : ",",
+                     Escaped(cell.metrics[i].first).c_str(),
+                     cell.metrics[i].second);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out.push_back('\\');
+        out.push_back(ch);
+      } else if (static_cast<unsigned char>(ch) >= 0x20) {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  int reps_;
+  std::vector<Cell> cells_;
+};
 
 /// Milliseconds spent in `fn`, averaged over `runs` runs (the paper averages
 /// over 3 runs).
@@ -86,6 +204,38 @@ inline BoundedRun RunBoundedLegacy(const NormalizedQuery& nq,
                                    const AccessSchema& schema,
                                    const IndexSet& indices, int runs = 3) {
   return RunBounded(nq, schema, indices, runs, /*row_at_a_time=*/true);
+}
+
+/// The compile-once path: plans and compiles outside the timing loop, then
+/// measures ExecutePhysicalPlan alone — what a plan-cache hit costs per
+/// execution. `threads` > 1 measures the morsel-driven parallel executor;
+/// `row_path_threshold` > 0 enables the adaptive micro-plan fallback.
+inline BoundedRun RunCompiled(const NormalizedQuery& nq,
+                              const AccessSchema& schema,
+                              const IndexSet& indices, int runs = 3,
+                              size_t threads = 1,
+                              size_t row_path_threshold = 0) {
+  BoundedRun out;
+  Result<CoverageReport> report = CheckCoverage(nq, schema);
+  if (!report.ok() || !report->covered) return out;
+  Result<BoundedPlan> plan = GeneratePlan(nq, *report);
+  if (!plan.ok()) return out;
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(*plan, indices);
+  if (!pp.ok()) return out;
+  ExecOptions opts;
+  opts.num_threads = threads;
+  opts.row_path_threshold = row_path_threshold;
+  ExecStats stats;
+  out.ms = TimeMs(
+      [&] {
+        stats = ExecStats{};
+        Result<Table> t = ExecutePhysicalPlan(*pp, &stats, opts);
+        (void)t;
+      },
+      runs);
+  out.fetched = stats.tuples_fetched;
+  out.ok = true;
+  return out;
 }
 
 struct BaselineRun {

@@ -1,5 +1,7 @@
 #include "constraints/index.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace bqe {
@@ -73,6 +75,9 @@ void AccessIndex::BuildFrozen() const {
   frozen_.end.clear();
   frozen_.entries = ColumnBatch(output_types_);
   frozen_.entries.ReserveRows(num_entries_);
+  frozen_.extra = ColumnBatch(output_types_);
+  frozen_.patched.clear();
+  frozen_.patch_ops = 0;
   std::string key;
   for (const auto& [xkey, bucket] : buckets_) {
     key.clear();
@@ -87,18 +92,121 @@ void AccessIndex::BuildFrozen() const {
   frozen_.valid = true;
 }
 
-const ColumnBatch& AccessIndex::FrozenEntries() const {
+void AccessIndex::EnsureFrozen() const {
+  // Concurrent readers may race to the lazy rebuild after a patch-budget
+  // invalidation; the lock makes exactly one build and publishes it to the
+  // others. Taken once per fetch step per execution — uncontended cost is
+  // noise. Maintenance does not take it: writers must be externally
+  // serialized with readers anyway.
+  std::lock_guard<std::mutex> lk(*freeze_mu_);
   if (!frozen_.valid) BuildFrozen();
+}
+
+const ColumnBatch& AccessIndex::FrozenEntries() const {
+  EnsureFrozen();
   return frozen_.entries;
 }
 
-bool AccessIndex::FrozenLookup(std::string_view encoded_xkey, uint32_t* begin,
-                               uint32_t* end) const {
+size_t AccessIndex::FrozenProbe(std::string_view encoded_xkey,
+                                FrozenSegment out[2]) const {
   uint32_t g = frozen_.keys.Find(encoded_xkey);
-  if (g == KeyTable::kNoGroup) return false;
-  *begin = frozen_.start[g];
-  *end = frozen_.end[g];
-  return true;
+  if (g == KeyTable::kNoGroup) return 0;
+  auto it = frozen_.patched.find(g);
+  if (it == frozen_.patched.end()) {
+    if (frozen_.start[g] == frozen_.end[g]) return 0;
+    out[0] = FrozenSegment{&frozen_.entries, frozen_.start[g], frozen_.end[g],
+                           nullptr, 0};
+    return 1;
+  }
+  const Frozen::PatchedGroup& pg = it->second;
+  size_t n = 0;
+  if (!pg.base.empty()) {
+    out[n++] = FrozenSegment{&frozen_.entries, 0, 0, pg.base.data(),
+                             static_cast<uint32_t>(pg.base.size())};
+  }
+  if (!pg.extra.empty()) {
+    out[n++] = FrozenSegment{&frozen_.extra, 0, 0, pg.extra.data(),
+                             static_cast<uint32_t>(pg.extra.size())};
+  }
+  return n;
+}
+
+bool AccessIndex::PatchBudgetExceeded() const {
+  // Rebuilding is O(entries); patching is O(1). Amortize: allow up to a
+  // quarter of the base store in patches (plus slack for tiny indices)
+  // before declaring the mirror fragmented and rebuilding lazily.
+  return frozen_.patch_ops > frozen_.entries.num_rows() / 4 + 64;
+}
+
+AccessIndex::Frozen::PatchedGroup& AccessIndex::MaterializePatch(
+    uint32_t group) const {
+  auto [it, inserted] = frozen_.patched.try_emplace(group);
+  if (inserted) {
+    Frozen::PatchedGroup& pg = it->second;
+    pg.base.reserve(frozen_.end[group] - frozen_.start[group]);
+    for (uint32_t r = frozen_.start[group]; r < frozen_.end[group]; ++r) {
+      pg.base.push_back(r);
+    }
+  }
+  return it->second;
+}
+
+void AccessIndex::PatchFrozenInsert(const Tuple& xkey,
+                                    const Tuple& entry) const {
+  if (PatchBudgetExceeded()) {
+    frozen_.valid = false;
+    return;
+  }
+  std::string key;
+  AppendEncodedTuple(xkey, &key);
+  bool new_group = false;
+  uint32_t g = frozen_.keys.InsertOrFind(key, &new_group);
+  if (new_group) {
+    // Unseen X-key: empty base range; all rows live in the overflow store.
+    frozen_.start.push_back(0);
+    frozen_.end.push_back(0);
+    frozen_.patched.try_emplace(g);
+  }
+  Frozen::PatchedGroup& pg = MaterializePatch(g);
+  frozen_.extra.AppendTuple(entry);
+  pg.extra.push_back(static_cast<uint32_t>(frozen_.extra.num_rows() - 1));
+  ++frozen_.patch_ops;
+}
+
+void AccessIndex::PatchFrozenDelete(const Tuple& xkey,
+                                    const Tuple& entry) const {
+  if (PatchBudgetExceeded()) {
+    frozen_.valid = false;
+    return;
+  }
+  std::string key;
+  AppendEncodedTuple(xkey, &key);
+  uint32_t g = frozen_.keys.Find(key);
+  if (g == KeyTable::kNoGroup) {  // Inconsistent mirror: rebuild.
+    frozen_.valid = false;
+    return;
+  }
+  Frozen::PatchedGroup& pg = MaterializePatch(g);
+  std::string target;
+  AppendEncodedTuple(entry, &target);
+  std::string probe;
+  auto erase_match = [&](std::vector<uint32_t>* rows, const ColumnBatch& store) {
+    for (auto it = rows->begin(); it != rows->end(); ++it) {
+      probe.clear();
+      AppendEncodedKey(store, *it, {}, &probe);
+      if (probe == target) {
+        rows->erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!erase_match(&pg.base, frozen_.entries) &&
+      !erase_match(&pg.extra, frozen_.extra)) {
+    frozen_.valid = false;  // Inconsistent mirror: rebuild.
+    return;
+  }
+  ++frozen_.patch_ops;
 }
 
 int64_t AccessIndex::MaxGroupSize() const {
@@ -110,8 +218,9 @@ int64_t AccessIndex::MaxGroupSize() const {
 }
 
 Status AccessIndex::ApplyInsert(const Tuple& row) {
-  frozen_.valid = false;
-  auto& bucket = buckets_[KeyOf(row)];
+  ++epoch_;
+  Tuple key = KeyOf(row);
+  auto& bucket = buckets_[key];
   auto [it, inserted] = bucket.emplace(EntryOf(row), 0);
   ++it->second;
   if (inserted) {
@@ -119,12 +228,15 @@ Status AccessIndex::ApplyInsert(const Tuple& row) {
     if (static_cast<int64_t>(bucket.size()) == constraint_.n + 1) {
       ++violating_keys_;
     }
+    // A new distinct entry appeared: patch its bucket in the mirror (a
+    // refcount bump leaves the distinct row set — and the mirror — as is).
+    if (frozen_.valid) PatchFrozenInsert(key, it->first);
   }
   return Status::Ok();
 }
 
 Status AccessIndex::ApplyDelete(const Tuple& row) {
-  frozen_.valid = false;
+  ++epoch_;
   Tuple key = KeyOf(row);
   auto bit = buckets_.find(key);
   if (bit == buckets_.end()) {
@@ -132,7 +244,8 @@ Status AccessIndex::ApplyDelete(const Tuple& row) {
         StrCat("delete of row not present in index for ", constraint_.ToString()));
   }
   auto& bucket = bit->second;
-  auto it = bucket.find(EntryOf(row));
+  Tuple entry = EntryOf(row);
+  auto it = bucket.find(entry);
   if (it == bucket.end()) {
     return Status::NotFound(
         StrCat("delete of row not present in index for ", constraint_.ToString()));
@@ -144,11 +257,13 @@ Status AccessIndex::ApplyDelete(const Tuple& row) {
     bucket.erase(it);
     --num_entries_;
     if (bucket.empty()) buckets_.erase(bit);
+    if (frozen_.valid) PatchFrozenDelete(key, entry);
   }
   return Status::Ok();
 }
 
 void AccessIndex::SetBound(int64_t n) {
+  ++epoch_;
   constraint_.n = n;
   violating_keys_ = 0;
   for (const auto& [key, bucket] : buckets_) {
@@ -186,6 +301,12 @@ size_t IndexSet::TotalEntries() const {
   size_t n = 0;
   for (const auto& idx : indices_) n += idx->NumEntries();
   return n;
+}
+
+uint64_t IndexSet::Epoch() const {
+  uint64_t e = 0;
+  for (const auto& idx : indices_) e += idx->epoch();
+  return e;
 }
 
 bool IndexSet::HasViolation() const {

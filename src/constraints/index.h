@@ -1,8 +1,10 @@
 #ifndef BQE_CONSTRAINTS_INDEX_H_
 #define BQE_CONSTRAINTS_INDEX_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +17,19 @@
 #include "storage/database.h"
 
 namespace bqe {
+
+/// One gather segment of a frozen-mirror bucket: either a contiguous row
+/// range [begin, end) of `batch` (rows == nullptr) or an explicit row-id
+/// list rows[0..n). A bucket resolves to at most two segments (base rows in
+/// the frozen entry store, then rows appended by incremental patches).
+struct FrozenSegment {
+  const ColumnBatch* batch = nullptr;
+  uint32_t begin = 0, end = 0;     // Used when rows == nullptr.
+  const uint32_t* rows = nullptr;  // Else rows[0..n) index into `batch`.
+  uint32_t n = 0;
+
+  size_t NumRows() const { return rows != nullptr ? n : end - begin; }
+};
 
 /// The index embedded in one access constraint R(X -> Y, N) (Section 7):
 /// a hash map from X-values to the distinct XY-projections that occur in the
@@ -41,20 +56,34 @@ class AccessIndex {
   size_t FetchInto(const Tuple& xkey, ColumnBatch* out,
                    uint64_t* accessed = nullptr) const;
 
-  /// The key-encoded columnar mirror of this index: every distinct XY-row in
-  /// one ColumnBatch, bucketed by a KeyTable over key_codec-encoded X-keys.
-  /// Built lazily on first use (O(entries)), invalidated by
-  /// ApplyInsert/ApplyDelete, and the surface the vectorized fetch operator
-  /// probes — no Tuple boxing, no TupleHash. Not thread-safe with concurrent
-  /// maintenance.
+  /// Builds the key-encoded columnar mirror if it is not currently valid.
+  /// The mirror is maintained incrementally by ApplyInsert/ApplyDelete
+  /// (affected buckets are patched in place); only when the patch budget is
+  /// exhausted is it invalidated and rebuilt here from scratch.
+  ///
+  /// Concurrency: EnsureFrozen() itself is internally synchronized, so
+  /// concurrent *readers* (parallel Execute calls) are safe; afterwards
+  /// FrozenProbe/FrozenEntries are plain const reads. Maintenance
+  /// (ApplyInsert/ApplyDelete/SetBound) is NOT synchronized against readers
+  /// and must be externally serialized with query execution, as with any
+  /// writer on this index.
+  void EnsureFrozen() const;
+
+  /// The *raw base store* of the mirror: the distinct XY-rows present at
+  /// the last full freeze, in bucket order. NOT the complete mirror once
+  /// incremental patches have been applied — rows inserted since live in a
+  /// separate overflow store, and deleted rows are still physically present
+  /// here (only the patched bucket's row list drops them). Resolve buckets
+  /// through FrozenProbe(); this accessor exists for diagnostics and tests.
+  /// Calls EnsureFrozen().
   const ColumnBatch& FrozenEntries() const;
 
   /// Looks up an encoded X-key (AppendEncodedTuple/AppendEncodedKey layout)
-  /// in the frozen mirror. On hit, [*begin, *end) is the row range in
-  /// FrozenEntries(). Callers must have called FrozenEntries() first (it
-  /// builds the mirror).
-  bool FrozenLookup(std::string_view encoded_xkey, uint32_t* begin,
-                    uint32_t* end) const;
+  /// in the frozen mirror and emits the bucket's rows as gather segments
+  /// into out[0..2). Returns the number of segments (0 when the key is
+  /// absent or its bucket is empty). Callers must EnsureFrozen() first.
+  size_t FrozenProbe(std::string_view encoded_xkey,
+                     FrozenSegment out[2]) const;
 
   /// Static column types of fetched rows: X attribute types then Y attribute
   /// types, from the indexed relation's schema. The vectorized executor uses
@@ -71,8 +100,16 @@ class AccessIndex {
   size_t NumEntries() const { return num_entries_; }
   size_t NumKeys() const { return buckets_.size(); }
 
+  /// Monotonic mutation counter: bumped by every ApplyInsert/ApplyDelete/
+  /// SetBound. Snapshot it at freeze time; an unchanged epoch guarantees the
+  /// frozen mirror still reflects the index (plan-cache / fan-out coherence).
+  uint64_t epoch() const { return epoch_; }
+
   /// Incremental maintenance on a base-table insert/delete of `row`
-  /// (full-width row of the indexed relation). O(1) expected per call.
+  /// (full-width row of the indexed relation). O(1) expected per call; the
+  /// frozen columnar mirror is patched in place (the affected bucket only)
+  /// rather than invalidated, so delta+query interleavings stay O(1) per
+  /// delta until the patch budget forces a rebuild.
   Status ApplyInsert(const Tuple& row);
   Status ApplyDelete(const Tuple& row);
 
@@ -86,15 +123,31 @@ class AccessIndex {
   Tuple KeyOf(const Tuple& row) const;
   Tuple EntryOf(const Tuple& row) const;
 
-  /// Columnar mirror for batch fetches; see FrozenEntries().
+  /// Columnar mirror for batch fetches; see EnsureFrozen().
   struct Frozen {
     bool valid = false;
-    KeyTable keys;                      // Encoded X-key -> group id.
-    std::vector<uint32_t> start, end;   // Group id -> entry row range.
-    ColumnBatch entries;                // All distinct XY-rows, columnar.
+    KeyTable keys;                     // Encoded X-key -> group id.
+    std::vector<uint32_t> start, end;  // Group id -> base entry row range.
+    ColumnBatch entries;               // Base store: rows at last full freeze.
+    ColumnBatch extra;                 // Overflow store: patched-in rows.
+    /// Explicit row lists for buckets modified since the last full freeze.
+    /// `base` rows index `entries`, `extra` rows index `extra`; the bucket's
+    /// row stream is base-then-extra.
+    struct PatchedGroup {
+      std::vector<uint32_t> base, extra;
+    };
+    std::unordered_map<uint32_t, PatchedGroup> patched;
+    size_t patch_ops = 0;  // Budget: rebuild once patches pile up.
   };
 
   void BuildFrozen() const;
+  /// Patches the mirror for one inserted/deleted distinct entry. Falls back
+  /// to invalidation when the patch budget is exhausted (or on any
+  /// inconsistency, defensively).
+  void PatchFrozenInsert(const Tuple& xkey, const Tuple& entry) const;
+  void PatchFrozenDelete(const Tuple& xkey, const Tuple& entry) const;
+  Frozen::PatchedGroup& MaterializePatch(uint32_t group) const;
+  bool PatchBudgetExceeded() const;
 
   AccessConstraint constraint_;
   std::vector<int> x_idx_;   // Column indices of X in the base schema.
@@ -104,7 +157,13 @@ class AccessIndex {
   std::unordered_map<Tuple, std::map<Tuple, int64_t, TupleLess>, TupleHash> buckets_;
   size_t num_entries_ = 0;
   size_t violating_keys_ = 0;
+  uint64_t epoch_ = 0;
   mutable Frozen frozen_;
+  /// Serializes lazy BuildFrozen() between concurrent readers. Maintenance
+  /// does not take it (writers must be externally serialized anyway).
+  /// Heap-allocated so AccessIndex stays movable.
+  mutable std::unique_ptr<std::mutex> freeze_mu_ =
+      std::make_unique<std::mutex>();
 };
 
 /// All indices I_A for an access schema over a database.
@@ -119,6 +178,11 @@ class IndexSet {
 
   size_t TotalEntries() const;
   size_t size() const { return indices_.size(); }
+
+  /// Sum of all per-index epochs: changes whenever any index is mutated.
+  /// The engine folds this into its plan-cache key so cached compiled plans
+  /// are coherent with maintenance.
+  uint64_t Epoch() const;
 
   /// True when any index currently sees a cardinality violation.
   bool HasViolation() const;

@@ -1,12 +1,46 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/strings.h"
 #include "constraints/validate.h"
 #include "core/plan2sql.h"
 #include "core/qplan.h"
 #include "core/rewrite.h"
+#include "exec/key_codec.h"
+#include "exec/parallel.h"
+#include "ra/printer.h"
 
 namespace bqe {
+
+namespace {
+
+void AppendConstantEncoding(const RaExprPtr& e, std::string* out) {
+  if (e == nullptr) return;
+  for (const Predicate& p : e->preds()) {
+    if (p.kind == Predicate::Kind::kAttrConst) {
+      AppendEncodedValue(p.constant, out);
+    }
+  }
+  AppendConstantEncoding(e->left(), out);
+  AppendConstantEncoding(e->right(), out);
+}
+
+/// Plan-cache key: the printed algebra form plus an exact type-tagged
+/// byte encoding of every predicate constant (key_codec layout). The
+/// printed form alone is lossy — Value::ToString renders Int(1) and
+/// Double(1.0) identically and truncates doubles to 6 significant digits —
+/// and comparisons are type-tag-sensitive, so two queries must never share
+/// an entry unless their constants are exactly Value-equal.
+std::string QueryFingerprint(const RaExprPtr& query) {
+  std::string fp = ToAlgebraString(query);
+  fp.push_back('\0');
+  AppendConstantEncoding(query, &fp);
+  return fp;
+}
+
+}  // namespace
 
 BoundedEngine::BoundedEngine(Database* db, AccessSchema schema,
                              EngineOptions options)
@@ -21,6 +55,10 @@ Status BoundedEngine::BuildIndices() {
   }
   BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_));
   indices_built_ = true;
+  // Rebuilding indices invalidates every compiled plan: their AccessIndex
+  // bindings point into the replaced IndexSet.
+  ++epoch_;
+  ClearPlanCache();
   return Status::Ok();
 }
 
@@ -63,20 +101,88 @@ Result<PrepareInfo> BoundedEngine::Prepare(const RaExprPtr& query) const {
   return info;
 }
 
+Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
+    const RaExprPtr& query, bool* cache_hit) const {
+  if (cache_hit != nullptr) *cache_hit = false;
+  // Normalization, coverage and planning are pure functions of the
+  // fingerprint (given a fixed catalog and schema epoch), so two queries
+  // that fingerprint alike prepare alike. Both key parts are computed only
+  // when caching is on — with the cache disabled this function must not add
+  // per-query work.
+  std::string fp;
+  uint64_t epoch = 0;
+  if (options_.plan_cache) {
+    fp = QueryFingerprint(query);
+    epoch = Epoch();
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = cache_.find(fp);
+    if (it != cache_.end() && it->second->epoch == epoch) {
+      ++cache_stats_.hits;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second;
+    }
+    ++cache_stats_.misses;
+  }
+
+  auto pq = std::make_shared<PreparedQuery>();
+  BQE_ASSIGN_OR_RETURN(pq->info, Prepare(query));
+  if (pq->info.covered) {
+    BQE_ASSIGN_OR_RETURN(PhysicalPlan pp,
+                         PhysicalPlan::Compile(pq->info.plan, indices_));
+    pq->physical = std::make_shared<const PhysicalPlan>(std::move(pp));
+  }
+  pq->epoch = epoch;
+
+  if (options_.plan_cache) {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (cache_.size() >= options_.plan_cache_capacity) {
+      // Evict stale-epoch entries first; if every entry is current the
+      // cache is simply full of live plans — drop it wholesale (rare, and
+      // re-preparing is exactly the cached work).
+      for (auto it = cache_.begin(); it != cache_.end();) {
+        if (it->second->epoch != epoch) {
+          it = cache_.erase(it);
+          ++cache_stats_.evictions;
+        } else {
+          ++it;
+        }
+      }
+      if (cache_.size() >= options_.plan_cache_capacity) {
+        cache_stats_.evictions += cache_.size();
+        cache_.clear();
+      }
+    }
+    cache_[fp] = pq;
+  }
+  return std::shared_ptr<const PreparedQuery>(pq);
+}
+
+size_t BoundedEngine::EffectiveThreads() const {
+  if (options_.exec_threads != 0) {
+    return std::min(options_.exec_threads, WorkerPool::kMaxThreads);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(hw == 0 ? 1 : hw, 8);
+}
+
 Result<ExecuteResult> BoundedEngine::Execute(const RaExprPtr& query) const {
   if (!indices_built_) {
     return Status::FailedPrecondition("call BuildIndices() first");
   }
-  BQE_ASSIGN_OR_RETURN(PrepareInfo info, Prepare(query));
   ExecuteResult out;
-  if (info.covered) {
-    BQE_ASSIGN_OR_RETURN(out.table,
-                         ExecutePlan(info.plan, indices_, &out.bounded_stats));
+  BQE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> pq,
+                       PrepareCompiled(query, &out.plan_cache_hit));
+  if (pq->info.covered) {
+    ExecOptions eo;
+    eo.num_threads = EffectiveThreads();
+    eo.row_path_threshold = options_.row_path_threshold;
+    BQE_ASSIGN_OR_RETURN(
+        out.table, ExecutePhysicalPlan(*pq->physical, &out.bounded_stats, eo));
     out.used_bounded_plan = true;
     return out;
   }
   if (!options_.baseline_fallback) {
-    return Status::NotCovered(info.explanation);
+    return Status::NotCovered(pq->info.explanation);
   }
   BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(query, db_->catalog()));
   BQE_ASSIGN_OR_RETURN(out.table,
@@ -90,7 +196,25 @@ Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
   if (!indices_built_) {
     return Status::FailedPrecondition("call BuildIndices() first");
   }
+  // Index mutations bump per-index epochs (folded into Epoch()); bump the
+  // engine epoch too so even no-op delta batches invalidate conservatively.
+  ++epoch_;
   return ApplyDeltas(db_, &schema_, &indices_, deltas, policy);
+}
+
+PlanCacheStats BoundedEngine::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_stats_;
+}
+
+size_t BoundedEngine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.size();
+}
+
+void BoundedEngine::ClearPlanCache() {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  cache_.clear();
 }
 
 }  // namespace bqe

@@ -1,7 +1,11 @@
 #ifndef BQE_CORE_ENGINE_H_
 #define BQE_CORE_ENGINE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "baseline/eval.h"
 #include "common/status.h"
@@ -12,6 +16,7 @@
 #include "core/minimize.h"
 #include "core/plan.h"
 #include "core/plan_exec.h"
+#include "exec/physical_plan.h"
 #include "ra/normalize.h"
 #include "storage/database.h"
 
@@ -27,6 +32,20 @@ struct EngineOptions {
   /// Fall back to the conventional evaluator for non-covered queries
   /// (when false, Execute returns NotCovered instead).
   bool baseline_fallback = true;
+  /// Cache prepared queries (coverage + minimization + plan + compiled
+  /// physical plan) keyed by query fingerprint and engine epoch, so a
+  /// repeated Execute() of the same query skips C2-C5 entirely.
+  bool plan_cache = true;
+  /// Max cached prepared queries; stale-epoch entries are evicted first.
+  size_t plan_cache_capacity = 256;
+  /// Execution threads for bounded plans: 1 = serial, >1 = morsel-driven
+  /// parallel execution, 0 = auto (hardware concurrency, capped).
+  size_t exec_threads = 0;
+  /// Adaptive micro-plan fallback threshold (total fetch-index entries at or
+  /// below which the row-at-a-time interpreter runs instead of the
+  /// vectorized executor — per-operator batch setup dominates below it;
+  /// tuned on bench_fig5_scale). 0 disables.
+  size_t row_path_threshold = 8192;
 };
 
 /// Everything Prepare() learns about a query.
@@ -41,11 +60,29 @@ struct PrepareInfo {
   std::string explanation;   ///< Human-readable coverage explanation.
 };
 
+/// A fully prepared query: the Prepare() analysis plus the compiled
+/// physical plan, reusable across executions. This is what the engine's
+/// plan cache stores; the compiled plan borrows index bindings from the
+/// engine's IndexSet and must not outlive the engine.
+struct PreparedQuery {
+  PrepareInfo info;
+  std::shared_ptr<const PhysicalPlan> physical;  ///< Set when covered.
+  uint64_t epoch = 0;  ///< Engine epoch this was prepared under.
+};
+
+/// Plan-cache observability counters.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
 /// Result of Execute().
 struct ExecuteResult {
   Table table;
   bool used_bounded_plan = false;
-  ExecStats bounded_stats;     ///< Valid when used_bounded_plan.
+  bool plan_cache_hit = false;   ///< Prepare/compile skipped via the cache.
+  ExecStats bounded_stats;       ///< Valid when used_bounded_plan.
   BaselineStats baseline_stats;  ///< Valid otherwise.
 };
 
@@ -54,6 +91,17 @@ struct ExecuteResult {
 /// access (C3), generates plans (C4), translates them to SQL (C5), and
 /// evaluates queries through the indices (C6), falling back to conventional
 /// evaluation for non-covered queries.
+///
+/// Repeated queries take the fast path: PrepareCompiled() memoizes the full
+/// C2-C5 pipeline plus physical-plan compilation behind a fingerprint
+/// (printed algebra form + exact type-tagged constant encoding) + epoch
+/// key; BuildIndices() and Apply() bump the epoch, so maintenance
+/// invalidates exactly the cached work it staled.
+///
+/// Concurrency: concurrent const calls (Execute/Prepare/PrepareCompiled)
+/// are safe — the plan cache is internally locked and lazy index freezes
+/// are serialized per index. The mutating calls (BuildIndices/Apply) must
+/// be externally serialized against everything else, like any writer.
 class BoundedEngine {
  public:
   BoundedEngine(Database* db, AccessSchema schema, EngineOptions options = {});
@@ -62,14 +110,20 @@ class BoundedEngine {
   /// Fails with ConstraintViolation if the data does not satisfy A.
   Status BuildIndices();
 
-  /// C2-C5 for one query.
+  /// C2-C5 for one query (uncached analysis; no compilation).
   Result<PrepareInfo> Prepare(const RaExprPtr& query) const;
+
+  /// Cached C2-C5 + physical compilation. `cache_hit` (optional) reports
+  /// whether the cached entry was reused.
+  Result<std::shared_ptr<const PreparedQuery>> PrepareCompiled(
+      const RaExprPtr& query, bool* cache_hit = nullptr) const;
 
   /// Full pipeline: bounded plan when covered (after optional rewriting),
   /// baseline otherwise.
   Result<ExecuteResult> Execute(const RaExprPtr& query) const;
 
-  /// Incremental maintenance of D, A and I_A (Proposition 12).
+  /// Incremental maintenance of D, A and I_A (Proposition 12). Bumps the
+  /// engine epoch: cached prepared queries re-prepare on next use.
   Result<MaintenanceStats> Apply(const std::vector<Delta>& deltas,
                                  OverflowPolicy policy = OverflowPolicy::kGrow);
 
@@ -80,12 +134,28 @@ class BoundedEngine {
   /// Index footprint in tuples (compared against |D| in Exp-1(IV)).
   size_t IndexFootprint() const { return indices_.TotalEntries(); }
 
+  /// Schema/index epoch: bumped by BuildIndices() and Apply(), folded with
+  /// IndexSet::Epoch() into the plan-cache coherence check.
+  uint64_t Epoch() const { return epoch_ + indices_.Epoch(); }
+
+  PlanCacheStats plan_cache_stats() const;
+  size_t plan_cache_size() const;
+  void ClearPlanCache();
+
  private:
+  size_t EffectiveThreads() const;
+
   Database* db_;
   AccessSchema schema_;
   EngineOptions options_;
   IndexSet indices_;
   bool indices_built_ = false;
+  uint64_t epoch_ = 0;
+
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
+      cache_;
+  mutable PlanCacheStats cache_stats_;
 };
 
 }  // namespace bqe

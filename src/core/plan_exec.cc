@@ -1,40 +1,15 @@
 #include "core/plan_exec.h"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
-#include "exec/operators.h"
+#include "exec/physical_plan.h"
 
 namespace bqe {
 
 namespace {
-
-const char* StepKindName(PlanStep::Kind k) {
-  switch (k) {
-    case PlanStep::Kind::kConst:
-      return "const";
-    case PlanStep::Kind::kEmpty:
-      return "empty";
-    case PlanStep::Kind::kFetch:
-      return "fetch";
-    case PlanStep::Kind::kProject:
-      return "project";
-    case PlanStep::Kind::kFilter:
-      return "filter";
-    case PlanStep::Kind::kProduct:
-      return "product";
-    case PlanStep::Kind::kJoin:
-      return "join";
-    case PlanStep::Kind::kUnion:
-      return "union";
-    case PlanStep::Kind::kDiff:
-      return "diff";
-  }
-  return "?";
-}
 
 /// Resolves a fetch step to the index of its (source) constraint.
 Result<const AccessIndex*> ResolveFetchIndex(const BoundedPlan& plan,
@@ -79,20 +54,6 @@ bool EvalPlanPredicate(const Tuple& row, const PlanPredicate& p) {
 }
 
 }  // namespace
-
-std::string ExecStats::ToString() const {
-  std::string out = StrCat("fetched=", tuples_fetched, " probes=", fetch_probes,
-                           " intermediate=", intermediate_rows,
-                           " output=", output_rows,
-                           " batches=", batches_produced, "\n");
-  for (size_t k = 0; k < kNumPlanStepKinds; ++k) {
-    if (op[k].calls == 0) continue;
-    out += StrCat("  ", StepKindName(static_cast<PlanStep::Kind>(k)),
-                  ": calls=", op[k].calls, " rows=", op[k].rows_out,
-                  " batches=", op[k].batches_out, " ms=", op[k].ms, "\n");
-  }
-  return out;
-}
 
 Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
     const BoundedPlan& plan, const IndexSet& indices) {
@@ -164,6 +125,12 @@ Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
   return types;
 }
 
+Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
+                          ExecStats* stats, ExecOptions opts) {
+  BQE_ASSIGN_OR_RETURN(PhysicalPlan pp, PhysicalPlan::Compile(plan, indices));
+  return ExecutePhysicalPlan(pp, stats, opts);
+}
+
 namespace {
 
 /// Output schema from plan metadata: names from the plan, types from the
@@ -180,108 +147,6 @@ RelationSchema OutputSchema(const BoundedPlan& plan,
 }
 
 }  // namespace
-
-Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
-                          ExecStats* stats, ExecOptions opts) {
-  using Clock = std::chrono::steady_clock;
-  ExecStats local;
-  ExecStats* st = stats != nullptr ? stats : &local;
-  if (plan.output < 0 || plan.output >= static_cast<int>(plan.steps.size())) {
-    return Status::Internal("plan has no output step");
-  }
-  BQE_ASSIGN_OR_RETURN(std::vector<std::vector<ValueType>> types,
-                       DerivePlanStepTypes(plan, indices));
-
-  std::vector<BatchVec> results(plan.steps.size());
-  for (size_t i = 0; i < plan.steps.size(); ++i) {
-    const PlanStep& s = plan.steps[i];
-    Clock::time_point t0;
-    if (opts.per_op_timing) t0 = Clock::now();
-    BatchVec out;
-    switch (s.kind) {
-      case PlanStep::Kind::kConst:
-        out = ConstOp(s.row, types[i]);
-        break;
-      case PlanStep::Kind::kEmpty:
-        break;
-      case PlanStep::Kind::kFetch: {
-        BQE_ASSIGN_OR_RETURN(const AccessIndex* idx,
-                             ResolveFetchIndex(plan, s, indices));
-        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
-        FetchCounters fc;
-        out = FetchOp(*idx, results[static_cast<size_t>(in)], opts.batch_size,
-                      &fc);
-        st->fetch_probes += fc.probes;
-        st->tuples_fetched += fc.tuples_fetched;
-        break;
-      }
-      case PlanStep::Kind::kProject: {
-        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
-        out = ProjectOp(results[static_cast<size_t>(in)], s.cols, s.dedupe,
-                        types[i], opts.batch_size);
-        break;
-      }
-      case PlanStep::Kind::kFilter: {
-        BQE_ASSIGN_OR_RETURN(int in, CheckStepRef(s.input, i));
-        out = FilterOp(results[static_cast<size_t>(in)], s.preds,
-                       opts.batch_size);
-        break;
-      }
-      case PlanStep::Kind::kProduct: {
-        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
-        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
-        out = ProductOp(results[static_cast<size_t>(l)],
-                        results[static_cast<size_t>(r)], types[i],
-                        opts.batch_size);
-        break;
-      }
-      case PlanStep::Kind::kJoin: {
-        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
-        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
-        out = HashJoinOp(results[static_cast<size_t>(l)],
-                         results[static_cast<size_t>(r)], s.join_cols,
-                         types[i], opts.batch_size);
-        break;
-      }
-      case PlanStep::Kind::kUnion: {
-        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
-        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
-        out = UnionOp(results[static_cast<size_t>(l)],
-                      results[static_cast<size_t>(r)], types[i],
-                      opts.batch_size);
-        break;
-      }
-      case PlanStep::Kind::kDiff: {
-        BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
-        BQE_ASSIGN_OR_RETURN(int r, CheckStepRef(s.right, i));
-        out = DiffOp(results[static_cast<size_t>(l)],
-                     results[static_cast<size_t>(r)], types[i],
-                     opts.batch_size);
-        break;
-      }
-    }
-    size_t rows = TotalRows(out);
-    OpStats& os = st->ForKind(s.kind);
-    ++os.calls;
-    os.rows_out += rows;
-    os.batches_out += out.size();
-    if (opts.per_op_timing) {
-      os.ms +=
-          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-    }
-    st->intermediate_rows += rows;
-    st->batches_produced += out.size();
-    results[i] = std::move(out);
-  }
-
-  const BatchVec& last = results[static_cast<size_t>(plan.output)];
-  Table out(OutputSchema(plan, types[static_cast<size_t>(plan.output)]));
-  for (const ColumnBatch& b : last) {
-    BQE_RETURN_IF_ERROR(out.AppendBatch(b));
-  }
-  st->output_rows = out.NumRows();
-  return out;
-}
 
 Result<Table> ExecutePlanRowAtATime(const BoundedPlan& plan,
                                     const IndexSet& indices, ExecStats* stats) {

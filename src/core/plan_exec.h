@@ -9,58 +9,16 @@
 #include "constraints/index.h"
 #include "core/plan.h"
 #include "exec/column_batch.h"
+#include "exec/exec_stats.h"
 #include "storage/table.h"
 
 namespace bqe {
 
-/// Number of PlanStep::Kind values (per-operator stat slots).
-inline constexpr size_t kNumPlanStepKinds = 9;
-static_assert(kNumPlanStepKinds ==
-                  static_cast<size_t>(PlanStep::Kind::kDiff) + 1,
-              "resize ExecStats::op[] when adding a PlanStep::Kind");
-
-/// Per-operator accounting, indexed by PlanStep::Kind.
-struct OpStats {
-  uint64_t calls = 0;        ///< Steps of this kind executed.
-  uint64_t rows_out = 0;     ///< Rows produced by those steps.
-  uint64_t batches_out = 0;  ///< Batches produced (vectorized path only).
-  double ms = 0.0;           ///< Wall time spent in those steps.
-};
-
-/// Access accounting for bounded plans. `tuples_fetched` counts every tuple
-/// returned by a fetch step — the size of the accessed fraction D_Q; the
-/// paper's ratio P(D_Q) is tuples_fetched / |D|.
-struct ExecStats {
-  uint64_t tuples_fetched = 0;
-  uint64_t fetch_probes = 0;
-  uint64_t intermediate_rows = 0;
-  uint64_t output_rows = 0;
-  uint64_t batches_produced = 0;  ///< Total batches across all steps.
-  OpStats op[kNumPlanStepKinds];  ///< Indexed by PlanStep::Kind.
-
-  OpStats& ForKind(PlanStep::Kind k) { return op[static_cast<size_t>(k)]; }
-  const OpStats& ForKind(PlanStep::Kind k) const {
-    return op[static_cast<size_t>(k)];
-  }
-
-  /// Multi-line per-operator breakdown (calls / rows / batches / ms).
-  std::string ToString() const;
-};
-
-/// Execution tuning knobs.
-struct ExecOptions {
-  size_t batch_size = kDefaultBatchSize;
-  /// Collect per-operator wall times in ExecStats::op[].ms. Off by default:
-  /// two clock reads per step are measurable on microsecond-scale bounded
-  /// plans. Calls/rows/batches are always collected.
-  bool per_op_timing = false;
-};
-
 /// Derives the static column types of every plan step from plan/schema
 /// metadata alone: fetch steps from the indexed relation's attribute types,
 /// const steps from their literal types, and the rest by propagation. This
-/// is how ExecutePlan types its batches and its output table — empty
-/// results get real attribute types, not kNull.
+/// is how the compiled executor types its batches and its output table —
+/// empty results get real attribute types, not kNull.
 Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
     const BoundedPlan& plan, const IndexSet& indices);
 
@@ -72,15 +30,18 @@ Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
 /// touches base tables, which is precisely the bounded-evaluability
 /// guarantee (Section 2).
 ///
-/// This is the vectorized path: each step is lowered onto the columnar
-/// operator library (src/exec/), processing ColumnBatch units of
-/// `opts.batch_size` rows with byte-encoded join/dedupe keys.
+/// This is the compile-then-run convenience wrapper: it lowers the plan
+/// onto a PhysicalPlan (exec/physical_plan.h) and executes it once. Callers
+/// that run the same plan repeatedly should compile once with
+/// PhysicalPlan::Compile and call ExecutePhysicalPlan per execution — that
+/// is what BoundedEngine's plan cache does.
 Result<Table> ExecutePlan(const BoundedPlan& plan, const IndexSet& indices,
                           ExecStats* stats = nullptr, ExecOptions opts = {});
 
 /// The pre-vectorization executor: one boxed Tuple at a time, TupleHash for
-/// joins and dedupe. Kept as the comparison baseline for benchmarks and as a
-/// second oracle in differential tests.
+/// joins and dedupe. Kept as the comparison baseline for benchmarks, as a
+/// second oracle in differential tests, and as the adaptive fast path for
+/// micro-scale plans (ExecOptions::row_path_threshold).
 Result<Table> ExecutePlanRowAtATime(const BoundedPlan& plan,
                                     const IndexSet& indices,
                                     ExecStats* stats = nullptr);

@@ -4,65 +4,41 @@
 
 namespace bqe {
 
-namespace {
-
-/// Accumulates output rows and flushes full batches into a BatchVec.
-class BatchWriter {
- public:
-  BatchWriter(std::vector<ValueType> types, size_t batch_size, BatchVec* out)
-      : types_(std::move(types)), batch_size_(batch_size), out_(out) {
-    cur_ = ColumnBatch(types_);
+void BatchWriter::WriteGather(const ColumnBatch& src, const uint32_t* rows,
+                              size_t n, const std::vector<int>& cols) {
+  size_t off = 0;
+  while (off < n) {
+    size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
+    cur_.GatherRowsFrom(src, rows + off, k, cols);
+    off += k;
+    MaybeFlush();
   }
+}
 
-  ColumnBatch& cur() { return cur_; }
-
-  /// Call after appending one or more rows; flushes at the batch boundary.
-  void MaybeFlush() {
-    if (cur_.num_rows() >= batch_size_) {
-      out_->push_back(std::move(cur_));
-      cur_ = ColumnBatch(types_);
-    }
+void BatchWriter::WriteGatherRange(const ColumnBatch& src, size_t begin,
+                                   size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
+    cur_.GatherRangeFrom(src, begin + off, k);
+    off += k;
+    MaybeFlush();
   }
+}
 
-  /// Column-wise gather of `n` selected src rows, split on batch boundaries.
-  void WriteGather(const ColumnBatch& src, const uint32_t* rows, size_t n,
-                   const std::vector<int>& cols) {
-    size_t off = 0;
-    while (off < n) {
-      size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
-      cur_.GatherRowsFrom(src, rows + off, k, cols);
-      off += k;
-      MaybeFlush();
-    }
-  }
+void PairWriter::Flush(const ColumnBatch& l, const ColumnBatch& r) {
+  if (l_rows_.empty()) return;
+  ColumnBatch b(types_);
+  b.ReserveRows(l_rows_.size());
+  b.GatherRowsInto(0, l, l_rows_.data(), l_rows_.size());
+  b.GatherRowsInto(l.num_cols(), r, r_rows_.data(), r_rows_.size());
+  b.FinishRows(l_rows_.size());
+  out_->push_back(std::move(b));
+  l_rows_.clear();
+  r_rows_.clear();
+}
 
-  /// Column-wise gather of the contiguous src range [begin, begin + n).
-  void WriteGatherRange(const ColumnBatch& src, size_t begin, size_t n) {
-    size_t off = 0;
-    while (off < n) {
-      size_t k = std::min(batch_size_ - cur_.num_rows(), n - off);
-      cur_.GatherRangeFrom(src, begin + off, k);
-      off += k;
-      MaybeFlush();
-    }
-  }
-
-  void Finish() {
-    if (cur_.num_rows() > 0) out_->push_back(std::move(cur_));
-  }
-
- private:
-  std::vector<ValueType> types_;
-  size_t batch_size_;
-  BatchVec* out_;
-  ColumnBatch cur_;
-};
-
-/// Returns `input` as one contiguous batch: the batch itself for
-/// single-batch inputs, otherwise a merged copy in `*scratch`. Join-style
-/// operators merge their build side once so per-output-row indirection
-/// through (batch, row) pairs disappears.
-const ColumnBatch* SingleChunk(const BatchVec& input,
+const ColumnBatch* MergedChunk(const BatchVec& input,
                                const std::vector<ValueType>& types,
                                ColumnBatch* scratch) {
   if (input.size() == 1) return &input.front();
@@ -82,6 +58,8 @@ const ColumnBatch* SingleChunk(const BatchVec& input,
   }
   return scratch;
 }
+
+namespace {
 
 /// Mirrors Value::Compare over two batch cells: type tag first (the
 /// ValueType enum order matches the variant index order), then payload.
@@ -146,15 +124,19 @@ bool ApplyCmp(CmpOp op, int c) {
 }
 
 bool RowPasses(const ColumnBatch& b, size_t row,
-               const std::vector<PlanPredicate>& preds) {
+               const std::vector<PlanPredicate>& preds,
+               const std::vector<int>& colmap) {
   for (const PlanPredicate& p : preds) {
-    const Column& lhs = b.col(static_cast<size_t>(p.lhs));
+    size_t li = static_cast<size_t>(p.lhs);
+    if (!colmap.empty()) li = static_cast<size_t>(colmap[li]);
+    const Column& lhs = b.col(li);
     int c;
     if (p.kind == PlanPredicate::Kind::kColConst) {
       c = CompareCellToValue(lhs, b.dict(), row, p.constant);
     } else {
-      c = CompareCells(lhs, b.dict(), row, b.col(static_cast<size_t>(p.rhs)),
-                       b.dict(), row);
+      size_t ri = static_cast<size_t>(p.rhs);
+      if (!colmap.empty()) ri = static_cast<size_t>(colmap[ri]);
+      c = CompareCells(lhs, b.dict(), row, b.col(ri), b.dict(), row);
     }
     if (!ApplyCmp(p.op, c)) return false;
   }
@@ -162,6 +144,37 @@ bool RowPasses(const ColumnBatch& b, size_t row,
 }
 
 }  // namespace
+
+void FilterSelect(const ColumnBatch& b, const std::vector<PlanPredicate>& preds,
+                  const std::vector<int>& colmap, std::vector<uint32_t>* sel) {
+  size_t kept = 0;
+  for (size_t i = 0; i < sel->size(); ++i) {
+    uint32_t r = (*sel)[i];
+    if (RowPasses(b, r, preds, colmap)) (*sel)[kept++] = r;
+  }
+  sel->resize(kept);
+}
+
+void AppendDistinctRows(const ColumnBatch& b, const std::vector<int>& cols,
+                        const KeyTable* exclude, KeyTable* seen,
+                        KeyEncoder* enc, BatchWriter* w) {
+  enc->Encode(b, cols);
+  // Reused across calls (and batches) on the dedupe hot path; thread_local
+  // because parallel workers run this concurrently.
+  static thread_local std::vector<uint32_t> sel;
+  sel.clear();
+  sel.reserve(b.num_rows());
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    std::string_view key = enc->Key(i);
+    if (exclude != nullptr && exclude->Find(key) != KeyTable::kNoGroup) {
+      continue;
+    }
+    bool inserted = false;
+    seen->InsertOrFind(key, &inserted);
+    if (inserted) sel.push_back(static_cast<uint32_t>(i));
+  }
+  w->WriteGather(b, sel.data(), sel.size(), cols);
+}
 
 BatchVec ConstOp(const Tuple& row, const std::vector<ValueType>& types) {
   BatchVec out;
@@ -171,13 +184,12 @@ BatchVec ConstOp(const Tuple& row, const std::vector<ValueType>& types) {
   return out;
 }
 
-BatchVec FetchOp(const AccessIndex& idx, const BatchVec& input,
-                 size_t batch_size, FetchCounters* counters) {
-  BatchVec out;
-  BatchWriter w(idx.output_types(), batch_size, &out);
+size_t CollectFetchSegments(const AccessIndex& idx, const BatchVec& input,
+                            std::vector<FrozenSegment>* segs,
+                            FetchCounters* counters) {
   // The encoded input row *is* the encoded X-key, so the dedupe key doubles
   // as the probe into the index's key-encoded columnar mirror.
-  const ColumnBatch& store = idx.FrozenEntries();
+  size_t total = 0;
   KeyTable seen(TotalRows(input));
   KeyEncoder enc;
   for (const ColumnBatch& b : input) {
@@ -188,10 +200,50 @@ BatchVec FetchOp(const AccessIndex& idx, const BatchVec& input,
       seen.InsertOrFind(key, &inserted);
       if (!inserted) continue;  // Probe each distinct key once.
       if (counters != nullptr) ++counters->probes;
-      uint32_t begin = 0, end = 0;
-      if (!idx.FrozenLookup(key, &begin, &end)) continue;
-      if (counters != nullptr) counters->tuples_fetched += end - begin;
-      w.WriteGatherRange(store, begin, end - begin);
+      FrozenSegment hit[2];
+      size_t ns = idx.FrozenProbe(key, hit);
+      for (size_t k = 0; k < ns; ++k) {
+        size_t rows = hit[k].NumRows();
+        if (rows == 0) continue;
+        total += rows;
+        if (counters != nullptr) counters->tuples_fetched += rows;
+        segs->push_back(hit[k]);
+      }
+    }
+  }
+  return total;
+}
+
+BatchVec FetchOp(const AccessIndex& idx, const BatchVec& input,
+                 size_t batch_size, FetchCounters* counters) {
+  // Serial fetch writes each hit bucket straight through the BatchWriter —
+  // no segment list materialization (that is CollectFetchSegments, the
+  // parallel executor's phase 1).
+  idx.EnsureFrozen();
+  BatchVec out;
+  BatchWriter w(idx.output_types(), batch_size, &out);
+  KeyTable seen(TotalRows(input));
+  KeyEncoder enc;
+  for (const ColumnBatch& b : input) {
+    enc.Encode(b, {});
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      std::string_view key = enc.Key(i);
+      bool inserted = false;
+      seen.InsertOrFind(key, &inserted);
+      if (!inserted) continue;  // Probe each distinct key once.
+      if (counters != nullptr) ++counters->probes;
+      FrozenSegment hit[2];
+      size_t ns = idx.FrozenProbe(key, hit);
+      for (size_t k = 0; k < ns; ++k) {
+        size_t rows = hit[k].NumRows();
+        if (rows == 0) continue;
+        if (counters != nullptr) counters->tuples_fetched += rows;
+        if (hit[k].rows != nullptr) {
+          w.WriteGather(*hit[k].batch, hit[k].rows, hit[k].n, {});
+        } else {
+          w.WriteGatherRange(*hit[k].batch, hit[k].begin, rows);
+        }
+      }
     }
   }
   w.Finish();
@@ -205,10 +257,9 @@ BatchVec FilterOp(const BatchVec& input, const std::vector<PlanPredicate>& preds
   BatchWriter w(input.front().ColumnTypes(), batch_size, &out);
   std::vector<uint32_t> sel;
   for (const ColumnBatch& b : input) {
-    sel.clear();
-    for (size_t i = 0; i < b.num_rows(); ++i) {
-      if (RowPasses(b, i, preds)) sel.push_back(static_cast<uint32_t>(i));
-    }
+    sel.resize(b.num_rows());
+    for (size_t i = 0; i < b.num_rows(); ++i) sel[i] = static_cast<uint32_t>(i);
+    FilterSelect(b, preds, {}, &sel);
     w.WriteGather(b, sel.data(), sel.size(), {});
   }
   w.Finish();
@@ -234,67 +285,63 @@ BatchVec ProjectOp(const BatchVec& input, const std::vector<int>& cols,
     return out;
   }
   BatchWriter w(out_types, batch_size, &out);
-  KeyTable seen(dedupe ? TotalRows(input) : 0);
   KeyEncoder enc;
-  std::vector<uint32_t> sel;
-  for (const ColumnBatch& b : input) {
-    sel.clear();
-    if (dedupe) enc.Encode(b, cols);
-    for (size_t i = 0; i < b.num_rows(); ++i) {
-      if (dedupe) {
-        bool inserted = false;
-        seen.InsertOrFind(enc.Key(i), &inserted);
-        if (!inserted) continue;
-      }
-      sel.push_back(static_cast<uint32_t>(i));
+  if (dedupe) {
+    KeyTable seen(TotalRows(input));
+    for (const ColumnBatch& b : input) {
+      AppendDistinctRows(b, cols, nullptr, &seen, &enc, &w);
     }
-    w.WriteGather(b, sel.data(), sel.size(), cols);
+  } else {
+    std::vector<uint32_t> sel;
+    for (const ColumnBatch& b : input) {
+      sel.resize(b.num_rows());
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        sel[i] = static_cast<uint32_t>(i);
+      }
+      w.WriteGather(b, sel.data(), sel.size(), cols);
+    }
   }
   w.Finish();
   return out;
 }
 
-namespace {
-
-/// Shared output assembly for product and hash join: flushes accumulated
-/// (left row, right row) match pairs as one column-wise gathered batch.
-class PairWriter {
- public:
-  PairWriter(const std::vector<ValueType>& types, size_t batch_size,
-             BatchVec* out)
-      : types_(types), batch_size_(batch_size), out_(out) {
-    l_rows_.reserve(batch_size);
-    r_rows_.reserve(batch_size);
+void ProductBatch(const ColumnBatch& lb, const ColumnBatch& r,
+                  const std::vector<ValueType>& out_types, size_t batch_size,
+                  BatchVec* out) {
+  size_t rn = r.num_rows();
+  if (rn == 0 || lb.num_rows() == 0) return;
+  // The pair stream is fully known up front — (i, 0..rn) per left row — so
+  // the index arrays are bulk-filled (constant fill + iota slices) instead
+  // of pushed pair-at-a-time.
+  std::vector<uint32_t> iota(rn);
+  for (size_t j = 0; j < rn; ++j) iota[j] = static_cast<uint32_t>(j);
+  std::vector<uint32_t> l_idx, r_idx;
+  l_idx.reserve(std::min(batch_size, lb.num_rows() * rn));
+  r_idx.reserve(l_idx.capacity());
+  auto flush = [&] {
+    if (l_idx.empty()) return;
+    ColumnBatch b(out_types);
+    b.ReserveRows(l_idx.size());
+    b.GatherRowsInto(0, lb, l_idx.data(), l_idx.size());
+    b.GatherRowsInto(lb.num_cols(), r, r_idx.data(), r_idx.size());
+    b.FinishRows(l_idx.size());
+    out->push_back(std::move(b));
+    l_idx.clear();
+    r_idx.clear();
+  };
+  for (size_t i = 0; i < lb.num_rows(); ++i) {
+    size_t off = 0;
+    while (off < rn) {
+      size_t k = std::min(batch_size - l_idx.size(), rn - off);
+      l_idx.insert(l_idx.end(), k, static_cast<uint32_t>(i));
+      r_idx.insert(r_idx.end(), iota.begin() + static_cast<ptrdiff_t>(off),
+                   iota.begin() + static_cast<ptrdiff_t>(off + k));
+      off += k;
+      if (l_idx.size() >= batch_size) flush();
+    }
   }
-
-  void Add(const ColumnBatch& l, uint32_t l_row, const ColumnBatch& r,
-           uint32_t r_row) {
-    l_rows_.push_back(l_row);
-    r_rows_.push_back(r_row);
-    if (l_rows_.size() >= batch_size_) Flush(l, r);
-  }
-
-  /// Must be called before the left batch changes and at the end.
-  void Flush(const ColumnBatch& l, const ColumnBatch& r) {
-    if (l_rows_.empty()) return;
-    ColumnBatch b(types_);
-    b.ReserveRows(l_rows_.size());
-    b.GatherRowsInto(0, l, l_rows_.data(), l_rows_.size());
-    b.GatherRowsInto(l.num_cols(), r, r_rows_.data(), r_rows_.size());
-    b.FinishRows(l_rows_.size());
-    out_->push_back(std::move(b));
-    l_rows_.clear();
-    r_rows_.clear();
-  }
-
- private:
-  const std::vector<ValueType>& types_;
-  size_t batch_size_;
-  BatchVec* out_;
-  std::vector<uint32_t> l_rows_, r_rows_;
-};
-
-}  // namespace
+  flush();
+}
 
 BatchVec ProductOp(const BatchVec& left, const BatchVec& right,
                    const std::vector<ValueType>& out_types, size_t batch_size) {
@@ -302,42 +349,47 @@ BatchVec ProductOp(const BatchVec& left, const BatchVec& right,
   if (left.empty() || right.empty() || TotalRows(right) == 0) return out;
   std::vector<ValueType> r_types = right.front().ColumnTypes();
   ColumnBatch scratch;
-  const ColumnBatch& r = *SingleChunk(right, r_types, &scratch);
-  size_t rn = r.num_rows();
-  // The pair stream is fully known up front — (i, 0..rn) per left row — so
-  // the index arrays are bulk-filled (constant fill + iota slices) instead
-  // of pushed pair-at-a-time.
-  std::vector<uint32_t> iota(rn);
-  for (size_t j = 0; j < rn; ++j) iota[j] = static_cast<uint32_t>(j);
-  std::vector<uint32_t> l_idx, r_idx;
-  l_idx.reserve(batch_size);
-  r_idx.reserve(batch_size);
-  auto flush = [&](const ColumnBatch& lb) {
-    if (l_idx.empty()) return;
-    ColumnBatch b(out_types);
-    b.ReserveRows(l_idx.size());
-    b.GatherRowsInto(0, lb, l_idx.data(), l_idx.size());
-    b.GatherRowsInto(lb.num_cols(), r, r_idx.data(), r_idx.size());
-    b.FinishRows(l_idx.size());
-    out.push_back(std::move(b));
-    l_idx.clear();
-    r_idx.clear();
-  };
+  const ColumnBatch& r = *MergedChunk(right, r_types, &scratch);
   for (const ColumnBatch& lb : left) {
-    for (size_t i = 0; i < lb.num_rows(); ++i) {
-      size_t off = 0;
-      while (off < rn) {
-        size_t k = std::min(batch_size - l_idx.size(), rn - off);
-        l_idx.insert(l_idx.end(), k, static_cast<uint32_t>(i));
-        r_idx.insert(r_idx.end(), iota.begin() + static_cast<ptrdiff_t>(off),
-                     iota.begin() + static_cast<ptrdiff_t>(off + k));
-        off += k;
-        if (l_idx.size() >= batch_size) flush(lb);
-      }
-    }
-    flush(lb);  // Before lb changes: pending pairs reference its rows.
+    ProductBatch(lb, r, out_types, batch_size, &out);
   }
   return out;
+}
+
+JoinBuildTable BuildJoinTable(const ColumnBatch& r, const std::vector<int>& rk,
+                              KeyEncoder* enc) {
+  // Group rows by encoded key; chains keep insertion order.
+  JoinBuildTable bt;
+  bt.groups = KeyTable(r.num_rows());
+  bt.next.assign(r.num_rows(), JoinBuildTable::kNone);
+  std::vector<uint32_t> tails;
+  enc->Encode(r, rk);
+  for (size_t j = 0; j < r.num_rows(); ++j) {
+    bool inserted = false;
+    uint32_t g = bt.groups.InsertOrFind(enc->Key(j), &inserted);
+    if (inserted) {
+      bt.heads.push_back(static_cast<uint32_t>(j));
+      tails.push_back(static_cast<uint32_t>(j));
+    } else {
+      bt.next[tails[g]] = static_cast<uint32_t>(j);
+      tails[g] = static_cast<uint32_t>(j);
+    }
+  }
+  return bt;
+}
+
+void ProbeJoinBatch(const JoinBuildTable& bt, const ColumnBatch& r,
+                    const ColumnBatch& lb, const std::vector<int>& lk,
+                    KeyEncoder* enc, PairWriter* w) {
+  enc->Encode(lb, lk);
+  for (size_t i = 0; i < lb.num_rows(); ++i) {
+    uint32_t g = bt.groups.Find(enc->Key(i));
+    if (g == KeyTable::kNoGroup) continue;
+    for (uint32_t j = bt.heads[g]; j != JoinBuildTable::kNone; j = bt.next[j]) {
+      w->Add(lb, static_cast<uint32_t>(i), r, j);
+    }
+  }
+  w->Flush(lb, r);
 }
 
 BatchVec HashJoinOp(const BatchVec& left, const BatchVec& right,
@@ -355,41 +407,15 @@ BatchVec HashJoinOp(const BatchVec& left, const BatchVec& right,
     rk.push_back(b);
   }
 
-  // Build side: merge right into one chunk, then group rows by encoded key;
-  // chains keep insertion order.
   std::vector<ValueType> r_types = right.front().ColumnTypes();
   ColumnBatch scratch;
-  const ColumnBatch& r = *SingleChunk(right, r_types, &scratch);
-  constexpr uint32_t kNone = 0xffffffffu;
-  KeyTable groups(r.num_rows());
-  std::vector<uint32_t> heads, tails;
-  std::vector<uint32_t> next(r.num_rows(), kNone);
+  const ColumnBatch& r = *MergedChunk(right, r_types, &scratch);
   KeyEncoder enc;
-  enc.Encode(r, rk);
-  for (size_t j = 0; j < r.num_rows(); ++j) {
-    bool inserted = false;
-    uint32_t g = groups.InsertOrFind(enc.Key(j), &inserted);
-    if (inserted) {
-      heads.push_back(static_cast<uint32_t>(j));
-      tails.push_back(static_cast<uint32_t>(j));
-    } else {
-      next[tails[g]] = static_cast<uint32_t>(j);
-      tails[g] = static_cast<uint32_t>(j);
-    }
-  }
+  JoinBuildTable bt = BuildJoinTable(r, rk, &enc);
 
-  // Probe side.
   PairWriter w(out_types, batch_size, &out);
   for (const ColumnBatch& lb : left) {
-    enc.Encode(lb, lk);
-    for (size_t i = 0; i < lb.num_rows(); ++i) {
-      uint32_t g = groups.Find(enc.Key(i));
-      if (g == KeyTable::kNoGroup) continue;
-      for (uint32_t j = heads[g]; j != kNone; j = next[j]) {
-        w.Add(lb, static_cast<uint32_t>(i), r, j);
-      }
-    }
-    w.Flush(lb, r);
+    ProbeJoinBatch(bt, r, lb, lk, &enc, &w);
   }
   return out;
 }
@@ -400,17 +426,9 @@ BatchVec UnionOp(const BatchVec& left, const BatchVec& right,
   BatchWriter w(out_types, batch_size, &out);
   KeyTable seen(TotalRows(left) + TotalRows(right));
   KeyEncoder enc;
-  std::vector<uint32_t> sel;
   for (const BatchVec* side : {&left, &right}) {
     for (const ColumnBatch& b : *side) {
-      sel.clear();
-      enc.Encode(b, {});
-      for (size_t i = 0; i < b.num_rows(); ++i) {
-        bool inserted = false;
-        seen.InsertOrFind(enc.Key(i), &inserted);
-        if (inserted) sel.push_back(static_cast<uint32_t>(i));
-      }
-      w.WriteGather(b, sel.data(), sel.size(), {});
+      AppendDistinctRows(b, {}, nullptr, &seen, &enc, &w);
     }
   }
   w.Finish();
@@ -431,18 +449,8 @@ BatchVec DiffOp(const BatchVec& left, const BatchVec& right,
   BatchVec out;
   BatchWriter w(out_types, batch_size, &out);
   KeyTable seen(TotalRows(left));
-  std::vector<uint32_t> sel;
   for (const ColumnBatch& b : left) {
-    sel.clear();
-    enc.Encode(b, {});
-    for (size_t i = 0; i < b.num_rows(); ++i) {
-      std::string_view key = enc.Key(i);
-      if (right_set.Find(key) != KeyTable::kNoGroup) continue;
-      bool inserted = false;
-      seen.InsertOrFind(key, &inserted);
-      if (inserted) sel.push_back(static_cast<uint32_t>(i));
-    }
-    w.WriteGather(b, sel.data(), sel.size(), {});
+    AppendDistinctRows(b, {}, &right_set, &seen, &enc, &w);
   }
   w.Finish();
   return out;

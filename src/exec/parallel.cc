@@ -1,0 +1,479 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/operators.h"
+
+namespace bqe {
+
+// ----------------------------------------------------------- worker pool ---
+
+struct WorkerPool::Impl {
+  std::mutex job_mu;  // Serializes ParallelFor calls.
+  std::mutex mu;      // Guards the job state below.
+  std::condition_variable work_cv, done_cv;
+  bool stop = false;
+  uint64_t seq = 0;
+  size_t job_workers = 0;  // Pool threads participating in the current job.
+  size_t job_n = 0;
+  const std::function<void(size_t, size_t)>* job_fn = nullptr;
+  std::atomic<size_t> cursor{0};
+  size_t finished = 0;
+  std::exception_ptr error;  // First exception thrown by any worker.
+  std::vector<std::thread> threads;
+
+  void WorkerMain(size_t pool_tid, uint64_t last_seen) {
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+      work_cv.wait(lk, [&] { return stop || seq != last_seen; });
+      if (stop) return;
+      last_seen = seq;
+      if (pool_tid >= job_workers) continue;  // Not part of this job.
+      const std::function<void(size_t, size_t)>* fn = job_fn;
+      size_t n = job_n;
+      lk.unlock();
+      std::exception_ptr err;
+      for (size_t it = cursor.fetch_add(1); it < n;
+           it = cursor.fetch_add(1)) {
+        try {
+          (*fn)(pool_tid + 1, it);
+        } catch (...) {
+          // Record, curtail remaining items, and keep the thread alive —
+          // the exception is rethrown on the calling thread after the
+          // fan-in (a throw escaping a thread function would terminate).
+          err = std::current_exception();
+          cursor.store(n);
+          break;
+        }
+      }
+      lk.lock();
+      if (err != nullptr && error == nullptr) error = err;
+      if (++finished == job_workers) done_cv.notify_all();
+    }
+  }
+};
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::Impl* WorkerPool::impl() {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return impl_;
+}
+
+WorkerPool::~WorkerPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+    impl_->work_cv.notify_all();
+  }
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void WorkerPool::ParallelFor(size_t n, size_t workers,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  workers = std::max<size_t>(1, std::min({workers, kMaxThreads, n}));
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  Impl* im = impl();
+  std::lock_guard<std::mutex> job_lk(im->job_mu);
+  size_t pool_workers = workers - 1;  // The caller is worker 0.
+  {
+    std::unique_lock<std::mutex> lk(im->mu);
+    while (im->threads.size() < pool_workers) {
+      size_t tid = im->threads.size();
+      uint64_t seen = im->seq;  // New threads ignore jobs issued before them.
+      im->threads.emplace_back(
+          [im, tid, seen] { im->WorkerMain(tid, seen); });
+    }
+    im->job_fn = &fn;
+    im->job_n = n;
+    im->job_workers = pool_workers;
+    im->finished = 0;
+    im->error = nullptr;
+    im->cursor.store(0);
+    ++im->seq;
+    im->work_cv.notify_all();
+  }
+  std::exception_ptr caller_err;
+  try {
+    for (size_t it = im->cursor.fetch_add(1); it < n;
+         it = im->cursor.fetch_add(1)) {
+      fn(0, it);
+    }
+  } catch (...) {
+    caller_err = std::current_exception();
+    im->cursor.store(n);  // Curtail; workers must still check in below.
+  }
+  // The fan-in wait must complete even on error: workers hold a pointer to
+  // `fn`, which dies when this frame unwinds.
+  std::unique_lock<std::mutex> lk(im->mu);
+  im->done_cv.wait(lk, [&] { return im->finished == im->job_workers; });
+  im->job_fn = nullptr;
+  std::exception_ptr err =
+      im->error != nullptr ? im->error : caller_err;
+  lk.unlock();
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+// ------------------------------------------------------- morsel executor ---
+
+namespace {
+
+/// Ordered concatenation of per-morsel outputs: morsel index order is the
+/// serial row-stream order, which is what makes parallel execution
+/// deterministic and byte-identical to the serial path.
+BatchVec ConcatMorsels(std::vector<BatchVec>* morsels) {
+  if (morsels->size() == 1) return std::move(morsels->front());
+  BatchVec out;
+  size_t total = 0;
+  for (const BatchVec& m : *morsels) total += m.size();
+  out.reserve(total);
+  for (BatchVec& m : *morsels) {
+    for (ColumnBatch& b : m) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+struct ParCtx {
+  const std::vector<PhysicalOp>& ops;
+  const ExecOptions& opts;
+  WorkerPool& pool;
+  size_t workers;
+  std::vector<ExecStats>& wstats;
+};
+
+/// Phase 2 of a fetch: gather the serially collected bucket segments in
+/// row-balanced contiguous morsels.
+BatchVec ParallelFetch(const PhysicalOp& s, const BatchVec& input, ParCtx& cx,
+                       ExecStats* st) {
+  std::vector<FrozenSegment> segs;
+  FetchCounters fc;
+  size_t total = CollectFetchSegments(*s.index, input, &segs, &fc);
+  st->fetch_probes += fc.probes;
+  st->tuples_fetched += fc.tuples_fetched;
+  size_t target =
+      std::max(cx.opts.batch_size, total / (cx.workers * 4) + 1);
+  std::vector<std::pair<size_t, size_t>> morsels;
+  size_t begin = 0, acc = 0;
+  for (size_t k = 0; k < segs.size(); ++k) {
+    acc += segs[k].NumRows();
+    if (acc >= target) {
+      morsels.emplace_back(begin, k + 1);
+      begin = k + 1;
+      acc = 0;
+    }
+  }
+  if (begin < segs.size()) morsels.emplace_back(begin, segs.size());
+  std::vector<BatchVec> mout(morsels.size());
+  cx.pool.ParallelFor(morsels.size(), cx.workers, [&](size_t, size_t m) {
+    BatchWriter w(s.index->output_types(), cx.opts.batch_size, &mout[m]);
+    for (size_t k = morsels[m].first; k < morsels[m].second; ++k) {
+      const FrozenSegment& g = segs[k];
+      if (g.rows != nullptr) {
+        w.WriteGather(*g.batch, g.rows, g.n, {});
+      } else {
+        w.WriteGatherRange(*g.batch, g.begin, g.end - g.begin);
+      }
+    }
+    w.Finish();
+  });
+  return ConcatMorsels(&mout);
+}
+
+BatchVec ParallelProduct(const PhysicalOp& s, const BatchVec& left,
+                         const BatchVec& right, ParCtx& cx) {
+  BatchVec out;
+  if (left.empty() || right.empty() || TotalRows(right) == 0) return out;
+  ColumnBatch scratch;
+  const ColumnBatch* r =
+      MergedChunk(right, right.front().ColumnTypes(), &scratch);
+  std::vector<BatchVec> mout(left.size());
+  cx.pool.ParallelFor(left.size(), cx.workers, [&](size_t, size_t m) {
+    ProductBatch(left[m], *r, s.out_types, cx.opts.batch_size, &mout[m]);
+  });
+  return ConcatMorsels(&mout);
+}
+
+/// Ordered serial merge over per-morsel locally distinct candidates: keeps
+/// the global first occurrence in morsel order, so the result stream equals
+/// the serial set operator's. Shared by ParallelDistinct and the fused
+/// dedupe-project sink.
+BatchVec MergeDistinctCandidates(std::vector<BatchVec>* cand,
+                                 const std::vector<ValueType>& types,
+                                 size_t batch_size) {
+  if (cand->size() == 1) return std::move(cand->front());  // Already distinct.
+  BatchVec out;
+  BatchWriter w(types, batch_size, &out);
+  KeyTable seen;
+  KeyEncoder enc;
+  for (BatchVec& cv : *cand) {
+    for (ColumnBatch& cb : cv) {
+      AppendDistinctRows(cb, {}, nullptr, &seen, &enc, &w);
+    }
+  }
+  w.Finish();
+  return out;
+}
+
+/// Parallel set-semantics kernel: per-morsel local dedupe (optionally
+/// pre-filtered against `exclude`) followed by the ordered serial merge.
+BatchVec ParallelDistinct(const std::vector<const ColumnBatch*>& morsels,
+                          const std::vector<ValueType>& types,
+                          const KeyTable* exclude, ParCtx& cx) {
+  std::vector<BatchVec> cand(morsels.size());
+  cx.pool.ParallelFor(morsels.size(), cx.workers, [&](size_t, size_t m) {
+    KeyTable local(morsels[m]->num_rows());
+    KeyEncoder enc;
+    BatchWriter w(types, cx.opts.batch_size, &cand[m]);
+    AppendDistinctRows(*morsels[m], {}, exclude, &local, &enc, &w);
+    w.Finish();
+  });
+  return MergeDistinctCandidates(&cand, types, cx.opts.batch_size);
+}
+
+BatchVec ParallelUnion(const PhysicalOp& s, const BatchVec& left,
+                       const BatchVec& right, ParCtx& cx) {
+  std::vector<const ColumnBatch*> morsels;
+  morsels.reserve(left.size() + right.size());
+  for (const ColumnBatch& b : left) morsels.push_back(&b);
+  for (const ColumnBatch& b : right) morsels.push_back(&b);
+  return ParallelDistinct(morsels, s.out_types, nullptr, cx);
+}
+
+BatchVec ParallelDiff(const PhysicalOp& s, const BatchVec& left,
+                      const BatchVec& right, ParCtx& cx) {
+  // Build the right-side exclusion set serially; workers only Find() in it.
+  KeyTable right_set(TotalRows(right));
+  KeyEncoder enc;
+  for (const ColumnBatch& b : right) {
+    enc.Encode(b, {});
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      right_set.InsertOrFind(enc.Key(i), nullptr);
+    }
+  }
+  std::vector<const ColumnBatch*> morsels;
+  morsels.reserve(left.size());
+  for (const ColumnBatch& b : left) morsels.push_back(&b);
+  return ParallelDistinct(morsels, s.out_types, &right_set, cx);
+}
+
+/// Executes one fused pipeline: morsels of the materialized source step are
+/// carried through the interior filter/project chain as (selection vector,
+/// column mapping) pairs — no intermediate materialization — and the sink
+/// materializes, probes a shared join build, or locally dedupes.
+BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
+                     ParCtx& cx) {
+  const std::vector<PhysicalOp>& ops = cx.ops;
+  const PhysicalOp& s = ops[static_cast<size_t>(sink_id)];
+  std::vector<int> chain;  // Interior fused steps, sink-adjacent first.
+  int consumer = sink_id;
+  int p = s.kind == PlanStep::Kind::kJoin ? s.left : s.input;
+  while (p >= 0 && ops[static_cast<size_t>(p)].fuse_into == consumer) {
+    chain.push_back(p);
+    consumer = p;
+    p = ops[static_cast<size_t>(p)].input;
+  }
+  std::reverse(chain.begin(), chain.end());  // Now in execution order.
+  int src = p;
+  const BatchVec& src_batches = results[static_cast<size_t>(src)];
+
+  // Pipeline breaker: the join build side is materialized and built once on
+  // this thread, then shared read-only across all probe workers.
+  bool is_join = s.kind == PlanStep::Kind::kJoin;
+  ColumnBatch rscratch;
+  const ColumnBatch* rchunk = nullptr;
+  JoinBuildTable bt;
+  const std::vector<ValueType>& left_types =
+      chain.empty() ? ops[static_cast<size_t>(src)].out_types
+                    : ops[static_cast<size_t>(chain.back())].out_types;
+  if (is_join) {
+    KeyEncoder enc;
+    rchunk = MergedChunk(results[static_cast<size_t>(s.right)],
+                         ops[static_cast<size_t>(s.right)].out_types,
+                         &rscratch);
+    bt = BuildJoinTable(*rchunk, s.rkey, &enc);
+  }
+
+  std::vector<BatchVec> mout(src_batches.size());
+  cx.pool.ParallelFor(src_batches.size(), cx.workers, [&](size_t w,
+                                                          size_t m) {
+    ExecStats& ws = cx.wstats[w];
+    const ColumnBatch& b = src_batches[m];
+    if (is_join && chain.empty()) {
+      // Unfused probe side: probe the source batch in place, exactly like
+      // the serial executor — no selection vector, no gather.
+      KeyEncoder enc;
+      PairWriter pw(s.out_types, cx.opts.batch_size, &mout[m]);
+      ProbeJoinBatch(bt, *rchunk, b, s.lkey, &enc, &pw);
+      return;
+    }
+    std::vector<uint32_t> sel(b.num_rows());
+    for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+    std::vector<int> colmap;  // Empty = identity over b's columns.
+    for (int cid : chain) {
+      const PhysicalOp& c = ops[static_cast<size_t>(cid)];
+      if (c.kind == PlanStep::Kind::kFilter) {
+        FilterSelect(b, c.preds, colmap, &sel);
+      } else {  // Non-dedupe projection: pure column remapping.
+        std::vector<int> nm(c.cols.size());
+        for (size_t j = 0; j < c.cols.size(); ++j) {
+          nm[j] = colmap.empty()
+                      ? c.cols[j]
+                      : colmap[static_cast<size_t>(c.cols[j])];
+        }
+        colmap = std::move(nm);
+      }
+      ws.ForKind(c.kind).rows_out += sel.size();
+      ws.intermediate_rows += sel.size();
+    }
+    KeyEncoder enc;
+    if (s.kind == PlanStep::Kind::kFilter) {
+      FilterSelect(b, s.preds, colmap, &sel);
+      BatchWriter w2(s.out_types, cx.opts.batch_size, &mout[m]);
+      w2.WriteGather(b, sel.data(), sel.size(), colmap);
+      w2.Finish();
+    } else if (s.kind == PlanStep::Kind::kProject) {
+      std::vector<int> fm(s.cols.size());
+      for (size_t j = 0; j < s.cols.size(); ++j) {
+        fm[j] = colmap.empty() ? s.cols[j]
+                               : colmap[static_cast<size_t>(s.cols[j])];
+      }
+      if (!s.dedupe) {
+        BatchWriter w2(s.out_types, cx.opts.batch_size, &mout[m]);
+        w2.WriteGather(b, sel.data(), sel.size(), fm);
+        w2.Finish();
+      } else {
+        // Local dedupe; the ordered global merge runs after the fan-in.
+        ColumnBatch mb(s.out_types);
+        mb.ReserveRows(sel.size());
+        mb.GatherRowsFrom(b, sel.data(), sel.size(), fm);
+        KeyTable local(mb.num_rows());
+        BatchWriter w2(s.out_types, cx.opts.batch_size, &mout[m]);
+        AppendDistinctRows(mb, {}, nullptr, &local, &enc, &w2);
+        w2.Finish();
+      }
+    } else {
+      // Fused probe: materialize the surviving, projected left rows once
+      // per morsel, then probe (join output needs the projected columns).
+      ColumnBatch mb(left_types);
+      mb.ReserveRows(sel.size());
+      mb.GatherRowsFrom(b, sel.data(), sel.size(), colmap);
+      PairWriter pw(s.out_types, cx.opts.batch_size, &mout[m]);
+      ProbeJoinBatch(bt, *rchunk, mb, s.lkey, &enc, &pw);
+    }
+  });
+
+  if (s.kind == PlanStep::Kind::kProject && s.dedupe && !mout.empty()) {
+    return MergeDistinctCandidates(&mout, s.out_types, cx.opts.batch_size);
+  }
+  return ConcatMorsels(&mout);
+}
+
+}  // namespace
+
+Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
+                                          ExecStats* st,
+                                          const ExecOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  const std::vector<PhysicalOp>& ops = plan.ops();
+  size_t workers =
+      std::max<size_t>(1, std::min(opts.num_threads, WorkerPool::kMaxThreads));
+  std::vector<ExecStats> wstats(workers);
+  ParCtx cx{ops, opts, WorkerPool::Shared(), workers, wstats};
+  std::vector<BatchVec> results(ops.size());
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const PhysicalOp& s = ops[i];
+    if (s.fuse_into >= 0) continue;  // Streams into its consumer's pipeline.
+    Clock::time_point t0;
+    if (opts.per_op_timing) t0 = Clock::now();
+    BatchVec out;
+    switch (s.kind) {
+      case PlanStep::Kind::kConst:
+        out = ConstOp(s.const_row, s.out_types);
+        break;
+      case PlanStep::Kind::kEmpty:
+        break;
+      case PlanStep::Kind::kFetch:
+        out = ParallelFetch(s, results[static_cast<size_t>(s.input)], cx, st);
+        break;
+      case PlanStep::Kind::kProduct:
+        out = ParallelProduct(s, results[static_cast<size_t>(s.left)],
+                              results[static_cast<size_t>(s.right)], cx);
+        break;
+      case PlanStep::Kind::kUnion:
+        out = ParallelUnion(s, results[static_cast<size_t>(s.left)],
+                            results[static_cast<size_t>(s.right)], cx);
+        break;
+      case PlanStep::Kind::kDiff:
+        out = ParallelDiff(s, results[static_cast<size_t>(s.left)],
+                           results[static_cast<size_t>(s.right)], cx);
+        break;
+      case PlanStep::Kind::kJoin:
+        if (s.join_cols.empty()) {
+          // No equality columns: cross-join semantics (see HashJoinOp).
+          out = ParallelProduct(s, results[static_cast<size_t>(s.left)],
+                                results[static_cast<size_t>(s.right)], cx);
+          break;
+        }
+        out = RunPipeline(static_cast<int>(i), results, cx);
+        break;
+      case PlanStep::Kind::kProject:
+        if (s.cols.empty()) {
+          // Zero-column projection: dedicated serial path (trivial output).
+          out = ProjectOp(results[static_cast<size_t>(s.input)], s.cols,
+                          s.dedupe, s.out_types, opts.batch_size);
+          break;
+        }
+        out = RunPipeline(static_cast<int>(i), results, cx);
+        break;
+      case PlanStep::Kind::kFilter:
+        out = RunPipeline(static_cast<int>(i), results, cx);
+        break;
+    }
+    size_t rows = TotalRows(out);
+    OpStats& os = st->ForKind(s.kind);
+    ++os.calls;
+    os.rows_out += rows;
+    os.batches_out += out.size();
+    if (opts.per_op_timing) {
+      // Fused pipeline time lands on the sink step by construction.
+      os.ms +=
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    }
+    st->intermediate_rows += rows;
+    st->batches_produced += out.size();
+    results[i] = std::move(out);
+  }
+  // Fused interior steps ran inside pipelines: one call each, rows counted
+  // by the workers (merged below).
+  for (const PhysicalOp& s : ops) {
+    if (s.fuse_into >= 0) ++st->ForKind(s.kind).calls;
+  }
+  for (const ExecStats& ws : wstats) st->Merge(ws);
+
+  const BatchVec& last = results[static_cast<size_t>(plan.output())];
+  Table out(plan.output_schema());
+  for (const ColumnBatch& b : last) {
+    BQE_RETURN_IF_ERROR(out.AppendBatch(b));
+  }
+  st->output_rows = out.NumRows();
+  return out;
+}
+
+}  // namespace bqe

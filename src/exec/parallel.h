@@ -1,0 +1,62 @@
+#ifndef BQE_EXEC_PARALLEL_H_
+#define BQE_EXEC_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "exec/exec_stats.h"
+#include "exec/physical_plan.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// A lazily grown, process-wide pool of execution worker threads. One job
+/// (ParallelFor call) runs at a time; concurrent callers serialize. The
+/// calling thread always participates as worker 0, so `ParallelFor(n, 1,
+/// fn)` degenerates to a plain loop with no cross-thread traffic.
+class WorkerPool {
+ public:
+  /// Upper bound on pool threads (and thus on useful ExecOptions::
+  /// num_threads). Far above any sane bounded-plan fan-out.
+  static constexpr size_t kMaxThreads = 16;
+
+  /// The shared pool. Threads are created on first use and grown on demand
+  /// up to kMaxThreads - 1 pool threads (the caller is the extra worker).
+  static WorkerPool& Shared();
+
+  ~WorkerPool();
+
+  /// Runs fn(worker_id, item) for every item in [0, n), distributed
+  /// dynamically (morsel stealing via an atomic cursor) over
+  /// min(workers, kMaxThreads) workers including the calling thread.
+  /// Worker ids are dense in [0, workers). Blocks until all items finish.
+  void ParallelFor(size_t n, size_t workers,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  struct Impl;
+  Impl* impl();  // Lazy so the header stays light.
+  Impl* impl_ = nullptr;
+};
+
+/// Morsel-driven parallel execution of a compiled plan: workers pull
+/// batch-range morsels of each pipeline's source through fused
+/// fetch→filter→project→probe stages with thread-local scratch, hash-join
+/// build sides are built once and shared read-only at pipeline breakers,
+/// set-semantics breakers (dedupe / union / diff) run a per-morsel local
+/// dedupe followed by an ordered serial merge, and per-thread ExecStats are
+/// merged at the end. The produced row stream is byte-identical to the
+/// serial executor's. Callers must have frozen all fetch indices
+/// (ExecutePhysicalPlan does this before dispatching here).
+Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
+                                          ExecStats* stats,
+                                          const ExecOptions& opts);
+
+}  // namespace bqe
+
+#endif  // BQE_EXEC_PARALLEL_H_

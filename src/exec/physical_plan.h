@@ -1,0 +1,92 @@
+#ifndef BQE_EXEC_PHYSICAL_PLAN_H_
+#define BQE_EXEC_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/index.h"
+#include "core/plan.h"
+#include "exec/column_batch.h"
+#include "exec/exec_stats.h"
+#include "storage/table.h"
+
+namespace bqe {
+
+/// One operator of a compiled physical plan. Everything the logical
+/// `PlanStep` left symbolic is resolved here at compile time: the fetch
+/// step's AccessIndex binding, every step's derived output column types,
+/// the join's split key-column lists, and the fusion mark the parallel
+/// executor uses to stream this step's output into its consumer without
+/// materializing it.
+struct PhysicalOp {
+  PlanStep::Kind kind = PlanStep::Kind::kConst;
+  int input = -1;              // kFetch / kProject / kFilter.
+  int left = -1, right = -1;   // kProduct / kJoin / kUnion / kDiff.
+  const AccessIndex* index = nullptr;  // kFetch, resolved via source_id.
+  Tuple const_row;                     // kConst.
+  std::vector<int> cols;               // kProject.
+  bool dedupe = false;                 // kProject.
+  std::vector<PlanPredicate> preds;    // kFilter.
+  std::vector<std::pair<int, int>> join_cols;  // kJoin.
+  std::vector<int> lkey, rkey;                 // kJoin, join_cols split.
+  std::vector<ValueType> out_types;    // Derived static column types.
+  int num_consumers = 0;       // How many later ops read this op's result.
+  /// Id of the op this op's output streams into under morsel-driven
+  /// execution (-1 = materialized). Set when this op is a streamable
+  /// transform (filter / non-dedupe project) with exactly one consumer that
+  /// can absorb it (filter, project, or the probe side of a hash join).
+  int fuse_into = -1;
+};
+
+/// A compiled, immutable, reusable physical plan: the operator DAG of one
+/// `BoundedPlan` with all per-execution derivation (type propagation, fetch
+/// index resolution, step validation, output schema) hoisted into
+/// `Compile()`. Execution never touches plan/schema metadata again —
+/// repeated executions of a cached PhysicalPlan skip straight to operator
+/// dispatch. The plan *borrows* its AccessIndex bindings from the IndexSet
+/// it was compiled against and its logical-plan reference from the source
+/// BoundedPlan; both must outlive it (the engine's PreparedQuery keeps the
+/// BoundedPlan and the compiled form side by side, and the engine owns the
+/// IndexSet).
+class PhysicalPlan {
+ public:
+  static Result<PhysicalPlan> Compile(const BoundedPlan& plan,
+                                      const IndexSet& indices);
+
+  const std::vector<PhysicalOp>& ops() const { return ops_; }
+  int output() const { return output_; }
+  const RelationSchema& output_schema() const { return output_schema_; }
+
+  /// The logical plan this was compiled from (row-path fallback, debugging).
+  const BoundedPlan& source_plan() const { return *source_; }
+  const IndexSet& indices() const { return *indices_; }
+
+  /// Live total entry count of the fetch steps' indices — the adaptive
+  /// micro-plan signal (ExecOptions::row_path_threshold). Recomputed per
+  /// call: maintenance changes it.
+  size_t FetchIndexEntries() const;
+
+ private:
+  PhysicalPlan() = default;
+
+  std::vector<PhysicalOp> ops_;
+  int output_ = -1;
+  RelationSchema output_schema_;
+  const BoundedPlan* source_ = nullptr;
+  const IndexSet* indices_ = nullptr;
+};
+
+/// Executes a compiled plan: serial vectorized dispatch by default,
+/// morsel-driven parallel execution when opts.num_threads > 1, and the
+/// row-at-a-time interpreter below opts.row_path_threshold. Freezes every
+/// fetch index (serially) before any worker fan-out.
+Result<Table> ExecutePhysicalPlan(const PhysicalPlan& plan,
+                                  ExecStats* stats = nullptr,
+                                  const ExecOptions& opts = {});
+
+}  // namespace bqe
+
+#endif  // BQE_EXEC_PHYSICAL_PLAN_H_

@@ -151,6 +151,141 @@ TEST_F(EngineTest, IndexFootprintReported) {
             fx_.db.TotalTuples() * fx_.schema.size());
 }
 
+TEST_F(EngineTest, PlanCacheHitOnRepeatedExecute) {
+  Result<ExecuteResult> first = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->plan_cache_hit);
+  Result<ExecuteResult> second = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_TRUE(Table::SameSet(first->table, second->table));
+
+  PlanCacheStats stats = engine_->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(engine_->plan_cache_size(), 1u);
+
+  // A structurally different query is its own entry.
+  Result<ExecuteResult> other = engine_->Execute(MakeQ0());
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->plan_cache_hit);
+  EXPECT_EQ(engine_->plan_cache_size(), 2u);
+}
+
+TEST_F(EngineTest, PlanCacheSkipsPrepareWorkOnHit) {
+  // A cache hit must reuse the compiled physical plan object, not re-run
+  // C2-C5: PrepareCompiled returns the same shared instance.
+  bool hit = false;
+  Result<std::shared_ptr<const PreparedQuery>> a =
+      engine_->PrepareCompiled(MakeQ1(), &hit);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE((*a)->physical != nullptr);
+  Result<std::shared_ptr<const PreparedQuery>> b =
+      engine_->PrepareCompiled(MakeQ1(), &hit);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ((*a)->physical.get(), (*b)->physical.get());
+}
+
+TEST_F(EngineTest, ApplyBumpsEpochAndInvalidatesPlanCache) {
+  uint64_t epoch0 = engine_->Epoch();
+  ASSERT_TRUE(engine_->Execute(MakeQ1()).ok());
+  ASSERT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+
+  std::vector<Delta> deltas = {
+      Delta::Insert("friend", {Value::Str("p0"), Value::Str("f3")}),
+      Delta::Insert("dine", {Value::Str("f3"), Value::Str("c4"), Value::Int(5),
+                             Value::Int(2015)}),
+  };
+  ASSERT_TRUE(engine_->Apply(deltas).ok());
+  EXPECT_GT(engine_->Epoch(), epoch0);
+
+  // The stale entry must not be served: the re-prepared plan sees fresh
+  // data (c4 joined the answer set) and the execute is a cache miss.
+  Result<ExecuteResult> fresh = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->plan_cache_hit);
+  EXPECT_EQ(fresh->table.NumRows(), 3u);
+  // And the refreshed entry serves hits again.
+  EXPECT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+}
+
+TEST_F(EngineTest, PlanCacheDistinguishesNearbyDoubleConstants) {
+  // The printed algebra form truncates doubles to 6 significant digits, so
+  // queries over constants that differ only beyond that would collide on a
+  // print-based cache key while computing different answers (double
+  // comparison is exact). The fingerprint's exact constant encoding must
+  // keep them in separate entries.
+  Database db;
+  ASSERT_TRUE(db.CreateTable(RelationSchema(
+                                 "m", {Attribute{"k", ValueType::kString},
+                                       Attribute{"v", ValueType::kDouble}}))
+                  .ok());
+  const double v1 = 1.00000011, v2 = 1.00000012;
+  ASSERT_TRUE(db.Insert("m", {Value::Str("a"), Value::Double(v1)}).ok());
+  ASSERT_TRUE(db.Insert("m", {Value::Str("a"), Value::Double(v2)}).ok());
+  AccessSchema schema;
+  ASSERT_TRUE(
+      schema.Add(AccessConstraint::Parse("m((k) -> (v), 4)").value(),
+                 db.catalog())
+          .ok());
+  BoundedEngine engine(&db, schema);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  auto q_with = [](double c) {
+    return Project(Select(Rel("m"), {EqC(A("m", "k"), Value::Str("a")),
+                                     EqC(A("m", "v"), Value::Double(c))}),
+                   {A("m", "v")});
+  };
+  Result<ExecuteResult> first = engine.Execute(q_with(v1));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->table.NumRows(), 1u);
+  EXPECT_EQ(first->table.rows()[0][0], Value::Double(v1));
+
+  Result<ExecuteResult> second = engine.Execute(q_with(v2));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second->plan_cache_hit);
+  ASSERT_EQ(second->table.NumRows(), 1u);
+  EXPECT_EQ(second->table.rows()[0][0], Value::Double(v2));
+}
+
+TEST_F(EngineTest, PlanCacheCanBeDisabled) {
+  EngineOptions opts;
+  opts.plan_cache = false;
+  BoundedEngine engine(&fx_.db, fx_.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ASSERT_TRUE(engine.Execute(MakeQ1()).ok());
+  Result<ExecuteResult> second = engine.Execute(MakeQ1());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->plan_cache_hit);
+  EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+}
+
+TEST_F(EngineTest, ParallelExecutionMatchesSerial) {
+  EngineOptions serial_opts;
+  serial_opts.exec_threads = 1;
+  serial_opts.row_path_threshold = 0;
+  BoundedEngine serial(&fx_.db, fx_.schema, serial_opts);
+  ASSERT_TRUE(serial.BuildIndices().ok());
+
+  EngineOptions par_opts = serial_opts;
+  par_opts.exec_threads = 4;
+  BoundedEngine parallel(&fx_.db, fx_.schema, par_opts);
+  ASSERT_TRUE(parallel.BuildIndices().ok());
+
+  for (const RaExprPtr& q : {MakeQ1(), MakeQ0Prime(), MakeQ0()}) {
+    Result<ExecuteResult> s = serial.Execute(q);
+    Result<ExecuteResult> p = parallel.Execute(q);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(Table::SameSet(s->table, p->table));
+    EXPECT_EQ(s->bounded_stats.tuples_fetched, p->bounded_stats.tuples_fetched);
+  }
+}
+
 TEST_F(EngineTest, SqlForPlanIsNonTrivial) {
   Result<PrepareInfo> info = engine_->Prepare(MakeQ1());
   ASSERT_TRUE(info.ok());

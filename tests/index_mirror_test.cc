@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "constraints/index.h"
+#include "exec/key_codec.h"
+#include "storage/database.h"
+#include "testutil.h"
+
+namespace bqe {
+namespace {
+
+/// Tests of the AccessIndex frozen columnar mirror's incremental
+/// maintenance: ApplyInsert/ApplyDelete patch the affected bucket (base +
+/// overflow row lists) instead of invalidating the whole mirror, and
+/// FrozenProbe stays consistent with the Fetch() oracle across arbitrary
+/// delta interleavings.
+
+/// Boxes the rows a FrozenProbe returns, via the segment API.
+std::vector<Tuple> ProbeTuples(const AccessIndex& idx, const Tuple& xkey) {
+  idx.EnsureFrozen();
+  std::string key;
+  AppendEncodedTuple(xkey, &key);
+  FrozenSegment segs[2];
+  size_t ns = idx.FrozenProbe(key, segs);
+  std::vector<Tuple> out;
+  for (size_t k = 0; k < ns; ++k) {
+    const FrozenSegment& s = segs[k];
+    if (s.rows != nullptr) {
+      for (uint32_t i = 0; i < s.n; ++i) {
+        out.push_back(s.batch->RowToTuple(s.rows[i]));
+      }
+    } else {
+      for (uint32_t r = s.begin; r < s.end; ++r) {
+        out.push_back(s.batch->RowToTuple(r));
+      }
+    }
+  }
+  return out;
+}
+
+/// Set equality between the mirror's view of a bucket and the map-backed
+/// Fetch() oracle.
+void ExpectBucketMatches(const AccessIndex& idx, const Tuple& xkey) {
+  std::vector<Tuple> mirror = ProbeTuples(idx, xkey);
+  std::vector<Tuple> oracle = idx.Fetch(xkey);
+  auto key_of = [](const Tuple& t) {
+    std::string k;
+    AppendEncodedTuple(t, &k);
+    return k;
+  };
+  std::multiset<std::string> m, o;
+  for (const Tuple& t : mirror) m.insert(key_of(t));
+  for (const Tuple& t : oracle) o.insert(key_of(t));
+  EXPECT_EQ(m, o) << "bucket mismatch: mirror " << mirror.size()
+                  << " rows, oracle " << oracle.size() << " rows";
+}
+
+class IndexMirrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fx_ = testutil::MakeGraphSearch();
+    const Table* dine = fx_.db.Require("dine").value();
+    AccessConstraint c =
+        AccessConstraint::Parse("dine((pid) -> (cid, month), 64)").value();
+    c.id = 0;
+    Result<AccessIndex> idx = AccessIndex::Build(*dine, c);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    idx_ = std::make_unique<AccessIndex>(std::move(*idx));
+  }
+
+  Tuple Row(const char* pid, const char* cid, int64_t month, int64_t year) {
+    return {Value::Str(pid), Value::Str(cid), Value::Int(month),
+            Value::Int(year)};
+  }
+
+  testutil::GraphSearchFixture fx_;
+  std::unique_ptr<AccessIndex> idx_;
+};
+
+TEST_F(IndexMirrorTest, FreshMirrorMatchesOracle) {
+  for (const char* pid : {"p0", "f1", "f2", "nobody"}) {
+    ExpectBucketMatches(*idx_, {Value::Str(pid)});
+  }
+}
+
+TEST_F(IndexMirrorTest, InsertPatchesBucketWithoutRebuild) {
+  idx_->EnsureFrozen();
+  uint64_t e0 = idx_->epoch();
+  // New row for an existing key: the bucket gains an overflow entry.
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c9", 3, 2016)).ok());
+  EXPECT_GT(idx_->epoch(), e0);
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  // Untouched buckets still resolve through their contiguous base range.
+  ExpectBucketMatches(*idx_, {Value::Str("f2")});
+}
+
+TEST_F(IndexMirrorTest, InsertNewKeyCreatesOverflowBucket) {
+  idx_->EnsureFrozen();
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f9", "c1", 7, 2016)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f9")});
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f9", "c2", 8, 2016)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f9")});
+}
+
+TEST_F(IndexMirrorTest, DuplicateInsertLeavesMirrorAlone) {
+  idx_->EnsureFrozen();
+  // (pid -> cid, month) projection of this row already exists: refcount
+  // bump only, distinct entry set unchanged.
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c1", 5, 2017)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  // Deleting one of the two copies keeps the entry.
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c1", 5, 2017)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+}
+
+TEST_F(IndexMirrorTest, DeletePatchesBaseRow) {
+  idx_->EnsureFrozen();
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c1", 5, 2015)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  EXPECT_EQ(ProbeTuples(*idx_, {Value::Str("f1")}).size(), 1u);
+}
+
+TEST_F(IndexMirrorTest, DeleteWholeBucketLeavesEmptyProbe) {
+  idx_->EnsureFrozen();
+  ASSERT_TRUE(idx_->ApplyDelete(Row("p0", "c1", 1, 2014)).ok());
+  ASSERT_TRUE(idx_->ApplyDelete(Row("p0", "c4", 2, 2015)).ok());
+  EXPECT_TRUE(ProbeTuples(*idx_, {Value::Str("p0")}).empty());
+  EXPECT_TRUE(idx_->Fetch({Value::Str("p0")}).empty());
+}
+
+TEST_F(IndexMirrorTest, InsertDeleteInterleavingStaysConsistent) {
+  idx_->EnsureFrozen();
+  // A chain of deltas against one hot key plus collateral on others. Probe
+  // between every delta: interleavings must never observe a stale bucket.
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c5", 1, 2016)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c2", 5, 2015)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c2", 5, 2015)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c5", 1, 2016)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f2", "c5", 2, 2016)).ok());
+  ExpectBucketMatches(*idx_, {Value::Str("f2")});
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+}
+
+TEST_F(IndexMirrorTest, PatchBudgetForcesCleanRebuild) {
+  idx_->EnsureFrozen();
+  // Far more distinct-entry deltas than the patch budget (entries/4 + 64):
+  // the mirror must rebuild itself and stay consistent afterwards.
+  for (int i = 0; i < 300; ++i) {
+    std::string cid = "c" + std::to_string(i);
+    ASSERT_TRUE(idx_->ApplyInsert({Value::Str("bulk"), Value::Str(cid),
+                                   Value::Int(i % 12 + 1), Value::Int(2000)})
+                    .ok());
+  }
+  ExpectBucketMatches(*idx_, {Value::Str("bulk")});
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  for (int i = 0; i < 300; ++i) {
+    std::string cid = "c" + std::to_string(i);
+    ASSERT_TRUE(idx_->ApplyDelete({Value::Str("bulk"), Value::Str(cid),
+                                   Value::Int(i % 12 + 1), Value::Int(2000)})
+                    .ok());
+  }
+  EXPECT_TRUE(ProbeTuples(*idx_, {Value::Str("bulk")}).empty());
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+}
+
+TEST_F(IndexMirrorTest, EpochIsMonotonic) {
+  uint64_t e0 = idx_->epoch();
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c9", 3, 2016)).ok());
+  uint64_t e1 = idx_->epoch();
+  EXPECT_GT(e1, e0);
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c9", 3, 2016)).ok());
+  uint64_t e2 = idx_->epoch();
+  EXPECT_GT(e2, e1);
+  idx_->SetBound(128);
+  EXPECT_GT(idx_->epoch(), e2);
+}
+
+}  // namespace
+}  // namespace bqe
