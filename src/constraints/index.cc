@@ -70,6 +70,12 @@ size_t AccessIndex::FetchInto(const Tuple& xkey, ColumnBatch* out,
 }
 
 void AccessIndex::BuildFrozen() const {
+  // The first full build opens generation 1; a lazy rebuild completes the
+  // generation its invalidation already opened (see mirror_generation()).
+  if (frozen_.rebuilds == 0) {
+    mirror_gen_->fetch_add(1, std::memory_order_release);
+  }
+  ++frozen_.rebuilds;
   frozen_.keys = KeyTable(buckets_.size());
   frozen_.start.clear();
   frozen_.end.clear();
@@ -105,6 +111,19 @@ void AccessIndex::EnsureFrozen() const {
 const ColumnBatch& AccessIndex::FrozenEntries() const {
   EnsureFrozen();
   return frozen_.entries;
+}
+
+void AccessIndex::InvalidateMirror() const {
+  frozen_.valid = false;
+  // Advance the generation at the *invalidation*, not the eventual lazy
+  // rebuild: plan-cache lookups between the budget blow and the next
+  // EnsureFrozen must already see the plans as stale.
+  mirror_gen_->fetch_add(1, std::memory_order_release);
+}
+
+size_t AccessIndex::mirror_patch_ops() const {
+  std::lock_guard<std::mutex> lk(*freeze_mu_);
+  return frozen_.patch_ops;
 }
 
 size_t AccessIndex::FrozenProbe(std::string_view encoded_xkey,
@@ -154,7 +173,7 @@ AccessIndex::Frozen::PatchedGroup& AccessIndex::MaterializePatch(
 void AccessIndex::PatchFrozenInsert(const Tuple& xkey,
                                     const Tuple& entry) const {
   if (PatchBudgetExceeded()) {
-    frozen_.valid = false;
+    InvalidateMirror();
     return;
   }
   std::string key;
@@ -176,14 +195,14 @@ void AccessIndex::PatchFrozenInsert(const Tuple& xkey,
 void AccessIndex::PatchFrozenDelete(const Tuple& xkey,
                                     const Tuple& entry) const {
   if (PatchBudgetExceeded()) {
-    frozen_.valid = false;
+    InvalidateMirror();
     return;
   }
   std::string key;
   AppendEncodedTuple(xkey, &key);
   uint32_t g = frozen_.keys.Find(key);
   if (g == KeyTable::kNoGroup) {  // Inconsistent mirror: rebuild.
-    frozen_.valid = false;
+    InvalidateMirror();
     return;
   }
   Frozen::PatchedGroup& pg = MaterializePatch(g);
@@ -203,7 +222,7 @@ void AccessIndex::PatchFrozenDelete(const Tuple& xkey,
   };
   if (!erase_match(&pg.base, frozen_.entries) &&
       !erase_match(&pg.extra, frozen_.extra)) {
-    frozen_.valid = false;  // Inconsistent mirror: rebuild.
+    InvalidateMirror();  // Inconsistent mirror: rebuild.
     return;
   }
   ++frozen_.patch_ops;
@@ -218,7 +237,7 @@ int64_t AccessIndex::MaxGroupSize() const {
 }
 
 Status AccessIndex::ApplyInsert(const Tuple& row) {
-  ++epoch_;
+  ++data_epoch_;
   Tuple key = KeyOf(row);
   auto& bucket = buckets_[key];
   auto [it, inserted] = bucket.emplace(EntryOf(row), 0);
@@ -236,7 +255,7 @@ Status AccessIndex::ApplyInsert(const Tuple& row) {
 }
 
 Status AccessIndex::ApplyDelete(const Tuple& row) {
-  ++epoch_;
+  ++data_epoch_;
   Tuple key = KeyOf(row);
   auto bit = buckets_.find(key);
   if (bit == buckets_.end()) {
@@ -263,7 +282,7 @@ Status AccessIndex::ApplyDelete(const Tuple& row) {
 }
 
 void AccessIndex::SetBound(int64_t n) {
-  ++epoch_;
+  ++bounds_epoch_;
   constraint_.n = n;
   violating_keys_ = 0;
   for (const auto& [key, bucket] : buckets_) {
@@ -303,9 +322,15 @@ size_t IndexSet::TotalEntries() const {
   return n;
 }
 
-uint64_t IndexSet::Epoch() const {
+uint64_t IndexSet::DataEpoch() const {
   uint64_t e = 0;
-  for (const auto& idx : indices_) e += idx->epoch();
+  for (const auto& idx : indices_) e += idx->data_epoch();
+  return e;
+}
+
+uint64_t IndexSet::BoundsEpoch() const {
+  uint64_t e = 0;
+  for (const auto& idx : indices_) e += idx->bounds_epoch();
   return e;
 }
 

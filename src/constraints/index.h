@@ -1,6 +1,7 @@
 #ifndef BQE_CONSTRAINTS_INDEX_H_
 #define BQE_CONSTRAINTS_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -102,8 +103,36 @@ class AccessIndex {
 
   /// Monotonic mutation counter: bumped by every ApplyInsert/ApplyDelete/
   /// SetBound. Snapshot it at freeze time; an unchanged epoch guarantees the
-  /// frozen mirror still reflects the index (plan-cache / fan-out coherence).
-  uint64_t epoch() const { return epoch_; }
+  /// frozen mirror still reflects the index (fan-out coherence).
+  uint64_t epoch() const { return data_epoch_ + bounds_epoch_; }
+
+  /// Data-side mutation counter: bumped by ApplyInsert/ApplyDelete only.
+  /// Data deltas leave a compiled plan *correct* (the plan binds this live
+  /// index, and the mirror is patched in place), so the engine's plan cache
+  /// deliberately ignores this counter.
+  uint64_t data_epoch() const { return data_epoch_; }
+
+  /// Bounds-side mutation counter: bumped by SetBound only. A changed bound
+  /// is a schema-level event — coverage, minimization and plan costs may
+  /// shift — so the engine folds this into its bounds/schema epoch and
+  /// invalidates cached plans.
+  uint64_t bounds_epoch() const { return bounds_epoch_; }
+
+  /// Mirror coherence generation: the number of full mirror (re)builds,
+  /// counting a pending one (patch budget blown, rebuild deferred to the
+  /// next EnsureFrozen) as already having happened. A cached plan snapshots
+  /// this per bound index at prepare time; a changed generation means the
+  /// relation churned past its patch budget and the engine re-validates
+  /// exactly the plans touching it. A single atomic load — safe against
+  /// concurrent lazy freezes and never blocks behind one (the engine reads
+  /// it under its cache lock on every lookup).
+  uint64_t mirror_generation() const {
+    return mirror_gen_->load(std::memory_order_acquire);
+  }
+
+  /// Patches applied to the mirror since its last full (re)build. Test /
+  /// diagnostics accessor for the budget accounting.
+  size_t mirror_patch_ops() const;
 
   /// Incremental maintenance on a base-table insert/delete of `row`
   /// (full-width row of the indexed relation). O(1) expected per call; the
@@ -138,9 +167,14 @@ class AccessIndex {
     };
     std::unordered_map<uint32_t, PatchedGroup> patched;
     size_t patch_ops = 0;  // Budget: rebuild once patches pile up.
+    uint64_t rebuilds = 0;  // Full (re)builds completed; see mirror_generation().
   };
 
   void BuildFrozen() const;
+  /// Marks the mirror invalid (rebuild pending) and advances the coherence
+  /// generation. Only called on a valid mirror, so each call is one
+  /// valid -> invalid transition.
+  void InvalidateMirror() const;
   /// Patches the mirror for one inserted/deleted distinct entry. Falls back
   /// to invalidation when the patch budget is exhausted (or on any
   /// inconsistency, defensively).
@@ -157,8 +191,15 @@ class AccessIndex {
   std::unordered_map<Tuple, std::map<Tuple, int64_t, TupleLess>, TupleHash> buckets_;
   size_t num_entries_ = 0;
   size_t violating_keys_ = 0;
-  uint64_t epoch_ = 0;
+  uint64_t data_epoch_ = 0;    // ApplyInsert/ApplyDelete.
+  uint64_t bounds_epoch_ = 0;  // SetBound.
   mutable Frozen frozen_;
+  /// See mirror_generation(). Incremented on the first full build and on
+  /// every valid -> invalid transition; a completed lazy rebuild does not
+  /// move it (the pending rebuild was already counted). Heap-allocated so
+  /// AccessIndex stays movable.
+  mutable std::unique_ptr<std::atomic<uint64_t>> mirror_gen_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
   /// Serializes lazy BuildFrozen() between concurrent readers. Maintenance
   /// does not take it (writers must be externally serialized anyway).
   /// Heap-allocated so AccessIndex stays movable.
@@ -179,10 +220,12 @@ class IndexSet {
   size_t TotalEntries() const;
   size_t size() const { return indices_.size(); }
 
-  /// Sum of all per-index epochs: changes whenever any index is mutated.
-  /// The engine folds this into its plan-cache key so cached compiled plans
-  /// are coherent with maintenance.
-  uint64_t Epoch() const;
+  /// Sum of per-index data epochs (changes on any ApplyInsert/ApplyDelete)
+  /// and bounds epochs (changes on any SetBound). The engine folds
+  /// BoundsEpoch() into its plan-cache coherence key; DataEpoch() lets
+  /// callers detect whether a maintenance batch actually touched an index.
+  uint64_t DataEpoch() const;
+  uint64_t BoundsEpoch() const;
 
   /// True when any index currently sees a cardinality violation.
   bool HasViolation() const;

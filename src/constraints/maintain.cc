@@ -4,13 +4,14 @@
 
 namespace bqe {
 
-Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
-                                     IndexSet* indices,
-                                     const std::vector<Delta>& deltas,
-                                     OverflowPolicy policy) {
-  MaintenanceStats stats;
-  // Precompute constraint ids per relation once; deltas then touch only the
-  // indices of their own relation.
+namespace {
+
+/// The batch loop proper, accumulating into *stats as it goes so the caller
+/// sees exactly what was applied even when the batch stops part-way.
+Status DoApplyDeltas(Database* db, AccessSchema* schema, IndexSet* indices,
+                     const std::vector<Delta>& deltas, OverflowPolicy policy,
+                     MaintenanceStats* stats) {
+  // Deltas touch only the indices of their own relation.
   for (const Delta& d : deltas) {
     Table* table = db->GetMutable(d.rel);
     if (table == nullptr) {
@@ -20,12 +21,12 @@ Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
     std::vector<int> cids = schema->ForRelation(d.rel);
     if (d.kind == Delta::Kind::kInsert) {
       BQE_RETURN_IF_ERROR(table->Insert(d.row));
-      ++stats.inserts;
+      ++stats->inserts;
       for (int cid : cids) {
         AccessIndex* idx = indices->GetMutable(cid);
         if (idx == nullptr) continue;
         BQE_RETURN_IF_ERROR(idx->ApplyInsert(d.row));
-        ++stats.index_updates;
+        ++stats->index_updates;
         if (idx->HasViolation()) {
           if (policy == OverflowPolicy::kStrict) {
             return Status::ConstraintViolation(
@@ -37,20 +38,34 @@ Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
           int64_t new_n = idx->MaxGroupSize();
           BQE_RETURN_IF_ERROR(schema->SetBound(cid, new_n));
           idx->SetBound(new_n);
-          ++stats.constraints_grown;
+          ++stats->constraints_grown;
         }
       }
     } else {
       BQE_RETURN_IF_ERROR(table->Erase(d.row));
-      ++stats.deletes;
+      ++stats->deletes;
       for (int cid : cids) {
         AccessIndex* idx = indices->GetMutable(cid);
         if (idx == nullptr) continue;
         BQE_RETURN_IF_ERROR(idx->ApplyDelete(d.row));
-        ++stats.index_updates;
+        ++stats->index_updates;
       }
     }
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
+                                     IndexSet* indices,
+                                     const std::vector<Delta>& deltas,
+                                     OverflowPolicy policy,
+                                     MaintenanceStats* applied) {
+  MaintenanceStats stats;
+  Status st = DoApplyDeltas(db, schema, indices, deltas, policy, &stats);
+  if (applied != nullptr) *applied = stats;
+  if (!st.ok()) return st;
   return stats;
 }
 

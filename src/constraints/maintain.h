@@ -48,10 +48,16 @@ struct MaintenanceStats {
 /// Under kStrict, the function stops at the first violating insert and
 /// returns ConstraintViolation; previously applied deltas stay applied
 /// (callers that need atomicity batch-validate first).
+///
+/// `applied` (optional) receives the running stats even when the batch
+/// fails part-way, so callers can tell a cleanly rejected batch (nothing
+/// applied, caches stay coherent) from a partially applied one (the engine
+/// must bump its data epoch).
 Result<MaintenanceStats> ApplyDeltas(Database* db, AccessSchema* schema,
                                      IndexSet* indices,
                                      const std::vector<Delta>& deltas,
-                                     OverflowPolicy policy);
+                                     OverflowPolicy policy,
+                                     MaintenanceStats* applied = nullptr);
 
 }  // namespace bqe
 

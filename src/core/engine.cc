@@ -53,11 +53,15 @@ Status BoundedEngine::BuildIndices() {
         StrCat("database does not satisfy the access schema:\n",
                report.ToString()));
   }
+  // Rebuilding indices invalidates every compiled plan: their AccessIndex
+  // bindings point into the replaced IndexSet. The schema-epoch bump makes
+  // any entry that somehow survives the clear (or a stale shared_ptr held
+  // by a caller) detectably incoherent without chasing dangling pointers —
+  // which requires folding in the outgoing IndexSet's bounds epochs first,
+  // or SchemaEpoch() could repeat a past value when the sum resets to zero.
+  schema_epoch_ += indices_.BoundsEpoch() + 1;
   BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_));
   indices_built_ = true;
-  // Rebuilding indices invalidates every compiled plan: their AccessIndex
-  // bindings point into the replaced IndexSet.
-  ++epoch_;
   ClearPlanCache();
   return Status::Ok();
 }
@@ -101,25 +105,39 @@ Result<PrepareInfo> BoundedEngine::Prepare(const RaExprPtr& query) const {
   return info;
 }
 
+bool BoundedEngine::IsCoherent(const PreparedQuery& pq,
+                               uint64_t schema_epoch) const {
+  // The epoch check must come first: a stale epoch means BuildIndices()
+  // replaced the IndexSet and the snapshots' pointers dangle.
+  if (pq.schema_epoch != schema_epoch) return false;
+  for (const BoundIndexSnapshot& s : pq.bound_indices) {
+    if (s.index->mirror_generation() != s.mirror_generation) return false;
+  }
+  return true;
+}
+
 Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
     const RaExprPtr& query, bool* cache_hit) const {
   if (cache_hit != nullptr) *cache_hit = false;
   // Normalization, coverage and planning are pure functions of the
-  // fingerprint (given a fixed catalog and schema epoch), so two queries
-  // that fingerprint alike prepare alike. Both key parts are computed only
-  // when caching is on — with the cache disabled this function must not add
-  // per-query work.
+  // fingerprint (given a fixed catalog and bounds/schema epoch), so two
+  // queries that fingerprint alike prepare alike. Both key parts are
+  // computed only when caching is on — with the cache disabled this
+  // function must not add per-query work.
   std::string fp;
-  uint64_t epoch = 0;
+  uint64_t schema_epoch = 0;
   if (options_.plan_cache) {
     fp = QueryFingerprint(query);
-    epoch = Epoch();
+    schema_epoch = SchemaEpoch();
     std::lock_guard<std::mutex> lk(cache_mu_);
     auto it = cache_.find(fp);
-    if (it != cache_.end() && it->second->epoch == epoch) {
-      ++cache_stats_.hits;
-      if (cache_hit != nullptr) *cache_hit = true;
-      return it->second;
+    if (it != cache_.end()) {
+      if (IsCoherent(*it->second, schema_epoch)) {
+        ++cache_stats_.hits;
+        if (cache_hit != nullptr) *cache_hit = true;
+        return it->second;
+      }
+      ++cache_stats_.reprepares;
     }
     ++cache_stats_.misses;
   }
@@ -130,17 +148,26 @@ Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
     BQE_ASSIGN_OR_RETURN(PhysicalPlan pp,
                          PhysicalPlan::Compile(pq->info.plan, indices_));
     pq->physical = std::make_shared<const PhysicalPlan>(std::move(pp));
+    // The plan's read set over the index layer: per-relation coherence
+    // signals for schema-granular re-validation. Only needed when the
+    // entry will actually live in the cache.
+    if (options_.plan_cache) {
+      for (const AccessIndex* idx : pq->physical->fetch_indices()) {
+        pq->bound_indices.push_back(
+            BoundIndexSnapshot{idx, idx->mirror_generation()});
+      }
+    }
   }
-  pq->epoch = epoch;
+  pq->schema_epoch = schema_epoch;
 
   if (options_.plan_cache) {
     std::lock_guard<std::mutex> lk(cache_mu_);
     if (cache_.size() >= options_.plan_cache_capacity) {
-      // Evict stale-epoch entries first; if every entry is current the
+      // Evict incoherent entries first; if every entry is current the
       // cache is simply full of live plans — drop it wholesale (rare, and
       // re-preparing is exactly the cached work).
       for (auto it = cache_.begin(); it != cache_.end();) {
-        if (it->second->epoch != epoch) {
+        if (!IsCoherent(*it->second, schema_epoch)) {
           it = cache_.erase(it);
           ++cache_stats_.evictions;
         } else {
@@ -196,10 +223,18 @@ Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
   if (!indices_built_) {
     return Status::FailedPrecondition("call BuildIndices() first");
   }
-  // Index mutations bump per-index epochs (folded into Epoch()); bump the
-  // engine epoch too so even no-op delta batches invalidate conservatively.
-  ++epoch_;
-  return ApplyDeltas(db_, &schema_, &indices_, deltas, policy);
+  // Data-only maintenance leaves every cached plan valid: plans bind live
+  // AccessIndices whose mirrors are patched in place, and the adaptive
+  // row-path decision is re-taken per execution. Only the data epoch moves,
+  // and only when something was actually applied — a rejected batch must
+  // not perturb any cached state. Bound growth (kGrow -> SetBound) and
+  // patch-budget mirror rebuilds surface through IndexSet::BoundsEpoch()
+  // and the per-plan BoundIndexSnapshots; no engine-level bump needed here.
+  MaintenanceStats applied;
+  Result<MaintenanceStats> r =
+      ApplyDeltas(db_, &schema_, &indices_, deltas, policy, &applied);
+  if (applied.inserts + applied.deletes > 0) ++data_epoch_;
+  return r;
 }
 
 PlanCacheStats BoundedEngine::plan_cache_stats() const {

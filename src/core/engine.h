@@ -33,10 +33,11 @@ struct EngineOptions {
   /// (when false, Execute returns NotCovered instead).
   bool baseline_fallback = true;
   /// Cache prepared queries (coverage + minimization + plan + compiled
-  /// physical plan) keyed by query fingerprint and engine epoch, so a
-  /// repeated Execute() of the same query skips C2-C5 entirely.
+  /// physical plan) keyed by query fingerprint and the bounds/schema
+  /// epoch, so a repeated Execute() of the same query skips C2-C5
+  /// entirely — including across data-only Apply() batches.
   bool plan_cache = true;
-  /// Max cached prepared queries; stale-epoch entries are evicted first.
+  /// Max cached prepared queries; incoherent entries are evicted first.
   size_t plan_cache_capacity = 256;
   /// Execution threads for bounded plans: 1 = serial, >1 = morsel-driven
   /// parallel execution, 0 = auto (hardware concurrency, capped).
@@ -60,14 +61,31 @@ struct PrepareInfo {
   std::string explanation;   ///< Human-readable coverage explanation.
 };
 
+/// Coherence snapshot of one AccessIndex a compiled plan binds, taken at
+/// prepare time. The pointer is only dereferenced while the schema epoch it
+/// was prepared under is still current (BuildIndices() replaces the IndexSet
+/// and bumps that epoch, so stale pointers are never chased).
+struct BoundIndexSnapshot {
+  const AccessIndex* index = nullptr;  ///< Relation via index->constraint().
+  uint64_t mirror_generation = 0;      ///< AccessIndex::mirror_generation().
+};
+
 /// A fully prepared query: the Prepare() analysis plus the compiled
 /// physical plan, reusable across executions. This is what the engine's
 /// plan cache stores; the compiled plan borrows index bindings from the
 /// engine's IndexSet and must not outlive the engine.
+///
+/// Coherence is schema-granular: `schema_epoch` keys the entry to the
+/// bounds/schema state (BuildIndices + any SetBound), and `bound_indices`
+/// records the plan's read set over the index layer so heavy churn on one
+/// relation (a mirror rebuild past the patch budget) re-validates only the
+/// plans touching it. Data-only deltas invalidate nothing: the plan binds
+/// live AccessIndices whose mirrors are patched in place.
 struct PreparedQuery {
   PrepareInfo info;
   std::shared_ptr<const PhysicalPlan> physical;  ///< Set when covered.
-  uint64_t epoch = 0;  ///< Engine epoch this was prepared under.
+  uint64_t schema_epoch = 0;  ///< Engine bounds/schema epoch at prepare.
+  std::vector<BoundIndexSnapshot> bound_indices;  ///< Covered plans only.
 };
 
 /// Plan-cache observability counters.
@@ -75,6 +93,11 @@ struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Misses that found a cached entry and threw it away as incoherent
+  /// (schema epoch moved, or a bound index's mirror rebuilt). First-time
+  /// preparations are plain misses; this counts re-prepare storms, and the
+  /// cache-coherence stress test pins it at zero across data-only deltas.
+  uint64_t reprepares = 0;
 };
 
 /// Result of Execute().
@@ -94,9 +117,17 @@ struct ExecuteResult {
 ///
 /// Repeated queries take the fast path: PrepareCompiled() memoizes the full
 /// C2-C5 pipeline plus physical-plan compilation behind a fingerprint
-/// (printed algebra form + exact type-tagged constant encoding) + epoch
-/// key; BuildIndices() and Apply() bump the epoch, so maintenance
-/// invalidates exactly the cached work it staled.
+/// (printed algebra form + exact type-tagged constant encoding) keyed to
+/// the *bounds/schema epoch*. Boundedness is a property of the access
+/// schema, not the data: data-only Apply() batches leave every cached plan
+/// valid (bound AccessIndex mirrors are patched in place and the row-path
+/// decision is re-taken per execution), so delta+query interleavings keep
+/// their cache hits. Only schema-level events invalidate: BuildIndices()
+/// (bumps SchemaEpoch and replaces the IndexSet) and bound changes
+/// (SetBound under OverflowPolicy::kGrow, folded in via
+/// IndexSet::BoundsEpoch()); additionally a plan is re-prepared when one of
+/// *its own* bound indices rebuilt its mirror past the patch budget
+/// (per-relation re-validation via BoundIndexSnapshot).
 ///
 /// Concurrency: concurrent const calls (Execute/Prepare/PrepareCompiled)
 /// are safe — the plan cache is internally locked and lazy index freezes
@@ -123,7 +154,10 @@ class BoundedEngine {
   Result<ExecuteResult> Execute(const RaExprPtr& query) const;
 
   /// Incremental maintenance of D, A and I_A (Proposition 12). Bumps the
-  /// engine epoch: cached prepared queries re-prepare on next use.
+  /// *data* epoch — and only when something was actually applied (a cleanly
+  /// rejected batch leaves all cached state coherent). Cached plans stay
+  /// valid and keep serving hits; they re-prepare only if the batch changed
+  /// a bound (kGrow) or blew a bound index's mirror patch budget.
   Result<MaintenanceStats> Apply(const std::vector<Delta>& deltas,
                                  OverflowPolicy policy = OverflowPolicy::kGrow);
 
@@ -134,9 +168,16 @@ class BoundedEngine {
   /// Index footprint in tuples (compared against |D| in Exp-1(IV)).
   size_t IndexFootprint() const { return indices_.TotalEntries(); }
 
-  /// Schema/index epoch: bumped by BuildIndices() and Apply(), folded with
-  /// IndexSet::Epoch() into the plan-cache coherence check.
-  uint64_t Epoch() const { return epoch_ + indices_.Epoch(); }
+  /// Bounds/schema epoch: the plan-cache coherence key. Moves on
+  /// BuildIndices() and on any bound change (IndexSet::BoundsEpoch(), i.e.
+  /// SetBound — in practice OverflowPolicy::kGrow raising an N). Data-only
+  /// maintenance leaves it unchanged.
+  uint64_t SchemaEpoch() const { return schema_epoch_ + indices_.BoundsEpoch(); }
+
+  /// Data epoch: bumped once per Apply() batch that applied at least one
+  /// delta (fully or partially). Cached plans are *not* keyed on it — it
+  /// exists for observability and for external caches layered on results.
+  uint64_t DataEpoch() const { return data_epoch_; }
 
   PlanCacheStats plan_cache_stats() const;
   size_t plan_cache_size() const;
@@ -145,12 +186,18 @@ class BoundedEngine {
  private:
   size_t EffectiveThreads() const;
 
+  /// True when a cached entry may still be served under the current
+  /// bounds/schema epoch: the epoch matches and none of the plan's bound
+  /// indices rebuilt their mirror since prepare time.
+  bool IsCoherent(const PreparedQuery& pq, uint64_t schema_epoch) const;
+
   Database* db_;
   AccessSchema schema_;
   EngineOptions options_;
   IndexSet indices_;
   bool indices_built_ = false;
-  uint64_t epoch_ = 0;
+  uint64_t schema_epoch_ = 0;  ///< Bumped by BuildIndices().
+  uint64_t data_epoch_ = 0;    ///< Bumped by Apply() batches that applied.
 
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>

@@ -38,6 +38,7 @@ void ExecStats::Merge(const ExecStats& other) {
   intermediate_rows += other.intermediate_rows;
   output_rows += other.output_rows;
   batches_produced += other.batches_produced;
+  used_row_path = used_row_path || other.used_row_path;
   for (size_t k = 0; k < kNumPlanStepKinds; ++k) {
     op[k].calls += other.op[k].calls;
     op[k].rows_out += other.op[k].rows_out;

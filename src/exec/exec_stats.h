@@ -33,6 +33,11 @@ struct ExecStats {
   uint64_t intermediate_rows = 0;
   uint64_t output_rows = 0;
   uint64_t batches_produced = 0;  ///< Total batches across all steps.
+  /// True when the adaptive fallback ran the row-at-a-time interpreter for
+  /// this execution (see ExecOptions::row_path_threshold). The decision is
+  /// taken per execution from the live fetch-index entry count, so a cached
+  /// plan re-decides as maintenance grows or shrinks its tables.
+  bool used_row_path = false;
   OpStats op[kNumPlanStepKinds];  ///< Indexed by PlanStep::Kind.
 
   OpStats& ForKind(PlanStep::Kind k) { return op[static_cast<size_t>(k)]; }

@@ -390,6 +390,11 @@ Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
                                           ExecStats* st,
                                           const ExecOptions& opts) {
   using Clock = std::chrono::steady_clock;
+  // Freeze-before-fan-out, restated here for direct callers: with
+  // schema-granular cache coherence a compiled plan now outlives delta
+  // batches, so its fetch mirrors may carry a pending (budget-forced)
+  // rebuild. Idempotent and cheap when already frozen.
+  for (const AccessIndex* idx : plan.fetch_indices()) idx->EnsureFrozen();
   const std::vector<PhysicalOp>& ops = plan.ops();
   size_t workers =
       std::max<size_t>(1, std::min(opts.num_threads, WorkerPool::kMaxThreads));

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
 
 #include "common/strings.h"
 #include "core/plan_exec.h"
@@ -88,6 +87,10 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const BoundedPlan& plan,
       case PlanStep::Kind::kFetch: {
         BQE_ASSIGN_OR_RETURN(op.index, ResolveFetchIndex(plan, s, indices));
         BQE_ASSIGN_OR_RETURN(op.input, CheckStepRef(s.input, i));
+        if (std::find(pp.fetch_indices_.begin(), pp.fetch_indices_.end(),
+                      op.index) == pp.fetch_indices_.end()) {
+          pp.fetch_indices_.push_back(op.index);
+        }
         break;
       }
       case PlanStep::Kind::kProject: {
@@ -167,12 +170,7 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const BoundedPlan& plan,
 
 size_t PhysicalPlan::FetchIndexEntries() const {
   size_t n = 0;
-  std::unordered_set<const AccessIndex*> seen;
-  for (const PhysicalOp& op : ops_) {
-    if (op.kind == PlanStep::Kind::kFetch && seen.insert(op.index).second) {
-      n += op.index->NumEntries();
-    }
-  }
+  for (const AccessIndex* idx : fetch_indices_) n += idx->NumEntries();
   return n;
 }
 
@@ -260,17 +258,18 @@ Result<Table> ExecutePhysicalPlan(const PhysicalPlan& plan, ExecStats* stats,
                                   const ExecOptions& opts) {
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
-  // Adaptive micro-plan fallback: below the threshold the boxed interpreter
-  // beats per-operator batch setup (see docs/architecture.md).
+  // Adaptive micro-plan fallback, decided per execution from the *live*
+  // fetch-entry count: below the threshold the boxed interpreter beats
+  // per-operator batch setup (see docs/architecture.md). Cached plans
+  // therefore re-decide as maintenance grows or shrinks their tables.
   if (opts.row_path_threshold > 0 &&
       plan.FetchIndexEntries() <= opts.row_path_threshold) {
+    st->used_row_path = true;
     return ExecutePlanRowAtATime(plan.source_plan(), plan.indices(), st);
   }
   // Freeze-before-fan-out: build every fetch index's columnar mirror on this
   // thread; afterwards workers only do const reads of the frozen state.
-  for (const PhysicalOp& op : plan.ops()) {
-    if (op.kind == PlanStep::Kind::kFetch) op.index->EnsureFrozen();
-  }
+  for (const AccessIndex* idx : plan.fetch_indices()) idx->EnsureFrozen();
   if (opts.num_threads > 1) {
     return ExecutePhysicalPlanParallel(plan, st, opts);
   }

@@ -64,15 +64,27 @@ class PhysicalPlan {
   const BoundedPlan& source_plan() const { return *source_; }
   const IndexSet& indices() const { return *indices_; }
 
+  /// The distinct AccessIndices this plan's fetch steps bind, resolved at
+  /// compile time. This is the plan's *read set* over the index layer: the
+  /// engine snapshots per-index coherence signals (mirror generation) from
+  /// it so maintenance re-validates exactly the cached plans touching a
+  /// churned relation, and execution freezes/sizes fetch mirrors through it
+  /// without rescanning the op DAG.
+  const std::vector<const AccessIndex*>& fetch_indices() const {
+    return fetch_indices_;
+  }
+
   /// Live total entry count of the fetch steps' indices — the adaptive
   /// micro-plan signal (ExecOptions::row_path_threshold). Recomputed per
-  /// call: maintenance changes it.
+  /// execution (never frozen into the plan): maintenance changes it, and a
+  /// cached plan must re-decide row-path vs vectorized as tables grow.
   size_t FetchIndexEntries() const;
 
  private:
   PhysicalPlan() = default;
 
   std::vector<PhysicalOp> ops_;
+  std::vector<const AccessIndex*> fetch_indices_;  // Distinct, compile order.
   int output_ = -1;
   RelationSchema output_schema_;
   const BoundedPlan* source_ = nullptr;

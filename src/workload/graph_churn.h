@@ -1,0 +1,107 @@
+#ifndef BQE_WORKLOAD_GRAPH_CHURN_H_
+#define BQE_WORKLOAD_GRAPH_CHURN_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/access_schema.h"
+#include "constraints/maintain.h"
+#include "ra/builder.h"
+#include "storage/database.h"
+
+namespace bqe {
+namespace workload {
+
+/// The delta+query interleaving workload shared by
+/// tests/cache_coherence_stress_test.cc and bench/bench_cache_coherence:
+/// the paper's Example-1 relations (friend/dine/cafe under access schema
+/// A0) scaled by a size parameter, plus the query form and data-only delta
+/// batches both harnesses replay. Kept in one place so the bench keeps
+/// measuring exactly the scenario the stress test pins.
+struct GraphChurnConfig {
+  int pids = 30;
+  int friends_per_pid = 20;
+  int cafes = 100;
+
+  std::string Pid(int i) const { return "p" + std::to_string(i); }
+  std::string Fid(int k) const { return "f" + std::to_string(k); }
+  std::string Cid(int k) const { return "c" + std::to_string(k % cafes); }
+};
+
+struct GraphChurnFixture {
+  Database db;
+  AccessSchema schema;
+  GraphChurnConfig cfg;
+};
+
+/// Builds the scaled instance: pids x friends_per_pid friend edges, three
+/// may-2015 dinings per friend, cafes across three cities. Sized so that
+/// O(100) delta batches stay inside every mirror patch budget
+/// (entries/4 + 64) and no bound ever grows.
+inline GraphChurnFixture MakeGraphChurnFixture(GraphChurnConfig cfg = {}) {
+  GraphChurnFixture fx;
+  fx.cfg = cfg;
+  auto str = [](const char* s) { return Attribute{s, ValueType::kString}; };
+  auto intp = [](const char* s) { return Attribute{s, ValueType::kInt}; };
+  Status st = fx.db.CreateTable(
+      RelationSchema("friend", {str("pid"), str("fid")}));
+  st = fx.db.CreateTable(RelationSchema(
+      "dine", {str("pid"), str("cid"), intp("month"), intp("year")}));
+  st = fx.db.CreateTable(RelationSchema("cafe", {str("cid"), str("city")}));
+  for (const char* text :
+       {"friend((pid) -> (fid), 5000)", "dine((pid, year, month) -> (cid), 31)",
+        "dine((pid, cid) -> (pid, cid), 1)", "cafe((cid) -> (city), 1)"}) {
+    st = fx.schema.Add(AccessConstraint::Parse(text).value(), fx.db.catalog());
+  }
+  auto S = [](const std::string& s) { return Value::Str(s); };
+  auto I = [](int64_t i) { return Value::Int(i); };
+  for (int c = 0; c < cfg.cafes; ++c) {
+    const char* city = c % 3 == 0 ? "nyc" : (c % 3 == 1 ? "sf" : "la");
+    st = fx.db.Insert("cafe", {S(cfg.Cid(c)), S(city)});
+  }
+  for (int i = 0; i < cfg.pids; ++i) {
+    for (int j = 0; j < cfg.friends_per_pid; ++j) {
+      int k = i * cfg.friends_per_pid + j;
+      st = fx.db.Insert("friend", {S(cfg.Pid(i)), S(cfg.Fid(k))});
+      for (int d = 0; d < 3; ++d) {
+        st = fx.db.Insert(
+            "dine", {S(cfg.Fid(k)), S(cfg.Cid(k * 7 + d)), I(5), I(2015)});
+      }
+    }
+  }
+  (void)st;
+  return fx;
+}
+
+/// Q1 of Example 1 parameterized by person: pid's friends' may-2015 nyc
+/// cafes. Distinct constants fingerprint to distinct plan-cache entries.
+inline RaExprPtr FriendsNycCafesQuery(const std::string& pid) {
+  return Project(
+      Select(Product(Product(Rel("friend"), Rel("dine")), Rel("cafe")),
+             {EqC(A("friend", "pid"), Value::Str(pid)),
+              EqA(A("friend", "fid"), A("dine", "pid")),
+              EqC(A("dine", "month"), Value::Int(5)),
+              EqC(A("dine", "year"), Value::Int(2015)),
+              EqA(A("dine", "cid"), A("cafe", "cid")),
+              EqC(A("cafe", "city"), Value::Str("nyc"))}),
+      {A("cafe", "cid")});
+}
+
+/// One data-only delta batch: a new friend of p{b % pids} who dined at one
+/// cafe. Never grows a bound, never exceeds a patch budget, but keeps the
+/// query answers evolving so stale plans would be caught.
+inline std::vector<Delta> GraphChurnBatch(const GraphChurnConfig& cfg,
+                                          const std::string& tag, int b) {
+  std::string nf = tag + std::to_string(b);
+  return {
+      Delta::Insert("friend",
+                    {Value::Str(cfg.Pid(b % cfg.pids)), Value::Str(nf)}),
+      Delta::Insert("dine", {Value::Str(nf), Value::Str(cfg.Cid(b)),
+                             Value::Int(5), Value::Int(2015)}),
+  };
+}
+
+}  // namespace workload
+}  // namespace bqe
+
+#endif  // BQE_WORKLOAD_GRAPH_CHURN_H_

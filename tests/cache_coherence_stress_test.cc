@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/physical_plan.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace {
+
+/// Stress coverage for schema-granular plan-cache coherence: data-only
+/// Apply() batches interleaved with repeated Execute() of the same queries
+/// must produce zero re-prepares while staying row-for-row identical to an
+/// engine with no plan cache at all. The threaded variant exercises the
+/// documented serving discipline (Apply externally serialized against
+/// Execute via a shared_mutex) under ThreadSanitizer.
+
+using workload::FriendsNycCafesQuery;
+using workload::GraphChurnBatch;
+using workload::GraphChurnConfig;
+using workload::GraphChurnFixture;
+using workload::MakeGraphChurnFixture;
+
+EngineOptions DeterministicOptions(size_t threads) {
+  EngineOptions opts;
+  opts.exec_threads = threads;
+  // Force the vectorized executor so both engines emit the same row stream
+  // (the row-path fallback is exercised by engine_test instead).
+  opts.row_path_threshold = 0;
+  return opts;
+}
+
+void ExpectRowForRowEqual(const Table& got, const Table& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  for (size_t r = 0; r < got.rows().size(); ++r) {
+    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
+  }
+}
+
+/// Prepares and compiles `q` from scratch against the engine's live
+/// indices (bypassing the plan cache entirely) and executes it — the
+/// "freshly-prepared plan" oracle. Over the same index state the row
+/// *stream* must be byte-identical to the cached plan's; a fresh engine
+/// would rebuild its mirrors in a different bucket layout and only agree
+/// as a set.
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q,
+                            size_t threads) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  EXPECT_TRUE(pp.ok()) << pp.status().ToString();
+  ExecOptions eo;
+  eo.num_threads = threads;
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, eo);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(*t);
+}
+
+TEST(CacheCoherenceStressTest, HundredDataOnlyBatchesZeroReprepares) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(1));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  EngineOptions uncached_opts = DeterministicOptions(1);
+  uncached_opts.plan_cache = false;
+
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+
+  // Warm the cache once; every later Execute must hit.
+  for (const RaExprPtr& q : queries) {
+    Result<ExecuteResult> r = engine.Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->used_bounded_plan);
+  }
+  const uint64_t warm_misses = engine.plan_cache_stats().misses;
+  const uint64_t schema0 = engine.SchemaEpoch();
+
+  constexpr int kBatches = 120;
+  for (int b = 0; b < kBatches; ++b) {
+    Result<MaintenanceStats> st =
+        engine.Apply(GraphChurnBatch(fx.cfg, "nf", b));
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    ASSERT_EQ(st->constraints_grown, 0u) << "batch must stay data-only";
+
+    // Differential, both ways: the cached plan must emit the exact row
+    // stream of a freshly prepared+compiled plan over the same live
+    // indices, and agree as a set with a from-scratch uncached engine
+    // (whose rebuilt mirrors order buckets differently).
+    BoundedEngine oracle(&fx.db, fx.schema, uncached_opts);
+    ASSERT_TRUE(oracle.BuildIndices().ok());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      Result<ExecuteResult> cached = engine.Execute(queries[qi]);
+      ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+      EXPECT_TRUE(cached->plan_cache_hit)
+          << "batch " << b << " query " << qi;
+      std::string ctx =
+          "batch " + std::to_string(b) + " query " + std::to_string(qi);
+      ExpectRowForRowEqual(
+          cached->table, FreshlyPreparedAnswer(engine, queries[qi], 1), ctx);
+      Result<ExecuteResult> fresh = oracle.Execute(queries[qi]);
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+      EXPECT_TRUE(Table::SameSet(cached->table, fresh->table)) << ctx;
+    }
+  }
+
+  PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_EQ(stats.reprepares, 0u);
+  EXPECT_EQ(stats.misses, warm_misses) << "no re-prepare across data deltas";
+  EXPECT_EQ(stats.hits,
+            static_cast<uint64_t>(kBatches) * queries.size());
+  EXPECT_EQ(engine.SchemaEpoch(), schema0);
+  EXPECT_EQ(engine.DataEpoch(), static_cast<uint64_t>(kBatches));
+}
+
+TEST(CacheCoherenceStressTest, ConcurrentApplyAndExecuteStayCoherent) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+  for (const RaExprPtr& q : queries) ASSERT_TRUE(engine.Execute(q).ok());
+
+  // The engine's documented serving discipline: Apply() is a writer and
+  // must be externally serialized against Execute(); concurrent const
+  // Execute() calls are safe among themselves. A shared_mutex encodes
+  // exactly that, and ThreadSanitizer checks the engine holds up its side.
+  std::shared_mutex mu;
+  constexpr int kWriterBatches = 60;
+  std::atomic<bool> done{false};
+  std::atomic<int> executed{0};
+  std::atomic<bool> failed{false};
+  // glibc's rwlock is reader-preferring: free-running readers would starve
+  // the writer indefinitely. This explicit gate hands the writer priority —
+  // readers pause at the top of their loop while a batch is waiting.
+  std::atomic<bool> writer_waiting{false};
+
+  std::thread writer([&] {
+    for (int b = 0; b < kWriterBatches; ++b) {
+      // Pace the deltas against reader progress so batches genuinely
+      // interleave with cache-hitting executions instead of racing ahead.
+      while (executed.load() < b && !failed.load()) std::this_thread::yield();
+      writer_waiting.store(true);
+      {
+        std::unique_lock<std::shared_mutex> lk(mu);
+        writer_waiting.store(false);
+        Result<MaintenanceStats> st =
+            engine.Apply(GraphChurnBatch(fx.cfg, "nc", b));
+        if (!st.ok() || st->constraints_grown != 0) failed.store(true);
+      }
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t qi = static_cast<size_t>(t);
+      while (!done.load()) {
+        while (writer_waiting.load() && !done.load()) {
+          std::this_thread::yield();
+        }
+        std::shared_lock<std::shared_mutex> lk(mu);
+        Result<ExecuteResult> r =
+            engine.Execute(queries[qi++ % queries.size()]);
+        if (!r.ok() || !r->used_bounded_plan) failed.store(true);
+        executed.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(executed.load(), 0);
+
+  // Post-delta answers from the (still cached) plans match a freshly
+  // prepared plan row-for-row, and an independent uncached engine as a set.
+  EngineOptions uncached_opts = DeterministicOptions(2);
+  uncached_opts.plan_cache = false;
+  BoundedEngine oracle(&fx.db, fx.schema, uncached_opts);
+  ASSERT_TRUE(oracle.BuildIndices().ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    Result<ExecuteResult> cached = engine.Execute(queries[qi]);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_TRUE(cached->plan_cache_hit);
+    std::string ctx = "post-delta query " + std::to_string(qi);
+    ExpectRowForRowEqual(cached->table,
+                         FreshlyPreparedAnswer(engine, queries[qi], 2), ctx);
+    Result<ExecuteResult> fresh = oracle.Execute(queries[qi]);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(Table::SameSet(cached->table, fresh->table)) << ctx;
+  }
+  EXPECT_EQ(engine.plan_cache_stats().reprepares, 0u);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -189,8 +189,12 @@ TEST_F(EngineTest, PlanCacheSkipsPrepareWorkOnHit) {
   EXPECT_EQ((*a)->physical.get(), (*b)->physical.get());
 }
 
-TEST_F(EngineTest, ApplyBumpsEpochAndInvalidatesPlanCache) {
-  uint64_t epoch0 = engine_->Epoch();
+TEST_F(EngineTest, DataOnlyApplyKeepsPlanCacheWarmAndAnswersFresh) {
+  // Boundedness is a property of the access schema, not the data: a
+  // data-only delta batch must leave the compiled plan cached (schema epoch
+  // unchanged) while execution sees the maintained indices.
+  uint64_t schema0 = engine_->SchemaEpoch();
+  uint64_t data0 = engine_->DataEpoch();
   ASSERT_TRUE(engine_->Execute(MakeQ1()).ok());
   ASSERT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
 
@@ -200,16 +204,128 @@ TEST_F(EngineTest, ApplyBumpsEpochAndInvalidatesPlanCache) {
                              Value::Int(2015)}),
   };
   ASSERT_TRUE(engine_->Apply(deltas).ok());
-  EXPECT_GT(engine_->Epoch(), epoch0);
+  EXPECT_EQ(engine_->SchemaEpoch(), schema0);
+  EXPECT_EQ(engine_->DataEpoch(), data0 + 1);
 
-  // The stale entry must not be served: the re-prepared plan sees fresh
-  // data (c4 joined the answer set) and the execute is a cache miss.
+  // Cache hit AND fresh data: the cached plan binds live indices, so c4
+  // joins the answer set without a re-prepare.
   Result<ExecuteResult> fresh = engine_->Execute(MakeQ1());
   ASSERT_TRUE(fresh.ok());
-  EXPECT_FALSE(fresh->plan_cache_hit);
+  EXPECT_TRUE(fresh->plan_cache_hit);
   EXPECT_EQ(fresh->table.NumRows(), 3u);
-  // And the refreshed entry serves hits again.
+  EXPECT_EQ(engine_->plan_cache_stats().reprepares, 0u);
+}
+
+TEST_F(EngineTest, RejectedApplyDoesNotPerturbCacheOrDataEpoch) {
+  // Regression: Apply() used to bump the coherence epoch *before* running
+  // the batch, so a rejected batch staled every cached plan for nothing.
+  ASSERT_TRUE(engine_->Execute(MakeQ1()).ok());
+  uint64_t data0 = engine_->DataEpoch();
+
+  // Cleanly rejected: unknown table, nothing applied.
+  std::vector<Delta> bad = {Delta::Insert("nope", {Value::Str("x")})};
+  EXPECT_EQ(engine_->Apply(bad).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_->DataEpoch(), data0);
   EXPECT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+
+  // Partially applied under kStrict: the violating insert itself lands
+  // (documented ApplyDeltas semantics), so the data epoch must move — but
+  // no bound changed, so cached plans still serve hits.
+  std::vector<Delta> overflow = {
+      Delta::Insert("cafe", {Value::Str("c1"), Value::Str("boston")})};
+  EXPECT_EQ(engine_->Apply(overflow, OverflowPolicy::kStrict).status().code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(engine_->DataEpoch(), data0 + 1);
+  EXPECT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+  EXPECT_EQ(engine_->plan_cache_stats().reprepares, 0u);
+}
+
+TEST_F(EngineTest, BoundGrowthBumpsSchemaEpochAndReprepares) {
+  // kGrow raising an N is a schema-level event: SetBound moves the
+  // bounds/schema epoch and every cached plan re-prepares on next use.
+  ASSERT_TRUE(engine_->Execute(MakeQ1()).ok());
+  uint64_t schema0 = engine_->SchemaEpoch();
+
+  // cafe((cid) -> (city), 1): a second city for c1 overflows and grows N.
+  std::vector<Delta> grow = {
+      Delta::Insert("cafe", {Value::Str("c1"), Value::Str("boston")})};
+  Result<MaintenanceStats> st = engine_->Apply(grow, OverflowPolicy::kGrow);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ(st->constraints_grown, 1u);
+  EXPECT_GT(engine_->SchemaEpoch(), schema0);
+
+  Result<ExecuteResult> r = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->plan_cache_hit);
+  EXPECT_EQ(engine_->plan_cache_stats().reprepares, 1u);
+  EXPECT_EQ(r->table.NumRows(), 2u);  // Answer set unchanged by the delta.
+  // The refreshed entry serves hits again.
+  EXPECT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+}
+
+TEST_F(EngineTest, CachedPlanReengagesVectorizedPathAfterGrowth) {
+  // Regression for stale adaptivity: the row-path-vs-vectorized decision is
+  // taken per execution from live index sizes, so a plan compiled (and
+  // cached) below row_path_threshold must switch to the vectorized executor
+  // on a cache *hit* once deltas grow its fetch entries past the threshold.
+  EngineOptions opts;
+  opts.exec_threads = 1;
+  opts.row_path_threshold = 32;
+  BoundedEngine engine(&fx_.db, fx_.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  Result<ExecuteResult> small = engine.Execute(MakeQ1());
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_TRUE(small->bounded_stats.used_row_path);
+
+  // Grow dine well past the threshold but inside the mirror patch budget
+  // (entries/4 + 64), so the cached plan stays coherent throughout.
+  std::vector<Delta> growth;
+  for (int i = 0; i < 40; ++i) {
+    growth.push_back(Delta::Insert(
+        "dine", {Value::Str("zz" + std::to_string(i)), Value::Str("c9"),
+                 Value::Int(1), Value::Int(2000)}));
+  }
+  ASSERT_TRUE(engine.Apply(growth).ok());
+
+  Result<ExecuteResult> big = engine.Execute(MakeQ1());
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->plan_cache_hit);
+  EXPECT_FALSE(big->bounded_stats.used_row_path);
+  EXPECT_GT(big->bounded_stats.batches_produced, 0u);
+  EXPECT_EQ(big->table.NumRows(), 2u);  // New diners don't affect Q1.
+}
+
+TEST_F(EngineTest, MirrorRebuildReprepairesOnlyPlansTouchingThatRelation) {
+  // Per-relation granularity: blowing one relation's mirror patch budget
+  // re-prepares the plans bound to it and nothing else.
+  RaExprPtr friends_q =
+      Project(Select(Rel("friend"), {EqC(A("friend", "pid"), Value::Str("p0"))}),
+              {A("friend", "fid")});
+  ASSERT_TRUE(engine_->Execute(friends_q).ok());
+  ASSERT_TRUE(engine_->Execute(MakeQ1()).ok());  // Binds cafe (and others).
+  ASSERT_TRUE(engine_->Execute(friends_q)->plan_cache_hit);
+  ASSERT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+
+  // Far more distinct cafe inserts than the patch budget: the cafe mirror
+  // rebuilds. friend is untouched.
+  std::vector<Delta> churn;
+  for (int i = 0; i < 200; ++i) {
+    churn.push_back(Delta::Insert(
+        "cafe", {Value::Str("new" + std::to_string(i)), Value::Str("nyc")}));
+  }
+  ASSERT_TRUE(engine_->Apply(churn).ok());
+
+  EXPECT_TRUE(engine_->Execute(friends_q)->plan_cache_hit);
+  uint64_t reprepares0 = engine_->plan_cache_stats().reprepares;
+  EXPECT_EQ(reprepares0, 0u);
+  Result<ExecuteResult> q1 = engine_->Execute(MakeQ1());
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(q1->plan_cache_hit);
+  EXPECT_EQ(engine_->plan_cache_stats().reprepares, 1u);
+  // Both stabilize again.
+  EXPECT_TRUE(engine_->Execute(MakeQ1())->plan_cache_hit);
+  EXPECT_TRUE(engine_->Execute(friends_q)->plan_cache_hit);
 }
 
 TEST_F(EngineTest, PlanCacheDistinguishesNearbyDoubleConstants) {

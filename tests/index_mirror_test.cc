@@ -182,5 +182,58 @@ TEST_F(IndexMirrorTest, EpochIsMonotonic) {
   EXPECT_GT(idx_->epoch(), e2);
 }
 
+TEST_F(IndexMirrorTest, DataAndBoundsEpochsMoveIndependently) {
+  // Plan-cache coherence hangs off this split: data deltas must not move
+  // the bounds epoch (plans stay cached), and SetBound must not hide behind
+  // the data epoch (plans must invalidate).
+  uint64_t d0 = idx_->data_epoch();
+  uint64_t b0 = idx_->bounds_epoch();
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c9", 3, 2016)).ok());
+  ASSERT_TRUE(idx_->ApplyDelete(Row("f1", "c9", 3, 2016)).ok());
+  EXPECT_EQ(idx_->data_epoch(), d0 + 2);
+  EXPECT_EQ(idx_->bounds_epoch(), b0);
+  idx_->SetBound(128);
+  EXPECT_EQ(idx_->data_epoch(), d0 + 2);
+  EXPECT_EQ(idx_->bounds_epoch(), b0 + 1);
+}
+
+TEST_F(IndexMirrorTest, RebuildResetsPatchBudgetAndPatchesReengage) {
+  // Audit of the patch accounting: a forced clean rebuild must reset
+  // patch_ops, so the index goes back to O(1) patching instead of being
+  // permanently pinned in invalidate-and-rebuild mode.
+  idx_->EnsureFrozen();
+  uint64_t gen0 = idx_->mirror_generation();
+  // Blow the budget (entries/4 + 64 for this small index).
+  for (int i = 0; i < 300; ++i) {
+    std::string cid = "c" + std::to_string(i);
+    ASSERT_TRUE(idx_->ApplyInsert({Value::Str("bulk"), Value::Str(cid),
+                                   Value::Int(i % 12 + 1), Value::Int(2000)})
+                    .ok());
+  }
+  // The pending rebuild is already visible to coherence checks...
+  EXPECT_EQ(idx_->mirror_generation(), gen0 + 1);
+  idx_->EnsureFrozen();  // ...and completing it does not double-count.
+  EXPECT_EQ(idx_->mirror_generation(), gen0 + 1);
+  EXPECT_EQ(idx_->mirror_patch_ops(), 0u);
+
+  // Post-rebuild deltas patch in place again: one patch op, no new
+  // generation, bucket consistent with the oracle.
+  ASSERT_TRUE(idx_->ApplyInsert(Row("f1", "c999", 6, 2017)).ok());
+  EXPECT_EQ(idx_->mirror_patch_ops(), 1u);
+  EXPECT_EQ(idx_->mirror_generation(), gen0 + 1);
+  ExpectBucketMatches(*idx_, {Value::Str("f1")});
+  ExpectBucketMatches(*idx_, {Value::Str("bulk")});
+
+  // And the cycle repeats: a second churn wave rebuilds once more.
+  for (int i = 0; i < 400; ++i) {
+    std::string cid = "d" + std::to_string(i);
+    ASSERT_TRUE(idx_->ApplyInsert({Value::Str("bulk2"), Value::Str(cid),
+                                   Value::Int(i % 12 + 1), Value::Int(2001)})
+                    .ok());
+  }
+  EXPECT_EQ(idx_->mirror_generation(), gen0 + 2);
+  ExpectBucketMatches(*idx_, {Value::Str("bulk2")});
+}
+
 }  // namespace
 }  // namespace bqe
