@@ -1,6 +1,7 @@
 #ifndef BQE_BENCH_BENCH_UTIL_H_
 #define BQE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -136,6 +137,61 @@ class BenchReport {
   int reps_;
   std::vector<Cell> cells_;
 };
+
+/// Latency distribution + throughput of one measured request population —
+/// what a serving benchmark reports per mode. Percentiles use the
+/// nearest-rank method on the sorted per-request latencies; qps is the
+/// request count over the measured wall time (not the sum of latencies:
+/// concurrent requests overlap).
+struct LatencySummary {
+  size_t count = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double mean_ms = 0, max_ms = 0;
+  double qps = 0;
+};
+
+/// Nearest-rank percentile (q in [0,100]) over an already *sorted* sample.
+inline double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q / 100.0 * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // 1-based nearest rank -> 0-based index.
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+/// Summarizes per-request latencies (milliseconds; consumed/sorted in
+/// place) measured over `wall_ms` of wall time.
+inline LatencySummary SummarizeLatencies(std::vector<double>* latencies_ms,
+                                         double wall_ms) {
+  LatencySummary s;
+  s.count = latencies_ms->size();
+  if (s.count == 0) return s;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  s.p50_ms = PercentileSorted(*latencies_ms, 50);
+  s.p95_ms = PercentileSorted(*latencies_ms, 95);
+  s.p99_ms = PercentileSorted(*latencies_ms, 99);
+  s.max_ms = latencies_ms->back();
+  double total = 0;
+  for (double v : *latencies_ms) total += v;
+  s.mean_ms = total / static_cast<double>(s.count);
+  s.qps = wall_ms <= 0 ? 0.0
+                       : static_cast<double>(s.count) / (wall_ms / 1000.0);
+  return s;
+}
+
+/// Standard latency/throughput metric block for a BenchReport cell, so
+/// every bench reports the same JSON keys for trajectory tracking.
+inline BenchReport::Cell& AddLatencyMetrics(BenchReport::Cell& cell,
+                                            const LatencySummary& s) {
+  return cell.Metric("requests", static_cast<double>(s.count))
+      .Metric("qps", s.qps)
+      .Metric("p50_ms", s.p50_ms)
+      .Metric("p95_ms", s.p95_ms)
+      .Metric("p99_ms", s.p99_ms)
+      .Metric("mean_ms", s.mean_ms)
+      .Metric("max_ms", s.max_ms);
+}
 
 /// Milliseconds spent in `fn`, averaged over `runs` runs (the paper averages
 /// over 3 runs).

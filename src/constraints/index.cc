@@ -105,7 +105,15 @@ void AccessIndex::EnsureFrozen() const {
   // noise. Maintenance does not take it: writers must be externally
   // serialized with readers anyway.
   std::lock_guard<std::mutex> lk(*freeze_mu_);
-  if (!frozen_.valid) BuildFrozen();
+  if (!frozen_.valid) {
+    BuildFrozen();
+    if (freeze_hook_ != nullptr && *freeze_hook_) (*freeze_hook_)(*this);
+  }
+}
+
+void AccessIndex::SetFreezeHook(FreezeHook hook) const {
+  std::lock_guard<std::mutex> lk(*freeze_mu_);
+  freeze_hook_ = std::make_unique<FreezeHook>(std::move(hook));
 }
 
 const ColumnBatch& AccessIndex::FrozenEntries() const {
@@ -339,6 +347,10 @@ bool IndexSet::HasViolation() const {
     if (idx->HasViolation()) return true;
   }
   return false;
+}
+
+void IndexSet::SetFreezeHook(AccessIndex::FreezeHook hook) const {
+  for (const auto& idx : indices_) idx->SetFreezeHook(hook);
 }
 
 }  // namespace bqe

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -134,6 +135,18 @@ class AccessIndex {
   /// diagnostics accessor for the budget accounting.
   size_t mirror_patch_ops() const;
 
+  /// Serving-layer freeze observability: invoked under the freeze mutex
+  /// after every full mirror (re)build EnsureFrozen() performs, i.e. each
+  /// time a lazy rebuild actually fires on a probe path. The QueryService
+  /// installs one per index so shard-local freezes that happen *during
+  /// serving* (a patch budget blown by delta churn, paid by the next
+  /// execution touching that relation) surface in its stats instead of
+  /// hiding inside execution latency. The hook must be fast and must not
+  /// re-enter this index. Installing (SetFreezeHook) counts as maintenance:
+  /// externally serialize it against readers like any writer.
+  using FreezeHook = std::function<void(const AccessIndex&)>;
+  void SetFreezeHook(FreezeHook hook) const;
+
   /// Incremental maintenance on a base-table insert/delete of `row`
   /// (full-width row of the indexed relation). O(1) expected per call; the
   /// frozen columnar mirror is patched in place (the affected bucket only)
@@ -205,6 +218,8 @@ class AccessIndex {
   /// Heap-allocated so AccessIndex stays movable.
   mutable std::unique_ptr<std::mutex> freeze_mu_ =
       std::make_unique<std::mutex>();
+  /// See SetFreezeHook(). Heap-allocated so AccessIndex stays movable.
+  mutable std::unique_ptr<FreezeHook> freeze_hook_;
 };
 
 /// All indices I_A for an access schema over a database.
@@ -229,6 +244,10 @@ class IndexSet {
 
   /// True when any index currently sees a cardinality violation.
   bool HasViolation() const;
+
+  /// Installs `hook` on every index (see AccessIndex::SetFreezeHook). Like
+  /// any maintenance call, externally serialize against readers.
+  void SetFreezeHook(AccessIndex::FreezeHook hook) const;
 
  private:
   std::vector<std::unique_ptr<AccessIndex>> indices_;

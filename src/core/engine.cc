@@ -27,20 +27,20 @@ void AppendConstantEncoding(const RaExprPtr& e, std::string* out) {
   AppendConstantEncoding(e->right(), out);
 }
 
+}  // namespace
+
 /// Plan-cache key: the printed algebra form plus an exact type-tagged
 /// byte encoding of every predicate constant (key_codec layout). The
 /// printed form alone is lossy — Value::ToString renders Int(1) and
 /// Double(1.0) identically and truncates doubles to 6 significant digits —
 /// and comparisons are type-tag-sensitive, so two queries must never share
 /// an entry unless their constants are exactly Value-equal.
-std::string QueryFingerprint(const RaExprPtr& query) {
+std::string BoundedEngine::QueryFingerprint(const RaExprPtr& query) {
   std::string fp = ToAlgebraString(query);
   fp.push_back('\0');
   AppendConstantEncoding(query, &fp);
   return fp;
 }
-
-}  // namespace
 
 BoundedEngine::BoundedEngine(Database* db, AccessSchema schema,
                              EngineOptions options)
@@ -133,13 +133,13 @@ Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
     auto it = cache_.find(fp);
     if (it != cache_.end()) {
       if (IsCoherent(*it->second, schema_epoch)) {
-        ++cache_stats_.hits;
+        stat_hits_.fetch_add(1, std::memory_order_relaxed);
         if (cache_hit != nullptr) *cache_hit = true;
         return it->second;
       }
-      ++cache_stats_.reprepares;
+      stat_reprepares_.fetch_add(1, std::memory_order_relaxed);
     }
-    ++cache_stats_.misses;
+    stat_misses_.fetch_add(1, std::memory_order_relaxed);
   }
 
   auto pq = std::make_shared<PreparedQuery>();
@@ -169,13 +169,13 @@ Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
       for (auto it = cache_.begin(); it != cache_.end();) {
         if (!IsCoherent(*it->second, schema_epoch)) {
           it = cache_.erase(it);
-          ++cache_stats_.evictions;
+          stat_evictions_.fetch_add(1, std::memory_order_relaxed);
         } else {
           ++it;
         }
       }
       if (cache_.size() >= options_.plan_cache_capacity) {
-        cache_stats_.evictions += cache_.size();
+        stat_evictions_.fetch_add(cache_.size(), std::memory_order_relaxed);
         cache_.clear();
       }
     }
@@ -192,22 +192,43 @@ size_t BoundedEngine::EffectiveThreads() const {
   return std::min<size_t>(hw == 0 ? 1 : hw, 8);
 }
 
+Result<ExecuteResult> BoundedEngine::ExecutePrepared(const PreparedQuery& pq,
+                                                     uint64_t task_tag,
+                                                     size_t num_threads) const {
+  if (!indices_built_) {
+    return Status::FailedPrecondition("call BuildIndices() first");
+  }
+  if (!pq.info.covered || pq.physical == nullptr) {
+    return Status::FailedPrecondition(
+        "ExecutePrepared requires a covered prepared query (route non-covered "
+        "queries through Execute() for the baseline fallback)");
+  }
+  ExecuteResult out;
+  ExecOptions eo;
+  eo.num_threads = num_threads != 0 ? std::min(num_threads, WorkerPool::kMaxThreads)
+                                    : EffectiveThreads();
+  eo.row_path_threshold = options_.row_path_threshold;
+  eo.task_tag = task_tag;
+  BQE_ASSIGN_OR_RETURN(
+      out.table, ExecutePhysicalPlan(*pq.physical, &out.bounded_stats, eo));
+  out.used_bounded_plan = true;
+  return out;
+}
+
 Result<ExecuteResult> BoundedEngine::Execute(const RaExprPtr& query) const {
   if (!indices_built_) {
     return Status::FailedPrecondition("call BuildIndices() first");
   }
-  ExecuteResult out;
+  bool cache_hit = false;
   BQE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> pq,
-                       PrepareCompiled(query, &out.plan_cache_hit));
+                       PrepareCompiled(query, &cache_hit));
   if (pq->info.covered) {
-    ExecOptions eo;
-    eo.num_threads = EffectiveThreads();
-    eo.row_path_threshold = options_.row_path_threshold;
-    BQE_ASSIGN_OR_RETURN(
-        out.table, ExecutePhysicalPlan(*pq->physical, &out.bounded_stats, eo));
-    out.used_bounded_plan = true;
+    BQE_ASSIGN_OR_RETURN(ExecuteResult out, ExecutePrepared(*pq));
+    out.plan_cache_hit = cache_hit;
     return out;
   }
+  ExecuteResult out;
+  out.plan_cache_hit = cache_hit;
   if (!options_.baseline_fallback) {
     return Status::NotCovered(pq->info.explanation);
   }
@@ -238,8 +259,12 @@ Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
 }
 
 PlanCacheStats BoundedEngine::plan_cache_stats() const {
-  std::lock_guard<std::mutex> lk(cache_mu_);
-  return cache_stats_;
+  PlanCacheStats out;
+  out.hits = stat_hits_.load(std::memory_order_relaxed);
+  out.misses = stat_misses_.load(std::memory_order_relaxed);
+  out.evictions = stat_evictions_.load(std::memory_order_relaxed);
+  out.reprepares = stat_reprepares_.load(std::memory_order_relaxed);
+  return out;
 }
 
 size_t BoundedEngine::plan_cache_size() const {

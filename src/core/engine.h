@@ -1,6 +1,7 @@
 #ifndef BQE_CORE_ENGINE_H_
 #define BQE_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -88,7 +89,11 @@ struct PreparedQuery {
   std::vector<BoundIndexSnapshot> bound_indices;  ///< Covered plans only.
 };
 
-/// Plan-cache observability counters.
+/// Plan-cache observability counters. This is a *snapshot* struct: the
+/// engine keeps the live counters in atomics, so plan_cache_stats() reads
+/// them without the cache lock and is safe to poll from a stats endpoint
+/// while other threads execute. Each counter is individually coherent; the
+/// set as a whole is not sealed against increments between the four reads.
 struct PlanCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -149,9 +154,47 @@ class BoundedEngine {
   Result<std::shared_ptr<const PreparedQuery>> PrepareCompiled(
       const RaExprPtr& query, bool* cache_hit = nullptr) const;
 
+  /// The plan-cache key of `query`: printed algebra form plus an exact
+  /// type-tagged encoding of every predicate constant. Two queries with
+  /// equal fingerprints prepare (and answer) identically under a fixed
+  /// catalog and bounds/schema epoch — which is what lets the serving
+  /// layer coalesce same-fingerprint requests behind one execution and
+  /// key its pin map consistently with this cache.
+  static std::string QueryFingerprint(const RaExprPtr& query);
+
   /// Full pipeline: bounded plan when covered (after optional rewriting),
   /// baseline otherwise.
   Result<ExecuteResult> Execute(const RaExprPtr& query) const;
+
+  /// Executes an already prepared — and possibly *pinned* — covered query
+  /// against the live indices, never touching the plan cache or its lock.
+  /// This is the serving layer's execution path: it pins the shared_ptr
+  /// <const PreparedQuery> from PrepareCompiled() across data-only Apply()
+  /// batches and executes through this, so query execution is lock-free
+  /// with respect to the cache even while the cache churns. `task_tag`
+  /// labels the execution's morsel work in the shared WorkerPool (see
+  /// ExecOptions::task_tag). Fails with FailedPrecondition for non-covered
+  /// preparations (those need the original query for the baseline fallback
+  /// — route them through Execute()). The pinned plan stays *correct*
+  /// across data-only deltas even when StillCoherent() turns false (its
+  /// AccessIndex bindings are live; a blown patch budget just means the
+  /// next execution pays a mirror rebuild) — incoherence only means the
+  /// cache would no longer hand it out. `num_threads` (0 = the engine's
+  /// own EffectiveThreads) lets a shard-aware scheduler partition morsel
+  /// workers across concurrent executions instead of oversubscribing every
+  /// request onto the full pool.
+  Result<ExecuteResult> ExecutePrepared(const PreparedQuery& pq,
+                                        uint64_t task_tag = 0,
+                                        size_t num_threads = 0) const;
+
+  /// True when a PreparedQuery previously returned by PrepareCompiled()
+  /// would still be served from the cache: the bounds/schema epoch is
+  /// unchanged and none of its bound indices rebuilt their mirror. Lock-
+  /// free (atomic mirror-generation reads); callers must hold the read
+  /// side of the serving discipline, like any const engine call.
+  bool StillCoherent(const PreparedQuery& pq) const {
+    return IsCoherent(pq, SchemaEpoch());
+  }
 
   /// Incremental maintenance of D, A and I_A (Proposition 12). Bumps the
   /// *data* epoch — and only when something was actually applied (a cleanly
@@ -179,6 +222,8 @@ class BoundedEngine {
   /// exists for observability and for external caches layered on results.
   uint64_t DataEpoch() const { return data_epoch_; }
 
+  /// Lock-free counter snapshot; see PlanCacheStats. Safe to poll
+  /// concurrently with Execute/PrepareCompiled on other threads.
   PlanCacheStats plan_cache_stats() const;
   size_t plan_cache_size() const;
   void ClearPlanCache();
@@ -202,7 +247,13 @@ class BoundedEngine {
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
       cache_;
-  mutable PlanCacheStats cache_stats_;
+  /// Live counters behind plan_cache_stats(). Atomics, not a PlanCacheStats
+  /// under the lock: the stats endpoint polls them concurrently with the
+  /// hot cache path, and a snapshot must not contend with it.
+  mutable std::atomic<uint64_t> stat_hits_{0};
+  mutable std::atomic<uint64_t> stat_misses_{0};
+  mutable std::atomic<uint64_t> stat_evictions_{0};
+  mutable std::atomic<uint64_t> stat_reprepares_{0};
 };
 
 }  // namespace bqe

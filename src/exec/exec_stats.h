@@ -71,6 +71,12 @@ struct ExecOptions {
   /// default for direct ExecutePlan callers, so differential tests always
   /// exercise the vectorized operators).
   size_t row_path_threshold = 0;
+  /// Scheduling identity of this execution's morsel work in the shared
+  /// WorkerPool: every task group the execution spawns carries this tag, so
+  /// concurrent requests are distinguishable (and fair-shared) task groups
+  /// rather than one anonymous queue. The serving layer sets it to the
+  /// request id; 0 for untagged direct callers.
+  uint64_t task_tag = 0;
 };
 
 }  // namespace bqe

@@ -16,46 +16,88 @@ namespace bqe {
 // ----------------------------------------------------------- worker pool ---
 
 struct WorkerPool::Impl {
-  std::mutex job_mu;  // Serializes ParallelFor calls.
-  std::mutex mu;      // Guards the job state below.
-  std::condition_variable work_cv, done_cv;
-  bool stop = false;
-  uint64_t seq = 0;
-  size_t job_workers = 0;  // Pool threads participating in the current job.
-  size_t job_n = 0;
-  const std::function<void(size_t, size_t)>* job_fn = nullptr;
-  std::atomic<size_t> cursor{0};
-  size_t finished = 0;
-  std::exception_ptr error;  // First exception thrown by any worker.
-  std::vector<std::thread> threads;
+  /// One registered ParallelFor call. Lives on the caller's stack; the
+  /// caller keeps it listed in `active` only while new pickups are welcome
+  /// and waits for `active_pool` to drain before returning, so pool threads
+  /// never touch a dead group.
+  struct Group {
+    uint64_t tag = 0;
+    size_t n = 0;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> cursor{0};  ///< Next unclaimed item.
+    size_t max_workers = 1;         ///< Incl. the caller (slot 0).
+    std::vector<uint8_t> slot_used; ///< Dense worker-id slots; 0 = caller.
+    size_t active_pool = 0;         ///< Pool threads currently inside.
+    std::exception_ptr error;       ///< First pool-thread exception.
+    std::condition_variable done_cv;
+  };
 
-  void WorkerMain(size_t pool_tid, uint64_t last_seen) {
+  std::mutex mu;  // Guards everything below (not the item runs themselves).
+  std::condition_variable work_cv;
+  bool stop = false;
+  std::vector<Group*> active;  // Fair-share scan order.
+  size_t rr = 0;               // Round-robin start offset into `active`.
+  std::vector<std::thread> threads;
+  PoolStats stats;
+
+  /// Picks the next group with unclaimed items and a free worker slot,
+  /// round-robin from `rr` so concurrent groups fair-share pool threads
+  /// one item at a time. Claims the slot (dense worker id) under mu.
+  Group* Pick(size_t* slot) {
+    for (size_t k = 0; k < active.size(); ++k) {
+      Group* g = active[(rr + k) % active.size()];
+      if (g->cursor.load(std::memory_order_relaxed) >= g->n) continue;
+      for (size_t s = 1; s < g->max_workers; ++s) {
+        if (g->slot_used[s] == 0) {
+          g->slot_used[s] = 1;
+          ++g->active_pool;
+          rr = (rr + k + 1) % active.size();
+          *slot = s;
+          return g;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  void WorkerMain() {
     std::unique_lock<std::mutex> lk(mu);
     while (true) {
-      work_cv.wait(lk, [&] { return stop || seq != last_seen; });
+      size_t slot = 0;
+      Group* g = nullptr;
+      work_cv.wait(lk, [&] { return stop || (g = Pick(&slot)) != nullptr; });
       if (stop) return;
-      last_seen = seq;
-      if (pool_tid >= job_workers) continue;  // Not part of this job.
-      const std::function<void(size_t, size_t)>* fn = job_fn;
-      size_t n = job_n;
       lk.unlock();
+      // One item per pickup: after each item the thread re-enters the
+      // scheduler, which is what makes sharing fair when more groups are
+      // active than pool threads. Items are batch-scale pipeline stages,
+      // so the per-item lock round-trip is noise.
       std::exception_ptr err;
-      for (size_t it = cursor.fetch_add(1); it < n;
-           it = cursor.fetch_add(1)) {
+      size_t executed = 0;
+      size_t it = g->cursor.fetch_add(1);
+      if (it < g->n) {
         try {
-          (*fn)(pool_tid + 1, it);
+          (*g->fn)(slot, it);
+          executed = 1;
         } catch (...) {
-          // Record, curtail remaining items, and keep the thread alive —
-          // the exception is rethrown on the calling thread after the
-          // fan-in (a throw escaping a thread function would terminate).
+          // Record, curtail the group's remaining items, and keep the
+          // thread alive — the exception is rethrown on the group's calling
+          // thread after the fan-in (a throw escaping a thread function
+          // would terminate).
           err = std::current_exception();
-          cursor.store(n);
-          break;
+          g->cursor.store(g->n);
         }
       }
       lk.lock();
-      if (err != nullptr && error == nullptr) error = err;
-      if (++finished == job_workers) done_cv.notify_all();
+      g->slot_used[slot] = 0;
+      if (err != nullptr && g->error == nullptr) g->error = err;
+      stats.items += executed;
+      stats.pool_items += executed;
+      if (--g->active_pool == 0) g->done_cv.notify_all();
+      // The freed slot may unblock a waiting thread for this same group.
+      if (g->cursor.load(std::memory_order_relaxed) < g->n) {
+        work_cv.notify_one();
+      }
     }
   }
 };
@@ -65,13 +107,9 @@ WorkerPool& WorkerPool::Shared() {
   return pool;
 }
 
-WorkerPool::Impl* WorkerPool::impl() {
-  if (impl_ == nullptr) impl_ = new Impl();
-  return impl_;
-}
+WorkerPool::WorkerPool() : impl_(new Impl()) {}
 
 WorkerPool::~WorkerPool() {
-  if (impl_ == nullptr) return;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->stop = true;
@@ -81,51 +119,65 @@ WorkerPool::~WorkerPool() {
   delete impl_;
 }
 
-void WorkerPool::ParallelFor(size_t n, size_t workers,
+WorkerPool::PoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->stats;
+}
+
+void WorkerPool::ParallelFor(size_t n, const GroupOptions& opts,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  workers = std::max<size_t>(1, std::min({workers, kMaxThreads, n}));
+  size_t workers = std::max<size_t>(1, std::min({opts.workers, kMaxThreads, n}));
   if (workers == 1) {
     for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
-  Impl* im = impl();
-  std::lock_guard<std::mutex> job_lk(im->job_mu);
-  size_t pool_workers = workers - 1;  // The caller is worker 0.
+  Impl* im = impl_;
+  Impl::Group g;
+  g.tag = opts.tag;
+  g.n = n;
+  g.fn = &fn;
+  g.max_workers = workers;
+  g.slot_used.assign(workers, 0);
+  g.slot_used[0] = 1;  // The caller is worker 0 for its own group only.
   {
-    std::unique_lock<std::mutex> lk(im->mu);
-    while (im->threads.size() < pool_workers) {
-      size_t tid = im->threads.size();
-      uint64_t seen = im->seq;  // New threads ignore jobs issued before them.
-      im->threads.emplace_back(
-          [im, tid, seen] { im->WorkerMain(tid, seen); });
+    std::lock_guard<std::mutex> lk(im->mu);
+    // Grow the pool toward the combined demand of the active groups, capped
+    // at kMaxThreads - 1 (each caller is its group's extra worker). Threads
+    // are never reclaimed; an idle thread parks in work_cv.
+    size_t demand = workers - 1;
+    for (const Impl::Group* a : im->active) demand += a->max_workers - 1;
+    size_t want = std::min(demand, kMaxThreads - 1);
+    while (im->threads.size() < want) {
+      im->threads.emplace_back([im] { im->WorkerMain(); });
     }
-    im->job_fn = &fn;
-    im->job_n = n;
-    im->job_workers = pool_workers;
-    im->finished = 0;
-    im->error = nullptr;
-    im->cursor.store(0);
-    ++im->seq;
+    im->active.push_back(&g);
+    ++im->stats.groups;
+    im->stats.max_concurrent_groups =
+        std::max<uint64_t>(im->stats.max_concurrent_groups,
+                           im->active.size());
     im->work_cv.notify_all();
   }
   std::exception_ptr caller_err;
+  size_t caller_items = 0;
   try {
-    for (size_t it = im->cursor.fetch_add(1); it < n;
-         it = im->cursor.fetch_add(1)) {
+    for (size_t it = g.cursor.fetch_add(1); it < n;
+         it = g.cursor.fetch_add(1)) {
       fn(0, it);
+      ++caller_items;
     }
   } catch (...) {
     caller_err = std::current_exception();
-    im->cursor.store(n);  // Curtail; workers must still check in below.
+    g.cursor.store(n);  // Curtail; pool threads must still check out below.
   }
-  // The fan-in wait must complete even on error: workers hold a pointer to
-  // `fn`, which dies when this frame unwinds.
+  // Delist first (no new pickups), then wait for in-flight pool threads:
+  // they hold pointers to `fn` and `g`, which die when this frame unwinds.
   std::unique_lock<std::mutex> lk(im->mu);
-  im->done_cv.wait(lk, [&] { return im->finished == im->job_workers; });
-  im->job_fn = nullptr;
-  std::exception_ptr err =
-      im->error != nullptr ? im->error : caller_err;
+  im->active.erase(std::find(im->active.begin(), im->active.end(), &g));
+  if (im->rr >= im->active.size()) im->rr = 0;
+  im->stats.items += caller_items;
+  g.done_cv.wait(lk, [&] { return g.active_pool == 0; });
+  std::exception_ptr err = g.error != nullptr ? g.error : caller_err;
   lk.unlock();
   if (err != nullptr) std::rethrow_exception(err);
 }
@@ -155,6 +207,9 @@ struct ParCtx {
   WorkerPool& pool;
   size_t workers;
   std::vector<ExecStats>& wstats;
+
+  /// Every task group of this execution carries the request's tag.
+  WorkerPool::GroupOptions Group() const { return {workers, opts.task_tag}; }
 };
 
 /// Phase 2 of a fetch: gather the serially collected bucket segments in
@@ -180,7 +235,7 @@ BatchVec ParallelFetch(const PhysicalOp& s, const BatchVec& input, ParCtx& cx,
   }
   if (begin < segs.size()) morsels.emplace_back(begin, segs.size());
   std::vector<BatchVec> mout(morsels.size());
-  cx.pool.ParallelFor(morsels.size(), cx.workers, [&](size_t, size_t m) {
+  cx.pool.ParallelFor(morsels.size(), cx.Group(), [&](size_t, size_t m) {
     BatchWriter w(s.index->output_types(), cx.opts.batch_size, &mout[m]);
     for (size_t k = morsels[m].first; k < morsels[m].second; ++k) {
       const FrozenSegment& g = segs[k];
@@ -203,7 +258,7 @@ BatchVec ParallelProduct(const PhysicalOp& s, const BatchVec& left,
   const ColumnBatch* r =
       MergedChunk(right, right.front().ColumnTypes(), &scratch);
   std::vector<BatchVec> mout(left.size());
-  cx.pool.ParallelFor(left.size(), cx.workers, [&](size_t, size_t m) {
+  cx.pool.ParallelFor(left.size(), cx.Group(), [&](size_t, size_t m) {
     ProductBatch(left[m], *r, s.out_types, cx.opts.batch_size, &mout[m]);
   });
   return ConcatMorsels(&mout);
@@ -236,7 +291,7 @@ BatchVec ParallelDistinct(const std::vector<const ColumnBatch*>& morsels,
                           const std::vector<ValueType>& types,
                           const KeyTable* exclude, ParCtx& cx) {
   std::vector<BatchVec> cand(morsels.size());
-  cx.pool.ParallelFor(morsels.size(), cx.workers, [&](size_t, size_t m) {
+  cx.pool.ParallelFor(morsels.size(), cx.Group(), [&](size_t, size_t m) {
     KeyTable local(morsels[m]->num_rows());
     KeyEncoder enc;
     BatchWriter w(types, cx.opts.batch_size, &cand[m]);
@@ -310,7 +365,7 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
   }
 
   std::vector<BatchVec> mout(src_batches.size());
-  cx.pool.ParallelFor(src_batches.size(), cx.workers, [&](size_t w,
+  cx.pool.ParallelFor(src_batches.size(), cx.Group(), [&](size_t w,
                                                           size_t m) {
     ExecStats& ws = cx.wstats[w];
     const ColumnBatch& b = src_batches[m];

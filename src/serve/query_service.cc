@@ -1,0 +1,285 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+namespace bqe {
+namespace serve {
+
+QueryService::QueryService(BoundedEngine* engine, ServiceOptions opts)
+    : engine_(engine),
+      opts_(opts),
+      queue_(std::max<size_t>(1, opts.queue_capacity)) {
+  opts_.shards = std::max<size_t>(1, opts_.shards);
+  opts_.batch_window = std::max<size_t>(1, opts_.batch_window);
+  opts_.pin_capacity = std::max<size_t>(1, opts_.pin_capacity);
+  if (opts_.exec_threads == 0) {
+    // Shard-aware partition: concurrent dispatchers split the hardware
+    // instead of each oversubscribing the full pool.
+    unsigned hw = std::thread::hardware_concurrency();
+    opts_.exec_threads = std::max<size_t>(1, (hw == 0 ? 1 : hw) / opts_.shards);
+  }
+  // Freeze events during serving (a patch budget blown by churn, paid by
+  // the next execution probing that relation) surface in stats().freezes.
+  // Installation happens before any dispatcher runs, so it is ordered
+  // before all service reads.
+  engine_->indices().SetFreezeHook([this](const AccessIndex&) {
+    freezes_.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (!opts_.start_paused) Start();
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_ || shut_down_) return;
+  started_ = true;
+  for (size_t s = 0; s < opts_.shards; ++s) {
+    dispatchers_.emplace_back([this] { ShardMain(); });
+  }
+}
+
+void QueryService::Shutdown() {
+  bool drain_inline = false;
+  {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    drain_inline = !started_;
+  }
+  queue_.Close();
+  if (drain_inline) {
+    // Never started (start_paused): answer what was admitted so no caller
+    // is left holding a future that cannot resolve.
+    std::vector<Request> chunk;
+    while (queue_.PopChunk(opts_.batch_window, &chunk) > 0) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      ProcessChunk(&chunk);
+      chunk.clear();
+    }
+  }
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+  // Detach the freeze hooks: they capture `this`, and the engine may
+  // outlive the service. No dispatcher is running and callers are expected
+  // to have stopped racing the engine with a dying service.
+  engine_->indices().SetFreezeHook(AccessIndex::FreezeHook{});
+}
+
+QueryService::Request QueryService::MakeQueryRequest(RaExprPtr query) {
+  Request r;
+  r.kind = Request::Kind::kQuery;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.fingerprint = BoundedEngine::QueryFingerprint(query);
+  r.query = std::move(query);
+  return r;
+}
+
+bool QueryService::Admit(Request* r, bool blocking) {
+  // Push/TryPush consume the request only on success; a declined request
+  // (queue closed, or full under load-shed) stays with the caller.
+  bool ok = blocking ? queue_.Push(std::move(*r)) : queue_.TryPush(std::move(*r));
+  (ok ? admitted_ : rejected_).fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+std::future<QueryResponse> QueryService::Submit(RaExprPtr query) {
+  Request r = MakeQueryRequest(std::move(query));
+  std::future<QueryResponse> f = r.query_promise.get_future();
+  if (!Admit(&r, /*blocking=*/true)) {
+    QueryResponse resp;
+    resp.status = Status::FailedPrecondition("query service is shut down");
+    r.query_promise.set_value(std::move(resp));
+  }
+  return f;
+}
+
+std::future<QueryResponse> QueryService::TrySubmit(RaExprPtr query) {
+  Request r = MakeQueryRequest(std::move(query));
+  std::future<QueryResponse> f = r.query_promise.get_future();
+  if (!Admit(&r, /*blocking=*/false)) {
+    QueryResponse resp;
+    resp.status = Status::FailedPrecondition(
+        "admission queue full (load shed) or service shut down");
+    r.query_promise.set_value(std::move(resp));
+  }
+  return f;
+}
+
+QueryResponse QueryService::Query(RaExprPtr query) {
+  return Submit(std::move(query)).get();
+}
+
+std::future<DeltaResponse> QueryService::SubmitDeltas(std::vector<Delta> deltas,
+                                                      OverflowPolicy policy) {
+  Request r;
+  r.kind = Request::Kind::kDeltas;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.deltas = std::move(deltas);
+  r.policy = policy;
+  std::future<DeltaResponse> f = r.delta_promise.get_future();
+  if (!Admit(&r, /*blocking=*/true)) {
+    DeltaResponse resp;
+    resp.status = Status::FailedPrecondition("query service is shut down");
+    r.delta_promise.set_value(std::move(resp));
+  }
+  return f;
+}
+
+DeltaResponse QueryService::ApplyDeltas(std::vector<Delta> deltas,
+                                        OverflowPolicy policy) {
+  return SubmitDeltas(std::move(deltas), policy).get();
+}
+
+void QueryService::ShardMain() {
+  std::vector<Request> chunk;
+  while (queue_.PopChunk(opts_.batch_window, &chunk) > 0) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    ProcessChunk(&chunk);
+    chunk.clear();
+  }
+}
+
+Result<std::shared_ptr<const PreparedQuery>> QueryService::ResolvePin(
+    const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit) {
+  *pin_hit = false;
+  {
+    std::lock_guard<std::mutex> lk(pin_mu_);
+    auto it = pins_.find(fingerprint);
+    if (it != pins_.end() && engine_->StillCoherent(*it->second)) {
+      *pin_hit = true;
+      pin_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Coherence moved (or first sight): resolve through the engine cache.
+  // This is the only serving path that touches the plan-cache lock, and
+  // data-only Apply batches never take it — that is the zero-re-prepare
+  // guarantee serve_stress_test pins through stats().
+  BQE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> pq,
+                       engine_->PrepareCompiled(query));
+  repins_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  if (pins_.size() >= opts_.pin_capacity &&
+      pins_.find(fingerprint) == pins_.end()) {
+    // Drop stale pins first; a full map of live pins resets wholesale
+    // (mirroring the engine cache's eviction policy).
+    for (auto it = pins_.begin(); it != pins_.end();) {
+      if (!engine_->StillCoherent(*it->second)) {
+        it = pins_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pins_.size() >= opts_.pin_capacity) pins_.clear();
+  }
+  pins_[fingerprint] = pq;
+  return pq;
+}
+
+void QueryService::ProcessChunk(std::vector<Request>* chunk) {
+  // Writes first: deltas admitted in the same batching window apply before
+  // the window's reads execute (read-your-writes within one window). Across
+  // windows there is no global order with shards > 1 — concurrent
+  // dispatchers interleave freely; a client that needs a query to observe
+  // its own earlier delta must wait on the delta's future first (or run a
+  // single-shard service). Each batch holds the exclusive gate side —
+  // writer priority means it does not starve behind the read storm.
+  for (Request& r : *chunk) {
+    if (r.kind != Request::Kind::kDeltas) continue;
+    DeltaResponse resp;
+    {
+      std::unique_lock<WriterPriorityGate> wl(gate_);
+      Result<MaintenanceStats> st = engine_->Apply(r.deltas, r.policy);
+      if (st.ok()) {
+        resp.stats = *st;
+      } else {
+        resp.status = st.status();
+      }
+    }
+    delta_batches_.fetch_add(1, std::memory_order_relaxed);
+    deltas_applied_.fetch_add(resp.stats.inserts + resp.stats.deletes,
+                              std::memory_order_relaxed);
+    r.delta_promise.set_value(std::move(resp));
+  }
+
+  // Group same-fingerprint queries: one pin resolution + one execution per
+  // group, fanned out to every caller as a shared immutable table.
+  std::unordered_map<std::string_view, std::vector<Request*>> groups;
+  std::vector<std::string_view> order;  // First-seen admission order.
+  for (Request& r : *chunk) {
+    if (r.kind != Request::Kind::kQuery) continue;
+    auto [it, fresh] = groups.try_emplace(std::string_view(r.fingerprint));
+    if (fresh) order.push_back(it->first);
+    it->second.push_back(&r);
+  }
+
+  for (std::string_view fp : order) {
+    std::vector<Request*>& group = groups[fp];
+    Request* leader = group.front();
+    QueryResponse resp;
+    bool pin_hit = false;
+    {
+      std::shared_lock<WriterPriorityGate> rl(gate_);
+      Result<std::shared_ptr<const PreparedQuery>> pin =
+          ResolvePin(leader->fingerprint, leader->query, &pin_hit);
+      if (!pin.ok()) {
+        resp.status = pin.status();
+      } else if ((*pin)->info.covered) {
+        // The pinned path: no plan-cache lock anywhere in here.
+        Result<ExecuteResult> r =
+            engine_->ExecutePrepared(**pin, leader->id, opts_.exec_threads);
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        if (r.ok()) {
+          resp.table = std::make_shared<const Table>(std::move(r->table));
+          resp.used_bounded_plan = true;
+        } else {
+          resp.status = r.status();
+        }
+      } else {
+        // Non-covered: the baseline fallback needs the original query, so
+        // route through Execute() (its re-prepare is a cache hit). Still
+        // one execution per coalesced group.
+        Result<ExecuteResult> r = engine_->Execute(leader->query);
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        if (r.ok()) {
+          resp.table = std::make_shared<const Table>(std::move(r->table));
+          resp.used_bounded_plan = r->used_bounded_plan;
+        } else {
+          resp.status = r.status();
+        }
+      }
+    }
+    resp.pin_hit = pin_hit;
+    for (size_t i = 0; i < group.size(); ++i) {
+      QueryResponse out = resp;  // Copies status + shares the table.
+      out.coalesced = i > 0;
+      if (i > 0) coalesced_.fetch_add(1, std::memory_order_relaxed);
+      group[i]->query_promise.set_value(std::move(out));
+    }
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.delta_batches = delta_batches_.load(std::memory_order_relaxed);
+  s.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  s.pin_hits = pin_hits_.load(std::memory_order_relaxed);
+  s.repins = repins_.load(std::memory_order_relaxed);
+  s.freezes = freezes_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  s.engine = engine_->plan_cache_stats();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace bqe

@@ -1,0 +1,211 @@
+#ifndef BQE_SERVE_QUERY_SERVICE_H_
+#define BQE_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rw_gate.h"
+#include "common/status.h"
+#include "constraints/maintain.h"
+#include "core/engine.h"
+#include "serve/request_queue.h"
+#include "storage/table.h"
+
+namespace bqe {
+namespace serve {
+
+/// Serving-layer configuration.
+struct ServiceOptions {
+  /// Dispatcher (shard-worker) threads. Each drains chunks off the shared
+  /// admission queue and runs its chunk's executions; concurrent shards are
+  /// concurrent queries, fair-shared across the WorkerPool via per-request
+  /// task-group tags.
+  size_t shards = 2;
+  /// Admission queue bound: Submit() blocks (backpressure) and TrySubmit()
+  /// load-sheds beyond it.
+  size_t queue_capacity = 1024;
+  /// Batching window: max requests one dispatcher drains per chunk, i.e.
+  /// the coalescing scope for same-fingerprint requests.
+  size_t batch_window = 32;
+  /// Max pinned PreparedQuery entries the service holds; incoherent pins
+  /// are dropped first when the map fills (mirrors the engine cache).
+  size_t pin_capacity = 256;
+  /// Morsel workers per execution — the shard-aware partition of the
+  /// WorkerPool: with `shards` dispatchers executing concurrently, each
+  /// request gets hardware/shards workers (0 = that auto value, min 1)
+  /// instead of every request fanning out onto the full pool and
+  /// oversubscribing it. Fair-share across the concurrent task groups does
+  /// the rest.
+  size_t exec_threads = 0;
+  /// When true the service is constructed with no dispatcher threads
+  /// running; call Start() to begin draining. Lets tests enqueue a known
+  /// request mix and observe deterministic batching.
+  bool start_paused = false;
+};
+
+/// Counters the service exposes for observability and tests. Snapshot
+/// semantics match PlanCacheStats: each counter is read atomically, the set
+/// is not sealed against concurrent increments.
+struct ServiceStats {
+  uint64_t admitted = 0;       ///< Query requests accepted onto the queue.
+  uint64_t rejected = 0;       ///< TrySubmit load-sheds + post-shutdown submits.
+  uint64_t executed = 0;       ///< Leader executions (one per coalesced group).
+  uint64_t coalesced = 0;      ///< Requests answered by another's execution.
+  uint64_t batches = 0;        ///< Dispatch chunks drained off the queue.
+  uint64_t delta_batches = 0;  ///< SubmitDeltas batches applied.
+  uint64_t deltas_applied = 0; ///< Individual deltas applied (inserts+deletes).
+  uint64_t pin_hits = 0;       ///< Executions served from the pin map —
+                               ///< zero locks between admission and execute.
+  uint64_t repins = 0;         ///< Pins (re)resolved through PrepareCompiled.
+  uint64_t freezes = 0;        ///< Mirror rebuilds observed during serving
+                               ///< (AccessIndex freeze hook).
+  uint64_t queue_depth = 0;    ///< Queue size at snapshot time.
+  PlanCacheStats engine;       ///< Engine plan-cache counters (lock-free).
+};
+
+/// One answered query. The table is shared: every request coalesced into
+/// the same leader execution holds the same immutable result.
+struct QueryResponse {
+  Status status = Status::Ok();
+  std::shared_ptr<const Table> table;
+  bool used_bounded_plan = false;
+  bool coalesced = false;  ///< Answered by a same-fingerprint leader.
+  bool pin_hit = false;    ///< Plan came from the service pin map.
+};
+
+/// One applied delta batch.
+struct DeltaResponse {
+  Status status = Status::Ok();
+  MaintenanceStats stats;
+};
+
+/// The serving front-end over one BoundedEngine: callers stop holding the
+/// engine and calling Execute() under their own locking, and instead submit
+/// requests that the service admits, batches, and dispatches.
+///
+/// Request lifecycle (see docs/architecture.md for the full diagram):
+///
+///   1. *Admission.* Submit()/SubmitDeltas() enqueue onto one bounded MPMC
+///      queue and return a future. Backpressure (Push blocks) or load-shed
+///      (TrySubmit fails) beyond queue_capacity.
+///   2. *Batching.* A shard worker drains a chunk of up to batch_window
+///      requests and groups the queries by engine fingerprint: each group
+///      is one compile + one execution, fanned out to every caller in the
+///      group as a shared immutable table. Deltas in the chunk are applied
+///      first (read-your-writes within a window).
+///   3. *Pinning.* The group leader resolves a pinned shared_ptr<const
+///      PreparedQuery> from the service's pin map, validated lock-free via
+///      BoundedEngine::StillCoherent(); only a coherence change falls back
+///      to PrepareCompiled(). Execution runs ExecutePrepared(), which never
+///      touches the plan-cache lock — across data-only Apply batches the
+///      serving path holds no lock but the read side of the writer-priority
+///      gate.
+///   4. *Sharded execution.* Each in-flight request's morsel work enters
+///      the WorkerPool as a task group tagged with the request id;
+///      concurrent requests fair-share pool threads round-robin instead of
+///      serializing behind one global morsel loop.
+///   5. *Writes.* SubmitDeltas routes engine.Apply() through the exclusive
+///      side of the WriterPriorityGate (common/rw_gate.h), serializing
+///      against in-flight executions without starving behind readers.
+///
+/// The engine must have BuildIndices() built before the service is
+/// constructed, and BuildIndices() must not be called while a service is
+/// attached (it would replace the IndexSet under the service's freeze
+/// hooks). The service must be destroyed (or Shutdown()) before the engine.
+class QueryService {
+ public:
+  explicit QueryService(BoundedEngine* engine, ServiceOptions opts = {});
+  ~QueryService();  ///< Shutdown(): drains the queue, joins dispatchers.
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Async admission with backpressure: blocks while the queue is full.
+  /// The future resolves when a dispatcher answers the request; after
+  /// Shutdown() it resolves immediately with FailedPrecondition.
+  std::future<QueryResponse> Submit(RaExprPtr query);
+
+  /// Non-blocking admission: load-sheds (immediate FailedPrecondition
+  /// response, counted in stats().rejected) when the queue is full.
+  std::future<QueryResponse> TrySubmit(RaExprPtr query);
+
+  /// Blocking convenience: Submit + wait.
+  QueryResponse Query(RaExprPtr query);
+
+  /// Async write admission: the batch is applied by a dispatcher under the
+  /// exclusive side of the writer-priority gate, serialized against every
+  /// in-flight execution.
+  std::future<DeltaResponse> SubmitDeltas(
+      std::vector<Delta> deltas, OverflowPolicy policy = OverflowPolicy::kGrow);
+
+  /// Blocking convenience: SubmitDeltas + wait.
+  DeltaResponse ApplyDeltas(std::vector<Delta> deltas,
+                            OverflowPolicy policy = OverflowPolicy::kGrow);
+
+  /// Starts dispatchers when constructed with start_paused. Idempotent.
+  void Start();
+
+  /// Stops admission, drains queued requests, joins dispatchers, and
+  /// uninstalls the freeze hooks. Idempotent; implied by the destructor.
+  void Shutdown();
+
+  /// Lock-free counter snapshot (plus the engine's own cache counters) —
+  /// the service's stats endpoint.
+  ServiceStats stats() const;
+
+  const BoundedEngine& engine() const { return *engine_; }
+
+ private:
+  struct Request {
+    enum class Kind { kQuery, kDeltas } kind = Kind::kQuery;
+    uint64_t id = 0;  ///< Admission ticket; doubles as the task-group tag.
+    RaExprPtr query;
+    std::string fingerprint;  ///< Computed at admission (engine key).
+    std::vector<Delta> deltas;
+    OverflowPolicy policy = OverflowPolicy::kGrow;
+    std::promise<QueryResponse> query_promise;
+    std::promise<DeltaResponse> delta_promise;
+  };
+
+  Request MakeQueryRequest(RaExprPtr query);
+  /// Pushes `r` (blocking admission or load-shed) and counts the outcome.
+  /// On false the caller still owns the request and must resolve its
+  /// promise with the rejection.
+  bool Admit(Request* r, bool blocking);
+  void ShardMain();
+  void ProcessChunk(std::vector<Request>* chunk);
+  /// Resolves the pinned plan for one fingerprint (pin map first, then
+  /// PrepareCompiled), under the read gate.
+  Result<std::shared_ptr<const PreparedQuery>> ResolvePin(
+      const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit);
+
+  BoundedEngine* engine_;
+  ServiceOptions opts_;
+  BoundedMpmcQueue<Request> queue_;
+  WriterPriorityGate gate_;  ///< Readers: executions. Writer: Apply batches.
+  std::vector<std::thread> dispatchers_;
+  std::mutex lifecycle_mu_;  ///< Guards Start/Shutdown transitions.
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::mutex pin_mu_;  ///< Guards pins_ (held for map access only, never
+                       ///< across prepare or execute).
+  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> admitted_{0}, rejected_{0}, executed_{0},
+      coalesced_{0}, batches_{0}, delta_batches_{0}, deltas_applied_{0},
+      pin_hits_{0}, repins_{0}, freezes_{0};
+};
+
+}  // namespace serve
+}  // namespace bqe
+
+#endif  // BQE_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,109 @@
+#ifndef BQE_SERVE_REQUEST_QUEUE_H_
+#define BQE_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace bqe {
+namespace serve {
+
+/// The serving layer's admission queue: a bounded MPMC FIFO. Producers are
+/// client threads (Submit/SubmitDeltas), consumers are the service's shard
+/// workers, which drain *chunks* — PopChunk hands a worker up to `max`
+/// queued requests in one lock round-trip, and that drained chunk is the
+/// batching window the dispatcher coalesces same-fingerprint requests
+/// within. Bounded so admission is backpressure (Push blocks) or load-shed
+/// (TryPush fails) instead of unbounded memory growth under overload.
+///
+/// T must be movable; it need not be copyable (requests carry promises).
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(size_t capacity) : capacity_(capacity) {}
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocking admission: waits for space (backpressure). Returns false —
+  /// with `item` unconsumed — once the queue is closed.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    space_cv_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lk.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: fails immediately when full or closed (the
+  /// caller load-sheds).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Drains up to `max` items into `out` (appended), blocking while the
+  /// queue is empty and open. Returns the number of items popped; 0 means
+  /// the queue is closed *and* fully drained — the consumer's exit signal.
+  size_t PopChunk(size_t max, std::vector<T>* out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    item_cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    bool freed = n > 0;
+    lk.unlock();
+    if (freed) {
+      space_cv_.notify_all();
+      // More items may remain for other chunk consumers.
+      item_cv_.notify_one();
+    }
+    return n;
+  }
+
+  /// Closes admission: pending Push callers fail, consumers drain what is
+  /// queued and then see 0 from PopChunk. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   ///< Signals consumers: items queued.
+  std::condition_variable space_cv_;  ///< Signals producers: space freed.
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace bqe
+
+#endif  // BQE_SERVE_REQUEST_QUEUE_H_

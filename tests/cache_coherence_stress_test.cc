@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rw_gate.h"
 #include "core/engine.h"
 #include "exec/physical_plan.h"
 #include "workload/graph_churn.h"
@@ -136,27 +137,24 @@ TEST(CacheCoherenceStressTest, ConcurrentApplyAndExecuteStayCoherent) {
 
   // The engine's documented serving discipline: Apply() is a writer and
   // must be externally serialized against Execute(); concurrent const
-  // Execute() calls are safe among themselves. A shared_mutex encodes
-  // exactly that, and ThreadSanitizer checks the engine holds up its side.
-  std::shared_mutex mu;
+  // Execute() calls are safe among themselves. WriterPriorityGate encodes
+  // exactly that (including the writer-priority scheduling a plain
+  // reader-preferring shared_mutex lacks), and ThreadSanitizer checks the
+  // engine holds up its side. The serving layer (src/serve) runs the same
+  // gate in production; this test and serve_stress_test keep both honest.
+  WriterPriorityGate mu;
   constexpr int kWriterBatches = 60;
   std::atomic<bool> done{false};
   std::atomic<int> executed{0};
   std::atomic<bool> failed{false};
-  // glibc's rwlock is reader-preferring: free-running readers would starve
-  // the writer indefinitely. This explicit gate hands the writer priority —
-  // readers pause at the top of their loop while a batch is waiting.
-  std::atomic<bool> writer_waiting{false};
 
   std::thread writer([&] {
     for (int b = 0; b < kWriterBatches; ++b) {
       // Pace the deltas against reader progress so batches genuinely
       // interleave with cache-hitting executions instead of racing ahead.
       while (executed.load() < b && !failed.load()) std::this_thread::yield();
-      writer_waiting.store(true);
       {
-        std::unique_lock<std::shared_mutex> lk(mu);
-        writer_waiting.store(false);
+        std::unique_lock<WriterPriorityGate> lk(mu);
         Result<MaintenanceStats> st =
             engine.Apply(GraphChurnBatch(fx.cfg, "nc", b));
         if (!st.ok() || st->constraints_grown != 0) failed.store(true);
@@ -170,10 +168,7 @@ TEST(CacheCoherenceStressTest, ConcurrentApplyAndExecuteStayCoherent) {
     readers.emplace_back([&, t] {
       size_t qi = static_cast<size_t>(t);
       while (!done.load()) {
-        while (writer_waiting.load() && !done.load()) {
-          std::this_thread::yield();
-        }
-        std::shared_lock<std::shared_mutex> lk(mu);
+        std::shared_lock<WriterPriorityGate> lk(mu);
         Result<ExecuteResult> r =
             engine.Execute(queries[qi++ % queries.size()]);
         if (!r.ok() || !r->used_bounded_plan) failed.store(true);

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/engine.h"
 #include "core/plan2sql.h"
 #include "ra/builder.h"
@@ -408,6 +412,52 @@ TEST_F(EngineTest, SqlForPlanIsNonTrivial) {
   EXPECT_NE(info->sql.find("WITH"), std::string::npos);
   EXPECT_NE(info->sql.find("ind_"), std::string::npos);
   EXPECT_NE(info->sql.find("SELECT DISTINCT"), std::string::npos);
+}
+
+TEST_F(EngineTest, PlanCacheStatsSnapshotIsLockFreeUnderConcurrency) {
+  // plan_cache_stats() is specified as a lock-free const snapshot a stats
+  // endpoint may poll while other threads execute. Regression for the
+  // pre-serving behavior where reading stats took the cache lock (and,
+  // under TSan, for any unsynchronized counter access): pollers here race
+  // executors on purpose; the engine_test TSan CI job checks the engine
+  // holds up its side.
+  std::vector<RaExprPtr> queries = {MakeQ1(), MakeQ0Prime(), MakeQ0()};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> polled{0};
+  std::thread poller([&] {
+    uint64_t last_lookups = 0;
+    while (!stop.load()) {
+      PlanCacheStats s = engine_->plan_cache_stats();
+      // Total lookups are monotone across snapshots: a torn or garbage
+      // snapshot would eventually violate this.
+      uint64_t lookups = s.hits + s.misses;
+      EXPECT_GE(lookups, last_lookups);
+      EXPECT_LE(lookups, 3u * 40u);
+      last_lookups = lookups;
+      polled.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> executors;
+  for (int t = 0; t < 3; ++t) {
+    executors.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        Result<ExecuteResult> r =
+            engine_->Execute(queries[static_cast<size_t>(t + i) % 3]);
+        EXPECT_TRUE(r.ok());
+      }
+    });
+  }
+  for (std::thread& t : executors) t.join();
+  stop.store(true);
+  poller.join();
+  EXPECT_GT(polled.load(), 0u);
+  PlanCacheStats stats = engine_->plan_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 3u * 40u);
+  // Concurrent executors may race a cold entry (both miss, both prepare),
+  // so misses is bounded by the racing thread count, not exactly 3.
+  EXPECT_GE(stats.misses, 3u);
+  EXPECT_LE(stats.misses, 9u);
+  EXPECT_EQ(stats.reprepares, 0u);
 }
 
 }  // namespace

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
 #include "baseline/eval.h"
 #include "constraints/index.h"
 #include "core/cov.h"
@@ -194,6 +199,91 @@ std::vector<DiffCase> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(Datasets, ParallelExecTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
+
+// ------------------------------------------------- task-group scheduling ---
+// The serving layer dispatches concurrent queries as concurrent tagged task
+// groups; these tests pin the WorkerPool refactor that makes that possible.
+
+TEST(WorkerPoolTaskGroupTest, ConcurrentGroupsBothMakeProgress) {
+  // Group A's items block until group B has executed an item. Under the
+  // pre-refactor pool (one job at a time, callers serialized) this
+  // deadlocks: B could never start while A was in flight. With task groups
+  // B's caller thread always works B's own items, so A unblocks.
+  WorkerPool& pool = WorkerPool::Shared();
+  const uint64_t groups0 = pool.stats().groups;
+  std::atomic<bool> b_ran{false};
+  std::atomic<bool> gave_up{false};
+  std::thread b_caller([&] {
+    // Let A register first so the old behavior would actually serialize.
+    while (pool.stats().groups == groups0) std::this_thread::yield();
+    pool.ParallelFor(4, WorkerPool::GroupOptions{2, /*tag=*/7},
+                     [&](size_t, size_t) { b_ran.store(true); });
+  });
+  pool.ParallelFor(8, WorkerPool::GroupOptions{2, /*tag=*/3},
+                   [&](size_t, size_t) {
+                     auto deadline = std::chrono::steady_clock::now() +
+                                     std::chrono::seconds(30);
+                     while (!b_ran.load()) {
+                       if (std::chrono::steady_clock::now() > deadline) {
+                         gave_up.store(true);
+                         return;
+                       }
+                       std::this_thread::yield();
+                     }
+                   });
+  b_caller.join();
+  EXPECT_TRUE(b_ran.load());
+  EXPECT_FALSE(gave_up.load()) << "concurrent task group never progressed";
+  EXPECT_GE(pool.stats().max_concurrent_groups, 2u);
+}
+
+TEST(WorkerPoolTaskGroupTest, WorkerIdsAreDensePerGroup) {
+  WorkerPool& pool = WorkerPool::Shared();
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kItems = 64;
+  std::atomic<int> bad_ids{0};
+  std::atomic<uint64_t> covered{0};
+  pool.ParallelFor(kItems, kWorkers, [&](size_t w, size_t item) {
+    if (w >= kWorkers) bad_ids.fetch_add(1);
+    covered.fetch_add(item + 1);  // Sum 1..kItems checks each item ran once.
+  });
+  EXPECT_EQ(bad_ids.load(), 0);
+  EXPECT_EQ(covered.load(), kItems * (kItems + 1) / 2);
+}
+
+TEST(WorkerPoolTaskGroupTest, ExceptionCurtailsGroupAndRethrows) {
+  WorkerPool& pool = WorkerPool::Shared();
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(256, 4,
+                       [&](size_t, size_t item) {
+                         if (item == 5) throw std::runtime_error("boom");
+                         ran.fetch_add(1);
+                       }),
+      std::runtime_error);
+  EXPECT_LT(ran.load(), 256u);  // Remaining items were curtailed.
+  // The pool stays serviceable for later groups.
+  std::atomic<size_t> after{0};
+  pool.ParallelFor(16, 4, [&](size_t, size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 16u);
+}
+
+TEST(WorkerPoolTaskGroupTest, ManyConcurrentCallersDrainCorrectly) {
+  WorkerPool& pool = WorkerPool::Shared();
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 200;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(kItems,
+                       WorkerPool::GroupOptions{3, static_cast<uint64_t>(c)},
+                       [&](size_t, size_t) { total.fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), static_cast<uint64_t>(kCallers) * kItems);
+}
 
 }  // namespace
 }  // namespace bqe

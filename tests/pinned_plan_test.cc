@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rw_gate.h"
+#include "core/engine.h"
+#include "exec/physical_plan.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace {
+
+/// The serving layer's pinning contract: a shared_ptr<const PreparedQuery>
+/// obtained once keeps executing *correctly* across data-only Apply()
+/// batches — including when the cache entry behind it is invalidated or
+/// thrown away — because the plan binds live AccessIndices whose mirrors
+/// are patched (or lazily rebuilt) in place. These tests pin that, row for
+/// row, against a freshly prepared plan over the same live indices.
+
+using workload::FriendsNycCafesQuery;
+using workload::GraphChurnBatch;
+using workload::GraphChurnConfig;
+using workload::GraphChurnFixture;
+using workload::MakeGraphChurnFixture;
+
+EngineOptions DeterministicOptions(size_t threads) {
+  EngineOptions opts;
+  opts.exec_threads = threads;
+  opts.row_path_threshold = 0;  // Identical row streams either path.
+  return opts;
+}
+
+void ExpectRowForRowEqual(const Table& got, const Table& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  for (size_t r = 0; r < got.rows().size(); ++r) {
+    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
+  }
+}
+
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q,
+                            size_t threads) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  EXPECT_TRUE(pp.ok()) << pp.status().ToString();
+  ExecOptions eo;
+  eo.num_threads = threads;
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, eo);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(*t);
+}
+
+TEST(PinnedPlanTest, PinnedExecutionSurvivesCacheClearAndDataDeltas) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(1));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(1));
+  Result<std::shared_ptr<const PreparedQuery>> pin = engine.PrepareCompiled(q);
+  ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+  ASSERT_TRUE((*pin)->info.covered);
+
+  // Throw the cache entry away entirely: the pin must not care.
+  engine.ClearPlanCache();
+  for (int b = 0; b < 30; ++b) {
+    Result<MaintenanceStats> st = engine.Apply(GraphChurnBatch(fx.cfg, "pp", b));
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    ASSERT_EQ(st->constraints_grown, 0u);
+    Result<ExecuteResult> got = engine.ExecutePrepared(**pin);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->used_bounded_plan);
+    ExpectRowForRowEqual(got->table, FreshlyPreparedAnswer(engine, q, 1),
+                         "batch " + std::to_string(b));
+  }
+  // Data-only churn below every patch budget keeps the pin coherent too
+  // (the cache *would* still serve it, had we not cleared it).
+  EXPECT_TRUE(engine.StillCoherent(**pin));
+}
+
+TEST(PinnedPlanTest, PinnedExecutionCorrectAfterMirrorRebuild) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(1));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(2));
+  ASSERT_TRUE(engine.Execute(q).ok());  // Warm the cache.
+  Result<std::shared_ptr<const PreparedQuery>> pin = engine.PrepareCompiled(q);
+  ASSERT_TRUE(pin.ok());
+  ASSERT_FALSE((*pin)->bound_indices.empty());
+
+  // Churn until some bound index blows its patch budget and schedules a
+  // full mirror rebuild: the pin turns incoherent (the cache would
+  // re-prepare), yet execution through it must stay correct — the rebuild
+  // is just paid by the next execution that probes the relation.
+  int b = 0;
+  while (engine.StillCoherent(**pin) && b < 5000) {
+    Result<MaintenanceStats> st =
+        engine.Apply(GraphChurnBatch(fx.cfg, "mb", b++));
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+  }
+  ASSERT_FALSE(engine.StillCoherent(**pin))
+      << "churn never blew a patch budget (fixture too large?)";
+
+  Result<ExecuteResult> got = engine.ExecutePrepared(**pin);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectRowForRowEqual(got->table, FreshlyPreparedAnswer(engine, q, 1),
+                       "post-rebuild pinned execution");
+
+  // The cache path, by contrast, re-prepares exactly once for this query.
+  uint64_t reprepares0 = engine.plan_cache_stats().reprepares;
+  Result<ExecuteResult> via_cache = engine.Execute(q);
+  ASSERT_TRUE(via_cache.ok());
+  EXPECT_FALSE(via_cache->plan_cache_hit);
+  EXPECT_EQ(engine.plan_cache_stats().reprepares, reprepares0 + 1);
+  ExpectRowForRowEqual(via_cache->table, got->table, "cache vs pin");
+}
+
+TEST(PinnedPlanTest, ConcurrentPinnedExecutionAcrossApplyBatches) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  std::vector<RaExprPtr> queries;
+  std::vector<std::shared_ptr<const PreparedQuery>> pins;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+    Result<std::shared_ptr<const PreparedQuery>> pin =
+        engine.PrepareCompiled(queries.back());
+    ASSERT_TRUE(pin.ok());
+    pins.push_back(*pin);
+  }
+  // Pinned serving across concurrent writes: readers never touch the plan
+  // cache (ExecutePrepared), the writer goes through the gate.
+  engine.ClearPlanCache();
+
+  WriterPriorityGate gate;
+  constexpr int kWriterBatches = 40;
+  std::atomic<bool> done{false};
+  std::atomic<int> executed{0};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int b = 0; b < kWriterBatches; ++b) {
+      while (executed.load() < b && !failed.load()) std::this_thread::yield();
+      std::unique_lock<WriterPriorityGate> lk(gate);
+      Result<MaintenanceStats> st = engine.Apply(GraphChurnBatch(fx.cfg, "cp", b));
+      if (!st.ok() || st->constraints_grown != 0) failed.store(true);
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!done.load()) {
+        std::shared_lock<WriterPriorityGate> lk(gate);
+        Result<ExecuteResult> r = engine.ExecutePrepared(*pins[i++ % pins.size()]);
+        if (!r.ok() || !r->used_bounded_plan) failed.store(true);
+        executed.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(executed.load(), 0);
+
+  // Zero cache traffic during the storm, and post-delta pinned answers
+  // match fresh preparations row for row.
+  PlanCacheStats stats = engine.plan_cache_stats();
+  for (size_t i = 0; i < pins.size(); ++i) {
+    Result<ExecuteResult> got = engine.ExecutePrepared(*pins[i]);
+    ASSERT_TRUE(got.ok());
+    ExpectRowForRowEqual(got->table, FreshlyPreparedAnswer(engine, queries[i], 2),
+                         "post-storm pin " + std::to_string(i));
+  }
+  PlanCacheStats after = engine.plan_cache_stats();
+  EXPECT_EQ(stats.hits, after.hits);
+  EXPECT_EQ(stats.misses, after.misses);
+}
+
+}  // namespace
+}  // namespace bqe

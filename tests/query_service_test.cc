@@ -1,0 +1,214 @@
+#include "serve/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace {
+
+using serve::DeltaResponse;
+using serve::QueryResponse;
+using serve::QueryService;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+using workload::FriendsNycCafesQuery;
+using workload::GraphChurnBatch;
+using workload::GraphChurnFixture;
+using workload::MakeGraphChurnFixture;
+
+EngineOptions DeterministicOptions() {
+  EngineOptions opts;
+  opts.exec_threads = 1;
+  opts.row_path_threshold = 0;
+  return opts;
+}
+
+void ExpectRowForRowEqual(const Table& got, const Table& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  for (size_t r = 0; r < got.rows().size(); ++r) {
+    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
+  }
+}
+
+TEST(QueryServiceTest, AnswersMatchDirectExecution) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  for (int i = 0; i < 6; ++i) {
+    RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(i));
+    QueryResponse resp = service.Query(q);
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    ASSERT_NE(resp.table, nullptr);
+    EXPECT_TRUE(resp.used_bounded_plan);
+    Result<ExecuteResult> direct = engine.Execute(q);
+    ASSERT_TRUE(direct.ok());
+    ExpectRowForRowEqual(*resp.table, direct->table,
+                         "query " + std::to_string(i));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 6u);
+  EXPECT_EQ(stats.executed, 6u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(QueryServiceTest, CoalescesSameFingerprintRequests) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  opts.shards = 1;         // One dispatcher: a single deterministic chunk.
+  opts.batch_window = 32;  // Large enough to drain everything queued below.
+  opts.start_paused = true;
+  QueryService service(&engine, opts);
+
+  RaExprPtr hot = FriendsNycCafesQuery(fx.cfg.Pid(0));
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(service.Submit(hot));
+  futures.push_back(service.Submit(FriendsNycCafesQuery(fx.cfg.Pid(1))));
+  futures.push_back(service.Submit(FriendsNycCafesQuery(fx.cfg.Pid(2))));
+  service.Start();
+
+  std::vector<QueryResponse> responses;
+  for (std::future<QueryResponse>& f : futures) responses.push_back(f.get());
+  for (const QueryResponse& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    ASSERT_NE(r.table, nullptr);
+  }
+  // One execution for the 10-way hot group, one each for the others; the
+  // hot group's followers share the leader's immutable table.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.executed, 3u);
+  EXPECT_EQ(stats.coalesced, 9u);
+  EXPECT_EQ(stats.batches, 1u);
+  int hot_coalesced = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (responses[static_cast<size_t>(i)].coalesced) ++hot_coalesced;
+    EXPECT_EQ(responses[static_cast<size_t>(i)].table, responses[0].table);
+  }
+  EXPECT_EQ(hot_coalesced, 9);
+  EXPECT_FALSE(responses[10].coalesced);
+  EXPECT_FALSE(responses[11].coalesced);
+}
+
+TEST(QueryServiceTest, DeltasApplyThroughServiceAndAreVisible) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(3));
+  QueryResponse before = service.Query(q);
+  ASSERT_TRUE(before.status.ok());
+
+  // GraphChurnBatch(b) adds one friend of Pid(b % pids) dining at Cid(b):
+  // batch 3 targets Pid(3), and Cid(b) is "nyc" for b % 3 == 0.
+  DeltaResponse applied = service.ApplyDeltas(GraphChurnBatch(fx.cfg, "qd", 3));
+  ASSERT_TRUE(applied.status.ok()) << applied.status.ToString();
+  EXPECT_EQ(applied.stats.inserts, 2u);
+
+  QueryResponse after = service.Query(q);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.table->NumRows(), before.table->NumRows() + 1);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.delta_batches, 1u);
+  EXPECT_EQ(stats.deltas_applied, 2u);
+  EXPECT_EQ(engine.DataEpoch(), 1u);
+}
+
+TEST(QueryServiceTest, PinnedServingAcrossDataOnlyChurnNeverReprepares) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  for (const RaExprPtr& q : queries) ASSERT_TRUE(service.Query(q).status.ok());
+  ServiceStats warm = service.stats();
+  EXPECT_EQ(warm.repins, 4u);  // One PrepareCompiled per fingerprint, ever.
+
+  for (int b = 0; b < 25; ++b) {
+    ASSERT_TRUE(service.ApplyDeltas(GraphChurnBatch(fx.cfg, "pc", b)).status.ok());
+    for (const RaExprPtr& q : queries) {
+      QueryResponse r = service.Query(q);
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_TRUE(r.pin_hit) << "batch " << b;
+    }
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.engine.reprepares, 0u);
+  EXPECT_EQ(stats.engine.misses, warm.engine.misses)
+      << "data-only churn must not re-enter the plan cache";
+  EXPECT_EQ(stats.repins, 4u);
+  EXPECT_EQ(stats.coalesced, 0u);  // Serial blocking client: no batching.
+  EXPECT_EQ(stats.pin_hits, 4u * 25u);
+}
+
+TEST(QueryServiceTest, TrySubmitLoadShedsWhenQueueFull) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  opts.queue_capacity = 2;
+  opts.start_paused = true;  // Nothing drains: the queue genuinely fills.
+  QueryService service(&engine, opts);
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(0));
+  std::future<QueryResponse> f1 = service.TrySubmit(q);
+  std::future<QueryResponse> f2 = service.TrySubmit(q);
+  std::future<QueryResponse> shed = service.TrySubmit(q);
+  QueryResponse shed_resp = shed.get();  // Resolves immediately.
+  EXPECT_FALSE(shed_resp.status.ok());
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+
+  // Shutdown answers what was admitted before closing.
+  service.Shutdown();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownResolvesWithError) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+  service.Shutdown();
+  QueryResponse resp = service.Query(FriendsNycCafesQuery(fx.cfg.Pid(0)));
+  EXPECT_FALSE(resp.status.ok());
+  DeltaResponse dresp = service.ApplyDeltas(GraphChurnBatch(fx.cfg, "sd", 0));
+  EXPECT_FALSE(dresp.status.ok());
+  EXPECT_EQ(service.stats().rejected, 2u);
+}
+
+TEST(QueryServiceTest, NonCoveredQueryFallsBackThroughService) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  // cafe is only accessible by cid; selecting on city is not covered and
+  // must reach the baseline evaluator through the service.
+  RaExprPtr q = Project(
+      Select(Rel("cafe"), {EqC(A("cafe", "city"), Value::Str("nyc"))}),
+      {A("cafe", "cid")});
+  QueryResponse resp = service.Query(q);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  Result<ExecuteResult> direct = engine.Execute(q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(resp.used_bounded_plan, direct->used_bounded_plan);
+  EXPECT_TRUE(Table::SameSet(*resp.table, direct->table));
+}
+
+}  // namespace
+}  // namespace bqe

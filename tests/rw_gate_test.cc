@@ -1,0 +1,113 @@
+#include "common/rw_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+namespace bqe {
+namespace {
+
+TEST(WriterPriorityGateTest, WriterExcludesReadersAndWriters) {
+  WriterPriorityGate gate;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> writers_inside{0};
+  std::atomic<bool> violated{false};
+  constexpr int kOpsPerThread = 400;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::shared_lock<WriterPriorityGate> lk(gate);
+        readers_inside.fetch_add(1);
+        if (writers_inside.load() != 0) violated.store(true);
+        readers_inside.fetch_sub(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::unique_lock<WriterPriorityGate> lk(gate);
+        if (writers_inside.fetch_add(1) != 0) violated.store(true);
+        if (readers_inside.load() != 0) violated.store(true);
+        writers_inside.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(WriterPriorityGateTest, ConcurrentReadersOverlap) {
+  WriterPriorityGate gate;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      std::shared_lock<WriterPriorityGate> lk(gate);
+      int now = inside.fetch_add(1) + 1;
+      int prev = max_inside.load();
+      while (prev < now && !max_inside.compare_exchange_weak(prev, now)) {
+      }
+      // Hold until every reader has entered: proves shared admission.
+      while (inside.load() < 4 && !release.load()) std::this_thread::yield();
+      release.store(true);
+      inside.fetch_sub(1);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(max_inside.load(), 4);
+}
+
+TEST(WriterPriorityGateTest, WriterNotStarvedByFreeRunningReaders) {
+  WriterPriorityGate gate;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::shared_lock<WriterPriorityGate> lk(gate);
+        reads.fetch_add(1);
+      }
+    });
+  }
+  // Let the reader storm establish itself first, then write through it.
+  // With reader-preferring admission the writer loop would hang behind the
+  // free-running readers; writer priority guarantees each acquisition
+  // drains in bounded time. Completion of the loop is the assertion.
+  while (reads.load() == 0) std::this_thread::yield();
+  for (int w = 0; w < 200; ++w) {
+    std::unique_lock<WriterPriorityGate> lk(gate);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(WriterPriorityGateTest, TryLockVariants) {
+  WriterPriorityGate gate;
+  {
+    std::shared_lock<WriterPriorityGate> r(gate);
+    EXPECT_FALSE(gate.try_lock());      // Reader blocks writer.
+    EXPECT_TRUE(gate.try_lock_shared());  // Readers share.
+    gate.unlock_shared();
+  }
+  {
+    std::unique_lock<WriterPriorityGate> w(gate);
+    EXPECT_FALSE(gate.try_lock());
+    EXPECT_FALSE(gate.try_lock_shared());
+  }
+  EXPECT_TRUE(gate.try_lock());
+  gate.unlock();
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/physical_plan.h"
+#include "serve/query_service.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace {
+
+/// Serving-layer stress: concurrent clients and a delta writer all go
+/// through one QueryService. The service must stay TSan-clean, answer every
+/// request, keep zero engine re-prepares across the data-only churn
+/// (observed through its stats endpoint), and its post-storm answers must
+/// match a freshly prepared plan row-for-row and an uncached engine as a
+/// set. This is the production shape of what cache_coherence_stress_test
+/// pins with hand-rolled locking.
+
+using serve::QueryResponse;
+using serve::QueryService;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+using workload::FriendsNycCafesQuery;
+using workload::GraphChurnBatch;
+using workload::GraphChurnConfig;
+using workload::GraphChurnFixture;
+using workload::MakeGraphChurnFixture;
+
+EngineOptions DeterministicOptions(size_t threads) {
+  EngineOptions opts;
+  opts.exec_threads = threads;
+  opts.row_path_threshold = 0;
+  return opts;
+}
+
+void ExpectRowForRowEqual(const Table& got, const Table& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  for (size_t r = 0; r < got.rows().size(); ++r) {
+    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
+  }
+}
+
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q,
+                            size_t threads) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  EXPECT_TRUE(pp.ok()) << pp.status().ToString();
+  ExecOptions eo;
+  eo.num_threads = threads;
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, eo);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(*t);
+}
+
+TEST(ServeStressTest, ConcurrentClientsAndDeltaWriterStayCoherent) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 50;
+  constexpr int kWriterBatches = 40;
+  constexpr int kQueries = 4;
+
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < kQueries; ++i) {
+    queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+
+  uint64_t warm_misses = 0;
+  ServiceStats end_stats;
+  {
+    ServiceOptions sopts;
+    sopts.shards = 3;
+    sopts.batch_window = 16;
+    QueryService service(&engine, sopts);
+
+    // Warm every fingerprint once so the storm serves entirely off pins.
+    for (const RaExprPtr& q : queries) {
+      QueryResponse r = service.Query(q);
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      ASSERT_TRUE(r.used_bounded_plan);
+    }
+    warm_misses = service.stats().engine.misses;
+
+    std::atomic<int> answered{0};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          size_t qi = static_cast<size_t>(c + i) % queries.size();
+          QueryResponse r = service.Query(queries[qi]);
+          if (!r.status.ok() || !r.used_bounded_plan || r.table == nullptr) {
+            failed.store(true);
+          }
+          answered.fetch_add(1);
+        }
+      });
+    }
+    std::thread writer([&] {
+      for (int b = 0; b < kWriterBatches; ++b) {
+        // Pace deltas against client progress so batches land *between*
+        // pinned executions rather than all up front.
+        while (answered.load() < b * 3 && !failed.load()) {
+          std::this_thread::yield();
+        }
+        serve::DeltaResponse dr =
+            service.ApplyDeltas(GraphChurnBatch(fx.cfg, "ss", b));
+        if (!dr.status.ok() || dr.stats.constraints_grown != 0) {
+          failed.store(true);
+        }
+      }
+    });
+    for (std::thread& t : clients) t.join();
+    writer.join();
+    EXPECT_FALSE(failed.load());
+
+    // Post-storm: answers off the service match a freshly prepared plan
+    // row-for-row over the live indices, and an independent uncached
+    // engine as a set.
+    EngineOptions uncached_opts = DeterministicOptions(2);
+    uncached_opts.plan_cache = false;
+    BoundedEngine oracle(&fx.db, fx.schema, uncached_opts);
+    ASSERT_TRUE(oracle.BuildIndices().ok());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      QueryResponse r = service.Query(queries[qi]);
+      ASSERT_TRUE(r.status.ok());
+      std::string ctx = "post-storm query " + std::to_string(qi);
+      ExpectRowForRowEqual(*r.table,
+                           FreshlyPreparedAnswer(engine, queries[qi], 2), ctx);
+      Result<ExecuteResult> fresh = oracle.Execute(queries[qi]);
+      ASSERT_TRUE(fresh.ok());
+      EXPECT_TRUE(Table::SameSet(*r.table, fresh->table)) << ctx;
+    }
+
+    end_stats = service.stats();
+    service.Shutdown();
+  }
+
+  // The acceptance bar: zero re-prepares during data-only churn, observed
+  // through the service's stats endpoint, and not a single plan-cache miss
+  // beyond the warmup — the storm was served entirely off pinned plans.
+  EXPECT_EQ(end_stats.engine.reprepares, 0u);
+  EXPECT_EQ(end_stats.engine.misses, warm_misses);
+  constexpr uint64_t kTotalQueries =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient +
+      static_cast<uint64_t>(kQueries) * 2;  // Warmup + post-storm checks.
+  EXPECT_EQ(end_stats.admitted,
+            kTotalQueries + static_cast<uint64_t>(kWriterBatches));
+  EXPECT_EQ(end_stats.rejected, 0u);
+  // Every query request was either a leader execution or coalesced into one.
+  EXPECT_EQ(end_stats.executed + end_stats.coalesced, kTotalQueries);
+  EXPECT_EQ(end_stats.delta_batches, static_cast<uint64_t>(kWriterBatches));
+  EXPECT_EQ(engine.DataEpoch(), static_cast<uint64_t>(kWriterBatches));
+  EXPECT_EQ(engine.SchemaEpoch(), 1u + 0u /* built once, no bound growth */);
+}
+
+}  // namespace
+}  // namespace bqe
