@@ -201,16 +201,186 @@ BatchVec ConcatMorsels(std::vector<BatchVec>* morsels) {
   return out;
 }
 
+using Clock = std::chrono::steady_clock;
+
+inline double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Per-worker reusable scratch. A worker slot runs at most one morsel at a
+/// time, so each worker's scratch is touched by one thread per item. The
+/// dedupe table is Reset (slots kept) instead of reconstructed per morsel —
+/// the old per-morsel `KeyTable local(rows)` paid a worst-case allocation
+/// for every morsel.
+struct WorkerScratch {
+  KeyEncoder enc;
+  KeyTable dedupe;
+};
+
+/// Initial sizing hint for a worker's reusable dedupe table: deliberately
+/// below the worst case (every morsel row distinct) — the table grows once
+/// if a morsel really needs it and the allocation is then reused by every
+/// later morsel of the task.
+constexpr size_t kDedupeScratchSeed = 256;
+
 struct ParCtx {
   const std::vector<PhysicalOp>& ops;
   const ExecOptions& opts;
   WorkerPool& pool;
   size_t workers;
   std::vector<ExecStats>& wstats;
+  std::vector<WorkerScratch>& scratch;
+  ExecStats* st;  ///< Main-thread stats (breaker accounting; no worker race:
+                  ///< breakers run their serial sections on the caller).
 
   /// Every task group of this execution carries the request's tag.
   WorkerPool::GroupOptions Group() const { return {workers, opts.task_tag}; }
 };
+
+/// Runtime side of the breaker build decision: the partition count the
+/// breaker should actually use, or 0 for the serial build. The *actual*
+/// materialized build must be big enough to amortize the scatter phase
+/// (partitioned_build_min_rows) and there must be real fan-out; the
+/// compile-time hint supplies the partition count, but when it said serial
+/// the actual row count re-picks — compile estimates are frozen while
+/// cached plans stay live across data growth, and second breakers (the
+/// difference's candidate merge) size differently from the hinted side.
+int EffectiveBuildPartitions(int compile_hint, size_t build_rows,
+                             const ParCtx& cx) {
+  if (cx.workers <= 1 || build_rows == 0 ||
+      build_rows < cx.opts.partitioned_build_min_rows) {
+    return 0;
+  }
+  int p = compile_hint > 1 ? compile_hint
+                           : PickBuildPartitions(build_rows);
+  return p > 1 ? p : 0;
+}
+
+/// Phase-1 task layout over a list of input batches: contiguous,
+/// row-balanced batch ranges (one KeyScatter per task), plus each batch's
+/// global starting row. Batch order is global row order, which is what
+/// phase 2 relies on for serial-identical chains.
+struct ScatterPlan {
+  std::vector<std::pair<size_t, size_t>> tasks;  ///< [first, second) batches.
+  std::vector<uint32_t> bases;                   ///< Batch -> first row id.
+};
+
+ScatterPlan PlanScatter(const std::vector<const ColumnBatch*>& batches,
+                        size_t workers) {
+  ScatterPlan sp;
+  sp.bases.reserve(batches.size());
+  size_t total = 0;
+  for (const ColumnBatch* b : batches) {
+    sp.bases.push_back(static_cast<uint32_t>(total));
+    total += b->num_rows();
+  }
+  size_t ntasks = std::max<size_t>(1, std::min(batches.size(), workers * 2));
+  size_t target = total / ntasks + 1;
+  size_t begin = 0, acc = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    acc += batches[b]->num_rows();
+    if (acc >= target && b + 1 < batches.size()) {
+      sp.tasks.emplace_back(begin, b + 1);
+      begin = b + 1;
+      acc = 0;
+    }
+  }
+  if (begin < batches.size()) sp.tasks.emplace_back(begin, batches.size());
+  return sp;
+}
+
+std::vector<const ColumnBatch*> BatchPtrs(const BatchVec& input) {
+  std::vector<const ColumnBatch*> out;
+  out.reserve(input.size());
+  for (const ColumnBatch& b : input) out.push_back(&b);
+  return out;
+}
+
+/// Phase 1 fan-out shared by every partitioned breaker build: scatters the
+/// input batches into per-task per-partition (row, hash, key) slices.
+std::vector<KeyScatter> ScatterPhase(
+    const std::vector<const ColumnBatch*>& batches, const ScatterPlan& sp,
+    const std::vector<int>& key_cols, const PartitionedKeyTable& router,
+    ParCtx& cx) {
+  std::vector<KeyScatter> scattered(sp.tasks.size());
+  cx.pool.ParallelFor(sp.tasks.size(), cx.Group(), [&](size_t w, size_t t) {
+    KeyScatter& ks = scattered[t];
+    ks.parts.resize(router.num_partitions());
+    for (size_t b = sp.tasks[t].first; b < sp.tasks[t].second; ++b) {
+      ScatterKeys(*batches[b], key_cols, sp.bases[b], router,
+                  &cx.scratch[w].enc, &ks);
+    }
+  });
+  return scattered;
+}
+
+/// Two-phase partitioned build of a join table: radix-scatter the build
+/// side, then build every partition's group table and row chains in an
+/// independent task. Output contract identical to BuildJoinTable.
+JoinBuildTable ParallelBuildJoinTable(const BatchVec& right,
+                                      const std::vector<int>& rk,
+                                      int partitions, ParCtx& cx) {
+  BuildStats& bs = cx.st->build;
+  JoinBuildTable bt;
+  size_t total = TotalRows(right);
+  bt.groups = PartitionedKeyTable(static_cast<size_t>(partitions), total);
+  size_t nparts = bt.groups.num_partitions();
+  bt.heads.resize(nparts);
+  bt.next.assign(total, JoinBuildTable::kNone);
+  std::vector<const ColumnBatch*> batches = BatchPtrs(right);
+  ScatterPlan sp = PlanScatter(batches, cx.workers);
+  Clock::time_point t0 = Clock::now();
+  std::vector<KeyScatter> scattered =
+      ScatterPhase(batches, sp, rk, bt.groups, cx);
+  bs.scatter_ms += MsSince(t0);
+  t0 = Clock::now();
+  cx.pool.ParallelFor(nparts, cx.Group(), [&](size_t, size_t p) {
+    BuildJoinTablePartition(scattered, p, &bt);
+  });
+  bs.build_ms += MsSince(t0);
+  bs.partitions += nparts;
+  return bt;
+}
+
+/// Builds a set-semantics key table (the difference's right-side exclusion
+/// set) — partitioned two-phase build when the breaker qualifies, serial
+/// single-partition otherwise.
+PartitionedKeyTable BuildExclusionSet(const BatchVec& right,
+                                      int build_partitions, ParCtx& cx) {
+  BuildStats& bs = cx.st->build;
+  size_t total = TotalRows(right);
+  ++bs.breakers;
+  bs.build_rows += total;
+  int parts = EffectiveBuildPartitions(build_partitions, total, cx);
+  if (parts <= 1) {
+    ++bs.serial;
+    Clock::time_point t0 = Clock::now();
+    PartitionedKeyTable set(1, total);
+    KeyEncoder& enc = cx.scratch[0].enc;
+    for (const ColumnBatch& b : right) {
+      enc.Encode(b, {});
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        set.InsertOrFind(enc.Key(i), nullptr);
+      }
+    }
+    bs.build_ms += MsSince(t0);
+    return set;
+  }
+  ++bs.partitioned;
+  PartitionedKeyTable set(static_cast<size_t>(parts), total);
+  std::vector<const ColumnBatch*> batches = BatchPtrs(right);
+  ScatterPlan sp = PlanScatter(batches, cx.workers);
+  Clock::time_point t0 = Clock::now();
+  std::vector<KeyScatter> scattered = ScatterPhase(batches, sp, {}, set, cx);
+  bs.scatter_ms += MsSince(t0);
+  t0 = Clock::now();
+  cx.pool.ParallelFor(set.num_partitions(), cx.Group(), [&](size_t, size_t p) {
+    BuildKeySetPartition(scattered, p, &set, nullptr);
+  });
+  bs.build_ms += MsSince(t0);
+  bs.partitions += set.num_partitions();
+  return set;
+}
 
 /// Phase 2 of a fetch: gather the serially collected bucket segments in
 /// row-balanced contiguous morsels.
@@ -264,41 +434,89 @@ BatchVec ParallelProduct(const PhysicalOp& s, const BatchVec& left,
   return ConcatMorsels(&mout);
 }
 
-/// Ordered serial merge over per-morsel locally distinct candidates: keeps
-/// the global first occurrence in morsel order, so the result stream equals
-/// the serial set operator's. Shared by ParallelDistinct and the fused
-/// dedupe-project sink.
+/// Ordered merge over per-morsel locally distinct candidates: keeps the
+/// global first occurrence in morsel order, so the result stream equals the
+/// serial set operator's. Shared by ParallelDistinct and the fused
+/// dedupe-project sink. Small merges run the serial single-table scan; a
+/// merge that qualifies as a partitioned breaker build (compile-time
+/// `build_partitions`, runtime row threshold) runs three phases — parallel
+/// radix scatter, parallel per-partition dedupe marking global
+/// first-occurrence flags, and one ordered flag-gather pass that emits
+/// exactly the serial merge's row stream.
 BatchVec MergeDistinctCandidates(std::vector<BatchVec>* cand,
                                  const std::vector<ValueType>& types,
-                                 size_t batch_size) {
+                                 int build_partitions, ParCtx& cx) {
   if (cand->size() == 1) return std::move(cand->front());  // Already distinct.
+  BuildStats& bs = cx.st->build;
+  std::vector<const ColumnBatch*> flat;
+  for (const BatchVec& cv : *cand) {
+    for (const ColumnBatch& cb : cv) flat.push_back(&cb);
+  }
+  size_t total = 0;
+  for (const ColumnBatch* b : flat) total += b->num_rows();
+  ++bs.breakers;
+  bs.build_rows += total;
   BatchVec out;
-  BatchWriter w(types, batch_size, &out);
-  KeyTable seen;
-  KeyEncoder enc;
-  for (BatchVec& cv : *cand) {
-    for (ColumnBatch& cb : cv) {
-      AppendDistinctRows(cb, {}, nullptr, &seen, &enc, &w);
+  BatchWriter w(types, cx.opts.batch_size, &out);
+  int parts = EffectiveBuildPartitions(build_partitions, total, cx);
+  if (parts <= 1) {
+    ++bs.serial;
+    Clock::time_point t0 = Clock::now();
+    KeyTable seen(total);
+    for (const ColumnBatch* cb : flat) {
+      AppendDistinctRows(*cb, {}, nullptr, &seen, &cx.scratch[0].enc, &w);
     }
+    w.Finish();
+    bs.build_ms += MsSince(t0);
+    return out;
+  }
+  ++bs.partitioned;
+  PartitionedKeyTable seen(static_cast<size_t>(parts), total);
+  ScatterPlan sp = PlanScatter(flat, cx.workers);
+  Clock::time_point t0 = Clock::now();
+  std::vector<KeyScatter> scattered = ScatterPhase(flat, sp, {}, seen, cx);
+  bs.scatter_ms += MsSince(t0);
+  t0 = Clock::now();
+  // Winner flags are bytes indexed by global candidate row; partitions own
+  // disjoint rows, so concurrent markers touch disjoint bytes.
+  std::vector<uint8_t> first(total, 0);
+  cx.pool.ParallelFor(seen.num_partitions(), cx.Group(),
+                      [&](size_t, size_t p) {
+                        BuildKeySetPartition(scattered, p, &seen, first.data());
+                      });
+  // Ordered gather: scanning candidates in global order and keeping the
+  // flagged rows reproduces the serial merge's stream byte for byte.
+  std::vector<uint32_t> sel;
+  for (size_t b = 0; b < flat.size(); ++b) {
+    const ColumnBatch& cb = *flat[b];
+    sel.clear();
+    for (size_t i = 0; i < cb.num_rows(); ++i) {
+      if (first[sp.bases[b] + i] != 0) sel.push_back(static_cast<uint32_t>(i));
+    }
+    w.WriteGather(cb, sel.data(), sel.size(), {});
   }
   w.Finish();
+  bs.build_ms += MsSince(t0);
+  bs.partitions += seen.num_partitions();
   return out;
 }
 
 /// Parallel set-semantics kernel: per-morsel local dedupe (optionally
-/// pre-filtered against `exclude`) followed by the ordered serial merge.
+/// pre-filtered against `exclude`) followed by the ordered merge.
 BatchVec ParallelDistinct(const std::vector<const ColumnBatch*>& morsels,
                           const std::vector<ValueType>& types,
-                          const KeyTable* exclude, ParCtx& cx) {
+                          const PartitionedKeyTable* exclude,
+                          int build_partitions, ParCtx& cx) {
   std::vector<BatchVec> cand(morsels.size());
-  cx.pool.ParallelFor(morsels.size(), cx.Group(), [&](size_t, size_t m) {
-    KeyTable local(morsels[m]->num_rows());
-    KeyEncoder enc;
-    BatchWriter w(types, cx.opts.batch_size, &cand[m]);
-    AppendDistinctRows(*morsels[m], {}, exclude, &local, &enc, &w);
-    w.Finish();
+  cx.pool.ParallelFor(morsels.size(), cx.Group(), [&](size_t w, size_t m) {
+    WorkerScratch& ws = cx.scratch[w];
+    ws.dedupe.Reset(
+        std::min<size_t>(morsels[m]->num_rows(), kDedupeScratchSeed));
+    BatchWriter w2(types, cx.opts.batch_size, &cand[m]);
+    AppendDistinctRows(*morsels[m], {}, exclude, &ws.dedupe, &ws.enc, &w2);
+    w2.Finish();
   });
-  return MergeDistinctCandidates(&cand, types, cx.opts.batch_size);
+  return MergeDistinctCandidates(&cand, types, build_partitions, cx);
 }
 
 BatchVec ParallelUnion(const PhysicalOp& s, const BatchVec& left,
@@ -307,24 +525,24 @@ BatchVec ParallelUnion(const PhysicalOp& s, const BatchVec& left,
   morsels.reserve(left.size() + right.size());
   for (const ColumnBatch& b : left) morsels.push_back(&b);
   for (const ColumnBatch& b : right) morsels.push_back(&b);
-  return ParallelDistinct(morsels, s.out_types, nullptr, cx);
+  return ParallelDistinct(morsels, s.out_types, nullptr, s.build_partitions,
+                          cx);
 }
 
 BatchVec ParallelDiff(const PhysicalOp& s, const BatchVec& left,
                       const BatchVec& right, ParCtx& cx) {
-  // Build the right-side exclusion set serially; workers only Find() in it.
-  KeyTable right_set(TotalRows(right));
-  KeyEncoder enc;
-  for (const ColumnBatch& b : right) {
-    enc.Encode(b, {});
-    for (size_t i = 0; i < b.num_rows(); ++i) {
-      right_set.InsertOrFind(enc.Key(i), nullptr);
-    }
-  }
+  // The right-side exclusion set is a breaker build: partitioned when it
+  // qualifies, serial otherwise. Workers only Find() in the result.
+  PartitionedKeyTable right_set =
+      BuildExclusionSet(right, s.build_partitions, cx);
   std::vector<const ColumnBatch*> morsels;
   morsels.reserve(left.size());
   for (const ColumnBatch& b : left) morsels.push_back(&b);
-  return ParallelDistinct(morsels, s.out_types, &right_set, cx);
+  // The candidate merge is a *second* breaker sized by the left side, not
+  // the exclusion set the compile-time hint was picked for — pass no hint
+  // so the merge re-picks its partition count from its actual input.
+  return ParallelDistinct(morsels, s.out_types, &right_set,
+                          /*build_partitions=*/0, cx);
 }
 
 /// Executes one fused pipeline: morsels of the materialized source step are
@@ -347,8 +565,10 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
   int src = p;
   const BatchVec& src_batches = results[static_cast<size_t>(src)];
 
-  // Pipeline breaker: the join build side is materialized and built once on
-  // this thread, then shared read-only across all probe workers.
+  // Pipeline breaker: the join build side is materialized once, then built
+  // — partitioned two-phase when the compile-time estimate picked a
+  // partition count and the materialized build is big enough, serial on
+  // this thread otherwise — and shared read-only across all probe workers.
   bool is_join = s.kind == PlanStep::Kind::kJoin;
   ColumnBatch rscratch;
   const ColumnBatch* rchunk = nullptr;
@@ -357,11 +577,23 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
       chain.empty() ? ops[static_cast<size_t>(src)].out_types
                     : ops[static_cast<size_t>(chain.back())].out_types;
   if (is_join) {
-    KeyEncoder enc;
-    rchunk = MergedChunk(results[static_cast<size_t>(s.right)],
-                         ops[static_cast<size_t>(s.right)].out_types,
+    const BatchVec& right = results[static_cast<size_t>(s.right)];
+    rchunk = MergedChunk(right, ops[static_cast<size_t>(s.right)].out_types,
                          &rscratch);
-    bt = BuildJoinTable(*rchunk, s.rkey, &enc);
+    BuildStats& bs = cx.st->build;
+    ++bs.breakers;
+    bs.build_rows += rchunk->num_rows();
+    int parts =
+        EffectiveBuildPartitions(s.build_partitions, rchunk->num_rows(), cx);
+    if (parts > 1) {
+      ++bs.partitioned;
+      bt = ParallelBuildJoinTable(right, s.rkey, parts, cx);
+    } else {
+      ++bs.serial;
+      Clock::time_point t0 = Clock::now();
+      bt = BuildJoinTable(*rchunk, s.rkey, &cx.scratch[0].enc);
+      bs.build_ms += MsSince(t0);
+    }
   }
 
   std::vector<BatchVec> mout(src_batches.size());
@@ -372,9 +604,8 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
     if (is_join && chain.empty()) {
       // Unfused probe side: probe the source batch in place, exactly like
       // the serial executor — no selection vector, no gather.
-      KeyEncoder enc;
       PairWriter pw(s.out_types, cx.opts.batch_size, &mout[m]);
-      ProbeJoinBatch(bt, *rchunk, b, s.lkey, &enc, &pw);
+      ProbeJoinBatch(bt, *rchunk, b, s.lkey, &cx.scratch[w].enc, &pw);
       return;
     }
     std::vector<uint32_t> sel(b.num_rows());
@@ -396,7 +627,7 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
       ws.ForKind(c.kind).rows_out += sel.size();
       ws.intermediate_rows += sel.size();
     }
-    KeyEncoder enc;
+    KeyEncoder& enc = cx.scratch[w].enc;
     if (s.kind == PlanStep::Kind::kFilter) {
       FilterSelect(b, s.preds, colmap, &sel);
       BatchWriter w2(s.out_types, cx.opts.batch_size, &mout[m]);
@@ -414,10 +645,14 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
         w2.Finish();
       } else {
         // Local dedupe; the ordered global merge runs after the fan-in.
+        // The worker's scratch table is Reset, not reconstructed: a capped
+        // initial estimate plus slot reuse across morsels replaces the old
+        // worst-case per-morsel allocation.
         ColumnBatch mb(s.out_types);
         mb.ReserveRows(sel.size());
         mb.GatherRowsFrom(b, sel.data(), sel.size(), fm);
-        KeyTable local(mb.num_rows());
+        KeyTable& local = cx.scratch[w].dedupe;
+        local.Reset(std::min<size_t>(mb.num_rows(), kDedupeScratchSeed));
         BatchWriter w2(s.out_types, cx.opts.batch_size, &mout[m]);
         AppendDistinctRows(mb, {}, nullptr, &local, &enc, &w2);
         w2.Finish();
@@ -434,7 +669,7 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
   });
 
   if (s.kind == PlanStep::Kind::kProject && s.dedupe && !mout.empty()) {
-    return MergeDistinctCandidates(&mout, s.out_types, cx.opts.batch_size);
+    return MergeDistinctCandidates(&mout, s.out_types, s.build_partitions, cx);
   }
   return ConcatMorsels(&mout);
 }
@@ -454,7 +689,8 @@ Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
   size_t workers =
       std::max<size_t>(1, std::min(opts.num_threads, WorkerPool::kMaxThreads));
   std::vector<ExecStats> wstats(workers);
-  ParCtx cx{ops, opts, WorkerPool::Shared(), workers, wstats};
+  std::vector<WorkerScratch> scratch(workers);
+  ParCtx cx{ops, opts, WorkerPool::Shared(), workers, wstats, scratch, st};
   std::vector<BatchVec> results(ops.size());
 
   for (size_t i = 0; i < ops.size(); ++i) {

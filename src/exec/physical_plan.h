@@ -33,6 +33,22 @@ struct PhysicalOp {
   std::vector<std::pair<int, int>> join_cols;  // kJoin.
   std::vector<int> lkey, rkey;                 // kJoin, join_cols split.
   std::vector<ValueType> out_types;    // Derived static column types.
+  /// Compile-time output-cardinality estimate (propagated from the fetch
+  /// indices' live entry counts, saturating). Coarse by construction — it
+  /// exists to size the breaker build decision below, not to order joins.
+  uint64_t est_rows = 0;
+  /// Pipeline-breaker build fan-out picked at compile time from the build
+  /// side's `est_rows`: the partition count of the two-phase partitioned
+  /// build (power of two), or 0 when the estimated build looks too small
+  /// for partitioning to pay. Set on kJoin (build = right), kDiff
+  /// (exclusion set = right), kUnion and dedupe kProject (the candidate
+  /// merge). A hint, not a verdict: the executor falls back to the serial
+  /// build when the *actual* materialized build is small
+  /// (ExecOptions::partitioned_build_min_rows) or workers == 1, and
+  /// conversely re-picks a partition count from the actual row count when
+  /// this said serial but the build grew past the threshold (cached plans
+  /// stay live across data-only deltas, so compile estimates go stale).
+  int build_partitions = 0;
   int num_consumers = 0;       // How many later ops read this op's result.
   /// Id of the op this op's output streams into under morsel-driven
   /// execution (-1 = materialized). Set when this op is a streamable
@@ -90,6 +106,20 @@ class PhysicalPlan {
   const BoundedPlan* source_ = nullptr;
   const IndexSet* indices_ = nullptr;
 };
+
+/// Breaker build fan-out for an estimated or actual build cardinality: 0
+/// below the floor where scatter setup dominates (the breaker then builds
+/// serially), otherwise a power of two that grows with the size — more
+/// independent partitions than workers, so finer tasks absorb key skew —
+/// up to PartitionedKeyTable::kMaxPartitions. Compile time applies it to
+/// cardinality estimates (PhysicalOp::build_partitions); the parallel
+/// executor re-applies it to the *actual* materialized row count whenever
+/// the compile-time hint said serial, so a cached plan whose build side
+/// grew under data-only deltas (estimates are frozen at compile, plans
+/// stay live — see core/engine.h) and second breakers whose input differs
+/// from the hinted side (the difference's candidate merge vs its exclusion
+/// set) still engage the partitioned build.
+int PickBuildPartitions(uint64_t build_rows);
 
 /// Executes a compiled plan: serial vectorized dispatch by default,
 /// morsel-driven parallel execution when opts.num_threads > 1, and the

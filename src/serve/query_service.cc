@@ -1,6 +1,7 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <shared_mutex>
 #include <string_view>
 #include <thread>
@@ -12,7 +13,8 @@ namespace serve {
 QueryService::QueryService(BoundedEngine* engine, ServiceOptions opts)
     : engine_(engine),
       opts_(opts),
-      queue_(std::max<size_t>(1, opts.queue_capacity)) {
+      queue_(std::max<size_t>(1, opts.queue_capacity)),
+      window_(std::max<size_t>(1, opts.batch_window), opts.batch_horizon_us) {
   opts_.shards = std::max<size_t>(1, opts_.shards);
   opts_.batch_window = std::max<size_t>(1, opts_.batch_window);
   opts_.pin_capacity = std::max<size_t>(1, opts_.pin_capacity);
@@ -80,11 +82,30 @@ QueryService::Request QueryService::MakeQueryRequest(RaExprPtr query) {
 }
 
 bool QueryService::Admit(Request* r, bool blocking) {
+  // The arrival timestamp is taken *before* the push: under backpressure
+  // Push blocks until the queue drains, and stamping afterwards would make
+  // the EWMA measure drain pace instead of client arrival rate — freezing
+  // the adaptive window at its pre-overload value right when maximal
+  // coalescing is wanted.
+  uint64_t arrival_us = 0;
+  if (opts_.adaptive_batch_window) {
+    arrival_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
   // Push/TryPush consume the request only on success; a declined request
   // (queue closed, or full under load-shed) stays with the caller.
   bool ok = blocking ? queue_.Push(std::move(*r)) : queue_.TryPush(std::move(*r));
   (ok ? admitted_ : rejected_).fetch_add(1, std::memory_order_relaxed);
+  if (ok && opts_.adaptive_batch_window) window_.RecordArrival(arrival_us);
   return ok;
+}
+
+size_t QueryService::EffectiveWindow() const {
+  return opts_.adaptive_batch_window
+             ? std::min(window_.Window(), opts_.batch_window)
+             : opts_.batch_window;
 }
 
 std::future<QueryResponse> QueryService::Submit(RaExprPtr query) {
@@ -137,9 +158,17 @@ DeltaResponse QueryService::ApplyDeltas(std::vector<Delta> deltas,
 
 void QueryService::ShardMain() {
   std::vector<Request> chunk;
-  while (queue_.PopChunk(opts_.batch_window, &chunk) > 0) {
+  while (queue_.PopChunk(EffectiveWindow(), &chunk) > 0) {
     batches_.fetch_add(1, std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
     ProcessChunk(&chunk);
+    if (opts_.adaptive_batch_window) {
+      // Chunk processing time is the adaptive window's coalescing horizon.
+      window_.RecordDrain(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
     chunk.clear();
   }
 }
@@ -277,6 +306,7 @@ ServiceStats QueryService::stats() const {
   s.repins = repins_.load(std::memory_order_relaxed);
   s.freezes = freezes_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
+  s.batch_window = EffectiveWindow();
   s.engine = engine_->plan_cache_stats();
   return s;
 }

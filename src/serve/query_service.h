@@ -31,9 +31,23 @@ struct ServiceOptions {
   /// Admission queue bound: Submit() blocks (backpressure) and TrySubmit()
   /// load-sheds beyond it.
   size_t queue_capacity = 1024;
-  /// Batching window: max requests one dispatcher drains per chunk, i.e.
-  /// the coalescing scope for same-fingerprint requests.
+  /// Batching window cap: max requests one dispatcher drains per chunk,
+  /// i.e. the coalescing scope for same-fingerprint requests. With
+  /// `adaptive_batch_window` (the default) the *effective* window tracks
+  /// the arrival rate and this is its ceiling; with it off, every drain
+  /// uses this fixed value.
   size_t batch_window = 32;
+  /// Adaptive batching: the drain window follows an EWMA of request
+  /// inter-arrival gaps against an EWMA of chunk processing times
+  /// (BatchWindowController) — under load the window widens toward
+  /// batch_window so one compile/execution coalesces more
+  /// same-fingerprint callers, sparse traffic shrinks it toward 1 so a
+  /// lone request never claims a backlog-wide drain.
+  bool adaptive_batch_window = true;
+  /// Minimum coalescing horizon under adaptive batching: the next drain
+  /// covers at least this much arrival time even when chunks process
+  /// faster (window ≈ max(horizon, ewma chunk time) / mean arrival gap).
+  double batch_horizon_us = 250.0;
   /// Max pinned PreparedQuery entries the service holds; incoherent pins
   /// are dropped first when the map fills (mirrors the engine cache).
   size_t pin_capacity = 256;
@@ -67,7 +81,13 @@ struct ServiceStats {
   uint64_t freezes = 0;        ///< Mirror rebuilds observed during serving
                                ///< (AccessIndex freeze hook).
   uint64_t queue_depth = 0;    ///< Queue size at snapshot time.
-  PlanCacheStats engine;       ///< Engine plan-cache counters (lock-free).
+  uint64_t batch_window = 0;   ///< Effective drain window at snapshot time
+                               ///< (adaptive EWMA value, or the fixed cap).
+  /// Engine plan-cache counters (lock-free) — including the pipeline-
+  /// breaker build observability (breaker_builds / partitioned_builds /
+  /// build_us), so a service stats endpoint shows whether executions are
+  /// engaging the partitioned parallel build path.
+  PlanCacheStats engine;
 };
 
 /// One answered query. The table is shared: every request coalesced into
@@ -84,6 +104,76 @@ struct QueryResponse {
 struct DeltaResponse {
   Status status = Status::Ok();
   MaintenanceStats stats;
+};
+
+/// EWMA arrival-rate tracker behind the adaptive batching window,
+/// following the classic batching law: one drain should claim about as
+/// many requests as arrive while a dispatcher processes one chunk. The
+/// effective window is `clamp(horizon / ewma_gap, 1, max_window)`, where
+/// `ewma_gap` tracks request inter-arrival gaps (recorded at admission)
+/// and the horizon is the EWMA of observed chunk processing times
+/// (recorded by dispatchers), floored by the configured minimum coalescing
+/// horizon. Self-balancing in both directions: under load (tiny gaps,
+/// long drains) the window saturates at max_window — maximal
+/// same-fingerprint coalescing per drain — while sparse traffic (gaps far
+/// beyond any drain) collapses it to 1 so a lone request is answered
+/// without claiming a wide backlog one dispatcher would then serialize.
+/// Before two arrivals there is no gap signal and the controller reports
+/// max_window (the pre-adaptive fixed behavior). Thread-safe: producers
+/// record arrivals concurrently with dispatchers recording drains and
+/// reading the window; timestamps/durations are caller supplied
+/// (monotonic microseconds) so tests drive it deterministically.
+class BatchWindowController {
+ public:
+  BatchWindowController(size_t max_window, double min_horizon_us)
+      : max_window_(max_window == 0 ? 1 : max_window),
+        min_horizon_us_(min_horizon_us) {}
+
+  /// Records one admission; folds the gap since the previous admission
+  /// into the EWMA (alpha 0.25 — a few arrivals re-center the window after
+  /// a workload shift, one outlier gap does not).
+  void RecordArrival(uint64_t now_us) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (last_us_ != 0) {
+      double gap = now_us >= last_us_
+                       ? static_cast<double>(now_us - last_us_)
+                       : 0.0;
+      ewma_gap_us_ = ewma_gap_us_ < 0 ? gap
+                                      : ewma_gap_us_ + 0.25 * (gap - ewma_gap_us_);
+    }
+    last_us_ = now_us;
+  }
+
+  /// Records how long one drained chunk took to process end to end; the
+  /// EWMA becomes the coalescing horizon (how much arrival time the next
+  /// drain should cover).
+  void RecordDrain(double duration_us) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ewma_drain_us_ = ewma_drain_us_ < 0
+                         ? duration_us
+                         : ewma_drain_us_ + 0.25 * (duration_us - ewma_drain_us_);
+  }
+
+  size_t Window() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ewma_gap_us_ < 0) return max_window_;  // No gap signal yet.
+    double horizon =
+        ewma_drain_us_ > min_horizon_us_ ? ewma_drain_us_ : min_horizon_us_;
+    // A zero-gap burst saturates at the cap without dividing by zero.
+    double w = horizon / (ewma_gap_us_ < 1.0 ? 1.0 : ewma_gap_us_);
+    if (w >= static_cast<double>(max_window_)) return max_window_;
+    return w <= 1.0 ? 1 : static_cast<size_t>(w);
+  }
+
+ private:
+  const size_t max_window_;
+  const double min_horizon_us_;
+  mutable std::mutex mu_;  ///< Tiny critical sections; admission already
+                           ///< takes the queue lock, this adds one more
+                           ///< uncontended hop.
+  uint64_t last_us_ = 0;
+  double ewma_gap_us_ = -1.0;    ///< < 0 until the first gap sample.
+  double ewma_drain_us_ = -1.0;  ///< < 0 until the first drain sample.
 };
 
 /// The serving front-end over one BoundedEngine: callers stop holding the
@@ -175,10 +265,14 @@ class QueryService {
   };
 
   Request MakeQueryRequest(RaExprPtr query);
-  /// Pushes `r` (blocking admission or load-shed) and counts the outcome.
+  /// Pushes `r` (blocking admission or load-shed) and counts the outcome —
+  /// successful admissions also feed the adaptive-window arrival tracker.
   /// On false the caller still owns the request and must resolve its
   /// promise with the rejection.
   bool Admit(Request* r, bool blocking);
+  /// The drain window for the next chunk: the adaptive EWMA value, or the
+  /// fixed batch_window when adaptivity is off.
+  size_t EffectiveWindow() const;
   void ShardMain();
   void ProcessChunk(std::vector<Request>* chunk);
   /// Resolves the pinned plan for one fingerprint (pin map first, then
@@ -189,6 +283,7 @@ class QueryService {
   BoundedEngine* engine_;
   ServiceOptions opts_;
   BoundedMpmcQueue<Request> queue_;
+  BatchWindowController window_;
   WriterPriorityGate gate_;  ///< Readers: executions. Writer: Apply batches.
   std::vector<std::thread> dispatchers_;
   std::mutex lifecycle_mu_;  ///< Guards Start/Shutdown transitions.

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/eval.h"
+#include "constraints/index.h"
+#include "core/cov.h"
+#include "core/qplan.h"
+#include "exec/key_codec.h"
+#include "exec/operators.h"
+#include "exec/parallel.h"
+#include "exec/physical_plan.h"
+#include "workload/datasets.h"
+#include "workload/querygen.h"
+
+namespace bqe {
+namespace {
+
+/// Differential testing of the two-phase partitioned breaker build against
+/// the serial breaker: the same 48 dataset/seed cases as
+/// parallel_exec_test.cc, executed with the partitioned path forced on
+/// (partitioned_build_min_rows = 0) and forced off (SIZE_MAX), must emit
+/// byte-identical row streams; plus operator-level skew stress driving the
+/// concurrent scatter/build kernels directly through the WorkerPool (the
+/// ThreadSanitizer job runs this file).
+
+Tuple Row(std::initializer_list<Value> vs) { return Tuple(vs); }
+
+// ----------------------------------------------------- facade semantics ---
+
+TEST(PartitionedKeyTableTest, FacadeMatchesKeyTableMembership) {
+  KeyTable plain;
+  PartitionedKeyTable one(1);
+  PartitionedKeyTable sharded(8);
+  EXPECT_EQ(one.num_partitions(), 1u);
+  EXPECT_EQ(sharded.num_partitions(), 8u);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("key-" + std::to_string(i % 137));
+  }
+  for (const std::string& k : keys) {
+    bool ip = false, i1 = false, i8 = false;
+    plain.InsertOrFind(k, &ip);
+    one.InsertOrFind(k, &i1);
+    sharded.InsertOrFind(k, &i8);
+    EXPECT_EQ(ip, i1) << k;
+    EXPECT_EQ(ip, i8) << k;
+  }
+  EXPECT_EQ(plain.NumGroups(), 137u);
+  EXPECT_EQ(one.NumGroups(), 137u);
+  EXPECT_EQ(sharded.NumGroups(), 137u);
+  for (const std::string& k : keys) {
+    EXPECT_NE(sharded.Find(k), PartitionedKeyTable::kNoGroup);
+    // Repeated lookups return the same packed id.
+    EXPECT_EQ(sharded.Find(k), sharded.Find(k));
+  }
+  EXPECT_EQ(sharded.Find("absent"), PartitionedKeyTable::kNoGroup);
+  EXPECT_EQ(one.Find("absent"), PartitionedKeyTable::kNoGroup);
+}
+
+TEST(PartitionedKeyTableTest, RoutingUsesHighBitsConsistently) {
+  PartitionedKeyTable t(16);
+  EXPECT_EQ(t.num_partitions(), 16u);
+  // Every key routes to one stable partition below the count, and the
+  // same hash routes identically on every call.
+  for (int i = 0; i < 1000; ++i) {
+    std::string k = "route-" + std::to_string(i);
+    uint64_t h = HashBytes(k);
+    size_t p = t.PartitionOf(h);
+    EXPECT_LT(p, 16u);
+    EXPECT_EQ(p, t.PartitionOf(h));
+  }
+  // Partition counts round up to a power of two and clamp to the max.
+  EXPECT_EQ(PartitionedKeyTable(3).num_partitions(), 4u);
+  EXPECT_EQ(PartitionedKeyTable(1000).num_partitions(),
+            PartitionedKeyTable::kMaxPartitions);
+}
+
+TEST(PartitionedKeyTableTest, PickBuildPartitionsScalesWithBuildSize) {
+  EXPECT_EQ(PickBuildPartitions(0), 0);     // Empty: serial.
+  EXPECT_EQ(PickBuildPartitions(255), 0);   // Below the floor: serial.
+  EXPECT_EQ(PickBuildPartitions(256), 8);   // Floor: minimum fan-out.
+  EXPECT_EQ(PickBuildPartitions(60000), 8);
+  EXPECT_EQ(PickBuildPartitions(100000), 16);
+  EXPECT_EQ(PickBuildPartitions(1u << 20), 64);  // Clamped at the max.
+  EXPECT_EQ(PickBuildPartitions(~uint64_t{0}),
+            static_cast<int>(PartitionedKeyTable::kMaxPartitions));
+}
+
+TEST(KeyTableTest, ResetKeepsSlotCapacityAndClearsGroups) {
+  KeyTable t(4);
+  for (int i = 0; i < 300; ++i) {
+    t.InsertOrFind("k" + std::to_string(i), nullptr);
+  }
+  EXPECT_EQ(t.NumGroups(), 300u);
+  t.Reset(8);
+  EXPECT_EQ(t.NumGroups(), 0u);
+  EXPECT_EQ(t.Find("k5"), KeyTable::kNoGroup);
+  // Reusable: fresh inserts get dense ids again.
+  bool inserted = false;
+  EXPECT_EQ(t.InsertOrFind("again", &inserted), 0u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(t.InsertOrFind("again", &inserted), 0u);
+  EXPECT_FALSE(inserted);
+}
+
+// ------------------------------------------- operator-level skew stress ---
+
+/// Builds the same join table serially and via the two-phase partitioned
+/// kernels (scatter + per-partition build fanned out over the WorkerPool),
+/// probes both, and compares the emitted row streams. Keys are heavily
+/// skewed: 90% of the build rows share one key, so one partition carries
+/// nearly the whole build — the worst case for partition balance and the
+/// interesting case for TSan (hot chains, shared `next`, disjoint writes).
+TEST(PartitionedBuildSkewTest, SkewedJoinBuildMatchesSerial) {
+  std::vector<ValueType> types = {ValueType::kInt, ValueType::kInt};
+  std::vector<Tuple> rrows;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t key = (i % 10 != 0) ? 7 : (i % 97) + 100;
+    rrows.push_back(Row({Value::Int(key), Value::Int(i)}));
+  }
+  BatchVec right = TuplesToBatches(rrows, types, 1024);
+  std::vector<Tuple> lrows;
+  for (int i = 0; i < 97; ++i) {
+    lrows.push_back(Row({Value::Int(i + 95), Value::Int(-i)}));
+  }
+  lrows.push_back(Row({Value::Int(7), Value::Int(-1000)}));  // The hot key.
+  BatchVec left = TuplesToBatches(lrows, types, 64);
+  std::vector<ValueType> out_types = {ValueType::kInt, ValueType::kInt,
+                                      ValueType::kInt, ValueType::kInt};
+  std::vector<int> rk = {0}, lk = {0};
+
+  ColumnBatch scratch;
+  const ColumnBatch* r = MergedChunk(right, types, &scratch);
+  KeyEncoder enc;
+  JoinBuildTable serial_bt = BuildJoinTable(*r, rk, &enc);
+  BatchVec serial_out;
+  PairWriter spw(out_types, 1024, &serial_out);
+  for (const ColumnBatch& lb : left) {
+    ProbeJoinBatch(serial_bt, *r, lb, lk, &enc, &spw);
+  }
+
+  // Partitioned: one scatter task per build batch, partitions built
+  // concurrently (4 workers), chains through the shared `next`.
+  JoinBuildTable bt;
+  bt.groups = PartitionedKeyTable(16, r->num_rows());
+  bt.heads.resize(bt.groups.num_partitions());
+  bt.next.assign(r->num_rows(), JoinBuildTable::kNone);
+  std::vector<uint32_t> bases;
+  uint32_t base = 0;
+  for (const ColumnBatch& b : right) {
+    bases.push_back(base);
+    base += static_cast<uint32_t>(b.num_rows());
+  }
+  std::vector<KeyScatter> scattered(right.size());
+  WorkerPool& pool = WorkerPool::Shared();
+  pool.ParallelFor(right.size(), 4, [&](size_t, size_t t) {
+    KeyEncoder e;
+    ScatterKeys(right[t], rk, bases[t], bt.groups, &e, &scattered[t]);
+  });
+  pool.ParallelFor(bt.groups.num_partitions(), 4, [&](size_t, size_t p) {
+    BuildJoinTablePartition(scattered, p, &bt);
+  });
+
+  BatchVec par_out;
+  PairWriter ppw(out_types, 1024, &par_out);
+  for (const ColumnBatch& lb : left) {
+    ProbeJoinBatch(bt, *r, lb, lk, &enc, &ppw);
+  }
+
+  std::vector<Tuple> want = BatchesToTuples(serial_out);
+  std::vector<Tuple> got = BatchesToTuples(par_out);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_GT(want.size(), 18000u);  // The hot key alone fans out 18000 rows.
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "row " << i;
+  }
+}
+
+TEST(PartitionedBuildSkewTest, SkewedSetBuildMarksSerialFirstOccurrences) {
+  std::vector<ValueType> types = {ValueType::kInt, ValueType::kString};
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 30000; ++i) {
+    // 47 distinct rows total, one of them covering ~half the input.
+    int64_t key = (i % 2 == 0) ? 42 : i % 47;
+    rows.push_back(Row({Value::Int(key), Value::Str(key % 2 ? "a" : "b")}));
+  }
+  BatchVec input = TuplesToBatches(rows, types, 512);
+
+  // Serial oracle: global first-occurrence dedupe in input order.
+  BatchVec serial_out;
+  BatchWriter sw(types, 512, &serial_out);
+  KeyTable seen(rows.size());
+  KeyEncoder enc;
+  for (const ColumnBatch& b : input) {
+    AppendDistinctRows(b, {}, nullptr, &seen, &enc, &sw);
+  }
+  sw.Finish();
+
+  // Partitioned: concurrent scatter, concurrent per-partition dedupe
+  // marking winner flags, ordered flag-gather.
+  PartitionedKeyTable table(8, rows.size());
+  std::vector<uint32_t> bases;
+  uint32_t base = 0;
+  for (const ColumnBatch& b : input) {
+    bases.push_back(base);
+    base += static_cast<uint32_t>(b.num_rows());
+  }
+  std::vector<KeyScatter> scattered(input.size());
+  WorkerPool& pool = WorkerPool::Shared();
+  pool.ParallelFor(input.size(), 4, [&](size_t, size_t t) {
+    KeyEncoder e;
+    ScatterKeys(input[t], {}, bases[t], table, &e, &scattered[t]);
+  });
+  std::vector<uint8_t> first(rows.size(), 0);
+  pool.ParallelFor(table.num_partitions(), 4, [&](size_t, size_t p) {
+    BuildKeySetPartition(scattered, p, &table, first.data());
+  });
+  BatchVec par_out;
+  BatchWriter pw(types, 512, &par_out);
+  std::vector<uint32_t> sel;
+  for (size_t b = 0; b < input.size(); ++b) {
+    sel.clear();
+    for (size_t i = 0; i < input[b].num_rows(); ++i) {
+      if (first[bases[b] + i] != 0) sel.push_back(static_cast<uint32_t>(i));
+    }
+    pw.WriteGather(input[b], sel.data(), sel.size(), {});
+  }
+  pw.Finish();
+
+  std::vector<Tuple> want = BatchesToTuples(serial_out);
+  std::vector<Tuple> got = BatchesToTuples(par_out);
+  ASSERT_EQ(want.size(), got.size());
+  EXPECT_EQ(want.size(), 47u);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "row " << i;
+  }
+  EXPECT_EQ(table.NumGroups(), 47u);
+}
+
+// --------------------------------------------- end-to-end differential ---
+
+struct DiffCase {
+  const char* dataset;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<DiffCase>& info) {
+  return std::string(info.param.dataset) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class PartitionedBuildDiffTest : public ::testing::TestWithParam<DiffCase> {
+ protected:
+  static const GeneratedDataset& Dataset(const std::string& name) {
+    static std::map<std::string, GeneratedDataset> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      Result<GeneratedDataset> ds = MakeDataset(name, 0.02, 4321);
+      EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+      it = cache.emplace(name, std::move(*ds)).first;
+    }
+    return it->second;
+  }
+
+  static const IndexSet& Indices(const std::string& name) {
+    static std::map<std::string, IndexSet> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      const GeneratedDataset& ds = Dataset(name);
+      Result<IndexSet> set = IndexSet::Build(ds.db, ds.schema);
+      EXPECT_TRUE(set.ok()) << set.status().ToString();
+      it = cache.emplace(name, std::move(*set)).first;
+    }
+    return it->second;
+  }
+
+  Result<BoundedPlan> MakePlan(const GeneratedDataset& ds, uint64_t seed) {
+    QueryGenConfig cfg;
+    cfg.seed = seed * 7919 + 17;
+    cfg.num_sel = 2 + static_cast<int>(seed % 5);
+    cfg.num_join = static_cast<int>(seed % 5);
+    cfg.num_unidiff = static_cast<int>(seed % 3);
+    BQE_ASSIGN_OR_RETURN(RaExprPtr q, GenerateCoveredQuery(ds, cfg));
+    BQE_ASSIGN_OR_RETURN(NormalizedQuery nq, Normalize(q, ds.db.catalog()));
+    BQE_ASSIGN_OR_RETURN(CoverageReport report, CheckCoverage(nq, ds.schema));
+    return GeneratePlan(nq, report);
+  }
+};
+
+TEST_P(PartitionedBuildDiffTest, PartitionedBuildsMatchSerialByteForByte) {
+  const DiffCase& param = GetParam();
+  const GeneratedDataset& ds = Dataset(param.dataset);
+  const IndexSet& indices = Indices(param.dataset);
+  Result<BoundedPlan> plan = MakePlan(ds, param.seed);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(*plan, indices);
+  ASSERT_TRUE(pp.ok()) << pp.status().ToString();
+
+  ExecOptions base_opts;
+  // Small batches so breakers see multi-batch build sides even on tiny data.
+  base_opts.batch_size = param.seed % 7 == 0 ? 1 : size_t{16}
+                                                       << (param.seed % 4);
+  ExecStats serial_stats;
+  Result<Table> serial = ExecutePhysicalPlan(*pp, &serial_stats, base_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (size_t threads : {2u, 4u}) {
+    // Partitioned path forced on whenever the compile-time estimate picked
+    // a partition count...
+    ExecOptions part_opts = base_opts;
+    part_opts.num_threads = threads;
+    part_opts.partitioned_build_min_rows = 0;
+    ExecStats part_stats;
+    Result<Table> part = ExecutePhysicalPlan(*pp, &part_stats, part_opts);
+    ASSERT_TRUE(part.ok()) << part.status().ToString();
+    // ...and forced off (every breaker builds serially).
+    ExecOptions ser_opts = base_opts;
+    ser_opts.num_threads = threads;
+    ser_opts.partitioned_build_min_rows = ~size_t{0};
+    ExecStats ser_stats;
+    Result<Table> serial_breaker = ExecutePhysicalPlan(*pp, &ser_stats, ser_opts);
+    ASSERT_TRUE(serial_breaker.ok()) << serial_breaker.status().ToString();
+
+    ASSERT_EQ(serial->NumRows(), part->NumRows()) << "threads=" << threads;
+    ASSERT_EQ(serial->NumRows(), serial_breaker->NumRows());
+    for (size_t r = 0; r < serial->NumRows(); ++r) {
+      ASSERT_EQ(serial->rows()[r], part->rows()[r])
+          << "partitioned row " << r << " threads=" << threads << " plan:\n"
+          << plan->ToString();
+      ASSERT_EQ(serial->rows()[r], serial_breaker->rows()[r])
+          << "serial-breaker row " << r;
+    }
+    // Access accounting and breaker counts are path invariant.
+    EXPECT_EQ(serial_stats.tuples_fetched, part_stats.tuples_fetched);
+    EXPECT_EQ(serial_stats.fetch_probes, part_stats.fetch_probes);
+    EXPECT_EQ(part_stats.build.breakers, ser_stats.build.breakers);
+    EXPECT_EQ(ser_stats.build.partitioned, 0u);
+  }
+}
+
+std::vector<DiffCase> AllCases() {
+  std::vector<DiffCase> cases;
+  for (const char* ds : {"airca", "tfacc", "mcbm"}) {
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+      cases.push_back(DiffCase{ds, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, PartitionedBuildDiffTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// A join workload big enough that the partitioned path engages under the
+// *default* threshold — pinning that the compile-time estimate really picks
+// partition counts on realistic scales and that the default-path output
+// still matches the serial executor.
+TEST(PartitionedBuildEngagementTest, DefaultThresholdEngagesOnJoinWorkload) {
+  Result<GeneratedDataset> ds_r = MakeDataset("airca", 0.25, 1234);
+  ASSERT_TRUE(ds_r.ok());
+  GeneratedDataset ds = std::move(*ds_r);
+  Result<IndexSet> indices = IndexSet::Build(ds.db, ds.schema);
+  ASSERT_TRUE(indices.ok());
+
+  QueryGenConfig cfg;
+  cfg.num_sel = 5;
+  cfg.num_join = 4;
+  cfg.seed = 4 * 13 + 3;  // The dominant bench_fig5_join airca cell.
+  uint64_t partitioned = 0;
+  int compared = 0;
+  for (int i = 0; i < 8; ++i) {
+    cfg.seed = cfg.seed * 31 + 1000 + static_cast<uint64_t>(i) * 17;
+    Result<RaExprPtr> q = GenerateCoveredQuery(ds, cfg);
+    if (!q.ok()) continue;
+    Result<NormalizedQuery> nq = Normalize(*q, ds.db.catalog());
+    ASSERT_TRUE(nq.ok());
+    Result<CoverageReport> report = CheckCoverage(*nq, ds.schema);
+    if (!report.ok() || !report->covered) continue;
+    Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+    ASSERT_TRUE(plan.ok());
+    Result<PhysicalPlan> pp = PhysicalPlan::Compile(*plan, *indices);
+    ASSERT_TRUE(pp.ok());
+
+    Result<Table> serial = ExecutePhysicalPlan(*pp, nullptr, {});
+    ASSERT_TRUE(serial.ok());
+    ExecOptions opts;  // Default partitioned_build_min_rows.
+    opts.num_threads = 4;
+    ExecStats stats;
+    Result<Table> par = ExecutePhysicalPlan(*pp, &stats, opts);
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(serial->NumRows(), par->NumRows());
+    for (size_t r = 0; r < serial->NumRows(); ++r) {
+      ASSERT_EQ(serial->rows()[r], par->rows()[r]) << "row " << r;
+    }
+    partitioned += stats.build.partitioned;
+    ++compared;
+  }
+  ASSERT_GT(compared, 0);
+  EXPECT_GT(partitioned, 0u)
+      << "no breaker engaged the partitioned build at 0.25-scale airca "
+         "4-join — compile estimates or the runtime threshold regressed";
+}
+
+}  // namespace
+}  // namespace bqe

@@ -67,6 +67,7 @@ TEST(QueryServiceTest, CoalescesSameFingerprintRequests) {
   ServiceOptions opts;
   opts.shards = 1;         // One dispatcher: a single deterministic chunk.
   opts.batch_window = 32;  // Large enough to drain everything queued below.
+  opts.adaptive_batch_window = false;  // Fixed window: exact batch counts.
   opts.start_paused = true;
   QueryService service(&engine, opts);
 
@@ -189,6 +190,86 @@ TEST(QueryServiceTest, SubmitAfterShutdownResolvesWithError) {
   DeltaResponse dresp = service.ApplyDeltas(GraphChurnBatch(fx.cfg, "sd", 0));
   EXPECT_FALSE(dresp.status.ok());
   EXPECT_EQ(service.stats().rejected, 2u);
+}
+
+// ------------------------------------------------ adaptive batch window ---
+
+TEST(BatchWindowControllerTest, NoGapSignalReportsMaxWindow) {
+  serve::BatchWindowController c(/*max_window=*/32, /*horizon_us=*/250.0);
+  EXPECT_EQ(c.Window(), 32u);  // No arrivals at all.
+  c.RecordArrival(1000);
+  EXPECT_EQ(c.Window(), 32u);  // One arrival: still no gap sample.
+}
+
+TEST(BatchWindowControllerTest, BurstTrafficSaturatesAtMaxWindow) {
+  serve::BatchWindowController c(32, 250.0);
+  // Back-to-back arrivals (1µs apart): the window should cover the whole
+  // cap — maximal coalescing per drain.
+  uint64_t t = 0;
+  for (int i = 0; i < 50; ++i) c.RecordArrival(t += 1);
+  EXPECT_EQ(c.Window(), 32u);
+}
+
+TEST(BatchWindowControllerTest, SparseTrafficCollapsesToOne) {
+  serve::BatchWindowController c(32, 250.0);
+  // Arrivals 10ms apart: far beyond the horizon, a lone request must not
+  // wait on a wide drain.
+  uint64_t t = 0;
+  for (int i = 0; i < 10; ++i) c.RecordArrival(t += 10'000);
+  EXPECT_EQ(c.Window(), 1u);
+}
+
+TEST(BatchWindowControllerTest, SteadyRateTracksHorizonOverGap) {
+  serve::BatchWindowController c(64, 250.0);
+  // 50µs steady gaps -> the EWMA converges to 50 and the window to
+  // horizon / gap = 5.
+  uint64_t t = 0;
+  for (int i = 0; i < 100; ++i) c.RecordArrival(t += 50);
+  EXPECT_EQ(c.Window(), 5u);
+}
+
+TEST(BatchWindowControllerTest, DrainTimeWidensTheHorizon) {
+  serve::BatchWindowController c(64, 250.0);
+  // 500µs gaps against the 250µs minimum horizon: window collapses to 1...
+  uint64_t t = 0;
+  for (int i = 0; i < 100; ++i) c.RecordArrival(t += 500);
+  EXPECT_EQ(c.Window(), 1u);
+  // ...but once chunks are observed to take 8ms to process, the batching
+  // law says a drain should cover 8ms of arrivals: 8000 / 500 = 16.
+  for (int i = 0; i < 100; ++i) c.RecordDrain(8000.0);
+  EXPECT_EQ(c.Window(), 16u);
+}
+
+TEST(BatchWindowControllerTest, ReCentersAfterWorkloadShift) {
+  serve::BatchWindowController c(32, 250.0);
+  uint64_t t = 0;
+  for (int i = 0; i < 100; ++i) c.RecordArrival(t += 10'000);  // Sparse.
+  EXPECT_EQ(c.Window(), 1u);
+  for (int i = 0; i < 100; ++i) c.RecordArrival(t += 2);  // Burst begins.
+  EXPECT_EQ(c.Window(), 32u);  // EWMA re-centered within the burst.
+}
+
+TEST(QueryServiceTest, AdaptiveWindowSurfacesInStatsAndStaysCorrect) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  opts.batch_window = 16;  // The adaptive ceiling.
+  QueryService service(&engine, opts);  // adaptive_batch_window defaults on.
+
+  for (int i = 0; i < 8; ++i) {
+    RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(i % 4));
+    QueryResponse resp = service.Query(q);
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    Result<ExecuteResult> direct = engine.Execute(q);
+    ASSERT_TRUE(direct.ok());
+    ExpectRowForRowEqual(*resp.table, direct->table,
+                         "adaptive query " + std::to_string(i));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_GE(stats.batch_window, 1u);
+  EXPECT_LE(stats.batch_window, 16u);
 }
 
 TEST(QueryServiceTest, NonCoveredQueryFallsBackThroughService) {
