@@ -1,0 +1,342 @@
+// Cross-window result-cache payoff: the same closed-loop client workload
+// (workload/graph_churn.h at bench scale) pushed through two QueryService
+// configurations over identical engines:
+//
+//   cache_off  PR-5 serving: every admitted read executes its pinned plan
+//              (deduplicated only by same-window coalescing).
+//   cache_on   this PR: admission first consults the ResultCache keyed on
+//              (QueryFingerprint, CoherenceSnapshot); steady-state duplicate
+//              reads return the pinned immutable table with zero execution,
+//              zero admission, and zero gate traffic.
+//
+// The sweep crosses duplicate-read share (0-95% of reads aimed at a 4-query
+// hot set; the rest walk a cold pool sized so cold fingerprints never
+// repeat) with delta frequency (client 0 turns every Nth request into a
+// data-only delta batch, each of which moves the data epoch and invalidates
+// the whole cache). Correctness is differential: every mode's final hot
+// answers must match a freshly prepared plan over its live indices
+// row-for-row — a stale cached table cannot pass — and cache_on/cache_off
+// answers for the same delta sequence must agree as sets. A separate serial
+// phase measures per-request hit-path vs miss-path latency. CI gates on
+// qps(cache_on)/qps(cache_off) >= 5 at 90% duplicates with deltas every 64
+// requests, hit/miss latency ratio <= 0.1, and correctness.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "serve/query_service.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace bench {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 80;
+/// Enough hot fingerprints that the ~8 requests in flight at once rarely
+/// collide inside one batch window: same-window coalescing (which PR 5
+/// already has) cannot absorb the duplicates, only the cross-window cache
+/// can. Clients are synchronous closed-loop for the same reason.
+constexpr int kHotQueries = 16;
+/// Cold pool >= total requests: a cold fingerprint never repeats, so the
+/// duplicate share is set by the hot fraction alone.
+constexpr int kColdPool = kClients * kRequestsPerClient;
+
+constexpr int kDupShares[] = {0, 50, 90, 95};
+constexpr int kDeltaEvery[] = {16, 64};
+/// The CI gate cell: 90% duplicates, a delta every 64 requests.
+constexpr int kGateDup = 90;
+constexpr int kGateDelta = 64;
+
+workload::GraphChurnConfig BenchConfig() {
+  workload::GraphChurnConfig cfg;
+  cfg.pids = kHotQueries + kColdPool;
+  cfg.friends_per_pid = 150;
+  cfg.cafes = 200;
+  return cfg;
+}
+
+/// The request mix is a pure function of (client, i, config), identical for
+/// cache_on and cache_off: client 0 turns every delta_every-th request into
+/// a delta batch (skipping i=0 so the measured storm starts from the warmed
+/// steady state both modes just paid for); a dup_pct share of reads
+/// round-robins the hot set and the rest consumes the cold pool one
+/// fingerprint per request.
+bool IsDelta(int client, int i, int delta_every) {
+  return client == 0 && i > 0 && i % delta_every == 0;
+}
+size_t ReadQueryIndex(int client, int i, int dup_pct) {
+  uint32_t h = static_cast<uint32_t>(client) * 2654435761u +
+               static_cast<uint32_t>(i) * 40503u;
+  if (h % 100 < static_cast<uint32_t>(dup_pct)) {
+    return (h / 100) % kHotQueries;  // Hot: one of kHotQueries fingerprints.
+  }
+  return static_cast<size_t>(kHotQueries) +
+         static_cast<size_t>(client * kRequestsPerClient + i) % kColdPool;
+}
+
+struct RunConfig {
+  int dup_pct;
+  int delta_every;
+  bool cache;
+};
+
+struct ModeResult {
+  std::vector<double> latencies_ms;
+  double wall_ms = 0;
+  uint64_t errors = 0;
+  std::vector<Table> final_answers;  // One per hot query.
+  bool row_for_row_ok = true;
+  serve::ServiceStats stats;
+};
+
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  if (!info.ok() || !info->covered) return Table{RelationSchema("empty", {})};
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  if (!pp.ok()) return Table{RelationSchema("empty", {})};
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, {});
+  return t.ok() ? std::move(*t) : Table{RelationSchema("empty", {})};
+}
+
+bool RowForRowEqual(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  for (size_t r = 0; r < a.rows().size(); ++r) {
+    if (!(a.rows()[r] == b.rows()[r])) return false;
+  }
+  return true;
+}
+
+ModeResult RunMode(const RunConfig& rc) {
+  using Clock = std::chrono::steady_clock;
+  workload::GraphChurnFixture fx =
+      workload::MakeGraphChurnFixture(BenchConfig());
+  BoundedEngine engine(&fx.db, fx.schema, EngineOptions{});
+  ModeResult out;
+  Status built = engine.BuildIndices();
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildIndices: %s\n", built.ToString().c_str());
+    out.errors = 1;
+    return out;
+  }
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < kHotQueries + kColdPool; ++i) {
+    queries.push_back(workload::FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.shards = 4;
+  sopts.batch_window = 32;
+  sopts.result_cache = rc.cache;
+  serve::QueryService service(&engine, sopts);
+
+  // Warm the hot fingerprints so both modes measure steady-state serving
+  // (pinned plans; for cache_on also a populated cache).
+  for (int i = 0; i < kHotQueries; ++i) {
+    if (!service.Query(queries[static_cast<size_t>(i)]).status.ok()) {
+      ++out.errors;
+    }
+  }
+
+  std::vector<std::vector<double>> lat(kClients);
+  std::atomic<uint64_t> errors{0};
+  Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double>& my_lat = lat[static_cast<size_t>(c)];
+      my_lat.reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Clock::time_point r0 = Clock::now();
+        bool ok;
+        if (IsDelta(c, i, rc.delta_every)) {
+          ok = service
+                   .ApplyDeltas(workload::GraphChurnBatch(
+                       fx.cfg, "rc", i / rc.delta_every))
+                   .status.ok();
+        } else {
+          serve::QueryResponse r =
+              service.Query(queries[ReadQueryIndex(c, i, rc.dup_pct)]);
+          ok = r.status.ok() && r.table != nullptr;
+        }
+        if (!ok) errors.fetch_add(1);
+        my_lat.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - r0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  out.errors += errors.load();
+  for (const std::vector<double>& l : lat) {
+    out.latencies_ms.insert(out.latencies_ms.end(), l.begin(), l.end());
+  }
+
+  // Differential stale-check: the final hot answers (which in cache_on mode
+  // come off the cache whenever the last delta precedes the last insert)
+  // must match a freshly prepared plan over the live indices row-for-row.
+  for (int i = 0; i < kHotQueries; ++i) {
+    const RaExprPtr& q = queries[static_cast<size_t>(i)];
+    Table got{RelationSchema("empty", {})};
+    serve::QueryResponse r = service.Query(q);
+    if (r.status.ok() && r.table != nullptr) got = *r.table;
+    if (!RowForRowEqual(got, FreshlyPreparedAnswer(engine, q))) {
+      out.row_for_row_ok = false;
+    }
+    out.final_answers.push_back(std::move(got));
+  }
+  out.stats = service.stats();
+  service.Shutdown();
+  return out;
+}
+
+/// Serial per-request latency of the two paths, same engine scale: the
+/// hit path re-reads one cached fingerprint; the miss path re-executes the
+/// same fingerprint with the cache disabled (pinned plan, no re-prepare).
+void MeasureHitMissLatency(double* hit_ms, double* miss_ms) {
+  using Clock = std::chrono::steady_clock;
+  workload::GraphChurnFixture fx =
+      workload::MakeGraphChurnFixture(BenchConfig());
+  BoundedEngine engine(&fx.db, fx.schema, EngineOptions{});
+  Status built = engine.BuildIndices();
+  if (!built.ok()) {
+    *hit_ms = *miss_ms = 0;
+    return;
+  }
+  RaExprPtr q = workload::FriendsNycCafesQuery(fx.cfg.Pid(0));
+  auto timed_queries = [&](serve::QueryService& s, int iters) {
+    (void)s.Query(q);  // Warm: pin the plan, populate the cache if enabled.
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) (void)s.Query(q);
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+               .count() /
+           iters;
+  };
+  {
+    serve::ServiceOptions sopts;
+    sopts.result_cache = true;
+    serve::QueryService s(&engine, sopts);
+    *hit_ms = timed_queries(s, 2000);
+    s.Shutdown();
+  }
+  {
+    serve::ServiceOptions sopts;
+    sopts.result_cache = false;
+    serve::QueryService s(&engine, sopts);
+    *miss_ms = timed_queries(s, 200);
+    s.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bqe
+
+int main(int argc, char** argv) {
+  using namespace bqe;
+  using namespace bqe::bench;
+  BenchOptions opts = ParseBenchOptions(argc, argv);
+
+  PrintHeader("Result-cache payoff vs duplicate-read share and delta rate");
+  std::printf(
+      "%d clients x %d requests, %d hot / %d cold fingerprints; client 0 "
+      "turns every Nth request into a delta batch\n\n",
+      kClients, kRequestsPerClient, kHotQueries, kColdPool);
+  std::printf("%-6s %-7s %-10s %9s %9s %9s %7s %9s %9s\n", "dup%", "deltaN",
+              "mode", "qps", "p50_ms", "p99_ms", "errors", "rc_hits",
+              "executed");
+
+  BenchReport report("bench_result_cache", opts.reps);
+  bool correct = true;
+  double gate_on_qps = 0, gate_off_qps = 0;
+  uint64_t gate_hits = 0;
+  for (int dup : kDupShares) {
+    for (int delta_every : kDeltaEvery) {
+      std::map<bool, LatencySummary> sums;
+      std::map<bool, ModeResult> last;
+      for (int mode = 0; mode < 2; ++mode) {
+        bool cache = mode == 1;
+        std::vector<double> all_lat;
+        double wall = 0;
+        for (int rep = 0; rep < opts.reps; ++rep) {
+          ModeResult r = RunMode(RunConfig{dup, delta_every, cache});
+          wall += r.wall_ms;
+          all_lat.insert(all_lat.end(), r.latencies_ms.begin(),
+                         r.latencies_ms.end());
+          correct = correct && r.row_for_row_ok && r.errors == 0;
+          last[cache] = std::move(r);
+        }
+        sums[cache] = SummarizeLatencies(&all_lat, wall);
+      }
+      // Identical delta sequence -> identical final data: the two modes
+      // must agree on every hot answer as a set.
+      for (size_t qi = 0; qi < last[true].final_answers.size(); ++qi) {
+        correct = correct && Table::SameSet(last[true].final_answers[qi],
+                                            last[false].final_answers[qi]);
+      }
+      for (int mode = 0; mode < 2; ++mode) {
+        bool cache = mode == 1;
+        const LatencySummary& s = sums[cache];
+        const ModeResult& r = last[cache];
+        std::printf("%-6d %-7d %-10s %9.0f %9.3f %9.3f %7llu %9llu %9llu\n",
+                    dup, delta_every, cache ? "cache_on" : "cache_off", s.qps,
+                    s.p50_ms, s.p99_ms,
+                    static_cast<unsigned long long>(r.errors),
+                    static_cast<unsigned long long>(r.stats.result_cache.hits),
+                    static_cast<unsigned long long>(r.stats.executed));
+        BenchReport::Cell& cell =
+            report.AddCell("dup_sweep")
+                .Label("mode", cache ? "cache_on" : "cache_off")
+                .Label("dup_pct", dup)
+                .Label("delta_every", delta_every);
+        AddLatencyMetrics(cell, s)
+            .Metric("errors", static_cast<double>(r.errors))
+            .Metric("rc_hits", static_cast<double>(r.stats.result_cache.hits))
+            .Metric("rc_evictions",
+                    static_cast<double>(r.stats.result_cache.evictions))
+            .Metric("executed", static_cast<double>(r.stats.executed))
+            .Metric("coalesced", static_cast<double>(r.stats.coalesced));
+      }
+      if (dup == kGateDup && delta_every == kGateDelta) {
+        gate_on_qps = sums[true].qps;
+        gate_off_qps = sums[false].qps;
+        gate_hits = last[true].stats.result_cache.hits;
+      }
+    }
+  }
+
+  double hit_ms = 0, miss_ms = 0;
+  MeasureHitMissLatency(&hit_ms, &miss_ms);
+  double hit_miss_ratio = miss_ms == 0 ? 1.0 : hit_ms / miss_ms;
+  double qps_multiple = gate_off_qps == 0 ? 0.0 : gate_on_qps / gate_off_qps;
+
+  std::printf("\ngate cell (dup=%d%%, delta every %d): qps multiple %.2fx, "
+              "%llu cache hits\n",
+              kGateDup, kGateDelta, qps_multiple,
+              static_cast<unsigned long long>(gate_hits));
+  std::printf("hit path %.4f ms vs miss path %.4f ms per request "
+              "(ratio %.4f)\n",
+              hit_ms, miss_ms, hit_miss_ratio);
+  if (!correct) std::printf("WARNING: modes diverged or errored!\n");
+  report.AddCell("dup_sweep")
+      .Label("mode", "summary")
+      .Metric("qps_multiple", qps_multiple)
+      .Metric("gate_hits", static_cast<double>(gate_hits))
+      .Metric("hit_ms", hit_ms)
+      .Metric("miss_ms", miss_ms)
+      .Metric("hit_miss_ratio", hit_miss_ratio)
+      .Metric("correct", correct ? 1.0 : 0.0);
+  if (!report.WriteJson(opts.json_path)) return 1;
+  return 0;
+}

@@ -63,6 +63,7 @@ Status BoundedEngine::BuildIndices() {
   BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_));
   indices_built_ = true;
   ClearPlanCache();
+  schema_stamp_.store(SchemaEpoch(), std::memory_order_release);
   return Status::Ok();
 }
 
@@ -222,6 +223,8 @@ Result<ExecuteResult> BoundedEngine::ExecutePrepared(const PreparedQuery& pq,
     stat_serial_builds_.fetch_add(b.serial, std::memory_order_relaxed);
     stat_build_us_.fetch_add(static_cast<uint64_t>(b.total_ms() * 1000.0),
                              std::memory_order_relaxed);
+    stat_feedback_repicks_.fetch_add(b.feedback_repicks,
+                                     std::memory_order_relaxed);
   }
   return out;
 }
@@ -265,7 +268,13 @@ Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
   MaintenanceStats applied;
   Result<MaintenanceStats> r =
       ApplyDeltas(db_, &schema_, &indices_, deltas, policy, &applied);
-  if (applied.inserts + applied.deletes > 0) ++data_epoch_;
+  if (applied.inserts + applied.deletes > 0) {
+    data_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  // Refresh the schema stamp unconditionally: the batch may have grown a
+  // bound (kGrow -> SetBound), which moves SchemaEpoch() without touching
+  // the data epoch. Result-cache entries keyed on the old stamp go stale.
+  schema_stamp_.store(SchemaEpoch(), std::memory_order_release);
   return r;
 }
 
@@ -280,6 +289,8 @@ PlanCacheStats BoundedEngine::plan_cache_stats() const {
       stat_partitioned_builds_.load(std::memory_order_relaxed);
   out.serial_builds = stat_serial_builds_.load(std::memory_order_relaxed);
   out.build_us = stat_build_us_.load(std::memory_order_relaxed);
+  out.build_feedback_repicks =
+      stat_feedback_repicks_.load(std::memory_order_relaxed);
   return out;
 }
 

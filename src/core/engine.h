@@ -62,6 +62,26 @@ struct PrepareInfo {
   std::string explanation;   ///< Human-readable coverage explanation.
 };
 
+/// Lock-free coherence snapshot for *result* caches layered on the engine
+/// (serve/result_cache.h): a materialized query answer is valid exactly
+/// while both components are unchanged — `schema_epoch` moves on schema-
+/// level events (BuildIndices, bound growth), `data_epoch` once per
+/// applied delta batch. Both components are read from atomics the engine
+/// stamps at the end of every mutating call, so Coherence() is safe to
+/// call with no lock and no gate (e.g. at serving-layer admission time,
+/// concurrently with a dispatcher applying deltas); the two loads are not
+/// sealed against each other, but a torn pair can only *mismatch* a
+/// stamped key — a spurious cache miss, never a stale hit.
+struct CoherenceSnapshot {
+  uint64_t schema_epoch = 0;
+  uint64_t data_epoch = 0;
+
+  bool operator==(const CoherenceSnapshot& o) const {
+    return schema_epoch == o.schema_epoch && data_epoch == o.data_epoch;
+  }
+  bool operator!=(const CoherenceSnapshot& o) const { return !(*this == o); }
+};
+
 /// Coherence snapshot of one AccessIndex a compiled plan binds, taken at
 /// prepare time. The pointer is only dereferenced while the schema epoch it
 /// was prepared under is still current (BuildIndices() replaces the IndexSet
@@ -118,6 +138,11 @@ struct PlanCacheStats {
   uint64_t partitioned_builds = 0;
   uint64_t serial_builds = 0;
   uint64_t build_us = 0;
+  /// Breaker builds whose partition count came from the plan's observed
+  /// build-size EWMA and differed from what the compile-time est_rows hint
+  /// would have picked — i.e. how often feedback corrected a stale hint on
+  /// a cached plan whose build sides grew or shrank under data-only deltas.
+  uint64_t build_feedback_repicks = 0;
 };
 
 /// Result of Execute().
@@ -235,7 +260,22 @@ class BoundedEngine {
   /// Data epoch: bumped once per Apply() batch that applied at least one
   /// delta (fully or partially). Cached plans are *not* keyed on it — it
   /// exists for observability and for external caches layered on results.
-  uint64_t DataEpoch() const { return data_epoch_; }
+  /// Atomic: safe to read with no lock while a serialized writer runs
+  /// Apply() on another thread.
+  uint64_t DataEpoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Lock-free (schema_epoch, data_epoch) pair for result caches; see
+  /// CoherenceSnapshot. Unlike SchemaEpoch() — which sums plain per-index
+  /// bound counters and therefore needs the same external serialization as
+  /// any const engine call racing a writer — this reads only atomics the
+  /// mutating calls stamp on completion, so it is safe at serving-layer
+  /// admission time concurrently with BuildIndices()/Apply().
+  CoherenceSnapshot Coherence() const {
+    return CoherenceSnapshot{schema_stamp_.load(std::memory_order_acquire),
+                             data_epoch_.load(std::memory_order_acquire)};
+  }
 
   /// Lock-free counter snapshot; see PlanCacheStats. Safe to poll
   /// concurrently with Execute/PrepareCompiled on other threads.
@@ -257,7 +297,14 @@ class BoundedEngine {
   IndexSet indices_;
   bool indices_built_ = false;
   uint64_t schema_epoch_ = 0;  ///< Bumped by BuildIndices().
-  uint64_t data_epoch_ = 0;    ///< Bumped by Apply() batches that applied.
+  /// Bumped by Apply() batches that applied; atomic for Coherence().
+  std::atomic<uint64_t> data_epoch_{0};
+  /// Mirror of SchemaEpoch() refreshed by the mutating calls (BuildIndices/
+  /// Apply) after the IndexSet settles, so Coherence() never walks the
+  /// plain per-index bound counters. May lag SchemaEpoch() only while a
+  /// writer is mid-flight — a window in which a result keyed on the stale
+  /// stamp can only miss, never serve stale.
+  std::atomic<uint64_t> schema_stamp_{0};
 
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
@@ -273,6 +320,7 @@ class BoundedEngine {
   mutable std::atomic<uint64_t> stat_partitioned_builds_{0};
   mutable std::atomic<uint64_t> stat_serial_builds_{0};
   mutable std::atomic<uint64_t> stat_build_us_{0};
+  mutable std::atomic<uint64_t> stat_feedback_repicks_{0};
 };
 
 }  // namespace bqe

@@ -44,6 +44,7 @@ void ExecStats::Merge(const ExecStats& other) {
   build.serial += other.build.serial;
   build.build_rows += other.build.build_rows;
   build.partitions += other.build.partitions;
+  build.feedback_repicks += other.build.feedback_repicks;
   build.scatter_ms += other.build.scatter_ms;
   build.build_ms += other.build.build_ms;
   for (size_t k = 0; k < kNumPlanStepKinds; ++k) {
@@ -70,6 +71,7 @@ std::string ExecStats::ToString() const {
                   " partitioned=", build.partitioned,
                   " serial=", build.serial, " rows=", build.build_rows,
                   " partitions=", build.partitions,
+                  " feedback_repicks=", build.feedback_repicks,
                   " scatter_ms=", build.scatter_ms,
                   " build_ms=", build.build_ms, "\n");
   }

@@ -45,6 +45,11 @@ struct BuildStats {
   uint64_t serial = 0;       ///< ...that ran the serial single-table path.
   uint64_t build_rows = 0;   ///< Rows materialized into build tables.
   uint64_t partitions = 0;   ///< Sum of partition counts (partitioned only).
+  /// Breakers whose partition decision came from the plan's observed
+  /// build-size EWMA (PhysicalPlan::ObservedBuildRows) and differed from
+  /// the compile-time est_rows hint — stale-hint corrections on cached
+  /// plans whose build sides drifted under maintenance.
+  uint64_t feedback_repicks = 0;
   double scatter_ms = 0;     ///< Phase 1: radix-partition scatter wall time.
   double build_ms = 0;       ///< Phase 2: table builds (plus serial builds).
 

@@ -232,6 +232,7 @@ struct ParCtx {
   std::vector<WorkerScratch>& scratch;
   ExecStats* st;  ///< Main-thread stats (breaker accounting; no worker race:
                   ///< breakers run their serial sections on the caller).
+  const PhysicalPlan* plan;  ///< Observed-build-size feedback slots.
 
   /// Every task group of this execution carries the request's tag.
   WorkerPool::GroupOptions Group() const { return {workers, opts.task_tag}; }
@@ -254,6 +255,23 @@ int EffectiveBuildPartitions(int compile_hint, size_t build_rows,
   int p = compile_hint > 1 ? compile_hint
                            : PickBuildPartitions(build_rows);
   return p > 1 ? p : 0;
+}
+
+/// Feedback-preferring breaker decision: blend the actual materialized
+/// build into the plan's per-slot EWMA, then pick the partition count from
+/// the *observed* size whenever one exists — a cached plan's compile hint
+/// is frozen while data-only deltas grow or shrink its build sides, so the
+/// observation (which tracks the drift with a one-execution lag) beats the
+/// hint. First executions fall back to the hint exactly as before. Counts
+/// the breakers where feedback changed what the hint would have picked.
+int FeedbackBuildPartitions(size_t slot, int compile_hint, size_t build_rows,
+                            ParCtx& cx) {
+  uint64_t observed = cx.plan->ObservedBuildRows(slot);  // Past executions.
+  cx.plan->RecordBuildRows(slot, build_rows);
+  int hint =
+      observed > 0 ? PickBuildPartitions(observed) : compile_hint;
+  if (hint != compile_hint) ++cx.st->build.feedback_repicks;
+  return EffectiveBuildPartitions(hint, build_rows, cx);
 }
 
 /// Phase-1 task layout over a list of input batches: contiguous,
@@ -345,13 +363,13 @@ JoinBuildTable ParallelBuildJoinTable(const BatchVec& right,
 /// Builds a set-semantics key table (the difference's right-side exclusion
 /// set) — partitioned two-phase build when the breaker qualifies, serial
 /// single-partition otherwise.
-PartitionedKeyTable BuildExclusionSet(const BatchVec& right,
+PartitionedKeyTable BuildExclusionSet(const BatchVec& right, size_t slot,
                                       int build_partitions, ParCtx& cx) {
   BuildStats& bs = cx.st->build;
   size_t total = TotalRows(right);
   ++bs.breakers;
   bs.build_rows += total;
-  int parts = EffectiveBuildPartitions(build_partitions, total, cx);
+  int parts = FeedbackBuildPartitions(slot, build_partitions, total, cx);
   if (parts <= 1) {
     ++bs.serial;
     Clock::time_point t0 = Clock::now();
@@ -445,7 +463,8 @@ BatchVec ParallelProduct(const PhysicalOp& s, const BatchVec& left,
 /// exactly the serial merge's row stream.
 BatchVec MergeDistinctCandidates(std::vector<BatchVec>* cand,
                                  const std::vector<ValueType>& types,
-                                 int build_partitions, ParCtx& cx) {
+                                 size_t slot, int build_partitions,
+                                 ParCtx& cx) {
   if (cand->size() == 1) return std::move(cand->front());  // Already distinct.
   BuildStats& bs = cx.st->build;
   std::vector<const ColumnBatch*> flat;
@@ -458,7 +477,7 @@ BatchVec MergeDistinctCandidates(std::vector<BatchVec>* cand,
   bs.build_rows += total;
   BatchVec out;
   BatchWriter w(types, cx.opts.batch_size, &out);
-  int parts = EffectiveBuildPartitions(build_partitions, total, cx);
+  int parts = FeedbackBuildPartitions(slot, build_partitions, total, cx);
   if (parts <= 1) {
     ++bs.serial;
     Clock::time_point t0 = Clock::now();
@@ -505,7 +524,7 @@ BatchVec MergeDistinctCandidates(std::vector<BatchVec>* cand,
 /// pre-filtered against `exclude`) followed by the ordered merge.
 BatchVec ParallelDistinct(const std::vector<const ColumnBatch*>& morsels,
                           const std::vector<ValueType>& types,
-                          const PartitionedKeyTable* exclude,
+                          const PartitionedKeyTable* exclude, size_t slot,
                           int build_partitions, ParCtx& cx) {
   std::vector<BatchVec> cand(morsels.size());
   cx.pool.ParallelFor(morsels.size(), cx.Group(), [&](size_t w, size_t m) {
@@ -516,33 +535,34 @@ BatchVec ParallelDistinct(const std::vector<const ColumnBatch*>& morsels,
     AppendDistinctRows(*morsels[m], {}, exclude, &ws.dedupe, &ws.enc, &w2);
     w2.Finish();
   });
-  return MergeDistinctCandidates(&cand, types, build_partitions, cx);
+  return MergeDistinctCandidates(&cand, types, slot, build_partitions, cx);
 }
 
-BatchVec ParallelUnion(const PhysicalOp& s, const BatchVec& left,
+BatchVec ParallelUnion(const PhysicalOp& s, size_t op_id, const BatchVec& left,
                        const BatchVec& right, ParCtx& cx) {
   std::vector<const ColumnBatch*> morsels;
   morsels.reserve(left.size() + right.size());
   for (const ColumnBatch& b : left) morsels.push_back(&b);
   for (const ColumnBatch& b : right) morsels.push_back(&b);
-  return ParallelDistinct(morsels, s.out_types, nullptr, s.build_partitions,
-                          cx);
+  return ParallelDistinct(morsels, s.out_types, nullptr, op_id,
+                          s.build_partitions, cx);
 }
 
-BatchVec ParallelDiff(const PhysicalOp& s, const BatchVec& left,
+BatchVec ParallelDiff(const PhysicalOp& s, size_t op_id, const BatchVec& left,
                       const BatchVec& right, ParCtx& cx) {
   // The right-side exclusion set is a breaker build: partitioned when it
   // qualifies, serial otherwise. Workers only Find() in the result.
   PartitionedKeyTable right_set =
-      BuildExclusionSet(right, s.build_partitions, cx);
+      BuildExclusionSet(right, op_id, s.build_partitions, cx);
   std::vector<const ColumnBatch*> morsels;
   morsels.reserve(left.size());
   for (const ColumnBatch& b : left) morsels.push_back(&b);
   // The candidate merge is a *second* breaker sized by the left side, not
   // the exclusion set the compile-time hint was picked for — pass no hint
-  // so the merge re-picks its partition count from its actual input.
+  // (and the op's secondary feedback slot) so the merge picks its partition
+  // count from its own observed and actual input.
   return ParallelDistinct(morsels, s.out_types, &right_set,
-                          /*build_partitions=*/0, cx);
+                          op_id + cx.ops.size(), /*build_partitions=*/0, cx);
 }
 
 /// Executes one fused pipeline: morsels of the materialized source step are
@@ -583,8 +603,9 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
     BuildStats& bs = cx.st->build;
     ++bs.breakers;
     bs.build_rows += rchunk->num_rows();
-    int parts =
-        EffectiveBuildPartitions(s.build_partitions, rchunk->num_rows(), cx);
+    int parts = FeedbackBuildPartitions(static_cast<size_t>(sink_id),
+                                        s.build_partitions,
+                                        rchunk->num_rows(), cx);
     if (parts > 1) {
       ++bs.partitioned;
       bt = ParallelBuildJoinTable(right, s.rkey, parts, cx);
@@ -669,7 +690,9 @@ BatchVec RunPipeline(int sink_id, std::vector<BatchVec>& results,
   });
 
   if (s.kind == PlanStep::Kind::kProject && s.dedupe && !mout.empty()) {
-    return MergeDistinctCandidates(&mout, s.out_types, s.build_partitions, cx);
+    return MergeDistinctCandidates(&mout, s.out_types,
+                                   static_cast<size_t>(sink_id),
+                                   s.build_partitions, cx);
   }
   return ConcatMorsels(&mout);
 }
@@ -690,7 +713,8 @@ Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
       std::max<size_t>(1, std::min(opts.num_threads, WorkerPool::kMaxThreads));
   std::vector<ExecStats> wstats(workers);
   std::vector<WorkerScratch> scratch(workers);
-  ParCtx cx{ops, opts, WorkerPool::Shared(), workers, wstats, scratch, st};
+  ParCtx cx{ops,    opts,    WorkerPool::Shared(), workers,
+            wstats, scratch, st,                   &plan};
   std::vector<BatchVec> results(ops.size());
 
   for (size_t i = 0; i < ops.size(); ++i) {
@@ -713,11 +737,11 @@ Result<Table> ExecutePhysicalPlanParallel(const PhysicalPlan& plan,
                               results[static_cast<size_t>(s.right)], cx);
         break;
       case PlanStep::Kind::kUnion:
-        out = ParallelUnion(s, results[static_cast<size_t>(s.left)],
+        out = ParallelUnion(s, i, results[static_cast<size_t>(s.left)],
                             results[static_cast<size_t>(s.right)], cx);
         break;
       case PlanStep::Kind::kDiff:
-        out = ParallelDiff(s, results[static_cast<size_t>(s.left)],
+        out = ParallelDiff(s, i, results[static_cast<size_t>(s.left)],
                            results[static_cast<size_t>(s.right)], cx);
         break;
       case PlanStep::Kind::kJoin:

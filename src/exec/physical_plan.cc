@@ -217,6 +217,14 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const BoundedPlan& plan,
     }
   }
 
+  // Feedback slots for the breaker decisions above: two per op (primary +
+  // secondary breaker), zeroed = never observed. See ObservedBuildRows().
+  pp.build_feedback_ =
+      std::make_shared<std::vector<std::atomic<uint64_t>>>(2 * pp.ops_.size());
+  for (std::atomic<uint64_t>& slot : *pp.build_feedback_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+
   pp.output_ = plan.output;
   std::vector<Attribute> attrs;
   const std::vector<ValueType>& out_types =

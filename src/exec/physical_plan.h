@@ -1,7 +1,9 @@
 #ifndef BQE_EXEC_PHYSICAL_PLAN_H_
 #define BQE_EXEC_PHYSICAL_PLAN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +98,32 @@ class PhysicalPlan {
   /// cached plan must re-decide row-path vs vectorized as tables grow.
   size_t FetchIndexEntries() const;
 
+  /// Observed-build-size feedback: per-breaker EWMAs of the actual rows
+  /// materialized by past executions of this plan, updated by the parallel
+  /// executor and preferred over the frozen compile-time est_rows when
+  /// picking the partitioned-build fan-out (cached plans stay live across
+  /// data-only deltas, so the estimate drifts while the observation
+  /// tracks). Slots: op id for an op's primary breaker (join build side,
+  /// difference exclusion set, union / dedupe-project candidate merge);
+  /// `op id + ops().size()` for the secondary breaker of an op (the
+  /// difference's candidate merge, whose input is not the hinted side).
+  /// 0 means "never observed". Relaxed atomics behind a shared_ptr: the
+  /// plan stays copyable and logically immutable while concurrent
+  /// executions blend in observations; a lost update just delays
+  /// convergence of a sizing hint.
+  uint64_t ObservedBuildRows(size_t slot) const {
+    return (*build_feedback_)[slot].load(std::memory_order_relaxed);
+  }
+
+  /// Blends `rows` into the slot's EWMA (integer, alpha 1/4; floored at 1
+  /// so an observed-empty build still reads as observed).
+  void RecordBuildRows(size_t slot, uint64_t rows) const {
+    std::atomic<uint64_t>& a = (*build_feedback_)[slot];
+    uint64_t old = a.load(std::memory_order_relaxed);
+    uint64_t next = old == 0 ? rows : old - old / 4 + rows / 4;
+    a.store(next == 0 ? 1 : next, std::memory_order_relaxed);
+  }
+
  private:
   PhysicalPlan() = default;
 
@@ -105,6 +133,8 @@ class PhysicalPlan {
   RelationSchema output_schema_;
   const BoundedPlan* source_ = nullptr;
   const IndexSet* indices_ = nullptr;
+  /// 2 * ops_.size() slots; see ObservedBuildRows().
+  std::shared_ptr<std::vector<std::atomic<uint64_t>>> build_feedback_;
 };
 
 /// Breaker build fan-out for an estimated or actual build cardinality: 0

@@ -14,7 +14,8 @@ QueryService::QueryService(BoundedEngine* engine, ServiceOptions opts)
     : engine_(engine),
       opts_(opts),
       queue_(std::max<size_t>(1, opts.queue_capacity)),
-      window_(std::max<size_t>(1, opts.batch_window), opts.batch_horizon_us) {
+      window_(std::max<size_t>(1, opts.batch_window), opts.batch_horizon_us),
+      rcache_(std::max<size_t>(1, opts.result_cache_bytes)) {
   opts_.shards = std::max<size_t>(1, opts_.shards);
   opts_.batch_window = std::max<size_t>(1, opts_.batch_window);
   opts_.pin_capacity = std::max<size_t>(1, opts_.pin_capacity);
@@ -53,6 +54,7 @@ void QueryService::Shutdown() {
     shut_down_ = true;
     drain_inline = !started_;
   }
+  accepting_.store(false, std::memory_order_release);
   queue_.Close();
   if (drain_inline) {
     // Never started (start_paused): answer what was admitted so no caller
@@ -108,9 +110,33 @@ size_t QueryService::EffectiveWindow() const {
              : opts_.batch_window;
 }
 
+bool QueryService::TryServeFromResultCache(const std::string& fingerprint,
+                                           const CoherenceSnapshot& now,
+                                           QueryResponse* resp) {
+  if (!opts_.result_cache) return false;
+  ResultCache::CachedResult hit;
+  if (!rcache_.Lookup(fingerprint, now, &hit)) return false;
+  resp->table = std::move(hit.table);
+  resp->used_bounded_plan = hit.used_bounded_plan;
+  resp->result_cache_hit = true;
+  return true;
+}
+
 std::future<QueryResponse> QueryService::Submit(RaExprPtr query) {
   Request r = MakeQueryRequest(std::move(query));
   std::future<QueryResponse> f = r.query_promise.get_future();
+  // The steady-state fast path: a duplicate read of a hot fingerprint with
+  // no intervening delta resolves right here — no enqueue, no dispatcher,
+  // no execution, no gate. The coherence snapshot is the engine's lock-free
+  // atomic pair, so this races cleanly with a dispatcher applying deltas
+  // (a torn read can only miss, never serve stale).
+  QueryResponse cached;
+  if (accepting_.load(std::memory_order_acquire) &&
+      TryServeFromResultCache(r.fingerprint, engine_->Coherence(), &cached)) {
+    rc_admission_hits_.fetch_add(1, std::memory_order_relaxed);
+    r.query_promise.set_value(std::move(cached));
+    return f;
+  }
   if (!Admit(&r, /*blocking=*/true)) {
     QueryResponse resp;
     resp.status = Status::FailedPrecondition("query service is shut down");
@@ -122,6 +148,13 @@ std::future<QueryResponse> QueryService::Submit(RaExprPtr query) {
 std::future<QueryResponse> QueryService::TrySubmit(RaExprPtr query) {
   Request r = MakeQueryRequest(std::move(query));
   std::future<QueryResponse> f = r.query_promise.get_future();
+  QueryResponse cached;
+  if (accepting_.load(std::memory_order_acquire) &&
+      TryServeFromResultCache(r.fingerprint, engine_->Coherence(), &cached)) {
+    rc_admission_hits_.fetch_add(1, std::memory_order_relaxed);
+    r.query_promise.set_value(std::move(cached));
+    return f;
+  }
   if (!Admit(&r, /*blocking=*/false)) {
     QueryResponse resp;
     resp.status = Status::FailedPrecondition(
@@ -229,10 +262,14 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
       } else {
         resp.status = st.status();
       }
+      // The delta counters move inside the exclusive hold so a stats()
+      // snapshot (which takes the read side) sees the engine's epoch bump
+      // and these counters as one step — data_epoch == delta_batches holds
+      // at every snapshot when all batches apply.
+      delta_batches_.fetch_add(1, std::memory_order_relaxed);
+      deltas_applied_.fetch_add(resp.stats.inserts + resp.stats.deletes,
+                                std::memory_order_relaxed);
     }
-    delta_batches_.fetch_add(1, std::memory_order_relaxed);
-    deltas_applied_.fetch_add(resp.stats.inserts + resp.stats.deletes,
-                              std::memory_order_relaxed);
     r.delta_promise.set_value(std::move(resp));
   }
 
@@ -254,32 +291,51 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
     bool pin_hit = false;
     {
       std::shared_lock<WriterPriorityGate> rl(gate_);
-      Result<std::shared_ptr<const PreparedQuery>> pin =
-          ResolvePin(leader->fingerprint, leader->query, &pin_hit);
-      if (!pin.ok()) {
-        resp.status = pin.status();
-      } else if ((*pin)->info.covered) {
-        // The pinned path: no plan-cache lock anywhere in here.
-        Result<ExecuteResult> r =
-            engine_->ExecutePrepared(**pin, leader->id, opts_.exec_threads);
-        executed_.fetch_add(1, std::memory_order_relaxed);
-        if (r.ok()) {
-          resp.table = std::make_shared<const Table>(std::move(r->table));
-          resp.used_bounded_plan = true;
-        } else {
-          resp.status = r.status();
-        }
+      // The shared hold excludes writers, so this snapshot is what the
+      // execution below runs under — exactly the freshness a result
+      // inserted against it can claim.
+      CoherenceSnapshot snap = engine_->Coherence();
+      // Dispatch-side cache re-check: an identical execution may have
+      // completed (earlier window, other shard) between this group's
+      // admission and now.
+      if (TryServeFromResultCache(leader->fingerprint, snap, &resp)) {
+        rc_window_hits_.fetch_add(1, std::memory_order_relaxed);
       } else {
-        // Non-covered: the baseline fallback needs the original query, so
-        // route through Execute() (its re-prepare is a cache hit). Still
-        // one execution per coalesced group.
-        Result<ExecuteResult> r = engine_->Execute(leader->query);
-        executed_.fetch_add(1, std::memory_order_relaxed);
-        if (r.ok()) {
-          resp.table = std::make_shared<const Table>(std::move(r->table));
-          resp.used_bounded_plan = r->used_bounded_plan;
+        Result<std::shared_ptr<const PreparedQuery>> pin =
+            ResolvePin(leader->fingerprint, leader->query, &pin_hit);
+        if (!pin.ok()) {
+          resp.status = pin.status();
+        } else if ((*pin)->info.covered) {
+          // The pinned path: no plan-cache lock anywhere in here.
+          Result<ExecuteResult> r =
+              engine_->ExecutePrepared(**pin, leader->id, opts_.exec_threads);
+          executed_.fetch_add(1, std::memory_order_relaxed);
+          if (r.ok()) {
+            resp.table = std::make_shared<const Table>(std::move(r->table));
+            resp.used_bounded_plan = true;
+          } else {
+            resp.status = r.status();
+          }
         } else {
-          resp.status = r.status();
+          // Non-covered: the baseline fallback needs the original query, so
+          // route through Execute() (its re-prepare is a cache hit). Still
+          // one execution per coalesced group.
+          Result<ExecuteResult> r = engine_->Execute(leader->query);
+          executed_.fetch_add(1, std::memory_order_relaxed);
+          if (r.ok()) {
+            resp.table = std::make_shared<const Table>(std::move(r->table));
+            resp.used_bounded_plan = r->used_bounded_plan;
+          } else {
+            resp.status = r.status();
+          }
+        }
+        if (opts_.result_cache && resp.status.ok() && resp.table != nullptr) {
+          // Insert under the same gate hold the execution ran in: `snap`
+          // cannot have moved, so coalesced callers and later windows share
+          // this one immutable table until the next delta batch.
+          rcache_.Insert(leader->fingerprint, snap,
+                         ResultCache::CachedResult{resp.table,
+                                                   resp.used_bounded_plan});
         }
       }
     }
@@ -294,6 +350,13 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
 }
 
 ServiceStats QueryService::stats() const {
+  // One consistent pass (not a loose pile of atomic reads): holding the
+  // read side of the writer gate means no delta batch is mid-apply, so the
+  // engine's epochs, the delta counters (bumped inside the exclusive hold),
+  // and the result-cache state can never be observed torn against each
+  // other. Readers (executions) share the gate side with us, so this never
+  // blocks serving — at worst it queues behind a writer like any read.
+  std::shared_lock<WriterPriorityGate> rl(gate_);
   ServiceStats s;
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
@@ -307,6 +370,12 @@ ServiceStats QueryService::stats() const {
   s.freezes = freezes_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
   s.batch_window = EffectiveWindow();
+  s.result_hits_admission = rc_admission_hits_.load(std::memory_order_relaxed);
+  s.result_hits_window = rc_window_hits_.load(std::memory_order_relaxed);
+  CoherenceSnapshot snap = engine_->Coherence();
+  s.schema_epoch = snap.schema_epoch;
+  s.data_epoch = snap.data_epoch;
+  s.result_cache = rcache_.stats();
   s.engine = engine_->plan_cache_stats();
   return s;
 }

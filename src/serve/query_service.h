@@ -16,6 +16,7 @@
 #include "constraints/maintain.h"
 #include "core/engine.h"
 #include "serve/request_queue.h"
+#include "serve/result_cache.h"
 #include "storage/table.h"
 
 namespace bqe {
@@ -62,11 +63,24 @@ struct ServiceOptions {
   /// running; call Start() to begin draining. Lets tests enqueue a known
   /// request mix and observe deterministic batching.
   bool start_paused = false;
+  /// Cross-window result cache (serve/result_cache.h): duplicate reads of
+  /// a hot fingerprint between delta batches are answered at *admission*
+  /// from the pinned immutable table of the last execution — zero
+  /// execution, zero plan-cache or gate traffic, not even an enqueue. Any
+  /// applied delta batch (or schema event) invalidates implicitly through
+  /// the engine's coherence snapshot.
+  bool result_cache = true;
+  /// Result-cache capacity over estimated result bytes (LRU eviction).
+  size_t result_cache_bytes = 64u << 20;
 };
 
-/// Counters the service exposes for observability and tests. Snapshot
-/// semantics match PlanCacheStats: each counter is read atomically, the set
-/// is not sealed against concurrent increments.
+/// Counters the service exposes for observability and tests. stats() takes
+/// the read side of the service's writer-priority gate for the snapshot, so
+/// no delta batch is mid-apply while the set is read: the delta counters,
+/// the engine epochs, and the result-cache counters are mutually consistent
+/// (e.g. data_epoch == delta_batches when every batch applies). Query-side
+/// counters still advance concurrently — executions run under the same
+/// shared gate side — so those remain individually-atomic reads.
 struct ServiceStats {
   uint64_t admitted = 0;       ///< Query requests accepted onto the queue.
   uint64_t rejected = 0;       ///< TrySubmit load-sheds + post-shutdown submits.
@@ -83,6 +97,19 @@ struct ServiceStats {
   uint64_t queue_depth = 0;    ///< Queue size at snapshot time.
   uint64_t batch_window = 0;   ///< Effective drain window at snapshot time
                                ///< (adaptive EWMA value, or the fixed cap).
+  /// Result-cache hits resolved at Submit/TrySubmit — the caller's future
+  /// was answered without the request ever being admitted (not counted in
+  /// `admitted`, `executed`, or `coalesced`).
+  uint64_t result_hits_admission = 0;
+  /// Result-cache hits taken by a dispatcher for a whole coalesced group:
+  /// the entry landed between the group's admission and its dispatch
+  /// (typically inserted by an earlier window's execution). One per group
+  /// leader; followers count as `coalesced` as usual.
+  uint64_t result_hits_window = 0;
+  uint64_t data_epoch = 0;     ///< Engine data epoch at snapshot.
+  uint64_t schema_epoch = 0;   ///< Engine bounds/schema epoch at snapshot.
+  /// Result-cache counters (internally consistent; see ResultCacheStats).
+  ResultCacheStats result_cache;
   /// Engine plan-cache counters (lock-free) — including the pipeline-
   /// breaker build observability (breaker_builds / partitioned_builds /
   /// build_us), so a service stats endpoint shows whether executions are
@@ -98,6 +125,8 @@ struct QueryResponse {
   bool used_bounded_plan = false;
   bool coalesced = false;  ///< Answered by a same-fingerprint leader.
   bool pin_hit = false;    ///< Plan came from the service pin map.
+  bool result_cache_hit = false;  ///< Answered from the result cache —
+                                  ///< no execution ran for this response.
 };
 
 /// One applied delta batch.
@@ -182,6 +211,13 @@ class BatchWindowController {
 ///
 /// Request lifecycle (see docs/architecture.md for the full diagram):
 ///
+///   0. *Result-cache lookup.* Submit()/TrySubmit() first consult the
+///      cross-window ResultCache under the engine's lock-free coherence
+///      snapshot: a steady-state duplicate read resolves its future right
+///      there — no enqueue, no execution, no lock beyond the cache's own
+///      mutex. Dispatchers re-check the cache at dispatch time, so a group
+///      admitted before an identical execution completed still skips its
+///      own execution.
 ///   1. *Admission.* Submit()/SubmitDeltas() enqueue onto one bounded MPMC
 ///      queue and return a future. Backpressure (Push blocks) or load-shed
 ///      (TrySubmit fails) beyond queue_capacity.
@@ -246,8 +282,9 @@ class QueryService {
   /// uninstalls the freeze hooks. Idempotent; implied by the destructor.
   void Shutdown();
 
-  /// Lock-free counter snapshot (plus the engine's own cache counters) —
-  /// the service's stats endpoint.
+  /// One-pass counter snapshot — the service's stats endpoint. Taken under
+  /// the read side of the writer gate (see ServiceStats), so it serializes
+  /// against delta application but never against executions.
   ServiceStats stats() const;
 
   const BoundedEngine& engine() const { return *engine_; }
@@ -279,12 +316,20 @@ class QueryService {
   /// PrepareCompiled), under the read gate.
   Result<std::shared_ptr<const PreparedQuery>> ResolvePin(
       const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit);
+  /// Fills `*resp` from the result cache when enabled and coherent-fresh
+  /// under `now`; false on miss (or cache off).
+  bool TryServeFromResultCache(const std::string& fingerprint,
+                               const CoherenceSnapshot& now,
+                               QueryResponse* resp);
 
   BoundedEngine* engine_;
   ServiceOptions opts_;
   BoundedMpmcQueue<Request> queue_;
   BatchWindowController window_;
-  WriterPriorityGate gate_;  ///< Readers: executions. Writer: Apply batches.
+  ResultCache rcache_;
+  /// Readers: executions + stats snapshots. Writer: Apply batches. Mutable
+  /// so the const stats() endpoint can hold the read side.
+  mutable WriterPriorityGate gate_;
   std::vector<std::thread> dispatchers_;
   std::mutex lifecycle_mu_;  ///< Guards Start/Shutdown transitions.
   bool started_ = false;
@@ -295,9 +340,13 @@ class QueryService {
   std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_;
 
   std::atomic<uint64_t> next_id_{1};
+  /// Admission-side cache hits must stop at Shutdown() without taking the
+  /// lifecycle mutex on every Submit.
+  std::atomic<bool> accepting_{true};
   std::atomic<uint64_t> admitted_{0}, rejected_{0}, executed_{0},
       coalesced_{0}, batches_{0}, delta_batches_{0}, deltas_applied_{0},
-      pin_hits_{0}, repins_{0}, freezes_{0};
+      pin_hits_{0}, repins_{0}, freezes_{0}, rc_admission_hits_{0},
+      rc_window_hits_{0};
 };
 
 }  // namespace serve

@@ -1,0 +1,96 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace bqe {
+namespace serve {
+
+namespace {
+
+size_t EntryBytes(const std::string& fingerprint,
+                  const ResultCache::CachedResult& result) {
+  size_t bytes = sizeof(std::string) + fingerprint.size() + 64;  // Node + map.
+  if (result.table != nullptr) bytes += result.table->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace
+
+void ResultCache::EraseLocked(Lru::iterator it) {
+  bytes_ -= it->bytes;
+  map_.erase(std::string_view(it->fingerprint));
+  lru_.erase(it);
+}
+
+bool ResultCache::Lookup(const std::string& fingerprint,
+                         const CoherenceSnapshot& now, CachedResult* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++lookups_;
+  auto it = map_.find(std::string_view(fingerprint));
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  if (it->second->snap != now) {
+    // A delta batch (or schema event) moved the engine's coherence snapshot
+    // since this result was produced: the lazy invalidation path.
+    EraseLocked(it->second);
+    ++invalidations_;
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Move to MRU.
+  ++hits_;
+  *out = it->second->result;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& fingerprint,
+                         const CoherenceSnapshot& snap, CachedResult result) {
+  size_t bytes = EntryBytes(fingerprint, result);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (bytes > capacity_) {
+    ++oversized_;
+    return;
+  }
+  auto it = map_.find(std::string_view(fingerprint));
+  if (it != map_.end()) {
+    // Overwrite: a stale predecessor counts as invalidated; a same-snapshot
+    // overwrite is just two executions racing to insert one answer.
+    if (it->second->snap != snap) ++invalidations_;
+    EraseLocked(it->second);
+  }
+  lru_.push_front(Entry{fingerprint, snap, std::move(result), bytes});
+  map_.emplace(std::string_view(lru_.front().fingerprint), lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    EraseLocked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ResultCacheStats s;
+  s.lookups = lookups_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.oversized = oversized_;
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace bqe

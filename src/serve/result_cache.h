@@ -1,0 +1,117 @@
+#ifndef BQE_SERVE_RESULT_CACHE_H_
+#define BQE_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "storage/table.h"
+
+namespace bqe {
+namespace serve {
+
+/// Counter snapshot of one ResultCache. Taken under the cache mutex, so —
+/// unlike the engine's lock-free PlanCacheStats — the set is internally
+/// consistent: hits + misses == lookups exactly at any snapshot.
+struct ResultCacheStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;        ///< Includes stale entries dropped at lookup.
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;     ///< Capacity (LRU) evictions.
+  uint64_t invalidations = 0; ///< Entries dropped because their coherence
+                              ///< snapshot went stale (epoch moved).
+  uint64_t oversized = 0;     ///< Results too large to ever cache.
+  uint64_t bytes = 0;         ///< Resident estimated result bytes.
+  uint64_t entries = 0;       ///< Resident entry count.
+};
+
+/// A cross-window cache of materialized query results, keyed on
+/// (QueryFingerprint, CoherenceSnapshot): the serving layer's answer to
+/// read-heavy steady state, where the same hot fingerprints are asked again
+/// and again between delta batches. A hit returns the pinned immutable
+/// `shared_ptr<const Table>` of the last execution — zero execution, zero
+/// plan-cache or gate traffic — and any applied delta batch (or schema
+/// event) invalidates every entry *implicitly* by moving the engine's
+/// coherence snapshot: stale entries are detected and dropped lazily at
+/// their next lookup (or overwrite), never swept.
+///
+/// Eviction is size-capped LRU over estimated result bytes
+/// (Table::ApproxBytes plus entry bookkeeping). A result larger than the
+/// whole capacity is never inserted.
+///
+/// Thread safety: all operations are safe from any thread (one internal
+/// mutex; the critical sections are pointer moves and list splices, never
+/// table copies or executions). Correctness of what gets *inserted* is the
+/// caller's contract: the snapshot passed to Insert() must have been taken
+/// before the execution that produced the table, inside whatever discipline
+/// excludes concurrent writers (the QueryService executes and snapshots
+/// under the read side of its writer gate), so a snapshot can never claim
+/// more freshness than the table has.
+class ResultCache {
+ public:
+  /// The cached value: the immutable result table shared by every hit, plus
+  /// the execution metadata a response needs to replay.
+  struct CachedResult {
+    std::shared_ptr<const Table> table;
+    bool used_bounded_plan = false;
+  };
+
+  explicit ResultCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks `fingerprint` up against the caller's current coherence snapshot.
+  /// A resident entry whose stored snapshot differs is dropped on the spot
+  /// (counted as invalidation + miss). On a hit the entry moves to the MRU
+  /// position and `*out` receives the shared table.
+  bool Lookup(const std::string& fingerprint, const CoherenceSnapshot& now,
+              CachedResult* out);
+
+  /// Inserts (or overwrites) the result for `fingerprint` as produced under
+  /// `snap`, then evicts LRU entries past the byte capacity. Oversized
+  /// results are dropped without insertion.
+  void Insert(const std::string& fingerprint, const CoherenceSnapshot& snap,
+              CachedResult result);
+
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    CoherenceSnapshot snap;
+    CachedResult result;
+    size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  /// Unlinks `it` from the list and map, adjusting resident bytes.
+  void EraseLocked(Lru::iterator it);
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  Lru lru_;  ///< Front = most recently used.
+  /// Keys are views into the stable list nodes' fingerprint strings.
+  std::unordered_map<std::string_view, Lru::iterator> map_;
+  size_t bytes_ = 0;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+  uint64_t oversized_ = 0;
+};
+
+}  // namespace serve
+}  // namespace bqe
+
+#endif  // BQE_SERVE_RESULT_CACHE_H_

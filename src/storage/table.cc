@@ -89,6 +89,17 @@ Table Table::DistinctProject(const std::vector<int>& col_idx) const {
   return out;
 }
 
+size_t Table::ApproxBytes() const {
+  size_t bytes = sizeof(Table) + rows_.capacity() * sizeof(Tuple);
+  for (const Tuple& row : rows_) {
+    bytes += row.capacity() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.type() == ValueType::kString) bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::string out = schema_.ToString() + " [" + std::to_string(rows_.size()) +
                     " rows]\n";

@@ -57,6 +57,13 @@ class Table {
   /// Multi-line rendering with a header; `max_rows` limits output.
   std::string ToString(size_t max_rows = 20) const;
 
+  /// Cheap O(rows x cols) estimate of the resident heap footprint — tuple
+  /// vectors, value slots, and string payloads (small strings count their
+  /// inline capacity like any other). Used by byte-capped caches of
+  /// materialized results (serve/result_cache) for LRU accounting; it is an
+  /// estimate, not an allocator-exact measurement.
+  size_t ApproxBytes() const;
+
  private:
   RelationSchema schema_;
   std::vector<Tuple> rows_;

@@ -14,6 +14,7 @@
 #include "exec/parallel.h"
 #include "exec/physical_plan.h"
 #include "workload/datasets.h"
+#include "workload/graph_churn.h"
 #include "workload/querygen.h"
 
 namespace bqe {
@@ -404,6 +405,110 @@ TEST(PartitionedBuildEngagementTest, DefaultThresholdEngagesOnJoinWorkload) {
   EXPECT_GT(partitioned, 0u)
       << "no breaker engaged the partitioned build at 0.25-scale airca "
          "4-join — compile estimates or the runtime threshold regressed";
+}
+
+// ------------------------------------------- build-size feedback (EWMA) ---
+
+/// The integer EWMA behind ObservedBuildRows/RecordBuildRows: first record
+/// seeds the slot, repeats are stable, decays blend at 1/4 weight, and an
+/// observed-empty build records the floor of 1 (distinguishing "saw an
+/// empty build" from "never executed", which stays 0).
+TEST(BuildFeedbackTest, EwmaSeedsBlendsAndFloors) {
+  Result<GeneratedDataset> ds = MakeDataset("airca", 0.02, 4321);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  Result<IndexSet> indices = IndexSet::Build(ds->db, ds->schema);
+  ASSERT_TRUE(indices.ok());
+  QueryGenConfig cfg;
+  cfg.num_join = 1;
+  Result<RaExprPtr> q = GenerateCoveredQuery(*ds, cfg);
+  ASSERT_TRUE(q.ok());
+  Result<NormalizedQuery> nq = Normalize(*q, ds->db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, ds->schema);
+  ASSERT_TRUE(report.ok());
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok());
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(*plan, *indices);
+  ASSERT_TRUE(pp.ok());
+
+  EXPECT_EQ(pp->ObservedBuildRows(0), 0u);  // Never executed.
+  pp->RecordBuildRows(0, 100);
+  EXPECT_EQ(pp->ObservedBuildRows(0), 100u);  // First record seeds exactly.
+  pp->RecordBuildRows(0, 100);
+  EXPECT_EQ(pp->ObservedBuildRows(0), 100u);  // Stable input is a fixpoint.
+  pp->RecordBuildRows(0, 0);
+  EXPECT_EQ(pp->ObservedBuildRows(0), 75u);  // 100 - 100/4 + 0/4.
+  pp->RecordBuildRows(0, 200);
+  EXPECT_EQ(pp->ObservedBuildRows(0), 107u);  // 75 - 75/4 + 200/4.
+  pp->RecordBuildRows(1, 0);
+  EXPECT_EQ(pp->ObservedBuildRows(1), 1u);  // Empty build floors at 1.
+}
+
+/// The repick scenario the feedback exists for: a union's compile-time
+/// build hint comes from whole-index entry counts (here ~1200 rows -> 8
+/// partitions), but the runtime candidate merge only ever sees the two
+/// fetched friend lists (~40 rows — serial territory). The first execution
+/// trusts the compile hint and partitions; every later execution of the
+/// same cached plan prefers the observed size and drops to the serial
+/// build, counting a repick — with byte-identical output throughout.
+TEST(BuildFeedbackTest, ObservedBuildSizeOverridesStaleCompileHint) {
+  using workload::GraphChurnFixture;
+  using workload::MakeGraphChurnFixture;
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  Result<IndexSet> indices = IndexSet::Build(fx.db, fx.schema);
+  ASSERT_TRUE(indices.ok());
+
+  auto fids_of = [](const std::string& occ, const std::string& pid) {
+    return Project(
+        Select(RelAs("friend", occ), {EqC(A(occ, "pid"), Value::Str(pid))}),
+        {A(occ, "fid")});
+  };
+  RaExprPtr q =
+      Union(fids_of("f0", fx.cfg.Pid(0)), fids_of("f1", fx.cfg.Pid(1)));
+  Result<NormalizedQuery> nq = Normalize(q, fx.db.catalog());
+  ASSERT_TRUE(nq.ok());
+  Result<CoverageReport> report = CheckCoverage(*nq, fx.schema);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->covered);
+  Result<BoundedPlan> plan = GeneratePlan(*nq, *report);
+  ASSERT_TRUE(plan.ok());
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(*plan, *indices);
+  ASSERT_TRUE(pp.ok());
+
+  Result<Table> serial = ExecutePhysicalPlan(*pp, nullptr, {});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->NumRows(), 40u);  // Two disjoint 20-friend lists.
+
+  ExecOptions opts;
+  opts.num_threads = 4;
+  opts.partitioned_build_min_rows = 0;  // Let the hint alone decide.
+  auto run = [&](ExecStats* stats) {
+    Result<Table> t = ExecutePhysicalPlan(*pp, stats, opts);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    ASSERT_EQ(t->NumRows(), serial->NumRows());
+    for (size_t r = 0; r < serial->NumRows(); ++r) {
+      ASSERT_EQ(t->rows()[r], serial->rows()[r]) << "row " << r;
+    }
+  };
+
+  ExecStats first;
+  run(&first);
+  // Never-observed slots fall back to the compile hint exactly: the
+  // overestimated union merge partitions, and no repick is counted.
+  EXPECT_EQ(first.build.feedback_repicks, 0u);
+  EXPECT_GT(first.build.partitioned, 0u);
+
+  ExecStats second;
+  run(&second);
+  // Now the EWMA knows the real build is ~40 rows: the breaker re-picks
+  // serial against the stale 8-partition hint.
+  EXPECT_GE(second.build.feedback_repicks, 1u);
+  EXPECT_EQ(second.build.partitioned, 0u);
+
+  ExecStats third;
+  run(&third);  // Stable observations keep preferring the observed size.
+  EXPECT_GE(third.build.feedback_repicks, 1u);
+  EXPECT_EQ(third.build.partitioned, 0u);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -267,9 +269,168 @@ TEST(QueryServiceTest, AdaptiveWindowSurfacesInStatsAndStaysCorrect) {
                          "adaptive query " + std::to_string(i));
   }
   ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.admitted, 8u);
+  // 4 distinct fingerprints asked twice each: the second round is absorbed
+  // by the result cache at admission (serial client, no deltas), so only
+  // the first round was ever admitted.
+  EXPECT_EQ(stats.admitted, 4u);
+  EXPECT_EQ(stats.result_hits_admission, 4u);
+  EXPECT_EQ(stats.admitted + stats.result_hits_admission, 8u);
   EXPECT_GE(stats.batch_window, 1u);
   EXPECT_LE(stats.batch_window, 16u);
+}
+
+// ------------------------------------------------------ result cache ---
+
+TEST(QueryServiceTest, ResultCacheAndCoalescingInterplay) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  opts.shards = 1;
+  opts.batch_window = 32;
+  opts.adaptive_batch_window = false;
+  opts.start_paused = true;
+  QueryService service(&engine, opts);
+
+  // Cold cache: six same-fingerprint submissions all queue (no admission
+  // hit), then drain as ONE chunk — one execution, five coalesced.
+  RaExprPtr hot = FriendsNycCafesQuery(fx.cfg.Pid(0));
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(service.Submit(hot));
+  EXPECT_EQ(service.stats().result_hits_admission, 0u);
+  service.Start();
+  std::vector<QueryResponse> first;
+  for (std::future<QueryResponse>& f : futures) first.push_back(f.get());
+  for (const QueryResponse& r : first) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.result_cache_hit);
+    EXPECT_EQ(r.table, first[0].table);  // Shared immutable table.
+  }
+
+  // Warm cache, no delta since: five more submissions resolve at admission
+  // — never admitted, never executed, not coalesced — and share the very
+  // table the leader execution inserted.
+  for (int i = 0; i < 5; ++i) {
+    QueryResponse r = service.Query(hot);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.result_cache_hit);
+    EXPECT_FALSE(r.coalesced);
+    EXPECT_EQ(r.table, first[0].table);
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 6u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.coalesced, 5u);
+  EXPECT_EQ(stats.result_hits_admission, 5u);
+  EXPECT_EQ(stats.result_cache.insertions, 1u);
+  EXPECT_EQ(stats.result_cache.hits, 5u);
+  EXPECT_EQ(stats.result_cache.entries, 1u);
+  EXPECT_GT(stats.result_cache.bytes, 0u);
+}
+
+TEST(QueryServiceTest, ResultCacheWindowHitSkipsDuplicateExecution) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  opts.shards = 1;
+  opts.batch_window = 1;  // Every request is its own chunk.
+  opts.adaptive_batch_window = false;
+  opts.start_paused = true;
+  QueryService service(&engine, opts);
+
+  // Both requests are admitted while the cache is cold (paused service), so
+  // neither resolves at admission; the first chunk executes and inserts,
+  // and the second chunk's dispatcher finds the entry at dispatch time.
+  RaExprPtr hot = FriendsNycCafesQuery(fx.cfg.Pid(0));
+  std::future<QueryResponse> f1 = service.Submit(hot);
+  std::future<QueryResponse> f2 = service.Submit(hot);
+  service.Start();
+  QueryResponse r1 = f1.get();
+  QueryResponse r2 = f2.get();
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_FALSE(r1.result_cache_hit);
+  EXPECT_TRUE(r2.result_cache_hit);
+  EXPECT_EQ(r1.table, r2.table);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.result_hits_window, 1u);
+  EXPECT_EQ(stats.result_hits_admission, 0u);
+}
+
+TEST(QueryServiceTest, DeltaBatchInvalidatesResultCache) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(3));
+  QueryResponse miss = service.Query(q);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.result_cache_hit);
+  QueryResponse hit = service.Query(q);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.result_cache_hit);
+  EXPECT_EQ(hit.table, miss.table);
+
+  // Batch 3 adds a new nyc dining friend of Pid(3): the data epoch moves,
+  // the cached entry goes stale, and the re-execution must see the new row
+  // — a stale hit would return the old count.
+  ASSERT_TRUE(service.ApplyDeltas(GraphChurnBatch(fx.cfg, "rc", 3)).status.ok());
+  QueryResponse after = service.Query(q);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.result_cache_hit);
+  EXPECT_EQ(after.table->NumRows(), miss.table->NumRows() + 1);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.result_cache.invalidations, 1u);
+  EXPECT_EQ(stats.result_cache.hits, 1u);
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(stats.data_epoch, 1u);
+}
+
+// -------------------------------------------- one-pass stats snapshot ---
+
+TEST(QueryServiceTest, StatsSnapshotStaysConsistentUnderConcurrentDeltas) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  // Regression for the old stats() implementation, which read the engine
+  // counters detached from the service counters: polling during a delta
+  // storm could observe the engine's epoch bump without the corresponding
+  // delta_batches increment (or vice versa). With the one-pass snapshot
+  // (read gate held, counters bumped inside the write hold) the identities
+  // below hold at EVERY observation, not just at quiescence.
+  constexpr int kBatches = 60;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      DeltaResponse r = service.ApplyDeltas(GraphChurnBatch(fx.cfg, "st", b));
+      ASSERT_TRUE(r.status.ok());
+    }
+    done.store(true);
+  });
+  while (!done.load()) {
+    ServiceStats s = service.stats();
+    // Every GraphChurnBatch applies exactly two inserts and never grows a
+    // bound, so these are exact at any instant.
+    EXPECT_EQ(s.data_epoch, s.delta_batches);
+    EXPECT_EQ(s.deltas_applied, 2 * s.delta_batches);
+    EXPECT_EQ(s.schema_epoch, 1u);
+  }
+  writer.join();
+
+  ServiceStats end = service.stats();
+  EXPECT_EQ(end.delta_batches, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(end.data_epoch, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(end.deltas_applied, 2u * kBatches);
 }
 
 TEST(QueryServiceTest, NonCoveredQueryFallsBackThroughService) {

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/physical_plan.h"
+#include "serve/query_service.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace {
+
+/// Result-cache stress: the tentpole claim is that duplicate reads served
+/// straight off the cache are indistinguishable from re-execution, even
+/// while a writer keeps moving the data epoch. Three phases pin that:
+///   1. a concurrent storm (clients + delta writer) for TSan coverage of
+///      the lock-free admission lookup racing Apply,
+///   2. a serial delta/read interleave proving every cache hit is
+///      byte-identical to the miss that populated it and set-equal to an
+///      uncached oracle engine, and
+///   3. a distinct-query flood over a small byte budget proving LRU
+///      eviction actually runs under service traffic.
+/// The final stats snapshot must satisfy the exact four-way request
+/// accounting with non-zero hits AND evictions.
+
+using serve::QueryResponse;
+using serve::QueryService;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+using workload::FriendsNycCafesQuery;
+using workload::GraphChurnBatch;
+using workload::GraphChurnConfig;
+using workload::GraphChurnFixture;
+using workload::MakeGraphChurnFixture;
+
+EngineOptions DeterministicOptions(size_t threads) {
+  EngineOptions opts;
+  opts.exec_threads = threads;
+  opts.row_path_threshold = 0;
+  return opts;
+}
+
+void ExpectRowForRowEqual(const Table& got, const Table& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  for (size_t r = 0; r < got.rows().size(); ++r) {
+    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
+  }
+}
+
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q,
+                            size_t threads) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->covered);
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  EXPECT_TRUE(pp.ok()) << pp.status().ToString();
+  ExecOptions eo;
+  eo.num_threads = threads;
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, eo);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(*t);
+}
+
+TEST(ResultCacheStressTest, CachedReadsStayCoherentUnderDeltaChurn) {
+  GraphChurnConfig cfg;
+  cfg.pids = 40;  // Enough distinct fingerprints to flood the byte budget.
+  GraphChurnFixture fx = MakeGraphChurnFixture(cfg);
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 40;
+  constexpr int kStormBatches = 30;
+  constexpr int kHotQueries = 6;
+  constexpr int kInterleaveRounds = 20;
+  constexpr int kCheckedQueries = 4;
+  constexpr int kFloodQueries = 40;
+
+  std::vector<RaExprPtr> hot;
+  for (int i = 0; i < kHotQueries; ++i) {
+    hot.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+
+  ServiceOptions sopts;
+  sopts.shards = 3;
+  sopts.batch_window = 16;
+  // Small enough that kFloodQueries distinct results cannot all fit (each
+  // entry costs >200 bytes of fingerprint alone), large enough that any
+  // single result is never oversized.
+  sopts.result_cache_bytes = 8192;
+  QueryService service(&engine, sopts);
+
+  // Phase 1: concurrent storm. Clients hammer the hot fingerprints while a
+  // writer applies paced delta batches; TSan watches the admission-time
+  // Coherence() loads race Apply's epoch bumps.
+  std::atomic<int> answered{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        size_t qi = static_cast<size_t>(c + i) % hot.size();
+        QueryResponse r = service.Query(hot[qi]);
+        if (!r.status.ok() || !r.used_bounded_plan || r.table == nullptr) {
+          failed.store(true);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int b = 0; b < kStormBatches; ++b) {
+      while (answered.load() < b * 3 && !failed.load()) {
+        std::this_thread::yield();
+      }
+      serve::DeltaResponse dr =
+          service.ApplyDeltas(GraphChurnBatch(fx.cfg, "rcs", b));
+      if (!dr.status.ok() || dr.stats.constraints_grown != 0) {
+        failed.store(true);
+      }
+    }
+  });
+  for (std::thread& t : clients) t.join();
+  writer.join();
+  ASSERT_FALSE(failed.load());
+
+  // Phase 2: serial delta/read interleave. Every round moves the data
+  // epoch (invalidating all cached entries), re-executes each checked
+  // query once, then re-reads it: the re-read MUST be a cache hit sharing
+  // the very table the execution produced — byte-identical by
+  // construction — and must match both a freshly prepared plan and an
+  // independent uncached engine.
+  EngineOptions uncached_opts = DeterministicOptions(2);
+  uncached_opts.plan_cache = false;
+  BoundedEngine oracle(&fx.db, fx.schema, uncached_opts);
+  for (int b = 0; b < kInterleaveRounds; ++b) {
+    serve::DeltaResponse dr =
+        service.ApplyDeltas(GraphChurnBatch(fx.cfg, "rci", b));
+    ASSERT_TRUE(dr.status.ok());
+    ASSERT_TRUE(oracle.BuildIndices().ok());  // Re-mirror the fresh data.
+    for (int qi = 0; qi < kCheckedQueries; ++qi) {
+      std::string ctx =
+          "round " + std::to_string(b) + " query " + std::to_string(qi);
+      QueryResponse r1 = service.Query(hot[qi]);  // Epoch moved: executes.
+      ASSERT_TRUE(r1.status.ok()) << ctx;
+      EXPECT_FALSE(r1.result_cache_hit) << ctx;
+      QueryResponse r2 = service.Query(hot[qi]);  // Must serve off cache.
+      ASSERT_TRUE(r2.status.ok()) << ctx;
+      EXPECT_TRUE(r2.result_cache_hit) << ctx;
+      EXPECT_TRUE(r2.used_bounded_plan) << ctx;
+      EXPECT_EQ(r2.table, r1.table) << ctx;  // Same pinned table.
+      ExpectRowForRowEqual(*r2.table, FreshlyPreparedAnswer(engine, hot[qi], 2),
+                           ctx);
+      Result<ExecuteResult> fresh = oracle.Execute(hot[qi]);
+      ASSERT_TRUE(fresh.ok()) << ctx;
+      EXPECT_TRUE(Table::SameSet(*r2.table, fresh->table)) << ctx;
+    }
+  }
+
+  // Phase 3: flood with distinct fingerprints so total entry bytes exceed
+  // the 8 KiB budget and LRU eviction provably runs.
+  for (int i = 0; i < kFloodQueries; ++i) {
+    QueryResponse r = service.Query(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+    ASSERT_TRUE(r.status.ok()) << "flood query " << i;
+  }
+
+  ServiceStats s = service.stats();
+  service.Shutdown();
+
+  constexpr uint64_t kTotalQueries =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient +
+      static_cast<uint64_t>(kInterleaveRounds) * kCheckedQueries * 2 +
+      kFloodQueries;
+  constexpr uint64_t kTotalBatches =
+      static_cast<uint64_t>(kStormBatches) + kInterleaveRounds;
+  // Exact four-way accounting: every request was a leader execution, a
+  // coalesced follower, an admission-time cache hit, or a window-time hit.
+  EXPECT_EQ(s.executed + s.coalesced + s.result_hits_admission +
+                s.result_hits_window,
+            kTotalQueries);
+  EXPECT_EQ(s.admitted + s.result_hits_admission,
+            kTotalQueries + kTotalBatches);
+  EXPECT_EQ(s.rejected, 0u);
+  // Phase 2 alone guarantees kInterleaveRounds * kCheckedQueries hits.
+  EXPECT_GE(s.result_cache.hits,
+            static_cast<uint64_t>(kInterleaveRounds) * kCheckedQueries);
+  EXPECT_GT(s.result_cache.evictions, 0u);  // Phase 3 overflowed the budget.
+  EXPECT_EQ(s.result_cache.oversized, 0u);
+  EXPECT_EQ(s.result_cache.hits,
+            s.result_hits_admission + s.result_hits_window);
+  EXPECT_EQ(s.result_cache.hits + s.result_cache.misses,
+            s.result_cache.lookups);
+  EXPECT_EQ(s.delta_batches, kTotalBatches);
+  EXPECT_EQ(s.data_epoch, kTotalBatches);
+  // Data-only churn: the bounded plans never went stale, so the engine
+  // never re-prepared and the schema epoch never moved.
+  EXPECT_EQ(s.engine.reprepares, 0u);
+  EXPECT_EQ(s.schema_epoch, 1u);
+}
+
+}  // namespace
+}  // namespace bqe

@@ -1,0 +1,148 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+
+namespace bqe {
+namespace {
+
+using serve::ResultCache;
+using serve::ResultCacheStats;
+
+/// A result-shaped table: `rows` single-string tuples with `payload`-sized
+/// values, so tests can dial entry byte weights via ApproxBytes.
+std::shared_ptr<const Table> MakeResult(size_t rows, size_t payload = 8) {
+  Table t(RelationSchema("r", {Attribute{"cid", ValueType::kString}}));
+  for (size_t i = 0; i < rows; ++i) {
+    t.InsertUnchecked({Value::Str(std::string(payload, 'a' + i % 26))});
+  }
+  return std::make_shared<const Table>(std::move(t));
+}
+
+ResultCache::CachedResult Cached(std::shared_ptr<const Table> t) {
+  return ResultCache::CachedResult{std::move(t), /*used_bounded_plan=*/true};
+}
+
+TEST(ResultCacheTest, MissInsertHitSharesOneTable) {
+  ResultCache cache(1 << 20);
+  CoherenceSnapshot now{1, 0};
+  ResultCache::CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", now, &out));
+
+  std::shared_ptr<const Table> table = MakeResult(4);
+  cache.Insert("q1", now, Cached(table));
+  ASSERT_TRUE(cache.Lookup("q1", now, &out));
+  EXPECT_EQ(out.table, table);  // The shared pinned table, not a copy.
+  EXPECT_TRUE(out.used_bounded_plan);
+
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.bytes, 0u);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(ResultCacheTest, EpochMoveInvalidatesOnLookup) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q1", CoherenceSnapshot{1, 7}, Cached(MakeResult(4)));
+
+  // A delta batch bumped the data epoch: the entry must be dropped, not
+  // served.
+  ResultCache::CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", CoherenceSnapshot{1, 8}, &out));
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+
+  // Same story for a schema-epoch move at equal data epoch.
+  cache.Insert("q1", CoherenceSnapshot{1, 8}, Cached(MakeResult(4)));
+  EXPECT_FALSE(cache.Lookup("q1", CoherenceSnapshot{2, 8}, &out));
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+
+  // Fresh insert under the current snapshot serves again.
+  cache.Insert("q1", CoherenceSnapshot{2, 8}, Cached(MakeResult(4)));
+  EXPECT_TRUE(cache.Lookup("q1", CoherenceSnapshot{2, 8}, &out));
+}
+
+TEST(ResultCacheTest, StaleOverwriteCountsInvalidationKeepsOneEntry) {
+  ResultCache cache(1 << 20);
+  CoherenceSnapshot a{1, 1}, b{1, 2};
+  cache.Insert("q1", a, Cached(MakeResult(2)));
+  cache.Insert("q1", b, Cached(MakeResult(3)));  // Stale predecessor.
+  cache.Insert("q1", b, Cached(MakeResult(3)));  // Same-snapshot race.
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.invalidations, 1u);  // Only the cross-epoch overwrite.
+}
+
+TEST(ResultCacheTest, LruEvictionPrefersColdEntries) {
+  // Calibrate the per-entry byte weight with a probe cache so the real
+  // capacity holds exactly three of these entries.
+  CoherenceSnapshot now{1, 0};
+  size_t unit = 0;
+  {
+    ResultCache probe(1 << 20);
+    probe.Insert("qA", now, Cached(MakeResult(8, 64)));
+    unit = probe.stats().bytes;
+  }
+  ASSERT_GT(unit, 0u);
+  ResultCache cache(3 * unit + unit / 2);
+
+  cache.Insert("qA", now, Cached(MakeResult(8, 64)));
+  cache.Insert("qB", now, Cached(MakeResult(8, 64)));
+  cache.Insert("qC", now, Cached(MakeResult(8, 64)));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch qA so qB is the LRU victim when qD overflows the capacity.
+  ResultCache::CachedResult out;
+  ASSERT_TRUE(cache.Lookup("qA", now, &out));
+  cache.Insert("qD", now, Cached(MakeResult(8, 64)));
+
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_TRUE(cache.Lookup("qA", now, &out));   // Kept: recently used.
+  EXPECT_FALSE(cache.Lookup("qB", now, &out));  // The LRU victim.
+  EXPECT_TRUE(cache.Lookup("qC", now, &out));
+  EXPECT_TRUE(cache.Lookup("qD", now, &out));
+  EXPECT_LE(cache.stats().bytes, 3 * unit + unit / 2);
+}
+
+TEST(ResultCacheTest, OversizedResultIsNeverInserted) {
+  ResultCache cache(256);  // Smaller than any real result entry below.
+  CoherenceSnapshot now{1, 0};
+  cache.Insert("q1", now, Cached(MakeResult(64, 64)));
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.oversized, 1u);
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  ResultCache::CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", now, &out));
+}
+
+TEST(ResultCacheTest, ClearDropsEverythingButKeepsCounters) {
+  ResultCache cache(1 << 20);
+  CoherenceSnapshot now{1, 0};
+  cache.Insert("q1", now, Cached(MakeResult(2)));
+  cache.Insert("q2", now, Cached(MakeResult(2)));
+  cache.Clear();
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.insertions, 2u);
+  ResultCache::CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", now, &out));
+}
+
+}  // namespace
+}  // namespace bqe

@@ -155,14 +155,30 @@ TEST(ServeStressTest, ConcurrentClientsAndDeltaWriterStayCoherent) {
   constexpr uint64_t kTotalQueries =
       static_cast<uint64_t>(kClients) * kRequestsPerClient +
       static_cast<uint64_t>(kQueries) * 2;  // Warmup + post-storm checks.
-  EXPECT_EQ(end_stats.admitted,
+  // Every query request was answered in exactly one of four ways: leader
+  // execution, coalesced behind one, result-cache hit at admission (never
+  // admitted at all), or result-cache hit at dispatch. Between delta
+  // batches the storm's duplicate reads land on the cache, so executions
+  // drop far below the request count — but the accounting stays exact.
+  EXPECT_EQ(end_stats.executed + end_stats.coalesced +
+                end_stats.result_hits_admission + end_stats.result_hits_window,
+            kTotalQueries);
+  EXPECT_EQ(end_stats.admitted + end_stats.result_hits_admission,
             kTotalQueries + static_cast<uint64_t>(kWriterBatches));
   EXPECT_EQ(end_stats.rejected, 0u);
-  // Every query request was either a leader execution or coalesced into one.
-  EXPECT_EQ(end_stats.executed + end_stats.coalesced, kTotalQueries);
+  // 300 same-fingerprint reads against 40 delta batches: the cache must
+  // actually absorb traffic, not just stay correct.
+  EXPECT_GT(end_stats.result_cache.hits, 0u);
+  EXPECT_EQ(end_stats.result_cache.hits,
+            end_stats.result_hits_admission + end_stats.result_hits_window);
+  EXPECT_EQ(end_stats.result_cache.hits + end_stats.result_cache.misses,
+            end_stats.result_cache.lookups);
   EXPECT_EQ(end_stats.delta_batches, static_cast<uint64_t>(kWriterBatches));
+  // One-pass snapshot identities (see StatsSnapshotStaysConsistent...).
+  EXPECT_EQ(end_stats.data_epoch, static_cast<uint64_t>(kWriterBatches));
   EXPECT_EQ(engine.DataEpoch(), static_cast<uint64_t>(kWriterBatches));
   EXPECT_EQ(engine.SchemaEpoch(), 1u + 0u /* built once, no bound growth */);
+  EXPECT_EQ(end_stats.schema_epoch, engine.SchemaEpoch());
 }
 
 }  // namespace
