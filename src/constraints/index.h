@@ -147,6 +147,12 @@ class AccessIndex {
   using FreezeHook = std::function<void(const AccessIndex&)>;
   void SetFreezeHook(FreezeHook hook) const;
 
+  /// Projection of a full base-relation row onto the constraint's X
+  /// columns — the probe key Fetch() expects. Result-maintenance layers
+  /// (exec/ivm) classify a base-table delta row with this: the key it
+  /// returns names the only fetch bucket the delta can have changed.
+  Tuple FetchKeyOf(const Tuple& row) const { return KeyOf(row); }
+
   /// Incremental maintenance on a base-table insert/delete of `row`
   /// (full-width row of the indexed relation). O(1) expected per call; the
   /// frozen columnar mirror is patched in place (the affected bucket only)

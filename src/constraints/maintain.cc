@@ -51,6 +51,7 @@ Status DoApplyDeltas(Database* db, AccessSchema* schema, IndexSet* indices,
         ++stats->index_updates;
       }
     }
+    ++stats->deltas_applied;
   }
   return Status::Ok();
 }

@@ -39,6 +39,12 @@ struct MaintenanceStats {
   size_t deletes = 0;
   size_t index_updates = 0;       ///< Per-constraint index touches.
   size_t constraints_grown = 0;   ///< Constraints whose N was raised (kGrow).
+  /// Deltas applied *in full* (table plus every index of the relation) —
+  /// the length of the batch prefix downstream result maintenance may push
+  /// through compiled plans. On a part-way failure this can lag `inserts +
+  /// deletes` by one: the failing delta touched the table or some indices
+  /// but not all, and no cache may treat it as cleanly applied.
+  size_t deltas_applied = 0;
 };
 
 /// Applies Delta-D to the database, the indices I_A and (under kGrow) the

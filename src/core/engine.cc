@@ -270,6 +270,15 @@ Result<MaintenanceStats> BoundedEngine::Apply(const std::vector<Delta>& deltas,
       ApplyDeltas(db_, &schema_, &indices_, deltas, policy, &applied);
   if (applied.inserts + applied.deletes > 0) {
     data_epoch_.fetch_add(1, std::memory_order_release);
+    // Expose the *cleanly applied prefix* behind this epoch bump so result
+    // maintenance can push exactly what happened through compiled plans. A
+    // part-way failure can leave its failing delta half-applied (table but
+    // not every index); that delta is excluded, and the serving layer only
+    // refreshes on fully successful batches anyway.
+    last_applied_.deltas.assign(
+        deltas.begin(),
+        deltas.begin() + static_cast<ptrdiff_t>(applied.deltas_applied));
+    last_applied_.data_epoch = DataEpoch();
   }
   // Refresh the schema stamp unconditionally: the batch may have grown a
   // bound (kGrow -> SetBound), which moves SchemaEpoch() without touching

@@ -145,6 +145,16 @@ struct PlanCacheStats {
   uint64_t build_feedback_repicks = 0;
 };
 
+/// The delta batch behind the engine's most recent data-epoch bump: the
+/// cleanly applied prefix of the last Apply() call that applied anything,
+/// tagged with the epoch it produced. Incremental view maintenance layered
+/// on results (serve/result_cache + exec/ivm) drives cache refreshes from
+/// this instead of re-deriving what a batch did.
+struct AppliedBatch {
+  std::vector<Delta> deltas;
+  uint64_t data_epoch = 0;  ///< DataEpoch() right after the bump; 0 = never.
+};
+
 /// Result of Execute().
 struct ExecuteResult {
   Table table;
@@ -244,6 +254,13 @@ class BoundedEngine {
   Result<MaintenanceStats> Apply(const std::vector<Delta>& deltas,
                                  OverflowPolicy policy = OverflowPolicy::kGrow);
 
+  /// The applied batch behind the latest data-epoch bump (empty with epoch
+  /// 0 before the first one). Plain state written by Apply(): read it under
+  /// the same external writer serialization as Apply itself — the serving
+  /// layer does, inside the exclusive writer-gate hold of the batch it is
+  /// routing into result maintenance.
+  const AppliedBatch& last_applied() const { return last_applied_; }
+
   const AccessSchema& schema() const { return schema_; }
   const IndexSet& indices() const { return indices_; }
   const Database& db() const { return *db_; }
@@ -299,6 +316,7 @@ class BoundedEngine {
   uint64_t schema_epoch_ = 0;  ///< Bumped by BuildIndices().
   /// Bumped by Apply() batches that applied; atomic for Coherence().
   std::atomic<uint64_t> data_epoch_{0};
+  AppliedBatch last_applied_;  ///< See last_applied().
   /// Mirror of SchemaEpoch() refreshed by the mutating calls (BuildIndices/
   /// Apply) after the IndexSet settles, so Coherence() never walks the
   /// plain per-index bound counters. May lag SchemaEpoch() only while a

@@ -119,6 +119,7 @@ bool QueryService::TryServeFromResultCache(const std::string& fingerprint,
   resp->table = std::move(hit.table);
   resp->used_bounded_plan = hit.used_bounded_plan;
   resp->result_cache_hit = true;
+  resp->result_refreshed = hit.refreshed;
   return true;
 }
 
@@ -133,7 +134,11 @@ std::future<QueryResponse> QueryService::Submit(RaExprPtr query) {
   QueryResponse cached;
   if (accepting_.load(std::memory_order_acquire) &&
       TryServeFromResultCache(r.fingerprint, engine_->Coherence(), &cached)) {
-    rc_admission_hits_.fetch_add(1, std::memory_order_relaxed);
+    // Hits on IVM-patched entries are accounted separately so the five-way
+    // request identity (executed + coalesced + admission + window +
+    // refreshed hits) stays exact.
+    (cached.result_refreshed ? rc_refreshed_hits_ : rc_admission_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
     r.query_promise.set_value(std::move(cached));
     return f;
   }
@@ -151,7 +156,8 @@ std::future<QueryResponse> QueryService::TrySubmit(RaExprPtr query) {
   QueryResponse cached;
   if (accepting_.load(std::memory_order_acquire) &&
       TryServeFromResultCache(r.fingerprint, engine_->Coherence(), &cached)) {
-    rc_admission_hits_.fetch_add(1, std::memory_order_relaxed);
+    (cached.result_refreshed ? rc_refreshed_hits_ : rc_admission_hits_)
+        .fetch_add(1, std::memory_order_relaxed);
     r.query_promise.set_value(std::move(cached));
     return f;
   }
@@ -243,6 +249,18 @@ Result<std::shared_ptr<const PreparedQuery>> QueryService::ResolvePin(
   return pq;
 }
 
+bool QueryService::MaintenanceDeclined(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lk(maint_mu_);
+  return maint_declined_.count(fingerprint) != 0;
+}
+
+void QueryService::DeclineMaintenance(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lk(maint_mu_);
+  if (maint_declined_.insert(fingerprint).second) {
+    maint_declines_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void QueryService::ProcessChunk(std::vector<Request>* chunk) {
   // Writes first: deltas admitted in the same batching window apply before
   // the window's reads execute (read-your-writes within one window). Across
@@ -256,11 +274,27 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
     DeltaResponse resp;
     {
       std::unique_lock<WriterPriorityGate> wl(gate_);
+      CoherenceSnapshot pre = engine_->Coherence();
       Result<MaintenanceStats> st = engine_->Apply(r.deltas, r.policy);
       if (st.ok()) {
         resp.stats = *st;
       } else {
         resp.status = st.status();
+      }
+      CoherenceSnapshot post = engine_->Coherence();
+      if (opts_.result_cache && post != pre) {
+        // The snapshot moved: push the applied batch through the cache while
+        // still holding the exclusive side — executions (and therefore
+        // Insert) are excluded, which is exactly Refresh's contract. A batch
+        // that failed part-way, grew a bound (schema epoch moved), or runs
+        // with maintenance disabled sweeps instead: stale tables leave the
+        // byte budget now rather than at their next lookup.
+        if (st.ok() && opts_.result_cache_refresh &&
+            post.schema_epoch == pre.schema_epoch) {
+          rcache_.Refresh(engine_->last_applied().deltas, pre, post);
+        } else {
+          rcache_.SweepStale(post);
+        }
       }
       // The delta counters move inside the exclusive hold so a stats()
       // snapshot (which takes the read side) sees the engine's epoch bump
@@ -289,6 +323,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
     Request* leader = group.front();
     QueryResponse resp;
     bool pin_hit = false;
+    std::shared_ptr<const PhysicalPlan> maintainable;
     {
       std::shared_lock<WriterPriorityGate> rl(gate_);
       // The shared hold excludes writers, so this snapshot is what the
@@ -299,7 +334,8 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
       // completed (earlier window, other shard) between this group's
       // admission and now.
       if (TryServeFromResultCache(leader->fingerprint, snap, &resp)) {
-        rc_window_hits_.fetch_add(1, std::memory_order_relaxed);
+        (resp.result_refreshed ? rc_refreshed_hits_ : rc_window_hits_)
+            .fetch_add(1, std::memory_order_relaxed);
       } else {
         Result<std::shared_ptr<const PreparedQuery>> pin =
             ResolvePin(leader->fingerprint, leader->query, &pin_hit);
@@ -313,6 +349,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
           if (r.ok()) {
             resp.table = std::make_shared<const Table>(std::move(r->table));
             resp.used_bounded_plan = true;
+            maintainable = (*pin)->physical;
           } else {
             resp.status = r.status();
           }
@@ -330,12 +367,51 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
           }
         }
         if (opts_.result_cache && resp.status.ok() && resp.table != nullptr) {
+          // Covered executions with *demonstrated reuse* retain a
+          // maintenance handle so the entry can be patched (instead of
+          // invalidated) across delta batches. Build replays the plan's row
+          // path once, serially, against the tables the execution just read
+          // — legal under this shared hold, and the retained state is what
+          // Refresh later patches in O(delta). But Build costs on the order
+          // of the execution itself, so a one-shot fingerprint must not pay
+          // it: a handle is built only from the second execution onward
+          // (pin resolved from the map — this fingerprint executed before)
+          // or when the window already coalesced duplicates behind the
+          // leader. A plan Build declines (nullptr) simply caches without a
+          // handle.
+          std::unique_ptr<PlanMaintenance> maint;
+          bool reused = pin_hit || group.size() > 1;
+          if (opts_.result_cache_refresh && maintainable != nullptr &&
+              reused && !MaintenanceDeclined(leader->fingerprint)) {
+            // Size bound: a handle holding more than 1/8 of the whole
+            // cache would evict several other entries just to exist, and
+            // the resulting evict/re-execute/rebuild churn costs far more
+            // than recomputing this one view per batch. The budget makes
+            // Build abort as soon as retained state crosses the bound, so
+            // the one-time refusal costs ~bound bytes of construction, not
+            // a full replay; the fingerprint is then remembered and never
+            // retried. The default 2 MiB ceiling keeps that refusal cost
+            // flat as the cache budget grows; refresh-dominated
+            // deployments raise result_cache_maint_bytes explicitly to
+            // retain fat views on purpose.
+            constexpr size_t kMaintBytesCap = 2u << 20;
+            size_t maint_bound =
+                opts_.result_cache_maint_bytes != 0
+                    ? opts_.result_cache_maint_bytes
+                    : std::min(kMaintBytesCap, opts_.result_cache_bytes / 8);
+            bool oversized = false;
+            maint = PlanMaintenance::Build(maintainable, *resp.table,
+                                           maint_bound, &oversized);
+            if (oversized) DeclineMaintenance(leader->fingerprint);
+          }
           // Insert under the same gate hold the execution ran in: `snap`
           // cannot have moved, so coalesced callers and later windows share
           // this one immutable table until the next delta batch.
           rcache_.Insert(leader->fingerprint, snap,
                          ResultCache::CachedResult{resp.table,
-                                                   resp.used_bounded_plan});
+                                                   resp.used_bounded_plan,
+                                                   /*refreshed=*/false},
+                         std::move(maint));
         }
       }
     }
@@ -372,6 +448,8 @@ ServiceStats QueryService::stats() const {
   s.batch_window = EffectiveWindow();
   s.result_hits_admission = rc_admission_hits_.load(std::memory_order_relaxed);
   s.result_hits_window = rc_window_hits_.load(std::memory_order_relaxed);
+  s.result_hits_refreshed = rc_refreshed_hits_.load(std::memory_order_relaxed);
+  s.maint_declined = maint_declines_.load(std::memory_order_relaxed);
   CoherenceSnapshot snap = engine_->Coherence();
   s.schema_epoch = snap.schema_epoch;
   s.data_epoch = snap.data_epoch;

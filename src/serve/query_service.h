@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rw_gate.h"
@@ -72,6 +73,36 @@ struct ServiceOptions {
   bool result_cache = true;
   /// Result-cache capacity over estimated result bytes (LRU eviction).
   size_t result_cache_bytes = 64u << 20;
+  /// Incremental view maintenance of cached results (exec/ivm.h): covered
+  /// executions retain a maintenance handle next to their cached table, and
+  /// an applied delta batch *refreshes* those entries in O(delta) inside
+  /// the batch's own exclusive gate hold instead of invalidating them —
+  /// hot fingerprints keep serving cache hits across delta churn. Plans
+  /// that are not delta-friendly fall back to invalidate-and-recompute per
+  /// entry. Handles are reuse-promoted: building one costs on the order of
+  /// the execution it shadows, so only a fingerprint's second execution
+  /// onward (or a first execution that already coalesced duplicate
+  /// callers) retains one — a one-shot query pays nothing. Handles are
+  /// also size-bounded: retained build state can dwarf the result it
+  /// maintains (intermediate join bags vs a handful of projected rows), so
+  /// a handle measuring more than `result_cache_maint_bytes` is refused —
+  /// Build aborts the moment its running byte estimate crosses that bound,
+  /// so the refusal costs ~bound bytes of construction rather than a full
+  /// replay — and the fingerprint is remembered as declined: a few fat
+  /// views must not thrash every other entry out of the cache through an
+  /// evict/re-execute/rebuild cycle (ServiceStats::maint_declined).
+  /// Off: every epoch bump sweeps the cache (eagerly), as before this
+  /// option existed.
+  bool result_cache_refresh = true;
+  /// Per-handle retained-state bound for the refresh path above. 0 (the
+  /// default) resolves to min(result_cache_bytes / 8, 2 MiB): no single
+  /// handle may claim more than 1/8 of the cache, and the 2 MiB ceiling
+  /// keeps the one-time refusal cost flat as the cache budget grows. A
+  /// deployment that *wants* fat maintained views — a refresh-dominated
+  /// workload whose recomputes are the expensive path — raises this
+  /// explicitly alongside result_cache_bytes and accepts the bigger
+  /// one-shot Build per view.
+  size_t result_cache_maint_bytes = 0;
 };
 
 /// Counters the service exposes for observability and tests. stats() takes
@@ -106,6 +137,17 @@ struct ServiceStats {
   /// (typically inserted by an earlier window's execution). One per group
   /// leader; followers count as `coalesced` as usual.
   uint64_t result_hits_window = 0;
+  /// Result-cache hits (admission- or window-time) served off an entry that
+  /// incremental view maintenance patched since its populating execution —
+  /// reads that would have been recomputations before IVM. Disjoint from
+  /// the two counters above, so the request accounting is five-way exact:
+  /// executed + coalesced + result_hits_admission + result_hits_window +
+  /// result_hits_refreshed == query requests.
+  uint64_t result_hits_refreshed = 0;
+  /// Fingerprints whose maintenance handle crossed the size bound during
+  /// its one (aborted) Build and was refused for good — these entries
+  /// serve from cache between batches but recompute across them.
+  uint64_t maint_declined = 0;
   uint64_t data_epoch = 0;     ///< Engine data epoch at snapshot.
   uint64_t schema_epoch = 0;   ///< Engine bounds/schema epoch at snapshot.
   /// Result-cache counters (internally consistent; see ResultCacheStats).
@@ -127,6 +169,9 @@ struct QueryResponse {
   bool pin_hit = false;    ///< Plan came from the service pin map.
   bool result_cache_hit = false;  ///< Answered from the result cache —
                                   ///< no execution ran for this response.
+  bool result_refreshed = false;  ///< The cached table had been patched by
+                                  ///< incremental view maintenance (only
+                                  ///< meaningful with result_cache_hit).
 };
 
 /// One applied delta batch.
@@ -316,6 +361,10 @@ class QueryService {
   /// PrepareCompiled), under the read gate.
   Result<std::shared_ptr<const PreparedQuery>> ResolvePin(
       const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit);
+  /// Whether this fingerprint's maintenance handle measured over the size
+  /// bound once — if so, never build one again.
+  bool MaintenanceDeclined(const std::string& fingerprint);
+  void DeclineMaintenance(const std::string& fingerprint);
   /// Fills `*resp` from the result cache when enabled and coherent-fresh
   /// under `now`; false on miss (or cache off).
   bool TryServeFromResultCache(const std::string& fingerprint,
@@ -339,6 +388,11 @@ class QueryService {
                        ///< across prepare or execute).
   std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_;
 
+  std::mutex maint_mu_;  ///< Guards maint_declined_ (map access only).
+  /// Fingerprints whose handle exceeded the size bound once: never build
+  /// again (the Build itself is the cost worth avoiding).
+  std::unordered_set<std::string> maint_declined_;
+
   std::atomic<uint64_t> next_id_{1};
   /// Admission-side cache hits must stop at Shutdown() without taking the
   /// lifecycle mutex on every Submit.
@@ -346,7 +400,7 @@ class QueryService {
   std::atomic<uint64_t> admitted_{0}, rejected_{0}, executed_{0},
       coalesced_{0}, batches_{0}, delta_batches_{0}, deltas_applied_{0},
       pin_hits_{0}, repins_{0}, freezes_{0}, rc_admission_hits_{0},
-      rc_window_hits_{0};
+      rc_window_hits_{0}, rc_refreshed_hits_{0}, maint_declines_{0};
 };
 
 }  // namespace serve

@@ -8,9 +8,11 @@ namespace serve {
 namespace {
 
 size_t EntryBytes(const std::string& fingerprint,
-                  const ResultCache::CachedResult& result) {
+                  const ResultCache::CachedResult& result,
+                  const PlanMaintenance* maint) {
   size_t bytes = sizeof(std::string) + fingerprint.size() + 64;  // Node + map.
   if (result.table != nullptr) bytes += result.table->ApproxBytes();
+  if (maint != nullptr) bytes += maint->ApproxBytes();
   return bytes;
 }
 
@@ -20,6 +22,31 @@ void ResultCache::EraseLocked(Lru::iterator it) {
   bytes_ -= it->bytes;
   map_.erase(std::string_view(it->fingerprint));
   lru_.erase(it);
+}
+
+bool ResultCache::InsertLocked(Entry e) {
+  e.bytes = EntryBytes(e.fingerprint, e.result, e.maint.get());
+  if (e.bytes > capacity_) {
+    ++oversized_;
+    return false;
+  }
+  auto it = map_.find(std::string_view(e.fingerprint));
+  if (it != map_.end()) {
+    // Overwrite: a stale predecessor counts as invalidated; a same-snapshot
+    // overwrite is just two executions racing to insert one answer.
+    if (it->second->snap != e.snap) ++invalidations_;
+    EraseLocked(it->second);
+  }
+  size_t bytes = e.bytes;
+  lru_.push_front(std::move(e));
+  map_.emplace(std::string_view(lru_.front().fingerprint), lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+  while (bytes_ > capacity_ && lru_.size() > 1) {
+    EraseLocked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+  return true;
 }
 
 bool ResultCache::Lookup(const std::string& fingerprint,
@@ -33,7 +60,8 @@ bool ResultCache::Lookup(const std::string& fingerprint,
   }
   if (it->second->snap != now) {
     // A delta batch (or schema event) moved the engine's coherence snapshot
-    // since this result was produced: the lazy invalidation path.
+    // since this result was produced: the lazy invalidation backstop (the
+    // eager Refresh/SweepStale path usually gets there first).
     EraseLocked(it->second);
     ++invalidations_;
     ++misses_;
@@ -46,27 +74,89 @@ bool ResultCache::Lookup(const std::string& fingerprint,
 }
 
 void ResultCache::Insert(const std::string& fingerprint,
-                         const CoherenceSnapshot& snap, CachedResult result) {
-  size_t bytes = EntryBytes(fingerprint, result);
+                         const CoherenceSnapshot& snap, CachedResult result,
+                         std::unique_ptr<PlanMaintenance> maint) {
+  Entry e;
+  e.fingerprint = fingerprint;
+  e.snap = snap;
+  e.result = std::move(result);
+  e.maint = std::move(maint);
   std::lock_guard<std::mutex> lk(mu_);
-  if (bytes > capacity_) {
-    ++oversized_;
-    return;
+  InsertLocked(std::move(e));
+}
+
+RefreshSummary ResultCache::Refresh(const std::vector<Delta>& deltas,
+                                    const CoherenceSnapshot& pre,
+                                    const CoherenceSnapshot& post) {
+  RefreshSummary summary;
+  // Unlink every refresh candidate (fresh-as-of-`pre`, with a handle) and
+  // sweep everything else stale. Unlinking before patching means a
+  // concurrent admission-time Lookup can only miss, never observe a
+  // half-patched entry; the caller's exclusion (exclusive writer gate)
+  // keeps Insert and other Refresh calls out entirely.
+  std::vector<Entry> work;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      auto next = std::next(it);
+      if (it->snap == post) {
+        it = next;  // Already fresh (nothing applied, or re-inserted).
+        continue;
+      }
+      if (it->snap == pre && it->maint != nullptr) {
+        bytes_ -= it->bytes;
+        map_.erase(std::string_view(it->fingerprint));
+        work.push_back(std::move(*it));
+        lru_.erase(it);
+      } else {
+        EraseLocked(it);
+        ++evicted_stale_;
+        ++summary.swept;
+      }
+      it = next;
+    }
   }
-  auto it = map_.find(std::string_view(fingerprint));
-  if (it != map_.end()) {
-    // Overwrite: a stale predecessor counts as invalidated; a same-snapshot
-    // overwrite is just two executions racing to insert one answer.
-    if (it->second->snap != snap) ++invalidations_;
-    EraseLocked(it->second);
+
+  // Patch outside the cache mutex: admission lookups keep flowing while
+  // the micro-batches run (they miss on the unlinked fingerprints).
+  for (Entry& e : work) {
+    std::shared_ptr<const Table> patched;
+    RefreshStats rs;
+    RefreshOutcome outcome =
+        e.maint->Refresh(deltas, e.result.table, &patched, &rs);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (outcome != RefreshOutcome::kRefreshed) {
+      ++refresh_fallbacks_;
+      ++summary.fallbacks;
+      continue;  // Entry dropped; the next read recomputes + rebuilds.
+    }
+    e.snap = post;
+    e.result.table = std::move(patched);
+    e.result.refreshed = true;
+    refreshed_rows_ += rs.rows_added + rs.rows_removed;
+    if (InsertLocked(std::move(e))) {
+      ++refreshes_;
+      ++summary.refreshed;
+      --insertions_;  // A refresh re-link is not a fresh insertion.
+    } else {
+      // The patched entry outgrew the capacity: treat like any oversized
+      // insert (already counted) — dropped, next read repopulates.
+      ++refresh_fallbacks_;
+      ++summary.fallbacks;
+    }
   }
-  lru_.push_front(Entry{fingerprint, snap, std::move(result), bytes});
-  map_.emplace(std::string_view(lru_.front().fingerprint), lru_.begin());
-  bytes_ += bytes;
-  ++insertions_;
-  while (bytes_ > capacity_ && lru_.size() > 1) {
-    EraseLocked(std::prev(lru_.end()));
-    ++evictions_;
+  return summary;
+}
+
+void ResultCache::SweepStale(const CoherenceSnapshot& now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->snap != now) {
+      EraseLocked(it);
+      ++evicted_stale_;
+    }
+    it = next;
   }
 }
 
@@ -89,6 +179,10 @@ ResultCacheStats ResultCache::stats() const {
   s.oversized = oversized_;
   s.bytes = bytes_;
   s.entries = lru_.size();
+  s.evicted_stale = evicted_stale_;
+  s.refreshes = refreshes_;
+  s.refresh_fallbacks = refresh_fallbacks_;
+  s.refreshed_rows = refreshed_rows_;
   return s;
 }
 

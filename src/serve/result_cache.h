@@ -8,8 +8,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "constraints/maintain.h"
 #include "core/engine.h"
+#include "exec/ivm.h"
 #include "storage/table.h"
 
 namespace bqe {
@@ -25,10 +28,33 @@ struct ResultCacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;     ///< Capacity (LRU) evictions.
   uint64_t invalidations = 0; ///< Entries dropped because their coherence
-                              ///< snapshot went stale (epoch moved).
+                              ///< snapshot went stale (epoch moved),
+                              ///< detected lazily at lookup/overwrite.
   uint64_t oversized = 0;     ///< Results too large to ever cache.
   uint64_t bytes = 0;         ///< Resident estimated result bytes.
   uint64_t entries = 0;       ///< Resident entry count.
+  /// Entries the eager stale sweep dropped on an epoch bump (no refresh
+  /// attempted: no maintenance handle, a snapshot from an older epoch, or a
+  /// schema-level event). Before the sweep these dead tables pinned the
+  /// byte budget until their next lookup.
+  uint64_t evicted_stale = 0;
+  /// Entries patched in place by incremental view maintenance: still
+  /// resident after a delta batch, re-keyed to the new data epoch.
+  uint64_t refreshes = 0;
+  /// Refresh attempts whose plan reported not-maintainable (the entry was
+  /// dropped and the next read recomputes + rebuilds).
+  uint64_t refresh_fallbacks = 0;
+  /// Total rows the refresh patches added plus removed across all
+  /// refreshes — the O(delta) work the cache did instead of O(query).
+  uint64_t refreshed_rows = 0;
+};
+
+/// What one ResultCache::Refresh() call did, for the caller's logs/tests;
+/// the same numbers accumulate into the stats counters.
+struct RefreshSummary {
+  size_t refreshed = 0;  ///< Entries patched and re-keyed.
+  size_t fallbacks = 0;  ///< Entries dropped as not-maintainable.
+  size_t swept = 0;      ///< Stale entries dropped without a refresh attempt.
 };
 
 /// A cross-window cache of materialized query results, keyed on
@@ -36,23 +62,35 @@ struct ResultCacheStats {
 /// read-heavy steady state, where the same hot fingerprints are asked again
 /// and again between delta batches. A hit returns the pinned immutable
 /// `shared_ptr<const Table>` of the last execution — zero execution, zero
-/// plan-cache or gate traffic — and any applied delta batch (or schema
-/// event) invalidates every entry *implicitly* by moving the engine's
-/// coherence snapshot: stale entries are detected and dropped lazily at
-/// their next lookup (or overwrite), never swept.
+/// plan-cache or gate traffic.
 ///
-/// Eviction is size-capped LRU over estimated result bytes
-/// (Table::ApproxBytes plus entry bookkeeping). A result larger than the
-/// whole capacity is never inserted.
+/// Epoch movement no longer simply discards the cache: an entry may carry a
+/// PlanMaintenance handle (exec/ivm.h) retained from its populating
+/// execution, and Refresh() pushes an applied delta batch through those
+/// handles to patch the cached tables in O(delta), re-keying them to the
+/// new snapshot — the incremental-view-maintenance path. Entries without a
+/// handle, from older epochs, or whose plan reports not-maintainable are
+/// swept eagerly (SweepStale) instead of lingering until their next lookup;
+/// the lazy drop at Lookup() remains as the backstop for anything that
+/// slips through (e.g. a cache race during shutdown).
+///
+/// Eviction is size-capped LRU over estimated bytes (Table::ApproxBytes
+/// plus the maintenance handle's retained state plus entry bookkeeping, so
+/// retained build state competes with result bytes honestly). A result
+/// larger than the whole capacity is never inserted.
 ///
 /// Thread safety: all operations are safe from any thread (one internal
-/// mutex; the critical sections are pointer moves and list splices, never
-/// table copies or executions). Correctness of what gets *inserted* is the
-/// caller's contract: the snapshot passed to Insert() must have been taken
-/// before the execution that produced the table, inside whatever discipline
-/// excludes concurrent writers (the QueryService executes and snapshots
-/// under the read side of its writer gate), so a snapshot can never claim
-/// more freshness than the table has.
+/// mutex) — except Refresh(), which additionally requires the caller to
+/// exclude concurrent writers *and* inserters for the duration of the call
+/// (the QueryService calls it inside the exclusive writer-gate hold of the
+/// very batch being pushed, which excludes executions and therefore
+/// Insert). Refresh unlinks the entries it patches, so concurrent lookups
+/// simply miss while a patch is in flight and can never observe a
+/// half-patched table. Correctness of what gets *inserted* is the caller's
+/// contract: the snapshot passed to Insert() must have been taken before
+/// the execution that produced the table, inside whatever discipline
+/// excludes concurrent writers, so a snapshot can never claim more
+/// freshness than the table has.
 class ResultCache {
  public:
   /// The cached value: the immutable result table shared by every hit, plus
@@ -60,6 +98,9 @@ class ResultCache {
   struct CachedResult {
     std::shared_ptr<const Table> table;
     bool used_bounded_plan = false;
+    /// True once incremental maintenance has patched this entry: the table
+    /// was produced by Refresh(), not verbatim by an execution.
+    bool refreshed = false;
   };
 
   explicit ResultCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
@@ -76,9 +117,26 @@ class ResultCache {
 
   /// Inserts (or overwrites) the result for `fingerprint` as produced under
   /// `snap`, then evicts LRU entries past the byte capacity. Oversized
-  /// results are dropped without insertion.
+  /// results are dropped without insertion. `maint` (optional) is the
+  /// retained maintenance handle that lets Refresh() patch this entry
+  /// across delta batches; its ApproxBytes() counts toward the capacity.
   void Insert(const std::string& fingerprint, const CoherenceSnapshot& snap,
-              CachedResult result);
+              CachedResult result,
+              std::unique_ptr<PlanMaintenance> maint = nullptr);
+
+  /// Pushes one applied delta batch through every entry still keyed at
+  /// `pre`: maintainable entries are patched and re-keyed to `post`,
+  /// not-maintainable ones are dropped (refresh_fallbacks), and everything
+  /// else stale is swept eagerly (evicted_stale). See the class comment for
+  /// the required caller-side exclusion.
+  RefreshSummary Refresh(const std::vector<Delta>& deltas,
+                         const CoherenceSnapshot& pre,
+                         const CoherenceSnapshot& post);
+
+  /// Eagerly drops every entry whose snapshot differs from `now` (counted
+  /// in evicted_stale): the epoch-bump invalidation path when no refresh is
+  /// possible (schema event, failed batch, maintenance disabled).
+  void SweepStale(const CoherenceSnapshot& now);
 
   void Clear();
 
@@ -89,12 +147,17 @@ class ResultCache {
     std::string fingerprint;
     CoherenceSnapshot snap;
     CachedResult result;
+    std::unique_ptr<PlanMaintenance> maint;  ///< May be null.
     size_t bytes = 0;
   };
   using Lru = std::list<Entry>;
 
   /// Unlinks `it` from the list and map, adjusting resident bytes.
   void EraseLocked(Lru::iterator it);
+  /// Links `e` (recomputing its byte estimate) at the MRU position,
+  /// overwriting any same-fingerprint entry, then evicts past capacity.
+  /// Returns false when the entry is oversized (dropped, counted).
+  bool InsertLocked(Entry e);
 
   mutable std::mutex mu_;
   const size_t capacity_;
@@ -109,6 +172,10 @@ class ResultCache {
   uint64_t evictions_ = 0;
   uint64_t invalidations_ = 0;
   uint64_t oversized_ = 0;
+  uint64_t evicted_stale_ = 0;
+  uint64_t refreshes_ = 0;
+  uint64_t refresh_fallbacks_ = 0;
+  uint64_t refreshed_rows_ = 0;
 };
 
 }  // namespace serve

@@ -87,6 +87,36 @@ inline RaExprPtr FriendsNycCafesQuery(const std::string& pid) {
       {A("cafe", "cid")});
 }
 
+/// FriendsNycCafesQuery generalized over the dining month, so workloads can
+/// aim reads (and deltas) at disjoint fetch key ranges of `dine`. `occ`
+/// suffixes the relation occurrence names so two instances can sit in one
+/// query (Lemma 1 normal form requires distinct occurrences).
+inline RaExprPtr FriendsCafesMonthQuery(const std::string& pid, int month,
+                                        const std::string& occ = "") {
+  std::string f = "friend" + occ, d = "dine" + occ, c = "cafe" + occ;
+  return Project(
+      Select(Product(Product(RelAs("friend", f), RelAs("dine", d)),
+                     RelAs("cafe", c)),
+             {EqC(A(f, "pid"), Value::Str(pid)),
+              EqA(A(f, "fid"), A(d, "pid")),
+              EqC(A(d, "month"), Value::Int(month)),
+              EqC(A(d, "year"), Value::Int(2015)),
+              EqA(A(d, "cid"), A(c, "cid")),
+              EqC(A(c, "city"), Value::Str("nyc"))}),
+      {A(c, "cid")});
+}
+
+/// A covered difference: pid's friends' may-2015 nyc cafes they did NOT
+/// also visit in june. The june branch is the *subtrahend*, so a deletion
+/// of a june dine row is exactly the delta shape incremental view
+/// maintenance must refuse (a subtrahend minus can resurrect suppressed
+/// rows only a recompute can find) — workloads use this query to exercise
+/// the refresh-fallback path.
+inline RaExprPtr FriendsMayNotJuneCafesQuery(const std::string& pid) {
+  return Diff(FriendsCafesMonthQuery(pid, 5),
+              FriendsCafesMonthQuery(pid, 6, "J"));
+}
+
 /// One data-only delta batch: a new friend of p{b % pids} who dined at one
 /// cafe. Never grows a bound, never exceeds a patch budget, but keeps the
 /// query answers evolving so stale plans would be caught.
@@ -99,6 +129,52 @@ inline std::vector<Delta> GraphChurnBatch(const GraphChurnConfig& cfg,
       Delta::Insert("dine", {Value::Str(nf), Value::Str(cfg.Cid(b)),
                              Value::Int(5), Value::Int(2015)}),
   };
+}
+
+/// GraphChurnBatch plus lagged deletions: batch `b` inserts its friend/dine
+/// pair and, once `b >= lag`, deletes the pair batch `b - lag` inserted —
+/// so a long run exercises minus deltas through every fetch and join while
+/// the instance size stays bounded. Delete-before-insert within the batch
+/// keeps the per-group mirror patch pressure flat.
+inline std::vector<Delta> GraphChurnMixedBatch(const GraphChurnConfig& cfg,
+                                               const std::string& tag, int b,
+                                               int lag = 8) {
+  std::vector<Delta> batch;
+  if (b >= lag) {
+    std::string of = tag + std::to_string(b - lag);
+    batch.push_back(Delta::Delete(
+        "dine", {Value::Str(of), Value::Str(cfg.Cid(b - lag)), Value::Int(5),
+                 Value::Int(2015)}));
+    batch.push_back(Delta::Delete(
+        "friend",
+        {Value::Str(cfg.Pid((b - lag) % cfg.pids)), Value::Str(of)}));
+  }
+  std::string nf = tag + std::to_string(b);
+  batch.push_back(Delta::Insert(
+      "friend", {Value::Str(cfg.Pid(b % cfg.pids)), Value::Str(nf)}));
+  batch.push_back(Delta::Insert("dine", {Value::Str(nf), Value::Str(cfg.Cid(b)),
+                                         Value::Int(5), Value::Int(2015)}));
+  return batch;
+}
+
+/// June churn against *existing* friends: batch `b` has friend Fid(b)
+/// dine at a june-2015 cafe and, once `b >= lag`, takes back batch
+/// `b - lag`'s june visit. Aimed at the june fetch keys only — the may-2015
+/// branch of any query is untouched. Against FriendsMayNotJuneCafesQuery
+/// the deletions land on the subtrahend, forcing the IVM fallback.
+inline std::vector<Delta> GraphChurnJuneBatch(const GraphChurnConfig& cfg,
+                                              int b, int lag = 4) {
+  std::vector<Delta> batch;
+  if (b >= lag) {
+    batch.push_back(Delta::Delete(
+        "dine", {Value::Str(cfg.Fid(b - lag)), Value::Str(cfg.Cid(b - lag)),
+                 Value::Int(6), Value::Int(2015)}));
+  }
+  batch.push_back(Delta::Insert(
+      "dine",
+      {Value::Str(cfg.Fid(b)), Value::Str(cfg.Cid(b)), Value::Int(6),
+       Value::Int(2015)}));
+  return batch;
 }
 
 }  // namespace workload

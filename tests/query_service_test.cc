@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <string>
@@ -37,6 +38,18 @@ void ExpectRowForRowEqual(const Table& got, const Table& want,
   for (size_t r = 0; r < got.rows().size(); ++r) {
     ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
   }
+}
+
+/// Exact multiset equality, order-free: an IVM-refreshed table keeps its
+/// surviving rows in place and appends net additions, so its row order
+/// legitimately differs from a fresh execution's.
+void ExpectSameBag(const Table& got, const Table& want,
+                   const std::string& context) {
+  ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
+  std::vector<Tuple> g = got.rows(), w = want.rows();
+  std::sort(g.begin(), g.end());
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(g, w) << context;
 }
 
 TEST(QueryServiceTest, AnswersMatchDirectExecution) {
@@ -132,7 +145,13 @@ TEST(QueryServiceTest, PinnedServingAcrossDataOnlyChurnNeverReprepares) {
   GraphChurnFixture fx = MakeGraphChurnFixture();
   BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
   ASSERT_TRUE(engine.BuildIndices().ok());
-  QueryService service(&engine);
+  ServiceOptions opts;
+  // Refresh off: every delta batch sweeps the result cache, so each
+  // post-batch read re-executes — which is the point here: prove those
+  // re-executions ride the pinned plans without a single re-prepare. (With
+  // refresh on they would be cache hits and never touch a pin at all.)
+  opts.result_cache_refresh = false;
+  QueryService service(&engine, opts);
 
   std::vector<RaExprPtr> queries;
   for (int i = 0; i < 4; ++i) queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
@@ -155,6 +174,12 @@ TEST(QueryServiceTest, PinnedServingAcrossDataOnlyChurnNeverReprepares) {
   EXPECT_EQ(stats.repins, 4u);
   EXPECT_EQ(stats.coalesced, 0u);  // Serial blocking client: no batching.
   EXPECT_EQ(stats.pin_hits, 4u * 25u);
+  // Refresh disabled: every batch eagerly swept the 4 entries cached since
+  // the previous batch, and nothing was ever patched.
+  EXPECT_EQ(stats.result_cache.evicted_stale, 4u * 25u);
+  EXPECT_EQ(stats.result_cache.refreshes, 0u);
+  EXPECT_EQ(stats.result_cache.invalidations, 0u)
+      << "the eager sweep must beat the lazy lookup-time drop";
 }
 
 TEST(QueryServiceTest, TrySubmitLoadShedsWhenQueueFull) {
@@ -363,7 +388,7 @@ TEST(QueryServiceTest, ResultCacheWindowHitSkipsDuplicateExecution) {
   EXPECT_EQ(stats.result_hits_admission, 0u);
 }
 
-TEST(QueryServiceTest, DeltaBatchInvalidatesResultCache) {
+TEST(QueryServiceTest, DeltaBatchRefreshesCachedResultInPlace) {
   GraphChurnFixture fx = MakeGraphChurnFixture();
   BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
   ASSERT_TRUE(engine.BuildIndices().ok());
@@ -376,22 +401,188 @@ TEST(QueryServiceTest, DeltaBatchInvalidatesResultCache) {
   QueryResponse hit = service.Query(q);
   ASSERT_TRUE(hit.status.ok());
   EXPECT_TRUE(hit.result_cache_hit);
+  EXPECT_FALSE(hit.result_refreshed);
   EXPECT_EQ(hit.table, miss.table);
 
+  // Handles are reuse-promoted: the first execution cached without one, so
+  // batch 2 (touching Pid(2), not this query's answer) sweeps the entry
+  // and the next read re-executes — *that* execution resolves its pin from
+  // the map and retains the maintenance handle.
+  ASSERT_TRUE(service.ApplyDeltas(GraphChurnBatch(fx.cfg, "rc", 2)).status.ok());
+  QueryResponse repop = service.Query(q);
+  ASSERT_TRUE(repop.status.ok());
+  EXPECT_FALSE(repop.result_cache_hit);
+  EXPECT_EQ(repop.table->NumRows(), miss.table->NumRows());
+
   // Batch 3 adds a new nyc dining friend of Pid(3): the data epoch moves,
-  // the cached entry goes stale, and the re-execution must see the new row
-  // — a stale hit would return the old count.
+  // and IVM patches the cached entry inside the batch's own gate hold —
+  // the next read is a *refreshed cache hit* already carrying the new row,
+  // with no re-execution anywhere. (Before IVM this was an invalidation
+  // plus a full recompute.)
   ASSERT_TRUE(service.ApplyDeltas(GraphChurnBatch(fx.cfg, "rc", 3)).status.ok());
   QueryResponse after = service.Query(q);
   ASSERT_TRUE(after.status.ok());
-  EXPECT_FALSE(after.result_cache_hit);
+  EXPECT_TRUE(after.result_cache_hit);
+  EXPECT_TRUE(after.result_refreshed);
+  ASSERT_NE(after.table, nullptr);
   EXPECT_EQ(after.table->NumRows(), miss.table->NumRows() + 1);
+  Result<ExecuteResult> direct = engine.Execute(q);
+  ASSERT_TRUE(direct.ok());
+  ExpectSameBag(*after.table, direct->table, "refreshed hit vs recompute");
 
   ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.result_cache.invalidations, 1u);
-  EXPECT_EQ(stats.result_cache.hits, 1u);
-  EXPECT_EQ(stats.executed, 2u);
-  EXPECT_EQ(stats.data_epoch, 1u);
+  EXPECT_EQ(stats.executed, 2u);  // The populate + the promoting re-execute.
+  EXPECT_EQ(stats.result_hits_refreshed, 1u);
+  EXPECT_EQ(stats.result_cache.refreshes, 1u);
+  EXPECT_EQ(stats.result_cache.refresh_fallbacks, 0u);
+  EXPECT_GE(stats.result_cache.refreshed_rows, 1u);
+  EXPECT_EQ(stats.result_cache.evicted_stale, 1u);  // The unpromoted entry.
+  EXPECT_EQ(stats.result_cache.invalidations, 0u);
+  EXPECT_EQ(stats.data_epoch, 2u);
+}
+
+TEST(QueryServiceTest, SubtrahendDeleteFallsBackToRecompute) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  // May cafes MINUS june cafes: the june branch is the subtrahend.
+  RaExprPtr q = workload::FriendsMayNotJuneCafesQuery(fx.cfg.Pid(0));
+  QueryResponse base = service.Query(q);
+  ASSERT_TRUE(base.status.ok()) << base.status.ToString();
+  EXPECT_TRUE(base.used_bounded_plan);
+  // Promote the entry: churn Pid(1) (not this query's answer) so the swept
+  // fingerprint re-executes and its second execution retains a handle.
+  ASSERT_TRUE(
+      service.ApplyDeltas(GraphChurnBatch(fx.cfg, "sd", 1)).status.ok());
+  QueryResponse promoted = service.Query(q);
+  ASSERT_TRUE(promoted.status.ok());
+  EXPECT_EQ(promoted.table->NumRows(), base.table->NumRows());
+
+  // A june *insert* for friend f0 at nyc cafe c0 (which IS in the may
+  // answer) is a subtrahend plus: maintainable, and the refreshed hit has
+  // c0 suppressed.
+  ASSERT_TRUE(service.ApplyDeltas(workload::GraphChurnJuneBatch(fx.cfg, 0))
+                  .status.ok());
+  QueryResponse suppressed = service.Query(q);
+  ASSERT_TRUE(suppressed.status.ok());
+  EXPECT_TRUE(suppressed.result_cache_hit);
+  EXPECT_TRUE(suppressed.result_refreshed);
+  EXPECT_EQ(suppressed.table->NumRows() + 1, base.table->NumRows());
+  {
+    Result<ExecuteResult> direct = engine.Execute(q);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameBag(*suppressed.table, direct->table, "after june insert");
+  }
+
+  // Batch 4 *deletes* batch 0's june visit — a minus on the subtrahend can
+  // resurrect suppressed rows only a recompute can find, so this is the
+  // delta shape refresh must refuse: the entry drops, the next read
+  // re-executes, and c0 is back.
+  ASSERT_TRUE(service.ApplyDeltas(workload::GraphChurnJuneBatch(fx.cfg, 4))
+                  .status.ok());
+  QueryResponse recomputed = service.Query(q);
+  ASSERT_TRUE(recomputed.status.ok());
+  EXPECT_FALSE(recomputed.result_cache_hit);
+  EXPECT_EQ(recomputed.table->NumRows(), base.table->NumRows());
+  {
+    Result<ExecuteResult> direct = engine.Execute(q);
+    ASSERT_TRUE(direct.ok());
+    ExpectSameBag(*recomputed.table, direct->table, "after june delete");
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.result_cache.refreshes, 1u);
+  EXPECT_EQ(stats.result_cache.refresh_fallbacks, 1u);
+  // The populate, the promoting re-execute, and the fallback recompute.
+  EXPECT_EQ(stats.executed, 3u);
+}
+
+TEST(QueryServiceTest, OversizedMaintenanceHandleIsDeclinedOnce) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  ServiceOptions opts;
+  // The handle for this 3-relation join view retains ~0.5 MiB of join
+  // bags; a 1 MiB cache makes the size bound (capacity / 8 = 128 KiB)
+  // refuse it while the few-hundred-byte result itself caches fine.
+  opts.result_cache_bytes = 1u << 20;
+  QueryService service(&engine, opts);
+
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(3));
+  ASSERT_TRUE(service.Query(q).status.ok());  // Populate (no reuse yet).
+  ASSERT_TRUE(service.ApplyDeltas(GraphChurnBatch(fx.cfg, "ov", 1)).status.ok());
+  ASSERT_TRUE(service.Query(q).status.ok());  // Promotes, Builds, declines.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.maint_declined, 1u);
+
+  // Declined for good: the entry serves hits between batches but is swept
+  // (never refreshed) across them, and no second Build is ever attempted.
+  for (int b = 2; b < 5; ++b) {
+    ASSERT_TRUE(
+        service.ApplyDeltas(GraphChurnBatch(fx.cfg, "ov", b)).status.ok());
+    QueryResponse r = service.Query(q);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.result_cache_hit) << "batch " << b;
+    QueryResponse again = service.Query(q);
+    ASSERT_TRUE(again.status.ok());
+    EXPECT_TRUE(again.result_cache_hit) << "batch " << b;
+    EXPECT_FALSE(again.result_refreshed) << "batch " << b;
+  }
+  stats = service.stats();
+  EXPECT_EQ(stats.maint_declined, 1u);
+  EXPECT_EQ(stats.result_cache.refreshes, 0u);
+  EXPECT_EQ(stats.result_cache.refresh_fallbacks, 0u);
+}
+
+TEST(QueryServiceTest, RequestAccountingStaysFiveWayExactUnderRefresh) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions());
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  QueryService service(&engine);
+
+  constexpr int kWarm = 4;
+  constexpr int kRounds = 10;
+  std::vector<RaExprPtr> queries;
+  for (int i = 0; i < kWarm; ++i) {
+    queries.push_back(FriendsNycCafesQuery(fx.cfg.Pid(i)));
+    ASSERT_TRUE(service.Query(queries.back()).status.ok());
+  }
+  for (int b = 0; b < kRounds; ++b) {
+    ASSERT_TRUE(
+        service.ApplyDeltas(GraphChurnBatch(fx.cfg, "fw", b)).status.ok());
+    for (const RaExprPtr& q : queries) {
+      QueryResponse r = service.Query(q);
+      ASSERT_TRUE(r.status.ok());
+      for (int rep = 0; rep < 1; ++rep) {
+        QueryResponse r2 = service.Query(q);
+        ASSERT_TRUE(r2.status.ok());
+      }
+    }
+  }
+
+  // Regression for the accounting identity after IVM split the hit
+  // counters three ways: every request resolves as exactly one of leader
+  // execution, coalesced follower, plain admission hit, window hit, or
+  // refreshed hit — nothing double-counts, nothing leaks.
+  ServiceStats s = service.stats();
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kWarm) + 2ull * kWarm * kRounds;
+  EXPECT_EQ(s.executed + s.coalesced + s.result_hits_admission +
+                s.result_hits_window + s.result_hits_refreshed,
+            kTotal);
+  EXPECT_EQ(s.result_cache.hits, s.result_hits_admission +
+                                     s.result_hits_window +
+                                     s.result_hits_refreshed);
+  EXPECT_GT(s.result_hits_refreshed, 0u);
+  // Serial client + maintainable plans: the warmup populates without
+  // handles (no reuse yet), round 0 re-executes each fingerprint once —
+  // promoting it — and from round 1 on nothing re-executes.
+  EXPECT_EQ(s.executed, 2ull * kWarm);
+  EXPECT_EQ(s.result_cache.refreshes,
+            static_cast<uint64_t>(kWarm) * (kRounds - 1));
+  EXPECT_EQ(s.result_cache.refresh_fallbacks, 0u);
 }
 
 // -------------------------------------------- one-pass stats snapshot ---

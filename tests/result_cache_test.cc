@@ -130,6 +130,54 @@ TEST(ResultCacheTest, OversizedResultIsNeverInserted) {
   EXPECT_FALSE(cache.Lookup("q1", now, &out));
 }
 
+TEST(ResultCacheTest, SweepStaleEagerlyDropsOldEpochEntries) {
+  ResultCache cache(1 << 20);
+  cache.Insert("q1", CoherenceSnapshot{1, 1}, Cached(MakeResult(2)));
+  cache.Insert("q2", CoherenceSnapshot{1, 2}, Cached(MakeResult(2)));
+  cache.Insert("q3", CoherenceSnapshot{1, 2}, Cached(MakeResult(2)));
+
+  // The epoch-bump sweep drops q1 immediately — before IVM the stale table
+  // would have pinned the byte budget until its next lookup — and counts
+  // it in evicted_stale, NOT invalidations (those stay lazy-lookup-only).
+  cache.SweepStale(CoherenceSnapshot{1, 2});
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evicted_stale, 1u);
+  EXPECT_EQ(s.invalidations, 0u);
+  ResultCache::CachedResult out;
+  EXPECT_FALSE(cache.Lookup("q1", CoherenceSnapshot{1, 2}, &out));
+  EXPECT_TRUE(cache.Lookup("q2", CoherenceSnapshot{1, 2}, &out));
+
+  // A schema-epoch move sweeps everything that remains.
+  cache.SweepStale(CoherenceSnapshot{2, 2});
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.evicted_stale, 3u);
+}
+
+TEST(ResultCacheTest, RefreshWithoutHandlesSweepsStaleKeepsFresh) {
+  ResultCache cache(1 << 20);
+  CoherenceSnapshot pre{1, 4}, post{1, 5};
+  cache.Insert("stale", pre, Cached(MakeResult(2)));    // No handle.
+  cache.Insert("fresh", post, Cached(MakeResult(2)));   // Already at post.
+  cache.Insert("older", CoherenceSnapshot{1, 2}, Cached(MakeResult(2)));
+
+  // With no maintenance handles nothing can be patched: entries keyed at
+  // `pre` or older are swept, entries already at `post` survive untouched.
+  serve::RefreshSummary sum = cache.Refresh({}, pre, post);
+  EXPECT_EQ(sum.refreshed, 0u);
+  EXPECT_EQ(sum.fallbacks, 0u);
+  EXPECT_EQ(sum.swept, 2u);
+  ResultCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evicted_stale, 2u);
+  EXPECT_EQ(s.refreshes, 0u);
+  ResultCache::CachedResult out;
+  EXPECT_TRUE(cache.Lookup("fresh", post, &out));
+  EXPECT_FALSE(cache.Lookup("stale", post, &out));
+}
+
 TEST(ResultCacheTest, ClearDropsEverythingButKeepsCounters) {
   ResultCache cache(1 << 20);
   CoherenceSnapshot now{1, 0};

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -39,12 +40,16 @@ EngineOptions DeterministicOptions(size_t threads) {
   return opts;
 }
 
-void ExpectRowForRowEqual(const Table& got, const Table& want,
-                          const std::string& context) {
+/// Exact multiset equality, order-free: an IVM-refreshed cached table keeps
+/// surviving rows in place and appends net additions, so its row order
+/// legitimately differs from a fresh execution's.
+void ExpectSameBag(const Table& got, const Table& want,
+                   const std::string& context) {
   ASSERT_EQ(got.NumRows(), want.NumRows()) << context;
-  for (size_t r = 0; r < got.rows().size(); ++r) {
-    ASSERT_EQ(got.rows()[r], want.rows()[r]) << context << " row " << r;
-  }
+  std::vector<Tuple> g = got.rows(), w = want.rows();
+  std::sort(g.begin(), g.end());
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(g, w) << context;
 }
 
 Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q,
@@ -125,9 +130,9 @@ TEST(ServeStressTest, ConcurrentClientsAndDeltaWriterStayCoherent) {
     writer.join();
     EXPECT_FALSE(failed.load());
 
-    // Post-storm: answers off the service match a freshly prepared plan
-    // row-for-row over the live indices, and an independent uncached
-    // engine as a set.
+    // Post-storm: answers off the service (possibly IVM-refreshed cache
+    // hits) match a freshly prepared plan as an exact bag over the live
+    // indices, and an independent uncached engine as a set.
     EngineOptions uncached_opts = DeterministicOptions(2);
     uncached_opts.plan_cache = false;
     BoundedEngine oracle(&fx.db, fx.schema, uncached_opts);
@@ -136,12 +141,21 @@ TEST(ServeStressTest, ConcurrentClientsAndDeltaWriterStayCoherent) {
       QueryResponse r = service.Query(queries[qi]);
       ASSERT_TRUE(r.status.ok());
       std::string ctx = "post-storm query " + std::to_string(qi);
-      ExpectRowForRowEqual(*r.table,
-                           FreshlyPreparedAnswer(engine, queries[qi], 2), ctx);
+      ExpectSameBag(*r.table, FreshlyPreparedAnswer(engine, queries[qi], 2),
+                    ctx);
       Result<ExecuteResult> fresh = oracle.Execute(queries[qi]);
       ASSERT_TRUE(fresh.ok());
       EXPECT_TRUE(Table::SameSet(*r.table, fresh->table)) << ctx;
     }
+
+    // One serial coda batch makes the refresh assertion deterministic:
+    // whatever the storm's interleaving, the post-storm reads above left
+    // every fingerprint resident *with* a maintenance handle (handles are
+    // reuse-promoted, and by now each fingerprint has executed at least
+    // twice), so this batch must patch them all in place.
+    ASSERT_TRUE(
+        service.ApplyDeltas(GraphChurnBatch(fx.cfg, "ss", kWriterBatches))
+            .status.ok());
 
     end_stats = service.stats();
     service.Shutdown();
@@ -155,28 +169,40 @@ TEST(ServeStressTest, ConcurrentClientsAndDeltaWriterStayCoherent) {
   constexpr uint64_t kTotalQueries =
       static_cast<uint64_t>(kClients) * kRequestsPerClient +
       static_cast<uint64_t>(kQueries) * 2;  // Warmup + post-storm checks.
-  // Every query request was answered in exactly one of four ways: leader
+  // Every query request was answered in exactly one of five ways: leader
   // execution, coalesced behind one, result-cache hit at admission (never
-  // admitted at all), or result-cache hit at dispatch. Between delta
-  // batches the storm's duplicate reads land on the cache, so executions
-  // drop far below the request count — but the accounting stays exact.
+  // admitted at all), result-cache hit at dispatch, or a hit on an entry
+  // IVM patched across a delta batch. Between delta batches the storm's
+  // duplicate reads land on the cache, so executions drop far below the
+  // request count — but the accounting stays exact.
   EXPECT_EQ(end_stats.executed + end_stats.coalesced +
-                end_stats.result_hits_admission + end_stats.result_hits_window,
+                end_stats.result_hits_admission +
+                end_stats.result_hits_window + end_stats.result_hits_refreshed,
             kTotalQueries);
-  EXPECT_EQ(end_stats.admitted + end_stats.result_hits_admission,
-            kTotalQueries + static_cast<uint64_t>(kWriterBatches));
+  // Refreshed hits are not split by site (admission vs dispatch), so the
+  // admission identity is a two-sided bound.
+  EXPECT_LE(end_stats.admitted + end_stats.result_hits_admission,
+            kTotalQueries + static_cast<uint64_t>(kWriterBatches) + 1);
+  EXPECT_GE(end_stats.admitted + end_stats.result_hits_admission +
+                end_stats.result_hits_refreshed,
+            kTotalQueries + static_cast<uint64_t>(kWriterBatches) + 1);
   EXPECT_EQ(end_stats.rejected, 0u);
   // 300 same-fingerprint reads against 40 delta batches: the cache must
-  // actually absorb traffic, not just stay correct.
+  // actually absorb traffic across epochs, not just stay correct — the
+  // maintained entries keep serving instead of dying with each batch.
   EXPECT_GT(end_stats.result_cache.hits, 0u);
+  EXPECT_GE(end_stats.result_cache.refreshes, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(end_stats.result_cache.refresh_fallbacks, 0u)
+      << "insert-only churn through fetch/join plans must stay maintainable";
   EXPECT_EQ(end_stats.result_cache.hits,
-            end_stats.result_hits_admission + end_stats.result_hits_window);
+            end_stats.result_hits_admission + end_stats.result_hits_window +
+                end_stats.result_hits_refreshed);
   EXPECT_EQ(end_stats.result_cache.hits + end_stats.result_cache.misses,
             end_stats.result_cache.lookups);
-  EXPECT_EQ(end_stats.delta_batches, static_cast<uint64_t>(kWriterBatches));
+  EXPECT_EQ(end_stats.delta_batches, static_cast<uint64_t>(kWriterBatches) + 1);
   // One-pass snapshot identities (see StatsSnapshotStaysConsistent...).
-  EXPECT_EQ(end_stats.data_epoch, static_cast<uint64_t>(kWriterBatches));
-  EXPECT_EQ(engine.DataEpoch(), static_cast<uint64_t>(kWriterBatches));
+  EXPECT_EQ(end_stats.data_epoch, static_cast<uint64_t>(kWriterBatches) + 1);
+  EXPECT_EQ(engine.DataEpoch(), static_cast<uint64_t>(kWriterBatches) + 1);
   EXPECT_EQ(engine.SchemaEpoch(), 1u + 0u /* built once, no bound growth */);
   EXPECT_EQ(end_stats.schema_epoch, engine.SchemaEpoch());
 }
