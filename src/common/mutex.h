@@ -1,0 +1,88 @@
+#ifndef BQE_COMMON_MUTEX_H_
+#define BQE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace bqe {
+
+/// The repo's annotated mutex: std::mutex wearing the capability attributes
+/// the thread-safety analysis needs. libstdc++'s std::mutex (and its lock
+/// wrappers) carry no annotations, so a GUARDED_BY contract written against
+/// one is unenforceable; every lock in src/ outside this directory must be
+/// a bqe::Mutex (tools/lint_concurrency.py enforces that textually, the
+/// clang analysis enforces the holds).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis) that the current scope holds this mutex
+  /// when the proof can't be carried structurally — e.g. a callback invoked
+  /// from inside a locked region through a type-erased boundary.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for bqe::Mutex. The scoped-capability annotation means a
+/// guarded field is provably accessible exactly for this object's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to bqe::Mutex at each Wait.
+///
+/// Deliberately predicate-free: clang analyzes lambda bodies as separate
+/// functions with an empty capability set, so the std::condition_variable
+/// `wait(lk, pred)` idiom reads GUARDED_BY fields inside a lambda the
+/// analysis considers lockless. Callers therefore spell the loop out —
+///
+///   while (!condition) cv.Wait(&mu);
+///
+/// — which the analysis checks exactly (REQUIRES(mu) on Wait, condition
+/// reads inside the locked scope). The spurious-wakeup contract is the
+/// same as the predicate form's: Wait may return at any time and the
+/// caller's loop re-tests.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks, and reacquires before returning.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    // Adopt the caller's hold for the duration of the wait, then release
+    // the std wrapper so ownership stays with the caller's scope.
+    std::unique_lock<std::mutex> lk(mu->mu_, std::adopt_lock);
+    cv_.wait(lk);  // lint:allow-concurrency(bare-wait) -- callers loop.
+    lk.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bqe
+
+#endif  // BQE_COMMON_MUTEX_H_

@@ -1,8 +1,8 @@
 #ifndef BQE_COMMON_RW_GATE_H_
 #define BQE_COMMON_RW_GATE_H_
 
-#include <condition_variable>
-#include <mutex>
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bqe {
 
@@ -20,10 +20,15 @@ namespace bqe {
 /// originally hand-rolled the same discipline with a spin flag) for the
 /// serving layer, whose SubmitDeltas path depends on it.
 ///
-/// Meets the SharedLockable named requirements, so std::shared_lock
-/// <WriterPriorityGate> and std::unique_lock<WriterPriorityGate> work.
-/// Not recursive; a thread must not upgrade a shared hold to exclusive.
-class WriterPriorityGate {
+/// Annotated as a shared capability: functions that must run inside an
+/// exclusive hold say REQUIRES(gate), read-side contracts say
+/// REQUIRES_SHARED(gate), and the clang analysis proves the holds at the
+/// call sites. Acquire through ReaderGateLock / WriterGateLock (below) so
+/// the scope of the hold is structural. Meets the SharedLockable named
+/// requirements too, so std::shared_lock / std::unique_lock still work in
+/// un-annotated (test) code. Not recursive; a thread must not upgrade a
+/// shared hold to exclusive.
+class CAPABILITY("rw_gate") WriterPriorityGate {
  public:
   WriterPriorityGate() = default;
   WriterPriorityGate(const WriterPriorityGate&) = delete;
@@ -31,57 +36,100 @@ class WriterPriorityGate {
 
   /// Exclusive (writer) acquisition: waits for active readers and the
   /// active writer to drain; queued ahead of any not-yet-admitted reader.
-  void lock() {
-    std::unique_lock<std::mutex> lk(mu_);
+  void lock() ACQUIRE() {
+    MutexLock lk(&mu_);
     ++waiting_writers_;
-    writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+    while (writer_active_ || readers_ != 0) writer_cv_.Wait(&mu_);
     --waiting_writers_;
     writer_active_ = true;
   }
 
-  bool try_lock() {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool try_lock() TRY_ACQUIRE(true) {
+    MutexLock lk(&mu_);
     if (writer_active_ || readers_ != 0) return false;
     writer_active_ = true;
     return true;
   }
 
-  void unlock() {
-    std::lock_guard<std::mutex> lk(mu_);
+  void unlock() RELEASE() {
+    MutexLock lk(&mu_);
     writer_active_ = false;
-    // Wake everyone: a queued writer (if any) wins the re-check because
-    // readers re-test waiting_writers_ before admitting themselves.
-    writer_cv_.notify_all();
-    reader_cv_.notify_all();
+    // Hand off, don't broadcast: a queued writer goes next (one Signal —
+    // each departing writer wakes exactly one successor, so a convoy of
+    // writers chains without a herd), and readers are woken only when no
+    // writer is queued — they would re-test waiting_writers_ and park
+    // again anyway, so waking them under a queued writer is pure wasted
+    // wakeups (the thundering herd this replaces).
+    if (waiting_writers_ != 0) {
+      writer_cv_.Signal();
+    } else {
+      reader_cv_.SignalAll();
+    }
   }
 
   /// Shared (reader) acquisition: admitted only while no writer is active
   /// *or queued* — the queue check is what gives writers priority.
-  void lock_shared() {
-    std::unique_lock<std::mutex> lk(mu_);
-    reader_cv_.wait(lk,
-                    [&] { return !writer_active_ && waiting_writers_ == 0; });
+  void lock_shared() ACQUIRE_SHARED() {
+    MutexLock lk(&mu_);
+    while (writer_active_ || waiting_writers_ != 0) reader_cv_.Wait(&mu_);
     ++readers_;
   }
 
-  bool try_lock_shared() {
-    std::lock_guard<std::mutex> lk(mu_);
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    MutexLock lk(&mu_);
     if (writer_active_ || waiting_writers_ != 0) return false;
     ++readers_;
     return true;
   }
 
-  void unlock_shared() {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (--readers_ == 0 && waiting_writers_ != 0) writer_cv_.notify_all();
+  void unlock_shared() RELEASE_SHARED() {
+    MutexLock lk(&mu_);
+    // The last departing reader admits one queued writer; intermediate
+    // readers wake nobody (a writer woken now would re-test readers_ != 0
+    // and park again).
+    if (--readers_ == 0 && waiting_writers_ != 0) writer_cv_.Signal();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable reader_cv_, writer_cv_;
-  int readers_ = 0;          ///< Shared holders currently inside.
-  int waiting_writers_ = 0;  ///< Writers queued in lock().
-  bool writer_active_ = false;
+  Mutex mu_;
+  CondVar reader_cv_, writer_cv_;
+  int readers_ GUARDED_BY(mu_) = 0;          ///< Shared holders inside.
+  int waiting_writers_ GUARDED_BY(mu_) = 0;  ///< Writers queued in lock().
+  bool writer_active_ GUARDED_BY(mu_) = false;
+};
+
+/// RAII shared (reader) hold on a WriterPriorityGate.
+class SCOPED_CAPABILITY ReaderGateLock {
+ public:
+  explicit ReaderGateLock(WriterPriorityGate* gate) ACQUIRE_SHARED(gate)
+      : gate_(gate) {
+    gate_->lock_shared();
+  }
+  // Generic release: the analysis tracks this object's hold as shared from
+  // the constructor; the destructor annotation must cover that kind.
+  ~ReaderGateLock() RELEASE_GENERIC() { gate_->unlock_shared(); }
+
+  ReaderGateLock(const ReaderGateLock&) = delete;
+  ReaderGateLock& operator=(const ReaderGateLock&) = delete;
+
+ private:
+  WriterPriorityGate* const gate_;
+};
+
+/// RAII exclusive (writer) hold on a WriterPriorityGate.
+class SCOPED_CAPABILITY WriterGateLock {
+ public:
+  explicit WriterGateLock(WriterPriorityGate* gate) ACQUIRE(gate)
+      : gate_(gate) {
+    gate_->lock();
+  }
+  ~WriterGateLock() RELEASE() { gate_->unlock(); }
+
+  WriterGateLock(const WriterGateLock&) = delete;
+  WriterGateLock& operator=(const WriterGateLock&) = delete;
+
+ private:
+  WriterPriorityGate* const gate_;
 };
 
 }  // namespace bqe

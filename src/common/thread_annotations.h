@@ -1,0 +1,91 @@
+#ifndef BQE_COMMON_THREAD_ANNOTATIONS_H_
+#define BQE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang capability-analysis (thread-safety) annotation macros.
+///
+/// These turn the repo's locking discipline — "pins_ is only touched under
+/// pin_mu_", "ResultCache::Refresh runs inside the exclusive writer-gate
+/// hold" — into contracts the compiler checks on every build with
+/// -Wthread-safety (CI runs -Werror=thread-safety over all of src/). Under
+/// GCC (or any compiler without the attribute) every macro expands to
+/// nothing, so the annotated code is identical to the unannotated code.
+///
+/// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///   CAPABILITY(name)      a class is a lockable capability (bqe::Mutex,
+///                         WriterPriorityGate).
+///   SCOPED_CAPABILITY     an RAII class that acquires in its constructor
+///                         and releases in its destructor (MutexLock).
+///   GUARDED_BY(mu)        field access requires holding mu.
+///   REQUIRES(mu)          function may only be called while holding mu
+///                         exclusively; REQUIRES_SHARED for a shared hold.
+///   ACQUIRE/RELEASE       function acquires/releases the capability.
+///   TRY_ACQUIRE(b, mu)    function attempts acquisition; holds on return b.
+///   ASSERT_CAPABILITY     function asserts (at runtime) the hold exists.
+///   EXCLUDES(mu)          function must be called while NOT holding mu
+///                         (non-reentrancy documentation).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BQE_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef BQE_THREAD_ANNOTATION__
+#define BQE_THREAD_ANNOTATION__(x)  // No-op outside clang.
+#endif
+
+#define CAPABILITY(x) BQE_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY BQE_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) BQE_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) BQE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  BQE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  BQE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  BQE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  BQE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  BQE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  BQE_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  BQE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  BQE_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Releases a hold of unspecified kind — what a SCOPED_CAPABILITY
+/// destructor needs when the same wrapper type can hold either side.
+#define RELEASE_GENERIC(...) \
+  BQE_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  BQE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  BQE_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) BQE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) BQE_THREAD_ANNOTATION__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  BQE_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) BQE_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BQE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // BQE_COMMON_THREAD_ANNOTATIONS_H_

@@ -104,16 +104,17 @@ void AccessIndex::EnsureFrozen() const {
   // others. Taken once per fetch step per execution — uncontended cost is
   // noise. Maintenance does not take it: writers must be externally
   // serialized with readers anyway.
-  std::lock_guard<std::mutex> lk(*freeze_mu_);
+  MutexLock lk(&freeze_sync_->mu);
   if (!frozen_.valid) {
     BuildFrozen();
-    if (freeze_hook_ != nullptr && *freeze_hook_) (*freeze_hook_)(*this);
+    const std::unique_ptr<FreezeHook>& hook = freeze_sync_->hook;
+    if (hook != nullptr && *hook) (*hook)(*this);
   }
 }
 
 void AccessIndex::SetFreezeHook(FreezeHook hook) const {
-  std::lock_guard<std::mutex> lk(*freeze_mu_);
-  freeze_hook_ = std::make_unique<FreezeHook>(std::move(hook));
+  MutexLock lk(&freeze_sync_->mu);
+  freeze_sync_->hook = std::make_unique<FreezeHook>(std::move(hook));
 }
 
 const ColumnBatch& AccessIndex::FrozenEntries() const {
@@ -130,7 +131,7 @@ void AccessIndex::InvalidateMirror() const {
 }
 
 size_t AccessIndex::mirror_patch_ops() const {
-  std::lock_guard<std::mutex> lk(*freeze_mu_);
+  MutexLock lk(&freeze_sync_->mu);
   return frozen_.patch_ops;
 }
 

@@ -130,7 +130,7 @@ Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
   if (options_.plan_cache) {
     fp = QueryFingerprint(query);
     schema_epoch = SchemaEpoch();
-    std::lock_guard<std::mutex> lk(cache_mu_);
+    MutexLock lk(&cache_mu_);
     auto it = cache_.find(fp);
     if (it != cache_.end()) {
       if (IsCoherent(*it->second, schema_epoch)) {
@@ -162,7 +162,7 @@ Result<std::shared_ptr<const PreparedQuery>> BoundedEngine::PrepareCompiled(
   pq->schema_epoch = schema_epoch;
 
   if (options_.plan_cache) {
-    std::lock_guard<std::mutex> lk(cache_mu_);
+    MutexLock lk(&cache_mu_);
     if (cache_.size() >= options_.plan_cache_capacity) {
       // Evict incoherent entries first; if every entry is current the
       // cache is simply full of live plans — drop it wholesale (rare, and
@@ -304,12 +304,12 @@ PlanCacheStats BoundedEngine::plan_cache_stats() const {
 }
 
 size_t BoundedEngine::plan_cache_size() const {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(&cache_mu_);
   return cache_.size();
 }
 
 void BoundedEngine::ClearPlanCache() {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(&cache_mu_);
   cache_.clear();
 }
 

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "baseline/eval.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "constraints/access_schema.h"
 #include "constraints/index.h"
 #include "constraints/maintain.h"
@@ -324,9 +325,9 @@ class BoundedEngine {
   /// stamp can only miss, never serve stale.
   std::atomic<uint64_t> schema_stamp_{0};
 
-  mutable std::mutex cache_mu_;
+  mutable Mutex cache_mu_;
   mutable std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
-      cache_;
+      cache_ GUARDED_BY(cache_mu_);
   /// Live counters behind plan_cache_stats(). Atomics, not a PlanCacheStats
   /// under the lock: the stats endpoint polls them concurrently with the
   /// hot cache path, and a snapshot must not contend with it.

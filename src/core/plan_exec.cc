@@ -116,7 +116,10 @@ Result<std::vector<std::vector<ValueType>>> DerivePlanStepTypes(
       }
       case PlanStep::Kind::kDiff: {
         BQE_ASSIGN_OR_RETURN(int l, CheckStepRef(s.left, i));
-        BQE_RETURN_IF_ERROR(CheckStepRef(s.right, i).status());
+        // Pass the Result itself: binding `.status()` of a temporary Result
+        // to the macro's auto&& dangles once the temporary dies (caught by
+        // ASan as stack-use-after-scope).
+        BQE_RETURN_IF_ERROR(CheckStepRef(s.right, i));
         t = types[static_cast<size_t>(l)];
         break;
       }

@@ -151,8 +151,9 @@ struct PlanMaintenance::OpState {
 PlanMaintenance::~PlanMaintenance() = default;
 
 std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
-    std::shared_ptr<const PhysicalPlan> plan, const Table& result,
-    size_t max_bytes, bool* size_exceeded) {
+    const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
+    const Table& result, size_t max_bytes, bool* size_exceeded) {
+  (void)gate;  // Capability parameter: the REQUIRES_SHARED contract is it.
   if (size_exceeded != nullptr) *size_exceeded = false;
   if (plan == nullptr) return nullptr;
   std::unique_ptr<PlanMaintenance> m(new PlanMaintenance());
@@ -325,9 +326,10 @@ std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
 }
 
 RefreshOutcome PlanMaintenance::Refresh(
-    const std::vector<Delta>& deltas,
+    const WriterPriorityGate& gate, const std::vector<Delta>& deltas,
     const std::shared_ptr<const Table>& current,
     std::shared_ptr<const Table>* patched, RefreshStats* stats) {
+  (void)gate;  // Capability parameter: the REQUIRES contract is it.
   if (stats != nullptr) *stats = RefreshStats{};
   if (dead_ || current == nullptr || patched == nullptr) {
     dead_ = true;

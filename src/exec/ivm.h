@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/rw_gate.h"
+#include "common/thread_annotations.h"
 #include "constraints/maintain.h"
 #include "exec/physical_plan.h"
 #include "storage/table.h"
@@ -70,12 +72,14 @@ struct RefreshStats {
 /// state accounts for row by row.
 ///
 /// Threading: Build() and Refresh() mutate retained state and must run
-/// under the caller's writer discipline (the QueryService refreshes inside
-/// the exclusive writer-gate hold of the very ApplyDeltas batch being
-/// pushed, and builds under the shared side right after the populating
-/// execution). The handle pins the compiled plan; its AccessIndex bindings
-/// stay valid because BuildIndices() is forbidden while a service is
-/// attached.
+/// under the caller's writer discipline — Build under at least the shared
+/// side of the serving gate (it replays against tables a concurrent writer
+/// would mutate), Refresh inside the exclusive hold of the very ApplyDeltas
+/// batch being pushed. Both take that gate as an annotated parameter
+/// (REQUIRES_SHARED / REQUIRES), so the clang thread-safety analysis proves
+/// the hold at every call site instead of a comment requesting it. The
+/// handle pins the compiled plan; its AccessIndex bindings stay valid
+/// because BuildIndices() is forbidden while a service is attached.
 class PlanMaintenance {
  public:
   /// Replays `plan` serially against the live indices, retaining per-op
@@ -92,10 +96,12 @@ class PlanMaintenance {
   /// instead of a full replay plus bag verification. The default cap is
   /// unbounded; `*size_exceeded` is always written when the pointer is
   /// given (false on every other outcome, success included).
+  /// `gate` is the serving gate whose (at least shared) hold keeps the
+  /// replayed tables stable for the duration of the build.
   static std::unique_ptr<PlanMaintenance> Build(
-      std::shared_ptr<const PhysicalPlan> plan, const Table& result,
-      size_t max_bytes = static_cast<size_t>(-1),
-      bool* size_exceeded = nullptr);
+      const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
+      const Table& result, size_t max_bytes = static_cast<size_t>(-1),
+      bool* size_exceeded = nullptr) REQUIRES_SHARED(gate);
 
   ~PlanMaintenance();
 
@@ -110,10 +116,11 @@ class PlanMaintenance {
   /// Must be called with the batch already applied to the base data and
   /// indices (fetch re-resolution probes the live post-batch index), once
   /// per applied batch, in order.
-  RefreshOutcome Refresh(const std::vector<Delta>& deltas,
+  RefreshOutcome Refresh(const WriterPriorityGate& gate,
+                         const std::vector<Delta>& deltas,
                          const std::shared_ptr<const Table>& current,
                          std::shared_ptr<const Table>* patched,
-                         RefreshStats* stats = nullptr);
+                         RefreshStats* stats = nullptr) REQUIRES(gate);
 
   /// Estimated heap footprint of the retained state (fetch buckets, join
   /// side bags, multiplicity maps). Counted into the result cache's byte

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <shared_mutex>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -38,7 +37,7 @@ QueryService::QueryService(BoundedEngine* engine, ServiceOptions opts)
 QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Start() {
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  MutexLock lk(&lifecycle_mu_);
   if (started_ || shut_down_) return;
   started_ = true;
   for (size_t s = 0; s < opts_.shards; ++s) {
@@ -48,11 +47,17 @@ void QueryService::Start() {
 
 void QueryService::Shutdown() {
   bool drain_inline = false;
+  // The dispatcher threads are swapped out under the lifecycle mutex and
+  // joined outside it: joining under the lock would both hold it across
+  // arbitrary dispatcher work and make the GUARDED_BY contract on
+  // dispatchers_ a lie.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    MutexLock lk(&lifecycle_mu_);
     if (shut_down_) return;
     shut_down_ = true;
     drain_inline = !started_;
+    workers.swap(dispatchers_);
   }
   accepting_.store(false, std::memory_order_release);
   queue_.Close();
@@ -66,8 +71,7 @@ void QueryService::Shutdown() {
       chunk.clear();
     }
   }
-  for (std::thread& t : dispatchers_) t.join();
-  dispatchers_.clear();
+  for (std::thread& t : workers) t.join();
   // Detach the freeze hooks: they capture `this`, and the engine may
   // outlive the service. No dispatcher is running and callers are expected
   // to have stopped racing the engine with a dying service.
@@ -216,7 +220,7 @@ Result<std::shared_ptr<const PreparedQuery>> QueryService::ResolvePin(
     const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit) {
   *pin_hit = false;
   {
-    std::lock_guard<std::mutex> lk(pin_mu_);
+    MutexLock lk(&pin_mu_);
     auto it = pins_.find(fingerprint);
     if (it != pins_.end() && engine_->StillCoherent(*it->second)) {
       *pin_hit = true;
@@ -231,7 +235,7 @@ Result<std::shared_ptr<const PreparedQuery>> QueryService::ResolvePin(
   BQE_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> pq,
                        engine_->PrepareCompiled(query));
   repins_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(pin_mu_);
+  MutexLock lk(&pin_mu_);
   if (pins_.size() >= opts_.pin_capacity &&
       pins_.find(fingerprint) == pins_.end()) {
     // Drop stale pins first; a full map of live pins resets wholesale
@@ -250,12 +254,12 @@ Result<std::shared_ptr<const PreparedQuery>> QueryService::ResolvePin(
 }
 
 bool QueryService::MaintenanceDeclined(const std::string& fingerprint) {
-  std::lock_guard<std::mutex> lk(maint_mu_);
+  MutexLock lk(&maint_mu_);
   return maint_declined_.count(fingerprint) != 0;
 }
 
 void QueryService::DeclineMaintenance(const std::string& fingerprint) {
-  std::lock_guard<std::mutex> lk(maint_mu_);
+  MutexLock lk(&maint_mu_);
   if (maint_declined_.insert(fingerprint).second) {
     maint_declines_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -273,7 +277,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
     if (r.kind != Request::Kind::kDeltas) continue;
     DeltaResponse resp;
     {
-      std::unique_lock<WriterPriorityGate> wl(gate_);
+      WriterGateLock wl(&gate_);
       CoherenceSnapshot pre = engine_->Coherence();
       Result<MaintenanceStats> st = engine_->Apply(r.deltas, r.policy);
       if (st.ok()) {
@@ -291,7 +295,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
         // byte budget now rather than at their next lookup.
         if (st.ok() && opts_.result_cache_refresh &&
             post.schema_epoch == pre.schema_epoch) {
-          rcache_.Refresh(engine_->last_applied().deltas, pre, post);
+          rcache_.Refresh(gate_, engine_->last_applied().deltas, pre, post);
         } else {
           rcache_.SweepStale(post);
         }
@@ -325,7 +329,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
     bool pin_hit = false;
     std::shared_ptr<const PhysicalPlan> maintainable;
     {
-      std::shared_lock<WriterPriorityGate> rl(gate_);
+      ReaderGateLock rl(&gate_);
       // The shared hold excludes writers, so this snapshot is what the
       // execution below runs under — exactly the freshness a result
       // inserted against it can claim.
@@ -400,7 +404,7 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
                     ? opts_.result_cache_maint_bytes
                     : std::min(kMaintBytesCap, opts_.result_cache_bytes / 8);
             bool oversized = false;
-            maint = PlanMaintenance::Build(maintainable, *resp.table,
+            maint = PlanMaintenance::Build(gate_, maintainable, *resp.table,
                                            maint_bound, &oversized);
             if (oversized) DeclineMaintenance(leader->fingerprint);
           }
@@ -432,7 +436,7 @@ ServiceStats QueryService::stats() const {
   // and the result-cache state can never be observed torn against each
   // other. Readers (executions) share the gate side with us, so this never
   // blocks serving — at worst it queues behind a writer like any read.
-  std::shared_lock<WriterPriorityGate> rl(gate_);
+  ReaderGateLock rl(&gate_);
   ServiceStats s;
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);

@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rw_gate.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "constraints/maintain.h"
 #include "core/engine.h"
@@ -207,7 +208,7 @@ class BatchWindowController {
   /// into the EWMA (alpha 0.25 — a few arrivals re-center the window after
   /// a workload shift, one outlier gap does not).
   void RecordArrival(uint64_t now_us) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (last_us_ != 0) {
       double gap = now_us >= last_us_
                        ? static_cast<double>(now_us - last_us_)
@@ -222,14 +223,14 @@ class BatchWindowController {
   /// EWMA becomes the coalescing horizon (how much arrival time the next
   /// drain should cover).
   void RecordDrain(double duration_us) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ewma_drain_us_ = ewma_drain_us_ < 0
                          ? duration_us
                          : ewma_drain_us_ + 0.25 * (duration_us - ewma_drain_us_);
   }
 
   size_t Window() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (ewma_gap_us_ < 0) return max_window_;  // No gap signal yet.
     double horizon =
         ewma_drain_us_ > min_horizon_us_ ? ewma_drain_us_ : min_horizon_us_;
@@ -242,12 +243,14 @@ class BatchWindowController {
  private:
   const size_t max_window_;
   const double min_horizon_us_;
-  mutable std::mutex mu_;  ///< Tiny critical sections; admission already
-                           ///< takes the queue lock, this adds one more
-                           ///< uncontended hop.
-  uint64_t last_us_ = 0;
-  double ewma_gap_us_ = -1.0;    ///< < 0 until the first gap sample.
-  double ewma_drain_us_ = -1.0;  ///< < 0 until the first drain sample.
+  mutable Mutex mu_;  ///< Tiny critical sections; admission already
+                      ///< takes the queue lock, this adds one more
+                      ///< uncontended hop.
+  uint64_t last_us_ GUARDED_BY(mu_) = 0;
+  /// < 0 until the first gap sample.
+  double ewma_gap_us_ GUARDED_BY(mu_) = -1.0;
+  /// < 0 until the first drain sample.
+  double ewma_drain_us_ GUARDED_BY(mu_) = -1.0;
 };
 
 /// The serving front-end over one BoundedEngine: callers stop holding the
@@ -358,9 +361,11 @@ class QueryService {
   void ShardMain();
   void ProcessChunk(std::vector<Request>* chunk);
   /// Resolves the pinned plan for one fingerprint (pin map first, then
-  /// PrepareCompiled), under the read gate.
+  /// PrepareCompiled), under the read gate — the shared hold is what keeps
+  /// StillCoherent()'s verdict valid through the execution that follows.
   Result<std::shared_ptr<const PreparedQuery>> ResolvePin(
-      const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit);
+      const std::string& fingerprint, const RaExprPtr& query, bool* pin_hit)
+      REQUIRES_SHARED(gate_);
   /// Whether this fingerprint's maintenance handle measured over the size
   /// bound once — if so, never build one again.
   bool MaintenanceDeclined(const std::string& fingerprint);
@@ -379,19 +384,22 @@ class QueryService {
   /// Readers: executions + stats snapshots. Writer: Apply batches. Mutable
   /// so the const stats() endpoint can hold the read side.
   mutable WriterPriorityGate gate_;
-  std::vector<std::thread> dispatchers_;
-  std::mutex lifecycle_mu_;  ///< Guards Start/Shutdown transitions.
-  bool started_ = false;
-  bool shut_down_ = false;
+  Mutex lifecycle_mu_;  ///< Guards Start/Shutdown transitions.
+  /// Shutdown() swaps the vector out under lifecycle_mu_ and joins outside
+  /// it, so the guard is the whole truth about who touches this field.
+  std::vector<std::thread> dispatchers_ GUARDED_BY(lifecycle_mu_);
+  bool started_ GUARDED_BY(lifecycle_mu_) = false;
+  bool shut_down_ GUARDED_BY(lifecycle_mu_) = false;
 
-  std::mutex pin_mu_;  ///< Guards pins_ (held for map access only, never
-                       ///< across prepare or execute).
-  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_;
+  Mutex pin_mu_;  ///< Guards pins_ (held for map access only, never
+                  ///< across prepare or execute).
+  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_
+      GUARDED_BY(pin_mu_);
 
-  std::mutex maint_mu_;  ///< Guards maint_declined_ (map access only).
+  Mutex maint_mu_;  ///< Guards maint_declined_ (map access only).
   /// Fingerprints whose handle exceeded the size bound once: never build
   /// again (the Build itself is the cost worth avoiding).
-  std::unordered_set<std::string> maint_declined_;
+  std::unordered_set<std::string> maint_declined_ GUARDED_BY(maint_mu_);
 
   std::atomic<uint64_t> next_id_{1};
   /// Admission-side cache hits must stop at Shutdown() without taking the

@@ -1,12 +1,13 @@
 #ifndef BQE_SERVE_REQUEST_QUEUE_H_
 #define BQE_SERVE_REQUEST_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bqe {
 namespace serve {
@@ -30,12 +31,14 @@ class BoundedMpmcQueue {
   /// Blocking admission: waits for space (backpressure). Returns false —
   /// with `item` unconsumed — once the queue is closed.
   bool Push(T&& item) {
-    std::unique_lock<std::mutex> lk(mu_);
-    space_cv_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lk.unlock();
-    item_cv_.notify_one();
+    {
+      MutexLock lk(&mu_);
+      while (!closed_ && items_.size() >= capacity_) space_cv_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    // Signal outside the lock so the woken consumer never blocks on mu_.
+    item_cv_.Signal();
     return true;
   }
 
@@ -43,11 +46,11 @@ class BoundedMpmcQueue {
   /// caller load-sheds).
   bool TryPush(T&& item) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    item_cv_.notify_one();
+    item_cv_.Signal();
     return true;
   }
 
@@ -55,20 +58,22 @@ class BoundedMpmcQueue {
   /// queue is empty and open. Returns the number of items popped; 0 means
   /// the queue is closed *and* fully drained — the consumer's exit signal.
   size_t PopChunk(size_t max, std::vector<T>* out) {
-    std::unique_lock<std::mutex> lk(mu_);
-    item_cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
     size_t n = 0;
-    while (n < max && !items_.empty()) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-      ++n;
+    bool more = false;
+    {
+      MutexLock lk(&mu_);
+      while (!closed_ && items_.empty()) item_cv_.Wait(&mu_);
+      while (n < max && !items_.empty()) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+      more = !items_.empty();
     }
-    bool freed = n > 0;
-    lk.unlock();
-    if (freed) {
-      space_cv_.notify_all();
+    if (n > 0) {
+      space_cv_.SignalAll();
       // More items may remain for other chunk consumers.
-      item_cv_.notify_one();
+      if (more) item_cv_.Signal();
     }
     return n;
   }
@@ -77,30 +82,30 @@ class BoundedMpmcQueue {
   /// queued and then see 0 from PopChunk. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       closed_ = true;
     }
-    item_cv_.notify_all();
-    space_cv_.notify_all();
+    item_cv_.SignalAll();
+    space_cv_.SignalAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     return items_.size();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable item_cv_;   ///< Signals consumers: items queued.
-  std::condition_variable space_cv_;  ///< Signals producers: space freed.
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar item_cv_;   ///< Signals consumers: items queued.
+  CondVar space_cv_;  ///< Signals producers: space freed.
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace serve

@@ -51,7 +51,7 @@ bool ResultCache::InsertLocked(Entry e) {
 
 bool ResultCache::Lookup(const std::string& fingerprint,
                          const CoherenceSnapshot& now, CachedResult* out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ++lookups_;
   auto it = map_.find(std::string_view(fingerprint));
   if (it == map_.end()) {
@@ -81,11 +81,12 @@ void ResultCache::Insert(const std::string& fingerprint,
   e.snap = snap;
   e.result = std::move(result);
   e.maint = std::move(maint);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   InsertLocked(std::move(e));
 }
 
-RefreshSummary ResultCache::Refresh(const std::vector<Delta>& deltas,
+RefreshSummary ResultCache::Refresh(const WriterPriorityGate& gate,
+                                    const std::vector<Delta>& deltas,
                                     const CoherenceSnapshot& pre,
                                     const CoherenceSnapshot& post) {
   RefreshSummary summary;
@@ -96,7 +97,7 @@ RefreshSummary ResultCache::Refresh(const std::vector<Delta>& deltas,
   // keeps Insert and other Refresh calls out entirely.
   std::vector<Entry> work;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (auto it = lru_.begin(); it != lru_.end();) {
       auto next = std::next(it);
       if (it->snap == post) {
@@ -123,8 +124,8 @@ RefreshSummary ResultCache::Refresh(const std::vector<Delta>& deltas,
     std::shared_ptr<const Table> patched;
     RefreshStats rs;
     RefreshOutcome outcome =
-        e.maint->Refresh(deltas, e.result.table, &patched, &rs);
-    std::lock_guard<std::mutex> lk(mu_);
+        e.maint->Refresh(gate, deltas, e.result.table, &patched, &rs);
+    MutexLock lk(&mu_);
     if (outcome != RefreshOutcome::kRefreshed) {
       ++refresh_fallbacks_;
       ++summary.fallbacks;
@@ -149,7 +150,7 @@ RefreshSummary ResultCache::Refresh(const std::vector<Delta>& deltas,
 }
 
 void ResultCache::SweepStale(const CoherenceSnapshot& now) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     auto next = std::next(it);
     if (it->snap != now) {
@@ -161,14 +162,14 @@ void ResultCache::SweepStale(const CoherenceSnapshot& now) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   map_.clear();
   lru_.clear();
   bytes_ = 0;
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   ResultCacheStats s;
   s.lookups = lookups_;
   s.hits = hits_;

@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/rw_gate.h"
+#include "common/thread_annotations.h"
 #include "constraints/maintain.h"
 #include "core/engine.h"
 #include "exec/ivm.h"
@@ -84,7 +86,9 @@ struct RefreshSummary {
 /// exclude concurrent writers *and* inserters for the duration of the call
 /// (the QueryService calls it inside the exclusive writer-gate hold of the
 /// very batch being pushed, which excludes executions and therefore
-/// Insert). Refresh unlinks the entries it patches, so concurrent lookups
+/// Insert). That requirement is no longer prose alone: Refresh() takes the
+/// serving gate as an annotated parameter and the clang thread-safety
+/// analysis rejects any call site not holding it exclusively. Refresh unlinks the entries it patches, so concurrent lookups
 /// simply miss while a patch is in flight and can never observe a
 /// half-patched table. Correctness of what gets *inserted* is the caller's
 /// contract: the snapshot passed to Insert() must have been taken before
@@ -129,9 +133,10 @@ class ResultCache {
   /// not-maintainable ones are dropped (refresh_fallbacks), and everything
   /// else stale is swept eagerly (evicted_stale). See the class comment for
   /// the required caller-side exclusion.
-  RefreshSummary Refresh(const std::vector<Delta>& deltas,
+  RefreshSummary Refresh(const WriterPriorityGate& gate,
+                         const std::vector<Delta>& deltas,
                          const CoherenceSnapshot& pre,
-                         const CoherenceSnapshot& post);
+                         const CoherenceSnapshot& post) REQUIRES(gate);
 
   /// Eagerly drops every entry whose snapshot differs from `now` (counted
   /// in evicted_stale): the epoch-bump invalidation path when no refresh is
@@ -153,29 +158,29 @@ class ResultCache {
   using Lru = std::list<Entry>;
 
   /// Unlinks `it` from the list and map, adjusting resident bytes.
-  void EraseLocked(Lru::iterator it);
+  void EraseLocked(Lru::iterator it) REQUIRES(mu_);
   /// Links `e` (recomputing its byte estimate) at the MRU position,
   /// overwriting any same-fingerprint entry, then evicts past capacity.
   /// Returns false when the entry is oversized (dropped, counted).
-  bool InsertLocked(Entry e);
+  bool InsertLocked(Entry e) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const size_t capacity_;
-  Lru lru_;  ///< Front = most recently used.
+  Lru lru_ GUARDED_BY(mu_);  ///< Front = most recently used.
   /// Keys are views into the stable list nodes' fingerprint strings.
-  std::unordered_map<std::string_view, Lru::iterator> map_;
-  size_t bytes_ = 0;
-  uint64_t lookups_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t insertions_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
-  uint64_t oversized_ = 0;
-  uint64_t evicted_stale_ = 0;
-  uint64_t refreshes_ = 0;
-  uint64_t refresh_fallbacks_ = 0;
-  uint64_t refreshed_rows_ = 0;
+  std::unordered_map<std::string_view, Lru::iterator> map_ GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t lookups_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t insertions_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ GUARDED_BY(mu_) = 0;
+  uint64_t oversized_ GUARDED_BY(mu_) = 0;
+  uint64_t evicted_stale_ GUARDED_BY(mu_) = 0;
+  uint64_t refreshes_ GUARDED_BY(mu_) = 0;
+  uint64_t refresh_fallbacks_ GUARDED_BY(mu_) = 0;
+  uint64_t refreshed_rows_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

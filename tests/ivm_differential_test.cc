@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baseline/eval.h"
+#include "common/rw_gate.h"
 #include "constraints/index.h"
 #include "core/engine.h"
 #include "exec/ivm.h"
@@ -59,6 +60,28 @@ void ExpectSameBag(const Table& got, const Table& want,
   EXPECT_EQ(g, w) << context;
 }
 
+/// Build() and Refresh() carry REQUIRES[_SHARED](gate) contracts (the
+/// serving layer calls them under its writer-priority gate), so even these
+/// single-threaded tests must hold a gate to call them. These helpers
+/// acquire a test-local gate around each call; exclusive ownership
+/// satisfies both the shared (Build) and exclusive (Refresh) contracts.
+std::unique_ptr<PlanMaintenance> BuildMaintained(
+    WriterPriorityGate* gate, std::shared_ptr<const PhysicalPlan> plan,
+    const Table& result) {
+  WriterGateLock wl(gate);
+  return PlanMaintenance::Build(*gate, std::move(plan), result);
+}
+
+RefreshOutcome RefreshMaintained(WriterPriorityGate* gate,
+                                 PlanMaintenance* maint,
+                                 const std::vector<Delta>& deltas,
+                                 const std::shared_ptr<const Table>& current,
+                                 std::shared_ptr<const Table>* patched,
+                                 RefreshStats* stats) {
+  WriterGateLock wl(gate);
+  return maint->Refresh(*gate, deltas, current, patched, stats);
+}
+
 struct DiffCase {
   const char* dataset;
   uint64_t seed;
@@ -103,8 +126,9 @@ TEST_P(IvmDifferentialTest, MaintainedResultMatchesRecompute) {
   std::shared_ptr<const Table> cur =
       std::make_shared<const Table>(std::move(first->table));
 
+  WriterPriorityGate gate;
   std::unique_ptr<PlanMaintenance> maint =
-      PlanMaintenance::Build((*pq)->physical, *cur);
+      BuildMaintained(&gate, (*pq)->physical, *cur);
   ASSERT_NE(maint, nullptr) << "build-time bag verification failed";
   EXPECT_GT(maint->ApproxBytes(), 0u);
 
@@ -128,7 +152,8 @@ TEST_P(IvmDifferentialTest, MaintainedResultMatchesRecompute) {
     for (const Delta& d : batch) touched_read_set |= read_rels.count(d.rel) > 0;
     std::shared_ptr<const Table> patched;
     RefreshStats rs;
-    RefreshOutcome out = maint->Refresh(batch, cur, &patched, &rs);
+    RefreshOutcome out =
+        RefreshMaintained(&gate, maint.get(), batch, cur, &patched, &rs);
     Result<ExecuteResult> fresh = engine.ExecutePrepared(**pq);
     ASSERT_TRUE(fresh.ok()) << ctx;
     if (out == RefreshOutcome::kRefreshed) {
@@ -143,7 +168,7 @@ TEST_P(IvmDifferentialTest, MaintainedResultMatchesRecompute) {
     } else {
       ++fallbacks;
       cur = std::make_shared<const Table>(std::move(fresh->table));
-      maint = PlanMaintenance::Build((*pq)->physical, *cur);
+      maint = BuildMaintained(&gate, (*pq)->physical, *cur);
       ASSERT_NE(maint, nullptr) << ctx << ": rebuild after fallback failed";
     }
   };
@@ -185,7 +210,7 @@ TEST_P(IvmDifferentialTest, MaintainedResultMatchesRecompute) {
     ASSERT_TRUE(engine.Apply(batch).ok());
     std::shared_ptr<const Table> patched;
     RefreshStats rs;
-    ASSERT_EQ(maint->Refresh(batch, cur, &patched, &rs),
+    ASSERT_EQ(RefreshMaintained(&gate, maint.get(), batch, cur, &patched, &rs),
               RefreshOutcome::kRefreshed);
     EXPECT_EQ(patched.get(), cur.get());
     EXPECT_EQ(rs.deltas_relevant, 0u);
@@ -221,6 +246,7 @@ TEST(IvmGraphChurnDifferentialTest, MixedChurnStaysMaintainableAndExact) {
   GraphChurnFixture fx = MakeGraphChurnFixture();
   BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
   ASSERT_TRUE(engine.BuildIndices().ok());
+  WriterPriorityGate gate;
 
   constexpr int kQueries = 3;
   constexpr int kBatches = 24;  // Lag 8: deletions flow from batch 8 on.
@@ -247,7 +273,7 @@ TEST(IvmGraphChurnDifferentialTest, MixedChurnStaysMaintainableAndExact) {
     Result<ExecuteResult> first = engine.ExecutePrepared(*v.prepared);
     ASSERT_TRUE(first.ok());
     v.cur = std::make_shared<const Table>(std::move(first->table));
-    v.maint = PlanMaintenance::Build(v.prepared->physical, *v.cur);
+    v.maint = BuildMaintained(&gate, v.prepared->physical, *v.cur);
     ASSERT_NE(v.maint, nullptr);
     views.push_back(std::move(v));
   }
@@ -261,7 +287,8 @@ TEST(IvmGraphChurnDifferentialTest, MixedChurnStaysMaintainableAndExact) {
       Maintained& v = views[static_cast<size_t>(i)];
       std::shared_ptr<const Table> patched;
       RefreshStats rs;
-      ASSERT_EQ(v.maint->Refresh(batch, v.cur, &patched, &rs),
+      ASSERT_EQ(RefreshMaintained(&gate, v.maint.get(), batch, v.cur, &patched,
+                                  &rs),
                 RefreshOutcome::kRefreshed)
           << ctx << ": insert+delete churn through fetch/join must stay "
                     "maintainable";
@@ -299,7 +326,8 @@ TEST(IvmGraphChurnDifferentialTest, MixedChurnStaysMaintainableAndExact) {
   ASSERT_TRUE(engine.Apply(add).ok());
   std::shared_ptr<const Table> patched;
   RefreshStats rs;
-  ASSERT_EQ(v0.maint->Refresh(add, v0.cur, &patched, &rs),
+  ASSERT_EQ(RefreshMaintained(&gate, v0.maint.get(), add, v0.cur, &patched,
+                              &rs),
             RefreshOutcome::kRefreshed);
   EXPECT_GE(rs.rows_added, 1u);
   EXPECT_EQ(patched->NumRows(), v0.cur->NumRows() + 1);
@@ -315,7 +343,8 @@ TEST(IvmGraphChurnDifferentialTest, MixedChurnStaysMaintainableAndExact) {
       Delta::Delete("friend", {S(fx.cfg.Pid(0)), S("ivmdiff-new")}),
   };
   ASSERT_TRUE(engine.Apply(take_back).ok());
-  ASSERT_EQ(v0.maint->Refresh(take_back, v0.cur, &patched, &rs),
+  ASSERT_EQ(RefreshMaintained(&gate, v0.maint.get(), take_back, v0.cur,
+                              &patched, &rs),
             RefreshOutcome::kRefreshed);
   EXPECT_GE(rs.rows_removed, 1u);
   EXPECT_EQ(patched->NumRows(), v0.cur->NumRows() - 1);
@@ -346,8 +375,9 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
       std::make_shared<const Table>(std::move(first->table));
   size_t base_rows = cur->NumRows();
   ASSERT_GT(base_rows, 0u);
+  WriterPriorityGate gate;
   std::unique_ptr<PlanMaintenance> maint =
-      PlanMaintenance::Build((*pq)->physical, *cur);
+      BuildMaintained(&gate, (*pq)->physical, *cur);
   ASSERT_NE(maint, nullptr);
 
   // Batch 0 only *inserts* into the subtrahend: maintainable, and the
@@ -356,7 +386,7 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   ASSERT_TRUE(engine.Apply(grow).ok());
   std::shared_ptr<const Table> patched;
   RefreshStats rs;
-  ASSERT_EQ(maint->Refresh(grow, cur, &patched, &rs),
+  ASSERT_EQ(RefreshMaintained(&gate, maint.get(), grow, cur, &patched, &rs),
             RefreshOutcome::kRefreshed);
   EXPECT_EQ(patched->NumRows(), base_rows - 1);
   EXPECT_GE(rs.rows_removed, 1u);
@@ -370,7 +400,7 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   // recompute resurrects the suppressed row.
   std::vector<Delta> shrink = GraphChurnJuneBatch(fx.cfg, 4);
   ASSERT_TRUE(engine.Apply(shrink).ok());
-  EXPECT_EQ(maint->Refresh(shrink, cur, &patched, &rs),
+  EXPECT_EQ(RefreshMaintained(&gate, maint.get(), shrink, cur, &patched, &rs),
             RefreshOutcome::kNotMaintainable);
   fresh = engine.ExecutePrepared(**pq);
   ASSERT_TRUE(fresh.ok());
@@ -380,7 +410,7 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   // Dead handle stays dead, even for a maintainable-shaped batch.
   std::vector<Delta> benign = GraphChurnJuneBatch(fx.cfg, 1);
   ASSERT_TRUE(engine.Apply(benign).ok());
-  EXPECT_EQ(maint->Refresh(benign, cur, &patched, &rs),
+  EXPECT_EQ(RefreshMaintained(&gate, maint.get(), benign, cur, &patched, &rs),
             RefreshOutcome::kNotMaintainable);
 
   // Recovery: rebuild from a fresh post-`benign` execution; the new handle
@@ -388,11 +418,11 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   fresh = engine.ExecutePrepared(**pq);
   ASSERT_TRUE(fresh.ok());
   cur = std::make_shared<const Table>(std::move(fresh->table));
-  maint = PlanMaintenance::Build((*pq)->physical, *cur);
+  maint = BuildMaintained(&gate, (*pq)->physical, *cur);
   ASSERT_NE(maint, nullptr);
   std::vector<Delta> again = GraphChurnJuneBatch(fx.cfg, 2);
   ASSERT_TRUE(engine.Apply(again).ok());
-  ASSERT_EQ(maint->Refresh(again, cur, &patched, &rs),
+  ASSERT_EQ(RefreshMaintained(&gate, maint.get(), again, cur, &patched, &rs),
             RefreshOutcome::kRefreshed);
   fresh = engine.ExecutePrepared(**pq);
   ASSERT_TRUE(fresh.ok());

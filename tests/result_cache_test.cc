@@ -165,7 +165,13 @@ TEST(ResultCacheTest, RefreshWithoutHandlesSweepsStaleKeepsFresh) {
 
   // With no maintenance handles nothing can be patched: entries keyed at
   // `pre` or older are swept, entries already at `post` survive untouched.
-  serve::RefreshSummary sum = cache.Refresh({}, pre, post);
+  // Refresh() requires the caller's writer gate held exclusively.
+  WriterPriorityGate gate;
+  serve::RefreshSummary sum;
+  {
+    WriterGateLock wl(&gate);
+    sum = cache.Refresh(gate, {}, pre, post);
+  }
   EXPECT_EQ(sum.refreshed, 0u);
   EXPECT_EQ(sum.fallbacks, 0u);
   EXPECT_EQ(sum.swept, 2u);

@@ -109,5 +109,85 @@ TEST(WriterPriorityGateTest, TryLockVariants) {
   gate.unlock();
 }
 
+/// The priority rule, end to end and deterministically: once a writer is
+/// *queued* (not yet admitted), new readers are refused — try_lock_shared
+/// fails, and a blocking lock_shared parks until the writer has entered
+/// and left. Every wait point is observed, not slept on.
+TEST(WriterPriorityGateTest, QueuedWriterBlocksNewReaders) {
+  WriterPriorityGate gate;
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> late_reader_in{false};
+
+  gate.lock_shared();  // R0 holds; the writer below must queue behind it.
+  std::thread writer([&] {
+    std::unique_lock<WriterPriorityGate> w(gate);
+    writer_done.store(true);
+  });
+  // The moment the writer is registered, reader admission must close: spin
+  // until try_lock_shared refuses (it cannot refuse for any other reason —
+  // the only writer is queued behind our own shared hold).
+  while (gate.try_lock_shared()) {
+    gate.unlock_shared();
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(gate.try_lock());  // An active reader also blocks try_lock.
+
+  // A blocking reader arriving behind the queued writer must not enter
+  // until the writer has come and gone, no matter how the scheduler
+  // interleaves the two waiters.
+  std::thread late_reader([&] {
+    std::shared_lock<WriterPriorityGate> r(gate);
+    EXPECT_TRUE(writer_done.load()) << "reader admitted past a queued writer";
+    late_reader_in.store(true);
+  });
+
+  gate.unlock_shared();  // Release R0: writer first, then the late reader.
+  writer.join();
+  late_reader.join();
+  EXPECT_TRUE(late_reader_in.load());
+  EXPECT_TRUE(gate.try_lock_shared());  // Queue drained: admission reopens.
+  gate.unlock_shared();
+}
+
+/// Hammers the targeted-wake discipline in unlock/unlock_shared (a queued
+/// writer gets one Signal; readers get SignalAll only when no writer is
+/// queued). A dropped or misdirected wakeup deadlocks this test; the
+/// exclusion counters catch any admission past a live writer.
+TEST(WriterPriorityGateTest, SignalChainDrainsWriterConvoysAndReaders) {
+  WriterPriorityGate gate;
+  std::atomic<int> writers_inside{0};
+  std::atomic<bool> violated{false};
+  constexpr int kOps = 300;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {  // Convoys: writers outnumber reader threads.
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        std::unique_lock<WriterPriorityGate> w(gate);
+        if (writers_inside.fetch_add(1) != 0) violated.store(true);
+        writers_inside.fetch_sub(1);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        // Alternate blocking and try acquisition so the reader resume path
+        // (SignalAll after the last queued writer leaves) and the
+        // try-refusal path both run under churn.
+        if (i % 2 == 0) {
+          std::shared_lock<WriterPriorityGate> r(gate);
+          if (writers_inside.load() != 0) violated.store(true);
+        } else if (gate.try_lock_shared()) {
+          if (writers_inside.load() != 0) violated.store(true);
+          gate.unlock_shared();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
 }  // namespace
 }  // namespace bqe

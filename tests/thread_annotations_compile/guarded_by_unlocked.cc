@@ -1,0 +1,27 @@
+// Negative case: writes a GUARDED_BY field without holding its mutex.
+// Under clang -Werror=thread-safety this must FAIL to compile
+// (-Wthread-safety-analysis: writing variable requires holding mutex).
+// thread_annotations_compile_test.cc asserts the failure.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    total_ += d;  // BUG under test: mu_ not held.
+  }
+
+ private:
+  bqe::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

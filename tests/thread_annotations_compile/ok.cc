@@ -1,0 +1,34 @@
+// Positive control for the thread-annotation compile tests: a correctly
+// locked use of GUARDED_BY and REQUIRES. Must compile under every
+// supported compiler, with -Werror=thread-safety under clang — if this
+// file fails, the negative cases below prove nothing.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    bqe::MutexLock lk(&mu_);
+    AddLocked(d);
+  }
+  int Get() {
+    bqe::MutexLock lk(&mu_);
+    return total_;
+  }
+
+ private:
+  void AddLocked(int d) REQUIRES(mu_) { total_ += d; }
+
+  bqe::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Get() == 1 ? 0 : 1;
+}

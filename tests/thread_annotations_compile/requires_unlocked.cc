@@ -1,0 +1,29 @@
+// Negative case: calls a REQUIRES(mu_) function without acquiring the
+// mutex. Under clang -Werror=thread-safety this must FAIL to compile
+// (-Wthread-safety-analysis: calling function requires holding mutex).
+// thread_annotations_compile_test.cc asserts the failure.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    AddLocked(d);  // BUG under test: mu_ not held.
+  }
+
+ private:
+  void AddLocked(int d) REQUIRES(mu_) { total_ += d; }
+
+  bqe::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+/// Negative-compilation tests for the thread-safety annotations: the
+/// contracts in common/thread_annotations.h are only worth their keep if
+/// violating them actually breaks the build. Each case re-invokes the
+/// build's own compiler (-fsyntax-only) on a small source file under
+/// tests/thread_annotations_compile/ and asserts the exit status:
+///
+///   ok.cc                  — correctly locked; must compile everywhere
+///                            (proves the harness isn't failing for an
+///                            unrelated reason, e.g. a bad include path).
+///   guarded_by_unlocked.cc — GUARDED_BY field touched without the lock;
+///                            must FAIL under clang -Werror=thread-safety.
+///   requires_unlocked.cc   — REQUIRES function called without the lock;
+///                            must FAIL under clang -Werror=thread-safety.
+///
+/// Under GCC the annotations expand to nothing, so the negative cases are
+/// skipped (not passed): only the clang CI lane proves enforcement. The
+/// macros below are injected by CMake (target_compile_definitions).
+
+namespace bqe {
+namespace {
+
+/// Exit status of compiling one case file, or -1 if the compiler could not
+/// be launched at all.
+int CompileCase(const std::string& file, bool thread_safety) {
+  std::string cmd = std::string(BQE_COMPILE_TEST_CXX) +
+                    " -std=c++17 -fsyntax-only -I" BQE_COMPILE_TEST_INCLUDE;
+  if (thread_safety) cmd += " -Wthread-safety -Werror=thread-safety";
+  cmd += " " BQE_COMPILE_TEST_CASE_DIR "/" + file + " > /dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  return rc;
+}
+
+constexpr bool kIsClang = BQE_COMPILE_TEST_IS_CLANG != 0;
+
+TEST(ThreadAnnotationsCompileTest, CorrectlyLockedCodeCompiles) {
+  // Positive control, with the analysis on where available: a false
+  // positive in our annotations would surface here, not in CI noise.
+  EXPECT_EQ(CompileCase("ok.cc", /*thread_safety=*/kIsClang), 0)
+      << "harness broken: the correctly locked control case must compile";
+}
+
+TEST(ThreadAnnotationsCompileTest, GuardedByWithoutLockFailsToBuild) {
+  if (!kIsClang) {
+    GTEST_SKIP() << "capability analysis needs clang; annotations are no-ops "
+                    "under this compiler";
+  }
+  // Sanity: the file is valid C++ — it only dies under the analysis.
+  ASSERT_EQ(CompileCase("guarded_by_unlocked.cc", /*thread_safety=*/false), 0);
+  EXPECT_NE(CompileCase("guarded_by_unlocked.cc", /*thread_safety=*/true), 0)
+      << "unlocked write to a GUARDED_BY field compiled: the annotation "
+         "contract is not being enforced";
+}
+
+TEST(ThreadAnnotationsCompileTest, RequiresCalledUnlockedFailsToBuild) {
+  if (!kIsClang) {
+    GTEST_SKIP() << "capability analysis needs clang; annotations are no-ops "
+                    "under this compiler";
+  }
+  ASSERT_EQ(CompileCase("requires_unlocked.cc", /*thread_safety=*/false), 0);
+  EXPECT_NE(CompileCase("requires_unlocked.cc", /*thread_safety=*/true), 0)
+      << "calling a REQUIRES(mu) function without the lock compiled: the "
+         "annotation contract is not being enforced";
+}
+
+}  // namespace
+}  // namespace bqe

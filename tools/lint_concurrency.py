@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Lock-discipline lint for the bqe source tree.
+
+Three rules, enforced over src/ (see tools/static_analysis.sh and the CI
+static-analysis job):
+
+  1. memory-order   Every std::atomic access — .load()/.store()/RMW method
+                    calls, and operator forms (++, --, +=, assignment) on
+                    variables declared std::atomic — must name an explicit
+                    std::memory_order. Defaulted seq_cst hides the author's
+                    intent: an unannotated access is indistinguishable from
+                    one that was never thought about.
+  2. naked-mutex    std::mutex / std::shared_mutex (and friends) may appear
+                    only under src/common/: everything else must use the
+                    annotated bqe::Mutex / WriterPriorityGate wrappers so
+                    clang's capability analysis can see the locking.
+  3. bare-wait      Condition-variable waits must carry a predicate or be an
+                    explicit while-loop re-test. A bare `cv.wait(lk)` with no
+                    loop is a lost-wakeup / spurious-wakeup bug waiting to
+                    happen. (bqe::CondVar::Wait is predicate-free by design —
+                    the clang analysis cannot see through predicate lambdas —
+                    so its call sites are required to sit inside a while
+                    loop; this rule polices the std:: form.)
+
+A line may be exempted with a trailing `// lint:allow-concurrency(<rule>)`
+comment, but suppressions are honored ONLY under src/common/ — that is where
+the sanctioned primitives live, and the one place allowed to touch the raw
+std:: machinery. A suppression anywhere else is itself reported as a
+violation, so the suppression budget outside src/common/ is structurally
+zero.
+
+Usage: tools/lint_concurrency.py [path ...]     (default: src/)
+Exit status: 0 clean, 1 violations found.
+"""
+
+import os
+import re
+import sys
+
+# Atomic member functions that perform a load, store, or RMW and take an
+# optional trailing std::memory_order argument.
+ATOMIC_METHODS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    # atomic_flag's test_and_set is listed; its `clear` is not — that name
+    # collides with every container in the tree, and the codebase has no
+    # atomic_flag. Revisit if one ever appears.
+    "test_and_set",
+)
+
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)(" + "|".join(ATOMIC_METHODS) + r")\s*\("
+)
+
+# `std::atomic<...> name` / `std::atomic_bool name` declarations; used to
+# catch operator-form accesses (++x, x += d, x = v) that bypass the method
+# syntax and silently default to seq_cst.
+ATOMIC_DECL_RE = re.compile(
+    r"std\s*::\s*atomic(?:<[^;{}]*>|_\w+)?\s+(\w+)\s*[{=(;]"
+)
+
+NAKED_MUTEX_RE = re.compile(
+    r"std\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|std\s*::\s*condition_variable\b"
+    r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock)\b"
+)
+
+WAIT_CALL_RE = re.compile(r"(?:\.|->)(wait)\s*\(")
+
+SUPPRESS_RE = re.compile(r"//\s*lint:allow-concurrency\((memory-order|naked-mutex|bare-wait)\)")
+
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_strings_and_line_comments(line):
+    """Blanks out string/char literals and // comments (keeps length)."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if c != in_str else c)
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # Rest of line is a comment.
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class FileScanner:
+    """One file's lines with comments/strings stripped, plus block-comment
+    state carried across lines, so the rules see only code."""
+
+    def __init__(self, path, raw_lines):
+        self.path = path
+        self.raw = raw_lines
+        self.code = []
+        in_block = False
+        for line in raw_lines:
+            kept = []
+            i, n = 0, len(line)
+            while i < n:
+                if in_block:
+                    end = line.find("*/", i)
+                    if end < 0:
+                        i = n
+                    else:
+                        in_block = False
+                        i = end + 2
+                    continue
+                start = line.find("/*", i)
+                if start < 0:
+                    kept.append(line[i:])
+                    break
+                kept.append(line[i:start])
+                in_block = True
+                i = start + 2
+            self.code.append(strip_strings_and_line_comments("".join(kept)))
+
+    def balanced_args(self, line_idx, open_pos):
+        """Returns (argtext, top_level_commas) for the paren group opening at
+        code[line_idx][open_pos], following continuation lines."""
+        depth = 0
+        args = []
+        commas = 0
+        li, ci = line_idx, open_pos
+        while li < len(self.code):
+            line = self.code[li]
+            while ci < len(line):
+                c = line[ci]
+                if c in "([{":
+                    depth += 1
+                elif c in ")]}":
+                    depth -= 1
+                    if depth == 0:
+                        return "".join(args), commas
+                elif c == "," and depth == 1:
+                    commas += 1
+                if depth >= 1 and not (depth == 1 and c == "("):
+                    args.append(c)
+                ci += 1
+            args.append(" ")
+            li += 1
+            ci = 0
+        return "".join(args), commas  # Unbalanced (EOF): best effort.
+
+
+def in_common(path):
+    norm = path.replace(os.sep, "/")
+    return "/src/common/" in norm or norm.startswith("src/common/")
+
+
+def scan_file(path):
+    violations = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        return [(path, 0, "io", str(e))]
+    sc = FileScanner(path, raw)
+    allowed_here = in_common(path)
+
+    suppressed = {}  # line index -> rule name
+    for idx, line in enumerate(raw):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            if allowed_here:
+                suppressed[idx] = m.group(1)
+            else:
+                violations.append(
+                    (path, idx + 1, "suppression",
+                     "lint:allow-concurrency is honored only under "
+                     "src/common/ — fix the code instead")
+                )
+
+    atomic_names = set()
+    for line in sc.code:
+        for m in ATOMIC_DECL_RE.finditer(line):
+            atomic_names.add(m.group(1))
+
+    atomic_op_res = []
+    for name in atomic_names:
+        atomic_op_res.append(
+            (name,
+             re.compile(
+                 r"(\+\+|--)\s*" + re.escape(name) + r"\b"
+                 r"|\b" + re.escape(name) + r"\s*(\+\+|--|\+=|-=|\|=|&=|\^=)"
+                 r"|\b" + re.escape(name) + r"\s*=(?![=])"))
+        )
+
+    for idx, line in enumerate(sc.code):
+        # Rule 1a: method-form atomic accesses must name a memory_order.
+        for m in ATOMIC_CALL_RE.finditer(line):
+            open_pos = line.find("(", m.end() - 1)
+            args, _ = sc.balanced_args(idx, open_pos)
+            if "memory_order" not in args:
+                if suppressed.get(idx) == "memory-order":
+                    continue
+                violations.append(
+                    (path, idx + 1, "memory-order",
+                     f".{m.group(1)}() without an explicit std::memory_order")
+                )
+
+        # Rule 1b: operator-form accesses on declared atomics.
+        for name, op_re in atomic_op_res:
+            m = op_re.search(line)
+            if m is None:
+                continue
+            # Skip the declaration line itself: `std::atomic<int> x = 0;`
+            # is construction, not an ordered access.
+            if ATOMIC_DECL_RE.search(line):
+                continue
+            if suppressed.get(idx) == "memory-order":
+                continue
+            violations.append(
+                (path, idx + 1, "memory-order",
+                 f"operator access on std::atomic '{name}' (implicit "
+                 "seq_cst); use .load/.store/.fetch_* with an explicit "
+                 "std::memory_order")
+            )
+
+        # Rule 2: raw std:: locking vocabulary outside src/common/.
+        m = NAKED_MUTEX_RE.search(line)
+        if m and not allowed_here:
+            if suppressed.get(idx) == "naked-mutex":
+                continue  # Unreachable outside common; kept for symmetry.
+            violations.append(
+                (path, idx + 1, "naked-mutex",
+                 f"'{m.group(0)}' outside src/common/ — use bqe::Mutex / "
+                 "bqe::MutexLock / WriterPriorityGate so the capability "
+                 "analysis can see the locking")
+            )
+        elif m and allowed_here and suppressed.get(idx) != "naked-mutex" \
+                and "mutex.h" not in os.path.basename(path) \
+                and "rw_gate.h" not in os.path.basename(path):
+            violations.append(
+                (path, idx + 1, "naked-mutex",
+                 f"'{m.group(0)}' in src/common/ outside the sanctioned "
+                 "wrappers; annotate it or add "
+                 "lint:allow-concurrency(naked-mutex)")
+            )
+
+        # Rule 3: predicate-free waits.
+        for m in WAIT_CALL_RE.finditer(line):
+            open_pos = line.find("(", m.end() - 1)
+            _, commas = sc.balanced_args(idx, open_pos)
+            if commas == 0:
+                if suppressed.get(idx) == "bare-wait":
+                    continue
+                violations.append(
+                    (path, idx + 1, "bare-wait",
+                     ".wait() without a predicate — pass one, or re-test "
+                     "the condition in a while loop around bqe::CondVar::"
+                     "Wait")
+                )
+
+    return violations
+
+
+def collect_files(paths):
+    exts = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, _dirs, files in os.walk(p):
+            for f in sorted(files):
+                if f.endswith(exts):
+                    out.append(os.path.join(root, f))
+    return out
+
+
+def main(argv):
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = argv[1:] or [os.path.join(repo, "src")]
+    files = collect_files(paths)
+    if not files:
+        print("lint_concurrency: no input files", file=sys.stderr)
+        return 1
+    violations = []
+    for f in files:
+        violations.extend(scan_file(f))
+    for path, lineno, rule, msg in violations:
+        rel = os.path.relpath(path, repo)
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_concurrency: {len(violations)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_concurrency: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# One-command local run of the static-analysis lane (mirrors the CI
+# `static-analysis` job):
+#
+#   tools/static_analysis.sh
+#
+# Stages, each skipped with a notice when its toolchain is absent:
+#   1. lock-discipline lint (always — needs only python3)
+#   2. clang build with -Werror=thread-safety + full ctest
+#   3. clang-tidy (curated .clang-tidy profile) over src/
+#   4. ASan+UBSan build + full ctest (any compiler)
+#
+# Logs land in build-analysis/logs/ — the same files CI uploads as
+# artifacts. Exit status is non-zero if any stage that ran failed.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+LOGS="$ROOT/build-analysis/logs"
+mkdir -p "$LOGS"
+failed=0
+note() { printf '== %s\n' "$*"; }
+
+# ---- 1. lock-discipline lint -------------------------------------------
+note "lint_concurrency over src/"
+if python3 "$ROOT/tools/lint_concurrency.py" | tee "$LOGS/lint_concurrency.log"; then
+  :
+else
+  failed=1
+fi
+
+# ---- 2. clang thread-safety build + tests ------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  note "clang -Werror=thread-safety build + ctest"
+  if cmake -B "$ROOT/build-analysis/clang" -S "$ROOT" \
+        -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        > "$LOGS/clang_configure.log" 2>&1 \
+     && cmake --build "$ROOT/build-analysis/clang" -j"$(nproc)" \
+        > "$LOGS/clang_build.log" 2>&1 \
+     && ctest --test-dir "$ROOT/build-analysis/clang" --output-on-failure \
+        -j"$(nproc)" > "$LOGS/clang_ctest.log" 2>&1; then
+    echo "clang thread-safety lane: OK"
+  else
+    echo "clang thread-safety lane: FAILED (see $LOGS/clang_*.log)"
+    failed=1
+  fi
+
+  # ---- 3. clang-tidy ----------------------------------------------------
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    note "clang-tidy over src/"
+    if run-clang-tidy -quiet -p "$ROOT/build-analysis/clang" \
+          "$ROOT/src/.*" > "$LOGS/clang_tidy.log" 2>&1; then
+      echo "clang-tidy: OK"
+    else
+      echo "clang-tidy: FAILED (see $LOGS/clang_tidy.log)"
+      failed=1
+    fi
+  else
+    note "run-clang-tidy not found; skipping clang-tidy stage"
+  fi
+else
+  note "clang++ not found; skipping thread-safety and clang-tidy stages" \
+       "(CI runs them — annotations are no-ops under gcc)"
+fi
+
+# ---- 4. sanitizers ------------------------------------------------------
+note "ASan+UBSan build + ctest"
+if cmake -B "$ROOT/build-analysis/san" -S "$ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+      > "$LOGS/san_configure.log" 2>&1 \
+   && cmake --build "$ROOT/build-analysis/san" -j"$(nproc)" \
+      > "$LOGS/san_build.log" 2>&1 \
+   && ctest --test-dir "$ROOT/build-analysis/san" --output-on-failure \
+      -j"$(nproc)" > "$LOGS/san_ctest.log" 2>&1; then
+  echo "sanitizer lane: OK"
+else
+  echo "sanitizer lane: FAILED (see $LOGS/san_*.log)"
+  failed=1
+fi
+
+if [ "$failed" -ne 0 ]; then
+  note "static analysis: FAILURES (logs in $LOGS)"
+else
+  note "static analysis: all stages that ran are clean (logs in $LOGS)"
+fi
+exit "$failed"
