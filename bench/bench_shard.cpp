@@ -1,0 +1,269 @@
+// Hash-partitioned multi-engine sharding under a read-heavy graph_churn
+// serving mix: N BoundedEngine shards behind the scatter/gather facade
+// (cluster/sharded_engine.h), measured at shards in {1, 2, 4}.
+//
+// Two phases per shard count:
+//
+//   correctness  serial differential — every query answered by the sharded
+//                engine must be *byte-identical* (row for row) to a
+//                single-engine row-path execution on identical data, both
+//                before and after delta churn. Summary metric `correct`.
+//   throughput   4 client threads issue prepared covered executions in a
+//                closed loop while one writer applies delta batches. With
+//                one shard every Apply writer-locks the only gate and
+//                stalls every reader; with N shards it locks only the
+//                touched shards, so read qps should climb with N on real
+//                cores (`qps_multiple` = qps at 4 shards / qps at 1).
+//
+// The >= 1.5x qps_multiple acceptance number is a Release measurement on
+// >= 4 real cores; a 1-2 core CI runner only smoke-checks engagement
+// (scatter tasks > 0, correct == 1) — the CI gate is conditioned on `hw`.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/sharded_engine.h"
+#include "core/engine.h"
+#include "workload/graph_churn.h"
+
+namespace bqe {
+namespace bench {
+namespace {
+
+constexpr int kQueries = 6;
+constexpr int kClientThreads = 4;
+constexpr int kReadsPerThread = 120;
+constexpr int kChurnBatches = 10;  // Pre/post correctness churn per side.
+
+workload::GraphChurnConfig BenchConfig() {
+  workload::GraphChurnConfig cfg;
+  cfg.pids = 50;
+  cfg.friends_per_pid = 20;
+  cfg.cafes = 200;
+  return cfg;
+}
+
+EngineOptions RowPathOptions() {
+  EngineOptions opts;
+  opts.exec_threads = 1;
+  opts.row_path_threshold = ~size_t{0};
+  return opts;
+}
+
+cluster::ShardedOptions MakeShardedOptions(size_t shards) {
+  cluster::ShardedOptions opts;
+  opts.shards = shards;
+  opts.slots = 256;
+  opts.engine.exec_threads = 1;
+  return opts;
+}
+
+std::vector<RaExprPtr> Queries(const workload::GraphChurnConfig& cfg) {
+  std::vector<RaExprPtr> qs;
+  for (int i = 0; i < kQueries; ++i) {
+    qs.push_back(workload::FriendsNycCafesQuery(cfg.Pid(i)));
+  }
+  return qs;
+}
+
+bool RowForRowEqual(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  for (size_t r = 0; r < a.rows().size(); ++r) {
+    if (!(a.rows()[r] == b.rows()[r])) return false;
+  }
+  return true;
+}
+
+/// Serial differential vs a single-engine row-path oracle, across churn.
+/// Returns false on any divergence (and says where).
+bool CheckCorrectness(cluster::ShardedEngine& sharded, size_t shards) {
+  workload::GraphChurnFixture fx =
+      workload::MakeGraphChurnFixture(BenchConfig());
+  BoundedEngine oracle(&fx.db, fx.schema, RowPathOptions());
+  if (!oracle.BuildIndices().ok()) return false;
+  std::vector<RaExprPtr> qs = Queries(fx.cfg);
+
+  auto phase = [&](const char* name) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      Result<ExecuteResult> want = oracle.Execute(qs[i]);
+      Result<ExecuteResult> got = sharded.Execute(qs[i]);
+      if (!want.ok() || !got.ok() ||
+          !RowForRowEqual(got->table, want->table)) {
+        std::fprintf(stderr,
+                     "correctness: shards=%zu %s query %zu diverged\n",
+                     shards, name, i);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!phase("pre-churn")) return false;
+  for (int b = 0; b < kChurnBatches; ++b) {
+    std::vector<Delta> batch =
+        workload::GraphChurnMixedBatch(fx.cfg, "shardbench", b);
+    if (!oracle.Apply(batch).ok() || !sharded.Apply(batch).ok()) {
+      std::fprintf(stderr, "correctness: shards=%zu batch %d failed\n",
+                   shards, b);
+      return false;
+    }
+  }
+  return phase("post-churn");
+}
+
+struct ThroughputResult {
+  double qps = 0;
+  double wall_ms = 0;
+  uint64_t reads = 0;
+  uint64_t batches = 0;
+  uint64_t errors = 0;
+  uint64_t scatter_tasks = 0;
+};
+
+/// Closed-loop read storm against concurrent churn: fixed reads per client,
+/// writer churns until the last reader finishes.
+ThroughputResult RunThroughput(cluster::ShardedEngine& sharded, int reps) {
+  workload::GraphChurnConfig cfg = BenchConfig();
+  std::vector<RaExprPtr> qs = Queries(cfg);
+  // Prepare once outside the loop: the serving regime this measures is
+  // plan-cache-warm, per-execution scatter/gather only.
+  std::vector<std::shared_ptr<const PreparedQuery>> prepared;
+  for (const RaExprPtr& q : qs) {
+    Result<std::shared_ptr<const PreparedQuery>> pq =
+        sharded.PrepareCompiled(q);
+    if (!pq.ok()) return {};
+    prepared.push_back(*pq);
+  }
+
+  ThroughputResult out;
+  const int reads_per_thread = kReadsPerThread * reps;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> batches{0};
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread writer([&] {
+    for (int b = 0; !stop.load(std::memory_order_acquire); ++b) {
+      if (sharded.Apply(workload::GraphChurnMixedBatch(cfg, "churn", b))
+              .ok()) {
+        batches.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < reads_per_thread; ++i) {
+        const PreparedQuery& pq =
+            *prepared[static_cast<size_t>(t * 13 + i) % prepared.size()];
+        Result<ExecuteResult> r = sharded.ExecutePrepared(
+            pq, static_cast<uint64_t>(t + 1), /*num_threads=*/1);
+        if (!r.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.reads = static_cast<uint64_t>(kClientThreads) *
+              static_cast<uint64_t>(reads_per_thread);
+  out.qps = out.wall_ms <= 0
+                ? 0.0
+                : static_cast<double>(out.reads) / (out.wall_ms / 1000.0);
+  out.batches = batches.load(std::memory_order_relaxed);
+  out.errors = errors.load(std::memory_order_relaxed);
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    out.scatter_tasks += sharded.shard_stats(s).scatter_tasks;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = ParseBenchOptions(argc, argv);
+  unsigned hw = std::thread::hardware_concurrency();
+  BenchReport report("shard", opts.reps);
+  PrintHeader("Sharded scatter/gather serving (graph_churn, read-heavy)");
+  std::printf("%8s %10s %10s %10s %9s %8s %8s\n", "shards", "qps", "reads",
+              "wall_ms", "scatter", "batches", "correct");
+
+  bool all_correct = true;
+  double qps1 = 0, qps4 = 0;
+  uint64_t scatter4 = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    workload::GraphChurnFixture fx =
+        workload::MakeGraphChurnFixture(BenchConfig());
+    Result<std::unique_ptr<cluster::ShardedEngine>> eng =
+        cluster::ShardedEngine::Create(fx.db, fx.schema,
+                                       MakeShardedOptions(shards));
+    if (!eng.ok()) {
+      std::fprintf(stderr, "Create(%zu): %s\n", shards,
+                   eng.status().ToString().c_str());
+      return 1;
+    }
+    bool correct = CheckCorrectness(**eng, shards);
+    all_correct = all_correct && correct;
+
+    // Fresh engine for the timed phase: the correctness churn above must
+    // not skew per-shard data between shard counts.
+    workload::GraphChurnFixture fresh =
+        workload::MakeGraphChurnFixture(BenchConfig());
+    Result<std::unique_ptr<cluster::ShardedEngine>> timed =
+        cluster::ShardedEngine::Create(fresh.db, fresh.schema,
+                                       MakeShardedOptions(shards));
+    if (!timed.ok()) return 1;
+    ThroughputResult tr = RunThroughput(**timed, opts.reps);
+    if (tr.errors > 0) all_correct = false;
+    if (shards == 1) qps1 = tr.qps;
+    if (shards == 4) {
+      qps4 = tr.qps;
+      scatter4 = tr.scatter_tasks;
+    }
+
+    std::printf("%8zu %10.0f %10llu %10.1f %9llu %8llu %8s\n", shards,
+                tr.qps, static_cast<unsigned long long>(tr.reads),
+                tr.wall_ms, static_cast<unsigned long long>(tr.scatter_tasks),
+                static_cast<unsigned long long>(tr.batches),
+                correct ? "yes" : "NO");
+    report.AddCell("graph_churn")
+        .Label("mode", "shards")
+        .Label("shards", static_cast<int64_t>(shards))
+        .Metric("qps", tr.qps)
+        .Metric("reads", static_cast<double>(tr.reads))
+        .Metric("wall_ms", tr.wall_ms)
+        .Metric("scatter_tasks", static_cast<double>(tr.scatter_tasks))
+        .Metric("delta_batches", static_cast<double>(tr.batches))
+        .Metric("errors", static_cast<double>(tr.errors))
+        .Metric("correct", correct ? 1 : 0);
+  }
+
+  double qps_multiple = qps1 <= 0 ? 0.0 : qps4 / qps1;
+  std::printf("\nsummary: correct=%d qps_multiple=%.2f hw=%u\n",
+              all_correct ? 1 : 0, qps_multiple, hw);
+  report.AddCell("graph_churn")
+      .Label("mode", "summary")
+      .Metric("correct", all_correct ? 1 : 0)
+      .Metric("qps_multiple", qps_multiple)
+      .Metric("hw", static_cast<double>(hw))
+      .Metric("threads", static_cast<double>(kClientThreads))
+      .Metric("scatter_tasks", static_cast<double>(scatter4));
+  if (!report.WriteJson(opts.json_path)) return 1;
+  return all_correct ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bqe
+
+int main(int argc, char** argv) { return bqe::bench::Main(argc, argv); }

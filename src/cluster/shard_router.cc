@@ -1,0 +1,87 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bqe {
+namespace cluster {
+
+namespace {
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int Log2(size_t v) {
+  int bits = 0;
+  while ((size_t{1} << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Result<ShardRouter> ShardRouter::Build(const AccessSchema& schema,
+                                       const Catalog& catalog, size_t slots,
+                                       size_t shards) {
+  if (shards == 0) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  if (!IsPowerOfTwo(slots)) {
+    return Status::InvalidArgument(
+        StrCat("slot count must be a power of two, got ", slots));
+  }
+  if (slots < shards) {
+    return Status::InvalidArgument(
+        StrCat("slot count ", slots, " < shard count ", shards));
+  }
+  ShardRouter r;
+  r.slots_ = slots;
+  r.shards_ = shards;
+  r.shift_ = 64 - Log2(slots);
+  r.x_cols_.resize(schema.constraints().size());
+  for (const AccessConstraint& c : schema.constraints()) {
+    BQE_ASSIGN_OR_RETURN(const RelationSchema* rs, catalog.Require(c.rel));
+    std::vector<int>& cols = r.x_cols_[static_cast<size_t>(c.id)];
+    cols.reserve(c.x.size());
+    for (const std::string& a : c.x) {
+      BQE_ASSIGN_OR_RETURN(int i, rs->RequireAttr(a));
+      cols.push_back(i);
+    }
+    r.by_rel_[c.rel].push_back(c.id);
+  }
+  return r;
+}
+
+size_t ShardRouter::SlotOfKey(const Tuple& key) const {
+  std::string enc;
+  AppendEncodedTuple(key, &enc);
+  return SlotOfEncoded(enc);
+}
+
+const std::vector<int>& ShardRouter::ConstraintsFor(
+    const std::string& rel) const {
+  auto it = by_rel_.find(rel);
+  return it != by_rel_.end() ? it->second : no_constraints_;
+}
+
+std::vector<size_t> ShardRouter::ShardsOfRow(const std::string& rel,
+                                             const Tuple& row) const {
+  std::vector<size_t> out;
+  for (int c : ConstraintsFor(rel)) {
+    size_t s = ShardOfKey(FetchKeyFor(c, row));
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<Delta>> ShardRouter::SplitDeltas(
+    const std::vector<Delta>& deltas) const {
+  std::vector<std::vector<Delta>> split(shards_);
+  for (const Delta& d : deltas) {
+    for (size_t s : ShardsOfRow(d.rel, d.row)) split[s].push_back(d);
+  }
+  return split;
+}
+
+}  // namespace cluster
+}  // namespace bqe

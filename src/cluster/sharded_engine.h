@@ -1,0 +1,217 @@
+#ifndef BQE_CLUSTER_SHARDED_ENGINE_H_
+#define BQE_CLUSTER_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_router.h"
+#include "common/rw_gate.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "constraints/access_schema.h"
+#include "constraints/maintain.h"
+#include "core/engine.h"
+#include "storage/database.h"
+
+namespace bqe {
+namespace cluster {
+
+/// Configuration of the sharded engine.
+struct ShardedOptions {
+  /// Number of in-process BoundedEngine shards.
+  size_t shards = 2;
+  /// Slot-map size (power of two >= shards). Keys hash to slots, slots map
+  /// to shards by modulo; see ShardRouter.
+  size_t slots = 256;
+  /// Per-shard engine configuration. `baseline_fallback` is forced off on
+  /// the shards (a baseline over a partial database would answer wrongly);
+  /// non-covered queries run on the full-copy fallback replica instead.
+  EngineOptions engine;
+  /// Keep a full (unsharded) database + engine for non-covered queries.
+  /// When off, Execute() returns NotCovered for them.
+  bool fallback_replica = true;
+};
+
+/// Per-shard observability snapshot; see ShardedEngine::shard_stats().
+struct ShardStatsSnapshot {
+  CoherenceSnapshot coherence;   ///< This shard's (schema, data) epochs.
+  uint64_t scatter_tasks = 0;    ///< Scatter fetch tasks executed here.
+  uint64_t delta_batches = 0;    ///< Sub-batches routed here by Apply().
+  uint64_t deltas_routed = 0;    ///< Deltas those sub-batches carried.
+};
+
+/// N in-process BoundedEngine shards behind one engine-shaped facade:
+/// each shard owns a hash-partitioned replica of the database, its own
+/// IndexSet, plan cache and writer-priority gate, so readers on different
+/// shards share nothing and a delta batch writer-locks only the shards
+/// whose slots it touches.
+///
+/// Partitioning invariant: a base row is replicated to every shard owning
+/// one of its fetch keys (ShardRouter::ShardsOfRow), so for any key the
+/// *owning* shard's AccessIndex bucket equals the single-engine bucket
+/// byte-for-byte — and scatter/gather execution, which only ever probes
+/// owners, returns row streams byte-identical to the single-engine row
+/// path (tests/sharded_engine_test.cc pins this differentially). Non-owner
+/// shards may hold partial buckets for foreign keys; they are never probed,
+/// and a partial bucket is a subset of the full one, so no shard ever sees
+/// a *larger* bucket than the constraint's bound admits.
+///
+/// Execution: planning (coverage, minimization, plan generation,
+/// compilation) runs on one fingerprint-routed shard — spreading plan-cache
+/// contention across shards — and the resulting BoundedPlan is interpreted
+/// centrally. Only kFetch steps scatter: distinct probe keys group by
+/// owning shard and fan out as one tagged WorkerPool task per engaged
+/// shard, each fetching under that shard's reader gate; results gather in
+/// key order. Cross-shard set ops (difference, dedupe-union, dedupe)
+/// finish centrally on encoded keys via the KeyTable/PartitionedKeyTable
+/// kernels, which agree with the row path's tuple-hash dedupe because the
+/// key codec makes Value-equality and byte-equality coincide.
+///
+/// Consistency: a direct caller gets per-fetch atomicity (each scatter task
+/// snapshots its shard under the shard gate; two fetch steps of one query
+/// may observe different epochs if a concurrent Apply lands between them).
+/// The serving layer's sharded mode (serve/QueryService) layers its global
+/// writer-priority gate above the shard gates — global first, then shards,
+/// so lock order is acyclic — restoring whole-query snapshot isolation
+/// exactly as in single-engine mode.
+class ShardedEngine {
+ public:
+  /// Builds the shards: per shard a fresh Database holding its owned rows,
+  /// an AccessSchema copy, a BoundedEngine with built indices and a gate;
+  /// plus the fallback replica when configured. Fails if the data violates
+  /// the schema (same contract as BoundedEngine::BuildIndices).
+  static Result<std::unique_ptr<ShardedEngine>> Create(
+      const Database& db, const AccessSchema& schema, ShardedOptions opts);
+
+  /// Cached planning on the fingerprint-routed shard. The returned plan's
+  /// physical bindings refer to that shard's IndexSet; scatter execution
+  /// re-resolves indices per shard from the logical plan, and the IVM seam
+  /// (RoutedFetch) re-routes its fetches, so the bindings never leak
+  /// cross-shard.
+  Result<std::shared_ptr<const PreparedQuery>> PrepareCompiled(
+      const RaExprPtr& query, bool* cache_hit = nullptr) const;
+
+  /// StillCoherent on the shard that prepared `fingerprint`.
+  bool StillCoherent(const std::string& fingerprint,
+                     const PreparedQuery& pq) const;
+
+  /// Full pipeline: plan on the routed shard, scatter/gather when covered,
+  /// fallback replica otherwise (NotCovered when the replica is off).
+  Result<ExecuteResult> Execute(const RaExprPtr& query) const;
+
+  /// Scatter/gather execution of an already prepared covered query.
+  /// `task_tag` labels the scatter tasks in the shared WorkerPool;
+  /// `num_threads` caps concurrent scatter tasks (0 = auto). Fails with
+  /// FailedPrecondition for non-covered preparations.
+  Result<ExecuteResult> ExecutePrepared(const PreparedQuery& pq,
+                                        uint64_t task_tag = 0,
+                                        size_t num_threads = 0) const;
+
+  /// Interprets a covered logical plan through the shards (the scatter/
+  /// gather core of ExecutePrepared, exposed for differential tests that
+  /// hand-build plans).
+  Result<Table> ExecutePlanScattered(const BoundedPlan& plan,
+                                     uint64_t task_tag = 0,
+                                     size_t num_threads = 0,
+                                     ExecStats* stats = nullptr) const;
+
+  /// Splits the batch by slot, writer-locks exactly the touched shards (in
+  /// ascending shard order, then the replica — acyclic, so concurrent
+  /// Apply calls cannot deadlock) and applies each sub-batch under its
+  /// shard's gate; reads on untouched shards proceed throughout. Returns
+  /// the logical (whole-batch) maintenance stats. A kStrict rejection is
+  /// only atomic per shard: the owning shard of a violated key rejects
+  /// exactly like the single engine, but sub-batches already applied on
+  /// other shards stay applied — callers needing atomic rejection should
+  /// validate with kStrict on a single engine first (the serving layer
+  /// applies under its global writer gate, where the failed batch surfaces
+  /// as an error and the epochs still advance coherently).
+  Result<MaintenanceStats> Apply(
+      const std::vector<Delta>& deltas,
+      OverflowPolicy policy = OverflowPolicy::kGrow);
+
+  /// The batch behind the latest data-epoch bump (the cleanly applied
+  /// *logical* batch, not a per-shard split). Same external-serialization
+  /// contract as BoundedEngine::last_applied().
+  const AppliedBatch& last_applied() const { return last_applied_; }
+
+  /// Merged lock-free coherence: the component-wise *sum* of every shard's
+  /// (and the replica's) snapshot. Each component is monotone
+  /// non-decreasing, so the sum changes iff some component changed — a
+  /// valid result-cache key with the same torn-pair-misses-never-serves-
+  /// stale property as the single-engine snapshot.
+  CoherenceSnapshot Coherence() const;
+
+  /// The fetch seam for result maintenance (exec/ivm): fetches `key` from
+  /// the *owning shard's* index for the binding's constraint, so handles
+  /// built against one shard's plan refresh with exactly the rows scatter
+  /// execution would have gathered. Callers must hold the serving
+  /// discipline's global gate (shared or exclusive), which serializes
+  /// against Apply(); no shard gate is taken here.
+  std::vector<Tuple> RoutedFetch(const AccessIndex& binding,
+                                 const Tuple& key) const;
+
+  /// Installs the hook on every shard's IndexSet (and the replica's).
+  /// Counts as maintenance: externally serialize like a writer.
+  void SetFreezeHook(AccessIndex::FreezeHook hook) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+
+  /// Per-shard counters + epochs; lock-free.
+  ShardStatsSnapshot shard_stats(size_t shard) const;
+
+  /// Plan-cache counters folded over all shards (replica excluded: its
+  /// cache only serves non-covered fallbacks).
+  PlanCacheStats plan_cache_stats() const;
+
+  /// Direct shard access for tests/diagnostics.
+  const BoundedEngine& shard_engine(size_t shard) const {
+    return *shards_[shard]->engine;
+  }
+  const BoundedEngine* replica() const {
+    return replica_ != nullptr ? replica_->engine.get() : nullptr;
+  }
+
+ private:
+  /// One shard: its database slice, engine and gate. Heap-held (the gate
+  /// is neither movable nor copyable).
+  struct Shard {
+    std::unique_ptr<Database> db;
+    std::unique_ptr<BoundedEngine> engine;
+    /// Readers (scatter tasks, replica fallbacks) take the shared side;
+    /// Apply takes the exclusive side of every *touched* shard.
+    mutable WriterPriorityGate gate;
+    /// Mutable: const read paths (scatter tasks) count themselves.
+    mutable std::atomic<uint64_t> scatter_tasks_ctr{0};
+    std::atomic<uint64_t> delta_batches_ctr{0};
+    std::atomic<uint64_t> deltas_routed_ctr{0};
+  };
+
+  ShardedEngine() = default;
+
+  size_t PlanningShard(const std::string& fingerprint) const;
+
+  /// The scatter/gather kFetch step: distinct input keys in first-seen
+  /// order, grouped by owning shard, fetched under each engaged shard's
+  /// reader gate (one tagged WorkerPool task per shard), gathered in key
+  /// order into `out`.
+  Status ScatterFetch(const BoundedPlan& plan, const PlanStep& s,
+                      const std::vector<Tuple>& input, uint64_t task_tag,
+                      size_t num_threads, ExecStats* st,
+                      std::vector<Tuple>* out) const;
+
+  ShardRouter router_;
+  ShardedOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Shard> replica_;  ///< Full copy; null when disabled.
+  AppliedBatch last_applied_;
+};
+
+}  // namespace cluster
+}  // namespace bqe
+
+#endif  // BQE_CLUSTER_SHARDED_ENGINE_H_

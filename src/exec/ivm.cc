@@ -152,12 +152,14 @@ PlanMaintenance::~PlanMaintenance() = default;
 
 std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
     const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
-    const Table& result, size_t max_bytes, bool* size_exceeded) {
+    const Table& result, size_t max_bytes, bool* size_exceeded,
+    IndexFetchFn fetch) {
   (void)gate;  // Capability parameter: the REQUIRES_SHARED contract is it.
   if (size_exceeded != nullptr) *size_exceeded = false;
   if (plan == nullptr) return nullptr;
   std::unique_ptr<PlanMaintenance> m(new PlanMaintenance());
   m->plan_ = std::move(plan);
+  m->fetch_ = std::move(fetch);
   const std::vector<PhysicalOp>& ops = m->plan_->ops();
   const int output = m->plan_->output();
   if (output < 0 || output >= static_cast<int>(ops.size())) return nullptr;
@@ -195,7 +197,7 @@ std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
           }
           e.key = key;
           e.count = 1;
-          e.bucket = op.index->Fetch(key);
+          e.bucket = m->FetchVia(*op.index, key);
           *bytes += TupleBytes(key) + kEntryOverhead;
           for (const Tuple& r : e.bucket) {
             *bytes += TupleBytes(r);
@@ -398,7 +400,7 @@ RefreshOutcome PlanMaintenance::Refresh(
             }
             e.key = key;
             e.count = 1;
-            e.bucket = op.index->Fetch(key);
+            e.bucket = FetchVia(*op.index, key);
             *bytes += TupleBytes(key) + kEntryOverhead;
             for (const Tuple& r : e.bucket) {
               *bytes += TupleBytes(r);
@@ -416,7 +418,7 @@ RefreshOutcome PlanMaintenance::Refresh(
             auto it = st.probed.find(Enc(key));
             if (it == st.probed.end()) continue;  // Key never probed.
             FetchEntry& e = it->second;
-            std::vector<Tuple> now = op.index->Fetch(key);
+            std::vector<Tuple> now = FetchVia(*op.index, key);
             DiffDistinct(e.bucket, now, &out);
             for (const Tuple& r : e.bucket) SubBytes(bytes, TupleBytes(r));
             for (const Tuple& r : now) *bytes += TupleBytes(r);

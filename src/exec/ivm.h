@@ -2,6 +2,7 @@
 #define BQE_EXEC_IVM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -14,6 +15,18 @@
 #include "storage/table.h"
 
 namespace bqe {
+
+/// Fetch indirection for maintenance replay/refresh: given the plan's
+/// *bound* AccessIndex for a fetch step and a probe key, return the bucket
+/// rows. The default (an empty function) probes the binding directly —
+/// correct when the binding indexes the full database. A sharded engine
+/// passes its router here instead, so the probe goes to the *owning
+/// shard's* index for that key (the binding belongs to whichever shard
+/// planned the query and holds only a partial replica); the binding still
+/// supplies all per-constraint metadata (FetchKeyOf, constraint id), which
+/// is schema-determined and identical across shards.
+using IndexFetchFn =
+    std::function<std::vector<Tuple>(const AccessIndex&, const Tuple&)>;
 
 /// Outcome of one PlanMaintenance::Refresh().
 enum class RefreshOutcome {
@@ -97,11 +110,14 @@ class PlanMaintenance {
   /// unbounded; `*size_exceeded` is always written when the pointer is
   /// given (false on every other outcome, success included).
   /// `gate` is the serving gate whose (at least shared) hold keeps the
-  /// replayed tables stable for the duration of the build.
+  /// replayed tables stable for the duration of the build. `fetch` (when
+  /// non-empty) redirects every index probe — build replay and refresh
+  /// re-resolution alike; see IndexFetchFn.
   static std::unique_ptr<PlanMaintenance> Build(
       const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
       const Table& result, size_t max_bytes = static_cast<size_t>(-1),
-      bool* size_exceeded = nullptr) REQUIRES_SHARED(gate);
+      bool* size_exceeded = nullptr,
+      IndexFetchFn fetch = {}) REQUIRES_SHARED(gate);
 
   ~PlanMaintenance();
 
@@ -134,7 +150,13 @@ class PlanMaintenance {
 
   PlanMaintenance() = default;
 
+  /// Probes `idx` through fetch_ when installed, directly otherwise.
+  std::vector<Tuple> FetchVia(const AccessIndex& idx, const Tuple& key) const {
+    return fetch_ ? fetch_(idx, key) : idx.Fetch(key);
+  }
+
   std::shared_ptr<const PhysicalPlan> plan_;
+  IndexFetchFn fetch_;  ///< See Build(); empty = probe bindings directly.
   std::vector<std::unique_ptr<OpState>> states_;  // Index-aligned with ops().
   /// Relations the plan's fetch indices read: the delta classification set.
   std::unordered_set<std::string> read_rels_;

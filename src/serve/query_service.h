@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cluster/sharded_engine.h"
 #include "common/mutex.h"
 #include "common/rw_gate.h"
 #include "common/thread_annotations.h"
@@ -149,8 +150,29 @@ struct ServiceStats {
   /// its one (aborted) Build and was refused for good — these entries
   /// serve from cache between batches but recompute across them.
   uint64_t maint_declined = 0;
+  /// Handle rebuilds deferred after an IVM fallback: the fingerprint's
+  /// first post-fallback execution skips the (expensive) rebuild — a plan
+  /// that just proved churn-hostile should demonstrate renewed reuse
+  /// before the service pays another replay — and the rebuild happens on
+  /// the next execution instead.
+  uint64_t maint_lazy_rebuilds = 0;
   uint64_t data_epoch = 0;     ///< Engine data epoch at snapshot.
   uint64_t schema_epoch = 0;   ///< Engine bounds/schema epoch at snapshot.
+  /// Per-shard section, sharded mode only (empty otherwise). Folded in the
+  /// same one-pass consistent snapshot as the rest: the read-side gate hold
+  /// excludes delta application, so per-shard epochs sum to `data_epoch` /
+  /// `schema_epoch` exactly (modulo the fallback replica's share).
+  struct ShardSection {
+    uint64_t schema_epoch = 0;   ///< This shard's bounds/schema epoch.
+    uint64_t data_epoch = 0;     ///< This shard's data epoch.
+    uint64_t scatter_tasks = 0;  ///< Scatter fetch tasks executed here.
+    uint64_t delta_batches = 0;  ///< Delta sub-batches routed here.
+    uint64_t deltas_routed = 0;  ///< Deltas those sub-batches carried.
+  };
+  std::vector<ShardSection> engine_shards;
+  uint64_t scatter_tasks = 0;   ///< Total scatter tasks across shards.
+  uint64_t shard_skew_max = 0;  ///< Max per-shard scatter task count.
+  uint64_t shard_skew_min = 0;  ///< Min per-shard scatter task count.
   /// Result-cache counters (internally consistent; see ResultCacheStats).
   ResultCacheStats result_cache;
   /// Engine plan-cache counters (lock-free) — including the pipeline-
@@ -296,6 +318,21 @@ class BatchWindowController {
 class QueryService {
  public:
   explicit QueryService(BoundedEngine* engine, ServiceOptions opts = {});
+
+  /// Sharded mode: the same serving surface over a cluster::ShardedEngine.
+  /// Admission, coalescing, pinning and the result cache stay *global* —
+  /// cache keys fold the per-shard epochs through the merged
+  /// CoherenceSnapshot — while execution scatters fetches across shards
+  /// and SubmitDeltas splits each batch by slot. The service's own
+  /// writer-priority gate layers *above* the per-shard gates (global
+  /// first, then shards — acyclic), which restores whole-query snapshot
+  /// isolation over the shards exactly as in single-engine mode; the
+  /// per-shard gates still let the sharded engine be used directly (e.g.
+  /// by a bench) alongside nothing else. Maintenance handles route their
+  /// index probes through ShardedEngine::RoutedFetch so IVM refresh reads
+  /// each key's owning shard.
+  explicit QueryService(cluster::ShardedEngine* sharded,
+                        ServiceOptions opts = {});
   ~QueryService();  ///< Shutdown(): drains the queue, joins dispatchers.
 
   QueryService(const QueryService&) = delete;
@@ -335,7 +372,10 @@ class QueryService {
   /// against delta application but never against executions.
   ServiceStats stats() const;
 
+  /// Single-engine mode only (null in sharded mode — use sharded()).
   const BoundedEngine& engine() const { return *engine_; }
+  /// Sharded mode only; nullptr in single-engine mode.
+  const cluster::ShardedEngine* sharded() const { return sharded_; }
 
  private:
   struct Request {
@@ -348,6 +388,17 @@ class QueryService {
     std::promise<QueryResponse> query_promise;
     std::promise<DeltaResponse> delta_promise;
   };
+
+  /// Both public constructors delegate here; exactly one of engine /
+  /// sharded is non-null.
+  QueryService(BoundedEngine* engine, cluster::ShardedEngine* sharded,
+               ServiceOptions opts);
+
+  /// The backing engine's lock-free coherence snapshot (merged over shards
+  /// in sharded mode).
+  CoherenceSnapshot CoherenceNow() const {
+    return engine_ != nullptr ? engine_->Coherence() : sharded_->Coherence();
+  }
 
   Request MakeQueryRequest(RaExprPtr query);
   /// Pushes `r` (blocking admission or load-shed) and counts the outcome —
@@ -370,13 +421,18 @@ class QueryService {
   /// bound once — if so, never build one again.
   bool MaintenanceDeclined(const std::string& fingerprint);
   void DeclineMaintenance(const std::string& fingerprint);
+  /// Consumes the fingerprint's pending lazy-rebuild marker (set when an
+  /// IVM refresh fell back on its entry): true exactly once per fallback,
+  /// telling the caller to skip this execution's handle rebuild.
+  bool ConsumeDeferredRebuild(const std::string& fingerprint);
   /// Fills `*resp` from the result cache when enabled and coherent-fresh
   /// under `now`; false on miss (or cache off).
   bool TryServeFromResultCache(const std::string& fingerprint,
                                const CoherenceSnapshot& now,
                                QueryResponse* resp);
 
-  BoundedEngine* engine_;
+  BoundedEngine* engine_;                ///< Single-engine mode; else null.
+  cluster::ShardedEngine* sharded_;      ///< Sharded mode; else null.
   ServiceOptions opts_;
   BoundedMpmcQueue<Request> queue_;
   BatchWindowController window_;
@@ -396,10 +452,14 @@ class QueryService {
   std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>> pins_
       GUARDED_BY(pin_mu_);
 
-  Mutex maint_mu_;  ///< Guards maint_declined_ (map access only).
+  Mutex maint_mu_;  ///< Guards the maintenance sets (map access only).
   /// Fingerprints whose handle exceeded the size bound once: never build
   /// again (the Build itself is the cost worth avoiding).
   std::unordered_set<std::string> maint_declined_ GUARDED_BY(maint_mu_);
+  /// Fingerprints whose entry just fell back during an IVM refresh: their
+  /// next execution skips the handle rebuild (lazy rebuild — see
+  /// ServiceStats::maint_lazy_rebuilds), the one after rebuilds normally.
+  std::unordered_set<std::string> maint_rebuild_pending_ GUARDED_BY(maint_mu_);
 
   std::atomic<uint64_t> next_id_{1};
   /// Admission-side cache hits must stop at Shutdown() without taking the
@@ -408,7 +468,8 @@ class QueryService {
   std::atomic<uint64_t> admitted_{0}, rejected_{0}, executed_{0},
       coalesced_{0}, batches_{0}, delta_batches_{0}, deltas_applied_{0},
       pin_hits_{0}, repins_{0}, freezes_{0}, rc_admission_hits_{0},
-      rc_window_hits_{0}, rc_refreshed_hits_{0}, maint_declines_{0};
+      rc_window_hits_{0}, rc_refreshed_hits_{0}, maint_declines_{0},
+      maint_lazy_rebuilds_{0};
 };
 
 }  // namespace serve

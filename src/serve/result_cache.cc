@@ -129,6 +129,7 @@ RefreshSummary ResultCache::Refresh(const WriterPriorityGate& gate,
     if (outcome != RefreshOutcome::kRefreshed) {
       ++refresh_fallbacks_;
       ++summary.fallbacks;
+      summary.fallback_fingerprints.push_back(std::move(e.fingerprint));
       continue;  // Entry dropped; the next read recomputes + rebuilds.
     }
     e.snap = post;

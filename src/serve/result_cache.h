@@ -57,6 +57,10 @@ struct RefreshSummary {
   size_t refreshed = 0;  ///< Entries patched and re-keyed.
   size_t fallbacks = 0;  ///< Entries dropped as not-maintainable.
   size_t swept = 0;      ///< Stale entries dropped without a refresh attempt.
+  /// Fingerprints of the `fallbacks` entries, so the serving layer can
+  /// defer their (expensive) handle rebuilds instead of paying one eagerly
+  /// on the very next read of a fingerprint that just proved churn-hostile.
+  std::vector<std::string> fallback_fingerprints;
 };
 
 /// A cross-window cache of materialized query results, keyed on
