@@ -9,28 +9,38 @@
 //   refresh_on   this PR: the batch is pushed through every resident
 //                entry's PlanMaintenance handle inside the same gate hold,
 //                patching cached tables in O(delta); the next reads are
-//                refreshed cache hits. The one difference query falls back
-//                to recompute whenever a deletion reaches its subtrahend —
-//                the fallback path is measured, not hidden.
+//                refreshed cache hits. Index-side deltas land on retained
+//                fetch buckets by replaying the mirror patch logs
+//                (bucket_diff_hits) — never by re-reading whole buckets —
+//                and a difference entry falls back to recompute only when a
+//                subtrahend deletion actually resurrects a suppressed row
+//                (resurrection_fallbacks); safe deletions are absorbed as
+//                support-count decrements (subtrahend_decrements). Both
+//                fallback paths are measured, not hidden.
 //
-// The sweep crosses the delta/table ratio (batch rows as a share of the
-// dine relation) with refresh on/off over the shared graph_churn workload.
-// Each measured round is one ApplyDeltas followed by a read of every hot
-// fingerprint — the full "make every cached answer fresh again" cycle.
-// Every batch churns dine rows of *existing* friends (insert a new may
-// visit, delete the one a lagged batch inserted) plus one friend/dine
-// pair with its own lagged deletion, so minus deltas flow through both
-// fetch shapes and the joins. The 5% cell additionally rides
-// june-subtrahend churn (GraphChurnJuneBatch), whose deletions force the
-// difference entry's kNotMaintainable fallback — measured, not hidden.
+// Cells: a delta/table-ratio sweep (batch rows as a share of the dine
+// relation) over the shared graph_churn workload, plus a fat-bucket cell
+// whose per-pid friend lists are 15x deeper — small deltas against fat
+// retained buckets is exactly where bucket re-fetch-and-diff would cost
+// O(bucket) and the patch-log replay must hold O(delta). Each measured
+// round is one ApplyDeltas followed by a read of every hot fingerprint —
+// the full "make every cached answer fresh again" cycle. Every batch
+// churns dine rows of *existing* friends (insert a new may visit, delete
+// the one a lagged batch inserted) plus one friend/dine pair with its own
+// lagged deletion, so minus deltas flow through both fetch shapes and the
+// joins. The 5% cell additionally rides june-subtrahend churn
+// (GraphChurnJuneBatch) and a deterministic support wobble that pins both
+// subtrahend outcomes every rep: absorbed decrements AND true
+// resurrections.
 //
 // Correctness is differential: after the measured rounds every mode's hot
 // answers must equal a freshly prepared plan over its live indices as an
 // exact bag (refreshed tables legitimately reorder rows), and the two
 // modes — which applied identical delta sequences — must agree pairwise as
 // sets. CI gates on correct==1, refresh_on restoring freshness in <= 0.2x
-// the refresh_off time at the 1% delta cell, refreshes > 0, and
-// refresh_fallbacks > 0.
+// the refresh_off time at the 1% delta cell (<= 0.1x at the fat-bucket
+// cell), refreshes > 0, refresh_fallbacks > 0, bucket_diff_hits > 0,
+// subtrahend_decrements > 0, and resurrection_fallbacks > 0.
 
 #include <algorithm>
 #include <chrono>
@@ -49,21 +59,49 @@ namespace bqe {
 namespace bench {
 namespace {
 
-constexpr int kHotQueries = 12;  // Plain fetch/join views...
-constexpr int kRounds = 10;      // Measured Apply+read-all cycles per cell.
+constexpr int kRounds = 10;  // Measured Apply+read-all cycles per cell.
 
 constexpr double kDeltaRatios[] = {0.001, 0.01, 0.05};
-constexpr double kGateRatio = 0.01;  // The CI gate cell.
+constexpr double kGateRatio = 0.01;  // The ratio-sweep CI gate cell.
+
+/// One measurement cell: a workload shape crossed with a delta size.
+struct CellSpec {
+  const char* cell;  ///< BenchReport dataset name.
+  workload::GraphChurnConfig cfg;
+  int views;       ///< Hot fetch/join views, one per pid.
+  bool with_diff;  ///< Add the difference view + june churn + wobble.
+  double ratio;    ///< Delta batch rows as a share of the dine table.
+  /// Maintenance handles retain the plan's intermediate join bags — far
+  /// heavier than the result rows (~7.6 MiB per view at the sweep scale,
+  /// ~15x that at the fat-bucket scale). This is exactly the
+  /// refresh-dominated deployment the maintenance size knob exists for:
+  /// budget so every hot entry stays resident and raise the per-handle
+  /// bound past the serving-oriented 2 MiB default.
+  size_t cache_bytes;
+  size_t maint_bytes;
+};
 
 /// Exactly the hot pids, each with a deep friend list: recompute cost per
 /// view is O(friends_per_pid) while a delta batch sized as a share of the
 /// dine table stays O(pids * friends_per_pid * ratio) — so the refresh-vs-
 /// recompute contrast is set by the delta ratio, not drowned by cold pids
 /// no view ever reads.
-workload::GraphChurnConfig BenchConfig() {
+workload::GraphChurnConfig SweepConfig() {
   workload::GraphChurnConfig cfg;
-  cfg.pids = kHotQueries;
+  cfg.pids = 12;
   cfg.friends_per_pid = 100;
+  cfg.cafes = 200;
+  return cfg;
+}
+
+/// The fat-bucket shape: few pids, 15x deeper friend buckets. A handful of
+/// delta rows against 1500-row retained buckets is the workload where
+/// wholesale bucket re-fetch-and-diff costs O(bucket) per delta and the
+/// mirror patch-log replay must keep refresh at O(delta).
+workload::GraphChurnConfig FatConfig() {
+  workload::GraphChurnConfig cfg;
+  cfg.pids = 4;
+  cfg.friends_per_pid = 1500;
   cfg.cafes = 200;
   return cfg;
 }
@@ -76,6 +114,18 @@ struct ModeResult {
   bool bag_ok = true;
   std::vector<Table> final_answers;
   serve::ServiceStats stats;
+};
+
+/// Cross-cell gate accumulators (refresh_on cells only, plus correctness
+/// from both modes).
+struct GateTotals {
+  bool correct = true;
+  uint64_t refreshes = 0;
+  uint64_t fallbacks = 0;
+  uint64_t bucket_diff = 0;
+  uint64_t bucket_refetch = 0;
+  uint64_t sub_dec = 0;
+  uint64_t resurr = 0;
 };
 
 Table FreshlyPreparedAnswer(const BoundedEngine& engine, const RaExprPtr& q) {
@@ -110,8 +160,8 @@ Tuple ChurnDineRow(const workload::GraphChurnConfig& cfg, int g, int F) {
 /// One delta batch: `pairs` dine-row insertions on existing friends with
 /// the lagged deletions of earlier rounds' rows, one friend/dine pair with
 /// its own lagged deletion (minus deltas through the friend fetch too),
-/// and — in the fallback cell — june-subtrahend churn. Identical for both
-/// modes at a given (ratio, round).
+/// and — in the fallback cell — june-subtrahend churn plus the support
+/// wobble. Identical for both modes at a given (cell, round).
 std::vector<Delta> MakeBatch(const workload::GraphChurnConfig& cfg,
                              const std::string& tag, int round, int pairs,
                              int total_friends, bool june) {
@@ -130,14 +180,32 @@ std::vector<Delta> MakeBatch(const workload::GraphChurnConfig& cfg,
   if (june) {
     std::vector<Delta> jb = workload::GraphChurnJuneBatch(cfg, round);
     batch.insert(batch.end(), jb.begin(), jb.end());
+    // Deterministic subtrahend support wobble over the synthetic cafes
+    // RunMode seeds (churn never touches them): "wobc" has no may visitor
+    // anywhere, so taking back its june visit is a pure support-count
+    // decrement; "wobr" sits in Pid(0)'s minuend via wob-f's may visit, so
+    // taking back its only june visit is a true resurrection. The periods
+    // are offset (2 vs 4) so every decrement lands in a batch whose
+    // refresh succeeds and every resurrection lands on a live handle (a
+    // fallback costs the handle one read to come back).
+    Tuple wobc = {Value::Str("wob-f"), Value::Str("wobc"), Value::Int(6),
+                  Value::Int(2015)};
+    batch.push_back(round % 2 == 0 ? Delta::Insert("dine", wobc)
+                                   : Delta::Delete("dine", wobc));
+    Tuple wobr = {Value::Str("wob-f"), Value::Str("wobr"), Value::Int(6),
+                  Value::Int(2015)};
+    if (round % 4 == 0) {
+      batch.push_back(Delta::Insert("dine", wobr));
+    } else if (round % 4 == 2) {
+      batch.push_back(Delta::Delete("dine", wobr));
+    }
   }
   return batch;
 }
 
-ModeResult RunMode(double ratio, bool refresh) {
+ModeResult RunMode(const CellSpec& spec, bool refresh) {
   using Clock = std::chrono::steady_clock;
-  workload::GraphChurnFixture fx =
-      workload::MakeGraphChurnFixture(BenchConfig());
+  workload::GraphChurnFixture fx = workload::MakeGraphChurnFixture(spec.cfg);
   BoundedEngine engine(&fx.db, fx.schema, EngineOptions{});
   ModeResult out;
   Status built = engine.BuildIndices();
@@ -147,31 +215,42 @@ ModeResult RunMode(double ratio, bool refresh) {
     return out;
   }
 
-  // 12 plain fetch/join views plus one difference view whose subtrahend
-  // the june churn deletes from — the spec-mandated fallback shape.
+  // Plain fetch/join views plus — in the fallback cell — one difference
+  // view whose subtrahend the june churn deletes from.
   std::vector<RaExprPtr> hot;
-  for (int i = 0; i < kHotQueries; ++i) {
+  for (int i = 0; i < spec.views; ++i) {
     hot.push_back(workload::FriendsNycCafesQuery(fx.cfg.Pid(i)));
   }
-  hot.push_back(workload::FriendsMayNotJuneCafesQuery(fx.cfg.Pid(0)));
+  if (spec.with_diff) {
+    hot.push_back(workload::FriendsMayNotJuneCafesQuery(fx.cfg.Pid(0)));
+  }
 
   size_t dine_rows = fx.db.Get("dine")->NumRows();
-  int pairs = std::max(1, static_cast<int>(ratio * static_cast<double>(
-                                                       dine_rows)));
-  int total_friends = BenchConfig().pids * BenchConfig().friends_per_pid;
-  bool june = ratio > 0.02;  // The fallback-exercising cell.
+  int pairs = std::max(
+      1, static_cast<int>(spec.ratio * static_cast<double>(dine_rows)));
+  int total_friends = spec.cfg.pids * spec.cfg.friends_per_pid;
 
   serve::ServiceOptions sopts;
   sopts.shards = 2;
   sopts.result_cache_refresh = refresh;
-  // Maintenance handles retain the plan's intermediate join bags — far
-  // heavier than the result rows (~7.6 MiB per view at this scale). This
-  // is exactly the refresh-dominated deployment the maintenance size knob
-  // exists for: budget so every hot entry stays resident and raise the
-  // per-handle bound past the serving-oriented 2 MiB default.
-  sopts.result_cache_bytes = size_t{256} << 20;
-  sopts.result_cache_maint_bytes = size_t{32} << 20;
+  sopts.result_cache_bytes = spec.cache_bytes;
+  sopts.result_cache_maint_bytes = spec.maint_bytes;
   serve::QueryService service(&engine, sopts);
+
+  if (spec.with_diff) {
+    // Seed the wobble fixtures before anything warms: two nyc cafes no
+    // seeded or churned row ever dines at, and one extra friend of Pid(0)
+    // whose may visit puts exactly "wobr" (never "wobc") in the minuend.
+    auto S = [](const char* s) { return Value::Str(s); };
+    serve::DeltaResponse dr = service.ApplyDeltas({
+        Delta::Insert("cafe", {S("wobc"), S("nyc")}),
+        Delta::Insert("cafe", {S("wobr"), S("nyc")}),
+        Delta::Insert("friend", {Value::Str(fx.cfg.Pid(0)), S("wob-f")}),
+        Delta::Insert("dine",
+                      {S("wob-f"), S("wobr"), Value::Int(5), Value::Int(2015)}),
+    });
+    if (!dr.status.ok()) ++out.errors;
+  }
 
   // Warm every fingerprint: pinned plans, populated cache, built handles.
   for (const RaExprPtr& q : hot) {
@@ -183,8 +262,8 @@ ModeResult RunMode(double ratio, bool refresh) {
   // name the rows earlier rounds inserted.
   const std::string tag = refresh ? "on" : "off";
   for (int r = -8; r < 0; ++r) {
-    serve::DeltaResponse dr = service.ApplyDeltas(
-        MakeBatch(fx.cfg, tag, r + 8, pairs, total_friends, june));
+    serve::DeltaResponse dr = service.ApplyDeltas(MakeBatch(
+        fx.cfg, tag, r + 8, pairs, total_friends, spec.with_diff));
     if (!dr.status.ok()) ++out.errors;
   }
   for (const RaExprPtr& q : hot) {
@@ -194,13 +273,12 @@ ModeResult RunMode(double ratio, bool refresh) {
   // Measured rounds: one batch, then read every view — the cost of making
   // every cached answer fresh again. Apply and read phases are timed
   // separately: with refresh on the IVM work runs inside the ApplyDeltas
-  // gate hold and the reads are cache hits (plus the difference view's
-  // fallback recompute); with refresh off the reads carry the full
-  // re-execution of every view.
+  // gate hold and the reads are cache hits (plus any fallback recompute);
+  // with refresh off the reads carry the full re-execution of every view.
   for (int r = 0; r < kRounds; ++r) {
     Clock::time_point a0 = Clock::now();
-    serve::DeltaResponse dr = service.ApplyDeltas(
-        MakeBatch(fx.cfg, tag, r + 8, pairs, total_friends, june));
+    serve::DeltaResponse dr = service.ApplyDeltas(MakeBatch(
+        fx.cfg, tag, r + 8, pairs, total_friends, spec.with_diff));
     Clock::time_point a1 = Clock::now();
     if (!dr.status.ok()) ++out.errors;
     for (const RaExprPtr& q : hot) {
@@ -228,6 +306,94 @@ ModeResult RunMode(double ratio, bool refresh) {
   return out;
 }
 
+/// Runs both modes of one cell, prints its rows, emits its report cells,
+/// and accumulates gate totals. Returns the IVM-work / recompute-work
+/// ratio: IVM's extra cost is the in-gate refresh work (apply_on -
+/// apply_off; both modes pay the same index maintenance for the same
+/// batch) plus its read phase (cache hits + any fallback recompute);
+/// recompute's cost is the read phase that re-executes every swept view.
+double RunCell(const CellSpec& spec, int reps, BenchReport* report,
+               GateTotals* tot) {
+  std::map<bool, ModeResult> last;
+  std::map<bool, double> mean_round, mean_apply, mean_read;
+  for (int mode = 0; mode < 2; ++mode) {
+    bool refresh = mode == 1;
+    double round = 0, apply = 0, read = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      ModeResult r = RunMode(spec, refresh);
+      round += r.round_ms;
+      apply += r.apply_ms;
+      read += r.read_ms;
+      tot->correct = tot->correct && r.bag_ok && r.errors == 0;
+      last[refresh] = std::move(r);
+    }
+    mean_round[refresh] = round / reps;
+    mean_apply[refresh] = apply / reps;
+    mean_read[refresh] = read / reps;
+  }
+  // Identical delta sequences -> the modes must agree pairwise as sets.
+  for (size_t qi = 0; qi < last[true].final_answers.size(); ++qi) {
+    tot->correct =
+        tot->correct && Table::SameSet(last[true].final_answers[qi],
+                                       last[false].final_answers[qi]);
+  }
+  for (int mode = 0; mode < 2; ++mode) {
+    bool refresh = mode == 1;
+    const ModeResult& r = last[refresh];
+    const serve::ResultCacheStats& rc = r.stats.result_cache;
+    std::printf(
+        "%-12s %-8.2f %-12s %9.3f %9.3f %9.3f %9llu %9llu %8llu %7llu "
+        "%6llu %6llu %6llu\n",
+        spec.cell, spec.ratio * 100, refresh ? "refresh_on" : "refresh_off",
+        mean_round[refresh], mean_apply[refresh], mean_read[refresh],
+        static_cast<unsigned long long>(rc.refreshes),
+        static_cast<unsigned long long>(rc.refresh_fallbacks),
+        static_cast<unsigned long long>(rc.bucket_diff_hits),
+        static_cast<unsigned long long>(rc.bucket_refetch_fallbacks),
+        static_cast<unsigned long long>(rc.subtrahend_decrements),
+        static_cast<unsigned long long>(rc.resurrection_fallbacks),
+        static_cast<unsigned long long>(r.errors));
+    report->AddCell(spec.cell)
+        .Label("mode", refresh ? "refresh_on" : "refresh_off")
+        .Label("delta_pct", static_cast<int64_t>(spec.ratio * 1000))
+        .Metric("round_ms", mean_round[refresh])
+        .Metric("apply_ms", mean_apply[refresh])
+        .Metric("read_ms", mean_read[refresh])
+        .Metric("refreshes", static_cast<double>(rc.refreshes))
+        .Metric("refresh_fallbacks",
+                static_cast<double>(rc.refresh_fallbacks))
+        .Metric("refreshed_rows", static_cast<double>(rc.refreshed_rows))
+        .Metric("evicted_stale", static_cast<double>(rc.evicted_stale))
+        .Metric("bucket_diff_hits", static_cast<double>(rc.bucket_diff_hits))
+        .Metric("bucket_refetch_fallbacks",
+                static_cast<double>(rc.bucket_refetch_fallbacks))
+        .Metric("subtrahend_decrements",
+                static_cast<double>(rc.subtrahend_decrements))
+        .Metric("resurrection_fallbacks",
+                static_cast<double>(rc.resurrection_fallbacks))
+        .Metric("refresh_classify_us",
+                static_cast<double>(rc.refresh_classify_us))
+        .Metric("refresh_propagate_us",
+                static_cast<double>(rc.refresh_propagate_us))
+        .Metric("refresh_patch_us", static_cast<double>(rc.refresh_patch_us))
+        .Metric("executed", static_cast<double>(r.stats.executed))
+        .Metric("refreshed_hits",
+                static_cast<double>(r.stats.result_hits_refreshed))
+        .Metric("errors", static_cast<double>(r.errors));
+    if (refresh) {
+      tot->refreshes += rc.refreshes;
+      tot->fallbacks += rc.refresh_fallbacks;
+      tot->bucket_diff += rc.bucket_diff_hits;
+      tot->bucket_refetch += rc.bucket_refetch_fallbacks;
+      tot->sub_dec += rc.subtrahend_decrements;
+      tot->resurr += rc.resurrection_fallbacks;
+    }
+  }
+  double ivm_ms = std::max(0.0, mean_apply[true] - mean_apply[false]) +
+                  mean_read[true];
+  return mean_read[false] == 0 ? 1.0 : ivm_ms / mean_read[false];
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace bqe
@@ -239,98 +405,60 @@ int main(int argc, char** argv) {
 
   PrintHeader("IVM refresh vs sweep-and-recompute across delta/table ratio");
   std::printf(
-      "%d fetch/join views + 1 difference view; each round = 1 delta batch "
-      "(mixed inserts+deletes + june subtrahend churn) + read every view\n\n",
-      kHotQueries);
-  std::printf("%-8s %-12s %9s %9s %9s %10s %10s %10s %7s\n", "delta%",
-              "mode", "round_ms", "apply_ms", "read_ms", "refreshes",
-              "fallbacks", "executed", "errors");
+      "ratio sweep: 12 fetch/join views (+1 difference view at the 5%% "
+      "cell); fat_bucket: 4 views over 15x deeper friend buckets at 1%% "
+      "delta; each round = 1 delta batch + read every view\n\n");
+  std::printf("%-12s %-8s %-12s %9s %9s %9s %9s %9s %8s %7s %6s %6s %6s\n",
+              "cell", "delta%", "mode", "round_ms", "apply_ms", "read_ms",
+              "refreshes", "fallbacks", "bkt_diff", "refetch", "subdec",
+              "resurr", "errors");
 
   BenchReport report("bench_ivm", opts.reps);
-  bool correct = true;
-  uint64_t total_refreshes = 0, total_fallbacks = 0;
+  GateTotals tot;
   double gate_ratio_value = 0;
   for (double ratio : kDeltaRatios) {
-    std::map<bool, ModeResult> last;
-    std::map<bool, double> mean_round, mean_apply, mean_read;
-    for (int mode = 0; mode < 2; ++mode) {
-      bool refresh = mode == 1;
-      double round = 0, apply = 0, read = 0;
-      for (int rep = 0; rep < opts.reps; ++rep) {
-        ModeResult r = RunMode(ratio, refresh);
-        round += r.round_ms;
-        apply += r.apply_ms;
-        read += r.read_ms;
-        correct = correct && r.bag_ok && r.errors == 0;
-        last[refresh] = std::move(r);
-      }
-      mean_round[refresh] = round / opts.reps;
-      mean_apply[refresh] = apply / opts.reps;
-      mean_read[refresh] = read / opts.reps;
-    }
-    // Identical delta sequences -> the modes must agree pairwise as sets.
-    for (size_t qi = 0; qi < last[true].final_answers.size(); ++qi) {
-      correct = correct && Table::SameSet(last[true].final_answers[qi],
-                                          last[false].final_answers[qi]);
-    }
-    for (int mode = 0; mode < 2; ++mode) {
-      bool refresh = mode == 1;
-      const ModeResult& r = last[refresh];
-      const serve::ResultCacheStats& rc = r.stats.result_cache;
-      std::printf(
-          "%-8.2f %-12s %9.3f %9.3f %9.3f %10llu %10llu %10llu %7llu\n",
-          ratio * 100, refresh ? "refresh_on" : "refresh_off",
-          mean_round[refresh], mean_apply[refresh], mean_read[refresh],
-          static_cast<unsigned long long>(rc.refreshes),
-          static_cast<unsigned long long>(rc.refresh_fallbacks),
-          static_cast<unsigned long long>(r.stats.executed),
-          static_cast<unsigned long long>(r.errors));
-      report.AddCell("ratio_sweep")
-          .Label("mode", refresh ? "refresh_on" : "refresh_off")
-          .Label("delta_pct", static_cast<int64_t>(ratio * 1000))
-          .Metric("round_ms", mean_round[refresh])
-          .Metric("apply_ms", mean_apply[refresh])
-          .Metric("read_ms", mean_read[refresh])
-          .Metric("refreshes", static_cast<double>(rc.refreshes))
-          .Metric("refresh_fallbacks",
-                  static_cast<double>(rc.refresh_fallbacks))
-          .Metric("refreshed_rows", static_cast<double>(rc.refreshed_rows))
-          .Metric("evicted_stale", static_cast<double>(rc.evicted_stale))
-          .Metric("executed", static_cast<double>(r.stats.executed))
-          .Metric("refreshed_hits",
-                  static_cast<double>(r.stats.result_hits_refreshed))
-          .Metric("errors", static_cast<double>(r.errors));
-      if (refresh) {
-        total_refreshes += rc.refreshes;
-        total_fallbacks += rc.refresh_fallbacks;
-      }
-    }
-    if (ratio == kGateRatio) {
-      // The O(delta)-vs-O(query) contrast: IVM's extra cost is the in-gate
-      // refresh work (apply_on - apply_off; both modes pay the same index
-      // maintenance for the same batch) plus its read phase (cache hits +
-      // the difference view's fallback recompute). Recompute's cost is the
-      // read phase that re-executes every swept view.
-      double ivm_ms = std::max(0.0, mean_apply[true] - mean_apply[false]) +
-                      mean_read[true];
-      gate_ratio_value =
-          mean_read[false] == 0 ? 1.0 : ivm_ms / mean_read[false];
-    }
+    CellSpec spec{"ratio_sweep", SweepConfig(), /*views=*/12,
+                  /*with_diff=*/ratio > 0.02, ratio,
+                  /*cache_bytes=*/size_t{256} << 20,
+                  /*maint_bytes=*/size_t{32} << 20};
+    double rv = RunCell(spec, opts.reps, &report, &tot);
+    if (ratio == kGateRatio) gate_ratio_value = rv;
   }
+  // The fat-bucket gate cell: a 1% delta against 1500-row friend
+  // buckets. The tighter 0.1x gate holds only if index-side deltas ride
+  // the patch log — wholesale bucket re-fetch-and-diff pays O(bucket) per
+  // delta and blows it.
+  CellSpec fat{"fat_bucket", FatConfig(), /*views=*/4, /*with_diff=*/false,
+               /*ratio=*/0.01, /*cache_bytes=*/size_t{2} << 30,
+               /*maint_bytes=*/size_t{512} << 20};
+  double fat_ratio_value = RunCell(fat, opts.reps, &report, &tot);
 
-  std::printf("\ngate cell (%.1f%% delta): IVM-work / recompute-work ratio "
-              "%.3f (gate <= 0.2)\n",
-              kGateRatio * 100, gate_ratio_value);
-  std::printf("total refreshes %llu, fallbacks %llu\n",
-              static_cast<unsigned long long>(total_refreshes),
-              static_cast<unsigned long long>(total_fallbacks));
-  if (!correct) std::printf("WARNING: modes diverged or errored!\n");
+  std::printf("\ngate cells: IVM-work / recompute-work ratio %.3f at the "
+              "%.1f%% sweep cell (gate <= 0.2), %.3f at the fat-bucket cell "
+              "(gate <= 0.1)\n",
+              gate_ratio_value, kGateRatio * 100, fat_ratio_value);
+  std::printf("totals: refreshes %llu, fallbacks %llu, bucket diff hits "
+              "%llu, bucket refetches %llu, subtrahend decrements %llu, "
+              "resurrections %llu\n",
+              static_cast<unsigned long long>(tot.refreshes),
+              static_cast<unsigned long long>(tot.fallbacks),
+              static_cast<unsigned long long>(tot.bucket_diff),
+              static_cast<unsigned long long>(tot.bucket_refetch),
+              static_cast<unsigned long long>(tot.sub_dec),
+              static_cast<unsigned long long>(tot.resurr));
+  if (!tot.correct) std::printf("WARNING: modes diverged or errored!\n");
   report.AddCell("ratio_sweep")
       .Label("mode", "summary")
-      .Metric("correct", correct ? 1.0 : 0.0)
+      .Metric("correct", tot.correct ? 1.0 : 0.0)
       .Metric("refresh_ratio", gate_ratio_value)
-      .Metric("refreshes", static_cast<double>(total_refreshes))
-      .Metric("refresh_fallbacks", static_cast<double>(total_fallbacks));
+      .Metric("fat_refresh_ratio", fat_ratio_value)
+      .Metric("refreshes", static_cast<double>(tot.refreshes))
+      .Metric("refresh_fallbacks", static_cast<double>(tot.fallbacks))
+      .Metric("bucket_diff_hits", static_cast<double>(tot.bucket_diff))
+      .Metric("bucket_refetch_fallbacks",
+              static_cast<double>(tot.bucket_refetch))
+      .Metric("subtrahend_decrements", static_cast<double>(tot.sub_dec))
+      .Metric("resurrection_fallbacks", static_cast<double>(tot.resurr));
   if (!report.WriteJson(opts.json_path)) return 1;
   return 0;
 }

@@ -488,6 +488,42 @@ std::vector<Tuple> ShardedEngine::RoutedFetch(const AccessIndex& binding,
   return idx != nullptr ? idx->Fetch(key) : std::vector<Tuple>{};
 }
 
+bool ShardedEngine::RoutedPatchLog(const AccessIndex& binding,
+                                   std::vector<uint64_t>* stamp,
+                                   std::vector<BucketPatch>* out) const {
+  const int cid = binding.constraint().id;
+  if (stamp->empty()) {
+    stamp->reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& s : shards_) {
+      const AccessIndex* idx = s->engine->indices().Get(cid);
+      stamp->push_back(idx != nullptr ? idx->patch_log_stamp() : 0);
+    }
+    return true;
+  }
+  if (stamp->size() != shards_.size()) return false;  // Foreign cursor.
+  bool ok = true;
+  std::vector<BucketPatch> shard_events;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const AccessIndex* idx = shards_[i]->engine->indices().Get(cid);
+    if (idx == nullptr) continue;
+    shard_events.clear();
+    const bool shard_ok = idx->PatchLogSince((*stamp)[i], &shard_events);
+    (*stamp)[i] = idx->patch_log_stamp();
+    if (!shard_ok) {
+      ok = false;  // Keep draining: every cursor must land at "now".
+      continue;
+    }
+    for (BucketPatch& ev : shard_events) {
+      // Ownership filter: only the owning shard's copy of this transition
+      // counts — a replica holding the row for a different constraint's
+      // key logs the same event against a bucket it is never probed for.
+      if (router_.ShardOfKey(ev.key) != i) continue;
+      out->push_back(std::move(ev));
+    }
+  }
+  return ok;
+}
+
 void ShardedEngine::SetFreezeHook(AccessIndex::FreezeHook hook) const {
   for (const std::unique_ptr<Shard>& s : shards_) {
     s->engine->indices().SetFreezeHook(hook);

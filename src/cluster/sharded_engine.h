@@ -154,6 +154,23 @@ class ShardedEngine {
   std::vector<Tuple> RoutedFetch(const AccessIndex& binding,
                                  const Tuple& key) const;
 
+  /// The patch-log seam for result maintenance (exec/ivm::IndexPatchLogFn),
+  /// sibling of RoutedFetch: drains every shard's bucket patch log for
+  /// `binding`'s constraint since the per-shard cursor in `*stamp`
+  /// (initializing the cursor and emitting nothing when it is empty) and
+  /// appends the events to `out`. Events are filtered to those whose bucket
+  /// key the logging shard *owns*: replication lands a row in every shard
+  /// holding one of its fetch keys, so a non-owner replica's index logs the
+  /// same distinct-entry transition for a foreign key and unfiltered
+  /// concatenation would double-count the owner's event. Advances every
+  /// engaged cursor to "now" even on failure; returns false when any
+  /// shard's log was truncated by a budget-forced mirror rebuild (the
+  /// consumer then re-resolves wholesale via RoutedFetch). Same gate
+  /// contract as RoutedFetch: callers hold the serving discipline's global
+  /// gate, which serializes against Apply().
+  bool RoutedPatchLog(const AccessIndex& binding, std::vector<uint64_t>* stamp,
+                      std::vector<BucketPatch>* out) const;
+
   /// Installs the hook on every shard's IndexSet (and the replica's).
   /// Counts as maintenance: externally serialize like a writer.
   void SetFreezeHook(AccessIndex::FreezeHook hook) const;

@@ -128,6 +128,38 @@ void AccessIndex::InvalidateMirror() const {
   // rebuild: plan-cache lookups between the budget blow and the next
   // EnsureFrozen must already see the plans as stale.
   mirror_gen_->fetch_add(1, std::memory_order_release);
+  // The bucket patch log shares the mirror's lifecycle: a forced rebuild is
+  // exactly the event after which log consumers must re-resolve wholesale,
+  // so truncate here (and keep truncating while the rebuild is pending; see
+  // LogBucketPatch) rather than carry events nobody may trust.
+  TruncatePatchLog();
+}
+
+void AccessIndex::TruncatePatchLog() const {
+  patch_log_begin_ = patch_log_end_;
+  patch_log_.clear();
+}
+
+void AccessIndex::LogBucketPatch(const Tuple& key, const Tuple& row,
+                                 int32_t sign) {
+  ++patch_log_end_;
+  if (!frozen_.valid) {
+    // Rebuild pending (or initial build in flight): every retained stamp is
+    // already behind the truncation, so recording more events only grows a
+    // log whose replay nobody is allowed to use.
+    TruncatePatchLog();
+    return;
+  }
+  patch_log_.push_back(BucketPatch{key, row, sign});
+}
+
+bool AccessIndex::PatchLogSince(uint64_t stamp,
+                                std::vector<BucketPatch>* out) const {
+  if (stamp < patch_log_begin_) return false;  // Truncated past the stamp.
+  for (uint64_t pos = stamp; pos < patch_log_end_; ++pos) {
+    out->push_back(patch_log_[static_cast<size_t>(pos - patch_log_begin_)]);
+  }
+  return true;
 }
 
 size_t AccessIndex::mirror_patch_ops() const {
@@ -160,10 +192,16 @@ size_t AccessIndex::FrozenProbe(std::string_view encoded_xkey,
 }
 
 bool AccessIndex::PatchBudgetExceeded() const {
-  // Rebuilding is O(entries); patching is O(1). Amortize: allow up to a
-  // quarter of the base store in patches (plus slack for tiny indices)
-  // before declaring the mirror fragmented and rebuilding lazily.
-  return frozen_.patch_ops > frozen_.entries.num_rows() / 4 + 64;
+  // Rebuilding is O(entries); patching is O(1). Amortize: by default allow
+  // up to a quarter of the base store in patches (plus slack for tiny
+  // indices) before declaring the mirror fragmented and rebuilding lazily.
+  // An explicit budget (set_mirror_patch_budget) overrides the formula —
+  // deployments tune it against how much their IVM consumers hate the
+  // log truncation a forced rebuild implies.
+  const size_t budget = mirror_patch_budget_ != 0
+                            ? mirror_patch_budget_
+                            : frozen_.entries.num_rows() / 4 + 64;
+  return frozen_.patch_ops > budget;
 }
 
 AccessIndex::Frozen::PatchedGroup& AccessIndex::MaterializePatch(
@@ -256,8 +294,12 @@ Status AccessIndex::ApplyInsert(const Tuple& row) {
     if (static_cast<int64_t>(bucket.size()) == constraint_.n + 1) {
       ++violating_keys_;
     }
-    // A new distinct entry appeared: patch its bucket in the mirror (a
-    // refcount bump leaves the distinct row set — and the mirror — as is).
+    // A new distinct entry appeared: log the transition and patch its
+    // bucket in the mirror (a refcount bump leaves the distinct row set —
+    // and the mirror, and the log — as is). Log first: if this very patch
+    // blows the budget, InvalidateMirror truncates the event away and
+    // consumers correctly fall back wholesale.
+    LogBucketPatch(key, it->first, +1);
     if (frozen_.valid) PatchFrozenInsert(key, it->first);
   }
   return Status::Ok();
@@ -285,6 +327,7 @@ Status AccessIndex::ApplyDelete(const Tuple& row) {
     bucket.erase(it);
     --num_entries_;
     if (bucket.empty()) buckets_.erase(bit);
+    LogBucketPatch(key, entry, -1);
     if (frozen_.valid) PatchFrozenDelete(key, entry);
   }
   return Status::Ok();
@@ -299,11 +342,13 @@ void AccessIndex::SetBound(int64_t n) {
   }
 }
 
-Result<IndexSet> IndexSet::Build(const Database& db, const AccessSchema& schema) {
+Result<IndexSet> IndexSet::Build(const Database& db, const AccessSchema& schema,
+                                 size_t mirror_patch_budget) {
   IndexSet set;
   for (const AccessConstraint& c : schema.constraints()) {
     BQE_ASSIGN_OR_RETURN(const Table* table, db.Require(c.rel));
     BQE_ASSIGN_OR_RETURN(AccessIndex idx, AccessIndex::Build(*table, c));
+    idx.set_mirror_patch_budget(mirror_patch_budget);
     set.indices_.push_back(std::make_unique<AccessIndex>(std::move(idx)));
   }
   return set;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -32,6 +33,18 @@ struct FrozenSegment {
   uint32_t n = 0;
 
   size_t NumRows() const { return rows != nullptr ? n : end - begin; }
+};
+
+/// One signed bucket mutation, as recorded by the mirror patch log (see
+/// AccessIndex::PatchLogSince): the distinct XY-entry `row` appeared
+/// (sign +1) in, or disappeared (sign -1) from, the fetch bucket of `key`.
+/// Exactly the events that patch the frozen mirror — refcount-only changes
+/// (a duplicate insert, a non-final delete) do not alter the distinct
+/// bucket and are not logged.
+struct BucketPatch {
+  Tuple key;
+  Tuple row;
+  int32_t sign = 0;
 };
 
 /// The index embedded in one access constraint R(X -> Y, N) (Section 7):
@@ -136,6 +149,35 @@ class AccessIndex {
   /// diagnostics accessor for the budget accounting.
   size_t mirror_patch_ops() const;
 
+  /// Overrides the mirror patch budget: how many in-place patches the
+  /// frozen mirror absorbs since its last full (re)build before it is
+  /// invalidated and lazily rebuilt — which also truncates the bucket
+  /// patch log below, forcing log consumers through their wholesale
+  /// fallback. 0 (the default) selects the auto budget, a quarter of the
+  /// base store plus slack (entries/4 + 64). Counts as maintenance:
+  /// externally serialize against readers like any writer.
+  void set_mirror_patch_budget(size_t budget) {
+    mirror_patch_budget_ = budget;
+  }
+  size_t mirror_patch_budget() const { return mirror_patch_budget_; }
+
+  /// Current position of the bucket patch log: the sequence number the
+  /// *next* logged event will take. Snapshot it when retaining fetch
+  /// buckets; PatchLogSince(stamp, ...) later replays exactly what changed.
+  /// Same external-serialization contract as PatchLogSince().
+  uint64_t patch_log_stamp() const { return patch_log_end_; }
+
+  /// Appends the signed bucket mutations logged in [stamp, now) to `out`
+  /// (in application order) and returns true; returns false — appending
+  /// nothing — when events since `stamp` were dropped because a
+  /// budget-forced mirror rebuild truncated the log, in which case the
+  /// consumer must re-resolve its retained buckets wholesale and restart
+  /// from patch_log_stamp(). Maintenance-side read: callers must hold the
+  /// same external writer discipline as ApplyInsert/ApplyDelete (the
+  /// serving layer reads it inside the exclusive gate hold of the batch
+  /// that produced the events).
+  bool PatchLogSince(uint64_t stamp, std::vector<BucketPatch>* out) const;
+
   /// Serving-layer freeze observability: invoked under the freeze mutex
   /// after every full mirror (re)build EnsureFrozen() performs, i.e. each
   /// time a lazy rebuild actually fires on a probe path. The QueryService
@@ -202,6 +244,12 @@ class AccessIndex {
   void PatchFrozenDelete(const Tuple& xkey, const Tuple& entry) const;
   Frozen::PatchedGroup& MaterializePatch(uint32_t group) const;
   bool PatchBudgetExceeded() const;
+  /// Records one distinct-entry transition in the bucket patch log (or
+  /// keeps the log truncated while a rebuild is pending — a log no consumer
+  /// may trust must not grow without bound under write-only traffic).
+  void LogBucketPatch(const Tuple& key, const Tuple& row, int32_t sign);
+  /// Drops all retained events; stale stamps then read as truncated.
+  void TruncatePatchLog() const;
 
   AccessConstraint constraint_;
   std::vector<int> x_idx_;   // Column indices of X in the base schema.
@@ -213,7 +261,22 @@ class AccessIndex {
   size_t violating_keys_ = 0;
   uint64_t data_epoch_ = 0;    // ApplyInsert/ApplyDelete.
   uint64_t bounds_epoch_ = 0;  // SetBound.
+  size_t mirror_patch_budget_ = 0;  ///< 0 = auto; see set_mirror_patch_budget.
   mutable Frozen frozen_;
+  /// The bucket patch log: the distinct-entry transitions ApplyInsert/
+  /// ApplyDelete performed, retained since the last mirror (re)build so
+  /// result-maintenance consumers (exec/ivm) turn "what changed in the
+  /// buckets I retain?" into a log replay instead of a wholesale re-fetch.
+  /// Events carry global sequence numbers; the deque holds positions
+  /// [patch_log_begin_, patch_log_end_). Truncation (InvalidateMirror, and
+  /// continuously while a rebuild is pending) advances `begin` to `end`, so
+  /// a consumer stamped before the truncation detects the gap. Mutable for
+  /// the same reason as `frozen_`: maintenance owns it under the external
+  /// writer discipline, and InvalidateMirror() is reached from const patch
+  /// paths.
+  mutable std::deque<BucketPatch> patch_log_;
+  mutable uint64_t patch_log_begin_ = 0;
+  mutable uint64_t patch_log_end_ = 0;
   /// See mirror_generation(). Incremented on the first full build and on
   /// every valid -> invalid transition; a completed lazy rebuild does not
   /// move it (the pending rebuild was already counted). Heap-allocated so
@@ -241,7 +304,10 @@ class IndexSet {
  public:
   /// Builds one AccessIndex per constraint; O(||A|| * |D|) total, matching
   /// Section 7. Fails if a constraint references unknown relations/attrs.
-  static Result<IndexSet> Build(const Database& db, const AccessSchema& schema);
+  /// `mirror_patch_budget` (0 = auto) is installed on every index; see
+  /// AccessIndex::set_mirror_patch_budget().
+  static Result<IndexSet> Build(const Database& db, const AccessSchema& schema,
+                                size_t mirror_patch_budget = 0);
 
   const AccessIndex* Get(int constraint_id) const;
   AccessIndex* GetMutable(int constraint_id);

@@ -60,7 +60,8 @@ Status BoundedEngine::BuildIndices() {
   // which requires folding in the outgoing IndexSet's bounds epochs first,
   // or SchemaEpoch() could repeat a past value when the sum resets to zero.
   schema_epoch_ += indices_.BoundsEpoch() + 1;
-  BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_));
+  BQE_ASSIGN_OR_RETURN(indices_, IndexSet::Build(*db_, schema_,
+                                                 options_.mirror_patch_budget));
   indices_built_ = true;
   ClearPlanCache();
   schema_stamp_.store(SchemaEpoch(), std::memory_order_release);

@@ -49,6 +49,14 @@ struct EngineOptions {
   /// vectorized executor — per-operator batch setup dominates below it;
   /// tuned on bench_fig5_scale). 0 disables.
   size_t row_path_threshold = 8192;
+  /// Mirror patch budget per AccessIndex: in-place patches a frozen fetch
+  /// mirror absorbs since its last full (re)build before it is invalidated
+  /// and lazily rebuilt. A forced rebuild also truncates the index's bucket
+  /// patch log, pushing IVM refresh (exec/ivm) through its wholesale
+  /// re-resolution fallback — so churn-heavy deployments with hot
+  /// maintained views may raise this beyond the auto formula. 0 = auto
+  /// (a quarter of the index's base store + 64).
+  size_t mirror_patch_budget = 0;
 };
 
 /// Everything Prepare() learns about a query.

@@ -1,8 +1,10 @@
 #include "exec/ivm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "exec/key_codec.h"
@@ -44,11 +46,13 @@ struct SignedRows {
 };
 
 /// One retained fetch probe: the key's input-row multiplicity and the
-/// bucket the index resolved for it.
+/// bucket the index resolved for it, as a hash set of distinct rows keyed
+/// on their encoding — so replaying one bucket patch-log event is O(1),
+/// not O(bucket).
 struct FetchEntry {
   Tuple key;
   int64_t count = 0;
-  std::vector<Tuple> bucket;
+  std::unordered_map<std::string, Tuple> bucket;
 };
 
 /// One retained multiplicity-map entry for set-semantic ops.
@@ -116,23 +120,30 @@ bool PassesPreds(const Tuple& row, const std::vector<PlanPredicate>& preds) {
   return true;
 }
 
-/// Emits the set difference of two distinct-row lists (an old and a newly
-/// re-resolved fetch bucket) as signed rows.
-void DiffDistinct(const std::vector<Tuple>& oldb,
-                  const std::vector<Tuple>& newb, SignedRows* out) {
-  std::unordered_map<std::string, bool> in_new;
-  for (const Tuple& r : newb) in_new[Enc(r)] = false;  // false = not in old.
-  for (const Tuple& r : oldb) {
-    auto it = in_new.find(Enc(r));
-    if (it == in_new.end()) {
-      out->minus.push_back(r);
-    } else {
-      it->second = true;  // Present on both sides.
-    }
+/// Re-resolves one retained bucket wholesale: diffs the freshly fetched
+/// distinct rows against the retained hash bucket, emits the signed
+/// difference, and installs the fresh bucket. O(old + new) — the
+/// truncated-log fallback path only.
+void RediffBucket(FetchEntry* e, std::vector<Tuple> now, SignedRows* out,
+                  size_t* bytes) {
+  std::unordered_map<std::string, Tuple> fresh;
+  fresh.reserve(now.size());
+  for (Tuple& r : now) {
+    std::string enc = Enc(r);
+    if (e->bucket.find(enc) == e->bucket.end()) out->plus.push_back(r);
+    *bytes += TupleBytes(r) + kEntryOverhead;
+    fresh.emplace(std::move(enc), std::move(r));
   }
-  for (const Tuple& r : newb) {
-    if (!in_new[Enc(r)]) out->plus.push_back(r);
+  for (auto& [enc, r] : e->bucket) {
+    SubBytes(bytes, TupleBytes(r) + kEntryOverhead);
+    if (fresh.find(enc) == fresh.end()) out->minus.push_back(std::move(r));
   }
+  e->bucket = std::move(fresh);
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
 }  // namespace
@@ -143,6 +154,11 @@ void DiffDistinct(const std::vector<Tuple>& oldb,
 /// stays free of casts.
 struct PlanMaintenance::OpState {
   std::unordered_map<std::string, FetchEntry> probed;          // kFetch.
+  /// Bucket patch-log cursor for this op's index binding (kFetch): where
+  /// the last Build/Refresh left off. Opaque to this layer beyond "empty
+  /// means uninitialized" — one element for a direct binding, one per
+  /// shard for a routed one; see IndexPatchLogFn.
+  std::vector<uint64_t> log_stamp;                             // kFetch.
   BagIndex left, right;                                        // kJoin/kProduct.
   std::unordered_map<std::string, CountEntry> counts;          // dedupe/kUnion.
   std::unordered_map<std::string, CountEntry> lcounts, rcounts;  // kDiff.
@@ -153,16 +169,20 @@ PlanMaintenance::~PlanMaintenance() = default;
 std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
     const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
     const Table& result, size_t max_bytes, bool* size_exceeded,
-    IndexFetchFn fetch) {
+    IndexFetchFn fetch, IndexPatchLogFn log) {
   (void)gate;  // Capability parameter: the REQUIRES_SHARED contract is it.
   if (size_exceeded != nullptr) *size_exceeded = false;
   if (plan == nullptr) return nullptr;
   std::unique_ptr<PlanMaintenance> m(new PlanMaintenance());
   m->plan_ = std::move(plan);
   m->fetch_ = std::move(fetch);
+  m->log_ = std::move(log);
   const std::vector<PhysicalOp>& ops = m->plan_->ops();
   const int output = m->plan_->output();
   if (output < 0 || output >= static_cast<int>(ops.size())) return nullptr;
+  // The delta classification set is the plan's compile-time read set.
+  m->read_rels_.insert(m->plan_->fetch_rels().begin(),
+                       m->plan_->fetch_rels().end());
   m->states_.reserve(ops.size());
   size_t* bytes = &m->approx_bytes_;
 
@@ -184,7 +204,10 @@ std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
         break;
       case PlanStep::Kind::kFetch: {
         if (op.index == nullptr || op.input < 0) return nullptr;
-        m->read_rels_.insert(op.index->constraint().rel);
+        // Stamp the index's bucket patch log at the retained buckets'
+        // resolution point: Refresh() replays exactly the events logged
+        // after this onto them.
+        if (!m->LogVia(*op.index, &st.log_stamp, nullptr)) return nullptr;
         // The fetch step probes with the *distinct* input rows; retain each
         // key's multiplicity so input deltas only matter on 0 <-> 1.
         for (const Tuple& key : rows[static_cast<size_t>(op.input)]) {
@@ -197,11 +220,11 @@ std::unique_ptr<PlanMaintenance> PlanMaintenance::Build(
           }
           e.key = key;
           e.count = 1;
-          e.bucket = m->FetchVia(*op.index, key);
           *bytes += TupleBytes(key) + kEntryOverhead;
-          for (const Tuple& r : e.bucket) {
-            *bytes += TupleBytes(r);
+          for (Tuple& r : m->FetchVia(*op.index, key)) {
+            *bytes += TupleBytes(r) + kEntryOverhead;
             out.push_back(r);
+            e.bucket.emplace(Enc(r), std::move(r));
           }
         }
         break;
@@ -341,6 +364,13 @@ RefreshOutcome PlanMaintenance::Refresh(
   const size_t output = static_cast<size_t>(plan_->output());
   size_t* bytes = &approx_bytes_;
 
+  // Phase clocks only when the caller wants stats: three steady_clock
+  // reads per refresh, none per row.
+  using Clock = std::chrono::steady_clock;
+  const bool timed = stats != nullptr;
+  Clock::time_point t_start, t_classified, t_propagated;
+  if (timed) t_start = Clock::now();
+
   // Classify the batch against the plan's fetch read set.
   std::unordered_map<std::string_view, std::vector<const Delta*>> by_rel;
   size_t relevant = 0;
@@ -349,11 +379,17 @@ RefreshOutcome PlanMaintenance::Refresh(
     by_rel[std::string_view(d.rel)].push_back(&d);
     ++relevant;
   }
-  if (stats != nullptr) stats->deltas_relevant = relevant;
+  if (timed) {
+    t_classified = Clock::now();
+    stats->deltas_relevant = relevant;
+    stats->classify_us = MicrosSince(t_start, t_classified);
+  }
   if (relevant == 0) {
     // The batch only touched relations outside the read set: the cached
     // table is already the post-batch answer, it just needs re-keying to
-    // the new snapshot by the caller.
+    // the new snapshot by the caller. (No bound index logged an event
+    // either — an index only records transitions of its own relation — so
+    // the patch-log cursors are already current.)
     *patched = current;
     return RefreshOutcome::kRefreshed;
   }
@@ -374,25 +410,27 @@ RefreshOutcome PlanMaintenance::Refresh(
           break;
         case PlanStep::Kind::kFetch: {
           const SignedRows& in = dio[static_cast<size_t>(op.input)];
-          // Input-side key transitions first: a key this very batch both
-          // introduces and feeds rows into resolves against the post-batch
-          // index here, so the index-side pass below re-resolves it to an
-          // empty diff instead of double-counting.
+          // Input-side key transitions first. A key freshly probed here
+          // resolves against the live *post-batch* index, so the log
+          // replay below must skip its events — they are already folded
+          // into the fresh bucket.
+          std::unordered_set<std::string> fresh_keys;
           for (const Tuple& key : in.minus) {
             auto it = st.probed.find(Enc(key));
             if (it == st.probed.end() || it->second.count <= 0) return false;
             FetchEntry& e = it->second;
             if (--e.count == 0) {
               SubBytes(bytes, TupleBytes(e.key) + kEntryOverhead);
-              for (Tuple& r : e.bucket) {
-                SubBytes(bytes, TupleBytes(r));
+              for (auto& [enc, r] : e.bucket) {
+                SubBytes(bytes, TupleBytes(r) + kEntryOverhead);
                 out.minus.push_back(std::move(r));
               }
               st.probed.erase(it);
             }
           }
           for (const Tuple& key : in.plus) {
-            auto [it, fresh] = st.probed.try_emplace(Enc(key));
+            std::string ek = Enc(key);
+            auto [it, fresh] = st.probed.try_emplace(ek);
             FetchEntry& e = it->second;
             if (!fresh) {
               ++e.count;
@@ -400,29 +438,71 @@ RefreshOutcome PlanMaintenance::Refresh(
             }
             e.key = key;
             e.count = 1;
-            e.bucket = FetchVia(*op.index, key);
             *bytes += TupleBytes(key) + kEntryOverhead;
-            for (const Tuple& r : e.bucket) {
-              *bytes += TupleBytes(r);
+            for (Tuple& r : FetchVia(*op.index, key)) {
+              *bytes += TupleBytes(r) + kEntryOverhead;
               out.plus.push_back(r);
+              e.bucket.emplace(Enc(r), std::move(r));
             }
+            fresh_keys.insert(std::move(ek));
           }
-          // Index-side: re-resolve exactly the probed keys this batch's
-          // base-relation deltas land on. Idempotent per key, so several
-          // deltas on one key cost one non-empty diff.
-          auto rel_it =
-              by_rel.find(std::string_view(op.index->constraint().rel));
-          if (rel_it == by_rel.end()) break;
-          for (const Delta* d : rel_it->second) {
-            Tuple key = op.index->FetchKeyOf(d->row);
-            auto it = st.probed.find(Enc(key));
-            if (it == st.probed.end()) continue;  // Key never probed.
-            FetchEntry& e = it->second;
-            std::vector<Tuple> now = FetchVia(*op.index, key);
-            DiffDistinct(e.bucket, now, &out);
-            for (const Tuple& r : e.bucket) SubBytes(bytes, TupleBytes(r));
-            for (const Tuple& r : now) *bytes += TupleBytes(r);
-            e.bucket = std::move(now);
+          // Index-side: the mirror patch log *is* the signed bucket delta
+          // of this batch — replay the events that land on retained keys,
+          // O(1) each, instead of re-resolving whole buckets. Drained only
+          // when the batch touched this op's relation: an index logs only
+          // its own relation's transitions, so otherwise the cursor is
+          // already current.
+          if (by_rel.find(std::string_view(op.index->constraint().rel)) ==
+              by_rel.end()) {
+            break;
+          }
+          std::vector<BucketPatch> events;
+          if (LogVia(*op.index, &st.log_stamp, &events)) {
+            for (BucketPatch& ev : events) {
+              std::string ek = Enc(ev.key);
+              auto it = st.probed.find(ek);
+              if (it == st.probed.end()) continue;      // Key never probed.
+              if (fresh_keys.count(ek) != 0) continue;  // Post-batch above.
+              FetchEntry& e = it->second;
+              if (stats != nullptr) ++stats->bucket_diff_hits;
+              std::string er = Enc(ev.row);
+              if (ev.sign > 0) {
+                auto [rit, added] = e.bucket.emplace(std::move(er), ev.row);
+                if (!added) return false;  // Log/bucket disagree: impossible.
+                *bytes += TupleBytes(ev.row) + kEntryOverhead;
+                out.plus.push_back(std::move(ev.row));
+              } else {
+                auto rit = e.bucket.find(er);
+                if (rit == e.bucket.end()) return false;  // Disagreement.
+                SubBytes(bytes, TupleBytes(rit->second) + kEntryOverhead);
+                out.minus.push_back(std::move(rit->second));
+                e.bucket.erase(rit);
+              }
+            }
+            break;
+          }
+          // Truncated log: a budget-forced mirror rebuild dropped events
+          // since the last refresh, which can only have happened within
+          // this very batch (every prior batch's events were consumed in
+          // order). Fall back to wholesale re-resolution of the retained
+          // keys this batch's deltas land on — the pre-log behavior, now
+          // the rare path. The cursor already advanced to "now", so the
+          // next batch replays the log again.
+          {
+            auto rel_it =
+                by_rel.find(std::string_view(op.index->constraint().rel));
+            std::unordered_set<std::string> redone;
+            for (const Delta* d : rel_it->second) {
+              Tuple key = op.index->FetchKeyOf(d->row);
+              std::string ek = Enc(key);
+              auto it = st.probed.find(ek);
+              if (it == st.probed.end()) continue;      // Key never probed.
+              if (fresh_keys.count(ek) != 0) continue;  // Already post-batch.
+              if (!redone.insert(ek).second) continue;  // One fetch per key.
+              if (stats != nullptr) ++stats->bucket_refetch_fallbacks;
+              RediffBucket(&it->second, FetchVia(*op.index, key), &out,
+                           bytes);
+            }
           }
           break;
         }
@@ -548,10 +628,6 @@ RefreshOutcome PlanMaintenance::Refresh(
         case PlanStep::Kind::kDiff: {
           const SignedRows& dl = dio[static_cast<size_t>(op.left)];
           const SignedRows& dr = dio[static_cast<size_t>(op.right)];
-          // A deletion reaching the subtrahend can resurrect rows whose
-          // support this op never retained downstream; spec-mandated
-          // fallback instead of speculating.
-          if (!dr.minus.empty()) return false;
           auto lcount = [&](const std::string& enc) -> int64_t {
             auto it = st.lcounts.find(enc);
             return it == st.lcounts.end() ? 0 : it->second.count;
@@ -560,19 +636,63 @@ RefreshOutcome PlanMaintenance::Refresh(
             auto it = st.rcounts.find(enc);
             return it == st.rcounts.end() ? 0 : it->second.count;
           };
+          // Net the subtrahend delta per row first: a transient plus/minus
+          // pair from an upstream set-semantic op is no transition at all,
+          // and netting keeps one from masquerading as a resurrection.
+          struct NetRow {
+            const Tuple* row = nullptr;
+            int64_t net = 0;
+          };
+          std::unordered_map<std::string, NetRow> rnet;
           for (const Tuple& r : dr.plus) {
-            std::string enc = Enc(r);
-            auto [it, fresh] = st.rcounts.try_emplace(enc);
-            CountEntry& e = it->second;
-            if (fresh) {
-              e.row = r;
-              *bytes += TupleBytes(r) + kEntryOverhead;
-            }
-            bool was = e.count > 0;
-            ++e.count;
-            // A subtrahend row gaining support suppresses a live output row.
-            if (!was && lcount(enc) > 0) {
-              out.minus.push_back(st.lcounts.find(enc)->second.row);
+            NetRow& n = rnet[Enc(r)];
+            n.row = &r;
+            ++n.net;
+          }
+          for (const Tuple& r : dr.minus) {
+            NetRow& n = rnet[Enc(r)];
+            if (n.row == nullptr) n.row = &r;
+            --n.net;
+          }
+          for (auto& [enc, n] : rnet) {
+            if (n.net > 0) {
+              auto [it, fresh] = st.rcounts.try_emplace(enc);
+              CountEntry& e = it->second;
+              if (fresh) {
+                e.row = *n.row;
+                *bytes += TupleBytes(e.row) + kEntryOverhead;
+              }
+              bool was = e.count > 0;
+              e.count += n.net;
+              // A subtrahend key gaining support suppresses a live row.
+              if (!was && lcount(enc) > 0) {
+                out.minus.push_back(st.lcounts.find(enc)->second.row);
+              }
+            } else if (n.net < 0) {
+              auto it = st.rcounts.find(enc);
+              if (it == st.rcounts.end() || it->second.count < -n.net) {
+                return false;  // Underflow: impossible, batch was applied.
+              }
+              CountEntry& e = it->second;
+              e.count += n.net;
+              if (e.count > 0) {
+                // Surviving duplicates still hold the suppression: a pure
+                // support-count decrement, no output change possible.
+                if (stats != nullptr) ++stats->subtrahend_decrements;
+                continue;
+              }
+              SubBytes(bytes, TupleBytes(e.row) + kEntryOverhead);
+              st.rcounts.erase(it);
+              if (lcount(enc) > 0) {
+                // Support hit zero under a retained minuend row: a
+                // previously-suppressed row actually resurrects, the one
+                // difference shape still handed to the recompute fallback.
+                if (stats != nullptr) ++stats->resurrection_fallbacks;
+                return false;
+              }
+              // The key never suppressed any retained row: bookkeeping
+              // only, the deletion cannot surface anything.
+              if (stats != nullptr) ++stats->subtrahend_decrements;
             }
           }
           for (const Tuple& r : dl.plus) {
@@ -604,6 +724,10 @@ RefreshOutcome PlanMaintenance::Refresh(
     }
     return true;
   }();
+  if (timed) {
+    t_propagated = Clock::now();
+    stats->propagate_us = MicrosSince(t_classified, t_propagated);
+  }
   if (!ok) {
     dead_ = true;
     return RefreshOutcome::kNotMaintainable;
@@ -661,6 +785,7 @@ RefreshOutcome PlanMaintenance::Refresh(
     stats->rows_added = added;
     stats->rows_removed = removed;
   }
+  if (timed) stats->patch_us = MicrosSince(t_propagated, Clock::now());
   *patched = std::make_shared<const Table>(std::move(t));
   return RefreshOutcome::kRefreshed;
 }

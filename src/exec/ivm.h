@@ -28,17 +28,60 @@ namespace bqe {
 using IndexFetchFn =
     std::function<std::vector<Tuple>(const AccessIndex&, const Tuple&)>;
 
+/// Patch-log indirection, the sibling of IndexFetchFn: drains the signed
+/// bucket mutations (BucketPatch) logged against `binding`'s constraint
+/// since `*stamp`, appends them to `out` in application order, and advances
+/// `*stamp` to the current log position — even on failure, so the consumer
+/// resumes from "now" after its wholesale fallback. An empty `*stamp`
+/// means "initialize to the current position, emit nothing" (handle
+/// construction). Returns false when events were lost to a budget-forced
+/// mirror rebuild since the stamp; the consumer must then re-resolve its
+/// retained buckets wholesale (see AccessIndex::PatchLogSince). The
+/// default (an empty function) reads the binding's own log with a
+/// one-element stamp. A sharded engine instead keeps one stamp per shard
+/// and reads each shard's log for the same constraint, filtering to events
+/// whose bucket key that shard *owns* — replication lands a row in every
+/// shard holding one of its fetch keys, so a non-owner replica logs the
+/// same transition and unfiltered concatenation would double-count it.
+using IndexPatchLogFn = std::function<bool(
+    const AccessIndex&, std::vector<uint64_t>*, std::vector<BucketPatch>*)>;
+
 /// Outcome of one PlanMaintenance::Refresh().
 enum class RefreshOutcome {
   kRefreshed,        ///< `*patched` holds the post-batch result.
   kNotMaintainable,  ///< The handle is dead; recompute and rebuild.
 };
 
-/// Per-refresh observability: how much the patch moved.
+/// Per-refresh observability: how much the patch moved, which index-side
+/// path resolved it, and where the wall time went.
 struct RefreshStats {
   size_t rows_added = 0;    ///< Rows the patch appended to the result.
   size_t rows_removed = 0;  ///< Rows the patch removed from the result.
   size_t deltas_relevant = 0;  ///< Batch deltas inside the plan's read set.
+  /// Index-side bucket mutations applied off the mirror patch log to
+  /// retained (probed) buckets — the O(delta) path that replaced wholesale
+  /// bucket re-resolution.
+  size_t bucket_diff_hits = 0;
+  /// Probed buckets re-resolved wholesale because the index's patch log
+  /// was truncated by a budget-forced mirror rebuild since the last
+  /// refresh (the rare O(bucket) fallback).
+  size_t bucket_refetch_fallbacks = 0;
+  /// Difference-subtrahend deletions absorbed as support-count work: the
+  /// deleted row either still has surviving duplicates or never suppressed
+  /// any retained minuend row, so nothing can resurrect and no output
+  /// changes.
+  size_t subtrahend_decrements = 0;
+  /// Subtrahend deletions that zeroed the support of a key some retained
+  /// minuend row carries: a previously-suppressed row actually resurrects,
+  /// the one remaining difference shape that reports kNotMaintainable.
+  size_t resurrection_fallbacks = 0;
+  /// Per-phase wall time in microseconds: classifying the batch against
+  /// the read set, propagating signed rows through the op DAG, patching
+  /// the cached table. Only populated when a stats pointer is passed (the
+  /// clock reads are per refresh, not per row).
+  double classify_us = 0.0;
+  double propagate_us = 0.0;
+  double patch_us = 0.0;
 };
 
 /// Incremental view maintenance of one cached bounded-query result: the
@@ -54,10 +97,13 @@ struct RefreshStats {
 /// row-path semantics once, retaining per-operator state:
 ///
 ///   - kFetch: the distinct probe keys with input multiplicities and the
-///     bucket each returned (the fetch step probes with *distinct input
-///     rows*, so an input delta changes the output only on a 0 <-> 1 key
-///     transition, and an index-side delta only re-resolves keys already
-///     probed — both against the live post-batch index),
+///     bucket each returned, held as a hash set of distinct rows (the fetch
+///     step probes with *distinct input rows*, so an input delta changes
+///     the output only on a 0 <-> 1 key transition — resolved against the
+///     live post-batch index — while an index-side delta replays the
+///     index's bucket patch log onto the retained buckets in O(1) per
+///     logged event; only a log truncated by a budget-forced mirror
+///     rebuild falls back to wholesale re-resolution of the touched keys),
 ///   - kJoin / kProduct: both join sides as key-bucketed bags, so a delta
 ///     row on one side meets exactly its matching bucket on the other
 ///     (sequential two-stage propagation: dL joins R-old, then dR joins
@@ -71,12 +117,13 @@ struct RefreshStats {
 /// Refresh() then turns an applied delta batch into exact signed
 /// insert/delete patches against the cached table. Plans with ops that are
 /// not delta-friendly report kNotMaintainable and the caller falls back to
-/// invalidate-and-recompute; today that is (a) a difference with deletions
-/// reaching its subtrahend (a deletion there can resurrect result rows
-/// whose support the difference deliberately forgot) and (b) any observed
-/// count underflow or missing retained row — a defensive impossibility
-/// check, since the engine applies each batch to the base data before the
-/// cache refreshes.
+/// invalidate-and-recompute; today that is (a) a difference-subtrahend
+/// deletion that zeroes the support of a key some retained minuend row
+/// carries — a previously-suppressed row actually resurrects; deletions
+/// whose key keeps support, or never suppressed anything, are absorbed as
+/// per-key support-count decrements — and (b) any observed count underflow
+/// or missing retained row — a defensive impossibility check, since the
+/// engine applies each batch to the base data before the cache refreshes.
 ///
 /// Soundness does not rest on the vectorized executor emitting rows in any
 /// particular order: Build() verifies that the bag it derives equals the
@@ -112,12 +159,16 @@ class PlanMaintenance {
   /// `gate` is the serving gate whose (at least shared) hold keeps the
   /// replayed tables stable for the duration of the build. `fetch` (when
   /// non-empty) redirects every index probe — build replay and refresh
-  /// re-resolution alike; see IndexFetchFn.
+  /// re-resolution alike; see IndexFetchFn. `log` (when non-empty)
+  /// likewise redirects the bucket patch-log reads Refresh() consumes for
+  /// index-side deltas; see IndexPatchLogFn. Pass both or neither: the
+  /// default pair reads the bindings directly, the sharded pair routes
+  /// both to the owning shards.
   static std::unique_ptr<PlanMaintenance> Build(
       const WriterPriorityGate& gate, std::shared_ptr<const PhysicalPlan> plan,
       const Table& result, size_t max_bytes = static_cast<size_t>(-1),
-      bool* size_exceeded = nullptr,
-      IndexFetchFn fetch = {}) REQUIRES_SHARED(gate);
+      bool* size_exceeded = nullptr, IndexFetchFn fetch = {},
+      IndexPatchLogFn log = {}) REQUIRES_SHARED(gate);
 
   ~PlanMaintenance();
 
@@ -155,8 +206,23 @@ class PlanMaintenance {
     return fetch_ ? fetch_(idx, key) : idx.Fetch(key);
   }
 
+  /// Drains `idx`'s bucket patch log through log_ when installed, directly
+  /// otherwise; same contract as IndexPatchLogFn (empty stamp initializes).
+  bool LogVia(const AccessIndex& idx, std::vector<uint64_t>* stamp,
+              std::vector<BucketPatch>* out) const {
+    if (log_) return log_(idx, stamp, out);
+    if (stamp->empty()) {
+      stamp->push_back(idx.patch_log_stamp());
+      return true;
+    }
+    const bool ok = idx.PatchLogSince((*stamp)[0], out);
+    (*stamp)[0] = idx.patch_log_stamp();
+    return ok;
+  }
+
   std::shared_ptr<const PhysicalPlan> plan_;
   IndexFetchFn fetch_;  ///< See Build(); empty = probe bindings directly.
+  IndexPatchLogFn log_;  ///< See Build(); empty = read bindings' logs.
   std::vector<std::unique_ptr<OpState>> states_;  // Index-aligned with ops().
   /// Relations the plan's fetch indices read: the delta classification set.
   std::unordered_set<std::string> read_rels_;

@@ -106,6 +106,11 @@ Result<PhysicalPlan> PhysicalPlan::Compile(const BoundedPlan& plan,
                       op.index) == pp.fetch_indices_.end()) {
           pp.fetch_indices_.push_back(op.index);
         }
+        const std::string& rel = op.index->constraint().rel;
+        if (std::find(pp.fetch_rels_.begin(), pp.fetch_rels_.end(), rel) ==
+            pp.fetch_rels_.end()) {
+          pp.fetch_rels_.push_back(rel);
+        }
         break;
       }
       case PlanStep::Kind::kProject: {

@@ -92,6 +92,13 @@ class PhysicalPlan {
     return fetch_indices_;
   }
 
+  /// The distinct *base relations* behind fetch_indices(), resolved at
+  /// compile time: the plan's read set over the stored data. A delta on a
+  /// relation outside this set provably cannot change the plan's answer —
+  /// result maintenance (exec/ivm) classifies every batch against it, and
+  /// it is the set whose indices' bucket patch logs a refresh consumes.
+  const std::vector<std::string>& fetch_rels() const { return fetch_rels_; }
+
   /// Live total entry count of the fetch steps' indices — the adaptive
   /// micro-plan signal (ExecOptions::row_path_threshold). Recomputed per
   /// execution (never frozen into the plan): maintenance changes it, and a
@@ -129,6 +136,7 @@ class PhysicalPlan {
 
   std::vector<PhysicalOp> ops_;
   std::vector<const AccessIndex*> fetch_indices_;  // Distinct, compile order.
+  std::vector<std::string> fetch_rels_;            // Distinct base relations.
   int output_ = -1;
   RelationSchema output_schema_;
   const BoundedPlan* source_ = nullptr;

@@ -470,16 +470,24 @@ void QueryService::ProcessChunk(std::vector<Request>* chunk) {
             // Sharded mode: the plan's fetch bindings belong to the
             // planning shard's (partial) index replica, so redirect every
             // maintenance probe to the key's owning shard — the one whose
-            // bucket is byte-identical to a single engine's.
+            // bucket is byte-identical to a single engine's — and every
+            // bucket patch-log read to the per-shard logs with the same
+            // ownership routing.
             IndexFetchFn fetch;
+            IndexPatchLogFn log;
             if (sharded_ != nullptr) {
               fetch = [this](const AccessIndex& idx, const Tuple& key) {
                 return sharded_->RoutedFetch(idx, key);
               };
+              log = [this](const AccessIndex& idx,
+                           std::vector<uint64_t>* stamp,
+                           std::vector<BucketPatch>* out) {
+                return sharded_->RoutedPatchLog(idx, stamp, out);
+              };
             }
             maint = PlanMaintenance::Build(gate_, maintainable, *resp.table,
                                            maint_bound, &oversized,
-                                           std::move(fetch));
+                                           std::move(fetch), std::move(log));
             if (oversized) DeclineMaintenance(leader->fingerprint);
           }
           // Insert under the same gate hold the execution ran in: `snap`

@@ -126,6 +126,17 @@ RefreshSummary ResultCache::Refresh(const WriterPriorityGate& gate,
     RefreshOutcome outcome =
         e.maint->Refresh(gate, deltas, e.result.table, &patched, &rs);
     MutexLock lk(&mu_);
+    // The per-refresh micro-counters accumulate on every attempt: a
+    // fallback still did classify/propagate work (and its
+    // resurrection_fallbacks / bucket counters are exactly what explains
+    // the fallback).
+    bucket_diff_hits_ += rs.bucket_diff_hits;
+    bucket_refetch_fallbacks_ += rs.bucket_refetch_fallbacks;
+    subtrahend_decrements_ += rs.subtrahend_decrements;
+    resurrection_fallbacks_ += rs.resurrection_fallbacks;
+    refresh_classify_us_ += static_cast<uint64_t>(rs.classify_us);
+    refresh_propagate_us_ += static_cast<uint64_t>(rs.propagate_us);
+    refresh_patch_us_ += static_cast<uint64_t>(rs.patch_us);
     if (outcome != RefreshOutcome::kRefreshed) {
       ++refresh_fallbacks_;
       ++summary.fallbacks;
@@ -185,6 +196,13 @@ ResultCacheStats ResultCache::stats() const {
   s.refreshes = refreshes_;
   s.refresh_fallbacks = refresh_fallbacks_;
   s.refreshed_rows = refreshed_rows_;
+  s.bucket_diff_hits = bucket_diff_hits_;
+  s.bucket_refetch_fallbacks = bucket_refetch_fallbacks_;
+  s.subtrahend_decrements = subtrahend_decrements_;
+  s.resurrection_fallbacks = resurrection_fallbacks_;
+  s.refresh_classify_us = refresh_classify_us_;
+  s.refresh_propagate_us = refresh_propagate_us_;
+  s.refresh_patch_us = refresh_patch_us_;
   return s;
 }
 

@@ -49,6 +49,24 @@ struct ResultCacheStats {
   /// Total rows the refresh patches added plus removed across all
   /// refreshes — the O(delta) work the cache did instead of O(query).
   uint64_t refreshed_rows = 0;
+  /// Index-side bucket mutations the refreshes replayed off the mirror
+  /// patch logs onto retained fetch buckets (RefreshStats::bucket_diff_hits
+  /// summed) — the O(delta) path for index-side deltas.
+  uint64_t bucket_diff_hits = 0;
+  /// Retained buckets re-resolved wholesale because a patch log was
+  /// truncated by a budget-forced mirror rebuild.
+  uint64_t bucket_refetch_fallbacks = 0;
+  /// Difference-subtrahend deletions absorbed as support-count decrements
+  /// (no resurrection possible, no fallback paid).
+  uint64_t subtrahend_decrements = 0;
+  /// Subtrahend deletions that actually resurrected a suppressed row — the
+  /// remaining difference shape counted into refresh_fallbacks.
+  uint64_t resurrection_fallbacks = 0;
+  /// Per-phase refresh wall time, microseconds summed over all refresh
+  /// attempts (classify the batch / propagate signed rows / patch tables).
+  uint64_t refresh_classify_us = 0;
+  uint64_t refresh_propagate_us = 0;
+  uint64_t refresh_patch_us = 0;
 };
 
 /// What one ResultCache::Refresh() call did, for the caller's logs/tests;
@@ -185,6 +203,13 @@ class ResultCache {
   uint64_t refreshes_ GUARDED_BY(mu_) = 0;
   uint64_t refresh_fallbacks_ GUARDED_BY(mu_) = 0;
   uint64_t refreshed_rows_ GUARDED_BY(mu_) = 0;
+  uint64_t bucket_diff_hits_ GUARDED_BY(mu_) = 0;
+  uint64_t bucket_refetch_fallbacks_ GUARDED_BY(mu_) = 0;
+  uint64_t subtrahend_decrements_ GUARDED_BY(mu_) = 0;
+  uint64_t resurrection_fallbacks_ GUARDED_BY(mu_) = 0;
+  uint64_t refresh_classify_us_ GUARDED_BY(mu_) = 0;
+  uint64_t refresh_propagate_us_ GUARDED_BY(mu_) = 0;
+  uint64_t refresh_patch_us_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

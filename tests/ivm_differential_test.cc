@@ -402,6 +402,9 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   ASSERT_TRUE(engine.Apply(shrink).ok());
   EXPECT_EQ(RefreshMaintained(&gate, maint.get(), shrink, cur, &patched, &rs),
             RefreshOutcome::kNotMaintainable);
+  // The refusal is attributed precisely: a resurrection, not a generic
+  // subtrahend deletion (those are absorbed; see the matrix test below).
+  EXPECT_GE(rs.resurrection_fallbacks, 1u);
   fresh = engine.ExecutePrepared(**pq);
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(fresh->table.NumRows(), base_rows);
@@ -427,6 +430,244 @@ TEST(IvmGraphChurnDifferentialTest, SubtrahendDeleteForcesFallback) {
   fresh = engine.ExecutePrepared(**pq);
   ASSERT_TRUE(fresh.ok());
   ExpectSameBag(*patched, fresh->table, "rebuilt handle");
+}
+
+/// The subtrahend support-count matrix: only a deletion that actually
+/// resurrects a suppressed row may fall back. A deletion of a june row
+/// whose key never suppressed anything, or whose key keeps support, is
+/// absorbed as bookkeeping (subtrahend_decrements) with the patched table
+/// staying bag-exact; the true resurrection still refuses with the precise
+/// counter; and a handle rebuilt after the fallback suppresses again on
+/// re-insert.
+TEST(IvmGraphChurnDifferentialTest, SubtrahendSupportCountsAbsorbSafeDeletes) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  RaExprPtr q = FriendsMayNotJuneCafesQuery(fx.cfg.Pid(0));
+  Result<std::shared_ptr<const PreparedQuery>> pq = engine.PrepareCompiled(q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_TRUE((*pq)->info.covered);
+  Result<ExecuteResult> first = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const Table> cur =
+      std::make_shared<const Table>(std::move(first->table));
+  WriterPriorityGate gate;
+  std::unique_ptr<PlanMaintenance> maint =
+      BuildMaintained(&gate, (*pq)->physical, *cur);
+  ASSERT_NE(maint, nullptr);
+
+  auto S = [](const std::string& s) { return Value::Str(s); };
+  auto check = [&](const std::vector<Delta>& batch, const std::string& ctx,
+                   RefreshStats* rs) {
+    ASSERT_TRUE(engine.Apply(batch).ok()) << ctx;
+    std::shared_ptr<const Table> patched;
+    ASSERT_EQ(RefreshMaintained(&gate, maint.get(), batch, cur, &patched, rs),
+              RefreshOutcome::kRefreshed)
+        << ctx;
+    Result<ExecuteResult> fresh = engine.ExecutePrepared(**pq);
+    ASSERT_TRUE(fresh.ok()) << ctx;
+    ExpectSameBag(*patched, fresh->table, ctx);
+    cur = patched;
+  };
+
+  // Case 1 — never-suppressed: a june visit to a nyc cafe provably absent
+  // from the minuend (june is empty, so `cur` *is* the minuend right now)
+  // puts a key in the subtrahend that suppresses nothing; deleting it again
+  // is a pure support-count erase, not a resurrection.
+  std::string free_cid;
+  for (int m = 0; m < fx.cfg.cafes && free_cid.empty(); m += 3) {  // nyc.
+    Value cand = Value::Str("c" + std::to_string(m));
+    bool present = false;
+    for (const Tuple& row : cur->rows()) present |= row[0] == cand;
+    if (!present) free_cid = "c" + std::to_string(m);
+  }
+  ASSERT_FALSE(free_cid.empty()) << "every nyc cafe already in the minuend";
+  Tuple free_june = {S(fx.cfg.Fid(0)), S(free_cid), Value::Int(6),
+                     Value::Int(2015)};
+  RefreshStats rs;
+  size_t rows_before = cur->NumRows();
+  check({Delta::Insert("dine", free_june)}, "never-suppressed insert", &rs);
+  EXPECT_EQ(cur->NumRows(), rows_before);  // Suppresses nothing.
+  // The insert landed on a retained (empty) june bucket via the patch log.
+  EXPECT_GE(rs.bucket_diff_hits, 1u);
+  check({Delta::Delete("dine", free_june)}, "never-suppressed delete", &rs);
+  EXPECT_EQ(cur->NumRows(), rows_before);
+  EXPECT_GE(rs.subtrahend_decrements, 1u);
+  EXPECT_EQ(rs.resurrection_fallbacks, 0u);
+
+  // Case 2 — surviving support: Cid(0) is in the minuend (Fid(0) dines
+  // there in may, it is nyc). Two friends visit it in june; taking back
+  // one visit leaves the suppression supported, so the handle must absorb
+  // the deletion instead of falling back.
+  Tuple cid0{S(fx.cfg.Cid(0))};
+  bool suppressed_target_present = false;
+  for (const Tuple& row : cur->rows()) {
+    suppressed_target_present |= row == cid0;
+  }
+  ASSERT_TRUE(suppressed_target_present);
+  Tuple june_a = {S(fx.cfg.Fid(0)), S(fx.cfg.Cid(0)), Value::Int(6),
+                  Value::Int(2015)};
+  Tuple june_b = {S(fx.cfg.Fid(1)), S(fx.cfg.Cid(0)), Value::Int(6),
+                  Value::Int(2015)};
+  check({Delta::Insert("dine", june_a), Delta::Insert("dine", june_b)},
+        "double june insert", &rs);
+  EXPECT_EQ(cur->NumRows(), rows_before - 1);  // Cid(0) suppressed once.
+  EXPECT_GE(rs.rows_removed, 1u);
+  check({Delta::Delete("dine", june_b)}, "delete with surviving support",
+        &rs);
+  EXPECT_EQ(cur->NumRows(), rows_before - 1);  // Still suppressed.
+  EXPECT_EQ(rs.resurrection_fallbacks, 0u);
+
+  // Case 3 — the true resurrection: the last june visit to Cid(0) goes
+  // away while the may row is retained. Exactly this refuses, and says so.
+  std::vector<Delta> resurrect = {Delta::Delete("dine", june_a)};
+  ASSERT_TRUE(engine.Apply(resurrect).ok());
+  std::shared_ptr<const Table> patched;
+  EXPECT_EQ(
+      RefreshMaintained(&gate, maint.get(), resurrect, cur, &patched, &rs),
+      RefreshOutcome::kNotMaintainable);
+  EXPECT_GE(rs.resurrection_fallbacks, 1u);
+
+  // Case 4 — recovery: rebuild from the recomputed table (the resurrected
+  // row is back), then re-insert the june visit; the new handle suppresses
+  // it again as a plain maintainable refresh.
+  Result<ExecuteResult> fresh = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->table.NumRows(), rows_before);
+  cur = std::make_shared<const Table>(std::move(fresh->table));
+  maint = BuildMaintained(&gate, (*pq)->physical, *cur);
+  ASSERT_NE(maint, nullptr);
+  check({Delta::Insert("dine", june_a)}, "re-insert after rebuild", &rs);
+  EXPECT_EQ(cur->NumRows(), rows_before - 1);
+}
+
+/// Fat-bucket index-side deltas: with a few hundred retained rows behind
+/// one probe key, refresh must patch through the mirror patch log — O(1)
+/// per logged event — never by re-diffing the whole bucket. The counters
+/// pin the path taken, the bag comparison pins its exactness.
+TEST(IvmGraphChurnDifferentialTest, FatBucketDeltasRideThePatchLog) {
+  GraphChurnConfig cfg;
+  cfg.pids = 3;
+  cfg.friends_per_pid = 400;
+  cfg.cafes = 50;
+  GraphChurnFixture fx = MakeGraphChurnFixture(cfg);
+  BoundedEngine engine(&fx.db, fx.schema, DeterministicOptions(2));
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  RaExprPtr q = FriendsNycCafesQuery(cfg.Pid(0));
+  Result<std::shared_ptr<const PreparedQuery>> pq = engine.PrepareCompiled(q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_TRUE((*pq)->info.covered);
+  Result<ExecuteResult> first = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const Table> cur =
+      std::make_shared<const Table>(std::move(first->table));
+  WriterPriorityGate gate;
+  std::unique_ptr<PlanMaintenance> maint =
+      BuildMaintained(&gate, (*pq)->physical, *cur);
+  ASSERT_NE(maint, nullptr);
+
+  auto S = [](const std::string& s) { return Value::Str(s); };
+  size_t diff_hits = 0;
+  auto check = [&](const std::vector<Delta>& batch, const std::string& ctx) {
+    ASSERT_TRUE(engine.Apply(batch).ok()) << ctx;
+    std::shared_ptr<const Table> patched;
+    RefreshStats rs;
+    ASSERT_EQ(RefreshMaintained(&gate, maint.get(), batch, cur, &patched, &rs),
+              RefreshOutcome::kRefreshed)
+        << ctx;
+    // Every batch mutates Pid(0)'s 400-row friend bucket: the event must
+    // ride the log, and nothing may force a wholesale bucket re-resolve.
+    EXPECT_GE(rs.bucket_diff_hits, 1u) << ctx;
+    EXPECT_EQ(rs.bucket_refetch_fallbacks, 0u) << ctx;
+    diff_hits += rs.bucket_diff_hits;
+    Result<ExecuteResult> fresh = engine.ExecutePrepared(**pq);
+    ASSERT_TRUE(fresh.ok()) << ctx;
+    ExpectSameBag(*patched, fresh->table, ctx);
+    cur = patched;
+  };
+
+  constexpr int kWaves = 6;
+  for (int k = 0; k < kWaves; ++k) {
+    std::string nf = "fat" + std::to_string(k);
+    check({Delta::Insert("friend", {S(cfg.Pid(0)), S(nf)}),
+           Delta::Insert("dine", {S(nf), S("c" + std::to_string(3 * k)),
+                                  Value::Int(5), Value::Int(2015)})},
+          "fat insert " + std::to_string(k));
+  }
+  for (int k = 0; k < kWaves; ++k) {
+    std::string nf = "fat" + std::to_string(k);
+    check({Delta::Delete("dine", {S(nf), S("c" + std::to_string(3 * k)),
+                                  Value::Int(5), Value::Int(2015)}),
+           Delta::Delete("friend", {S(cfg.Pid(0)), S(nf)})},
+          "fat delete " + std::to_string(k));
+  }
+  // One logged friend-bucket event per wave, both directions.
+  EXPECT_GE(diff_hits, static_cast<size_t>(2 * kWaves));
+}
+
+/// The truncation regression: under a patch budget of one, any batch with
+/// three distinct-entry transitions on one index forces a mirror rebuild,
+/// which truncates the log mid-batch — refresh must detect the loss
+/// (bucket_refetch_fallbacks), re-resolve the touched buckets wholesale,
+/// and still produce the exact table; once the mirror has rebuilt, the
+/// next batch rides the log again.
+TEST(IvmGraphChurnDifferentialTest, TruncatedPatchLogFallsBackToRefetch) {
+  GraphChurnFixture fx = MakeGraphChurnFixture();
+  EngineOptions opts = DeterministicOptions(2);
+  opts.mirror_patch_budget = 1;
+  BoundedEngine engine(&fx.db, fx.schema, opts);
+  ASSERT_TRUE(engine.BuildIndices().ok());
+  RaExprPtr q = FriendsNycCafesQuery(fx.cfg.Pid(0));
+  Result<std::shared_ptr<const PreparedQuery>> pq = engine.PrepareCompiled(q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  ASSERT_TRUE((*pq)->info.covered);
+  Result<ExecuteResult> first = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const Table> cur =
+      std::make_shared<const Table>(std::move(first->table));
+  WriterPriorityGate gate;
+  std::unique_ptr<PlanMaintenance> maint =
+      BuildMaintained(&gate, (*pq)->physical, *cur);
+  ASSERT_NE(maint, nullptr);
+
+  auto S = [](const std::string& s) { return Value::Str(s); };
+  std::vector<Delta> burst;
+  for (int k = 0; k < 4; ++k) {
+    std::string nf = "tr" + std::to_string(k);
+    burst.push_back(Delta::Insert("friend", {S(fx.cfg.Pid(0)), S(nf)}));
+    burst.push_back(
+        Delta::Insert("dine", {S(nf), S("c" + std::to_string(3 * k)),
+                               Value::Int(5), Value::Int(2015)}));
+  }
+  ASSERT_TRUE(engine.Apply(burst).ok());
+  std::shared_ptr<const Table> patched;
+  RefreshStats rs;
+  ASSERT_EQ(RefreshMaintained(&gate, maint.get(), burst, cur, &patched, &rs),
+            RefreshOutcome::kRefreshed);
+  // Pid(0)'s friend bucket re-resolved wholesale, exactly once, and no
+  // event could have been replayed off the truncated log.
+  EXPECT_EQ(rs.bucket_refetch_fallbacks, 1u);
+  EXPECT_EQ(rs.bucket_diff_hits, 0u);
+  Result<ExecuteResult> fresh = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameBag(*patched, fresh->table, "post-truncation refresh");
+  cur = patched;
+
+  // The fresh execution above re-froze the mirrors, so a small follow-up
+  // batch logs cleanly and refresh is back on the O(delta) path.
+  std::vector<Delta> small = {
+      Delta::Insert("friend", {S(fx.cfg.Pid(0)), S("tr-post")}),
+      Delta::Insert("dine",
+                    {S("tr-post"), S("c0"), Value::Int(5), Value::Int(2015)}),
+  };
+  ASSERT_TRUE(engine.Apply(small).ok());
+  ASSERT_EQ(RefreshMaintained(&gate, maint.get(), small, cur, &patched, &rs),
+            RefreshOutcome::kRefreshed);
+  EXPECT_GE(rs.bucket_diff_hits, 1u);
+  EXPECT_EQ(rs.bucket_refetch_fallbacks, 0u);
+  fresh = engine.ExecutePrepared(**pq);
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameBag(*patched, fresh->table, "post-rebuild refresh");
 }
 
 }  // namespace

@@ -152,18 +152,39 @@ TEST(IvmStressTest, RefreshAndFallbackStayCoherentUnderReaderStorm) {
     EXPECT_TRUE(Table::SameSet(*r.table, fresh->table)) << ctx;
   }
 
-  // Serial coda, deterministic regardless of storm timing. Read hot[0] so
-  // its entry is resident at the current snapshot, push one more june
-  // batch through the gate, then read again: hot[0]'s entry was patched in
-  // place (the june keys are a no-op for its may-branch fetch, but the
-  // entry is re-keyed and marked refreshed), so the read MUST be a
-  // refreshed cache hit; the difference entry took the subtrahend deletion
-  // and MUST have counted a fallback.
+  // Serial coda, deterministic regardless of storm timing. Support counts
+  // mean a june deletion only falls back when it actually resurrects a
+  // suppressed may row, and a fallback leaves the entry handle-less for
+  // one execution (lazy rebuild) — so the coda (a) seeds an explicit
+  // suppressed pair (a new friend of Pid(0) with both a may and a june
+  // visit to a new nyc cafe), and (b) runs two batch+read rounds first,
+  // which converge hot[0] and hot[4] to cached-fresh-with-handle from any
+  // storm-exit state (absent, handle-less, or pending a deferred rebuild).
+  // Deleting the seeded june row is then a guaranteed resurrection: the
+  // refresh MUST refuse into exactly the fallback counter, while hot[0]
+  // absorbs the same batch and MUST serve a marked refreshed hit.
+  serve::DeltaResponse seed = service.ApplyDeltas({
+      Delta::Insert("friend", {Value::Str(fx.cfg.Pid(0)), Value::Str("coda-f")}),
+      Delta::Insert("cafe", {Value::Str("codacafe"), Value::Str("nyc")}),
+      Delta::Insert("dine", {Value::Str("coda-f"), Value::Str("codacafe"),
+                             Value::Int(5), Value::Int(2015)}),
+      Delta::Insert("dine", {Value::Str("coda-f"), Value::Str("codacafe"),
+                             Value::Int(6), Value::Int(2015)}),
+  });
+  ASSERT_TRUE(seed.status.ok());
+  (void)service.Query(hot[0]);
+  (void)service.Query(hot[4]);
+  serve::DeltaResponse settle =
+      service.ApplyDeltas(GraphChurnMixedBatch(fx.cfg, "coda", 0));
+  ASSERT_TRUE(settle.status.ok());
   (void)service.Query(hot[0]);
   (void)service.Query(hot[4]);
   uint64_t fallbacks_before = service.stats().result_cache.refresh_fallbacks;
-  serve::DeltaResponse dr =
-      service.ApplyDeltas(GraphChurnJuneBatch(fx.cfg, kStormBatches / 2));
+  std::vector<Delta> coda = GraphChurnJuneBatch(fx.cfg, kStormBatches / 2);
+  coda.push_back(Delta::Delete("dine", {Value::Str("coda-f"),
+                                        Value::Str("codacafe"), Value::Int(6),
+                                        Value::Int(2015)}));
+  serve::DeltaResponse dr = service.ApplyDeltas(coda);
   ASSERT_TRUE(dr.status.ok());
   QueryResponse refreshed_read = service.Query(hot[0]);
   ASSERT_TRUE(refreshed_read.status.ok());
@@ -173,8 +194,11 @@ TEST(IvmStressTest, RefreshAndFallbackStayCoherentUnderReaderStorm) {
                 "refreshed coda read");
   ServiceStats s = service.stats();
   EXPECT_GE(s.result_cache.refresh_fallbacks, fallbacks_before + 1)
-      << "a subtrahend deletion on a resident difference entry must fall "
-         "back to invalidate-and-recompute";
+      << "a resurrecting subtrahend deletion on a resident difference entry "
+         "must fall back to invalidate-and-recompute";
+  EXPECT_GE(s.result_cache.resurrection_fallbacks, 1u)
+      << "the coda deletion zeroes a support count while its may row is "
+         "suppressed — it must be classified as a resurrection";
   QueryResponse diff_read = service.Query(hot[4]);  // Recompute, not a hit.
   ASSERT_TRUE(diff_read.status.ok());
   ExpectSameBag(*diff_read.table, FreshlyPreparedAnswer(engine, hot[4], 2),
@@ -185,8 +209,8 @@ TEST(IvmStressTest, RefreshAndFallbackStayCoherentUnderReaderStorm) {
 
   constexpr uint64_t kTotalQueries =
       static_cast<uint64_t>(kClients) * kRequestsPerClient +
-      /*warmup=*/5 + /*post-storm=*/5 + /*coda reads=*/4;
-  constexpr uint64_t kTotalBatches = static_cast<uint64_t>(kStormBatches) + 1;
+      /*warmup=*/5 + /*post-storm=*/5 + /*coda reads=*/6;
+  constexpr uint64_t kTotalBatches = static_cast<uint64_t>(kStormBatches) + 3;
   // Exact five-way accounting under mixed refresh/fallback churn.
   EXPECT_EQ(s.executed + s.coalesced + s.result_hits_admission +
                 s.result_hits_window + s.result_hits_refreshed,
